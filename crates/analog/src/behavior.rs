@@ -1,0 +1,169 @@
+//! Behavioural-model extraction for the pooling circuit.
+//!
+//! The transistor-level circuit maps the *mean* of its pixel inputs to the
+//! `avg` node through a nearly linear transfer `v_avg ≈ gain · mean + offset`
+//! (the gain is set by the resistive divider, the offset by the follower's
+//! `V_GS` drop and the `−VDD` pull). System-level simulation of megapixel
+//! arrays cannot afford a transistor-level solve per pooled output, so
+//! [`PoolingBehavior::fit`] runs a DC sweep once, fits the line, and records
+//! the worst-case residual (the circuit's systematic nonlinearity). The
+//! sensor crate (`hirise-sensor`) then applies the fitted map plus noise —
+//! a behavioural model that is *traceable* to the transistor netlist.
+
+use crate::pooling::PoolingCircuit;
+use crate::{AnalogError, Result};
+
+/// A fitted linear behavioural model of the Fig.-4 averaging circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolingBehavior {
+    /// Small-signal gain from mean input to output.
+    pub gain: f64,
+    /// Output offset, volts.
+    pub offset: f64,
+    /// Worst absolute deviation from the fitted line over the sweep, volts.
+    pub max_residual: f64,
+    /// Input range (lo, hi) over which the fit was performed, volts.
+    pub range: (f64, f64),
+    /// Number of inputs of the fitted circuit.
+    pub inputs: usize,
+}
+
+impl PoolingBehavior {
+    /// Fits the model by sweeping the common-mode input over
+    /// `range.0 ..= range.1` with `samples` points (common-mode inputs make
+    /// the mean exact by construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures; requires `samples >= 3`.
+    pub fn fit(circuit: &PoolingCircuit, range: (f64, f64), samples: usize) -> Result<Self> {
+        if samples < 3 || !(range.1 > range.0) {
+            return Err(AnalogError::InvalidParameter {
+                device: "behavior fit",
+                parameter: "samples/range",
+                value: samples as f64,
+            });
+        }
+        let n = circuit.input_count();
+        let mut xs = Vec::with_capacity(samples);
+        let mut ys = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let v = range.0 + (range.1 - range.0) * i as f64 / (samples - 1) as f64;
+            xs.push(v);
+            ys.push(circuit.dc_average(&vec![v; n])?);
+        }
+        let m = samples as f64;
+        let mx = xs.iter().sum::<f64>() / m;
+        let my = ys.iter().sum::<f64>() / m;
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let gain = sxy / sxx;
+        let offset = my - gain * mx;
+        let max_residual = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (y - (gain * x + offset)).abs())
+            .fold(0.0, f64::max);
+        Ok(Self { gain, offset, max_residual, range, inputs: n })
+    }
+
+    /// Forward map: circuit output voltage for a given mean input.
+    pub fn apply(&self, mean: f64) -> f64 {
+        self.gain * mean + self.offset
+    }
+
+    /// Inverse map: the digital calibration the readout applies after the
+    /// ADC to recover the mean pixel value from the converted output.
+    pub fn invert(&self, v_avg: f64) -> f64 {
+        (v_avg - self.offset) / self.gain
+    }
+
+    /// End-to-end averaging error of the circuit for a specific (generally
+    /// non-uniform) input vector: `|invert(circuit(inputs)) − mean(inputs)|`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn averaging_error(&self, circuit: &PoolingCircuit, inputs: &[f64]) -> Result<f64> {
+        let out = circuit.dc_average(inputs)?;
+        let mean = inputs.iter().sum::<f64>() / inputs.len() as f64;
+        Ok((self.invert(out) - mean).abs())
+    }
+}
+
+/// The behavioural constants the sensor crate uses by default, extracted
+/// from a 12-input (2×2 pooling × RGB) circuit at `VDD = 1 V`,
+/// `R = 100 kΩ` with default 45 nm-ish MOS parameters.
+///
+/// An integration test in `hirise-sensor` re-runs the fit and asserts these
+/// stay in sync with the transistor-level truth.
+pub mod calibrated {
+    /// Fitted gain of the 12-input pooling circuit (resistive divider ≈ 0.5
+    /// degraded slightly by the follower output resistance).
+    pub const GAIN_12: f64 = 0.483493;
+    /// Fitted offset, volts.
+    pub const OFFSET_12: f64 = -0.715756;
+    /// Worst systematic nonlinearity over the 0.3–0.9 V input range, volts.
+    pub const MAX_RESIDUAL_12: f64 = 1.1e-3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_linear_map() {
+        let pc = PoolingCircuit::builder(4).build().unwrap();
+        let b = PoolingBehavior::fit(&pc, (0.3, 0.9), 13).unwrap();
+        assert!(b.gain > 0.3 && b.gain < 0.6, "gain {}", b.gain);
+        assert!(b.offset < 0.0, "offset {}", b.offset);
+        assert!(b.max_residual < 5e-3, "residual {}", b.max_residual);
+        assert_eq!(b.inputs, 4);
+    }
+
+    #[test]
+    fn invert_is_inverse_of_apply() {
+        let b = PoolingBehavior {
+            gain: 0.45,
+            offset: -0.8,
+            max_residual: 0.0,
+            range: (0.0, 1.0),
+            inputs: 4,
+        };
+        for v in [0.0, 0.25, 0.7, 1.0] {
+            assert!((b.invert(b.apply(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn calibrated_recovery_of_nonuniform_means() {
+        let pc = PoolingCircuit::builder(4).build().unwrap();
+        let b = PoolingBehavior::fit(&pc, (0.3, 0.9), 13).unwrap();
+        // Non-uniform inputs in the fitted range: the recovered mean must be
+        // within a percent of the true mean.
+        for inputs in [
+            [0.4, 0.6, 0.5, 0.7],
+            [0.32, 0.88, 0.6, 0.6],
+            [0.9, 0.3, 0.9, 0.3],
+        ] {
+            let err = b.averaging_error(&pc, &inputs).unwrap();
+            assert!(err < 0.015, "averaging error {err} for {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn fit_rejects_bad_config() {
+        let pc = PoolingCircuit::builder(2).build().unwrap();
+        assert!(PoolingBehavior::fit(&pc, (0.3, 0.9), 2).is_err());
+        assert!(PoolingBehavior::fit(&pc, (0.9, 0.3), 10).is_err());
+    }
+
+    #[test]
+    fn gain_close_to_half_without_row_select() {
+        // Without the series row-select device the divider dominates:
+        // gain should approach the ideal 0.5 more closely.
+        let pc = PoolingCircuit::builder(4).row_select(false).build().unwrap();
+        let b = PoolingBehavior::fit(&pc, (0.3, 0.9), 13).unwrap();
+        assert!(b.gain > 0.40 && b.gain < 0.55, "gain {}", b.gain);
+    }
+}

@@ -1,0 +1,315 @@
+//! Device models: resistor, capacitor, independent sources and the level-1
+//! MOSFET used for the pixel source follower and row-select switch.
+
+/// Stimulus of an independent source as a function of time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stimulus {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse: `v1 → v2` with delay, rise, fall, width, period.
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Time spent at `v2`, seconds.
+        width: f64,
+        /// Repetition period, seconds (0 disables repetition).
+        period: f64,
+    },
+    /// Piecewise-linear `(time, value)` corner list; must be sorted by time.
+    Pwl(Vec<(f64, f64)>),
+    /// `offset + amplitude * sin(2π freq (t - delay))`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in Hz.
+        freq: f64,
+        /// Start delay, seconds.
+        delay: f64,
+    },
+}
+
+impl Stimulus {
+    /// Evaluates the stimulus at time `t` (seconds).
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            Stimulus::Dc(v) => *v,
+            Stimulus::Pulse { v1, v2, delay, rise, fall, width, period } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tl = t - delay;
+                if *period > 0.0 {
+                    tl %= period;
+                }
+                let rise_end = *rise;
+                let width_end = rise_end + *width;
+                let fall_end = width_end + *fall;
+                if tl < rise_end {
+                    if *rise == 0.0 {
+                        *v2
+                    } else {
+                        v1 + (v2 - v1) * tl / rise
+                    }
+                } else if tl < width_end {
+                    *v2
+                } else if tl < fall_end {
+                    if *fall == 0.0 {
+                        *v1
+                    } else {
+                        v2 + (v1 - v2) * (tl - width_end) / fall
+                    }
+                } else {
+                    *v1
+                }
+            }
+            Stimulus::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+            Stimulus::Sine { offset, amplitude, freq, delay } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + amplitude * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+}
+
+/// Level-1 MOSFET parameters.
+///
+/// Defaults approximate a generic 45 nm NMOS operated at low frequency:
+/// `V_TH = 0.4 V`, transconductance factor `K' · W/L = 400 µA/V²`,
+/// channel-length modulation `λ = 0.05 /V`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Threshold voltage, volts.
+    pub vth: f64,
+    /// Transconductance factor `k = µCox·W/L`, A/V².
+    pub k: f64,
+    /// Channel-length modulation, 1/V.
+    pub lambda: f64,
+}
+
+impl Default for MosParams {
+    fn default() -> Self {
+        Self { vth: 0.4, k: 400e-6, lambda: 0.05 }
+    }
+}
+
+/// Operating regions of the square-law model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosRegion {
+    /// `V_GS < V_TH`: no channel.
+    Cutoff,
+    /// `V_DS < V_GS - V_TH`: resistive channel.
+    Triode,
+    /// `V_DS ≥ V_GS - V_TH`: pinched-off channel.
+    Saturation,
+}
+
+/// Large-signal evaluation of the NMOS square-law model.
+///
+/// Returns `(i_d, g_m, g_ds, region)` where the small-signal conductances
+/// are the partial derivatives of `i_d` with respect to `v_gs` and `v_ds`.
+/// Negative `v_ds` is handled by source/drain symmetry: the physical device
+/// conducts with the roles of the terminals swapped.
+pub fn nmos_eval(params: &MosParams, v_gs: f64, v_ds: f64) -> (f64, f64, f64, MosRegion) {
+    if v_ds < 0.0 {
+        // Swap drain and source: V_GS' = V_GD = V_GS - V_DS, V_DS' = -V_DS.
+        let (id, gm, gds, region) = nmos_eval_forward(params, v_gs - v_ds, -v_ds);
+        // i_d' flows source'->drain' which is drain->source of the original,
+        // so the original current is -id. Chain rule for the derivatives:
+        //   d(-id)/d v_gs = -gm
+        //   d(-id)/d v_ds = -(gm * -1 + gds * -1) = gm + gds
+        return (-id, -gm, gm + gds, region);
+    }
+    nmos_eval_forward(params, v_gs, v_ds)
+}
+
+fn nmos_eval_forward(params: &MosParams, v_gs: f64, v_ds: f64) -> (f64, f64, f64, MosRegion) {
+    let vov = v_gs - params.vth;
+    if vov <= 0.0 {
+        // Cutoff: tiny subthreshold-like conductance keeps Newton stable.
+        let g_leak = 1e-12;
+        return (g_leak * v_ds, 0.0, g_leak, MosRegion::Cutoff);
+    }
+    if v_ds < vov {
+        // Triode.
+        let id = params.k * (vov * v_ds - 0.5 * v_ds * v_ds);
+        let gm = params.k * v_ds;
+        let gds = params.k * (vov - v_ds);
+        (id, gm, gds.max(1e-12), MosRegion::Triode)
+    } else {
+        // Saturation with channel-length modulation.
+        let id0 = 0.5 * params.k * vov * vov;
+        let id = id0 * (1.0 + params.lambda * v_ds);
+        let gm = params.k * vov * (1.0 + params.lambda * v_ds);
+        let gds = id0 * params.lambda;
+        (id, gm, gds.max(1e-12), MosRegion::Saturation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: MosParams = MosParams { vth: 0.4, k: 400e-6, lambda: 0.05 };
+
+    #[test]
+    fn dc_stimulus_constant() {
+        let s = Stimulus::Dc(1.5);
+        assert_eq!(s.at(0.0), 1.5);
+        assert_eq!(s.at(1e9), 1.5);
+    }
+
+    #[test]
+    fn pulse_stimulus_shape() {
+        let s = Stimulus::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-6,
+            rise: 1e-6,
+            fall: 1e-6,
+            width: 2e-6,
+            period: 10e-6,
+        };
+        assert_eq!(s.at(0.0), 0.0); // before delay
+        assert!((s.at(1.5e-6) - 0.5).abs() < 1e-9); // mid-rise
+        assert_eq!(s.at(3e-6), 1.0); // plateau
+        assert!((s.at(4.5e-6) - 0.5).abs() < 1e-9); // mid-fall
+        assert_eq!(s.at(6e-6), 0.0); // back to v1
+        assert_eq!(s.at(13e-6), 1.0); // next period plateau
+    }
+
+    #[test]
+    fn pulse_zero_rise_is_step() {
+        let s = Stimulus::Pulse {
+            v1: 0.2,
+            v2: 0.8,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1.0,
+            period: 0.0,
+        };
+        assert_eq!(s.at(0.0), 0.8);
+        assert_eq!(s.at(0.5), 0.8);
+        assert_eq!(s.at(1.5), 0.2);
+    }
+
+    #[test]
+    fn pwl_interpolates() {
+        let s = Stimulus::Pwl(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        assert_eq!(s.at(-1.0), 0.0);
+        assert!((s.at(0.5) - 0.5).abs() < 1e-12);
+        assert!((s.at(1.5) - 0.75).abs() < 1e-12);
+        assert_eq!(s.at(5.0), 0.5);
+    }
+
+    #[test]
+    fn pwl_empty_and_single() {
+        assert_eq!(Stimulus::Pwl(vec![]).at(1.0), 0.0);
+        assert_eq!(Stimulus::Pwl(vec![(1.0, 2.0)]).at(0.0), 2.0);
+        assert_eq!(Stimulus::Pwl(vec![(1.0, 2.0)]).at(9.0), 2.0);
+    }
+
+    #[test]
+    fn sine_stimulus() {
+        let s = Stimulus::Sine { offset: 0.5, amplitude: 0.5, freq: 1.0, delay: 0.0 };
+        assert!((s.at(0.0) - 0.5).abs() < 1e-12);
+        assert!((s.at(0.25) - 1.0).abs() < 1e-9);
+        assert!((s.at(0.75) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_cutoff_below_threshold() {
+        let (id, gm, _, region) = nmos_eval(&P, 0.2, 1.0);
+        assert_eq!(region, MosRegion::Cutoff);
+        assert!(id.abs() < 1e-9);
+        assert_eq!(gm, 0.0);
+    }
+
+    #[test]
+    fn nmos_saturation_current() {
+        // vgs = 1.0, vov = 0.6, vds = 1.0 > vov -> saturation
+        let (id, gm, gds, region) = nmos_eval(&P, 1.0, 1.0);
+        assert_eq!(region, MosRegion::Saturation);
+        let id0 = 0.5 * 400e-6 * 0.36;
+        assert!((id - id0 * 1.05).abs() < 1e-9);
+        assert!(gm > 0.0 && gds > 0.0);
+    }
+
+    #[test]
+    fn nmos_triode_current() {
+        // vgs = 1.4, vov = 1.0, vds = 0.2 < vov -> triode
+        let (id, _, gds, region) = nmos_eval(&P, 1.4, 0.2);
+        assert_eq!(region, MosRegion::Triode);
+        let expect = 400e-6 * (1.0 * 0.2 - 0.5 * 0.04);
+        assert!((id - expect).abs() < 1e-12);
+        assert!(gds > 0.0);
+    }
+
+    #[test]
+    fn nmos_region_boundary_continuous() {
+        // Current must be continuous at vds = vov (ignoring lambda kink).
+        let p = MosParams { lambda: 0.0, ..P };
+        let vov = 0.6;
+        let (id_tri, ..) = nmos_eval(&p, 1.0, vov - 1e-9);
+        let (id_sat, ..) = nmos_eval(&p, 1.0, vov + 1e-9);
+        assert!((id_tri - id_sat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_reverse_conduction_antisymmetric() {
+        // With lambda = 0 and symmetric bias the swapped device mirrors the
+        // forward one exactly in triode.
+        let p = MosParams { lambda: 0.0, ..P };
+        let (id_fwd, ..) = nmos_eval(&p, 1.4, 0.2);
+        // Reverse bias: v_ds = -0.2 swaps the terminal roles, so the device
+        // conducts like a forward one at (v_gs - v_ds, -v_ds) = (1.6, 0.2)
+        // with opposite current sign.
+        let (id_rev, ..) = nmos_eval(&p, 1.4, -0.2);
+        let (id_check, ..) = nmos_eval(&p, 1.6, 0.2);
+        assert!((id_rev + id_check).abs() < 1e-12, "{id_rev} vs {id_check}");
+        assert!(id_fwd > 0.0 && id_rev < 0.0);
+    }
+
+    #[test]
+    fn nmos_gm_matches_finite_difference() {
+        let (_, gm, gds, _) = nmos_eval(&P, 1.0, 0.8);
+        let h = 1e-7;
+        let (id_hi, ..) = nmos_eval(&P, 1.0 + h, 0.8);
+        let (id_lo, ..) = nmos_eval(&P, 1.0 - h, 0.8);
+        assert!(((id_hi - id_lo) / (2.0 * h) - gm).abs() / gm < 1e-4);
+        let (idd_hi, ..) = nmos_eval(&P, 1.0, 0.8 + h);
+        let (idd_lo, ..) = nmos_eval(&P, 1.0, 0.8 - h);
+        assert!(((idd_hi - idd_lo) / (2.0 * h) - gds).abs() / gds < 1e-3);
+    }
+}

@@ -1,0 +1,104 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for circuit construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// A device referenced a node that was never created.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the circuit.
+        node_count: usize,
+    },
+    /// A device parameter is non-physical (negative resistance, zero width…).
+    InvalidParameter {
+        /// Device kind, e.g. `"resistor"`.
+        device: &'static str,
+        /// Parameter name.
+        parameter: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Newton–Raphson failed to converge.
+    NoConvergence {
+        /// Iterations attempted.
+        iterations: usize,
+        /// Residual voltage delta at the last iteration.
+        residual: f64,
+    },
+    /// The MNA matrix was singular (floating node or degenerate topology).
+    SingularMatrix {
+        /// Pivot column where elimination failed.
+        pivot: usize,
+    },
+    /// Transient parameters were invalid (non-positive step or span).
+    InvalidTransient {
+        /// Requested step size in seconds.
+        step: f64,
+        /// Requested stop time in seconds.
+        stop: f64,
+    },
+    /// An input slice had the wrong length for the circuit.
+    InputLengthMismatch {
+        /// Expected number of inputs.
+        expected: usize,
+        /// Provided number of inputs.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::UnknownNode { node, node_count } => {
+                write!(f, "node {node} does not exist (circuit has {node_count} nodes)")
+            }
+            AnalogError::InvalidParameter { device, parameter, value } => {
+                write!(f, "invalid {device} parameter {parameter} = {value}")
+            }
+            AnalogError::NoConvergence { iterations, residual } => write!(
+                f,
+                "newton iteration did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            AnalogError::SingularMatrix { pivot } => {
+                write!(f, "singular mna matrix at pivot {pivot} (floating node?)")
+            }
+            AnalogError::InvalidTransient { step, stop } => {
+                write!(f, "invalid transient window: step {step}, stop {stop}")
+            }
+            AnalogError::InputLengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} inputs, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for AnalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        let errs = [
+            AnalogError::UnknownNode { node: 9, node_count: 3 },
+            AnalogError::InvalidParameter { device: "resistor", parameter: "ohms", value: -1.0 },
+            AnalogError::NoConvergence { iterations: 100, residual: 1.0 },
+            AnalogError::SingularMatrix { pivot: 2 },
+            AnalogError::InvalidTransient { step: 0.0, stop: 1.0 },
+            AnalogError::InputLengthMismatch { expected: 2, actual: 3 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<AnalogError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! # hirise-analog
+//!
+//! A small SPICE-like analog circuit simulator, built to reproduce the
+//! HiRISE in-sensor compression circuit (paper Fig. 4) and its SPICE
+//! validation (paper Fig. 5) without a proprietary simulator or PDK.
+//!
+//! The simulator implements:
+//!
+//! * a level-1 (square-law) MOSFET model with cutoff / triode / saturation
+//!   regions, channel-length modulation and drain–source swap handling,
+//! * resistors, capacitors, and independent voltage/current sources with
+//!   DC, pulse, piecewise-linear and sine stimuli,
+//! * modified nodal analysis (MNA) with Newton–Raphson for nonlinear DC
+//!   operating points and backward-Euler transient analysis,
+//! * dense LU solving with partial pivoting (circuit sizes here stay in the
+//!   hundreds of unknowns),
+//! * the HiRISE *pooling circuit builder* ([`pooling::PoolingCircuit`]):
+//!   `N` pixel source followers driving a common node through `N·R`
+//!   resistors, pulled to `−VDD` through `R` — the topology of Fig. 4,
+//! * the Fig. 5 test benches ([`testbench`]) and a behavioural-model
+//!   extractor ([`behavior`]) that fits the circuit's gain/offset/
+//!   nonlinearity so the system-level sensor model (`hirise-sensor`) stays
+//!   faithful to the transistor-level truth.
+//!
+//! # Example: average of two analog inputs (Fig. 5a)
+//!
+//! ```
+//! use hirise_analog::pooling::PoolingCircuit;
+//!
+//! # fn main() -> Result<(), hirise_analog::AnalogError> {
+//! let circuit = PoolingCircuit::builder(2).build()?;
+//! let out = circuit.dc_average(&[0.9, 0.5])?;
+//! // The node tracks the mean through a linear gain/offset; the fitted
+//! // behavioural model recovers the mean to sub-percent accuracy.
+//! assert!(out.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod behavior;
+pub mod device;
+pub mod netlist;
+pub mod pooling;
+pub mod solver;
+pub mod testbench;
+pub mod waveform;
+
+mod error;
+
+pub use error::AnalogError;
+pub use netlist::{Circuit, NodeId};
+pub use solver::{DcSolution, Simulator, TransientResult};
+pub use waveform::Waveform;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AnalogError>;

@@ -1,0 +1,310 @@
+//! Circuit netlist construction.
+
+use crate::device::{MosParams, Stimulus};
+use crate::{AnalogError, Result};
+
+/// Handle to a circuit node. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of this node (0 = ground).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to an independent voltage source (used to retrieve branch current).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct ResistorInst {
+    pub a: usize,
+    pub b: usize,
+    pub conductance: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct CapacitorInst {
+    pub a: usize,
+    pub b: usize,
+    pub farads: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VsourceInst {
+    pub pos: usize,
+    pub neg: usize,
+    pub stimulus: Stimulus,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct IsourceInst {
+    pub from: usize,
+    pub to: usize,
+    pub stimulus: Stimulus,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct MosfetInst {
+    pub drain: usize,
+    pub gate: usize,
+    pub source: usize,
+    pub params: MosParams,
+}
+
+/// A flat netlist of nodes and devices, built incrementally.
+///
+/// # Example
+///
+/// ```
+/// use hirise_analog::{Circuit, Simulator};
+/// use hirise_analog::device::Stimulus;
+///
+/// # fn main() -> Result<(), hirise_analog::AnalogError> {
+/// let mut c = Circuit::new();
+/// let vin = c.add_node("vin");
+/// let out = c.add_node("out");
+/// c.add_voltage_source(vin, Circuit::gnd(), Stimulus::Dc(1.0))?;
+/// c.add_resistor(vin, out, 1_000.0)?;
+/// c.add_resistor(out, Circuit::gnd(), 1_000.0)?;
+/// let dc = Simulator::new(&c).dc()?;
+/// assert!((dc.voltage(out) - 0.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    pub(crate) resistors: Vec<ResistorInst>,
+    pub(crate) capacitors: Vec<CapacitorInst>,
+    pub(crate) vsources: Vec<VsourceInst>,
+    pub(crate) isources: Vec<IsourceInst>,
+    pub(crate) mosfets: Vec<MosfetInst>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Self { node_names: vec!["0".to_string()], ..Default::default() }
+    }
+
+    /// The ground node.
+    pub fn gnd() -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Creates a named node and returns its handle.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.node_names.push(name.into());
+        NodeId(self.node_names.len() - 1)
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of independent voltage sources.
+    pub fn vsource_count(&self) -> usize {
+        self.vsources.len()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<()> {
+        if node.0 >= self.node_names.len() {
+            return Err(AnalogError::UnknownNode { node: node.0, node_count: self.node_names.len() });
+        }
+        Ok(())
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive resistance.
+    pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<()> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(ohms > 0.0) || !ohms.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                device: "resistor",
+                parameter: "ohms",
+                value: ohms,
+            });
+        }
+        self.resistors.push(ResistorInst { a: a.0, b: b.0, conductance: 1.0 / ohms });
+        Ok(())
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive capacitance.
+    pub fn add_capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> Result<()> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(farads > 0.0) || !farads.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                device: "capacitor",
+                parameter: "farads",
+                value: farads,
+            });
+        }
+        self.capacitors.push(CapacitorInst { a: a.0, b: b.0, farads });
+        Ok(())
+    }
+
+    /// Adds an independent voltage source with `pos`/`neg` terminals.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn add_voltage_source(
+        &mut self,
+        pos: NodeId,
+        neg: NodeId,
+        stimulus: Stimulus,
+    ) -> Result<SourceId> {
+        self.check_node(pos)?;
+        self.check_node(neg)?;
+        self.vsources.push(VsourceInst { pos: pos.0, neg: neg.0, stimulus });
+        Ok(SourceId(self.vsources.len() - 1))
+    }
+
+    /// Adds an independent current source pushing conventional current from
+    /// `from` into `to`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn add_current_source(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        stimulus: Stimulus,
+    ) -> Result<()> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        self.isources.push(IsourceInst { from: from.0, to: to.0, stimulus });
+        Ok(())
+    }
+
+    /// Adds an NMOS transistor (drain, gate, source).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-physical parameters.
+    pub fn add_nmos(
+        &mut self,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        params: MosParams,
+    ) -> Result<()> {
+        self.check_node(drain)?;
+        self.check_node(gate)?;
+        self.check_node(source)?;
+        if !(params.k > 0.0) || !(params.lambda >= 0.0) || !params.vth.is_finite() {
+            return Err(AnalogError::InvalidParameter {
+                device: "nmos",
+                parameter: "k/lambda/vth",
+                value: params.k,
+            });
+        }
+        self.mosfets.push(MosfetInst { drain: drain.0, gate: gate.0, source: source.0, params });
+        Ok(())
+    }
+
+    /// Replaces the stimulus of an existing voltage source (used to re-run
+    /// a built circuit under new inputs without rebuilding the netlist).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::UnknownNode`] if the source id is stale.
+    pub fn set_stimulus(&mut self, src: SourceId, stimulus: Stimulus) -> Result<()> {
+        match self.vsources.get_mut(src.0) {
+            Some(v) => {
+                v.stimulus = stimulus;
+                Ok(())
+            }
+            None => Err(AnalogError::UnknownNode { node: src.0, node_count: self.vsources.len() }),
+        }
+    }
+
+    /// Total device count (all kinds).
+    pub fn device_count(&self) -> usize {
+        self.resistors.len()
+            + self.capacitors.len()
+            + self.vsources.len()
+            + self.isources.len()
+            + self.mosfets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_sequential() {
+        let mut c = Circuit::new();
+        let a = c.add_node("a");
+        let b = c.add_node("b");
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.node_name(a), "a");
+        assert_eq!(c.node_name(Circuit::gnd()), "0");
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut c = Circuit::new();
+        let a = c.add_node("a");
+        let ghost = NodeId(99);
+        assert!(c.add_resistor(a, ghost, 1.0).is_err());
+        assert!(c.add_capacitor(ghost, a, 1e-12).is_err());
+        assert!(c.add_voltage_source(ghost, a, Stimulus::Dc(1.0)).is_err());
+        assert!(c.add_current_source(a, ghost, Stimulus::Dc(1.0)).is_err());
+        assert!(c.add_nmos(a, ghost, a, MosParams::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_nonphysical_values() {
+        let mut c = Circuit::new();
+        let a = c.add_node("a");
+        assert!(c.add_resistor(a, Circuit::gnd(), 0.0).is_err());
+        assert!(c.add_resistor(a, Circuit::gnd(), -5.0).is_err());
+        assert!(c.add_resistor(a, Circuit::gnd(), f64::NAN).is_err());
+        assert!(c.add_capacitor(a, Circuit::gnd(), 0.0).is_err());
+        let bad = MosParams { k: 0.0, ..Default::default() };
+        assert!(c.add_nmos(a, a, a, bad).is_err());
+    }
+
+    #[test]
+    fn device_count_tracks_all_kinds() {
+        let mut c = Circuit::new();
+        let a = c.add_node("a");
+        c.add_resistor(a, Circuit::gnd(), 1.0).unwrap();
+        c.add_capacitor(a, Circuit::gnd(), 1e-12).unwrap();
+        c.add_voltage_source(a, Circuit::gnd(), Stimulus::Dc(1.0)).unwrap();
+        c.add_current_source(a, Circuit::gnd(), Stimulus::Dc(1e-6)).unwrap();
+        c.add_nmos(a, a, a, MosParams::default()).unwrap();
+        assert_eq!(c.device_count(), 5);
+        assert_eq!(c.vsource_count(), 1);
+    }
+}

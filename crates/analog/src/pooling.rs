@@ -1,0 +1,331 @@
+//! The HiRISE in-sensor averaging circuit (paper Fig. 4).
+//!
+//! Topology, per input pixel `i` of `N`:
+//!
+//! ```text
+//!   VDD ──┬───────────────┐
+//!         │ D             │ D
+//!   pix_i ┤G  T3 (SF)     ├ T4 (RS, gate at VDD)
+//!         │ S             │
+//!         └── sf_i ───────┘
+//!                │
+//!               [N·R]
+//!                │
+//!   avg ─────────┴───[R]─── -VDD
+//! ```
+//!
+//! Every pixel's source follower drives the shared `avg` node through an
+//! `N·R` resistor; the parallel combination of the `N` legs equals `R`, so
+//! together with the `R` pull-down to `−VDD` the node sits at
+//! `(mean(v_sf) − VDD) / 2` — a *linear* function of the mean of the pixel
+//! voltages. The negative rail keeps the follower `V_DS` headroom condition
+//! (paper Eq. 4) satisfied across the full input range.
+
+use crate::device::{MosParams, Stimulus};
+use crate::netlist::{Circuit, NodeId, SourceId};
+use crate::solver::{Simulator, TransientResult};
+use crate::{AnalogError, Result};
+
+/// Configuration for a [`PoolingCircuit`]; see [`PoolingCircuit::builder`].
+#[derive(Debug, Clone)]
+pub struct PoolingCircuitBuilder {
+    n: usize,
+    vdd: f64,
+    r_ohms: f64,
+    mos: MosParams,
+    row_select: bool,
+    load_cap: f64,
+}
+
+impl PoolingCircuitBuilder {
+    /// Supply voltage (also used for `−VDD`), default `1.0 V`.
+    pub fn vdd(mut self, vdd: f64) -> Self {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Base resistance `R`, default `100 kΩ`; each leg uses `N·R`.
+    pub fn r_ohms(mut self, r_ohms: f64) -> Self {
+        self.r_ohms = r_ohms;
+        self
+    }
+
+    /// MOSFET parameters for both the source follower and row select.
+    pub fn mos(mut self, mos: MosParams) -> Self {
+        self.mos = mos;
+        self
+    }
+
+    /// Whether to include the T4 row-select transistor in each leg
+    /// (default `true`, as drawn in the paper).
+    pub fn row_select(mut self, enabled: bool) -> Self {
+        self.row_select = enabled;
+        self
+    }
+
+    /// Capacitive load at the `avg` node, default `1 pF` (sets the
+    /// transient settling slope seen in Fig. 5).
+    pub fn load_cap(mut self, farads: f64) -> Self {
+        self.load_cap = farads;
+        self
+    }
+
+    /// Builds the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction failures (non-physical parameters).
+    pub fn build(self) -> Result<PoolingCircuit> {
+        if self.n == 0 {
+            return Err(AnalogError::InvalidParameter {
+                device: "pooling circuit",
+                parameter: "inputs",
+                value: 0.0,
+            });
+        }
+        let mut circuit = Circuit::new();
+        let vdd = circuit.add_node("vdd");
+        let vneg = circuit.add_node("vneg");
+        let avg = circuit.add_node("avg");
+        circuit.add_voltage_source(vdd, Circuit::gnd(), Stimulus::Dc(self.vdd))?;
+        circuit.add_voltage_source(vneg, Circuit::gnd(), Stimulus::Dc(-self.vdd))?;
+        circuit.add_resistor(avg, vneg, self.r_ohms)?;
+        circuit.add_capacitor(avg, Circuit::gnd(), self.load_cap)?;
+
+        let leg_r = self.n as f64 * self.r_ohms;
+        let mut inputs = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let pix = circuit.add_node(format!("pix{i}"));
+            let sf = circuit.add_node(format!("sf{i}"));
+            let src = circuit.add_voltage_source(pix, Circuit::gnd(), Stimulus::Dc(0.0))?;
+            circuit.add_nmos(vdd, pix, sf, self.mos)?;
+            let leg_top = if self.row_select {
+                let rs = circuit.add_node(format!("rs{i}"));
+                circuit.add_nmos(sf, vdd, rs, self.mos)?;
+                rs
+            } else {
+                sf
+            };
+            circuit.add_resistor(leg_top, avg, leg_r)?;
+            inputs.push(src);
+        }
+        Ok(PoolingCircuit { circuit, inputs, avg, vdd: self.vdd })
+    }
+}
+
+/// A built Fig.-4 averaging circuit with `N` pixel inputs.
+///
+/// # Example
+///
+/// ```
+/// use hirise_analog::pooling::PoolingCircuit;
+///
+/// # fn main() -> Result<(), hirise_analog::AnalogError> {
+/// let pc = PoolingCircuit::builder(4).build()?;
+/// // Equal inputs: the output equals the common-mode transfer value.
+/// let v_equal = pc.dc_average(&[0.6; 4])?;
+/// // Mixed inputs with the same mean land on (nearly) the same output.
+/// let v_mixed = pc.dc_average(&[0.4, 0.8, 0.5, 0.7])?;
+/// assert!((v_equal - v_mixed).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoolingCircuit {
+    circuit: Circuit,
+    inputs: Vec<SourceId>,
+    avg: NodeId,
+    vdd: f64,
+}
+
+impl PoolingCircuit {
+    /// Starts building a circuit with `n` pixel inputs.
+    pub fn builder(n: usize) -> PoolingCircuitBuilder {
+        PoolingCircuitBuilder {
+            n,
+            vdd: 1.0,
+            r_ohms: 100_000.0,
+            mos: MosParams::default(),
+            row_select: true,
+            load_cap: 1e-12,
+        }
+    }
+
+    /// Number of pixel inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The shared output node `avg`.
+    pub fn avg_node(&self) -> NodeId {
+        self.avg
+    }
+
+    /// Supply voltage the circuit was built with.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Borrow of the underlying netlist (e.g. for custom analyses).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    fn with_stimuli(&self, stimuli: &[Stimulus]) -> Result<Circuit> {
+        if stimuli.len() != self.inputs.len() {
+            return Err(AnalogError::InputLengthMismatch {
+                expected: self.inputs.len(),
+                actual: stimuli.len(),
+            });
+        }
+        let mut c = self.circuit.clone();
+        for (src, stim) in self.inputs.iter().zip(stimuli) {
+            c.set_stimulus(*src, stim.clone())?;
+        }
+        Ok(c)
+    }
+
+    /// Solves the DC operating point for the given pixel voltages and
+    /// returns the `avg` node voltage.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InputLengthMismatch`] if `inputs.len() != N`, plus
+    /// solver failures.
+    pub fn dc_average(&self, inputs: &[f64]) -> Result<f64> {
+        let stimuli: Vec<Stimulus> = inputs.iter().map(|&v| Stimulus::Dc(v)).collect();
+        let c = self.with_stimuli(&stimuli)?;
+        let dc = Simulator::new(&c).dc()?;
+        Ok(dc.voltage(self.avg))
+    }
+
+    /// Runs a transient with per-input stimuli and returns the full result
+    /// (probe the output with [`PoolingCircuit::avg_node`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InputLengthMismatch`] if `stimuli.len() != N`, plus
+    /// solver failures.
+    pub fn transient(
+        &self,
+        stimuli: &[Stimulus],
+        step: f64,
+        stop: f64,
+    ) -> Result<TransientResult> {
+        let c = self.with_stimuli(stimuli)?;
+        Simulator::new(&c).transient(step, stop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_inputs_rejected() {
+        assert!(PoolingCircuit::builder(0).build().is_err());
+    }
+
+    #[test]
+    fn output_is_linear_in_common_mode() {
+        let pc = PoolingCircuit::builder(4).build().unwrap();
+        // Sample the common-mode transfer curve in the follower's active
+        // region and verify near-perfect linearity (r^2 via residuals).
+        let xs: Vec<f64> = (4..=9).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|&v| pc.dc_average(&[v; 4]).unwrap()).collect();
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        for (x, y) in xs.iter().zip(&ys) {
+            let residual = (y - (slope * x + intercept)).abs();
+            assert!(residual < 0.003, "nonlinearity {residual} at input {x}");
+        }
+        // Ideal divider gain is 0.5; follower output resistance lowers it a bit.
+        assert!(slope > 0.35 && slope < 0.55, "slope {slope}");
+    }
+
+    #[test]
+    fn output_depends_on_mean_not_permutation() {
+        let pc = PoolingCircuit::builder(4).build().unwrap();
+        let a = pc.dc_average(&[0.5, 0.6, 0.7, 0.8]).unwrap();
+        let b = pc.dc_average(&[0.8, 0.7, 0.6, 0.5]).unwrap();
+        assert!((a - b).abs() < 1e-9, "permutation changed output: {a} vs {b}");
+    }
+
+    #[test]
+    fn output_monotone_in_any_single_input() {
+        let pc = PoolingCircuit::builder(3).build().unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for v in [0.4, 0.55, 0.7, 0.85] {
+            let out = pc.dc_average(&[v, 0.6, 0.6]).unwrap();
+            assert!(out > last, "not monotone at {v}");
+            last = out;
+        }
+    }
+
+    #[test]
+    fn input_length_checked() {
+        let pc = PoolingCircuit::builder(3).build().unwrap();
+        assert!(matches!(
+            pc.dc_average(&[0.5; 2]),
+            Err(AnalogError::InputLengthMismatch { expected: 3, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn row_select_adds_series_drop_but_keeps_averaging() {
+        let with_rs = PoolingCircuit::builder(2).build().unwrap();
+        let without_rs = PoolingCircuit::builder(2).row_select(false).build().unwrap();
+        let v_rs = with_rs.dc_average(&[0.6, 0.8]).unwrap();
+        let v_plain = without_rs.dc_average(&[0.6, 0.8]).unwrap();
+        // Both average; the row-select changes the operating point slightly.
+        assert!((v_rs - v_plain).abs() < 0.2);
+        // Averaging property holds for both.
+        let v_rs_eq = with_rs.dc_average(&[0.7, 0.7]).unwrap();
+        assert!((v_rs - v_rs_eq).abs() < 0.01);
+    }
+
+    #[test]
+    fn transient_follows_step_with_settling() {
+        let pc = PoolingCircuit::builder(2).load_cap(1e-12).build().unwrap();
+        let step_in = Stimulus::Pulse {
+            v1: 0.4,
+            v2: 0.8,
+            delay: 1e-6,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1.0,
+            period: 0.0,
+        };
+        let tr = pc
+            .transient(&[step_in, Stimulus::Dc(0.6)], 20e-9, 3e-6)
+            .unwrap();
+        let w = tr.waveform(pc.avg_node());
+        let before = w.sample_at(0.9e-6);
+        let after = w.sample_at(2.9e-6);
+        assert!(after > before, "avg did not rise after input step");
+        // RC settling: mid-transition value lies strictly between.
+        let mid = w.sample_at(1.02e-6);
+        assert!(mid > before - 1e-6 && mid < after + 1e-6);
+    }
+
+    #[test]
+    fn scales_to_many_inputs_dc() {
+        // The paper extends the bench to 192 inputs; a 48-input DC solve
+        // keeps unit-test time low while exercising the same scaling.
+        let n = 48;
+        let pc = PoolingCircuit::builder(n).row_select(false).build().unwrap();
+        let inputs: Vec<f64> = (0..n).map(|i| 0.4 + 0.4 * (i as f64 / (n - 1) as f64)).collect();
+        let v_mixed = pc.dc_average(&inputs).unwrap();
+        let mean = inputs.iter().sum::<f64>() / n as f64;
+        let v_eq = pc.dc_average(&vec![mean; n]).unwrap();
+        assert!(
+            (v_mixed - v_eq).abs() < 0.02,
+            "mixed {v_mixed} vs common-mode {v_eq}"
+        );
+    }
+}

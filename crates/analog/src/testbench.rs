@@ -1,0 +1,247 @@
+//! The paper's Fig. 5 test benches.
+//!
+//! * [`fig5a`] — two *analog* inputs (piecewise-linear ramps) driving a
+//!   2-input averaging circuit: scenario ① one input constant while the
+//!   other ramps (the output follows with half the slope), scenario ②
+//!   opposing slopes (output slope ≈ 0), scenario ③ single-input influence.
+//! * [`fig5b`] — four *digital* (pulse) inputs at binary-weighted periods:
+//!   the output steps through the five distinct average levels.
+//! * [`extended_dc`] — the paper's "extended to 192 inputs" check, done as
+//!   a DC sweep (a 192-input transient adds nothing but runtime).
+
+use crate::behavior::PoolingBehavior;
+use crate::device::Stimulus;
+use crate::pooling::PoolingCircuit;
+use crate::waveform::Waveform;
+use crate::Result;
+
+/// Outcome of a transient averaging bench.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Input waveforms (ideal stimuli sampled on the solver time base).
+    pub inputs: Vec<Waveform>,
+    /// Simulated `avg` node waveform.
+    pub avg: Waveform,
+    /// The behavioural prediction `gain · mean(inputs) + offset` on the same
+    /// time base — the "ideal" trace the circuit should track.
+    pub ideal: Waveform,
+    /// Worst absolute deviation between `avg` and `ideal`, volts.
+    /// Settling transients after input steps are included, so this bounds
+    /// the *dynamic* tracking error.
+    pub max_tracking_error: f64,
+    /// Worst deviation over quasi-static points only (where the ideal
+    /// trace moved less than 1 mV since the previous sample) — the settled
+    /// accuracy, excluding RC settling after input edges.
+    pub settled_tracking_error: f64,
+    /// The fitted behavioural model used to produce `ideal`.
+    pub behavior: PoolingBehavior,
+}
+
+fn run_bench(
+    circuit: &PoolingCircuit,
+    stimuli: &[Stimulus],
+    step: f64,
+    stop: f64,
+) -> Result<BenchResult> {
+    let behavior = PoolingBehavior::fit(circuit, (0.3, 0.9), 13)?;
+    let tr = circuit.transient(stimuli, step, stop)?;
+    let avg = tr.waveform(circuit.avg_node());
+    let times = tr.times().to_vec();
+
+    let inputs: Vec<Waveform> = stimuli
+        .iter()
+        .map(|s| {
+            Waveform::from_samples(times.clone(), times.iter().map(|&t| s.at(t)).collect())
+                .expect("parallel vectors")
+        })
+        .collect();
+
+    let ideal_values: Vec<f64> = times
+        .iter()
+        .map(|&t| {
+            let mean = stimuli.iter().map(|s| s.at(t)).sum::<f64>() / stimuli.len() as f64;
+            behavior.apply(mean)
+        })
+        .collect();
+    let ideal = Waveform::from_samples(times, ideal_values).expect("parallel vectors");
+    let max_tracking_error = avg.max_abs_error(&ideal);
+    // Quasi-static points: skip samples right after an ideal-trace jump,
+    // plus a few settling steps (the RC load needs ~5 time constants).
+    let mut settled_tracking_error = 0.0f64;
+    let mut cooldown = 0u32;
+    for i in 1..ideal.len() {
+        let moved = (ideal.values()[i] - ideal.values()[i - 1]).abs() > 1e-3;
+        if moved {
+            cooldown = 12;
+        } else if cooldown > 0 {
+            cooldown -= 1;
+        } else {
+            settled_tracking_error =
+                settled_tracking_error.max((avg.values()[i] - ideal.values()[i]).abs());
+        }
+    }
+    Ok(BenchResult { inputs, avg, ideal, max_tracking_error, settled_tracking_error, behavior })
+}
+
+/// Fig. 5(a): transient vector for two analog signals.
+///
+/// The stimulus timeline (microseconds, volts) mirrors the three annotated
+/// scenarios of the paper's figure:
+///
+/// 1. `0–2 µs` — `Inp1` constant at 0.5 V, `Inp2` ramps 0.3 → 0.9 V; the
+///    average follows `Inp2` "with a more gradual slope" (half).
+/// 2. `2–4 µs` — opposing slopes; the average stays approximately flat.
+/// 3. `4–6 µs` — `Inp2` constant, `Inp1` ramps; `Inp1`'s influence shows.
+///
+/// # Errors
+///
+/// Propagates circuit-construction and solver failures.
+pub fn fig5a() -> Result<BenchResult> {
+    let us = 1e-6;
+    let circuit = PoolingCircuit::builder(2).build()?;
+    let inp1 = Stimulus::Pwl(vec![
+        (0.0, 0.5),
+        (2.0 * us, 0.5),
+        (4.0 * us, 0.9),
+        (6.0 * us, 0.3),
+    ]);
+    let inp2 = Stimulus::Pwl(vec![
+        (0.0, 0.3),
+        (2.0 * us, 0.9),
+        (4.0 * us, 0.5),
+        (6.0 * us, 0.5),
+    ]);
+    run_bench(&circuit, &[inp1, inp2], 20e-9, 6.0 * us)
+}
+
+/// Fig. 5(b): transient vector averaging four digital inputs.
+///
+/// The four pulse inputs toggle between 0.3 V ("0") and 0.9 V ("1") with
+/// binary-weighted periods, so the instantaneous average sweeps all five
+/// levels `{0, ¼, ½, ¾, 1}` of the digital code — at ① all inputs are high
+/// (peak) and at ② all are low (minimum), as annotated in the paper.
+///
+/// # Errors
+///
+/// Propagates circuit-construction and solver failures.
+pub fn fig5b() -> Result<BenchResult> {
+    let us = 1e-6;
+    let circuit = PoolingCircuit::builder(4).build()?;
+    let mk = |period_us: f64| Stimulus::Pulse {
+        v1: 0.9,
+        v2: 0.3,
+        delay: period_us / 2.0 * us,
+        rise: 10e-9,
+        fall: 10e-9,
+        width: period_us / 2.0 * us - 20e-9,
+        period: period_us * us,
+    };
+    let stimuli = [mk(1.0), mk(2.0), mk(4.0), mk(8.0)];
+    run_bench(&circuit, &stimuli, 20e-9, 8.0 * us)
+}
+
+/// Outcome of the many-input DC extension bench.
+#[derive(Debug, Clone)]
+pub struct ExtendedDcResult {
+    /// Number of inputs.
+    pub inputs: usize,
+    /// Worst recovered-mean error across the random test vectors, volts.
+    pub max_error: f64,
+    /// Fitted behavioural model.
+    pub behavior: PoolingBehavior,
+}
+
+/// DC sweep of an `n`-input circuit (the paper extends to `n = 192`:
+/// 8×8 pooling × 3 RGB channels) with `vectors` random input vectors drawn
+/// from a deterministic xorshift sequence.
+///
+/// # Errors
+///
+/// Propagates circuit-construction and solver failures.
+pub fn extended_dc(n: usize, vectors: usize) -> Result<ExtendedDcResult> {
+    let circuit = PoolingCircuit::builder(n).row_select(false).build()?;
+    let behavior = PoolingBehavior::fit(&circuit, (0.3, 0.9), 9)?;
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64 / (1u64 << 24) as f64
+    };
+    let mut max_error = 0.0f64;
+    for _ in 0..vectors {
+        let inputs: Vec<f64> = (0..n).map(|_| 0.3 + 0.6 * next()).collect();
+        let err = behavior.averaging_error(&circuit, &inputs)?;
+        max_error = max_error.max(err);
+    }
+    Ok(ExtendedDcResult { inputs: n, max_error, behavior })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_tracks_mean() {
+        let r = fig5a().unwrap();
+        assert_eq!(r.inputs.len(), 2);
+        // Dynamic tracking error stays small relative to the 0.6 V swing;
+        // RC settling and follower nonlinearity set the bound.
+        assert!(
+            r.max_tracking_error < 0.03,
+            "tracking error {} too large",
+            r.max_tracking_error
+        );
+        // Scenario 2 (opposing slopes): output is nearly flat between 2.5
+        // and 3.5 µs.
+        let flat_delta = (r.avg.sample_at(3.5e-6) - r.avg.sample_at(2.5e-6)).abs();
+        assert!(flat_delta < 0.01, "output moved {flat_delta} during opposing ramps");
+    }
+
+    #[test]
+    fn fig5a_scenario1_half_slope() {
+        let r = fig5a().unwrap();
+        // During 0–2 µs Inp1 is constant and Inp2 ramps 0.3 -> 0.9 V.
+        // d(avg)/d(inp2) = gain / 2 for a 2-input circuit.
+        let dv_out = r.avg.sample_at(1.9e-6) - r.avg.sample_at(0.4e-6);
+        let dv_in = r.inputs[1].sample_at(1.9e-6) - r.inputs[1].sample_at(0.4e-6);
+        let observed = dv_out / dv_in;
+        let expected = r.behavior.gain / 2.0;
+        assert!(
+            (observed - expected).abs() < 0.05,
+            "slope ratio {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn fig5b_settles_to_the_coded_average() {
+        let r = fig5b().unwrap();
+        // Edges produce large transient error, but the settled plateaus
+        // track the coded average tightly.
+        assert!(r.max_tracking_error > r.settled_tracking_error);
+        assert!(
+            r.settled_tracking_error < 0.02,
+            "settled error {} too large",
+            r.settled_tracking_error
+        );
+    }
+
+    #[test]
+    fn fig5b_hits_extreme_levels() {
+        let r = fig5b().unwrap();
+        // The output maximum corresponds to all inputs high (mean 0.9 V) and
+        // the minimum to all low (mean 0.3 V) up to settling.
+        let v_hi = r.behavior.apply(0.9);
+        let v_lo = r.behavior.apply(0.3);
+        assert!((r.avg.max() - v_hi).abs() < 0.02, "max {} vs {}", r.avg.max(), v_hi);
+        assert!((r.avg.min() - v_lo).abs() < 0.02, "min {} vs {}", r.avg.min(), v_lo);
+    }
+
+    #[test]
+    fn extended_dc_averages_many_inputs() {
+        // 24 inputs keeps test time modest; the fig5 binary runs 192.
+        let r = extended_dc(24, 4).unwrap();
+        assert_eq!(r.inputs, 24);
+        assert!(r.max_error < 0.02, "max error {}", r.max_error);
+    }
+}

@@ -1,0 +1,223 @@
+//! Time-series storage for simulation traces, with interpolation, summary
+//! statistics and CSV export (used by the Fig. 5 regeneration binary).
+
+use std::io::Write;
+
+use crate::{AnalogError, Result};
+
+/// A sampled `(time, value)` trace with strictly increasing time stamps.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a waveform from parallel vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InputLengthMismatch`] if the vectors disagree
+    /// in length.
+    pub fn from_samples(times: Vec<f64>, values: Vec<f64>) -> Result<Self> {
+        if times.len() != values.len() {
+            return Err(AnalogError::InputLengthMismatch {
+                expected: times.len(),
+                actual: values.len(),
+            });
+        }
+        Ok(Self { times, values })
+    }
+
+    /// Appends one sample; `t` must exceed the previous time stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time stamps are not strictly increasing.
+    pub fn push(&mut self, t: f64, v: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t > last, "waveform time stamps must increase ({t} after {last})");
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when the waveform holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Time stamps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Linear interpolation at time `t`; clamps outside the span.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty waveform.
+    pub fn sample_at(&self, t: f64) -> f64 {
+        assert!(!self.is_empty(), "cannot sample an empty waveform");
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().unwrap() {
+            return *self.values.last().unwrap();
+        }
+        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).unwrap()) {
+            Ok(i) => return self.values[i],
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Minimum value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Largest absolute difference from another waveform, comparing at this
+    /// waveform's time stamps (the other is interpolated).
+    pub fn max_abs_error(&self, other: &Waveform) -> f64 {
+        self.times
+            .iter()
+            .zip(&self.values)
+            .map(|(&t, &v)| (v - other.sample_at(t)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Writes `time,value` CSV rows (with header) for a set of named
+    /// waveforms sharing time stamps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InputLengthMismatch`] when waveforms disagree
+    /// in length; I/O errors are returned as `std::io::Error` converted to
+    /// a mismatch-free panic-free result via the caller.
+    pub fn write_csv<W: Write>(
+        mut w: W,
+        columns: &[(&str, &Waveform)],
+    ) -> std::io::Result<()> {
+        if columns.is_empty() {
+            return Ok(());
+        }
+        write!(w, "time")?;
+        for (name, _) in columns {
+            write!(w, ",{name}")?;
+        }
+        writeln!(w)?;
+        let base = columns[0].1;
+        for (i, &t) in base.times.iter().enumerate() {
+            write!(w, "{t:.9e}")?;
+            for (_, wf) in columns {
+                let v = if i < wf.len() { wf.values[i] } else { f64::NAN };
+                write!(w, ",{v:.6e}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 20.0]).unwrap()
+    }
+
+    #[test]
+    fn from_samples_checks_length() {
+        assert!(Waveform::from_samples(vec![0.0], vec![]).is_err());
+    }
+
+    #[test]
+    fn push_enforces_monotonic_time() {
+        let mut w = Waveform::new();
+        w.push(0.0, 1.0);
+        w.push(1.0, 2.0);
+        assert_eq!(w.len(), 2);
+        let result = std::panic::catch_unwind(move || {
+            let mut w2 = Waveform::new();
+            w2.push(1.0, 0.0);
+            w2.push(0.5, 0.0);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn sample_interpolates_and_clamps() {
+        let w = ramp();
+        assert_eq!(w.sample_at(-1.0), 0.0);
+        assert_eq!(w.sample_at(0.5), 5.0);
+        assert_eq!(w.sample_at(1.0), 10.0);
+        assert_eq!(w.sample_at(99.0), 20.0);
+    }
+
+    #[test]
+    fn stats() {
+        let w = ramp();
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 20.0);
+        assert_eq!(w.mean(), 10.0);
+    }
+
+    #[test]
+    fn max_abs_error_between_traces() {
+        let a = ramp();
+        let b = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![1.0, 10.0, 18.0]).unwrap();
+        assert!((a.max_abs_error(&b) - 2.0).abs() < 1e-12);
+        assert_eq!(a.max_abs_error(&a), 0.0);
+    }
+
+    #[test]
+    fn csv_output_shape() {
+        let a = ramp();
+        let mut buf = Vec::new();
+        Waveform::write_csv(&mut buf, &[("a", &a), ("b", &a)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "time,a,b");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0.0"));
+    }
+
+    #[test]
+    fn csv_empty_columns_ok() {
+        let mut buf = Vec::new();
+        Waveform::write_csv(&mut buf, &[]).unwrap();
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the stage-1 detector at the three Table-2
+//! stage-1 resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirise_bench::table2::detector_for;
+use hirise_detect::Detector;
+use hirise_imaging::{ops, Image};
+use hirise_scene::{DatasetSpec, SceneGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_detect(c: &mut Criterion) {
+    let spec = DatasetSpec::dhdcampus_like();
+    let generator = SceneGenerator::new(spec.clone());
+    let mut rng = StdRng::seed_from_u64(3);
+    let scene = generator.generate(1280, 960, &mut rng);
+    let detector = Detector::new(detector_for(&spec));
+
+    let mut group = c.benchmark_group("detector");
+    group.sample_size(10);
+    for k in [4u32, 2, 1] {
+        let img = Image::Rgb(ops::avg_pool_rgb(&scene.image, k).expect("k tiles the scene"));
+        let label = format!("{}x{}", img.width(), img.height());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &img, |b, img| {
+            b.iter(|| detector.detect(img));
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_maps(c: &mut Criterion) {
+    let generator = SceneGenerator::new(DatasetSpec::dhdcampus_like());
+    let mut rng = StdRng::seed_from_u64(3);
+    let scene = generator.generate(640, 480, &mut rng);
+    let img = Image::Rgb(scene.image);
+    c.bench_function("feature_maps_640x480", |b| {
+        b.iter(|| hirise_detect::FeatureMaps::new(&img));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_detect, bench_feature_maps
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the end-to-end pipelines: HiRISE two-stage vs
+//! conventional full readout, at a mid-size array.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hirise::baseline::ConventionalPipeline;
+use hirise::{HiriseConfig, HirisePipeline, SensorConfig};
+use hirise_scene::{DatasetSpec, SceneGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let generator = SceneGenerator::new(DatasetSpec::dhdcampus_like());
+    let mut rng = StdRng::seed_from_u64(77);
+    let scene = generator.generate(640, 480, &mut rng).image;
+
+    let config = HiriseConfig::builder(640, 480)
+        .pooling(2)
+        .max_rois(8)
+        .build()
+        .expect("valid configuration");
+    let pipeline = HirisePipeline::new(config);
+    let conventional = ConventionalPipeline::new(SensorConfig::default());
+
+    let mut group = c.benchmark_group("end_to_end_640x480");
+    group.sample_size(10);
+    group.bench_function("hirise_two_stage", |b| {
+        b.iter(|| pipeline.run(&scene).expect("pipeline succeeds"));
+    });
+    group.bench_function("conventional_full_readout", |b| {
+        b.iter(|| conventional.run(&scene));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipelines
+}
+criterion_main!(benches);

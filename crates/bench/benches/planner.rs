@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the arena memory planner, plus the ablation the
+//! design document calls out: greedy arena planning vs a naive
+//! no-reuse allocator (the peak-memory numbers themselves are printed so
+//! the bench log doubles as the ablation table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirise_nn::planner::{liveness_lower_bound, naive_peak, plan_greedy};
+use hirise_nn::zoo;
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_planner");
+    for roi in [14usize, 56, 112] {
+        let graph = zoo::mobilenet_v2_classifier(roi);
+        let tensors = graph.tensor_lifetimes();
+        group.bench_with_input(BenchmarkId::from_parameter(roi), &tensors, |b, tensors| {
+            b.iter(|| plan_greedy(tensors));
+        });
+    }
+    group.finish();
+}
+
+fn report_planner_ablation(_c: &mut Criterion) {
+    // Not a timing benchmark: prints the greedy-vs-naive peak comparison
+    // so `cargo bench` output records the ablation numbers.
+    println!();
+    println!("arena planner ablation (peak kB): model | greedy | naive no-reuse | lower bound");
+    for (name, graph) in [
+        ("mcunet_det_320x240", zoo::mcunet_v2_detector(320, 240)),
+        ("mcunet_cls_112", zoo::mcunet_v2_classifier(112)),
+        ("mobilenet_cls_112", zoo::mobilenet_v2_classifier(112)),
+    ] {
+        let tensors = graph.tensor_lifetimes();
+        let greedy = plan_greedy(&tensors).peak_bytes as f64 / 1024.0;
+        let naive = naive_peak(&tensors) as f64 / 1024.0;
+        let bound = liveness_lower_bound(&tensors) as f64 / 1024.0;
+        println!("  {name:24} | {greedy:8.1} | {naive:8.1} | {bound:8.1}");
+    }
+    println!();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_planner, report_planner_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the scaling paths: digital average
+//! pooling (in-processor) vs behavioural analog pooling (in-sensor), plus
+//! the ablation between ideal and noisy pooling configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirise_imaging::{ops, RgbImage};
+use hirise_sensor::{pooling, PixelArray, PixelParams, PoolingConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scene(w: u32, h: u32) -> RgbImage {
+    RgbImage::from_fn(w, h, |x, y| {
+        (
+            ((x * 7 + y) % 32) as f32 / 32.0,
+            ((x + y * 11) % 32) as f32 / 32.0,
+            ((x * 3 + y * 5) % 32) as f32 / 32.0,
+        )
+    })
+}
+
+fn bench_digital_pooling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digital_avg_pool");
+    for k in [2u32, 4, 8] {
+        let img = scene(640, 480);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| ops::avg_pool_rgb(&img, k).expect("k tiles the image"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_analog_pooling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analog_pool_gray");
+    let img = scene(640, 480);
+    let array = PixelArray::from_scene(&img, PixelParams::default(), 1);
+    for k in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = PoolingConfig::default();
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| pooling::pool_gray(&array, k, &cfg, &mut rng).expect("k tiles the array"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pooling_fidelity_ablation(c: &mut Criterion) {
+    // Ablation: ideal vs calibrated-noisy pooling (run-time cost of the
+    // noise model; the accuracy effect is covered by integration tests).
+    let mut group = c.benchmark_group("pooling_fidelity");
+    let img = scene(320, 240);
+    let array = PixelArray::from_scene(&img, PixelParams::default(), 1);
+    for (name, cfg) in [("ideal", PoolingConfig::ideal()), ("calibrated", PoolingConfig::default())]
+    {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| pooling::pool_gray(&array, 4, &cfg, &mut rng).expect("k tiles the array"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_digital_pooling, bench_analog_pooling, bench_pooling_fidelity_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the analog substrate: DC operating points and
+//! transients of the Fig.-4 pooling circuit at increasing input counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirise_analog::device::Stimulus;
+use hirise_analog::pooling::PoolingCircuit;
+
+fn bench_dc_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooling_circuit_dc");
+    for n in [2usize, 4, 12, 48] {
+        let circuit = PoolingCircuit::builder(n).build().expect("valid circuit");
+        let inputs: Vec<f64> = (0..n).map(|i| 0.3 + 0.6 * (i as f64 / n as f64)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| circuit.dc_average(&inputs).expect("solver converges"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooling_circuit_transient");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        let circuit = PoolingCircuit::builder(n).build().expect("valid circuit");
+        let stimuli: Vec<Stimulus> = (0..n)
+            .map(|i| Stimulus::Pwl(vec![(0.0, 0.4), (1e-6, 0.4 + 0.1 * i as f64), (2e-6, 0.5)]))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| circuit.transient(&stimuli, 20e-9, 2e-6).expect("solver converges"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dc_solve, bench_transient
+}
+criterion_main!(benches);

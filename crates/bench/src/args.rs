@@ -1,0 +1,49 @@
+//! Minimal CLI-flag parsing shared by the experiment binaries.
+
+/// Run size of an experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSize {
+    /// Few images / coarse sweeps; finishes in seconds to a couple of
+    /// minutes.
+    Quick,
+    /// The defaults used for `EXPERIMENTS.md`.
+    Standard,
+    /// More images for tighter statistics.
+    Full,
+}
+
+impl RunSize {
+    /// Parses `--quick` / `--full` from `std::env::args` (default
+    /// [`RunSize::Standard`]).
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            RunSize::Quick
+        } else if args.iter().any(|a| a == "--full") {
+            RunSize::Full
+        } else {
+            RunSize::Standard
+        }
+    }
+
+    /// Picks one of three values by run size.
+    pub fn pick<T: Copy>(&self, quick: T, standard: T, full: T) -> T {
+        match self {
+            RunSize::Quick => quick,
+            RunSize::Standard => standard,
+            RunSize::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_size() {
+        assert_eq!(RunSize::Quick.pick(1, 2, 3), 1);
+        assert_eq!(RunSize::Standard.pick(1, 2, 3), 2);
+        assert_eq!(RunSize::Full.pick(1, 2, 3), 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Table 1**: the analytical relations for data transfer,
+//! memory capacity and signal conversion, conventional vs HiRISE, plus a
+//! numeric evaluation on the paper's reference configuration.
+//!
+//! Run: `cargo run --release -p hirise-bench --bin table1`
+
+use hirise::analytical::AnalyticalModel;
+use hirise::{HiriseConfig, Rect};
+
+fn main() {
+    println!("Table 1 — analytical relations (P = ADC precision in bits)");
+    println!("{:-<100}", "");
+    println!(
+        "{:<22} {:<34} {:<24} {:<16}",
+        "System", "Data Transfer", "Memory Capacity", "ADC Conversions"
+    );
+    println!(
+        "{:<22} {:<34} {:<24} {:<16}",
+        "Conventional", "D_old = (n*m*3)*P", "Mem_old = (n*m*3)*P", "C_old = n*m*3"
+    );
+    println!(
+        "{:<22} {:<34} {:<24} {:<16}",
+        "HiRISE stage-1", "D1_s->p = (n*m/k^2)*P  (x3 if RGB)", "M1 = (n*m/k^2)*P", "C1 = n*m/k^2"
+    );
+    println!(
+        "{:<22} {:<34} {:<24} {:<16}",
+        "", "D1_p->s = j*(4*Words)", "", "0"
+    );
+    println!(
+        "{:<22} {:<34} {:<24} {:<16}",
+        "HiRISE stage-2", "D2 = 3P * sum_i(W_i*H_i)", "M2 = 3P * sum(W_i*H_i)", "C2 = 3 * union_i(W_i*H_i)"
+    );
+    println!();
+    println!("Conditions (Eqs. 1-3): D_new << D_old,  Mem_new = max(M1, M2) << Mem_old,  C_new << C_old");
+    println!();
+
+    // Numeric instantiation: the paper's reference configuration with 16
+    // Table-3-style head ROIs.
+    let config = HiriseConfig::paper_reference();
+    let rois: Vec<Rect> = (0..16)
+        .map(|i| Rect::new(150 * (i as u32 % 8) + 40, 300 + 400 * (i as u32 / 8), 112, 112))
+        .collect();
+    let model = AnalyticalModel::new(&config, &rois);
+
+    println!(
+        "Evaluated at n x m = 2560 x 1920, k = 8, P = 8 bit, j = 16 ROIs of 112 x 112 (RGB stage-1):"
+    );
+    for (name, b) in [
+        ("conventional", model.conventional()),
+        ("hirise stage-1", model.stage1()),
+        ("hirise stage-2", model.stage2()),
+        ("hirise total", model.hirise()),
+    ] {
+        println!(
+            "  {:<15} transfer {:>10.1} kB | memory {:>10.1} kB | conversions {:>12}",
+            name,
+            b.total_transfer_kb(),
+            b.memory_bytes as f64 / 1000.0,
+            b.conversions
+        );
+    }
+    println!();
+    println!(
+        "reductions: transfer {:.1}x, memory {:.1}x, conversions {:.1}x — conditions hold: {}",
+        model.transfer_reduction(),
+        model.memory_reduction(),
+        model.conversion_reduction(),
+        model.satisfies_paper_conditions()
+    );
+}

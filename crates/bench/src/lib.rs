@@ -1,0 +1,23 @@
+//! # hirise-bench
+//!
+//! Shared experiment harness for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the index); this library holds the pieces
+//! they share:
+//!
+//! * [`classifier::CropClassifier`] — a trained MLP that assigns classes
+//!   to detection crops (the reproduction's analogue of YOLO's
+//!   classification head),
+//! * [`table2`] — the in-processor vs in-sensor mAP experiment,
+//! * [`stats`] — dataset ROI statistics used by the Fig. 7 / Fig. 8 /
+//!   Table 3 binaries,
+//! * [`args`] — tiny CLI-flag helpers shared by the binaries.
+
+pub mod args;
+pub mod classifier;
+pub mod stats;
+pub mod table2;
+
+/// Needed by `[[bench]]` targets; re-exported so binaries share versions.
+pub use hirise_nn::Mlp;

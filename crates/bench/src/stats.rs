@@ -1,0 +1,89 @@
+//! Measured dataset ROI statistics shared by the Fig. 7 / Fig. 8 / Table 3
+//! binaries.
+//!
+//! The paper's transfer and energy results are functions of per-dataset
+//! box statistics (count, Σarea, union area). This module measures them on
+//! freshly generated scenes at a fixed reference resolution; the scene
+//! generator is scale-free so the area *fractions* transfer to any array
+//! size.
+
+use hirise_scene::{BoxStats, DatasetSpec, ObjectClass, SceneGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// ROI statistics of one dataset preset, as area fractions of the frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRoiStats {
+    /// Preset name.
+    pub dataset: &'static str,
+    /// Median boxes per image.
+    pub boxes: u64,
+    /// Median Σ(box area) / frame area.
+    pub sum_area_frac: f64,
+    /// Median union(box area) / frame area.
+    pub union_area_frac: f64,
+    /// Median box width as a fraction of frame width.
+    pub box_w_frac: f64,
+    /// Median box height as a fraction of frame height.
+    pub box_h_frac: f64,
+}
+
+impl DatasetRoiStats {
+    /// Measures the statistics over `images` scenes, filtered to `class`
+    /// (`None` = all non-head classes are kept in the measurement; head
+    /// boxes are what Table 3 needs, so pass `Some(Head)` there).
+    pub fn measure(
+        spec: &DatasetSpec,
+        class: Option<ObjectClass>,
+        images: usize,
+        seed: u64,
+    ) -> Self {
+        const W: u32 = 640;
+        const H: u32 = 480;
+        let generator = SceneGenerator::new(spec.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scenes: Vec<_> = (0..images).map(|_| generator.generate(W, H, &mut rng)).collect();
+        let stats = BoxStats::measure(&scenes, class);
+        DatasetRoiStats {
+            dataset: spec.name,
+            boxes: stats.median_count as u64,
+            sum_area_frac: stats.median_sum_area_frac,
+            union_area_frac: stats.median_union_area_frac,
+            box_w_frac: stats.median_box_w as f64 / W as f64,
+            box_h_frac: stats.median_box_h as f64 / H as f64,
+        }
+    }
+
+    /// Scales the fractional statistics to a concrete array size,
+    /// returning `(boxes, sum_area_px, union_area_px)`.
+    pub fn at_array(&self, n: u64, m: u64) -> (u64, u64, u64) {
+        let frame = (n * m) as f64;
+        (
+            self.boxes,
+            (self.sum_area_frac * frame) as u64,
+            (self.union_area_frac * frame) as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crowdhuman_matches_paper_targets() {
+        let s = DatasetRoiStats::measure(&DatasetSpec::crowdhuman_like(), Some(ObjectClass::Person), 12, 7);
+        assert!((s.sum_area_frac - 0.27).abs() < 0.09, "sum {}", s.sum_area_frac);
+        assert!(s.union_area_frac < s.sum_area_frac);
+        let (j, sum, union) = s.at_array(2560, 1920);
+        assert!(j >= 10 && j <= 22);
+        assert!(sum > union);
+    }
+
+    #[test]
+    fn head_stats_give_table3_roi_scale() {
+        let s = DatasetRoiStats::measure(&DatasetSpec::crowdhuman_like(), Some(ObjectClass::Head), 12, 7);
+        // Table 3: head ROI side ≈ 4.4 % of the array width.
+        assert!((s.box_w_frac - 0.044).abs() < 0.02, "w frac {}", s.box_w_frac);
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's Table-1 analytical model, bridged to concrete geometry.
+//!
+//! `hirise-energy` owns the closed-form arithmetic over scalar inputs;
+//! this module derives those inputs (`j`, `Σ W_i·H_i`, union area) from
+//! actual ROI rectangles and the system configuration, and can
+//! cross-check the closed forms against a measured [`RunReport`].
+
+use hirise_energy::{ColorChannels, CostBreakdown, RoiConversionModel, SystemParams};
+use hirise_imaging::rect::{sum_area, union_area};
+use hirise_imaging::Rect;
+use hirise_sensor::ColorMode;
+
+use crate::config::HiriseConfig;
+
+/// Closed-form cost model for one configuration + ROI set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticalModel {
+    params: SystemParams,
+}
+
+impl AnalyticalModel {
+    /// Builds the model from a configuration and the frame's ROI boxes.
+    pub fn new(config: &HiriseConfig, rois: &[Rect]) -> Self {
+        let stage1_color = match config.stage1_color {
+            ColorMode::Rgb => ColorChannels::Rgb,
+            ColorMode::Gray => ColorChannels::Gray,
+        };
+        let params = SystemParams {
+            n: config.array_width as u64,
+            m: config.array_height as u64,
+            p_adc: config.sensor.adc_bits as u64,
+            k: config.pooling_k as u64,
+            stage1_color,
+            boxes: rois.len() as u64,
+            sum_roi_area: sum_area(rois),
+            union_roi_area: union_area(rois),
+            roi_conversions: RoiConversionModel::Union,
+        };
+        Self { params }
+    }
+
+    /// The underlying scalar parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Conventional system costs (Table 1, row 1).
+    pub fn conventional(&self) -> CostBreakdown {
+        self.params.conventional()
+    }
+
+    /// HiRISE stage-1 costs.
+    pub fn stage1(&self) -> CostBreakdown {
+        self.params.hirise_stage1()
+    }
+
+    /// HiRISE stage-2 costs.
+    pub fn stage2(&self) -> CostBreakdown {
+        self.params.hirise_stage2()
+    }
+
+    /// Combined HiRISE costs (`D_new`, `Mem_new`, `C_new`).
+    pub fn hirise(&self) -> CostBreakdown {
+        self.params.hirise_total()
+    }
+
+    /// Data-transfer reduction factor `D_old / D_new`.
+    pub fn transfer_reduction(&self) -> f64 {
+        self.conventional().total_transfer_bits() as f64
+            / self.hirise().total_transfer_bits() as f64
+    }
+
+    /// Memory reduction factor `Mem_old / Mem_new`.
+    pub fn memory_reduction(&self) -> f64 {
+        self.conventional().memory_bytes as f64 / self.hirise().memory_bytes as f64
+    }
+
+    /// Conversion reduction factor `C_old / C_new`.
+    pub fn conversion_reduction(&self) -> f64 {
+        self.conventional().conversions as f64 / self.hirise().conversions as f64
+    }
+
+    /// Verifies the paper's three conditions (Eq. 1–3): the HiRISE costs
+    /// must all be strictly below the conventional ones.
+    pub fn satisfies_paper_conditions(&self) -> bool {
+        self.transfer_reduction() > 1.0
+            && self.memory_reduction() > 1.0
+            && self.conversion_reduction() > 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HiriseConfig;
+
+    fn model_with_rois() -> AnalyticalModel {
+        let config = HiriseConfig::paper_reference();
+        // 16 head-sized ROIs, Table-3 style (112×112 at 2560×1920).
+        let rois: Vec<Rect> = (0..16)
+            .map(|i| Rect::new(140 * i as u32, 100 + 90 * (i as u32 % 4), 112, 112))
+            .collect();
+        AnalyticalModel::new(&config, &rois)
+    }
+
+    #[test]
+    fn matches_table1_formulas() {
+        let m = model_with_rois();
+        let conv = m.conventional();
+        assert_eq!(conv.conversions, 2560 * 1920 * 3);
+        assert_eq!(conv.transfer_bits_s2p, 2560 * 1920 * 3 * 8);
+        let s1 = m.stage1();
+        assert_eq!(s1.conversions, (2560 * 1920 / 64) * 3);
+        let s2 = m.stage2();
+        assert_eq!(s2.transfer_bits_s2p, 3 * 8 * 16 * 112 * 112);
+    }
+
+    #[test]
+    fn paper_conditions_hold_for_reference_config() {
+        let m = model_with_rois();
+        assert!(m.satisfies_paper_conditions());
+        assert!(m.transfer_reduction() > 2.0);
+        assert!(m.memory_reduction() > 10.0);
+        assert!(m.conversion_reduction() > 10.0);
+    }
+
+    #[test]
+    fn disjoint_rois_make_union_equal_sum() {
+        let m = model_with_rois();
+        assert_eq!(m.params().sum_roi_area, m.params().union_roi_area);
+    }
+
+    #[test]
+    fn overlapping_rois_convert_less_than_they_transfer() {
+        let config = HiriseConfig::paper_reference();
+        let rois = [Rect::new(0, 0, 200, 200), Rect::new(100, 0, 200, 200)];
+        let m = AnalyticalModel::new(&config, &rois);
+        let s2 = m.stage2();
+        // Transfer counts both boxes; conversions count the union.
+        assert_eq!(s2.transfer_bits_s2p, 3 * 8 * 2 * 200 * 200);
+        assert_eq!(s2.conversions, 3 * 200 * 300);
+    }
+
+    #[test]
+    fn gray_mode_propagates_to_params() {
+        let config = HiriseConfig::builder(640, 480)
+            .pooling(2)
+            .stage1_color(ColorMode::Gray)
+            .build()
+            .unwrap();
+        let m = AnalyticalModel::new(&config, &[]);
+        assert_eq!(m.stage1().conversions, 640 * 480 / 4);
+    }
+}

@@ -1,0 +1,182 @@
+//! System configuration.
+
+use hirise_detect::DetectorConfig;
+use hirise_sensor::{ColorMode, SensorConfig};
+
+use crate::{HiriseError, Result};
+
+/// Complete configuration of a HiRISE system instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiriseConfig {
+    /// Pixel-array width `n`.
+    pub array_width: u32,
+    /// Pixel-array height `m`.
+    pub array_height: u32,
+    /// In-sensor pooling factor `k` (must tile the array).
+    pub pooling_k: u32,
+    /// Colour mode of the stage-1 compressed capture.
+    pub stage1_color: ColorMode,
+    /// Sensor physics (pixel, pooling circuit, ADC).
+    pub sensor: SensorConfig,
+    /// Stage-1 detector configuration.
+    pub detector: DetectorConfig,
+    /// Maximum number of ROIs requested from the sensor per frame.
+    pub max_rois: usize,
+    /// Margin added around each detected box before ROI readout, in
+    /// full-resolution pixels (context for the stage-2 model).
+    pub roi_margin: u32,
+}
+
+impl HiriseConfig {
+    /// Starts building a configuration for an `n × m` pixel array.
+    pub fn builder(array_width: u32, array_height: u32) -> HiriseConfigBuilder {
+        HiriseConfigBuilder {
+            config: HiriseConfig {
+                array_width,
+                array_height,
+                pooling_k: 8,
+                stage1_color: ColorMode::Rgb,
+                sensor: SensorConfig::default(),
+                detector: DetectorConfig::default(),
+                max_rois: 32,
+                roi_margin: 0,
+            },
+        }
+    }
+
+    /// The paper's reference configuration: 2560×1920 array, 8×8 pooling
+    /// to a 320×240 stage-1 image, RGB.
+    pub fn paper_reference() -> Self {
+        Self::builder(2560, 1920).pooling(8).build().expect("static configuration is valid")
+    }
+
+    /// Stage-1 image dimensions after pooling.
+    pub fn pooled_dimensions(&self) -> (u32, u32) {
+        (self.array_width / self.pooling_k, self.array_height / self.pooling_k)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.array_width == 0 || self.array_height == 0 {
+            return Err(HiriseError::InvalidConfig { reason: "zero array dimension".into() });
+        }
+        if self.pooling_k == 0
+            || self.array_width % self.pooling_k != 0
+            || self.array_height % self.pooling_k != 0
+        {
+            return Err(HiriseError::InvalidConfig {
+                reason: format!(
+                    "pooling {} does not tile {}x{}",
+                    self.pooling_k, self.array_width, self.array_height
+                ),
+            });
+        }
+        if self.max_rois == 0 {
+            return Err(HiriseError::InvalidConfig { reason: "max_rois must be positive".into() });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`HiriseConfig`] (non-consuming terminal `build`).
+#[derive(Debug, Clone)]
+pub struct HiriseConfigBuilder {
+    config: HiriseConfig,
+}
+
+impl HiriseConfigBuilder {
+    /// Sets the pooling factor `k`.
+    pub fn pooling(mut self, k: u32) -> Self {
+        self.config.pooling_k = k;
+        self
+    }
+
+    /// Sets the stage-1 colour mode.
+    pub fn stage1_color(mut self, mode: ColorMode) -> Self {
+        self.config.stage1_color = mode;
+        self
+    }
+
+    /// Replaces the sensor physics configuration.
+    pub fn sensor(mut self, sensor: SensorConfig) -> Self {
+        self.config.sensor = sensor;
+        self
+    }
+
+    /// Replaces the detector configuration.
+    pub fn detector(mut self, detector: DetectorConfig) -> Self {
+        self.config.detector = detector;
+        self
+    }
+
+    /// Sets the per-frame ROI cap.
+    pub fn max_rois(mut self, max: usize) -> Self {
+        self.config.max_rois = max;
+        self
+    }
+
+    /// Sets the ROI context margin (full-resolution pixels).
+    pub fn roi_margin(mut self, margin: u32) -> Self {
+        self.config.roi_margin = margin;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`HiriseError::InvalidConfig`] when the pooling factor does not
+    /// tile the array, a dimension is zero, or `max_rois == 0`.
+    pub fn build(self) -> Result<HiriseConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_to_paper_flavour() {
+        let c = HiriseConfig::builder(2560, 1920).build().unwrap();
+        assert_eq!(c.pooling_k, 8);
+        assert_eq!(c.stage1_color, ColorMode::Rgb);
+        assert_eq!(c.pooled_dimensions(), (320, 240));
+    }
+
+    #[test]
+    fn paper_reference_is_valid() {
+        let c = HiriseConfig::paper_reference();
+        assert_eq!((c.array_width, c.array_height), (2560, 1920));
+        assert_eq!(c.pooled_dimensions(), (320, 240));
+    }
+
+    #[test]
+    fn rejects_non_tiling_pooling() {
+        assert!(HiriseConfig::builder(100, 100).pooling(3).build().is_err());
+        assert!(HiriseConfig::builder(100, 100).pooling(0).build().is_err());
+        assert!(HiriseConfig::builder(100, 100).pooling(4).build().is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_values() {
+        assert!(HiriseConfig::builder(0, 100).build().is_err());
+        assert!(HiriseConfig::builder(100, 100).max_rois(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = HiriseConfig::builder(640, 480)
+            .pooling(2)
+            .stage1_color(ColorMode::Gray)
+            .max_rois(5)
+            .roi_margin(4)
+            .build()
+            .unwrap();
+        assert_eq!(c.pooling_k, 2);
+        assert_eq!(c.stage1_color, ColorMode::Gray);
+        assert_eq!(c.max_rois, 5);
+        assert_eq!(c.roi_margin, 4);
+        assert_eq!(c.pooled_dimensions(), (320, 240));
+    }
+}

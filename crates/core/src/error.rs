@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+use hirise_imaging::ImagingError;
+use hirise_sensor::SensorError;
+
+/// Error type for the HiRISE core library.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HiriseError {
+    /// The configuration is inconsistent (pooling does not tile the array,
+    /// zero dimensions, ...).
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The provided scene does not match the configured pixel array.
+    SceneMismatch {
+        /// Expected array dimensions.
+        expected: (u32, u32),
+        /// Provided scene dimensions.
+        actual: (u32, u32),
+    },
+    /// Propagated sensor failure.
+    Sensor(SensorError),
+    /// Propagated imaging failure.
+    Imaging(ImagingError),
+}
+
+impl fmt::Display for HiriseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HiriseError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            HiriseError::SceneMismatch { expected, actual } => write!(
+                f,
+                "scene is {}x{} but the pixel array is {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            HiriseError::Sensor(e) => write!(f, "sensor error: {e}"),
+            HiriseError::Imaging(e) => write!(f, "imaging error: {e}"),
+        }
+    }
+}
+
+impl Error for HiriseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HiriseError::Sensor(e) => Some(e),
+            HiriseError::Imaging(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SensorError> for HiriseError {
+    fn from(e: SensorError) -> Self {
+        HiriseError::Sensor(e)
+    }
+}
+
+impl From<ImagingError> for HiriseError {
+    fn from(e: ImagingError) -> Self {
+        HiriseError::Imaging(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = HiriseError::InvalidConfig { reason: "k does not tile".into() };
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.source().is_none());
+        let s: HiriseError =
+            SensorError::InvalidConfig { parameter: "bits", value: 0.0 }.into();
+        assert!(s.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<HiriseError>();
+    }
+}

@@ -1,0 +1,220 @@
+//! The end-to-end HiRISE two-stage pipeline.
+
+use hirise_detect::{Detection, Detector};
+use hirise_imaging::{Image, Rect, RgbImage};
+use hirise_sensor::{ReadoutStats, Sensor};
+
+use crate::config::HiriseConfig;
+use crate::report::RunReport;
+use crate::roi::detections_to_rois;
+use crate::{HiriseError, Result};
+
+/// Everything one frame produced.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// The stage-1 compressed image as the processor received it.
+    pub pooled_image: Image,
+    /// Stage-1 detections in pooled coordinates.
+    pub detections: Vec<Detection>,
+    /// The full-resolution ROI rectangles requested from the sensor.
+    pub rois: Vec<Rect>,
+    /// The full-resolution ROI crops the sensor returned.
+    pub roi_images: Vec<RgbImage>,
+    /// Cost accounting for the whole frame.
+    pub report: RunReport,
+}
+
+/// The HiRISE two-stage pipeline.
+///
+/// Owns a [`HiriseConfig`] and a stage-1 [`Detector`]; each call to
+/// [`HirisePipeline::run`] captures one scene on a fresh [`Sensor`] and
+/// executes both stages.
+#[derive(Debug, Clone)]
+pub struct HirisePipeline {
+    config: HiriseConfig,
+    detector: Detector,
+}
+
+impl HirisePipeline {
+    /// Creates a pipeline from a configuration (the detector settings are
+    /// taken from [`HiriseConfig::detector`]).
+    pub fn new(config: HiriseConfig) -> Self {
+        let detector = Detector::new(config.detector.clone());
+        Self { config, detector }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HiriseConfig {
+        &self.config
+    }
+
+    /// Mutable detector access (threshold calibration et al.).
+    pub fn detector_mut(&mut self) -> &mut Detector {
+        &mut self.detector
+    }
+
+    /// Shared detector access.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    fn check_scene(&self, scene: &RgbImage) -> Result<()> {
+        let expected = (self.config.array_width, self.config.array_height);
+        if scene.dimensions() != expected {
+            return Err(HiriseError::SceneMismatch { expected, actual: scene.dimensions() });
+        }
+        Ok(())
+    }
+
+    /// Runs stage 1 only: in-sensor compressed capture + detection.
+    ///
+    /// # Errors
+    ///
+    /// [`HiriseError::SceneMismatch`] for wrongly sized scenes, plus sensor
+    /// failures.
+    pub fn run_stage1(
+        &self,
+        scene: &RgbImage,
+    ) -> Result<(Image, Vec<Detection>, ReadoutStats)> {
+        self.check_scene(scene)?;
+        let mut sensor = Sensor::new(scene.clone(), self.config.sensor);
+        let (pooled, stats) =
+            sensor.capture_pooled(self.config.pooling_k, self.config.stage1_color)?;
+        let detections = self.detector.detect(&pooled);
+        Ok((pooled, detections, stats))
+    }
+
+    /// Runs the full two-stage pipeline on one scene.
+    ///
+    /// # Errors
+    ///
+    /// [`HiriseError::SceneMismatch`] for wrongly sized scenes, plus sensor
+    /// failures.
+    pub fn run(&self, scene: &RgbImage) -> Result<PipelineRun> {
+        self.check_scene(scene)?;
+        let mut sensor = Sensor::new(scene.clone(), self.config.sensor);
+        let (pooled, stage1_stats) =
+            sensor.capture_pooled(self.config.pooling_k, self.config.stage1_color)?;
+        let detections = self.detector.detect(&pooled);
+        let rois = detections_to_rois(
+            &detections,
+            self.config.pooling_k,
+            self.config.roi_margin,
+            self.config.array_width,
+            self.config.array_height,
+            self.config.max_rois,
+        );
+        let (roi_images, stage2_stats) = sensor.read_rois(&rois)?;
+
+        let stage1_image_bytes = pooled.storage_bytes(self.config.sensor.adc_bits);
+        let stage2_image_bytes: u64 = roi_images
+            .iter()
+            .map(|img| Image::Rgb(img.clone()).storage_bytes(self.config.sensor.adc_bits))
+            .sum();
+        let report = RunReport {
+            stage1: stage1_stats,
+            stage2: stage2_stats,
+            pooling_outputs: stage1_stats.conversions,
+            stage1_image_bytes,
+            stage2_image_bytes,
+            roi_count: rois.len(),
+        };
+        Ok(PipelineRun { pooled_image: pooled, detections, rois, roi_images, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HiriseConfig;
+    use hirise_imaging::draw;
+    use hirise_sensor::{ColorMode, SensorConfig};
+
+    /// A scene with one bright textured object on a dim background.
+    fn scene_with_object(w: u32, h: u32) -> RgbImage {
+        let mut img = RgbImage::from_fn(w, h, |_, _| (0.35, 0.35, 0.35));
+        let obj = Rect::new(w / 3, h / 4, w / 6, h / 2);
+        draw::fill_rect_rgb(&mut img, obj, (0.9, 0.4, 0.2));
+        let [pr, _, _] = img.planes_mut();
+        draw::fill_stripes(pr, obj, 2, 0.95, 0.55);
+        img
+    }
+
+    fn small_config() -> HiriseConfig {
+        let mut detector = hirise_detect::DetectorConfig::default();
+        detector.score_threshold = 0.2;
+        HiriseConfig::builder(192, 144)
+            .pooling(2)
+            .sensor(SensorConfig::noiseless())
+            .detector(detector)
+            .max_rois(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_scene() {
+        let pipeline = HirisePipeline::new(small_config());
+        let wrong = RgbImage::new(64, 64);
+        assert!(matches!(
+            pipeline.run(&wrong),
+            Err(HiriseError::SceneMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn full_run_produces_rois_and_accounting() {
+        let pipeline = HirisePipeline::new(small_config());
+        let scene = scene_with_object(192, 144);
+        let run = pipeline.run(&scene).unwrap();
+        assert_eq!(run.pooled_image.width(), 96);
+        assert!(!run.detections.is_empty(), "stage-1 found nothing");
+        assert_eq!(run.rois.len(), run.roi_images.len());
+        assert!(run.report.stage1.conversions > 0);
+        // Stage-1 conversions: pooled RGB image.
+        assert_eq!(run.report.stage1.conversions, 96 * 72 * 3);
+        // HiRISE moved less data than a full readout would have.
+        let full_bits = 192 * 144 * 3 * 8;
+        assert!(run.report.total_transfer_bits() < full_bits);
+    }
+
+    #[test]
+    fn roi_crop_contains_the_object() {
+        let pipeline = HirisePipeline::new(small_config());
+        let scene = scene_with_object(192, 144);
+        let run = pipeline.run(&scene).unwrap();
+        let object = Rect::new(192 / 3, 144 / 4, 192 / 6, 144 / 2);
+        let best = run.rois.iter().map(|r| r.iou(&object)).fold(0.0, f64::max);
+        assert!(best > 0.3, "no roi matches the object (best IoU {best})");
+    }
+
+    #[test]
+    fn gray_mode_cuts_stage1_conversions() {
+        let mut cfg = small_config();
+        cfg.stage1_color = ColorMode::Gray;
+        let pipeline = HirisePipeline::new(cfg);
+        let scene = scene_with_object(192, 144);
+        let (pooled, _, stats) = pipeline.run_stage1(&scene).unwrap();
+        assert_eq!(pooled.channels(), 1);
+        assert_eq!(stats.conversions, 96 * 72);
+    }
+
+    #[test]
+    fn max_rois_is_respected() {
+        let mut cfg = small_config();
+        cfg.max_rois = 1;
+        let pipeline = HirisePipeline::new(cfg);
+        let run = pipeline.run(&scene_with_object(192, 144)).unwrap();
+        assert!(run.rois.len() <= 1);
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let pipeline = HirisePipeline::new(small_config());
+        let scene = scene_with_object(192, 144);
+        let a = pipeline.run(&scene).unwrap();
+        let b = pipeline.run(&scene).unwrap();
+        assert_eq!(a.rois, b.rois);
+        assert_eq!(a.report, b.report);
+    }
+}

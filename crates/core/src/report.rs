@@ -1,0 +1,120 @@
+//! Per-run cost reporting aligned with the paper's metrics.
+
+use std::fmt;
+
+use hirise_energy::{AdcEnergy, PoolingEnergy};
+use hirise_sensor::ReadoutStats;
+
+/// Aggregated costs of one pipeline run, in the units the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Stage-1 readout counters (pooled capture).
+    pub stage1: ReadoutStats,
+    /// Stage-2 readout counters (ROI batch).
+    pub stage2: ReadoutStats,
+    /// Analog pooling outputs produced in stage 1.
+    pub pooling_outputs: u64,
+    /// Bytes the processor must hold for the stage-1 image.
+    pub stage1_image_bytes: u64,
+    /// Bytes the processor must hold for the ROI batch.
+    pub stage2_image_bytes: u64,
+    /// Number of ROIs read.
+    pub roi_count: usize,
+}
+
+impl RunReport {
+    /// Total ADC conversions.
+    pub fn conversions(&self) -> u64 {
+        self.stage1.conversions + self.stage2.conversions
+    }
+
+    /// Total transfer in both directions, bits (the paper's `D_new`).
+    pub fn total_transfer_bits(&self) -> u64 {
+        self.stage1.total_transfer_bits() + self.stage2.total_transfer_bits()
+    }
+
+    /// Total transfer in kilobytes.
+    pub fn total_transfer_kb(&self) -> f64 {
+        self.total_transfer_bits() as f64 / 8000.0
+    }
+
+    /// Peak image memory (`max(M1, M2)` — the pooled image is released
+    /// before the ROIs arrive).
+    pub fn peak_image_bytes(&self) -> u64 {
+        self.stage1_image_bytes.max(self.stage2_image_bytes)
+    }
+
+    /// Sensor-side energy (ADC + pooling circuit), joules.
+    pub fn sensor_energy_joules(&self, adc: &AdcEnergy, pooling: &PoolingEnergy) -> f64 {
+        adc.energy_joules(self.conversions()) + pooling.energy_joules(self.pooling_outputs)
+    }
+
+    /// Sensor-side energy in millijoules with the paper's calibrated
+    /// models.
+    pub fn sensor_energy_mj_default(&self) -> f64 {
+        self.sensor_energy_joules(&AdcEnergy::PAPER_45NM_8BIT, &PoolingEnergy::PAPER_45NM) * 1e3
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "hirise run: {} rois, {} conversions, transfer {:.1} kB, peak image {:.1} kB, sensor energy {:.3} mJ",
+            self.roi_count,
+            self.conversions(),
+            self.total_transfer_kb(),
+            self.peak_image_bytes() as f64 / 1000.0,
+            self.sensor_energy_mj_default()
+        )?;
+        write!(
+            f,
+            "  stage-1: {} conv / {:.1} kB out; stage-2: {} conv / {:.1} kB out / {} B box coords",
+            self.stage1.conversions,
+            self.stage1.transferred_bits as f64 / 8000.0,
+            self.stage2.conversions,
+            self.stage2.transferred_bits as f64 / 8000.0,
+            self.stage2.box_words_bits / 8
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            stage1: ReadoutStats { conversions: 1000, transferred_bits: 8000, box_words_bits: 0 },
+            stage2: ReadoutStats { conversions: 300, transferred_bits: 3200, box_words_bits: 128 },
+            pooling_outputs: 1000,
+            stage1_image_bytes: 1000,
+            stage2_image_bytes: 400,
+            roi_count: 2,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = report();
+        assert_eq!(r.conversions(), 1300);
+        assert_eq!(r.total_transfer_bits(), 8000 + 3200 + 128);
+        assert_eq!(r.peak_image_bytes(), 1000);
+    }
+
+    #[test]
+    fn energy_combines_adc_and_pooling() {
+        let r = report();
+        let adc = AdcEnergy { joules_per_conversion: 1.0 };
+        let pool = PoolingEnergy { joules_per_output: 0.5 };
+        assert!((r.sensor_energy_joules(&adc, &pool) - (1300.0 + 500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let text = report().to_string();
+        assert!(text.contains("2 rois"));
+        assert!(text.contains("1300 conversions"));
+        assert!(text.contains("stage-2"));
+    }
+}

@@ -1,0 +1,91 @@
+//! ROI handling: mapping stage-1 detections (pooled coordinates) back to
+//! full-resolution sensor rectangles.
+
+use hirise_detect::Detection;
+use hirise_imaging::Rect;
+
+/// Converts stage-1 detections into the ROI list sent back to the sensor.
+///
+/// * boxes are scaled up by the pooling factor `k`,
+/// * inflated by `margin` full-resolution pixels of context,
+/// * clamped to the array,
+/// * sorted by descending detector score and truncated to `max_rois`,
+/// * degenerate boxes are dropped.
+pub fn detections_to_rois(
+    detections: &[Detection],
+    k: u32,
+    margin: u32,
+    array_width: u32,
+    array_height: u32,
+    max_rois: usize,
+) -> Vec<Rect> {
+    let mut ordered: Vec<&Detection> = detections.iter().collect();
+    ordered.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    ordered
+        .into_iter()
+        .map(|d| d.bbox.scaled(k, 1).inflated(margin).clamped(array_width, array_height))
+        .filter(|r| !r.is_degenerate())
+        .take(max_rois)
+        .collect()
+}
+
+/// Bits needed to ship `j` box coordinates processor→sensor
+/// (`j · 4 words · 16 bit`, the paper's `D1_P→S`).
+pub fn roi_request_bits(count: usize) -> u64 {
+    count as u64 * hirise_sensor::roi::WORDS_PER_BOX * hirise_sensor::roi::WORD_BITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(x: u32, y: u32, w: u32, h: u32, score: f32) -> Detection {
+        Detection { class: 0, bbox: Rect::new(x, y, w, h), score }
+    }
+
+    #[test]
+    fn scales_by_pooling_factor() {
+        let rois = detections_to_rois(&[det(10, 20, 14, 14, 0.9)], 8, 0, 2560, 1920, 10);
+        assert_eq!(rois, vec![Rect::new(80, 160, 112, 112)]);
+    }
+
+    #[test]
+    fn sorts_by_score_and_truncates() {
+        let dets = [
+            det(0, 0, 4, 4, 0.2),
+            det(8, 0, 4, 4, 0.9),
+            det(16, 0, 4, 4, 0.5),
+        ];
+        let rois = detections_to_rois(&dets, 1, 0, 100, 100, 2);
+        assert_eq!(rois.len(), 2);
+        assert_eq!(rois[0].x, 8);
+        assert_eq!(rois[1].x, 16);
+    }
+
+    #[test]
+    fn margin_inflates_before_clamping() {
+        let rois = detections_to_rois(&[det(0, 0, 4, 4, 1.0)], 2, 3, 20, 20, 10);
+        // Scaled to (0,0,8,8), inflated by 3 -> (0,0,11,11) after the
+        // top-left clamp at zero.
+        assert_eq!(rois[0], Rect::new(0, 0, 11, 11));
+    }
+
+    #[test]
+    fn clamps_to_array_bounds() {
+        let rois = detections_to_rois(&[det(30, 30, 10, 10, 1.0)], 1, 0, 32, 32, 10);
+        assert_eq!(rois[0], Rect::new(30, 30, 2, 2));
+    }
+
+    #[test]
+    fn drops_fully_outside_boxes() {
+        let rois = detections_to_rois(&[det(50, 50, 4, 4, 1.0)], 1, 0, 32, 32, 10);
+        assert!(rois.is_empty());
+    }
+
+    #[test]
+    fn request_bits_formula() {
+        assert_eq!(roi_request_bits(0), 0);
+        assert_eq!(roi_request_bits(1), 64);
+        assert_eq!(roi_request_bits(16), 1024);
+    }
+}

@@ -1,0 +1,294 @@
+//! Detection evaluation: greedy IoU matching, precision/recall and
+//! COCO-style 101-point interpolated average precision.
+
+use std::collections::HashMap;
+
+use hirise_imaging::Rect;
+
+/// One predicted box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Predicted class id.
+    pub class: usize,
+    /// Predicted box.
+    pub bbox: Rect,
+    /// Confidence score (higher = more confident).
+    pub score: f32,
+}
+
+/// One ground-truth box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// True class id.
+    pub class: usize,
+    /// True box.
+    pub bbox: Rect,
+}
+
+/// Per-class APs and their mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// `(class id, AP)` for every class present in the ground truth,
+    /// sorted by class id.
+    pub per_class: Vec<(usize, f64)>,
+    /// Mean AP over those classes.
+    pub map: f64,
+}
+
+impl EvalResult {
+    /// AP of a single class, if evaluated.
+    pub fn ap(&self, class: usize) -> Option<f64> {
+        self.per_class.iter().find(|(c, _)| *c == class).map(|(_, ap)| *ap)
+    }
+}
+
+/// Average precision for one class at one IoU threshold, over a set of
+/// images (`detections[i]` and `ground_truths[i]` belong to image `i`).
+///
+/// Matching is COCO-style greedy: detections are visited in descending
+/// score order; each claims the highest-IoU unmatched ground-truth box of
+/// its class in its image, provided IoU ≥ `iou_threshold`. AP integrates
+/// the precision envelope over 101 recall points.
+///
+/// Returns 0 when the class has no ground-truth instances.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn average_precision(
+    detections: &[Vec<Detection>],
+    ground_truths: &[Vec<GroundTruth>],
+    class: usize,
+    iou_threshold: f64,
+) -> f64 {
+    assert_eq!(
+        detections.len(),
+        ground_truths.len(),
+        "detections and ground truths must cover the same images"
+    );
+    let total_gt: usize = ground_truths
+        .iter()
+        .map(|g| g.iter().filter(|b| b.class == class).count())
+        .sum();
+    if total_gt == 0 {
+        return 0.0;
+    }
+
+    // Flatten detections of this class with their image index.
+    let mut flat: Vec<(usize, Detection)> = Vec::new();
+    for (img, dets) in detections.iter().enumerate() {
+        for d in dets.iter().filter(|d| d.class == class) {
+            flat.push((img, *d));
+        }
+    }
+    flat.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).expect("finite scores"));
+
+    let mut matched: HashMap<(usize, usize), bool> = HashMap::new();
+    let mut tp = vec![0u32; flat.len()];
+    let mut fp = vec![0u32; flat.len()];
+    for (rank, (img, det)) in flat.iter().enumerate() {
+        let gts = &ground_truths[*img];
+        let mut best: Option<(usize, f64)> = None;
+        for (gi, gt) in gts.iter().enumerate() {
+            if gt.class != class || matched.contains_key(&(*img, gi)) {
+                continue;
+            }
+            let iou = det.bbox.iou(&gt.bbox);
+            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                best = Some((gi, iou));
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                matched.insert((*img, gi), true);
+                tp[rank] = 1;
+            }
+            None => fp[rank] = 1,
+        }
+    }
+
+    // Cumulative precision/recall.
+    let mut cum_tp = 0u32;
+    let mut cum_fp = 0u32;
+    let mut precisions = Vec::with_capacity(flat.len());
+    let mut recalls = Vec::with_capacity(flat.len());
+    for i in 0..flat.len() {
+        cum_tp += tp[i];
+        cum_fp += fp[i];
+        precisions.push(cum_tp as f64 / (cum_tp + cum_fp) as f64);
+        recalls.push(cum_tp as f64 / total_gt as f64);
+    }
+
+    // Precision envelope (monotone non-increasing from the right).
+    for i in (0..precisions.len().saturating_sub(1)).rev() {
+        if precisions[i] < precisions[i + 1] {
+            precisions[i] = precisions[i + 1];
+        }
+    }
+
+    // 101-point interpolation.
+    let mut ap = 0.0;
+    for step in 0..=100 {
+        let r = step as f64 / 100.0;
+        let p = recalls
+            .iter()
+            .position(|&rec| rec >= r)
+            .map_or(0.0, |idx| precisions[idx]);
+        ap += p;
+    }
+    ap / 101.0
+}
+
+/// Evaluates every class present in the ground truth at one IoU threshold
+/// (the paper's tables report mAP@0.5-style numbers).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn evaluate(
+    detections: &[Vec<Detection>],
+    ground_truths: &[Vec<GroundTruth>],
+    iou_threshold: f64,
+) -> EvalResult {
+    let mut classes: Vec<usize> = ground_truths
+        .iter()
+        .flat_map(|g| g.iter().map(|b| b.class))
+        .collect();
+    classes.sort_unstable();
+    classes.dedup();
+    let per_class: Vec<(usize, f64)> = classes
+        .iter()
+        .map(|&c| (c, average_precision(detections, ground_truths, c, iou_threshold)))
+        .collect();
+    let map = if per_class.is_empty() {
+        0.0
+    } else {
+        per_class.iter().map(|(_, ap)| ap).sum::<f64>() / per_class.len() as f64
+    };
+    EvalResult { per_class, map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(class: usize, x: u32, y: u32, w: u32, h: u32) -> GroundTruth {
+        GroundTruth { class, bbox: Rect::new(x, y, w, h) }
+    }
+
+    fn det(class: usize, x: u32, y: u32, w: u32, h: u32, score: f32) -> Detection {
+        Detection { class, bbox: Rect::new(x, y, w, h), score }
+    }
+
+    #[test]
+    fn perfect_detector_scores_one() {
+        let gts = vec![vec![gt(0, 10, 10, 20, 20), gt(0, 50, 50, 10, 10)]];
+        let dets = vec![vec![det(0, 10, 10, 20, 20, 0.9), det(0, 50, 50, 10, 10, 0.8)]];
+        let ap = average_precision(&dets, &gts, 0, 0.5);
+        assert!(ap > 0.999, "ap {ap}");
+    }
+
+    #[test]
+    fn no_detections_scores_zero() {
+        let gts = vec![vec![gt(0, 10, 10, 20, 20)]];
+        let dets: Vec<Vec<Detection>> = vec![vec![]];
+        assert_eq!(average_precision(&dets, &gts, 0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn all_false_positives_score_zero() {
+        let gts = vec![vec![gt(0, 10, 10, 20, 20)]];
+        let dets = vec![vec![det(0, 100, 100, 20, 20, 0.9)]];
+        assert_eq!(average_precision(&dets, &gts, 0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn half_recall_halves_ap() {
+        // Two GTs, one perfect detection, no FPs: AP ≈ recall = 0.5.
+        let gts = vec![vec![gt(0, 10, 10, 20, 20), gt(0, 100, 100, 20, 20)]];
+        let dets = vec![vec![det(0, 10, 10, 20, 20, 0.9)]];
+        let ap = average_precision(&dets, &gts, 0, 0.5);
+        assert!((ap - 0.5).abs() < 0.02, "ap {ap}");
+    }
+
+    #[test]
+    fn duplicate_detections_count_as_fp() {
+        let gts = vec![vec![gt(0, 10, 10, 20, 20)]];
+        // Two identical detections: second is a duplicate -> FP at rank 2.
+        let dets = vec![vec![det(0, 10, 10, 20, 20, 0.9), det(0, 11, 11, 20, 20, 0.8)]];
+        let ap = average_precision(&dets, &gts, 0, 0.5);
+        // Recall reaches 1.0 at precision 1.0 before the duplicate; the
+        // envelope keeps AP at 1.0.
+        assert!(ap > 0.99);
+        // But precision at full depth is 0.5 — verify through evaluate on a
+        // second image where the duplicate outranks the true positive.
+        let gts2 = vec![vec![gt(0, 10, 10, 20, 20)]];
+        let dets2 = vec![vec![det(0, 100, 100, 20, 20, 0.95), det(0, 10, 10, 20, 20, 0.8)]];
+        let ap2 = average_precision(&dets2, &gts2, 0, 0.5);
+        assert!((ap2 - 0.5).abs() < 0.02, "ap2 {ap2}");
+    }
+
+    #[test]
+    fn iou_threshold_gates_matches() {
+        let gts = vec![vec![gt(0, 0, 0, 10, 10)]];
+        // Offset box: intersection 60, union 140 -> IoU ≈ 0.43.
+        let dets = vec![vec![det(0, 0, 4, 10, 10, 0.9)]];
+        assert_eq!(average_precision(&dets, &gts, 0, 0.5), 0.0);
+        let ap_low = average_precision(&dets, &gts, 0, 0.4);
+        assert!(ap_low > 0.99);
+    }
+
+    #[test]
+    fn class_confusion_is_punished() {
+        let gts = vec![vec![gt(1, 10, 10, 20, 20)]];
+        let dets = vec![vec![det(0, 10, 10, 20, 20, 0.9)]];
+        // Wrong class: AP for class 1 is 0 (no detection), class 0 has no GT.
+        assert_eq!(average_precision(&dets, &gts, 1, 0.5), 0.0);
+        assert_eq!(average_precision(&dets, &gts, 0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn evaluate_averages_over_present_classes() {
+        let gts = vec![vec![gt(0, 10, 10, 20, 20), gt(3, 50, 50, 20, 20)]];
+        let dets = vec![vec![det(0, 10, 10, 20, 20, 0.9)]];
+        let result = evaluate(&dets, &gts, 0.5);
+        assert_eq!(result.per_class.len(), 2);
+        assert!(result.ap(0).unwrap() > 0.99);
+        assert_eq!(result.ap(3).unwrap(), 0.0);
+        assert!((result.map - 0.5).abs() < 0.01);
+        assert_eq!(result.ap(7), None);
+    }
+
+    #[test]
+    fn greedy_matching_prefers_higher_iou() {
+        // One detection overlapping two GTs: must claim the higher-IoU one.
+        let gts = vec![vec![gt(0, 0, 0, 10, 10), gt(0, 2, 0, 10, 10)]];
+        let dets = vec![vec![det(0, 2, 0, 10, 10, 0.9), det(0, 0, 0, 10, 10, 0.8)]];
+        let ap = average_precision(&dets, &gts, 0, 0.5);
+        assert!(ap > 0.99, "both GTs should be matched, ap {ap}");
+    }
+
+    #[test]
+    fn multi_image_evaluation() {
+        let gts = vec![
+            vec![gt(0, 10, 10, 20, 20)],
+            vec![gt(0, 30, 30, 20, 20)],
+            vec![gt(0, 50, 50, 20, 20)],
+        ];
+        let dets = vec![
+            vec![det(0, 10, 10, 20, 20, 0.9)],
+            vec![],
+            vec![det(0, 50, 50, 20, 20, 0.7)],
+        ];
+        let ap = average_precision(&dets, &gts, 0, 0.5);
+        assert!((ap - 2.0 / 3.0).abs() < 0.02, "ap {ap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same images")]
+    fn mismatched_lengths_panic() {
+        let gts = vec![vec![gt(0, 0, 0, 4, 4)]];
+        let dets: Vec<Vec<Detection>> = vec![vec![], vec![]];
+        average_precision(&dets, &gts, 0, 0.5);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-image feature maps consumed by the sliding-window detector.
+
+use hirise_imaging::{color, Image, Plane, Rect};
+
+use crate::integral::{window_variance, IntegralImage};
+
+/// Gradient-magnitude map (L1 of central differences), the detector's
+/// texture/edge-energy cue. Fine textures (hair, cloth weave) dominate this
+/// map at high resolution and vanish under pooling — the mechanism behind
+/// the paper's accuracy-vs-resolution trend.
+pub fn gradient_magnitude(luma: &Plane) -> Plane {
+    let (w, h) = luma.dimensions();
+    Plane::from_fn(w, h, |x, y| {
+        let xm = luma.get(x.saturating_sub(1), y);
+        let xp = luma.get((x + 1).min(w - 1), y);
+        let ym = luma.get(x, y.saturating_sub(1));
+        let yp = luma.get(x, (y + 1).min(h - 1));
+        ((xp - xm).abs() + (yp - ym).abs()) * 0.5
+    })
+}
+
+/// Gradient magnitude above which a pixel counts as "active" for the fill
+/// cue.
+const ACTIVE_GRAD_THRESHOLD: f32 = 0.02;
+
+/// Saturation above which a pixel counts as "active" (RGB inputs only).
+const ACTIVE_SAT_THRESHOLD: f32 = 0.15;
+
+/// Precomputed integral-image stack for one input image.
+#[derive(Debug, Clone)]
+pub struct FeatureMaps {
+    width: u32,
+    height: u32,
+    luma: IntegralImage,
+    luma_sq: IntegralImage,
+    grad: IntegralImage,
+    saturation: Option<IntegralImage>,
+    /// Integral of the binary "active" mask (textured or colour-saturated
+    /// pixels). `mean` over a window gives the *fill* — how much of the
+    /// window is covered by object-like content. Loose boxes and boxes
+    /// spanning several objects have low fill.
+    active: IntegralImage,
+}
+
+/// Summary statistics of one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowFeatures {
+    /// Mean luminance inside the window.
+    pub mean: f64,
+    /// Luminance standard deviation inside the window.
+    pub stddev: f64,
+    /// Mean gradient magnitude (texture energy).
+    pub texture: f64,
+    /// Minimum over the four side rings of |mean(window) − mean(ring)| —
+    /// blob contrast that must hold on every side.
+    pub contrast: f64,
+    /// Mean colour saturation (0 in gray mode).
+    pub saturation: f64,
+    /// Mean gradient energy of the side rings. A box tightly enclosing an
+    /// object sits on quiet background, so this is low; a box straddling
+    /// an object edge or placed inside texture has noisy rings. Used as a
+    /// score penalty.
+    pub ring_texture: f64,
+    /// Fraction of window pixels that are "active" (textured or saturated).
+    /// Tight single-object boxes approach 1; loose boxes and multi-object
+    /// cluster boxes contain background gaps and score lower.
+    pub fill: f64,
+}
+
+impl FeatureMaps {
+    /// Builds the stack. RGB inputs also get a saturation map; gray inputs
+    /// report zero saturation (which is exactly the cue the paper's
+    /// grayscale mode loses).
+    pub fn new(image: &Image) -> Self {
+        let luma_plane = color::to_gray(image).into_plane();
+        let grad_plane = gradient_magnitude(&luma_plane);
+        let sat_plane = image.as_rgb().map(color::saturation);
+        let (w, h) = luma_plane.dimensions();
+        let active = IntegralImage::from_fn(w, h, |x, y| {
+            let textured = grad_plane.get(x, y) > ACTIVE_GRAD_THRESHOLD;
+            let colored = sat_plane
+                .as_ref()
+                .map_or(false, |s| s.get(x, y) > ACTIVE_SAT_THRESHOLD);
+            if textured || colored {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        Self {
+            width: w,
+            height: h,
+            luma: IntegralImage::new(&luma_plane),
+            luma_sq: IntegralImage::squared(&luma_plane),
+            grad: IntegralImage::new(&grad_plane),
+            saturation: sat_plane.map(|s| IntegralImage::new(&s)),
+            active,
+        }
+    }
+
+    /// Source image width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Source image height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Whether a colour-saturation cue is available.
+    pub fn has_color(&self) -> bool {
+        self.saturation.is_some()
+    }
+
+    /// Luminance standard deviation of a window alone — a cheap (two
+    /// integral lookups) pre-filter used to skip flat background windows
+    /// before full feature extraction.
+    pub fn luma_stddev(&self, rect: Rect) -> f64 {
+        window_variance(&self.luma, &self.luma_sq, rect).sqrt()
+    }
+
+    /// Extracts window statistics for `rect`; the contrast rings extend
+    /// `ring` pixels beyond the window on each side.
+    ///
+    /// Contrast is the **minimum** luminance difference between the window
+    /// and its four side rings (top/bottom/left/right). Requiring contrast
+    /// on *every* side rejects windows that straddle an object boundary or
+    /// sit inside a textured region — only whole-object windows pop out on
+    /// all sides. Side rings clipped away by the image border are skipped;
+    /// a window with no surviving ring reports zero contrast.
+    pub fn window(&self, rect: Rect, ring: u32) -> WindowFeatures {
+        let mean = self.luma.mean(rect);
+        let var = window_variance(&self.luma, &self.luma_sq, rect);
+        let texture = self.grad.mean(rect);
+
+        let sides = [
+            // Top ring.
+            Rect::new(rect.x, rect.y.saturating_sub(ring), rect.w, ring.min(rect.y)),
+            // Bottom ring.
+            Rect::new(rect.x, rect.bottom(), rect.w, ring),
+            // Left ring.
+            Rect::new(rect.x.saturating_sub(ring), rect.y, ring.min(rect.x), rect.h),
+            // Right ring.
+            Rect::new(rect.right(), rect.y, ring, rect.h),
+        ];
+        let mut contrast = f64::INFINITY;
+        let mut ring_texture = 0.0;
+        let mut side_count = 0usize;
+        for side in sides {
+            let clipped = side.clamped(self.width, self.height);
+            if clipped.is_degenerate() {
+                continue;
+            }
+            side_count += 1;
+            let side_mean = self.luma.mean(clipped);
+            contrast = contrast.min((mean - side_mean).abs());
+            ring_texture += self.grad.mean(clipped);
+        }
+        if side_count == 0 {
+            contrast = 0.0;
+        } else {
+            ring_texture /= side_count as f64;
+        }
+        let saturation = self.saturation.as_ref().map_or(0.0, |s| s.mean(rect));
+        let fill = self.active.mean(rect);
+        WindowFeatures { mean, stddev: var.sqrt(), texture, contrast, saturation, ring_texture, fill }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_imaging::{draw, GrayImage, RgbImage};
+
+    #[test]
+    fn gradient_zero_on_flat_image() {
+        let p = Plane::filled(8, 8, 0.5);
+        let g = gradient_magnitude(&p);
+        assert!(g.max() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_peaks_on_edges() {
+        let p = Plane::from_fn(8, 8, |x, _| if x < 4 { 0.0 } else { 1.0 });
+        let g = gradient_magnitude(&p);
+        assert!(g.get(4, 4) > 0.4);
+        assert!(g.get(1, 1) < 1e-9);
+    }
+
+    #[test]
+    fn window_features_of_blob() {
+        let mut plane = Plane::filled(32, 32, 0.2);
+        draw::fill_rect(&mut plane, Rect::new(12, 12, 8, 8), 0.9);
+        let img: Image = GrayImage::from_plane(plane).into();
+        let maps = FeatureMaps::new(&img);
+        let on_blob = maps.window(Rect::new(12, 12, 8, 8), 4);
+        let off_blob = maps.window(Rect::new(0, 0, 8, 8), 4);
+        assert!(on_blob.contrast > 0.4, "blob contrast {}", on_blob.contrast);
+        assert!(off_blob.contrast < 0.2);
+        assert!((on_blob.mean - 0.9).abs() < 1e-6);
+        assert_eq!(on_blob.saturation, 0.0); // gray input
+        assert!(!maps.has_color());
+    }
+
+    #[test]
+    fn saturation_cue_present_only_for_rgb() {
+        let rgb = RgbImage::from_fn(16, 16, |_, _| (0.9, 0.1, 0.1));
+        let img: Image = rgb.into();
+        let maps = FeatureMaps::new(&img);
+        assert!(maps.has_color());
+        let f = maps.window(Rect::new(4, 4, 8, 8), 2);
+        assert!(f.saturation > 0.7);
+    }
+
+    #[test]
+    fn texture_cue_tracks_high_frequency_content() {
+        let mut textured = Plane::filled(32, 32, 0.5);
+        draw::fill_stripes(&mut textured, Rect::new(8, 8, 16, 16), 1, 0.1, 0.9);
+        let img: Image = GrayImage::from_plane(textured).into();
+        let maps = FeatureMaps::new(&img);
+        let on = maps.window(Rect::new(8, 8, 16, 16), 2);
+        let off = maps.window(Rect::new(0, 0, 8, 8), 2);
+        assert!(on.texture > 10.0 * (off.texture + 1e-9));
+        assert!(on.stddev > 0.3);
+    }
+
+    #[test]
+    fn ring_at_image_border_is_clipped_not_panicking() {
+        let img: Image = GrayImage::new(16, 16).into();
+        let maps = FeatureMaps::new(&img);
+        let f = maps.window(Rect::new(0, 0, 16, 16), 8);
+        assert_eq!(f.contrast, 0.0); // ring fully clipped away
+    }
+}

@@ -1,0 +1,175 @@
+//! Summed-area tables for O(1) window statistics.
+
+use hirise_imaging::{Plane, Rect};
+
+/// A summed-area table over a [`Plane`], with `f64` accumulation.
+///
+/// # Example
+///
+/// ```
+/// use hirise_detect::IntegralImage;
+/// use hirise_imaging::{Plane, Rect};
+///
+/// let p = Plane::filled(8, 8, 0.5);
+/// let ii = IntegralImage::new(&p);
+/// assert!((ii.sum(Rect::new(2, 2, 4, 4)) - 8.0).abs() < 1e-9);
+/// assert!((ii.mean(Rect::new(0, 0, 8, 8)) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    width: u32,
+    height: u32,
+    /// `(width + 1) * (height + 1)` table; entry `(x, y)` holds the sum of
+    /// all pixels strictly above and to the left.
+    table: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Builds the table from a plane.
+    pub fn new(plane: &Plane) -> Self {
+        Self::from_fn(plane.width(), plane.height(), |x, y| plane.get(x, y) as f64)
+    }
+
+    /// Builds the table of squared values (for variance computation).
+    pub fn squared(plane: &Plane) -> Self {
+        Self::from_fn(plane.width(), plane.height(), |x, y| {
+            let v = plane.get(x, y) as f64;
+            v * v
+        })
+    }
+
+    /// Builds a table from an arbitrary per-pixel function.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> f64) -> Self {
+        let w1 = width as usize + 1;
+        let h1 = height as usize + 1;
+        let mut table = vec![0.0f64; w1 * h1];
+        for y in 0..height as usize {
+            let mut row_sum = 0.0;
+            for x in 0..width as usize {
+                row_sum += f(x as u32, y as u32);
+                table[(y + 1) * w1 + (x + 1)] = table[y * w1 + (x + 1)] + row_sum;
+            }
+        }
+        Self { width, height, table }
+    }
+
+    /// Table width (source plane width).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Table height (source plane height).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Sum of pixel values in `rect` (clamped to the image).
+    pub fn sum(&self, rect: Rect) -> f64 {
+        let r = rect.clamped(self.width, self.height);
+        if r.is_degenerate() {
+            return 0.0;
+        }
+        let w1 = self.width as usize + 1;
+        let (x0, y0) = (r.x as usize, r.y as usize);
+        let (x1, y1) = (r.right() as usize, r.bottom() as usize);
+        self.table[y1 * w1 + x1] + self.table[y0 * w1 + x0]
+            - self.table[y0 * w1 + x1]
+            - self.table[y1 * w1 + x0]
+    }
+
+    /// Mean pixel value in `rect` (0 for empty windows).
+    pub fn mean(&self, rect: Rect) -> f64 {
+        let r = rect.clamped(self.width, self.height);
+        if r.is_degenerate() {
+            return 0.0;
+        }
+        self.sum(r) / r.area() as f64
+    }
+}
+
+/// Variance of a window given plain and squared integral images.
+pub fn window_variance(ii: &IntegralImage, ii_sq: &IntegralImage, rect: Rect) -> f64 {
+    let m = ii.mean(rect);
+    (ii_sq.mean(rect) - m * m).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(w: u32, h: u32) -> Plane {
+        Plane::from_fn(w, h, |x, y| ((x + y) % 2) as f32)
+    }
+
+    #[test]
+    fn sum_matches_naive() {
+        let p = Plane::from_fn(7, 5, |x, y| (x * 3 + y * 11) as f32 % 13.0);
+        let ii = IntegralImage::new(&p);
+        for rect in [
+            Rect::new(0, 0, 7, 5),
+            Rect::new(1, 1, 3, 2),
+            Rect::new(6, 4, 1, 1),
+            Rect::new(2, 0, 5, 5),
+        ] {
+            let naive: f64 = (rect.y..rect.bottom())
+                .flat_map(|y| (rect.x..rect.right()).map(move |x| (x, y)))
+                .map(|(x, y)| p.get(x, y) as f64)
+                .sum();
+            assert!((ii.sum(rect) - naive).abs() < 1e-9, "rect {rect}");
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range_windows() {
+        let p = Plane::filled(4, 4, 1.0);
+        let ii = IntegralImage::new(&p);
+        assert_eq!(ii.sum(Rect::new(2, 2, 10, 10)), 4.0);
+        assert_eq!(ii.sum(Rect::new(8, 8, 2, 2)), 0.0);
+        assert_eq!(ii.mean(Rect::new(8, 8, 2, 2)), 0.0);
+    }
+
+    #[test]
+    fn checkerboard_mean_is_half() {
+        let p = checker(8, 8);
+        let ii = IntegralImage::new(&p);
+        assert!((ii.mean(Rect::new(0, 0, 8, 8)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_of_checkerboard() {
+        let p = checker(8, 8);
+        let ii = IntegralImage::new(&p);
+        let sq = IntegralImage::squared(&p);
+        // Bernoulli(0.5): variance 0.25.
+        let v = window_variance(&ii, &sq, Rect::new(0, 0, 8, 8));
+        assert!((v - 0.25).abs() < 1e-9);
+        // Constant window: variance 0.
+        let flat = Plane::filled(4, 4, 0.7);
+        let fi = IntegralImage::new(&flat);
+        let fsq = IntegralImage::squared(&flat);
+        assert!(window_variance(&fi, &fsq, Rect::new(0, 0, 4, 4)) < 1e-12);
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        // Numerical cancellation must not produce negative variance.
+        let p = Plane::filled(16, 16, 0.123456);
+        let ii = IntegralImage::new(&p);
+        let sq = IntegralImage::squared(&p);
+        for w in 1..8 {
+            let v = window_variance(&ii, &sq, Rect::new(3, 3, w, w));
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn single_pixel_windows() {
+        let p = Plane::from_fn(3, 3, |x, y| (y * 3 + x) as f32);
+        let ii = IntegralImage::new(&p);
+        for y in 0..3 {
+            for x in 0..3 {
+                assert!((ii.sum(Rect::new(x, y, 1, 1)) - p.get(x, y) as f64).abs() < 1e-9);
+            }
+        }
+    }
+}

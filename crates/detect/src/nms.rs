@@ -1,0 +1,75 @@
+//! Greedy non-maximum suppression.
+
+use crate::eval::Detection;
+
+/// Suppresses detections overlapping a higher-scored one by more than
+/// `iou_threshold`. Matching is class-agnostic (the detector classifies
+/// after suppression). Returns survivors sorted by descending score.
+pub fn nms(mut detections: Vec<Detection>, iou_threshold: f64) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    let mut keep: Vec<Detection> = Vec::with_capacity(detections.len());
+    'candidates: for det in detections {
+        for kept in &keep {
+            if kept.bbox.iou(&det.bbox) > iou_threshold {
+                continue 'candidates;
+            }
+        }
+        keep.push(det);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_imaging::Rect;
+
+    fn det(x: u32, y: u32, w: u32, h: u32, score: f32) -> Detection {
+        Detection { class: 0, bbox: Rect::new(x, y, w, h), score }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(nms(vec![], 0.5).is_empty());
+    }
+
+    #[test]
+    fn keeps_highest_of_overlapping_pair() {
+        let kept = nms(vec![det(0, 0, 10, 10, 0.5), det(1, 1, 10, 10, 0.9)], 0.4);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.9);
+    }
+
+    #[test]
+    fn keeps_disjoint_boxes() {
+        let kept = nms(
+            vec![det(0, 0, 5, 5, 0.5), det(20, 20, 5, 5, 0.9), det(40, 0, 5, 5, 0.7)],
+            0.4,
+        );
+        assert_eq!(kept.len(), 3);
+        // Sorted by descending score.
+        assert!(kept[0].score >= kept[1].score && kept[1].score >= kept[2].score);
+    }
+
+    #[test]
+    fn threshold_controls_merging() {
+        // ~1/3 IoU pair: suppressed at 0.2 threshold, kept at 0.5.
+        let pair = vec![det(0, 0, 10, 10, 0.9), det(0, 5, 10, 10, 0.8)];
+        assert_eq!(nms(pair.clone(), 0.2).len(), 1);
+        assert_eq!(nms(pair, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn chain_suppression_is_greedy() {
+        // A-B overlap (IoU 1/3), B-C overlap, A-C do not: greedy keeps A and C.
+        let chain = vec![
+            det(0, 0, 10, 10, 0.9),
+            det(0, 5, 10, 10, 0.8),
+            det(0, 10, 10, 10, 0.7),
+        ];
+        let kept = nms(chain, 0.3);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].bbox.y, 0);
+        assert_eq!(kept[1].bbox.y, 10);
+    }
+}

@@ -1,0 +1,457 @@
+//! # hirise-energy
+//!
+//! Energy and cost models for the HiRISE system: the analytical relations
+//! of the paper's Table 1 plus the calibrated per-operation energies
+//! behind Fig. 8 and Table 3.
+//!
+//! Calibration provenance (every constant is back-solved from numbers the
+//! paper itself reports):
+//!
+//! * **ADC conversion energy** ([`AdcEnergy::PAPER_45NM_8BIT`]):
+//!   the baseline "1.843 mJ per 2560×1920 RGB image" divided by its
+//!   `2560·1920·3` conversions → 125 pJ/conversion (consistent with the
+//!   cited 45 nm 8-bit folding ADC).
+//! * **Analog pooling energy** ([`PoolingEnergy::PAPER_45NM`]): the paper
+//!   states the pooling circuitry consumes 1.71–91.4 nJ across all
+//!   experiments; the ends correspond to 8×8 gray (76.8 k outputs) and
+//!   2×2 RGB (3.69 M outputs) on the 2560×1920 array, both of which fit
+//!   ≈23.5 fJ per pooled output.
+//! * **Link energy** ([`TransferEnergy`]): the paper reports transfer in
+//!   bytes, not joules; a parameterised pJ/bit model is provided for
+//!   end-to-end what-if studies and defaults to a typical MIPI-class
+//!   10 pJ/bit.
+//!
+//! # Example
+//!
+//! ```
+//! use hirise_energy::{AdcEnergy, SystemParams, ColorChannels, RoiConversionModel};
+//!
+//! let params = SystemParams::paper_default(2560, 1920, 2);
+//! let baseline = params.conventional();
+//! let adc = AdcEnergy::PAPER_45NM_8BIT;
+//! // The paper's 1.85 mJ baseline.
+//! let mj = adc.energy_joules(baseline.conversions) * 1e3;
+//! assert!((mj - 1.843).abs() < 0.01);
+//! # let _ = (ColorChannels::Rgb, RoiConversionModel::Union);
+//! ```
+
+use std::fmt;
+
+/// Energy model of the ADC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcEnergy {
+    /// Joules per conversion.
+    pub joules_per_conversion: f64,
+}
+
+impl AdcEnergy {
+    /// 45 nm 8-bit folding ADC, back-solved from the paper's 1.843 mJ
+    /// full-frame baseline: 125 pJ/conversion.
+    pub const PAPER_45NM_8BIT: AdcEnergy = AdcEnergy { joules_per_conversion: 125.0e-12 };
+
+    /// Total energy for a number of conversions.
+    pub fn energy_joules(&self, conversions: u64) -> f64 {
+        self.joules_per_conversion * conversions as f64
+    }
+}
+
+/// Energy model of the analog averaging circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolingEnergy {
+    /// Joules per pooled output (one Fig.-4 circuit settling event).
+    pub joules_per_output: f64,
+}
+
+impl PoolingEnergy {
+    /// Fitted to the paper's stated 1.71–91.4 nJ range: ≈23.5 fJ/output.
+    pub const PAPER_45NM: PoolingEnergy = PoolingEnergy { joules_per_output: 23.5e-15 };
+
+    /// Total energy for a number of pooled outputs.
+    pub fn energy_joules(&self, outputs: u64) -> f64 {
+        self.joules_per_output * outputs as f64
+    }
+}
+
+/// Energy model of the sensor↔processor link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferEnergy {
+    /// Joules per transferred bit.
+    pub joules_per_bit: f64,
+}
+
+impl Default for TransferEnergy {
+    fn default() -> Self {
+        // MIPI-class serial link ballpark.
+        Self { joules_per_bit: 10.0e-12 }
+    }
+}
+
+impl TransferEnergy {
+    /// Total energy for a number of bits.
+    pub fn energy_joules(&self, bits: u64) -> f64 {
+        self.joules_per_bit * bits as f64
+    }
+}
+
+/// Colour configuration of the stage-1 compressed image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorChannels {
+    /// Three pooled channels.
+    Rgb,
+    /// Single pooled channel (extra 3× compression).
+    Gray,
+}
+
+impl ColorChannels {
+    /// Channel count.
+    pub fn count(&self) -> u64 {
+        match self {
+            ColorChannels::Rgb => 3,
+            ColorChannels::Gray => 1,
+        }
+    }
+}
+
+/// How stage-2 ADC conversions are counted for overlapping ROIs.
+///
+/// The paper's data-transfer term `D2 = 3·P·Σ(W_i × H_i)` ships every box
+/// separately, while its stage-2 energies are only consistent with each
+/// physical pixel being converted **once** (the union of the boxes) — the
+/// "intersection over the union of ROI boxes" remark. [`RoiConversionModel::Union`]
+/// reproduces the paper; [`RoiConversionModel::Sum`] is the naive
+/// alternative used as an ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoiConversionModel {
+    /// Convert each pixel in the union of the ROIs once (paper).
+    Union,
+    /// Convert per box, re-converting overlapped pixels (ablation).
+    Sum,
+}
+
+/// Bits per box-coordinate word (the `Words` of Table 1).
+pub const WORD_BITS: u64 = 16;
+
+/// Words per bounding box (x, y, W, H).
+pub const WORDS_PER_BOX: u64 = 4;
+
+/// Inputs of the Table-1 analytical model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemParams {
+    /// Array width `n`, pixels.
+    pub n: u64,
+    /// Array height `m`, pixels.
+    pub m: u64,
+    /// ADC precision `P_ADC`, bits.
+    pub p_adc: u64,
+    /// Pooling factor `k`.
+    pub k: u64,
+    /// Stage-1 colour mode.
+    pub stage1_color: ColorChannels,
+    /// Number of ROI boxes `j`.
+    pub boxes: u64,
+    /// Sum of ROI box areas `Σ(W_i × H_i)`, pixels.
+    pub sum_roi_area: u64,
+    /// Area of the union of the ROI boxes, pixels.
+    pub union_roi_area: u64,
+    /// Stage-2 conversion accounting.
+    pub roi_conversions: RoiConversionModel,
+}
+
+impl SystemParams {
+    /// Paper-flavoured defaults: 8-bit ADC, RGB stage-1 pooling, union
+    /// conversions, no ROIs yet.
+    pub fn paper_default(n: u64, m: u64, k: u64) -> Self {
+        Self {
+            n,
+            m,
+            p_adc: 8,
+            k,
+            stage1_color: ColorChannels::Rgb,
+            boxes: 0,
+            sum_roi_area: 0,
+            union_roi_area: 0,
+            roi_conversions: RoiConversionModel::Union,
+        }
+    }
+
+    /// Installs ROI statistics (builder style).
+    pub fn with_rois(mut self, boxes: u64, sum_area: u64, union_area: u64) -> Self {
+        self.boxes = boxes;
+        self.sum_roi_area = sum_area;
+        self.union_roi_area = union_area.min(sum_area);
+        self
+    }
+
+    /// Conventional single-stage system (Table 1, first row): the full
+    /// frame is converted and shipped.
+    pub fn conventional(&self) -> CostBreakdown {
+        let subpixels = self.n * self.m * 3;
+        CostBreakdown {
+            label: "conventional",
+            transfer_bits_s2p: subpixels * self.p_adc,
+            transfer_bits_p2s: 0,
+            memory_bytes: subpixels * self.p_adc / 8,
+            conversions: subpixels,
+            pooling_outputs: 0,
+        }
+    }
+
+    /// HiRISE stage 1: in-sensor pooled (optionally gray) capture.
+    pub fn hirise_stage1(&self) -> CostBreakdown {
+        let outputs = (self.n * self.m / (self.k * self.k)) * self.stage1_color.count();
+        CostBreakdown {
+            label: "hirise stage-1",
+            transfer_bits_s2p: outputs * self.p_adc,
+            transfer_bits_p2s: self.boxes * WORDS_PER_BOX * WORD_BITS,
+            memory_bytes: outputs * self.p_adc / 8,
+            conversions: outputs,
+            pooling_outputs: outputs,
+        }
+    }
+
+    /// HiRISE stage 2: selective full-resolution ROI readout.
+    pub fn hirise_stage2(&self) -> CostBreakdown {
+        let converted_px = match self.roi_conversions {
+            RoiConversionModel::Union => self.union_roi_area,
+            RoiConversionModel::Sum => self.sum_roi_area,
+        };
+        CostBreakdown {
+            label: "hirise stage-2",
+            transfer_bits_s2p: 3 * self.p_adc * self.sum_roi_area,
+            transfer_bits_p2s: 0,
+            memory_bytes: 3 * self.p_adc * self.sum_roi_area / 8,
+            conversions: 3 * converted_px,
+            pooling_outputs: 0,
+        }
+    }
+
+    /// Full HiRISE pipeline: stage 1 + stage 2 with the peak-memory rule
+    /// `Mem_new = max(M1, M2)` (the pooled image is dropped before the
+    /// ROIs arrive).
+    pub fn hirise_total(&self) -> CostBreakdown {
+        let s1 = self.hirise_stage1();
+        let s2 = self.hirise_stage2();
+        CostBreakdown {
+            label: "hirise total",
+            transfer_bits_s2p: s1.transfer_bits_s2p + s2.transfer_bits_s2p,
+            transfer_bits_p2s: s1.transfer_bits_p2s + s2.transfer_bits_p2s,
+            memory_bytes: s1.memory_bytes.max(s2.memory_bytes),
+            conversions: s1.conversions + s2.conversions,
+            pooling_outputs: s1.pooling_outputs,
+        }
+    }
+}
+
+/// Output of the Table-1 analytical model for one system/stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// Which system/stage this describes.
+    pub label: &'static str,
+    /// Sensor→processor transfer, bits.
+    pub transfer_bits_s2p: u64,
+    /// Processor→sensor transfer (box coordinates), bits.
+    pub transfer_bits_p2s: u64,
+    /// Image memory required on the processor, bytes.
+    pub memory_bytes: u64,
+    /// ADC conversions.
+    pub conversions: u64,
+    /// Analog pooling outputs (for the pooling-energy term).
+    pub pooling_outputs: u64,
+}
+
+impl CostBreakdown {
+    /// Total transfer (both directions), bits.
+    pub fn total_transfer_bits(&self) -> u64 {
+        self.transfer_bits_s2p + self.transfer_bits_p2s
+    }
+
+    /// Total transfer, kilobytes (the paper's tables use kB).
+    pub fn total_transfer_kb(&self) -> f64 {
+        self.total_transfer_bits() as f64 / 8.0 / 1000.0
+    }
+
+    /// Sensor-side energy: ADC conversions + pooling circuit.
+    pub fn sensor_energy_joules(&self, adc: &AdcEnergy, pooling: &PoolingEnergy) -> f64 {
+        adc.energy_joules(self.conversions) + pooling.energy_joules(self.pooling_outputs)
+    }
+
+    /// Sensor-side energy in millijoules.
+    pub fn sensor_energy_mj(&self, adc: &AdcEnergy, pooling: &PoolingEnergy) -> f64 {
+        self.sensor_energy_joules(adc, pooling) * 1e3
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: transfer {:.1} kB (s->p {:.1} kB, p->s {} B), memory {:.1} kB, {} conversions",
+            self.label,
+            self.total_transfer_kb(),
+            self.transfer_bits_s2p as f64 / 8000.0,
+            self.transfer_bits_p2s / 8,
+            self.memory_bytes as f64 / 1000.0,
+            self.conversions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 2560;
+    const M: u64 = 1920;
+
+    fn crowdhuman_like_params(k: u64) -> SystemParams {
+        // Fig. 7/8 calibration: Σbox ≈ 27.1 % of frame, union ≈ 9.2 %.
+        let frame = N * M;
+        SystemParams::paper_default(N, M, k).with_rois(
+            16,
+            (frame as f64 * 0.271) as u64,
+            (frame as f64 * 0.092) as u64,
+        )
+    }
+
+    #[test]
+    fn baseline_matches_paper_energy() {
+        let params = SystemParams::paper_default(N, M, 2);
+        let base = params.conventional();
+        assert_eq!(base.conversions, N * M * 3);
+        let mj = base.sensor_energy_mj(&AdcEnergy::PAPER_45NM_8BIT, &PoolingEnergy::PAPER_45NM);
+        assert!((mj - 1.843).abs() < 0.01, "baseline {mj} mJ");
+    }
+
+    #[test]
+    fn baseline_memory_matches_table3() {
+        // 2560x1920 RGB at 8 bit = 14,746 kB in the paper's units.
+        let base = SystemParams::paper_default(N, M, 2).conventional();
+        assert_eq!(base.memory_bytes, 14_745_600);
+    }
+
+    #[test]
+    fn fig7_transfer_reductions() {
+        // Paper: 1.9x / 3.0x / 3.5x for k = 2 / 4 / 8 (RGB stage-1).
+        let expectations = [(2u64, 1.9f64), (4, 3.0), (8, 3.5)];
+        for (k, expected) in expectations {
+            let p = crowdhuman_like_params(k);
+            let base = p.conventional().total_transfer_bits() as f64;
+            let hirise = p.hirise_total().total_transfer_bits() as f64;
+            let reduction = base / hirise;
+            assert!(
+                (reduction - expected).abs() < 0.25,
+                "k={k}: reduction {reduction:.2} vs paper {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_stage1_share() {
+        // Paper: D1 share of total transfer ≈ 48 % / 19 % / 5 %.
+        let expectations = [(2u64, 0.48f64), (4, 0.19), (8, 0.05)];
+        for (k, expected) in expectations {
+            let p = crowdhuman_like_params(k);
+            let s1 = p.hirise_stage1().transfer_bits_s2p as f64;
+            let total = p.hirise_total().total_transfer_bits() as f64;
+            let share = s1 / total;
+            assert!(
+                (share - expected).abs() < 0.04,
+                "k={k}: share {share:.3} vs paper {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_energy_levels() {
+        // Paper (Crowdhuman, RGB): 0.63 / 0.28 / 0.20 mJ for k = 2 / 4 / 8.
+        let adc = AdcEnergy::PAPER_45NM_8BIT;
+        let pooling = PoolingEnergy::PAPER_45NM;
+        let expectations = [(2u64, 0.63f64), (4, 0.28), (8, 0.20)];
+        for (k, expected) in expectations {
+            let p = crowdhuman_like_params(k);
+            let mj = p.hirise_total().sensor_energy_mj(&adc, &pooling);
+            assert!(
+                (mj - expected).abs() / expected < 0.15,
+                "k={k}: {mj:.3} mJ vs paper {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_vs_sum_ablation() {
+        let union = crowdhuman_like_params(4);
+        let mut sum = crowdhuman_like_params(4);
+        sum.roi_conversions = RoiConversionModel::Sum;
+        let e_union = union.hirise_total().conversions;
+        let e_sum = sum.hirise_total().conversions;
+        // Crowd overlap factor ≈ 27.1/9.2 ≈ 2.9 on the stage-2 part.
+        assert!(e_sum > 2 * e_union / 2 && e_sum > e_union);
+        let s2_union = union.hirise_stage2().conversions as f64;
+        let s2_sum = sum.hirise_stage2().conversions as f64;
+        assert!((s2_sum / s2_union - 0.271 / 0.092).abs() < 0.05);
+    }
+
+    #[test]
+    fn gray_mode_cuts_stage1_by_three() {
+        let mut rgb = crowdhuman_like_params(4);
+        rgb.stage1_color = ColorChannels::Rgb;
+        let mut gray = crowdhuman_like_params(4);
+        gray.stage1_color = ColorChannels::Gray;
+        assert_eq!(
+            rgb.hirise_stage1().conversions,
+            3 * gray.hirise_stage1().conversions
+        );
+    }
+
+    #[test]
+    fn pooling_energy_range_matches_paper() {
+        // The stated 1.71–91.4 nJ range across 8x8 gray .. 2x2 RGB.
+        let pooling = PoolingEnergy::PAPER_45NM;
+        let lo = SystemParams {
+            stage1_color: ColorChannels::Gray,
+            ..SystemParams::paper_default(N, M, 8)
+        };
+        let hi = SystemParams::paper_default(N, M, 2);
+        let e_lo = pooling.energy_joules(lo.hirise_stage1().pooling_outputs) * 1e9;
+        let e_hi = pooling.energy_joules(hi.hirise_stage1().pooling_outputs) * 1e9;
+        assert!((e_lo - 1.71).abs() < 0.3, "low end {e_lo} nJ");
+        assert!((e_hi - 91.4).abs() < 8.0, "high end {e_hi} nJ");
+        // Orders of magnitude below ADC energy, as the paper notes.
+        let adc_stage1 = AdcEnergy::PAPER_45NM_8BIT
+            .energy_joules(hi.hirise_stage1().conversions)
+            * 1e9;
+        assert!(adc_stage1 / e_hi > 1000.0);
+    }
+
+    #[test]
+    fn memory_rule_is_max_of_stages() {
+        let p = crowdhuman_like_params(8);
+        let total = p.hirise_total();
+        let s1 = p.hirise_stage1();
+        let s2 = p.hirise_stage2();
+        assert_eq!(total.memory_bytes, s1.memory_bytes.max(s2.memory_bytes));
+        assert!(total.memory_bytes < p.conventional().memory_bytes);
+    }
+
+    #[test]
+    fn p2s_transfer_is_negligible() {
+        let p = crowdhuman_like_params(2);
+        let total = p.hirise_total();
+        assert!(total.transfer_bits_p2s * 1000 < total.transfer_bits_s2p);
+        assert_eq!(total.transfer_bits_p2s, 16 * 4 * 16);
+    }
+
+    #[test]
+    fn with_rois_clamps_union() {
+        let p = SystemParams::paper_default(100, 100, 2).with_rois(2, 50, 80);
+        assert_eq!(p.union_roi_area, 50);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = crowdhuman_like_params(2);
+        let text = p.hirise_total().to_string();
+        assert!(text.contains("hirise total"));
+        assert!(text.contains("kB"));
+    }
+}

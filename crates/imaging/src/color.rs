@@ -1,0 +1,139 @@
+//! Colour conversions.
+//!
+//! The HiRISE analog compression circuit averages the R, G and B sub-pixels
+//! with *equal* weights (they are wired through identical resistors), so the
+//! in-sensor grayscale is the arithmetic mean — not BT.601 luma. Both are
+//! provided; the pipeline uses [`rgb_to_gray_mean`] to match the hardware
+//! and tests use BT.601 to quantify the difference.
+
+use crate::{GrayImage, Image, Plane, RgbImage};
+
+/// BT.601 luma weights `(r, g, b)`.
+pub const BT601_WEIGHTS: (f32, f32, f32) = (0.299, 0.587, 0.114);
+
+/// Converts RGB to gray by the arithmetic mean of the three channels —
+/// exactly what the analog averaging circuit computes when the 3 sub-pixels
+/// of a site are tied together.
+///
+/// # Example
+///
+/// ```
+/// use hirise_imaging::{RgbImage, color};
+///
+/// let img = RgbImage::from_fn(2, 2, |_, _| (0.3, 0.6, 0.9));
+/// let gray = color::rgb_to_gray_mean(&img);
+/// assert!((gray.plane().get(0, 0) - 0.6).abs() < 1e-6);
+/// ```
+pub fn rgb_to_gray_mean(img: &RgbImage) -> GrayImage {
+    weighted_gray(img, (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0))
+}
+
+/// Converts RGB to gray with BT.601 luma weights (the common digital
+/// convention; used only for comparison with the analog mean).
+pub fn rgb_to_gray_bt601(img: &RgbImage) -> GrayImage {
+    weighted_gray(img, BT601_WEIGHTS)
+}
+
+/// Converts RGB to gray with arbitrary channel weights.
+pub fn weighted_gray(img: &RgbImage, (wr, wg, wb): (f32, f32, f32)) -> GrayImage {
+    let (w, h) = img.dimensions();
+    let mut out = Plane::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let (r, g, b) = img.pixel(x, y);
+            out.set(x, y, r * wr + g * wg + b * wb);
+        }
+    }
+    GrayImage::from_plane(out)
+}
+
+/// Replicates a gray image into three identical RGB channels.
+pub fn gray_to_rgb(img: &GrayImage) -> RgbImage {
+    RgbImage::from_planes(img.plane().clone(), img.plane().clone(), img.plane().clone())
+        .expect("identical planes always share dimensions")
+}
+
+/// Converts any [`Image`] to gray using the analog mean convention.
+/// Gray images pass through unchanged.
+pub fn to_gray(img: &Image) -> GrayImage {
+    match img {
+        Image::Gray(g) => g.clone(),
+        Image::Rgb(c) => rgb_to_gray_mean(c),
+    }
+}
+
+/// Per-pixel colour saturation: `max(r,g,b) - min(r,g,b)`.
+///
+/// The stage-1 detector uses this as its colour cue; it is the feature that
+/// is *lost* when the sensor operates in grayscale mode, producing the small
+/// accuracy drop the paper reports for gray operation.
+pub fn saturation(img: &RgbImage) -> Plane {
+    let (w, h) = img.dimensions();
+    let mut out = Plane::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let (r, g, b) = img.pixel(x, y);
+            out.set(x, y, r.max(g).max(b) - r.min(g).min(b));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_gray_of_primaries() {
+        let img = RgbImage::from_fn(3, 1, |x, _| match x {
+            0 => (1.0, 0.0, 0.0),
+            1 => (0.0, 1.0, 0.0),
+            _ => (0.0, 0.0, 1.0),
+        });
+        let g = rgb_to_gray_mean(&img);
+        for x in 0..3 {
+            assert!((g.plane().get(x, 0) - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bt601_weights_sum_to_one() {
+        let (r, g, b) = BT601_WEIGHTS;
+        assert!((r + g + b - 1.0).abs() < 1e-6);
+        let img = RgbImage::from_fn(1, 1, |_, _| (1.0, 1.0, 1.0));
+        assert!((rgb_to_gray_bt601(&img).plane().get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bt601_differs_from_mean_on_chromatic_input() {
+        let img = RgbImage::from_fn(1, 1, |_, _| (0.0, 1.0, 0.0));
+        let mean = rgb_to_gray_mean(&img).plane().get(0, 0);
+        let luma = rgb_to_gray_bt601(&img).plane().get(0, 0);
+        assert!((mean - 1.0 / 3.0).abs() < 1e-6);
+        assert!((luma - 0.587).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gray_to_rgb_replicates() {
+        let g = GrayImage::from_fn(2, 2, |x, y| (x + y) as f32 / 4.0);
+        let c = gray_to_rgb(&g);
+        assert_eq!(c.pixel(1, 1), (0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn to_gray_passthrough_for_gray() {
+        let g = GrayImage::from_fn(2, 2, |x, _| x as f32);
+        let img: Image = g.clone().into();
+        assert_eq!(to_gray(&img), g);
+    }
+
+    #[test]
+    fn saturation_zero_for_achromatic() {
+        let img = RgbImage::from_fn(2, 1, |x, _| {
+            if x == 0 { (0.5, 0.5, 0.5) } else { (0.9, 0.1, 0.5) }
+        });
+        let s = saturation(&img);
+        assert!(s.get(0, 0).abs() < 1e-6);
+        assert!((s.get(1, 0) - 0.8).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,331 @@
+//! Deterministic drawing primitives.
+//!
+//! The synthetic scene generator (`hirise-scene`) composes objects out of
+//! these primitives. Everything is plain rasterisation on [`Plane`]s; the
+//! only pseudo-randomness is the self-contained xorshift texture generator
+//! ([`noise_texture`]), which takes an explicit seed so scenes are exactly
+//! reproducible.
+
+use crate::{Plane, Rect, RgbImage};
+
+/// Fills `rect` (clipped to the plane) with `value`.
+pub fn fill_rect(plane: &mut Plane, rect: Rect, value: f32) {
+    let c = rect.clamped(plane.width(), plane.height());
+    for y in c.y..c.bottom() {
+        for x in c.x..c.right() {
+            plane.set(x, y, value);
+        }
+    }
+}
+
+/// Draws the 1-pixel outline of `rect` (clipped) with `value`.
+pub fn draw_rect_outline(plane: &mut Plane, rect: Rect, value: f32) {
+    let c = rect.clamped(plane.width(), plane.height());
+    if c.is_degenerate() {
+        return;
+    }
+    for x in c.x..c.right() {
+        plane.set(x, c.y, value);
+        plane.set(x, c.bottom() - 1, value);
+    }
+    for y in c.y..c.bottom() {
+        plane.set(c.x, y, value);
+        plane.set(c.right() - 1, y, value);
+    }
+}
+
+/// Fills the axis-aligned ellipse inscribed in `rect` with `value`.
+pub fn fill_ellipse(plane: &mut Plane, rect: Rect, value: f32) {
+    let c = rect.clamped(plane.width(), plane.height());
+    if c.is_degenerate() {
+        return;
+    }
+    let (cx, cy) = rect.center();
+    let rx = rect.w as f32 / 2.0;
+    let ry = rect.h as f32 / 2.0;
+    for y in c.y..c.bottom() {
+        for x in c.x..c.right() {
+            let dx = (x as f32 + 0.5 - cx) / rx;
+            let dy = (y as f32 + 0.5 - cy) / ry;
+            if dx * dx + dy * dy <= 1.0 {
+                plane.set(x, y, value);
+            }
+        }
+    }
+}
+
+/// Additively blends a Gaussian blob centred at `(cx, cy)` with standard
+/// deviation `sigma` and peak `amplitude`. Contributions beyond `3 sigma`
+/// are skipped.
+pub fn add_gaussian_blob(plane: &mut Plane, cx: f32, cy: f32, sigma: f32, amplitude: f32) {
+    let radius = (3.0 * sigma).ceil() as i64;
+    let x0 = ((cx as i64) - radius).max(0);
+    let x1 = ((cx as i64) + radius + 1).min(plane.width() as i64);
+    let y0 = ((cy as i64) - radius).max(0);
+    let y1 = ((cy as i64) + radius + 1).min(plane.height() as i64);
+    let inv = 1.0 / (2.0 * sigma * sigma);
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let dx = x as f32 + 0.5 - cx;
+            let dy = y as f32 + 0.5 - cy;
+            let g = (-(dx * dx + dy * dy) * inv).exp();
+            let v = plane.get(x as u32, y as u32) + amplitude * g;
+            plane.set(x as u32, y as u32, v);
+        }
+    }
+}
+
+/// Horizontal gradient from `left` to `right` across the whole plane.
+pub fn fill_gradient_h(plane: &mut Plane, left: f32, right: f32) {
+    let w = plane.width();
+    for y in 0..plane.height() {
+        for x in 0..w {
+            let t = if w > 1 { x as f32 / (w - 1) as f32 } else { 0.0 };
+            plane.set(x, y, left + (right - left) * t);
+        }
+    }
+}
+
+/// Checkerboard with `cell`-pixel squares alternating `a` and `b`, written
+/// into `rect` (clipped).
+pub fn fill_checkerboard(plane: &mut Plane, rect: Rect, cell: u32, a: f32, b: f32) {
+    let cell = cell.max(1);
+    let c = rect.clamped(plane.width(), plane.height());
+    for y in c.y..c.bottom() {
+        for x in c.x..c.right() {
+            let parity = ((x - c.x) / cell + (y - c.y) / cell) % 2;
+            plane.set(x, y, if parity == 0 { a } else { b });
+        }
+    }
+}
+
+/// Draws a straight line from `(x0, y0)` to `(x1, y1)` with `value`
+/// (Bresenham).
+pub fn draw_line(plane: &mut Plane, x0: i64, y0: i64, x1: i64, y1: i64, value: f32) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        if x >= 0 && y >= 0 && (x as u32) < plane.width() && (y as u32) < plane.height() {
+            plane.set(x as u32, y as u32, value);
+        }
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Tiny self-contained xorshift64* PRNG for texture synthesis. Deliberately
+/// independent of the `rand` crate so this foundation crate stays
+/// dependency-free; scene-level randomness uses `rand` in `hirise-scene`.
+#[derive(Debug, Clone)]
+pub struct TextureRng {
+    state: u64,
+}
+
+impl TextureRng {
+    /// Creates a generator from a nonzero seed (zero is mapped to a fixed
+    /// constant).
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f32` in `0.0..1.0`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f32` in `lo..hi`.
+    pub fn range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+}
+
+/// Fills `rect` (clipped) with uniform noise in `base ± amplitude`,
+/// deterministically derived from `seed`.
+pub fn noise_texture(plane: &mut Plane, rect: Rect, base: f32, amplitude: f32, seed: u64) {
+    let mut rng = TextureRng::new(seed);
+    let c = rect.clamped(plane.width(), plane.height());
+    for y in c.y..c.bottom() {
+        for x in c.x..c.right() {
+            plane.set(x, y, base + amplitude * (rng.next_f32() * 2.0 - 1.0));
+        }
+    }
+}
+
+/// Fills `rect` with horizontal stripes of period `period`, alternating
+/// `a` and `b` — a cheap "hair/texture" pattern whose high spatial frequency
+/// is destroyed by pooling, which is what makes small ROIs hard for the
+/// stage-2 model (the paper's Fig. 1 argument).
+pub fn fill_stripes(plane: &mut Plane, rect: Rect, period: u32, a: f32, b: f32) {
+    let period = period.max(1);
+    let c = rect.clamped(plane.width(), plane.height());
+    for y in c.y..c.bottom() {
+        for x in c.x..c.right() {
+            let v = if ((y - c.y) / period) % 2 == 0 { a } else { b };
+            plane.set(x, y, v);
+        }
+    }
+}
+
+/// Convenience: fills a rect with an RGB colour on a colour image.
+pub fn fill_rect_rgb(img: &mut RgbImage, rect: Rect, (r, g, b): (f32, f32, f32)) {
+    let [pr, pg, pb] = img.planes_mut();
+    fill_rect(pr, rect, r);
+    fill_rect(pg, rect, g);
+    fill_rect(pb, rect, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut p = Plane::new(4, 4);
+        fill_rect(&mut p, Rect::new(2, 2, 10, 10), 1.0);
+        assert_eq!(p.get(3, 3), 1.0);
+        assert_eq!(p.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn outline_is_hollow() {
+        let mut p = Plane::new(8, 8);
+        draw_rect_outline(&mut p, Rect::new(1, 1, 5, 5), 1.0);
+        assert_eq!(p.get(1, 1), 1.0);
+        assert_eq!(p.get(5, 5), 1.0);
+        assert_eq!(p.get(3, 3), 0.0);
+    }
+
+    #[test]
+    fn ellipse_inside_and_corners_out() {
+        let mut p = Plane::new(10, 10);
+        fill_ellipse(&mut p, Rect::new(0, 0, 10, 10), 1.0);
+        assert_eq!(p.get(5, 5), 1.0); // center in
+        assert_eq!(p.get(0, 0), 0.0); // corner out
+    }
+
+    #[test]
+    fn gaussian_blob_peaks_at_center() {
+        let mut p = Plane::new(21, 21);
+        add_gaussian_blob(&mut p, 10.5, 10.5, 3.0, 1.0);
+        let center = p.get(10, 10);
+        assert!(center > 0.9);
+        assert!(p.get(0, 0) < center);
+        // symmetric
+        assert!((p.get(8, 10) - p.get(12, 10)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_endpoints() {
+        let mut p = Plane::new(5, 2);
+        fill_gradient_h(&mut p, 0.0, 1.0);
+        assert_eq!(p.get(0, 0), 0.0);
+        assert_eq!(p.get(4, 1), 1.0);
+        assert!((p.get(2, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let mut p = Plane::new(4, 4);
+        fill_checkerboard(&mut p, Rect::new(0, 0, 4, 4), 1, 0.0, 1.0);
+        assert_eq!(p.get(0, 0), 0.0);
+        assert_eq!(p.get(1, 0), 1.0);
+        assert_eq!(p.get(0, 1), 1.0);
+        assert_eq!(p.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn line_endpoints_drawn() {
+        let mut p = Plane::new(8, 8);
+        draw_line(&mut p, 0, 0, 7, 7, 1.0);
+        assert_eq!(p.get(0, 0), 1.0);
+        assert_eq!(p.get(7, 7), 1.0);
+        assert_eq!(p.get(4, 4), 1.0);
+    }
+
+    #[test]
+    fn line_clips_offscreen() {
+        let mut p = Plane::new(4, 4);
+        draw_line(&mut p, -5, -5, 10, 10, 1.0); // must not panic
+        assert_eq!(p.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn texture_rng_deterministic() {
+        let mut a = TextureRng::new(42);
+        let mut b = TextureRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TextureRng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn texture_rng_f32_in_unit_interval() {
+        let mut rng = TextureRng::new(7);
+        for _ in 0..1000 {
+            let v = rng.next_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn noise_texture_bounded() {
+        let mut p = Plane::new(16, 16);
+        noise_texture(&mut p, Rect::new(0, 0, 16, 16), 0.5, 0.1, 1);
+        for &v in p.as_slice() {
+            assert!((0.4..=0.6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn noise_texture_reproducible() {
+        let mut a = Plane::new(8, 8);
+        let mut b = Plane::new(8, 8);
+        noise_texture(&mut a, Rect::new(0, 0, 8, 8), 0.5, 0.2, 99);
+        noise_texture(&mut b, Rect::new(0, 0, 8, 8), 0.5, 0.2, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stripes_alternate_with_period() {
+        let mut p = Plane::new(4, 8);
+        fill_stripes(&mut p, Rect::new(0, 0, 4, 8), 2, 1.0, 0.0);
+        assert_eq!(p.get(0, 0), 1.0);
+        assert_eq!(p.get(0, 1), 1.0);
+        assert_eq!(p.get(0, 2), 0.0);
+        assert_eq!(p.get(0, 4), 1.0);
+    }
+
+    #[test]
+    fn rgb_fill_sets_all_channels() {
+        let mut img = RgbImage::new(4, 4);
+        fill_rect_rgb(&mut img, Rect::new(0, 0, 2, 2), (0.1, 0.2, 0.3));
+        assert_eq!(img.pixel(1, 1), (0.1, 0.2, 0.3));
+        assert_eq!(img.pixel(3, 3), (0.0, 0.0, 0.0));
+    }
+}

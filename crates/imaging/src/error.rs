@@ -1,0 +1,113 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in `hirise-imaging`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImagingError {
+    /// An image dimension was zero or otherwise unusable.
+    InvalidDimensions {
+        /// Requested width.
+        width: u32,
+        /// Requested height.
+        height: u32,
+        /// What was being constructed or asked for.
+        context: &'static str,
+    },
+    /// A pooling/scaling factor does not divide the image dimensions or is zero.
+    InvalidFactor {
+        /// The offending factor.
+        factor: u32,
+        /// Image width at the time of the call.
+        width: u32,
+        /// Image height at the time of the call.
+        height: u32,
+    },
+    /// A rectangle falls (partially) outside an image.
+    RectOutOfBounds {
+        /// The offending rectangle `(x, y, w, h)`.
+        rect: (u32, u32, u32, u32),
+        /// Image width.
+        width: u32,
+        /// Image height.
+        height: u32,
+    },
+    /// The length of a raw buffer does not match `width * height (* channels)`.
+    BufferSizeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// Failure while decoding a PPM/PGM stream.
+    Decode(String),
+    /// Failure while reading or writing bytes.
+    Io(String),
+}
+
+impl fmt::Display for ImagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImagingError::InvalidDimensions { width, height, context } => {
+                write!(f, "invalid dimensions {width}x{height} for {context}")
+            }
+            ImagingError::InvalidFactor { factor, width, height } => write!(
+                f,
+                "factor {factor} is zero or does not divide image dimensions {width}x{height}"
+            ),
+            ImagingError::RectOutOfBounds { rect, width, height } => write!(
+                f,
+                "rect x={} y={} w={} h={} exceeds image bounds {width}x{height}",
+                rect.0, rect.1, rect.2, rect.3
+            ),
+            ImagingError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "buffer holds {actual} elements, expected {expected}")
+            }
+            ImagingError::Decode(msg) => write!(f, "decode error: {msg}"),
+            ImagingError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl Error for ImagingError {}
+
+impl From<std::io::Error> for ImagingError {
+    fn from(e: std::io::Error) -> Self {
+        ImagingError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            ImagingError::InvalidDimensions { width: 0, height: 3, context: "plane" },
+            ImagingError::InvalidFactor { factor: 3, width: 10, height: 10 },
+            ImagingError::RectOutOfBounds { rect: (1, 2, 3, 4), width: 2, height: 2 },
+            ImagingError::BufferSizeMismatch { expected: 4, actual: 5 },
+            ImagingError::Decode("bad magic".into()),
+            ImagingError::Io("eof".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImagingError>();
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: ImagingError = io.into();
+        assert!(matches!(e, ImagingError::Io(_)));
+    }
+}

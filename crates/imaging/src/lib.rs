@@ -1,0 +1,49 @@
+//! # hirise-imaging
+//!
+//! Digital image substrate for the HiRISE reproduction.
+//!
+//! This crate provides the image containers and pixel-level operations that
+//! the rest of the workspace builds on:
+//!
+//! * [`Plane`] — a single-channel `f32` raster (values nominally in `0.0..=1.0`),
+//! * [`GrayImage`] / [`RgbImage`] / [`Image`] — gray and RGB images,
+//! * [`Rect`] — integer rectangles with IoU/intersection helpers (shared by
+//!   the detector, the scene generator and the core pipeline),
+//! * [`ops`] — average pooling ("in-processor scaling" in the paper),
+//!   bilinear resize, crop, padding,
+//! * [`color`] — RGB→gray conversions (the analog circuit computes the
+//!   *mean* of R, G and B; BT.601 luma is provided for comparison),
+//! * [`draw`] — deterministic drawing primitives used by the synthetic
+//!   scene generator,
+//! * [`io`] — binary PPM/PGM encode/decode,
+//! * [`metrics`] — MAE / MSE / PSNR image-quality metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use hirise_imaging::{GrayImage, ops};
+//!
+//! # fn main() -> Result<(), hirise_imaging::ImagingError> {
+//! let img = GrayImage::from_fn(64, 64, |x, y| ((x + y) % 7) as f32 / 7.0);
+//! let pooled = ops::avg_pool_gray(&img, 4)?;
+//! assert_eq!((pooled.width(), pooled.height()), (16, 16));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod color;
+pub mod draw;
+pub mod image;
+pub mod io;
+pub mod metrics;
+pub mod ops;
+pub mod rect;
+
+mod error;
+
+pub use error::ImagingError;
+pub use image::{GrayImage, Image, Plane, RgbImage};
+pub use rect::Rect;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ImagingError>;

@@ -1,0 +1,123 @@
+//! Image quality metrics used to quantify how faithful the analog in-sensor
+//! scaling is to the ideal digital reference (Table 2's premise is that the
+//! two are close enough for detection parity).
+
+use crate::{ImagingError, Plane, Result};
+
+fn check_dims(a: &Plane, b: &Plane) -> Result<()> {
+    if a.dimensions() != b.dimensions() {
+        return Err(ImagingError::InvalidDimensions {
+            width: b.width(),
+            height: b.height(),
+            context: "metric operands must share dimensions",
+        });
+    }
+    Ok(())
+}
+
+/// Mean absolute error between two planes.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidDimensions`] if the planes differ in size.
+pub fn mae(a: &Plane, b: &Plane) -> Result<f64> {
+    check_dims(a, b)?;
+    let sum: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .sum();
+    Ok(sum / a.len() as f64)
+}
+
+/// Mean squared error between two planes.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidDimensions`] if the planes differ in size.
+pub fn mse(a: &Plane, b: &Plane) -> Result<f64> {
+    check_dims(a, b)?;
+    let sum: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    Ok(sum / a.len() as f64)
+}
+
+/// Peak signal-to-noise ratio in dB, assuming unit dynamic range.
+/// Returns `f64::INFINITY` for identical planes.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidDimensions`] if the planes differ in size.
+pub fn psnr(a: &Plane, b: &Plane) -> Result<f64> {
+    let m = mse(a, b)?;
+    if m == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (1.0 / m).log10())
+}
+
+/// Largest absolute per-pixel difference.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidDimensions`] if the planes differ in size.
+pub fn max_abs_diff(a: &Plane, b: &Plane) -> Result<f32> {
+    check_dims(a, b)?;
+    Ok(a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_planes() {
+        let p = Plane::from_fn(8, 8, |x, y| (x * y) as f32 / 64.0);
+        assert_eq!(mae(&p, &p).unwrap(), 0.0);
+        assert_eq!(mse(&p, &p).unwrap(), 0.0);
+        assert_eq!(psnr(&p, &p).unwrap(), f64::INFINITY);
+        assert_eq!(max_abs_diff(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_offset() {
+        let a = Plane::filled(4, 4, 0.5);
+        let b = Plane::filled(4, 4, 0.6);
+        assert!((mae(&a, &b).unwrap() - 0.1).abs() < 1e-6);
+        assert!((mse(&a, &b).unwrap() - 0.01).abs() < 1e-6);
+        assert!((psnr(&a, &b).unwrap() - 20.0).abs() < 1e-3);
+        assert!((max_abs_diff(&a, &b).unwrap() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_dims_rejected() {
+        let a = Plane::new(4, 4);
+        let b = Plane::new(4, 5);
+        assert!(mae(&a, &b).is_err());
+        assert!(mse(&a, &b).is_err());
+        assert!(psnr(&a, &b).is_err());
+        assert!(max_abs_diff(&a, &b).is_err());
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = Plane::filled(8, 8, 0.5);
+        let mut small = a.clone();
+        small.set(0, 0, 0.51);
+        let mut large = a.clone();
+        large.set(0, 0, 0.9);
+        assert!(psnr(&a, &small).unwrap() > psnr(&a, &large).unwrap());
+    }
+}

@@ -1,0 +1,356 @@
+//! Geometric image operations: average pooling (the paper's digital
+//! "in-processor scaling"), bilinear resize, cropping and padding.
+//!
+//! The digital `k×k` average pool here is the *reference* against which the
+//! analog in-sensor pooling of `hirise-sensor` is validated (Table 2 of the
+//! paper compares mAP under both paths).
+
+use crate::{GrayImage, Image, ImagingError, Plane, Rect, Result, RgbImage};
+
+/// `k×k` average pooling of a single plane.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidFactor`] when `k == 0` or `k` does not
+/// divide both dimensions exactly (the sensor's pooling wiring requires an
+/// exact tiling, so we enforce the same constraint digitally).
+///
+/// # Example
+///
+/// ```
+/// use hirise_imaging::{Plane, ops};
+///
+/// let p = Plane::from_fn(4, 4, |x, y| (x + y) as f32);
+/// let pooled = ops::avg_pool(&p, 2)?;
+/// assert_eq!(pooled.dimensions(), (2, 2));
+/// assert_eq!(pooled.get(0, 0), 1.0); // mean of 0,1,1,2
+/// # Ok::<(), hirise_imaging::ImagingError>(())
+/// ```
+pub fn avg_pool(plane: &Plane, k: u32) -> Result<Plane> {
+    let (w, h) = plane.dimensions();
+    if k == 0 || w % k != 0 || h % k != 0 {
+        return Err(ImagingError::InvalidFactor { factor: k, width: w, height: h });
+    }
+    if k == 1 {
+        return Ok(plane.clone());
+    }
+    let (ow, oh) = (w / k, h / k);
+    let norm = 1.0 / (k as f32 * k as f32);
+    let mut out = Plane::new(ow, oh);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0f32;
+            for dy in 0..k {
+                for dx in 0..k {
+                    acc += plane.get(ox * k + dx, oy * k + dy);
+                }
+            }
+            out.set(ox, oy, acc * norm);
+        }
+    }
+    Ok(out)
+}
+
+/// `k×k` average pooling of a gray image.
+///
+/// # Errors
+///
+/// See [`avg_pool`].
+pub fn avg_pool_gray(img: &GrayImage, k: u32) -> Result<GrayImage> {
+    Ok(GrayImage::from_plane(avg_pool(img.plane(), k)?))
+}
+
+/// `k×k` average pooling of an RGB image (each channel pooled independently).
+///
+/// # Errors
+///
+/// See [`avg_pool`].
+pub fn avg_pool_rgb(img: &RgbImage, k: u32) -> Result<RgbImage> {
+    RgbImage::from_planes(
+        avg_pool(img.r(), k)?,
+        avg_pool(img.g(), k)?,
+        avg_pool(img.b(), k)?,
+    )
+}
+
+/// `k×k` average pooling of either image kind.
+///
+/// # Errors
+///
+/// See [`avg_pool`].
+pub fn avg_pool_image(img: &Image, k: u32) -> Result<Image> {
+    Ok(match img {
+        Image::Gray(g) => Image::Gray(avg_pool_gray(g, k)?),
+        Image::Rgb(c) => Image::Rgb(avg_pool_rgb(c, k)?),
+    })
+}
+
+/// Bilinear resize of a plane to `new_w × new_h`.
+///
+/// Uses edge clamping; exact for identity resizes.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidDimensions`] when a target dimension is 0.
+pub fn resize_bilinear(plane: &Plane, new_w: u32, new_h: u32) -> Result<Plane> {
+    if new_w == 0 || new_h == 0 {
+        return Err(ImagingError::InvalidDimensions {
+            width: new_w,
+            height: new_h,
+            context: "resize target",
+        });
+    }
+    let (w, h) = plane.dimensions();
+    if (new_w, new_h) == (w, h) {
+        return Ok(plane.clone());
+    }
+    let mut out = Plane::new(new_w, new_h);
+    let sx = w as f32 / new_w as f32;
+    let sy = h as f32 / new_h as f32;
+    for oy in 0..new_h {
+        // Map the output pixel center back to source coordinates.
+        let fy = ((oy as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
+        let y0 = fy.floor() as u32;
+        let y1 = (y0 + 1).min(h - 1);
+        let wy = fy - y0 as f32;
+        for ox in 0..new_w {
+            let fx = ((ox as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
+            let x0 = fx.floor() as u32;
+            let x1 = (x0 + 1).min(w - 1);
+            let wx = fx - x0 as f32;
+            let top = plane.get(x0, y0) * (1.0 - wx) + plane.get(x1, y0) * wx;
+            let bot = plane.get(x0, y1) * (1.0 - wx) + plane.get(x1, y1) * wx;
+            out.set(ox, oy, top * (1.0 - wy) + bot * wy);
+        }
+    }
+    Ok(out)
+}
+
+/// Bilinear resize of a gray image.
+///
+/// # Errors
+///
+/// See [`resize_bilinear`].
+pub fn resize_gray(img: &GrayImage, new_w: u32, new_h: u32) -> Result<GrayImage> {
+    Ok(GrayImage::from_plane(resize_bilinear(img.plane(), new_w, new_h)?))
+}
+
+/// Bilinear resize of an RGB image.
+///
+/// # Errors
+///
+/// See [`resize_bilinear`].
+pub fn resize_rgb(img: &RgbImage, new_w: u32, new_h: u32) -> Result<RgbImage> {
+    RgbImage::from_planes(
+        resize_bilinear(img.r(), new_w, new_h)?,
+        resize_bilinear(img.g(), new_w, new_h)?,
+        resize_bilinear(img.b(), new_w, new_h)?,
+    )
+}
+
+/// Bilinear resize of either image kind.
+///
+/// # Errors
+///
+/// See [`resize_bilinear`].
+pub fn resize_image(img: &Image, new_w: u32, new_h: u32) -> Result<Image> {
+    Ok(match img {
+        Image::Gray(g) => Image::Gray(resize_gray(g, new_w, new_h)?),
+        Image::Rgb(c) => Image::Rgb(resize_rgb(c, new_w, new_h)?),
+    })
+}
+
+/// Crops `rect` out of a plane, clamping the rectangle to the image first.
+///
+/// Unlike [`Plane::crop`], a partially-outside rectangle is silently clipped
+/// instead of rejected — convenient for ROI handling where detector boxes
+/// may protrude a pixel or two.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::RectOutOfBounds`] only when the clamped rect is
+/// empty.
+pub fn crop_clamped(plane: &Plane, rect: Rect) -> Result<Plane> {
+    let c = rect.clamped(plane.width(), plane.height());
+    if c.is_degenerate() {
+        return Err(ImagingError::RectOutOfBounds {
+            rect: (rect.x, rect.y, rect.w, rect.h),
+            width: plane.width(),
+            height: plane.height(),
+        });
+    }
+    plane.crop(c)
+}
+
+/// Pads a plane to `new_w × new_h` with `fill`, keeping the original at the
+/// top-left.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidDimensions`] if the target is smaller than
+/// the source in either dimension.
+pub fn pad(plane: &Plane, new_w: u32, new_h: u32, fill: f32) -> Result<Plane> {
+    let (w, h) = plane.dimensions();
+    if new_w < w || new_h < h {
+        return Err(ImagingError::InvalidDimensions {
+            width: new_w,
+            height: new_h,
+            context: "pad target smaller than source",
+        });
+    }
+    let mut out = Plane::filled(new_w, new_h, fill);
+    out.blit(plane, 0, 0);
+    Ok(out)
+}
+
+/// Nearest-neighbour upsample by an integer factor (used to visualise tiny
+/// ROIs, e.g. the paper's Fig. 1 comparison).
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidFactor`] when `k == 0`.
+pub fn upsample_nearest(plane: &Plane, k: u32) -> Result<Plane> {
+    if k == 0 {
+        return Err(ImagingError::InvalidFactor {
+            factor: 0,
+            width: plane.width(),
+            height: plane.height(),
+        });
+    }
+    let (w, h) = plane.dimensions();
+    let mut out = Plane::new(w * k, h * k);
+    for y in 0..h * k {
+        for x in 0..w * k {
+            out.set(x, y, plane.get(x / k, y / k));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_mean_preserved() {
+        // Average pooling preserves the global mean exactly when k divides dims.
+        let p = Plane::from_fn(8, 8, |x, y| ((x * 31 + y * 17) % 11) as f32 / 11.0);
+        for k in [1, 2, 4, 8] {
+            let pooled = avg_pool(&p, k).unwrap();
+            assert!(
+                (pooled.mean() - p.mean()).abs() < 1e-5,
+                "mean not preserved for k={k}"
+            );
+            assert_eq!(pooled.dimensions(), (8 / k, 8 / k));
+        }
+    }
+
+    #[test]
+    fn avg_pool_constant_image() {
+        let p = Plane::filled(6, 6, 0.7);
+        let pooled = avg_pool(&p, 3).unwrap();
+        for &v in pooled.as_slice() {
+            assert!((v - 0.7).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn avg_pool_rejects_bad_factor() {
+        let p = Plane::new(6, 6);
+        assert!(avg_pool(&p, 0).is_err());
+        assert!(avg_pool(&p, 4).is_err()); // 4 does not divide 6
+        assert!(avg_pool(&p, 6).is_ok());
+    }
+
+    #[test]
+    fn avg_pool_k1_is_identity() {
+        let p = Plane::from_fn(3, 3, |x, y| (x * y) as f32);
+        assert_eq!(avg_pool(&p, 1).unwrap(), p);
+    }
+
+    #[test]
+    fn avg_pool_rgb_pools_channels_independently() {
+        let img = RgbImage::from_fn(4, 4, |x, y| {
+            ((x + y) as f32, x as f32, y as f32)
+        });
+        let pooled = avg_pool_rgb(&img, 2).unwrap();
+        assert_eq!(pooled.pixel(0, 0), (1.0, 0.5, 0.5));
+    }
+
+    #[test]
+    fn paper_resolutions_pool_exactly() {
+        // 2560x1920 with 8x8, 4x4, 2x2 must yield 320x240, 640x480, 1280x960.
+        let plane = Plane::new(256, 192); // scaled-down proxy with identical divisibility
+        for (k, (ew, eh)) in [(8, (32, 24)), (4, (64, 48)), (2, (128, 96))] {
+            let pooled = avg_pool(&plane, k).unwrap();
+            assert_eq!(pooled.dimensions(), (ew, eh));
+        }
+    }
+
+    #[test]
+    fn resize_identity() {
+        let p = Plane::from_fn(5, 7, |x, y| (x + y) as f32);
+        assert_eq!(resize_bilinear(&p, 5, 7).unwrap(), p);
+    }
+
+    #[test]
+    fn resize_constant_stays_constant() {
+        let p = Plane::filled(8, 8, 0.42);
+        let r = resize_bilinear(&p, 13, 3).unwrap();
+        for &v in r.as_slice() {
+            assert!((v - 0.42).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resize_downscale_gradient() {
+        // A horizontal ramp stays a ramp (monotone) under bilinear downscale.
+        let p = Plane::from_fn(16, 4, |x, _| x as f32 / 15.0);
+        let r = resize_bilinear(&p, 8, 4).unwrap();
+        for x in 1..8 {
+            assert!(r.get(x, 0) > r.get(x - 1, 0));
+        }
+    }
+
+    #[test]
+    fn resize_rejects_zero() {
+        let p = Plane::new(4, 4);
+        assert!(resize_bilinear(&p, 0, 4).is_err());
+        assert!(resize_bilinear(&p, 4, 0).is_err());
+    }
+
+    #[test]
+    fn crop_clamped_clips_protruding_rect() {
+        let p = Plane::from_fn(8, 8, |x, y| (x + y) as f32);
+        let c = crop_clamped(&p, Rect::new(6, 6, 5, 5)).unwrap();
+        assert_eq!(c.dimensions(), (2, 2));
+        assert!(crop_clamped(&p, Rect::new(9, 0, 2, 2)).is_err());
+    }
+
+    #[test]
+    fn pad_keeps_source_and_fills() {
+        let p = Plane::filled(2, 2, 1.0);
+        let padded = pad(&p, 4, 3, 0.5).unwrap();
+        assert_eq!(padded.get(1, 1), 1.0);
+        assert_eq!(padded.get(3, 2), 0.5);
+        assert!(pad(&p, 1, 4, 0.0).is_err());
+    }
+
+    #[test]
+    fn upsample_nearest_repeats_pixels() {
+        let p = Plane::from_fn(2, 1, |x, _| x as f32);
+        let up = upsample_nearest(&p, 3).unwrap();
+        assert_eq!(up.dimensions(), (6, 3));
+        assert_eq!(up.get(2, 2), 0.0);
+        assert_eq!(up.get(3, 0), 1.0);
+        assert!(upsample_nearest(&p, 0).is_err());
+    }
+
+    #[test]
+    fn image_level_helpers_dispatch() {
+        let g: Image = GrayImage::new(8, 8).into();
+        assert_eq!(avg_pool_image(&g, 2).unwrap().width(), 4);
+        let c: Image = RgbImage::new(8, 8).into();
+        assert_eq!(resize_image(&c, 2, 2).unwrap().height(), 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! Integer rectangles and IoU arithmetic.
+//!
+//! [`Rect`] is shared by the detector (predicted boxes), the scene generator
+//! (ground-truth boxes) and the core pipeline (ROI requests sent back to the
+//! sensor), so it lives in this foundation crate.
+
+/// An axis-aligned rectangle with `u32` top-left corner and size.
+///
+/// The rectangle covers pixel columns `x .. x + w` and rows `y .. y + h`
+/// (half-open, like slice ranges). A zero-area rectangle (`w == 0 || h == 0`)
+/// is representable and behaves as an empty set in intersection queries.
+///
+/// # Example
+///
+/// ```
+/// use hirise_imaging::Rect;
+///
+/// let a = Rect::new(0, 0, 10, 10);
+/// let b = Rect::new(5, 5, 10, 10);
+/// assert_eq!(a.intersection_area(&b), 25);
+/// assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Leftmost column.
+    pub x: u32,
+    /// Topmost row.
+    pub y: u32,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and size.
+    pub fn new(x: u32, y: u32, w: u32, h: u32) -> Self {
+        Self { x, y, w, h }
+    }
+
+    /// Creates a rectangle from two corner points `(x0, y0)` (inclusive) and
+    /// `(x1, y1)` (exclusive). Coordinates may be given in any order.
+    pub fn from_corners(x0: u32, y0: u32, x1: u32, y1: u32) -> Self {
+        let (xa, xb) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+        let (ya, yb) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+        Self { x: xa, y: ya, w: xb - xa, h: yb - ya }
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+
+    /// `true` if the rectangle has zero area.
+    pub fn is_degenerate(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Exclusive right edge.
+    pub fn right(&self) -> u32 {
+        self.x + self.w
+    }
+
+    /// Exclusive bottom edge.
+    pub fn bottom(&self) -> u32 {
+        self.y + self.h
+    }
+
+    /// Center `(cx, cy)` in floating point.
+    pub fn center(&self) -> (f32, f32) {
+        (self.x as f32 + self.w as f32 / 2.0, self.y as f32 + self.h as f32 / 2.0)
+    }
+
+    /// `true` if point `(px, py)` lies inside the rectangle.
+    pub fn contains_point(&self, px: u32, py: u32) -> bool {
+        px >= self.x && px < self.right() && py >= self.y && py < self.bottom()
+    }
+
+    /// `true` if `other` is entirely inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.x >= self.x
+            && other.y >= self.y
+            && other.right() <= self.right()
+            && other.bottom() <= self.bottom()
+    }
+
+    /// `true` if the rectangle fits inside a `width x height` image.
+    pub fn fits_within(&self, width: u32, height: u32) -> bool {
+        self.right() <= width && self.bottom() <= height
+    }
+
+    /// Intersection rectangle, or `None` when disjoint (or either is empty).
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x0 < x1 && y0 < y1 {
+            Some(Rect::from_corners(x0, y0, x1, y1))
+        } else {
+            None
+        }
+    }
+
+    /// Intersection area in pixels.
+    pub fn intersection_area(&self, other: &Rect) -> u64 {
+        self.intersection(other).map_or(0, |r| r.area())
+    }
+
+    /// Union area (inclusion–exclusion, not the bounding box).
+    pub fn union_area(&self, other: &Rect) -> u64 {
+        self.area() + other.area() - self.intersection_area(other)
+    }
+
+    /// Intersection-over-union in `0.0..=1.0`; `0.0` when both are empty.
+    pub fn iou(&self, other: &Rect) -> f64 {
+        let inter = self.intersection_area(other);
+        let union = self.union_area(other);
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn bounding_union(&self, other: &Rect) -> Rect {
+        if self.is_degenerate() {
+            return *other;
+        }
+        if other.is_degenerate() {
+            return *self;
+        }
+        Rect::from_corners(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.right().max(other.right()),
+            self.bottom().max(other.bottom()),
+        )
+    }
+
+    /// Clamps the rectangle so it fits inside a `width x height` image.
+    /// A rectangle entirely outside degenerates to zero size at the border.
+    pub fn clamped(&self, width: u32, height: u32) -> Rect {
+        let x = self.x.min(width);
+        let y = self.y.min(height);
+        let w = self.w.min(width - x);
+        let h = self.h.min(height - y);
+        Rect { x, y, w, h }
+    }
+
+    /// Scales the rectangle by a rational factor `num / den`, rounding
+    /// half-up. Used to map boxes between resolutions (e.g. a 320×240
+    /// detection back to a 2560×1920 array is `num = 8, den = 1`).
+    pub fn scaled(&self, num: u32, den: u32) -> Rect {
+        assert!(den != 0, "scale denominator must be nonzero");
+        let s = |v: u32| ((v as u64 * num as u64 + den as u64 / 2) / den as u64) as u32;
+        Rect { x: s(self.x), y: s(self.y), w: s(self.w).max(1), h: s(self.h).max(1) }
+    }
+
+    /// Grows the rectangle by `margin` pixels on every side, clamping the
+    /// top-left at zero.
+    pub fn inflated(&self, margin: u32) -> Rect {
+        let x = self.x.saturating_sub(margin);
+        let y = self.y.saturating_sub(margin);
+        Rect { x, y, w: self.w + (self.x - x) + margin, h: self.h + (self.y - y) + margin }
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{},{} {}x{}]", self.x, self.y, self.w, self.h)
+    }
+}
+
+/// Area of the union of a set of rectangles, in pixels.
+///
+/// Computed exactly by a coordinate-compression sweep; quadratic in the
+/// number of rectangles but exact for overlapping boxes. The HiRISE stage-2
+/// ADC model charges one conversion per *unique* pixel in the union of all
+/// ROIs, while data transfer ships each box separately (see the paper's
+/// discussion of `D2_S→P` vs `C2_S→P`).
+///
+/// # Example
+///
+/// ```
+/// use hirise_imaging::Rect;
+/// use hirise_imaging::rect::union_area;
+///
+/// let boxes = [Rect::new(0, 0, 10, 10), Rect::new(5, 0, 10, 10)];
+/// assert_eq!(union_area(&boxes), 150);
+/// ```
+pub fn union_area(rects: &[Rect]) -> u64 {
+    let rects: Vec<&Rect> = rects.iter().filter(|r| !r.is_degenerate()).collect();
+    if rects.is_empty() {
+        return 0;
+    }
+    let mut xs: Vec<u32> = Vec::with_capacity(rects.len() * 2);
+    let mut ys: Vec<u32> = Vec::with_capacity(rects.len() * 2);
+    for r in &rects {
+        xs.push(r.x);
+        xs.push(r.right());
+        ys.push(r.y);
+        ys.push(r.bottom());
+    }
+    xs.sort_unstable();
+    xs.dedup();
+    ys.sort_unstable();
+    ys.dedup();
+    let mut total = 0u64;
+    for xi in 0..xs.len() - 1 {
+        let (x0, x1) = (xs[xi], xs[xi + 1]);
+        for yi in 0..ys.len() - 1 {
+            let (y0, y1) = (ys[yi], ys[yi + 1]);
+            let covered = rects
+                .iter()
+                .any(|r| r.x <= x0 && r.right() >= x1 && r.y <= y0 && r.bottom() >= y1);
+            if covered {
+                total += (x1 - x0) as u64 * (y1 - y0) as u64;
+            }
+        }
+    }
+    total
+}
+
+/// Sum of the individual areas of a set of rectangles (overlaps counted
+/// multiple times) — the paper's `Σ (W_i × H_i)` data-transfer term.
+pub fn sum_area(rects: &[Rect]) -> u64 {
+    rects.iter().map(Rect::area).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_any_order() {
+        let r = Rect::from_corners(5, 7, 2, 3);
+        assert_eq!(r, Rect::new(2, 3, 3, 4));
+    }
+
+    #[test]
+    fn area_and_edges() {
+        let r = Rect::new(2, 3, 4, 5);
+        assert_eq!(r.area(), 20);
+        assert_eq!(r.right(), 6);
+        assert_eq!(r.bottom(), 8);
+        assert_eq!(r.center(), (4.0, 5.5));
+    }
+
+    #[test]
+    fn contains_point_half_open() {
+        let r = Rect::new(1, 1, 2, 2);
+        assert!(r.contains_point(1, 1));
+        assert!(r.contains_point(2, 2));
+        assert!(!r.contains_point(3, 2));
+        assert!(!r.contains_point(0, 1));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 4, 4);
+        assert_eq!(a.intersection(&b), Some(Rect::new(2, 2, 2, 2)));
+        let c = Rect::new(4, 0, 2, 2); // touching edge -> disjoint
+        assert_eq!(a.intersection(&c), None);
+        let d = Rect::new(10, 10, 1, 1);
+        assert_eq!(a.intersection_area(&d), 0);
+    }
+
+    #[test]
+    fn iou_identity_and_disjoint() {
+        let a = Rect::new(3, 3, 7, 9);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+        let b = Rect::new(100, 100, 5, 5);
+        assert_eq!(a.iou(&b), 0.0);
+        let empty = Rect::new(0, 0, 0, 0);
+        assert_eq!(empty.iou(&empty), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(0, 5, 10, 10);
+        // intersection 50, union 150
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_union_covers_both() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(5, 6, 2, 2);
+        let u = a.bounding_union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0, 0, 7, 8));
+        let empty = Rect::default();
+        assert_eq!(empty.bounding_union(&a), a);
+        assert_eq!(a.bounding_union(&empty), a);
+    }
+
+    #[test]
+    fn clamped_stays_inside() {
+        let r = Rect::new(5, 5, 10, 10).clamped(8, 8);
+        assert_eq!(r, Rect::new(5, 5, 3, 3));
+        let outside = Rect::new(20, 20, 3, 3).clamped(8, 8);
+        assert!(outside.is_degenerate());
+    }
+
+    #[test]
+    fn scaled_roundtrips_factor() {
+        let r = Rect::new(10, 20, 14, 14);
+        let up = r.scaled(8, 1);
+        assert_eq!(up, Rect::new(80, 160, 112, 112));
+        let down = up.scaled(1, 8);
+        assert_eq!(down, r);
+    }
+
+    #[test]
+    fn scaled_never_degenerates() {
+        let r = Rect::new(1, 1, 1, 1).scaled(1, 10);
+        assert!(r.w >= 1 && r.h >= 1);
+    }
+
+    #[test]
+    fn inflated_clamps_at_zero() {
+        let r = Rect::new(1, 1, 2, 2).inflated(3);
+        assert_eq!(r, Rect::new(0, 0, 6, 6));
+    }
+
+    #[test]
+    fn union_area_disjoint_and_overlapping() {
+        let disjoint = [Rect::new(0, 0, 2, 2), Rect::new(10, 10, 3, 3)];
+        assert_eq!(union_area(&disjoint), 4 + 9);
+        let overlapping = [Rect::new(0, 0, 10, 10), Rect::new(5, 0, 10, 10)];
+        assert_eq!(union_area(&overlapping), 150);
+        assert_eq!(sum_area(&overlapping), 200);
+    }
+
+    #[test]
+    fn union_area_nested_and_identical() {
+        let nested = [Rect::new(0, 0, 10, 10), Rect::new(2, 2, 3, 3)];
+        assert_eq!(union_area(&nested), 100);
+        let same = [Rect::new(1, 1, 4, 4); 5];
+        assert_eq!(union_area(&same), 16);
+    }
+
+    #[test]
+    fn union_area_empty_inputs() {
+        assert_eq!(union_area(&[]), 0);
+        assert_eq!(union_area(&[Rect::default()]), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Rect::new(1, 2, 3, 4).to_string(), "[1,2 3x4]");
+    }
+}

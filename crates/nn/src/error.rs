@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the tiny-ML substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shapes are incompatible with the requested operation.
+    ShapeMismatch {
+        /// What was expected (formatted shape or constraint).
+        expected: String,
+        /// What was provided.
+        actual: String,
+    },
+    /// A layer hyper-parameter is invalid (zero kernel, zero stride, ...).
+    InvalidLayer {
+        /// Layer kind.
+        layer: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// Training data was empty or inconsistently sized.
+    InvalidTrainingData {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            NnError::InvalidLayer { layer, reason } => {
+                write!(f, "invalid {layer} layer: {reason}")
+            }
+            NnError::InvalidTrainingData { reason } => {
+                write!(f, "invalid training data: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        let errs = [
+            NnError::ShapeMismatch { expected: "[1,2]".into(), actual: "[3]".into() },
+            NnError::InvalidLayer { layer: "conv2d", reason: "stride 0".into() },
+            NnError::InvalidTrainingData { reason: "empty".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Sequential model graphs for memory and parameter accounting.
+//!
+//! A [`ModelGraph`] records, per op, the activation tensor it produces and
+//! the parameters it owns. It feeds the arena planner with tensor
+//! lifetimes derived from the sequential execution order, yielding the
+//! peak-SRAM and flash numbers the paper reports for its stage-1/stage-2
+//! models.
+
+use crate::planner::{plan_greedy, ArenaPlan, TensorInfo};
+
+/// Descriptor of one op in a sequential graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpInfo {
+    /// Human-readable op name.
+    pub name: String,
+    /// Output activation shape (HWC or flat).
+    pub output_shape: Vec<usize>,
+    /// Bytes per activation element (1 for int8 deployment, 4 for f32).
+    pub bytes_per_elem: u32,
+    /// Parameter count of this op.
+    pub params: usize,
+}
+
+impl OpInfo {
+    /// Output activation size in bytes.
+    pub fn output_bytes(&self) -> u64 {
+        self.output_shape.iter().product::<usize>() as u64 * self.bytes_per_elem as u64
+    }
+}
+
+/// A sequential model graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelGraph {
+    name: String,
+    input_shape: Vec<usize>,
+    input_bytes_per_elem: u32,
+    ops: Vec<OpInfo>,
+}
+
+impl ModelGraph {
+    /// Starts a graph with the model input tensor.
+    pub fn new(name: impl Into<String>, input_shape: &[usize], bytes_per_elem: u32) -> Self {
+        Self {
+            name: name.into(),
+            input_shape: input_shape.to_vec(),
+            input_bytes_per_elem: bytes_per_elem,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Model input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Appends an op producing `output_shape` with `params` parameters,
+    /// using the same activation width as the input.
+    pub fn push_op(&mut self, name: impl Into<String>, output_shape: &[usize], params: usize) {
+        self.ops.push(OpInfo {
+            name: name.into(),
+            output_shape: output_shape.to_vec(),
+            bytes_per_elem: self.input_bytes_per_elem,
+            params,
+        });
+    }
+
+    /// Ops in execution order.
+    pub fn ops(&self) -> &[OpInfo] {
+        &self.ops
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.ops.iter().map(|o| o.params).sum()
+    }
+
+    /// Flash footprint: parameters at `bytes_per_param` bytes each
+    /// (1 for int8 deployment).
+    pub fn flash_bytes(&self, bytes_per_param: u32) -> u64 {
+        self.param_count() as u64 * bytes_per_param as u64
+    }
+
+    /// Tensor lifetime table for the arena planner. Tensor 0 is the model
+    /// input (live from op 0 until its consumer, op 0); tensor `i + 1` is
+    /// the output of op `i`, live from op `i` until op `i + 1` (or the end
+    /// for the final output).
+    pub fn tensor_lifetimes(&self) -> Vec<TensorInfo> {
+        let n = self.ops.len();
+        let mut tensors = Vec::with_capacity(n + 1);
+        let input_bytes = self.input_shape.iter().product::<usize>() as u64
+            * self.input_bytes_per_elem as u64;
+        tensors.push(TensorInfo {
+            id: 0,
+            size_bytes: input_bytes,
+            first_use: 0,
+            last_use: 0,
+        });
+        for (i, op) in self.ops.iter().enumerate() {
+            tensors.push(TensorInfo {
+                id: i + 1,
+                size_bytes: op.output_bytes(),
+                first_use: i,
+                last_use: (i + 1).min(n.saturating_sub(1)),
+            });
+        }
+        tensors
+    }
+
+    /// Plans the activation arena.
+    pub fn plan(&self) -> ArenaPlan {
+        plan_greedy(&self.tensor_lifetimes())
+    }
+
+    /// Peak activation SRAM in bytes (arena high-water mark).
+    pub fn peak_activation_bytes(&self) -> u64 {
+        self.plan().peak_bytes
+    }
+
+    /// Largest single activation tensor, bytes.
+    pub fn largest_activation_bytes(&self) -> u64 {
+        self.tensor_lifetimes().iter().map(|t| t.size_bytes).max().unwrap_or(0)
+    }
+
+    /// One-line-per-op textual summary (op name, output shape, activation
+    /// kB, parameter count).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: input {:?} ({} B/elem)",
+            self.name, self.input_shape, self.input_bytes_per_elem
+        );
+        for op in &self.ops {
+            let _ = writeln!(
+                out,
+                "  {:24} -> {:?} ({:.1} kB act, {} params)",
+                op.name,
+                op.output_shape,
+                op.output_bytes() as f64 / 1024.0,
+                op.params
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  peak act {:.1} kB, flash {:.1} kB (int8)",
+            self.peak_activation_bytes() as f64 / 1024.0,
+            self.flash_bytes(1) as f64 / 1024.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// input [4,4,1] -> conv to [4,4,8] -> pool to [2,2,8] -> dense to [10]
+    fn toy_graph() -> ModelGraph {
+        let mut g = ModelGraph::new("toy", &[4, 4, 1], 1);
+        g.push_op("conv", &[4, 4, 8], 80);
+        g.push_op("pool", &[2, 2, 8], 0);
+        g.push_op("dense", &[10], 330);
+        g
+    }
+
+    #[test]
+    fn param_and_flash_accounting() {
+        let g = toy_graph();
+        assert_eq!(g.param_count(), 410);
+        assert_eq!(g.flash_bytes(1), 410);
+        assert_eq!(g.flash_bytes(4), 1640);
+    }
+
+    #[test]
+    fn lifetimes_chain_correctly() {
+        let g = toy_graph();
+        let ts = g.tensor_lifetimes();
+        assert_eq!(ts.len(), 4);
+        // Input lives only during op 0.
+        assert_eq!((ts[0].first_use, ts[0].last_use), (0, 0));
+        // conv output lives from op 0 to op 1.
+        assert_eq!((ts[1].first_use, ts[1].last_use), (0, 1));
+        // Final output lives until the last op.
+        assert_eq!((ts[3].first_use, ts[3].last_use), (2, 2));
+    }
+
+    #[test]
+    fn peak_is_adjacent_pair_for_chains() {
+        let g = toy_graph();
+        // Peak op is the pool: conv output (128) + pool output (32) live
+        // together; the input (16) and dense output (10) reuse those bytes.
+        assert_eq!(g.peak_activation_bytes(), 128 + 32);
+        assert_eq!(g.largest_activation_bytes(), 128);
+    }
+
+    #[test]
+    fn peak_scales_with_input_resolution() {
+        // The Fig. 6 / Table 3 mechanism: same topology, growing input.
+        let build = |side: usize| {
+            let mut g = ModelGraph::new("scaled", &[side, side, 3], 1);
+            g.push_op("conv", &[side / 2, side / 2, 16], 448);
+            g.push_op("conv", &[side / 4, side / 4, 32], 4640);
+            g.push_op("gap", &[1, 1, 32], 0);
+            g.push_op("dense", &[7], 231);
+            g
+        };
+        let small = build(16).peak_activation_bytes();
+        let large = build(64).peak_activation_bytes();
+        assert!(large > 10 * small, "peak did not scale: {small} vs {large}");
+    }
+
+    #[test]
+    fn empty_graph_peak_is_input() {
+        let g = ModelGraph::new("empty", &[8, 8, 3], 1);
+        assert_eq!(g.peak_activation_bytes(), 192);
+        assert_eq!(g.param_count(), 0);
+    }
+
+    #[test]
+    fn summary_mentions_every_op() {
+        let g = toy_graph();
+        let s = g.summary();
+        for op in ["conv", "pool", "dense", "peak act"] {
+            assert!(s.contains(op), "summary missing {op}: {s}");
+        }
+    }
+
+    #[test]
+    fn f32_activations_are_4x_int8() {
+        let mut g8 = ModelGraph::new("a", &[8, 8, 3], 1);
+        g8.push_op("conv", &[8, 8, 8], 0);
+        let mut g32 = ModelGraph::new("b", &[8, 8, 3], 4);
+        g32.push_op("conv", &[8, 8, 8], 0);
+        assert_eq!(4 * g8.peak_activation_bytes(), g32.peak_activation_bytes());
+    }
+}

@@ -1,0 +1,596 @@
+//! Forward implementations of the layer types used by tiny-ML models.
+//!
+//! All layers operate on HWC [`Tensor`]s. Implementations are direct
+//! (no im2col/BLAS) — the workloads here are small crops and the planner
+//! only needs shape/size semantics, but the numerics are exercised by the
+//! quickstart inference path and the tests.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+use crate::{NnError, Result};
+
+/// A feed-forward layer.
+pub trait Layer: std::fmt::Debug {
+    /// Layer name for reports.
+    fn name(&self) -> &str;
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for incompatible inputs.
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>>;
+    /// Runs the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for incompatible inputs.
+    fn forward(&self, input: &Tensor) -> Result<Tensor>;
+    /// Number of parameters (weights + biases).
+    fn param_count(&self) -> usize;
+}
+
+fn expect_rank3(shape: &[usize]) -> Result<(usize, usize, usize)> {
+    if shape.len() != 3 {
+        return Err(NnError::ShapeMismatch {
+            expected: "rank-3 [h, w, c]".into(),
+            actual: format!("{shape:?}"),
+        });
+    }
+    Ok((shape[0], shape[1], shape[2]))
+}
+
+/// Standard 2-D convolution (same-style zero padding optional).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    /// `[k, k, in, out]` weights.
+    weights: Tensor,
+    bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with zero weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] on zero kernel/stride/channels.
+    pub fn new(in_ch: usize, out_ch: usize, ksize: usize, stride: usize, pad: usize) -> Result<Self> {
+        if in_ch == 0 || out_ch == 0 || ksize == 0 || stride == 0 {
+            return Err(NnError::InvalidLayer {
+                layer: "conv2d",
+                reason: format!("in={in_ch} out={out_ch} k={ksize} stride={stride}"),
+            });
+        }
+        Ok(Self {
+            in_ch,
+            out_ch,
+            ksize,
+            stride,
+            pad,
+            weights: Tensor::zeros(&[ksize, ksize, in_ch, out_ch]),
+            bias: vec![0.0; out_ch],
+        })
+    }
+
+    /// Randomises weights with He-style scaling.
+    pub fn init_random<R: Rng + ?Sized>(mut self, rng: &mut R) -> Self {
+        let fan_in = (self.ksize * self.ksize * self.in_ch) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        for w in self.weights.as_mut_slice() {
+            *w = (rng.gen::<f32>() * 2.0 - 1.0) * scale;
+        }
+        self
+    }
+
+    /// Sets one weight `[ky, kx, ci, co]` (tests and hand-built filters).
+    pub fn set_weight(&mut self, ky: usize, kx: usize, ci: usize, co: usize, v: f32) {
+        let k = self.ksize;
+        let idx = ((ky * k + kx) * self.in_ch + ci) * self.out_ch + co;
+        self.weights.as_mut_slice()[idx] = v;
+    }
+
+    fn weight(&self, ky: usize, kx: usize, ci: usize, co: usize) -> f32 {
+        let k = self.ksize;
+        self.weights.as_slice()[((ky * k + kx) * self.in_ch + ci) * self.out_ch + co]
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        "conv2d"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        let (h, w, c) = expect_rank3(input)?;
+        if c != self.in_ch {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} input channels", self.in_ch),
+                actual: format!("{c}"),
+            });
+        }
+        let oh = (h + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
+        let ow = (w + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
+        Ok(vec![oh, ow, self.out_ch])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (h, w, _) = expect_rank3(input.shape())?;
+        let mut out = Tensor::zeros(&out_shape);
+        let (oh, ow) = (out_shape[0], out_shape[1]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for co in 0..self.out_ch {
+                    let mut acc = self.bias[co];
+                    for ky in 0..self.ksize {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..self.ksize {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            for ci in 0..self.in_ch {
+                                acc += input.at(iy as usize, ix as usize, ci)
+                                    * self.weight(ky, kx, ci, co);
+                            }
+                        }
+                    }
+                    out.set(oy, ox, co, acc);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn param_count(&self) -> usize {
+        self.ksize * self.ksize * self.in_ch * self.out_ch + self.out_ch
+    }
+}
+
+/// Depthwise 2-D convolution (one filter per channel).
+#[derive(Debug, Clone)]
+pub struct DepthwiseConv2d {
+    channels: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    /// `[k, k, c]` weights.
+    weights: Tensor,
+    bias: Vec<f32>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution with zero weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] on zero kernel/stride/channels.
+    pub fn new(channels: usize, ksize: usize, stride: usize, pad: usize) -> Result<Self> {
+        if channels == 0 || ksize == 0 || stride == 0 {
+            return Err(NnError::InvalidLayer {
+                layer: "depthwise_conv2d",
+                reason: format!("c={channels} k={ksize} stride={stride}"),
+            });
+        }
+        Ok(Self {
+            channels,
+            ksize,
+            stride,
+            pad,
+            weights: Tensor::zeros(&[ksize, ksize, channels]),
+            bias: vec![0.0; channels],
+        })
+    }
+
+    /// Randomises weights.
+    pub fn init_random<R: Rng + ?Sized>(mut self, rng: &mut R) -> Self {
+        let scale = (2.0 / (self.ksize * self.ksize) as f32).sqrt();
+        for w in self.weights.as_mut_slice() {
+            *w = (rng.gen::<f32>() * 2.0 - 1.0) * scale;
+        }
+        self
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn name(&self) -> &str {
+        "depthwise_conv2d"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        let (h, w, c) = expect_rank3(input)?;
+        if c != self.channels {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} channels", self.channels),
+                actual: format!("{c}"),
+            });
+        }
+        let oh = (h + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
+        let ow = (w + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
+        Ok(vec![oh, ow, c])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (h, w, _) = expect_rank3(input.shape())?;
+        let mut out = Tensor::zeros(&out_shape);
+        for oy in 0..out_shape[0] {
+            for ox in 0..out_shape[1] {
+                for c in 0..self.channels {
+                    let mut acc = self.bias[c];
+                    for ky in 0..self.ksize {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..self.ksize {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let widx = (ky * self.ksize + kx) * self.channels + c;
+                            acc += input.at(iy as usize, ix as usize, c)
+                                * self.weights.as_slice()[widx];
+                        }
+                    }
+                    out.set(oy, ox, c, acc);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn param_count(&self) -> usize {
+        self.ksize * self.ksize * self.channels + self.channels
+    }
+}
+
+/// 2-D average pooling.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    ksize: usize,
+}
+
+impl AvgPool2d {
+    /// Creates a `k×k` average pool (stride = k).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] on zero kernel.
+    pub fn new(ksize: usize) -> Result<Self> {
+        if ksize == 0 {
+            return Err(NnError::InvalidLayer { layer: "avg_pool2d", reason: "k=0".into() });
+        }
+        Ok(Self { ksize })
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &str {
+        "avg_pool2d"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        let (h, w, c) = expect_rank3(input)?;
+        Ok(vec![(h / self.ksize).max(1), (w / self.ksize).max(1), c])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let out_shape = self.output_shape(input.shape())?;
+        let mut out = Tensor::zeros(&out_shape);
+        let norm = 1.0 / (self.ksize * self.ksize) as f32;
+        for oy in 0..out_shape[0] {
+            for ox in 0..out_shape[1] {
+                for c in 0..out_shape[2] {
+                    let mut acc = 0.0;
+                    for ky in 0..self.ksize {
+                        for kx in 0..self.ksize {
+                            acc += input.at(oy * self.ksize + ky, ox * self.ksize + kx, c);
+                        }
+                    }
+                    out.set(oy, ox, c, acc * norm);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// Global average pooling to `[1, 1, c]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool;
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        "global_avg_pool"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        let (_, _, c) = expect_rank3(input)?;
+        Ok(vec![1, 1, c])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let (h, w, c) = expect_rank3(input.shape())?;
+        let mut out = Tensor::zeros(&[1, 1, c]);
+        let norm = 1.0 / (h * w) as f32;
+        for ch in 0..c {
+            let mut acc = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    acc += input.at(y, x, ch);
+                }
+            }
+            out.set(0, 0, ch, acc * norm);
+        }
+        Ok(out)
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// ReLU6 activation (`min(max(x, 0), 6)`, the MobileNet convention).
+#[derive(Debug, Clone, Default)]
+pub struct Relu6;
+
+impl Layer for Relu6 {
+    fn name(&self) -> &str {
+        "relu6"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        Ok(input.to_vec())
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            *v = v.clamp(0.0, 6.0);
+        }
+        Ok(out)
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// Fully connected layer over a flattened input.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    /// `[in, out]` weights.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a zero-weight dense layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] on zero dimensions.
+    pub fn new(in_features: usize, out_features: usize) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidLayer {
+                layer: "dense",
+                reason: format!("in={in_features} out={out_features}"),
+            });
+        }
+        Ok(Self {
+            in_features,
+            out_features,
+            weights: vec![0.0; in_features * out_features],
+            bias: vec![0.0; out_features],
+        })
+    }
+
+    /// Randomises weights.
+    pub fn init_random<R: Rng + ?Sized>(mut self, rng: &mut R) -> Self {
+        let scale = (2.0 / self.in_features as f32).sqrt();
+        for w in &mut self.weights {
+            *w = (rng.gen::<f32>() * 2.0 - 1.0) * scale;
+        }
+        self
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        "dense"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        let numel: usize = input.iter().product();
+        if numel != self.in_features {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} features", self.in_features),
+                actual: format!("{numel}"),
+            });
+        }
+        Ok(vec![self.out_features])
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.output_shape(input.shape())?;
+        let x = input.as_slice();
+        let mut out = Tensor::zeros(&[self.out_features]);
+        let o = out.as_mut_slice();
+        for (j, oj) in o.iter_mut().enumerate() {
+            let mut acc = self.bias[j];
+            for (i, &xi) in x.iter().enumerate() {
+                acc += xi * self.weights[i * self.out_features + j];
+            }
+            *oj = acc;
+        }
+        Ok(out)
+    }
+
+    fn param_count(&self) -> usize {
+        self.in_features * self.out_features + self.out_features
+    }
+}
+
+/// Numerically stable softmax over a rank-1 tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let max = logits.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(logits.shape(), exps.into_iter().map(|e| e / sum).collect())
+        .expect("same shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 conv with weight 1 is the identity.
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0).unwrap();
+        conv.set_weight(0, 0, 0, 0, 1.0);
+        let input = Tensor::from_vec(&[2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv_box_filter() {
+        // 2x2 conv of all-ones over constant input sums the window.
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0).unwrap();
+        for ky in 0..2 {
+            for kx in 0..2 {
+                conv.set_weight(ky, kx, 0, 0, 1.0);
+            }
+        }
+        let input = Tensor::from_vec(&[3, 3, 1], vec![1.0; 9]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[2, 2, 1]);
+        assert!(out.as_slice().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn conv_stride_and_padding_shapes() {
+        let conv = Conv2d::new(3, 8, 3, 2, 1).unwrap();
+        assert_eq!(conv.output_shape(&[112, 112, 3]).unwrap(), vec![56, 56, 8]);
+        let conv_same = Conv2d::new(8, 8, 3, 1, 1).unwrap();
+        assert_eq!(conv_same.output_shape(&[56, 56, 8]).unwrap(), vec![56, 56, 8]);
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels() {
+        let conv = Conv2d::new(3, 8, 3, 1, 0).unwrap();
+        let input = Tensor::zeros(&[8, 8, 4]);
+        assert!(conv.forward(&input).is_err());
+    }
+
+    #[test]
+    fn conv_param_count() {
+        let conv = Conv2d::new(3, 16, 3, 1, 1).unwrap();
+        assert_eq!(conv.param_count(), 3 * 3 * 3 * 16 + 16);
+    }
+
+    #[test]
+    fn depthwise_applies_per_channel() {
+        let mut dw = DepthwiseConv2d::new(2, 1, 1, 0).unwrap();
+        dw.weights.as_mut_slice()[0] = 2.0; // channel 0 doubled
+        dw.weights.as_mut_slice()[1] = 3.0; // channel 1 tripled
+        let input = Tensor::from_vec(&[1, 1, 2], vec![1.0, 1.0]).unwrap();
+        let out = dw.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), &[2.0, 3.0]);
+        assert_eq!(dw.param_count(), 1 * 1 * 2 + 2);
+    }
+
+    #[test]
+    fn avg_pool_halves() {
+        let pool = AvgPool2d::new(2).unwrap();
+        let input = Tensor::from_vec(&[2, 2, 1], vec![0.0, 2.0, 4.0, 6.0]).unwrap();
+        let out = pool.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert_eq!(out.as_slice()[0], 3.0);
+    }
+
+    #[test]
+    fn global_avg_pool_means_channels() {
+        let input = Tensor::from_vec(&[2, 2, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0])
+            .unwrap();
+        let out = GlobalAvgPool.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2]);
+        assert!((out.as_slice()[0] - 2.5).abs() < 1e-6);
+        assert!((out.as_slice()[1] - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu6_clamps() {
+        let input = Tensor::from_vec(&[1, 1, 3], vec![-1.0, 3.0, 9.0]).unwrap();
+        let out = Relu6.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn dense_matvec() {
+        let mut dense = Dense::new(2, 2).unwrap();
+        dense.weights = vec![1.0, 2.0, 3.0, 4.0]; // [in, out] layout
+        dense.bias = vec![0.5, -0.5];
+        let input = Tensor::from_vec(&[2], vec![1.0, 1.0]).unwrap();
+        let out = dense.forward(&input).unwrap();
+        // out_j = sum_i x_i * w[i][j] + b_j => [1+3+0.5, 2+4-0.5]
+        assert_eq!(out.as_slice(), &[4.5, 5.5]);
+        assert_eq!(dense.param_count(), 6);
+    }
+
+    #[test]
+    fn dense_accepts_flattenable_input() {
+        let dense = Dense::new(8, 4).unwrap();
+        assert!(dense.output_shape(&[2, 2, 2]).is_ok());
+        assert!(dense.output_shape(&[3, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let logits = Tensor::from_vec(&[3], vec![1.0, 3.0, 2.0]).unwrap();
+        let p = softmax(&logits);
+        let sum: f32 = p.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert_eq!(p.argmax(), 1);
+        // Stability with large logits.
+        let big = Tensor::from_vec(&[2], vec![1000.0, 1001.0]).unwrap();
+        let pb = softmax(&big);
+        assert!(pb.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn random_init_is_deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let a = Conv2d::new(3, 4, 3, 1, 1).unwrap().init_random(&mut r1);
+        let b = Conv2d::new(3, 4, 3, 1, 1).unwrap().init_random(&mut r2);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn invalid_layer_params_rejected() {
+        assert!(Conv2d::new(0, 1, 3, 1, 0).is_err());
+        assert!(Conv2d::new(1, 1, 0, 1, 0).is_err());
+        assert!(DepthwiseConv2d::new(1, 1, 0, 0).is_err());
+        assert!(AvgPool2d::new(0).is_err());
+        assert!(Dense::new(0, 5).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # hirise-nn
+//!
+//! Tiny-ML substrate: the pieces of an embedded inference stack that the
+//! HiRISE memory and accuracy experiments need.
+//!
+//! * [`tensor`] — a minimal HWC `f32` tensor,
+//! * [`layers`] — forward implementations of the layer types used by
+//!   MCUNet/MobileNet-class models (conv, depthwise, pooling, dense,
+//!   activations),
+//! * [`graph`] — sequential model graphs with per-op activation sizes and
+//!   parameter (flash) accounting,
+//! * [`planner`] — a TFLite-Micro-style **arena memory planner**: tensor
+//!   lifetimes from the execution order, greedy-by-size offset assignment,
+//!   peak-SRAM reporting. This is the machinery behind the paper's Fig. 6
+//!   and the SRAM columns of Table 3,
+//! * [`zoo`] — model definitions calibrated to the paper's reported
+//!   footprints (MCUNetV2 person detector: 337 kB peak / 296 kB flash;
+//!   MCUNetV2 classifier: 398 kB / 1 MB; MobileNetV2; YOLOv8n-like
+//!   parameter budget),
+//! * [`quant`] — int8 affine quantisation,
+//! * [`train`] — a backprop-trained MLP classifier (SGD, softmax
+//!   cross-entropy) used as the stage-2 expression-recognition model for
+//!   Table 3's accuracy column.
+//!
+//! # Example: peak SRAM of a model
+//!
+//! ```
+//! use hirise_nn::zoo;
+//!
+//! let model = zoo::mcunet_v2_classifier(112);
+//! let peak = model.peak_activation_bytes();
+//! assert!(peak > 0);
+//! ```
+
+pub mod graph;
+pub mod layers;
+pub mod planner;
+pub mod quant;
+pub mod sequential;
+pub mod tensor;
+pub mod train;
+pub mod zoo;
+
+mod error;
+
+pub use error::NnError;
+pub use graph::ModelGraph;
+pub use planner::{plan_greedy, ArenaPlan, TensorInfo};
+pub use sequential::Sequential;
+pub use tensor::Tensor;
+pub use train::Mlp;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NnError>;

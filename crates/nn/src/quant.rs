@@ -1,0 +1,130 @@
+//! Affine int8 quantisation (the deployment format whose 1 byte/element
+//! footprint underlies all memory accounting).
+
+use crate::tensor::Tensor;
+
+/// Affine quantisation parameters: `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Step size.
+    pub scale: f32,
+    /// Zero offset in quantised space.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Chooses parameters covering `lo..=hi` with int8 (`-128..=127`),
+    /// guaranteeing that 0.0 is exactly representable (required so zero
+    /// padding stays exact, as in TFLite).
+    pub fn from_range(lo: f32, hi: f32) -> Self {
+        let lo = lo.min(0.0);
+        let hi = hi.max(0.0);
+        let scale = if hi > lo { (hi - lo) / 255.0 } else { 1.0 };
+        let zero_point = (-128.0 - lo / scale).round() as i32;
+        Self { scale, zero_point: zero_point.clamp(-128, 127) }
+    }
+
+    /// Quantises one value.
+    pub fn quantize(&self, v: f32) -> i8 {
+        ((v / self.scale).round() as i32 + self.zero_point).clamp(-128, 127) as i8
+    }
+
+    /// Dequantises one value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        self.scale * (q as i32 - self.zero_point) as f32
+    }
+}
+
+/// A quantised tensor (shape + int8 payload + params).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    shape: Vec<usize>,
+    data: Vec<i8>,
+    params: QuantParams,
+}
+
+impl QuantTensor {
+    /// Quantises a float tensor with range-derived parameters.
+    pub fn quantize(t: &Tensor) -> Self {
+        let lo = t.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = t.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let params = QuantParams::from_range(lo, hi);
+        Self {
+            shape: t.shape().to_vec(),
+            data: t.as_slice().iter().map(|&v| params.quantize(v)).collect(),
+            params,
+        }
+    }
+
+    /// Reconstructs the float tensor.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            &self.shape,
+            self.data.iter().map(|&q| self.params.dequantize(q)).collect(),
+        )
+        .expect("shape preserved")
+    }
+
+    /// Quantisation parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Storage footprint in bytes (1 per element).
+    pub fn storage_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_exact() {
+        let p = QuantParams::from_range(-0.37, 1.21);
+        assert_eq!(p.dequantize(p.quantize(0.0)), 0.0);
+    }
+
+    #[test]
+    fn roundtrip_error_below_half_step() {
+        let p = QuantParams::from_range(-1.0, 1.0);
+        for i in 0..100 {
+            let v = -1.0 + 2.0 * i as f32 / 99.0;
+            let err = (p.dequantize(p.quantize(v)) - v).abs();
+            assert!(err <= p.scale / 2.0 + 1e-6, "err {err} at {v}");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let p = QuantParams::from_range(0.0, 1.0);
+        assert_eq!(p.quantize(100.0), 127);
+        assert_eq!(p.quantize(-100.0), -128);
+    }
+
+    #[test]
+    fn degenerate_range_handled() {
+        let p = QuantParams::from_range(0.5, 0.5);
+        let q = p.quantize(0.5);
+        assert!((p.dequantize(q) - 0.5).abs() <= 1.0);
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::from_vec(&[2, 2], vec![-0.5, 0.0, 0.25, 0.9]).unwrap();
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.storage_bytes(), 4);
+        let back = q.dequantize();
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= q.params().scale);
+        }
+    }
+
+    #[test]
+    fn int8_halves_then_quarters_storage_vs_f32() {
+        let t = Tensor::zeros(&[10, 10, 3]);
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.storage_bytes() * 4, (t.numel() * 4) as u64);
+    }
+}

@@ -1,0 +1,209 @@
+//! A runnable sequential model: chains [`Layer`] implementations and
+//! doubles as a [`ModelGraph`] source, so the same object can be executed
+//! *and* memory-planned. The quickstart inference path and the layer-level
+//! numerics tests run through this container.
+
+use rand::Rng;
+
+use crate::graph::ModelGraph;
+use crate::layers::{AvgPool2d, Conv2d, Dense, DepthwiseConv2d, GlobalAvgPool, Layer, Relu6};
+use crate::tensor::Tensor;
+use crate::{NnError, Result};
+
+/// A feed-forward stack of layers executed in order.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), layers: Vec::new() }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Shape inference through the whole stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer's [`NnError::ShapeMismatch`] if shapes do
+    /// not chain.
+    pub fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        let mut shape = input.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape)?;
+        }
+        Ok(shape)
+    }
+
+    /// Runs the model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shape failure.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Converts the stack into a [`ModelGraph`] for arena planning, given
+    /// the input shape and activation width in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-chaining failures.
+    pub fn to_graph(&self, input: &[usize], bytes_per_elem: u32) -> Result<ModelGraph> {
+        let mut graph = ModelGraph::new(self.name.clone(), input, bytes_per_elem);
+        let mut shape = input.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            shape = layer.output_shape(&shape)?;
+            graph.push_op(format!("{}_{}", layer.name(), i), &shape, layer.param_count());
+        }
+        Ok(graph)
+    }
+}
+
+/// Builds a small runnable depthwise-separable classifier (random
+/// weights): a miniature of the zoo's MCUNet-style topology that can be
+/// executed end to end in tests and examples.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLayer`] for degenerate inputs (guarded by
+/// construction here).
+pub fn tiny_classifier<R: Rng + ?Sized>(
+    input_side: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Result<Sequential> {
+    if input_side < 8 || classes < 2 {
+        return Err(NnError::InvalidLayer {
+            layer: "tiny_classifier",
+            reason: format!("input {input_side}, classes {classes}"),
+        });
+    }
+    let model = Sequential::new("tiny-classifier")
+        .push(Conv2d::new(3, 8, 3, 2, 1)?.init_random(rng))
+        .push(Relu6)
+        .push(DepthwiseConv2d::new(8, 3, 1, 1)?.init_random(rng))
+        .push(Conv2d::new(8, 16, 1, 1, 0)?.init_random(rng))
+        .push(Relu6)
+        .push(AvgPool2d::new(2)?)
+        .push(GlobalAvgPool)
+        .push(Dense::new(16, classes)?.init_random(rng));
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::softmax;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_model_is_identity() {
+        let model = Sequential::new("empty");
+        assert!(model.is_empty());
+        let x = Tensor::from_vec(&[2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(model.forward(&x).unwrap(), x);
+        assert_eq!(model.output_shape(&[2, 2, 1]).unwrap(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn tiny_classifier_runs_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = tiny_classifier(16, 7, &mut rng).unwrap();
+        let input = Tensor::zeros(&[16, 16, 3]);
+        let logits = model.forward(&input).unwrap();
+        assert_eq!(logits.shape(), &[7]);
+        let probs = softmax(&logits);
+        let sum: f32 = probs.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shape_inference_matches_execution() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = tiny_classifier(24, 4, &mut rng).unwrap();
+        let inferred = model.output_shape(&[24, 24, 3]).unwrap();
+        let executed = model.forward(&Tensor::zeros(&[24, 24, 3])).unwrap();
+        assert_eq!(inferred, executed.shape());
+    }
+
+    #[test]
+    fn to_graph_matches_layer_params() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = tiny_classifier(16, 3, &mut rng).unwrap();
+        let graph = model.to_graph(&[16, 16, 3], 1).unwrap();
+        assert_eq!(graph.param_count(), model.param_count());
+        assert_eq!(graph.ops().len(), model.len());
+        assert!(graph.peak_activation_bytes() > 0);
+    }
+
+    #[test]
+    fn mismatched_input_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = tiny_classifier(16, 3, &mut rng).unwrap();
+        // Wrong channel count.
+        assert!(model.forward(&Tensor::zeros(&[16, 16, 4])).is_err());
+        assert!(model.output_shape(&[16, 16, 4]).is_err());
+    }
+
+    #[test]
+    fn tiny_classifier_guards_inputs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(tiny_classifier(4, 3, &mut rng).is_err());
+        assert!(tiny_classifier(16, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_weights_per_seed() {
+        let a = tiny_classifier(16, 3, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = tiny_classifier(16, 3, &mut StdRng::seed_from_u64(1)).unwrap();
+        let x = Tensor::from_vec(&[16, 16, 3], (0..768).map(|i| i as f32 / 768.0).collect())
+            .unwrap();
+        assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn different_inputs_produce_different_logits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = tiny_classifier(16, 5, &mut rng).unwrap();
+        let zeros = model.forward(&Tensor::zeros(&[16, 16, 3])).unwrap();
+        let ones = model
+            .forward(&Tensor::from_vec(&[16, 16, 3], vec![1.0; 768]).unwrap())
+            .unwrap();
+        assert_ne!(zeros, ones);
+    }
+}

@@ -1,0 +1,164 @@
+//! A minimal dense `f32` tensor in HWC layout (height, width, channels).
+
+use crate::{NnError, Result};
+
+/// A dense `f32` tensor. Rank-3 `[h, w, c]` for feature maps and rank-1
+/// `[n]` for vectors; the layout is row-major with channels innermost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty() && shape.iter().all(|&d| d > 0), "bad shape {shape:?}");
+        let numel = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![0.0; numel] }
+    }
+
+    /// Builds a tensor from data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the element count disagrees.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self> {
+        let numel: usize = shape.iter().product();
+        if numel != data.len() || shape.is_empty() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{numel} elements for shape {shape:?}"),
+                actual: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Self { shape: shape.to_vec(), data })
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat read access.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat write access.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// HWC indexed read for rank-3 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-3 or the index is out of bounds.
+    #[inline]
+    pub fn at(&self, y: usize, x: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (_h, w, ch) = (self.shape[0], self.shape[1], self.shape[2]);
+        self.data[(y * w + x) * ch + c]
+    }
+
+    /// HWC indexed write for rank-3 tensors.
+    ///
+    /// # Panics
+    ///
+    /// See [`Tensor::at`].
+    #[inline]
+    pub fn set(&mut self, y: usize, x: usize, c: usize, v: f32) {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (_h, w, ch) = (self.shape[0], self.shape[1], self.shape[2]);
+        self.data[(y * w + x) * ch + c] = v;
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if element counts differ.
+    pub fn reshaped(mut self, shape: &[usize]) -> Result<Self> {
+        let numel: usize = shape.iter().product();
+        if numel != self.data.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} elements", self.data.len()),
+                actual: format!("shape {shape:?} = {numel}"),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(self)
+    }
+
+    /// Index of the maximum element (ties break to the lower index).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_numel() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.numel(), 24);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad shape")]
+    fn zero_dim_panics() {
+        Tensor::zeros(&[2, 0, 3]);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(&[2, 2], vec![0.0; 3]).is_err());
+        assert!(Tensor::from_vec(&[2, 2], vec![0.0; 4]).is_ok());
+        assert!(Tensor::from_vec(&[], vec![]).is_err());
+    }
+
+    #[test]
+    fn hwc_indexing() {
+        let mut t = Tensor::zeros(&[2, 3, 2]);
+        t.set(1, 2, 1, 7.0);
+        assert_eq!(t.at(1, 2, 1), 7.0);
+        // Channel-innermost layout: flat index (1*3+2)*2+1 = 11.
+        assert_eq!(t.as_slice()[11], 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
+        let r = t.reshaped(&[6]).unwrap();
+        assert_eq!(r.shape(), &[6]);
+        assert_eq!(r.as_slice()[4], 4.0);
+        assert!(r.reshaped(&[7]).is_err());
+    }
+
+    #[test]
+    fn argmax_ties_and_basics() {
+        let t = Tensor::from_vec(&[4], vec![0.1, 0.9, 0.9, 0.2]).unwrap();
+        assert_eq!(t.argmax(), 1);
+        let z = Tensor::zeros(&[3]);
+        assert_eq!(z.argmax(), 0);
+    }
+}

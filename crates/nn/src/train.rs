@@ -1,0 +1,382 @@
+//! A small trainable classifier: MLP with softmax cross-entropy and SGD.
+//!
+//! Used as the stage-2 expression-recognition model for the Table-3
+//! accuracy column: for each ROI size, the patch is flattened into the MLP
+//! input. Backpropagation is implemented exactly (no autograd shortcuts),
+//! and training is deterministic given the RNG seed.
+//!
+//! The capacity knob (hidden width) stands in for the paper's model choice:
+//! the "MobileNetV2" configuration uses a wider hidden layer than the
+//! "MCUNetV2" one and should score higher at every ROI size.
+
+use rand::Rng;
+
+use crate::{NnError, Result};
+
+/// A two-layer MLP classifier (`input -> hidden -> classes`).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    input: usize,
+    hidden: usize,
+    classes: usize,
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    w2: Vec<f32>,
+    b2: Vec<f32>,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Full passes over the training set.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 10 %).
+    pub learning_rate: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 30, learning_rate: 0.05, weight_decay: 1e-4 }
+    }
+}
+
+impl Mlp {
+    /// Creates a randomly initialised MLP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] on zero dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        input: usize,
+        hidden: usize,
+        classes: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if input == 0 || hidden == 0 || classes < 2 {
+            return Err(NnError::InvalidLayer {
+                layer: "mlp",
+                reason: format!("input={input} hidden={hidden} classes={classes}"),
+            });
+        }
+        let s1 = (2.0 / input as f32).sqrt();
+        let s2 = (2.0 / hidden as f32).sqrt();
+        Ok(Self {
+            input,
+            hidden,
+            classes,
+            w1: (0..input * hidden).map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * s1).collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..hidden * classes).map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * s2).collect(),
+            b2: vec![0.0; classes],
+        })
+    }
+
+    /// Input feature count.
+    pub fn input_features(&self) -> usize {
+        self.input
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w1.len() + self.b1.len() + self.w2.len() + self.b2.len()
+    }
+
+    fn forward_cached(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut h = vec![0.0f32; self.hidden];
+        for (j, hj) in h.iter_mut().enumerate() {
+            let mut acc = self.b1[j];
+            for (i, &xi) in x.iter().enumerate() {
+                acc += xi * self.w1[i * self.hidden + j];
+            }
+            *hj = acc.max(0.0); // ReLU
+        }
+        let mut logits = vec![0.0f32; self.classes];
+        for (k, lk) in logits.iter_mut().enumerate() {
+            let mut acc = self.b2[k];
+            for (j, &hj) in h.iter().enumerate() {
+                acc += hj * self.w2[j * self.classes + k];
+            }
+            *lk = acc;
+        }
+        (h, logits)
+    }
+
+    /// Class probabilities for one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for wrong feature counts.
+    pub fn predict_proba(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.input {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} features", self.input),
+                actual: format!("{}", x.len()),
+            });
+        }
+        let (_, logits) = self.forward_cached(x);
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        Ok(exps.into_iter().map(|e| e / sum).collect())
+    }
+
+    /// Predicted class for one sample.
+    ///
+    /// # Errors
+    ///
+    /// See [`Mlp::predict_proba`].
+    pub fn predict(&self, x: &[f32]) -> Result<usize> {
+        let p = self.predict_proba(x)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    /// Trains with plain SGD on softmax cross-entropy; sample order is
+    /// reshuffled (Fisher–Yates with `rng`) every epoch. Returns the final
+    /// epoch's mean training loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidTrainingData`] for empty or inconsistent
+    /// data or out-of-range labels.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        samples: &[(Vec<f32>, usize)],
+        config: &TrainConfig,
+        rng: &mut R,
+    ) -> Result<f32> {
+        if samples.is_empty() {
+            return Err(NnError::InvalidTrainingData { reason: "no samples".into() });
+        }
+        for (x, y) in samples {
+            if x.len() != self.input {
+                return Err(NnError::InvalidTrainingData {
+                    reason: format!("sample has {} features, expected {}", x.len(), self.input),
+                });
+            }
+            if *y >= self.classes {
+                return Err(NnError::InvalidTrainingData {
+                    reason: format!("label {y} out of range (classes {})", self.classes),
+                });
+            }
+        }
+
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut last_loss = 0.0f32;
+        for epoch in 0..config.epochs {
+            // Linear LR decay to 10 % of the initial rate.
+            let progress = epoch as f32 / config.epochs.max(1) as f32;
+            let lr = config.learning_rate * (1.0 - 0.9 * progress);
+            // Fisher–Yates shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut loss_acc = 0.0f32;
+            for &idx in &order {
+                let (x, y) = &samples[idx];
+                let (h, logits) = self.forward_cached(x);
+                // Softmax + cross-entropy gradient: p - onehot(y).
+                let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+                let sum: f32 = exps.iter().sum();
+                let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+                loss_acc += -(probs[*y].max(1e-12)).ln();
+                let dlogits: Vec<f32> = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &p)| p - if k == *y { 1.0 } else { 0.0 })
+                    .collect();
+                // Backprop into layer 2.
+                let mut dh = vec![0.0f32; self.hidden];
+                for j in 0..self.hidden {
+                    for k in 0..self.classes {
+                        dh[j] += dlogits[k] * self.w2[j * self.classes + k];
+                    }
+                }
+                for (j, &hj) in h.iter().enumerate() {
+                    for (k, &dl) in dlogits.iter().enumerate() {
+                        let w = &mut self.w2[j * self.classes + k];
+                        *w -= lr * (dl * hj + config.weight_decay * *w);
+                    }
+                }
+                for (k, &dl) in dlogits.iter().enumerate() {
+                    self.b2[k] -= lr * dl;
+                }
+                // ReLU gate then layer 1.
+                for (j, d) in dh.iter_mut().enumerate() {
+                    if h[j] <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+                for (i, &xi) in x.iter().enumerate() {
+                    if xi == 0.0 {
+                        // Gradient contribution is zero; skip the row.
+                        continue;
+                    }
+                    for (j, &dj) in dh.iter().enumerate() {
+                        let w = &mut self.w1[i * self.hidden + j];
+                        *w -= lr * (dj * xi + config.weight_decay * *w);
+                    }
+                }
+                for (j, &dj) in dh.iter().enumerate() {
+                    self.b1[j] -= lr * dj;
+                }
+            }
+            last_loss = loss_acc / samples.len() as f32;
+        }
+        Ok(last_loss)
+    }
+
+    /// Classification accuracy on a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// See [`Mlp::predict`].
+    pub fn accuracy(&self, samples: &[(Vec<f32>, usize)]) -> Result<f64> {
+        if samples.is_empty() {
+            return Err(NnError::InvalidTrainingData { reason: "no samples".into() });
+        }
+        let mut correct = 0usize;
+        for (x, y) in samples {
+            if self.predict(x)? == *y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two Gaussian-ish blobs in 2-D, linearly separable.
+    fn blobs(n: usize, rng: &mut StdRng) -> Vec<(Vec<f32>, usize)> {
+        (0..n)
+            .map(|i| {
+                let class = i % 2;
+                let cx = if class == 0 { -1.0 } else { 1.0 };
+                let x = cx + (rng.gen::<f32>() - 0.5) * 0.8;
+                let y = cx + (rng.gen::<f32>() - 0.5) * 0.8;
+                (vec![x, y], class)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Mlp::new(0, 4, 2, &mut rng).is_err());
+        assert!(Mlp::new(4, 0, 2, &mut rng).is_err());
+        assert!(Mlp::new(4, 4, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn learns_linearly_separable_blobs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let train = blobs(200, &mut rng);
+        let test = blobs(100, &mut rng);
+        let mut mlp = Mlp::new(2, 8, 2, &mut rng).unwrap();
+        let before = mlp.accuracy(&test).unwrap();
+        mlp.train(&train, &TrainConfig::default(), &mut rng).unwrap();
+        let after = mlp.accuracy(&test).unwrap();
+        assert!(after > 0.95, "accuracy {after} (was {before})");
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Vec::new();
+        for _ in 0..100 {
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                let label = ((a as i32) ^ (b as i32)) as usize;
+                let jitter = |v: f32, r: &mut StdRng| v + (r.gen::<f32>() - 0.5) * 0.1;
+                data.push((vec![jitter(a, &mut rng), jitter(b, &mut rng)], label));
+            }
+        }
+        let mut mlp = Mlp::new(2, 16, 2, &mut rng).unwrap();
+        let cfg = TrainConfig { epochs: 60, learning_rate: 0.1, weight_decay: 0.0 };
+        mlp.train(&data, &cfg, &mut rng).unwrap();
+        assert!(mlp.accuracy(&data).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let train = blobs(100, &mut rng);
+        let mut mlp = Mlp::new(2, 8, 2, &mut rng).unwrap();
+        let short = TrainConfig { epochs: 1, ..TrainConfig::default() };
+        let loss1 = mlp.train(&train, &short, &mut rng).unwrap();
+        let long = TrainConfig { epochs: 20, ..TrainConfig::default() };
+        let loss2 = mlp.train(&train, &long, &mut rng).unwrap();
+        assert!(loss2 < loss1, "loss did not decrease: {loss1} -> {loss2}");
+    }
+
+    #[test]
+    fn wider_hidden_layer_helps_hard_problems() {
+        // A noisy radial problem where capacity matters.
+        let mut rng = StdRng::seed_from_u64(5);
+        let ring = |n: usize, rng: &mut StdRng| -> Vec<(Vec<f32>, usize)> {
+            (0..n)
+                .map(|_| {
+                    let a = rng.gen::<f32>() * std::f32::consts::TAU;
+                    let class = rng.gen_range(0..2usize);
+                    let r = if class == 0 { 0.5 } else { 1.0 } + (rng.gen::<f32>() - 0.5) * 0.3;
+                    (vec![r * a.cos(), r * a.sin()], class)
+                })
+                .collect()
+        };
+        let train = ring(300, &mut rng);
+        let test = ring(150, &mut rng);
+        let cfg = TrainConfig { epochs: 40, learning_rate: 0.08, weight_decay: 0.0 };
+        let mut narrow = Mlp::new(2, 2, 2, &mut StdRng::seed_from_u64(1)).unwrap();
+        narrow.train(&train, &cfg, &mut StdRng::seed_from_u64(2)).unwrap();
+        let mut wide = Mlp::new(2, 32, 2, &mut StdRng::seed_from_u64(1)).unwrap();
+        wide.train(&train, &cfg, &mut StdRng::seed_from_u64(2)).unwrap();
+        let (a_narrow, a_wide) =
+            (narrow.accuracy(&test).unwrap(), wide.accuracy(&test).unwrap());
+        assert!(
+            a_wide >= a_narrow,
+            "wide {a_wide} should not lose to narrow {a_narrow}"
+        );
+    }
+
+    #[test]
+    fn validates_training_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(2, 4, 2, &mut rng).unwrap();
+        assert!(mlp.train(&[], &TrainConfig::default(), &mut rng).is_err());
+        let bad_dim = vec![(vec![1.0, 2.0, 3.0], 0usize)];
+        assert!(mlp.train(&bad_dim, &TrainConfig::default(), &mut rng).is_err());
+        let bad_label = vec![(vec![1.0, 2.0], 5usize)];
+        assert!(mlp.train(&bad_label, &TrainConfig::default(), &mut rng).is_err());
+        assert!(mlp.predict(&[1.0]).is_err());
+        assert!(mlp.accuracy(&[]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let data = blobs(50, &mut StdRng::seed_from_u64(9));
+        let run = || {
+            let mut mlp = Mlp::new(2, 8, 2, &mut StdRng::seed_from_u64(1)).unwrap();
+            mlp.train(&data, &TrainConfig::default(), &mut StdRng::seed_from_u64(2)).unwrap();
+            mlp.predict_proba(&[0.3, -0.2]).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn param_count() {
+        let mlp = Mlp::new(10, 4, 3, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(mlp.param_count(), 10 * 4 + 4 + 4 * 3 + 3);
+        assert_eq!(mlp.input_features(), 10);
+    }
+}

@@ -1,0 +1,252 @@
+//! Model zoo: sequential graphs calibrated to the memory footprints the
+//! paper reports for its off-the-shelf models.
+//!
+//! | model | paper figure | this zoo |
+//! |---|---|---|
+//! | MCUNetV2 person detector (stage 1) | 337 kB peak SRAM / 296 kB flash | [`mcunet_v2_detector`] |
+//! | MCUNetV2 classifier (stage 2) | 398 kB peak / ~1 MB flash at its native input; 6.4→168 kB peak across 14→112 px ROIs | [`mcunet_v2_classifier`] |
+//! | MobileNetV2 classifier (stage 2) | 12.5→624 kB peak across 14→112 px ROIs | [`mobilenet_v2_classifier`] |
+//! | YOLOv8n (stage-1 trainer baseline) | ~3.2 M parameters | [`yolov8n_like`] |
+//!
+//! Exact layer-by-layer replication of the originals is neither possible
+//! (their checkpoints are not distributable) nor necessary: the experiments
+//! consume **peak activation** and **flash** footprints as functions of the
+//! input resolution. The topologies below use the same building blocks
+//! (stride-2 stems, depthwise-separable bottlenecks, expansion layers) with
+//! widths chosen so the planner's outputs land on the paper's numbers.
+
+use crate::graph::ModelGraph;
+
+fn conv_params(k: usize, ci: usize, co: usize) -> usize {
+    k * k * ci * co + co
+}
+
+fn dw_params(k: usize, c: usize) -> usize {
+    k * k * c + c
+}
+
+fn dense_params(i: usize, o: usize) -> usize {
+    i * o + o
+}
+
+/// Pushes a depthwise-separable block `ci -> co` with optional stride-2
+/// spatial reduction. Returns the new spatial size.
+fn dw_block(
+    g: &mut ModelGraph,
+    name: &str,
+    (h, w): (usize, usize),
+    ci: usize,
+    co: usize,
+    stride: usize,
+) -> (usize, usize) {
+    let (oh, ow) = ((h / stride).max(1), (w / stride).max(1));
+    g.push_op(format!("{name}_dw"), &[oh, ow, ci], dw_params(3, ci));
+    g.push_op(format!("{name}_pw"), &[oh, ow, co], conv_params(1, ci, co));
+    (oh, ow)
+}
+
+/// MCUNetV2-like person detector, the paper's stage-1 model.
+///
+/// Operates on the pooled **grayscale** stage-1 image (the paper's Fig. 6
+/// case study keeps the stage-1 image under 114 kB, which requires gray at
+/// 320×240). Calibrated to ≈337 kB peak activation and ≈296 kB int8 flash
+/// at the native 320×240 input.
+pub fn mcunet_v2_detector(width: usize, height: usize) -> ModelGraph {
+    let mut g = ModelGraph::new("mcunet-v2-det", &[height, width, 1], 1);
+    let (mut h, mut w) = (height / 2, width / 2);
+    // Stride-2 stem sized so input + stem output ≈ 337 kB at 320×240 gray.
+    g.push_op("stem_s2", &[h, w, 14], conv_params(3, 1, 14));
+    (h, w) = dw_block(&mut g, "b1", (h, w), 14, 16, 2);
+    (h, w) = dw_block(&mut g, "b2", (h, w), 16, 24, 2);
+    (h, w) = dw_block(&mut g, "b3", (h, w), 24, 40, 2);
+    (h, w) = dw_block(&mut g, "b4", (h, w), 40, 96, 1);
+    (h, w) = dw_block(&mut g, "b5", (h, w), 96, 192, 1);
+    (h, w) = dw_block(&mut g, "b6", (h, w), 192, 384, 1);
+    (h, w) = dw_block(&mut g, "b6b", (h, w), 384, 320, 1);
+    (h, w) = dw_block(&mut g, "b7", (h, w), 320, 192, 1);
+    // Detection head: 5 values (box + objectness) × 3 anchors per cell.
+    g.push_op("det_head", &[h, w, 15], conv_params(1, 192, 15));
+    g
+}
+
+/// MCUNetV2-like image classifier, the paper's stage-2 model, at an
+/// `input × input` RGB ROI. Peak activation is calibrated to the paper's
+/// Table-3 "Peak Act" column (≈168 kB at 112 px) and flash to ≈1 MB int8.
+pub fn mcunet_v2_classifier(input: usize) -> ModelGraph {
+    let s = input.max(4);
+    let mut g = ModelGraph::new("mcunet-v2-cls", &[s, s, 3], 1);
+    // Full-resolution 11-channel stem: 3·s² + 11·s² ≈ 168 kB at s = 112.
+    g.push_op("stem_s1", &[s, s, 11], conv_params(3, 3, 11));
+    let (mut h, mut w) = dw_block(&mut g, "b1", (s, s), 11, 24, 2);
+    (h, w) = dw_block(&mut g, "b2", (h, w), 24, 48, 2);
+    (h, w) = dw_block(&mut g, "b3", (h, w), 48, 96, 2);
+    (h, w) = dw_block(&mut g, "b4", (h, w), 96, 192, 2);
+    (h, w) = dw_block(&mut g, "b5", (h, w), 192, 384, 1);
+    (h, w) = dw_block(&mut g, "b6", (h, w), 384, 512, 1);
+    let _ = dw_block(&mut g, "b7", (h, w), 512, 768, 1);
+    g.push_op("gap", &[1, 1, 768], 0);
+    g.push_op("fc1", &[384], dense_params(768, 384));
+    g.push_op("fc2", &[7], dense_params(384, 7));
+    g
+}
+
+/// MobileNetV2-like classifier at an `input × input` RGB ROI. The early
+/// 6×-expansion bottleneck at half resolution dominates peak memory,
+/// matching the paper's 12.5 kB (14 px) → 624 kB (112 px) column.
+pub fn mobilenet_v2_classifier(input: usize) -> ModelGraph {
+    let s = input.max(4);
+    let mut g = ModelGraph::new("mobilenet-v2-cls", &[s, s, 3], 1);
+    let (mut h, mut w) = ((s / 2).max(1), (s / 2).max(1));
+    g.push_op("stem_s2", &[h, w, 32], conv_params(3, 3, 32));
+    // First inverted residual: expand 32 -> 160 at half resolution — the
+    // peak-memory hot spot (≈624 kB at 112 px input); the stride-2 lives
+    // in the depthwise stage, as in the original network.
+    g.push_op("b1_expand", &[h, w, 160], conv_params(1, 32, 160));
+    (h, w) = ((h / 2).max(1), (w / 2).max(1));
+    g.push_op("b1_dw_s2", &[h, w, 160], dw_params(3, 160));
+    g.push_op("b1_project", &[h, w, 24], conv_params(1, 160, 24));
+    // Standard MobileNetV2 width progression 24-32-64-96-160-320.
+    for (i, (ci, co, stride)) in [
+        (24usize, 32usize, 2usize),
+        (32, 64, 2),
+        (64, 96, 1),
+        (96, 160, 2),
+        (160, 320, 1),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let t = 6;
+        g.push_op(format!("b{}_expand", i + 2), &[h, w, ci * t], conv_params(1, ci, ci * t));
+        let (nh, nw) = ((h / stride).max(1), (w / stride).max(1));
+        g.push_op(format!("b{}_dw", i + 2), &[nh, nw, ci * t], dw_params(3, ci * t));
+        g.push_op(format!("b{}_project", i + 2), &[nh, nw, co], conv_params(1, ci * t, co));
+        (h, w) = (nh, nw);
+    }
+    g.push_op("conv_last", &[h, w, 1280], conv_params(1, 320, 1280));
+    g.push_op("gap", &[1, 1, 1280], 0);
+    g.push_op("fc", &[7], dense_params(1280, 7));
+    g
+}
+
+/// YOLOv8n-like single-stage detector graph at `width × height` RGB input
+/// (the model the paper fine-tunes for Table 2). Calibrated to ≈3.2 M
+/// parameters.
+pub fn yolov8n_like(width: usize, height: usize) -> ModelGraph {
+    let mut g = ModelGraph::new("yolov8n-like", &[height, width, 3], 1);
+    let (mut h, mut w) = (height, width);
+    let mut ci = 3usize;
+    for (stage, co) in [16usize, 32, 64, 128, 256].into_iter().enumerate() {
+        (h, w) = ((h / 2).max(1), (w / 2).max(1));
+        g.push_op(format!("stage{}_conv_s2", stage), &[h, w, co], conv_params(3, ci, co));
+        g.push_op(format!("stage{}_csp", stage), &[h, w, co], 2 * conv_params(3, co / 2, co / 2) + conv_params(1, co, co));
+        ci = co;
+    }
+    // Neck + heads at three scales (approximate parameter budget).
+    g.push_op("neck_p4", &[(h * 2).max(1), (w * 2).max(1), 128], conv_params(3, 256 + 128, 128));
+    g.push_op("neck_p3", &[(h * 4).max(1), (w * 4).max(1), 64], conv_params(3, 128 + 64, 64));
+    g.push_op("head_p3", &[(h * 4).max(1), (w * 4).max(1), 64], conv_params(3, 64, 64) + conv_params(1, 64, 64));
+    g.push_op("head_p4", &[(h * 2).max(1), (w * 2).max(1), 128], conv_params(3, 128, 128) + conv_params(1, 128, 128));
+    g.push_op("head_p5", &[h, w, 256], conv_params(3, 256, 256) + conv_params(1, 256, 256));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: f64 = 1024.0;
+
+    #[test]
+    fn detector_matches_paper_footprints() {
+        let g = mcunet_v2_detector(320, 240);
+        let peak_kb = g.peak_activation_bytes() as f64 / KB;
+        let flash_kb = g.flash_bytes(1) as f64 / KB;
+        // Paper: 337 kB peak SRAM, 296 kB flash.
+        assert!((peak_kb - 337.0).abs() < 25.0, "peak {peak_kb} kB");
+        assert!((flash_kb - 296.0).abs() < 60.0, "flash {flash_kb} kB");
+    }
+
+    #[test]
+    fn mcunet_classifier_tracks_table3_peaks() {
+        // Paper Table 3 Peak Act column for MCUNetV2.
+        let expectations = [(14usize, 6.4f64), (56, 46.6), (112, 168.0)];
+        for (roi, expected_kb) in expectations {
+            let peak_kb = mcunet_v2_classifier(roi).peak_activation_bytes() as f64 / KB;
+            // Same order of magnitude and within 2x at the small end,
+            // tight at the large end where the stem dominates.
+            let ratio = peak_kb / expected_kb;
+            assert!(
+                (0.4..=1.6).contains(&ratio),
+                "mcunet@{roi}: {peak_kb:.1} kB vs paper {expected_kb} kB"
+            );
+        }
+    }
+
+    #[test]
+    fn mobilenet_classifier_tracks_table3_peaks() {
+        let expectations = [(14usize, 12.5f64), (56, 161.0), (112, 624.0)];
+        for (roi, expected_kb) in expectations {
+            let peak_kb = mobilenet_v2_classifier(roi).peak_activation_bytes() as f64 / KB;
+            let ratio = peak_kb / expected_kb;
+            assert!(
+                (0.4..=1.6).contains(&ratio),
+                "mobilenet@{roi}: {peak_kb:.1} kB vs paper {expected_kb} kB"
+            );
+        }
+    }
+
+    #[test]
+    fn mobilenet_needs_more_sram_than_mcunet_everywhere() {
+        for roi in [14, 28, 42, 56, 70, 84, 98, 112] {
+            let mcu = mcunet_v2_classifier(roi).peak_activation_bytes();
+            let mob = mobilenet_v2_classifier(roi).peak_activation_bytes();
+            assert!(mob > mcu, "at roi {roi}: mobilenet {mob} <= mcunet {mcu}");
+        }
+    }
+
+    #[test]
+    fn peaks_grow_monotonically_with_roi() {
+        let mut last = 0;
+        for roi in [14, 28, 42, 56, 70, 84, 98, 112] {
+            let peak = mcunet_v2_classifier(roi).peak_activation_bytes();
+            assert!(peak > last, "non-monotone at {roi}");
+            last = peak;
+        }
+    }
+
+    #[test]
+    fn yolov8n_parameter_budget() {
+        let g = yolov8n_like(640, 640);
+        let params_m = g.param_count() as f64 / 1e6;
+        // YOLOv8n is ~3.2 M parameters.
+        assert!((1.5..=5.0).contains(&params_m), "params {params_m} M");
+    }
+
+    #[test]
+    fn classifier_flash_near_one_megabyte() {
+        let g = mcunet_v2_classifier(112);
+        let flash_mb = g.flash_bytes(1) as f64 / (1024.0 * 1024.0);
+        assert!((0.6..=1.4).contains(&flash_mb), "flash {flash_mb} MB");
+    }
+
+    #[test]
+    fn two_stage_fits_stm32h743_budget() {
+        // The paper's deployment constraint: peak act of each model below
+        // 512 kB and total flash below 2 MB.
+        let stage1 = mcunet_v2_detector(320, 240);
+        let stage2 = mcunet_v2_classifier(112);
+        assert!(stage1.peak_activation_bytes() < 512 * 1024);
+        assert!(stage2.peak_activation_bytes() < 512 * 1024);
+        let total_flash = stage1.flash_bytes(1) + stage2.flash_bytes(1);
+        assert!(total_flash < 2 * 1024 * 1024, "flash {total_flash}");
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_panic() {
+        for roi in [1usize, 2, 4, 7] {
+            let _ = mcunet_v2_classifier(roi).peak_activation_bytes();
+            let _ = mobilenet_v2_classifier(roi).peak_activation_bytes();
+        }
+    }
+}

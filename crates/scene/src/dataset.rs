@@ -1,0 +1,122 @@
+//! Dataset presets calibrated to the statistics the paper's experiments
+//! depend on.
+//!
+//! | preset | mirrors | calibration targets |
+//! |---|---|---|
+//! | [`DatasetSpec::crowdhuman_like`] | CrowdHuman | ~16 persons/image in dense clusters; Σbox ≈ 27 % of frame, union ≈ 9 % (back-solved from Fig. 7 transfer shares and Fig. 8 stage-2 energies); head boxes ≈ 4.4 % of frame width (Table 3 ROI column) |
+//! | [`DatasetSpec::dhdcampus_like`] | TJU-DHD-Campus | few, larger, mostly separate persons/cyclists |
+//! | [`DatasetSpec::visdrone_like`] | VisDrone | many tiny objects over 10 classes — the most resolution-sensitive preset |
+
+use crate::object::ObjectClass;
+
+/// Parameters of a synthetic dataset family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Human-readable preset name.
+    pub name: &'static str,
+    /// Label space of the preset.
+    pub classes: Vec<ObjectClass>,
+    /// Min/max objects per image (inclusive).
+    pub objects_per_image: (usize, usize),
+    /// Object bounding-box height as a fraction of image height (min, max).
+    pub scale_range: (f64, f64),
+    /// Objects per spatial cluster (min, max); clusters produce the box
+    /// overlap that differentiates sum-of-areas from union-of-areas.
+    pub cluster_size: (usize, usize),
+    /// In-cluster jitter as a fraction of object size; smaller = heavier
+    /// overlap.
+    pub cluster_spread: f64,
+    /// Number of low-saturation distractor rectangles in the background.
+    pub clutter_rects: usize,
+    /// Whether each rendered person also contributes a `Head` ground-truth
+    /// box (CrowdHuman annotates both bodies and heads).
+    pub annotate_heads: bool,
+}
+
+impl DatasetSpec {
+    /// CrowdHuman-like: dense crowds of people.
+    pub fn crowdhuman_like() -> Self {
+        Self {
+            name: "crowdhuman-like",
+            classes: vec![ObjectClass::Person],
+            objects_per_image: (13, 19),
+            scale_range: (0.18, 0.30),
+            cluster_size: (4, 6),
+            cluster_spread: 0.30,
+            clutter_rects: 6,
+            annotate_heads: true,
+        }
+    }
+
+    /// TJU-DHD-Campus-like: sparse pedestrians and cyclists.
+    pub fn dhdcampus_like() -> Self {
+        Self {
+            name: "dhdcampus-like",
+            classes: vec![ObjectClass::Person, ObjectClass::Cyclist],
+            objects_per_image: (3, 8),
+            scale_range: (0.14, 0.30),
+            cluster_size: (1, 2),
+            cluster_spread: 1.2,
+            clutter_rects: 8,
+            annotate_heads: false,
+        }
+    }
+
+    /// VisDrone-like: aerial viewpoint, many tiny objects, 10 classes.
+    pub fn visdrone_like() -> Self {
+        Self {
+            name: "visdrone-like",
+            classes: ObjectClass::ALL.to_vec(),
+            objects_per_image: (20, 36),
+            scale_range: (0.030, 0.085),
+            cluster_size: (1, 3),
+            cluster_spread: 1.5,
+            clutter_rects: 12,
+            annotate_heads: false,
+        }
+    }
+
+    /// The three presets evaluated in the paper's Table 2, in paper order.
+    pub fn paper_presets() -> [DatasetSpec; 3] {
+        [Self::crowdhuman_like(), Self::dhdcampus_like(), Self::visdrone_like()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_names() {
+        let names: std::collections::HashSet<_> =
+            DatasetSpec::paper_presets().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn crowdhuman_is_densest_and_annotates_heads() {
+        let ch = DatasetSpec::crowdhuman_like();
+        let dhd = DatasetSpec::dhdcampus_like();
+        assert!(ch.objects_per_image.0 > dhd.objects_per_image.1);
+        assert!(ch.annotate_heads);
+        assert!(!dhd.annotate_heads);
+        assert!(ch.cluster_spread < dhd.cluster_spread);
+    }
+
+    #[test]
+    fn visdrone_has_smallest_objects_and_all_classes() {
+        let vd = DatasetSpec::visdrone_like();
+        assert!(vd.scale_range.1 < DatasetSpec::dhdcampus_like().scale_range.0);
+        assert_eq!(vd.classes.len(), 10);
+    }
+
+    #[test]
+    fn scale_ranges_are_well_formed() {
+        for spec in DatasetSpec::paper_presets() {
+            assert!(spec.scale_range.0 < spec.scale_range.1);
+            assert!(spec.scale_range.1 < 1.0);
+            assert!(spec.objects_per_image.0 <= spec.objects_per_image.1);
+            assert!(spec.cluster_size.0 >= 1);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Object classes and their renderers.
+//!
+//! Every renderer paints a recognisable object into a bounding box on an
+//! RGB canvas. Renderers are deliberately built from three ingredients the
+//! experiments rely on:
+//!
+//! 1. **coarse structure** (solid blobs with centre–surround contrast) that
+//!    a stage-1 detector can find,
+//! 2. **fine texture** (1–3-pixel stripes and checkers) that average
+//!    pooling erases — making small or heavily pooled objects hard,
+//! 3. **colour saturation** that grayscale conversion removes.
+
+use hirise_imaging::draw;
+use hirise_imaging::{Rect, RgbImage};
+use rand::Rng;
+
+/// Object classes across all dataset presets (superset of the per-dataset
+/// label spaces; VisDrone-like uses all ten).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjectClass {
+    /// Standing person (CrowdHuman body / DHD "person").
+    Person,
+    /// Human head (CrowdHuman head annotations; stage-2 face tasks).
+    Head,
+    /// Person on a bicycle (DHD "cyclist").
+    Cyclist,
+    /// Passenger car.
+    Car,
+    /// Van.
+    Van,
+    /// Truck.
+    Truck,
+    /// Bus.
+    Bus,
+    /// Parked or ridden bicycle.
+    Bicycle,
+    /// Motorcycle.
+    Motor,
+    /// Three-wheeler.
+    Tricycle,
+}
+
+impl ObjectClass {
+    /// All classes, in stable index order.
+    pub const ALL: [ObjectClass; 10] = [
+        ObjectClass::Person,
+        ObjectClass::Head,
+        ObjectClass::Cyclist,
+        ObjectClass::Car,
+        ObjectClass::Van,
+        ObjectClass::Truck,
+        ObjectClass::Bus,
+        ObjectClass::Bicycle,
+        ObjectClass::Motor,
+        ObjectClass::Tricycle,
+    ];
+
+    /// Stable numeric id (index into [`ObjectClass::ALL`]).
+    pub fn id(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("class is in ALL")
+    }
+
+    /// Class from its numeric id.
+    pub fn from_id(id: usize) -> Option<ObjectClass> {
+        Self::ALL.get(id).copied()
+    }
+
+    /// Typical width/height aspect ratio of this class's bounding box.
+    pub fn aspect(&self) -> f32 {
+        match self {
+            ObjectClass::Person => 0.40,
+            ObjectClass::Head => 1.0,
+            ObjectClass::Cyclist => 0.65,
+            ObjectClass::Car => 1.9,
+            ObjectClass::Van => 1.6,
+            ObjectClass::Truck => 2.2,
+            ObjectClass::Bus => 2.5,
+            ObjectClass::Bicycle => 0.55,
+            ObjectClass::Motor => 0.6,
+            ObjectClass::Tricycle => 1.1,
+        }
+    }
+
+    /// Whether the class is vehicle-like (drawn with body/wheels rather
+    /// than head/torso).
+    pub fn is_vehicle(&self) -> bool {
+        matches!(
+            self,
+            ObjectClass::Car
+                | ObjectClass::Van
+                | ObjectClass::Truck
+                | ObjectClass::Bus
+                | ObjectClass::Tricycle
+        )
+    }
+}
+
+impl std::fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ObjectClass::Person => "person",
+            ObjectClass::Head => "head",
+            ObjectClass::Cyclist => "cyclist",
+            ObjectClass::Car => "car",
+            ObjectClass::Van => "van",
+            ObjectClass::Truck => "truck",
+            ObjectClass::Bus => "bus",
+            ObjectClass::Bicycle => "bicycle",
+            ObjectClass::Motor => "motor",
+            ObjectClass::Tricycle => "tricycle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// HSV→RGB with `h` in `0.0..1.0`.
+pub fn hsv_to_rgb(h: f32, s: f32, v: f32) -> (f32, f32, f32) {
+    let h6 = (h.rem_euclid(1.0)) * 6.0;
+    let i = h6.floor() as i32 % 6;
+    let f = h6 - h6.floor();
+    let p = v * (1.0 - s);
+    let q = v * (1.0 - f * s);
+    let t = v * (1.0 - (1.0 - f) * s);
+    match i {
+        0 => (v, t, p),
+        1 => (q, v, p),
+        2 => (p, v, t),
+        3 => (p, q, v),
+        4 => (t, p, v),
+        _ => (v, p, q),
+    }
+}
+
+fn sub_rect(b: Rect, fx: f32, fy: f32, fw: f32, fh: f32) -> Rect {
+    let x = b.x + (b.w as f32 * fx) as u32;
+    let y = b.y + (b.h as f32 * fy) as u32;
+    let w = ((b.w as f32 * fw) as u32).max(1);
+    let h = ((b.h as f32 * fh) as u32).max(1);
+    Rect::new(x, y, w, h)
+}
+
+fn fill_rgb_rect(img: &mut RgbImage, r: Rect, color: (f32, f32, f32)) {
+    draw::fill_rect_rgb(img, r, color);
+}
+
+fn fill_rgb_ellipse(img: &mut RgbImage, r: Rect, (cr, cg, cb): (f32, f32, f32)) {
+    let [pr, pg, pb] = img.planes_mut();
+    draw::fill_ellipse(pr, r, cr);
+    draw::fill_ellipse(pg, r, cg);
+    draw::fill_ellipse(pb, r, cb);
+}
+
+fn stripes_rgb(img: &mut RgbImage, r: Rect, period: u32, a: (f32, f32, f32), b: (f32, f32, f32)) {
+    let [pr, pg, pb] = img.planes_mut();
+    draw::fill_stripes(pr, r, period, a.0, b.0);
+    draw::fill_stripes(pg, r, period, a.1, b.1);
+    draw::fill_stripes(pb, r, period, a.2, b.2);
+}
+
+/// Skin tone with a small random variation.
+fn skin<R: Rng + ?Sized>(rng: &mut R) -> (f32, f32, f32) {
+    let v: f32 = rng.gen_range(0.75..0.95);
+    (v, v * rng.gen_range(0.68..0.78), v * rng.gen_range(0.52..0.62))
+}
+
+fn draw_person_like<R: Rng + ?Sized>(
+    img: &mut RgbImage,
+    bbox: Rect,
+    rng: &mut R,
+    with_wheel: bool,
+) {
+    // Head with hair texture on top.
+    let head = sub_rect(bbox, 0.28, 0.0, 0.44, 0.22);
+    fill_rgb_ellipse(img, head, skin(rng));
+    let hair = sub_rect(bbox, 0.28, 0.0, 0.44, 0.09);
+    let hair_dark = rng.gen_range(0.03..0.12);
+    stripes_rgb(img, hair, 1, (hair_dark, hair_dark, hair_dark), (hair_dark * 3.0, hair_dark * 2.5, hair_dark * 2.0));
+
+    // Torso: saturated clothing with fine weave texture (the colour cue
+    // grayscale loses and the texture cue pooling loses).
+    let hue: f32 = rng.gen_range(0.0..1.0);
+    let base = hsv_to_rgb(hue, rng.gen_range(0.65..0.95), rng.gen_range(0.55..0.85));
+    let accent = hsv_to_rgb(hue, 0.4, 0.35);
+    let torso = sub_rect(bbox, 0.12, 0.22, 0.76, 0.42);
+    stripes_rgb(img, torso, 2, base, accent);
+
+    // Legs: two darker columns.
+    let leg_color = hsv_to_rgb(rng.gen_range(0.55..0.7), 0.5, rng.gen_range(0.2..0.4));
+    let leg_h = if with_wheel { 0.22 } else { 0.36 };
+    fill_rgb_rect(img, sub_rect(bbox, 0.18, 0.64, 0.24, leg_h), leg_color);
+    fill_rgb_rect(img, sub_rect(bbox, 0.58, 0.64, 0.24, leg_h), leg_color);
+
+    if with_wheel {
+        // Bicycle wheels under the rider.
+        let dark = (0.06, 0.06, 0.08);
+        fill_rgb_ellipse(img, sub_rect(bbox, 0.02, 0.78, 0.45, 0.22), dark);
+        fill_rgb_ellipse(img, sub_rect(bbox, 0.53, 0.78, 0.45, 0.22), dark);
+        fill_rgb_ellipse(img, sub_rect(bbox, 0.12, 0.84, 0.25, 0.1), (0.5, 0.5, 0.55));
+        fill_rgb_ellipse(img, sub_rect(bbox, 0.63, 0.84, 0.25, 0.1), (0.5, 0.5, 0.55));
+    }
+
+    // Eyes only render meaningfully when the head is large enough; at small
+    // scales they vanish — exactly the fine feature argument of Fig. 1.
+    if head.w >= 8 && head.h >= 6 {
+        let eye = (0.05, 0.05, 0.08);
+        fill_rgb_rect(img, sub_rect(bbox, 0.36, 0.08, 0.07, 0.03), eye);
+        fill_rgb_rect(img, sub_rect(bbox, 0.57, 0.08, 0.07, 0.03), eye);
+    }
+}
+
+fn draw_head<R: Rng + ?Sized>(img: &mut RgbImage, bbox: Rect, rng: &mut R) {
+    fill_rgb_ellipse(img, bbox, skin(rng));
+    let hair = sub_rect(bbox, 0.0, 0.0, 1.0, 0.35);
+    let d = rng.gen_range(0.03..0.12);
+    stripes_rgb(img, hair, 1, (d, d, d), (d * 3.0, d * 2.5, d * 2.0));
+    if bbox.w >= 10 {
+        let eye = (0.05, 0.05, 0.08);
+        fill_rgb_rect(img, sub_rect(bbox, 0.22, 0.42, 0.16, 0.1), eye);
+        fill_rgb_rect(img, sub_rect(bbox, 0.62, 0.42, 0.16, 0.1), eye);
+        fill_rgb_rect(img, sub_rect(bbox, 0.35, 0.72, 0.3, 0.07), (0.5, 0.2, 0.2));
+    }
+}
+
+fn draw_vehicle<R: Rng + ?Sized>(img: &mut RgbImage, bbox: Rect, class: ObjectClass, rng: &mut R) {
+    let hue: f32 = rng.gen_range(0.0..1.0);
+    let sat = if matches!(class, ObjectClass::Truck | ObjectClass::Van) {
+        rng.gen_range(0.2..0.5)
+    } else {
+        rng.gen_range(0.6..0.95)
+    };
+    let body_color = hsv_to_rgb(hue, sat, rng.gen_range(0.5..0.9));
+    // Body over the lower 2/3, cabin/windows above.
+    fill_rgb_rect(img, sub_rect(bbox, 0.0, 0.35, 1.0, 0.45), body_color);
+    let window = (0.25, 0.35, 0.5);
+    match class {
+        ObjectClass::Bus => {
+            // Row of windows: a periodic texture pooling blurs away.
+            for i in 0..5 {
+                fill_rgb_rect(img, sub_rect(bbox, 0.05 + 0.19 * i as f32, 0.1, 0.12, 0.28), window);
+            }
+            fill_rgb_rect(img, sub_rect(bbox, 0.0, 0.05, 1.0, 0.06), body_color);
+        }
+        _ => {
+            fill_rgb_rect(img, sub_rect(bbox, 0.2, 0.1, 0.26, 0.28), window);
+            fill_rgb_rect(img, sub_rect(bbox, 0.54, 0.1, 0.26, 0.28), window);
+        }
+    }
+    // Wheels.
+    let dark = (0.05, 0.05, 0.06);
+    fill_rgb_ellipse(img, sub_rect(bbox, 0.08, 0.72, 0.22, 0.28), dark);
+    fill_rgb_ellipse(img, sub_rect(bbox, 0.70, 0.72, 0.22, 0.28), dark);
+}
+
+fn draw_two_wheeler<R: Rng + ?Sized>(img: &mut RgbImage, bbox: Rect, rng: &mut R) {
+    let dark = (0.08, 0.08, 0.1);
+    fill_rgb_ellipse(img, sub_rect(bbox, 0.0, 0.55, 0.5, 0.45), dark);
+    fill_rgb_ellipse(img, sub_rect(bbox, 0.5, 0.55, 0.5, 0.45), dark);
+    let frame = hsv_to_rgb(rng.gen_range(0.0..1.0), 0.85, 0.7);
+    fill_rgb_rect(img, sub_rect(bbox, 0.1, 0.3, 0.8, 0.18), frame);
+    fill_rgb_rect(img, sub_rect(bbox, 0.42, 0.0, 0.16, 0.4), frame);
+}
+
+/// Renders `class` into `bbox` on the canvas. Pixels outside the canvas are
+/// clipped; the caller is responsible for placing boxes sensibly.
+pub fn render_object<R: Rng + ?Sized>(
+    img: &mut RgbImage,
+    class: ObjectClass,
+    bbox: Rect,
+    rng: &mut R,
+) {
+    match class {
+        ObjectClass::Person => draw_person_like(img, bbox, rng, false),
+        ObjectClass::Cyclist => draw_person_like(img, bbox, rng, true),
+        ObjectClass::Head => draw_head(img, bbox, rng),
+        ObjectClass::Bicycle | ObjectClass::Motor => draw_two_wheeler(img, bbox, rng),
+        c if c.is_vehicle() => draw_vehicle(img, bbox, c, rng),
+        _ => unreachable!("all classes handled"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_imaging::color;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_ids_roundtrip() {
+        for class in ObjectClass::ALL {
+            assert_eq!(ObjectClass::from_id(class.id()), Some(class));
+        }
+        assert_eq!(ObjectClass::from_id(99), None);
+    }
+
+    #[test]
+    fn aspects_distinguish_people_from_vehicles() {
+        assert!(ObjectClass::Person.aspect() < 1.0);
+        assert!(ObjectClass::Bus.aspect() > 2.0);
+        assert!(ObjectClass::Head.aspect() == 1.0);
+    }
+
+    #[test]
+    fn hsv_primaries() {
+        let (r, g, b) = hsv_to_rgb(0.0, 1.0, 1.0);
+        assert!((r - 1.0).abs() < 1e-6 && g.abs() < 1e-6 && b.abs() < 1e-6);
+        let (r, g, b) = hsv_to_rgb(1.0 / 3.0, 1.0, 1.0);
+        assert!(r.abs() < 1e-6 && (g - 1.0).abs() < 1e-6 && b.abs() < 1e-6);
+        let (r, g, b) = hsv_to_rgb(0.5, 0.0, 0.7);
+        assert!((r - 0.7).abs() < 1e-6 && (g - 0.7).abs() < 1e-6 && (b - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rendered_person_contrasts_with_background() {
+        let mut img = RgbImage::from_fn(64, 96, |_, _| (0.45, 0.45, 0.45));
+        let mut rng = StdRng::seed_from_u64(3);
+        let bbox = Rect::new(16, 8, 32, 80);
+        render_object(&mut img, ObjectClass::Person, bbox, &mut rng);
+        // The object region has higher variance than the flat background.
+        let gray = color::rgb_to_gray_mean(&img);
+        let obj = gray.plane().crop(bbox).unwrap();
+        let bg = gray.plane().crop(Rect::new(0, 0, 12, 96)).unwrap();
+        let var = |p: &hirise_imaging::Plane| {
+            let m = p.mean();
+            p.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / p.len() as f32
+        };
+        assert!(var(&obj) > 10.0 * var(&bg).max(1e-9), "object not textured enough");
+    }
+
+    #[test]
+    fn rendered_person_has_color_saturation() {
+        let mut img = RgbImage::from_fn(64, 96, |_, _| (0.45, 0.45, 0.45));
+        let mut rng = StdRng::seed_from_u64(3);
+        let bbox = Rect::new(16, 8, 32, 80);
+        render_object(&mut img, ObjectClass::Person, bbox, &mut rng);
+        let sat = color::saturation(&img);
+        let obj_sat = sat.crop(bbox).unwrap().mean();
+        assert!(obj_sat > 0.05, "object saturation {obj_sat} too low");
+    }
+
+    #[test]
+    fn all_classes_render_without_panicking() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in ObjectClass::ALL {
+            let mut img = RgbImage::new(48, 48);
+            render_object(&mut img, class, Rect::new(4, 4, 40, 40), &mut rng);
+            // Tiny boxes must also work.
+            render_object(&mut img, class, Rect::new(0, 0, 3, 3), &mut rng);
+            // Boxes protruding past the canvas clip instead of panicking.
+            render_object(&mut img, class, Rect::new(40, 40, 20, 20), &mut rng);
+        }
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let names: std::collections::HashSet<String> =
+            ObjectClass::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names.len(), ObjectClass::ALL.len());
+    }
+}

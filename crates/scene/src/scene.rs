@@ -1,0 +1,252 @@
+//! Scene composition: background synthesis and object placement.
+
+use hirise_imaging::draw;
+use hirise_imaging::{Rect, RgbImage};
+use rand::Rng;
+
+use crate::dataset::DatasetSpec;
+use crate::object::{self, hsv_to_rgb, ObjectClass};
+
+/// One ground-truth object in a scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SceneObject {
+    /// Object class.
+    pub class: ObjectClass,
+    /// Tight bounding box in image coordinates.
+    pub bbox: Rect,
+}
+
+/// A rendered scene with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// The rendered RGB canvas (normalised irradiance).
+    pub image: RgbImage,
+    /// Ground-truth objects (render order).
+    pub objects: Vec<SceneObject>,
+}
+
+impl Scene {
+    /// Ground-truth boxes of one class.
+    pub fn boxes_of(&self, class: ObjectClass) -> Vec<Rect> {
+        self.objects.iter().filter(|o| o.class == class).map(|o| o.bbox).collect()
+    }
+
+    /// All ground-truth boxes.
+    pub fn all_boxes(&self) -> Vec<Rect> {
+        self.objects.iter().map(|o| o.bbox).collect()
+    }
+}
+
+/// Deterministic scene generator for one [`DatasetSpec`].
+#[derive(Debug, Clone)]
+pub struct SceneGenerator {
+    spec: DatasetSpec,
+}
+
+impl SceneGenerator {
+    /// Creates a generator for `spec`.
+    pub fn new(spec: DatasetSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The wrapped spec.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    fn paint_background<R: Rng + ?Sized>(&self, img: &mut RgbImage, rng: &mut R) {
+        let (w, h) = img.dimensions();
+        // Sky-to-ground vertical gradient with slight channel tinting.
+        let sky = rng.gen_range(0.55..0.7);
+        let ground = rng.gen_range(0.3..0.45);
+        for (ci, tint) in [(0usize, 0.98f32), (1, 1.0), (2, 1.04)] {
+            let plane = &mut *img.planes_mut()[ci];
+            for y in 0..h {
+                let t = y as f32 / (h - 1).max(1) as f32;
+                let v = (sky + (ground - sky) * t) * tint;
+                for x in 0..w {
+                    plane.set(x, y, v);
+                }
+            }
+        }
+        // Low-amplitude additive noise so the background is not perfectly flat.
+        let seed: u64 = rng.gen();
+        for (i, plane) in img.planes_mut().into_iter().enumerate() {
+            let mut t = draw::TextureRng::new(seed ^ ((i as u64) << 32));
+            for v in plane.as_mut_slice() {
+                *v += 0.02 * (t.next_f32() * 2.0 - 1.0);
+            }
+        }
+        // Distractor rectangles: moderately saturated but *untextured*
+        // blobs (signage, bins, parked structures). At full resolution the
+        // missing fine texture separates them from objects of interest; at
+        // heavy pooling the objects lose their texture too and the
+        // distractors start costing precision — one of the mechanisms
+        // behind the paper's accuracy-vs-resolution trend.
+        for i in 0..self.spec.clutter_rects {
+            let cw = rng.gen_range(w / 16..w / 4).max(2);
+            let chh = rng.gen_range(h / 16..h / 4).max(2);
+            let x = rng.gen_range(0..w.saturating_sub(cw).max(1));
+            let y = rng.gen_range(0..h.saturating_sub(chh).max(1));
+            let sat = if i % 2 == 0 {
+                rng.gen_range(0.05..0.2)
+            } else {
+                rng.gen_range(0.3..0.6)
+            };
+            let color = hsv_to_rgb(rng.gen_range(0.0..1.0), sat, rng.gen_range(0.3..0.7));
+            draw::fill_rect_rgb(img, Rect::new(x, y, cw, chh), color);
+        }
+        // A couple of road-like lines.
+        for _ in 0..2 {
+            let y0 = rng.gen_range(0..h) as i64;
+            let y1 = rng.gen_range(0..h) as i64;
+            let shade = rng.gen_range(0.2..0.3);
+            let [pr, pg, pb] = img.planes_mut();
+            draw::draw_line(pr, 0, y0, w as i64 - 1, y1, shade);
+            draw::draw_line(pg, 0, y0, w as i64 - 1, y1, shade);
+            draw::draw_line(pb, 0, y0, w as i64 - 1, y1, shade);
+        }
+    }
+
+    /// Generates one `width × height` scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width`/`height` are too small to hold the smallest object
+    /// of the preset (< ~16 px for person presets).
+    pub fn generate<R: Rng + ?Sized>(&self, width: u32, height: u32, rng: &mut R) -> Scene {
+        let mut image = RgbImage::new(width, height);
+        self.paint_background(&mut image, rng);
+
+        let count = rng.gen_range(self.spec.objects_per_image.0..=self.spec.objects_per_image.1);
+        let mut objects: Vec<SceneObject> = Vec::with_capacity(count);
+        let mut placed = 0usize;
+        while placed < count {
+            let cluster = rng
+                .gen_range(self.spec.cluster_size.0..=self.spec.cluster_size.1)
+                .min(count - placed);
+            let ccx = rng.gen_range(0.1..0.9) * width as f64;
+            let ccy = rng.gen_range(0.15..0.85) * height as f64;
+            for _ in 0..cluster {
+                let class = self.spec.classes[rng.gen_range(0..self.spec.classes.len())];
+                let scale = rng.gen_range(self.spec.scale_range.0..self.spec.scale_range.1);
+                let oh = ((scale * height as f64) as u32).max(4);
+                let aspect = class.aspect() as f64 * rng.gen_range(0.85..1.15);
+                let ow = ((oh as f64 * aspect) as u32).max(3);
+                let spread = self.spec.cluster_spread;
+                let jx = rng.gen_range(-spread..spread) * ow as f64;
+                let jy = rng.gen_range(-spread..spread) * oh as f64 * 0.4;
+                let x = (ccx + jx - ow as f64 / 2.0)
+                    .clamp(0.0, (width.saturating_sub(ow)) as f64) as u32;
+                let y = (ccy + jy - oh as f64 / 2.0)
+                    .clamp(0.0, (height.saturating_sub(oh)) as f64) as u32;
+                let bbox = Rect::new(x, y, ow.min(width), oh.min(height));
+                objects.push(SceneObject { class, bbox });
+                placed += 1;
+            }
+        }
+
+        // Render back-to-front (top of frame first) so nearer objects
+        // overdraw farther ones, like a real crowd.
+        objects.sort_by_key(|o| o.bbox.y);
+        let mut all = Vec::with_capacity(objects.len() * 2);
+        for obj in &objects {
+            object::render_object(&mut image, obj.class, obj.bbox, rng);
+            all.push(*obj);
+            if self.spec.annotate_heads && obj.class == ObjectClass::Person {
+                // The head sub-rectangle matches the renderer's layout.
+                let b = obj.bbox;
+                let hx = b.x + (b.w as f32 * 0.28) as u32;
+                let hw = ((b.w as f32 * 0.44) as u32).max(1);
+                let hh = ((b.h as f32 * 0.22) as u32).max(1);
+                all.push(SceneObject { class: ObjectClass::Head, bbox: Rect::new(hx, b.y, hw, hh) });
+            }
+        }
+
+        Scene { image, objects: all }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_object_counts() {
+        let gen = SceneGenerator::new(DatasetSpec::dhdcampus_like());
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let scene = gen.generate(320, 240, &mut rng);
+            let n = scene.objects.len();
+            assert!((3..=8).contains(&n), "object count {n}");
+        }
+    }
+
+    #[test]
+    fn crowdhuman_scene_has_heads_for_every_person() {
+        let gen = SceneGenerator::new(DatasetSpec::crowdhuman_like());
+        let mut rng = StdRng::seed_from_u64(5);
+        let scene = gen.generate(640, 480, &mut rng);
+        let persons = scene.boxes_of(ObjectClass::Person).len();
+        let heads = scene.boxes_of(ObjectClass::Head).len();
+        assert_eq!(persons, heads);
+        assert!(persons >= 13 && persons <= 19);
+    }
+
+    #[test]
+    fn boxes_stay_inside_image() {
+        for spec in DatasetSpec::paper_presets() {
+            let gen = SceneGenerator::new(spec);
+            let mut rng = StdRng::seed_from_u64(17);
+            let scene = gen.generate(400, 300, &mut rng);
+            for o in &scene.objects {
+                assert!(
+                    o.bbox.fits_within(400, 300),
+                    "{} box {} escapes the canvas",
+                    o.class,
+                    o.bbox
+                );
+                assert!(!o.bbox.is_degenerate());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let gen = SceneGenerator::new(DatasetSpec::visdrone_like());
+        let a = gen.generate(320, 240, &mut StdRng::seed_from_u64(99));
+        let b = gen.generate(320, 240, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a.objects, b.objects);
+        assert_eq!(a.image, b.image);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen = SceneGenerator::new(DatasetSpec::visdrone_like());
+        let a = gen.generate(320, 240, &mut StdRng::seed_from_u64(1));
+        let b = gen.generate(320, 240, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a.objects, b.objects);
+    }
+
+    #[test]
+    fn visdrone_objects_are_tiny() {
+        let gen = SceneGenerator::new(DatasetSpec::visdrone_like());
+        let mut rng = StdRng::seed_from_u64(2);
+        let scene = gen.generate(640, 480, &mut rng);
+        for o in &scene.objects {
+            assert!(o.bbox.h <= 480 / 10, "visdrone object too large: {}", o.bbox);
+        }
+    }
+
+    #[test]
+    fn background_is_not_flat() {
+        let gen = SceneGenerator::new(DatasetSpec::dhdcampus_like());
+        let mut rng = StdRng::seed_from_u64(4);
+        let scene = gen.generate(160, 120, &mut rng);
+        let p = scene.image.g();
+        assert!(p.max() - p.min() > 0.1, "background lacks structure");
+    }
+}

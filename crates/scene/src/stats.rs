@@ -1,0 +1,170 @@
+//! Box statistics over generated scenes.
+//!
+//! The transfer/energy experiments (Fig. 7, Fig. 8, Table 3) consume
+//! *statistics* of the ground-truth ROIs rather than the pixels themselves:
+//! per-image box count, the sum of box areas (each box shipped separately)
+//! and the area of their union (each pixel converted once). This module
+//! measures those statistics over freshly generated scenes.
+
+use hirise_imaging::rect::{sum_area, union_area};
+use rand::Rng;
+
+use crate::object::ObjectClass;
+use crate::scene::{Scene, SceneGenerator};
+
+/// Aggregated box statistics over a sample of scenes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// Number of scenes measured.
+    pub scenes: usize,
+    /// Median boxes per image.
+    pub median_count: usize,
+    /// Median of (sum of box areas) / (image area).
+    pub median_sum_area_frac: f64,
+    /// Median of (union of box areas) / (image area).
+    pub median_union_area_frac: f64,
+    /// Median box width, pixels.
+    pub median_box_w: u32,
+    /// Median box height, pixels.
+    pub median_box_h: u32,
+}
+
+fn median_u64(values: &mut [u64]) -> u64 {
+    values.sort_unstable();
+    if values.is_empty() {
+        0
+    } else {
+        values[values.len() / 2]
+    }
+}
+
+fn median_f64(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stats"));
+    if values.is_empty() {
+        0.0
+    } else {
+        values[values.len() / 2]
+    }
+}
+
+impl BoxStats {
+    /// Measures statistics over already-generated scenes, optionally
+    /// filtered to one class (`None` = all classes).
+    pub fn measure(scenes: &[Scene], class: Option<ObjectClass>) -> BoxStats {
+        let mut counts = Vec::with_capacity(scenes.len());
+        let mut sums = Vec::with_capacity(scenes.len());
+        let mut unions = Vec::with_capacity(scenes.len());
+        let mut widths = Vec::new();
+        let mut heights = Vec::new();
+        for s in scenes {
+            let boxes = match class {
+                Some(c) => s.boxes_of(c),
+                None => s.all_boxes(),
+            };
+            let image_area = (s.image.width() as u64 * s.image.height() as u64) as f64;
+            counts.push(boxes.len() as u64);
+            sums.push(sum_area(&boxes) as f64 / image_area);
+            unions.push(union_area(&boxes) as f64 / image_area);
+            for b in &boxes {
+                widths.push(b.w as u64);
+                heights.push(b.h as u64);
+            }
+        }
+        BoxStats {
+            scenes: scenes.len(),
+            median_count: median_u64(&mut counts) as usize,
+            median_sum_area_frac: median_f64(&mut sums),
+            median_union_area_frac: median_f64(&mut unions),
+            median_box_w: median_u64(&mut widths) as u32,
+            median_box_h: median_u64(&mut heights) as u32,
+        }
+    }
+
+    /// Generates `n` scenes of `width × height` and measures them.
+    pub fn sample<R: Rng + ?Sized>(
+        generator: &SceneGenerator,
+        width: u32,
+        height: u32,
+        n: usize,
+        class: Option<ObjectClass>,
+        rng: &mut R,
+    ) -> BoxStats {
+        let scenes: Vec<Scene> = (0..n).map(|_| generator.generate(width, height, rng)).collect();
+        Self::measure(&scenes, class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crowdhuman_stats_match_paper_calibration() {
+        let gen = SceneGenerator::new(DatasetSpec::crowdhuman_like());
+        let mut rng = StdRng::seed_from_u64(1234);
+        let stats =
+            BoxStats::sample(&gen, 512, 384, 24, Some(ObjectClass::Person), &mut rng);
+        // Paper back-solved targets: Σ≈27%, union≈9.2%, j≈16.
+        assert!(
+            (stats.median_count as i64 - 16).abs() <= 3,
+            "person count median {}",
+            stats.median_count
+        );
+        assert!(
+            (stats.median_sum_area_frac - 0.27).abs() < 0.08,
+            "sum area frac {}",
+            stats.median_sum_area_frac
+        );
+        assert!(
+            (stats.median_union_area_frac - 0.092).abs() < 0.05,
+            "union area frac {}",
+            stats.median_union_area_frac
+        );
+        // Crowds overlap: the sum must exceed the union substantially.
+        assert!(stats.median_sum_area_frac > 1.8 * stats.median_union_area_frac);
+    }
+
+    #[test]
+    fn head_boxes_match_table3_roi_fraction() {
+        let gen = SceneGenerator::new(DatasetSpec::crowdhuman_like());
+        let mut rng = StdRng::seed_from_u64(42);
+        let stats = BoxStats::sample(&gen, 640, 480, 16, Some(ObjectClass::Head), &mut rng);
+        // Table 3: the median head ROI is ~4.4% of array width (112/2560).
+        let frac = stats.median_box_w as f64 / 640.0;
+        assert!((frac - 0.044).abs() < 0.02, "head width fraction {frac}");
+    }
+
+    #[test]
+    fn visdrone_has_smallest_boxes_and_lowest_coverage() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ch = BoxStats::sample(
+            &SceneGenerator::new(DatasetSpec::crowdhuman_like()),
+            512,
+            384,
+            8,
+            Some(ObjectClass::Person),
+            &mut rng,
+        );
+        let vd = BoxStats::sample(
+            &SceneGenerator::new(DatasetSpec::visdrone_like()),
+            512,
+            384,
+            8,
+            None,
+            &mut rng,
+        );
+        assert!(vd.median_box_h < ch.median_box_h / 2);
+        assert!(vd.median_sum_area_frac < ch.median_sum_area_frac / 2.0);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let stats = BoxStats::measure(&[], None);
+        assert_eq!(stats.scenes, 0);
+        assert_eq!(stats.median_count, 0);
+        assert_eq!(stats.median_sum_area_frac, 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The analog pixel array: scene irradiance captured as per-sub-pixel
+//! voltages with fixed-pattern noise baked in.
+
+use hirise_imaging::{Plane, Rect, RgbImage};
+
+use crate::pixel::PixelParams;
+
+/// Deterministic per-position Gaussian-ish mismatch (sum of four uniforms,
+/// variance-corrected), so the fixed pattern is stable across captures of
+/// the same array.
+fn fpn(seed: u64, channel: u64, x: u64, y: u64) -> f64 {
+    let mut h = seed ^ (channel << 56) ^ (y << 28) ^ x;
+    let mut acc = 0.0f64;
+    for _ in 0..4 {
+        // splitmix64 step
+        h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        acc += (z >> 40) as f64 / (1u64 << 24) as f64 - 0.5;
+    }
+    // Sum of 4 U(-0.5, 0.5) has variance 4/12; scale to unit variance.
+    acc / (4.0f64 / 12.0).sqrt()
+}
+
+/// A captured analog pixel array: three voltage planes (R, G, B), one value
+/// per sub-pixel, with PRNU/DSNU fixed-pattern mismatch applied.
+///
+/// The array is the *analog domain* — nothing here has been converted or
+/// transferred. All HiRISE readout paths start from this object.
+#[derive(Debug, Clone)]
+pub struct PixelArray {
+    planes: [Plane; 3],
+    params: PixelParams,
+}
+
+impl PixelArray {
+    /// Captures `scene` (normalised irradiance per channel) onto the array.
+    ///
+    /// `seed` selects the fixed-pattern noise realisation; the same seed
+    /// reproduces the same mismatch map.
+    pub fn from_scene(scene: &RgbImage, params: PixelParams, seed: u64) -> Self {
+        let (w, h) = scene.dimensions();
+        let mut planes = [Plane::new(w, h), Plane::new(w, h), Plane::new(w, h)];
+        for (ch, src) in scene.planes().into_iter().enumerate() {
+            let dst = &mut planes[ch];
+            for y in 0..h {
+                for x in 0..w {
+                    let irr = src.get(x, y);
+                    let v = if params.prnu_sigma == 0.0 && params.dsnu_sigma == 0.0 {
+                        params.voltage(irr)
+                    } else {
+                        let prnu = params.prnu_sigma * fpn(seed, ch as u64, x as u64, y as u64);
+                        let dsnu =
+                            params.dsnu_sigma * fpn(seed ^ 0xABCD, ch as u64, x as u64, y as u64);
+                        params.voltage_with_mismatch(irr, prnu, dsnu)
+                    };
+                    dst.set(x, y, v as f32);
+                }
+            }
+        }
+        Self { planes, params }
+    }
+
+    /// Array width in pixel sites.
+    pub fn width(&self) -> u32 {
+        self.planes[0].width()
+    }
+
+    /// Array height in pixel sites.
+    pub fn height(&self) -> u32 {
+        self.planes[0].height()
+    }
+
+    /// Total number of sub-pixels (`width · height · 3`).
+    pub fn subpixel_count(&self) -> u64 {
+        self.width() as u64 * self.height() as u64 * 3
+    }
+
+    /// Pixel parameters the array was captured with.
+    pub fn params(&self) -> &PixelParams {
+        &self.params
+    }
+
+    /// Analog voltage of one sub-pixel (`channel` 0..3 = R, G, B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= 3` or the coordinate is out of bounds.
+    pub fn voltage(&self, channel: usize, x: u32, y: u32) -> f64 {
+        self.planes[channel].get(x, y) as f64
+    }
+
+    /// Voltage plane of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= 3`.
+    pub fn plane(&self, channel: usize) -> &Plane {
+        &self.planes[channel]
+    }
+
+    /// Mean voltage over a window of one channel — what the averaging
+    /// circuit ties together for a single-channel pooling site.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds windows (callers validate rectangles first).
+    pub fn mean_window(&self, channel: usize, rect: Rect) -> f64 {
+        let p = &self.planes[channel];
+        let mut acc = 0.0f64;
+        for y in rect.y..rect.bottom() {
+            for x in rect.x..rect.right() {
+                acc += p.get(x, y) as f64;
+            }
+        }
+        acc / rect.area() as f64
+    }
+
+    /// Mean voltage over a window across all three channels — the
+    /// gray-pooling configuration (`k·k·3` sub-pixels tied together).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds windows.
+    pub fn mean_window_rgb(&self, rect: Rect) -> f64 {
+        (self.mean_window(0, rect) + self.mean_window(1, rect) + self.mean_window(2, rect)) / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_scene(level: f32) -> RgbImage {
+        RgbImage::from_fn(8, 8, |_, _| (level, level, level))
+    }
+
+    #[test]
+    fn noiseless_capture_is_exact() {
+        let arr = PixelArray::from_scene(&flat_scene(0.5), PixelParams::noiseless(), 1);
+        for ch in 0..3 {
+            assert!((arr.voltage(ch, 3, 3) - 0.6).abs() < 1e-6);
+        }
+        assert_eq!(arr.subpixel_count(), 8 * 8 * 3);
+    }
+
+    #[test]
+    fn fpn_is_deterministic_per_seed() {
+        let p = PixelParams::default();
+        let a = PixelArray::from_scene(&flat_scene(0.5), p, 7);
+        let b = PixelArray::from_scene(&flat_scene(0.5), p, 7);
+        let c = PixelArray::from_scene(&flat_scene(0.5), p, 8);
+        assert_eq!(a.voltage(0, 2, 2), b.voltage(0, 2, 2));
+        assert_ne!(a.voltage(0, 2, 2), c.voltage(0, 2, 2));
+    }
+
+    #[test]
+    fn fpn_magnitude_is_bounded() {
+        let p = PixelParams::default();
+        let arr = PixelArray::from_scene(&flat_scene(0.5), p, 3);
+        for ch in 0..3 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    let dv = (arr.voltage(ch, x, y) - 0.6).abs();
+                    // 5 sigma of combined prnu (0.5% of 0.3 V) + dsnu (0.5 mV)
+                    assert!(dv < 0.012, "fpn {dv} too large at ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_window_averages() {
+        let scene = RgbImage::from_fn(4, 4, |x, _| (x as f32 / 4.0, 0.0, 1.0));
+        let arr = PixelArray::from_scene(&scene, PixelParams::noiseless(), 0);
+        let m = arr.mean_window(0, Rect::new(0, 0, 4, 4));
+        // irradiances 0, .25, .5, .75 -> mean 0.375 -> v = 0.3 + 0.6*0.375
+        assert!((m - 0.525).abs() < 1e-6);
+        let b = arr.mean_window(2, Rect::new(1, 1, 2, 2));
+        assert!((b - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_window_rgb_combines_channels() {
+        let scene = RgbImage::from_fn(2, 2, |_, _| (0.0, 0.5, 1.0));
+        let arr = PixelArray::from_scene(&scene, PixelParams::noiseless(), 0);
+        let m = arr.mean_window_rgb(Rect::new(0, 0, 2, 2));
+        // channel means: 0.3, 0.6, 0.9 -> 0.6
+        assert!((m - 0.6).abs() < 1e-6);
+    }
+}

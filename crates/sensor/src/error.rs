@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+use hirise_imaging::ImagingError;
+
+/// Error type for sensor operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SensorError {
+    /// A pooling factor does not tile the array.
+    InvalidPooling {
+        /// Requested pooling factor.
+        k: u32,
+        /// Array width.
+        width: u32,
+        /// Array height.
+        height: u32,
+    },
+    /// An ROI falls outside the pixel array.
+    RoiOutOfBounds {
+        /// Offending rectangle `(x, y, w, h)`.
+        rect: (u32, u32, u32, u32),
+        /// Array width.
+        width: u32,
+        /// Array height.
+        height: u32,
+    },
+    /// A configuration value is non-physical.
+    InvalidConfig {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Propagated image-layer failure.
+    Imaging(ImagingError),
+}
+
+impl fmt::Display for SensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorError::InvalidPooling { k, width, height } => {
+                write!(f, "pooling factor {k} does not tile the {width}x{height} array")
+            }
+            SensorError::RoiOutOfBounds { rect, width, height } => write!(
+                f,
+                "roi x={} y={} w={} h={} outside {width}x{height} array",
+                rect.0, rect.1, rect.2, rect.3
+            ),
+            SensorError::InvalidConfig { parameter, value } => {
+                write!(f, "invalid sensor configuration: {parameter} = {value}")
+            }
+            SensorError::Imaging(e) => write!(f, "imaging error: {e}"),
+        }
+    }
+}
+
+impl Error for SensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SensorError::Imaging(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImagingError> for SensorError {
+    fn from(e: ImagingError) -> Self {
+        SensorError::Imaging(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            SensorError::InvalidPooling { k: 3, width: 8, height: 8 },
+            SensorError::RoiOutOfBounds { rect: (0, 0, 9, 9), width: 8, height: 8 },
+            SensorError::InvalidConfig { parameter: "bits", value: 0.0 },
+            SensorError::Imaging(ImagingError::Decode("x".into())),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn imaging_source_preserved() {
+        let e = SensorError::Imaging(ImagingError::Decode("bad".into()));
+        assert!(e.source().is_some());
+    }
+}

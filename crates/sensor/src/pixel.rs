@@ -1,0 +1,122 @@
+//! Single-pixel transfer and noise model.
+//!
+//! A pixel maps scene irradiance (normalised `0.0..=1.0`) to an analog
+//! voltage between `v_dark` and `v_sat`. The defaults (`0.3 V` / `0.9 V`)
+//! match the input range over which the pooling circuit's behavioural model
+//! was fitted in `hirise-analog`, keeping every follower in saturation.
+//!
+//! Noise terms follow the usual CMOS-imager split:
+//!
+//! * **PRNU** (photo-response non-uniformity) — per-pixel multiplicative
+//!   gain mismatch, fixed pattern,
+//! * **DSNU** (dark-signal non-uniformity) — per-pixel additive offset,
+//!   fixed pattern,
+//! * **read noise** — temporal Gaussian noise drawn fresh at every readout.
+
+/// Pixel transfer and noise parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelParams {
+    /// Voltage at zero irradiance, volts.
+    pub v_dark: f64,
+    /// Voltage at full-scale irradiance, volts.
+    pub v_sat: f64,
+    /// Temporal read-noise standard deviation, volts.
+    pub read_noise: f64,
+    /// PRNU standard deviation (relative gain mismatch, dimensionless).
+    pub prnu_sigma: f64,
+    /// DSNU standard deviation, volts.
+    pub dsnu_sigma: f64,
+}
+
+impl Default for PixelParams {
+    fn default() -> Self {
+        Self {
+            v_dark: 0.3,
+            v_sat: 0.9,
+            read_noise: 0.5e-3,
+            prnu_sigma: 0.005,
+            dsnu_sigma: 0.5e-3,
+        }
+    }
+}
+
+impl PixelParams {
+    /// Noise-free variant, useful for exactness tests.
+    pub fn noiseless() -> Self {
+        Self { read_noise: 0.0, prnu_sigma: 0.0, dsnu_sigma: 0.0, ..Self::default() }
+    }
+
+    /// Voltage swing `v_sat - v_dark`, volts.
+    pub fn swing(&self) -> f64 {
+        self.v_sat - self.v_dark
+    }
+
+    /// Ideal (mismatch-free) transfer: irradiance to voltage, clamping the
+    /// irradiance into `0.0..=1.0`.
+    pub fn voltage(&self, irradiance: f32) -> f64 {
+        self.v_dark + self.swing() * irradiance.clamp(0.0, 1.0) as f64
+    }
+
+    /// Transfer with per-pixel fixed-pattern mismatch applied:
+    /// `v = v_dark + swing · irr · (1 + prnu) + dsnu`.
+    pub fn voltage_with_mismatch(&self, irradiance: f32, prnu: f64, dsnu: f64) -> f64 {
+        self.v_dark + self.swing() * irradiance.clamp(0.0, 1.0) as f64 * (1.0 + prnu) + dsnu
+    }
+
+    /// Inverse ideal transfer: voltage back to irradiance (unclamped).
+    pub fn irradiance(&self, voltage: f64) -> f32 {
+        ((voltage - self.v_dark) / self.swing()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_behavior_fit_range() {
+        let p = PixelParams::default();
+        assert_eq!(p.v_dark, 0.3);
+        assert_eq!(p.v_sat, 0.9);
+        assert!((p.swing() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_endpoints() {
+        let p = PixelParams::noiseless();
+        assert!((p.voltage(0.0) - 0.3).abs() < 1e-12);
+        assert!((p.voltage(1.0) - 0.9).abs() < 1e-12);
+        assert!((p.voltage(0.5) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_clamps_out_of_range_irradiance() {
+        let p = PixelParams::noiseless();
+        assert!((p.voltage(-0.5) - 0.3).abs() < 1e-12);
+        assert!((p.voltage(2.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let p = PixelParams::noiseless();
+        for irr in [0.0f32, 0.25, 0.5, 0.99] {
+            assert!((p.irradiance(p.voltage(irr)) - irr).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mismatch_terms_apply() {
+        let p = PixelParams::noiseless();
+        let v = p.voltage_with_mismatch(0.5, 0.01, 0.002);
+        // 0.3 + 0.6*0.5*1.01 + 0.002
+        assert!((v - 0.605).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noiseless_has_zero_sigmas() {
+        let p = PixelParams::noiseless();
+        assert_eq!(p.read_noise, 0.0);
+        assert_eq!(p.prnu_sigma, 0.0);
+        assert_eq!(p.dsnu_sigma, 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! In-sensor analog pooling, behaviourally.
+//!
+//! Each pooled output site corresponds to one instance of the Fig.-4
+//! averaging circuit: `k·k` sub-pixels of one channel (RGB mode) or
+//! `k·k·3` sub-pixels (gray mode) tied together through `N·R` legs. The
+//! transfer applied here is the line fitted from the transistor-level
+//! simulation (`hirise_analog::behavior`), plus
+//!
+//! * a bow-shaped residual bounded by the fit's `max_residual` — the
+//!   circuit's systematic nonlinearity,
+//! * thermal noise at the shared node,
+//! * the source followers' read noise, attenuated by `1/√N` through the
+//!   averaging.
+
+use hirise_imaging::{Plane, Rect};
+use rand::Rng;
+
+use crate::array::PixelArray;
+use crate::{Result, SensorError};
+
+/// Standard Gaussian sample via Box–Muller.
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Behavioural parameters of the analog pooling circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolingConfig {
+    /// Linear gain from mean pixel voltage to the `avg` node.
+    pub gain: f64,
+    /// Output offset, volts.
+    pub offset: f64,
+    /// Thermal noise at the shared node, volts RMS.
+    pub noise_sigma: f64,
+    /// Peak systematic nonlinearity (bow over the input range), volts.
+    pub nonlinearity: f64,
+}
+
+impl Default for PoolingConfig {
+    /// Constants extracted from the 12-input transistor-level fit; an
+    /// integration test re-derives them from `hirise-analog` to prevent
+    /// drift.
+    fn default() -> Self {
+        Self {
+            gain: hirise_analog::behavior::calibrated::GAIN_12,
+            offset: hirise_analog::behavior::calibrated::OFFSET_12,
+            noise_sigma: 0.3e-3,
+            nonlinearity: hirise_analog::behavior::calibrated::MAX_RESIDUAL_12,
+        }
+    }
+}
+
+impl PoolingConfig {
+    /// Ideal circuit: exact averaging, no noise, no nonlinearity. The
+    /// output still passes through the linear gain/offset so the readout
+    /// calibration path is exercised.
+    pub fn ideal() -> Self {
+        Self { noise_sigma: 0.0, nonlinearity: 0.0, ..Self::default() }
+    }
+
+    /// Re-fits the behavioural constants from the transistor-level circuit
+    /// with `n` inputs (slower; used by ablation benches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates analog-solver failures as [`SensorError::InvalidConfig`].
+    pub fn fit_from_analog(n: usize, range: (f64, f64)) -> Result<Self> {
+        let circuit = hirise_analog::pooling::PoolingCircuit::builder(n)
+            .build()
+            .map_err(|_| SensorError::InvalidConfig { parameter: "pooling inputs", value: n as f64 })?;
+        let fit = hirise_analog::behavior::PoolingBehavior::fit(&circuit, range, 9)
+            .map_err(|_| SensorError::InvalidConfig { parameter: "pooling fit", value: n as f64 })?;
+        Ok(Self {
+            gain: fit.gain,
+            offset: fit.offset,
+            noise_sigma: 0.3e-3,
+            nonlinearity: fit.max_residual,
+        })
+    }
+
+    /// Forward transfer for a mean pixel voltage, including the systematic
+    /// bow (deterministic part only).
+    pub fn transfer(&self, mean_v: f64, v_dark: f64, v_sat: f64) -> f64 {
+        let t = ((mean_v - v_dark) / (v_sat - v_dark)).clamp(0.0, 1.0);
+        self.gain * mean_v + self.offset + self.nonlinearity * (std::f64::consts::PI * t).sin()
+    }
+
+    /// Output voltage the circuit produces for the darkest/brightest mean
+    /// input — the range the pooled-readout ADC is spanned over.
+    pub fn output_range(&self, v_dark: f64, v_sat: f64) -> (f64, f64) {
+        (self.gain * v_dark + self.offset, self.gain * v_sat + self.offset)
+    }
+}
+
+/// Checks that `k` tiles the array.
+pub(crate) fn validate_pooling(array: &PixelArray, k: u32) -> Result<()> {
+    if k == 0 || array.width() % k != 0 || array.height() % k != 0 {
+        return Err(SensorError::InvalidPooling {
+            k,
+            width: array.width(),
+            height: array.height(),
+        });
+    }
+    Ok(())
+}
+
+/// Pools one channel of the array with `k×k` sites, returning the analog
+/// voltages at the `avg` nodes.
+///
+/// # Errors
+///
+/// [`SensorError::InvalidPooling`] when `k` does not tile the array.
+pub fn pool_channel<R: Rng + ?Sized>(
+    array: &PixelArray,
+    channel: usize,
+    k: u32,
+    cfg: &PoolingConfig,
+    rng: &mut R,
+) -> Result<Plane> {
+    validate_pooling(array, k)?;
+    let params = array.params();
+    let n_inputs = (k * k) as f64;
+    let read_sigma = params.read_noise / n_inputs.sqrt();
+    let (ow, oh) = (array.width() / k, array.height() / k);
+    let mut out = Plane::new(ow, oh);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mean = array.mean_window(channel, Rect::new(ox * k, oy * k, k, k));
+            let mut v = cfg.transfer(mean, params.v_dark, params.v_sat);
+            let sigma = (cfg.noise_sigma * cfg.noise_sigma + read_sigma * read_sigma).sqrt();
+            if sigma > 0.0 {
+                v += sigma * gaussian(rng);
+            }
+            out.set(ox, oy, v as f32);
+        }
+    }
+    Ok(out)
+}
+
+/// Pools all three channels together (`k·k·3` inputs per site) — the
+/// combined grayscale + pooling configuration.
+///
+/// # Errors
+///
+/// [`SensorError::InvalidPooling`] when `k` does not tile the array.
+pub fn pool_gray<R: Rng + ?Sized>(
+    array: &PixelArray,
+    k: u32,
+    cfg: &PoolingConfig,
+    rng: &mut R,
+) -> Result<Plane> {
+    validate_pooling(array, k)?;
+    let params = array.params();
+    let n_inputs = (k * k * 3) as f64;
+    let read_sigma = params.read_noise / n_inputs.sqrt();
+    let (ow, oh) = (array.width() / k, array.height() / k);
+    let mut out = Plane::new(ow, oh);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mean = array.mean_window_rgb(Rect::new(ox * k, oy * k, k, k));
+            let mut v = cfg.transfer(mean, params.v_dark, params.v_sat);
+            let sigma = (cfg.noise_sigma * cfg.noise_sigma + read_sigma * read_sigma).sqrt();
+            if sigma > 0.0 {
+                v += sigma * gaussian(rng);
+            }
+            out.set(ox, oy, v as f32);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::PixelParams;
+    use hirise_imaging::RgbImage;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn array(level: f32, w: u32, h: u32) -> PixelArray {
+        let scene = RgbImage::from_fn(w, h, |_, _| (level, level, level));
+        PixelArray::from_scene(&scene, PixelParams::noiseless(), 0)
+    }
+
+    #[test]
+    fn default_config_uses_calibrated_constants() {
+        let cfg = PoolingConfig::default();
+        assert_eq!(cfg.gain, hirise_analog::behavior::calibrated::GAIN_12);
+        assert_eq!(cfg.offset, hirise_analog::behavior::calibrated::OFFSET_12);
+    }
+
+    #[test]
+    fn ideal_pooling_of_flat_field() {
+        let arr = array(0.5, 8, 8);
+        let cfg = PoolingConfig::ideal();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = pool_channel(&arr, 0, 4, &cfg, &mut rng).unwrap();
+        assert_eq!(p.dimensions(), (2, 2));
+        let expected = cfg.gain * 0.6 + cfg.offset;
+        for &v in p.as_slice() {
+            assert!((v as f64 - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gray_pooling_merges_channels() {
+        let scene = RgbImage::from_fn(4, 4, |_, _| (0.0, 0.5, 1.0));
+        let arr = PixelArray::from_scene(&scene, PixelParams::noiseless(), 0);
+        let cfg = PoolingConfig::ideal();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = pool_gray(&arr, 2, &cfg, &mut rng).unwrap();
+        // mean irradiance 0.5 -> mean voltage 0.6
+        let expected = cfg.gain * 0.6 + cfg.offset;
+        for &v in p.as_slice() {
+            assert!((v as f64 - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn invalid_factor_rejected() {
+        let arr = array(0.5, 6, 6);
+        let cfg = PoolingConfig::ideal();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(pool_channel(&arr, 0, 4, &cfg, &mut rng).is_err());
+        assert!(pool_channel(&arr, 0, 0, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn noise_scales_down_with_pool_size() {
+        // Larger pools average more followers: the read-noise contribution
+        // shrinks as 1/sqrt(N). Compare sample standard deviations.
+        let params = PixelParams { read_noise: 5e-3, ..PixelParams::noiseless() };
+        let scene = RgbImage::from_fn(32, 32, |_, _| (0.5, 0.5, 0.5));
+        let arr = PixelArray::from_scene(&scene, params, 0);
+        let cfg = PoolingConfig { noise_sigma: 0.0, nonlinearity: 0.0, ..PoolingConfig::default() };
+        let mut rng = StdRng::seed_from_u64(42);
+        let p2 = pool_channel(&arr, 0, 2, &cfg, &mut rng).unwrap();
+        let p8 = pool_channel(&arr, 0, 8, &cfg, &mut rng).unwrap();
+        let sd = |p: &Plane| {
+            let m = p.mean() as f64;
+            (p.as_slice().iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>()
+                / p.len() as f64)
+                .sqrt()
+        };
+        let (s2, s8) = (sd(&p2), sd(&p8));
+        assert!(s8 < s2, "noise did not shrink: sd2={s2} sd8={s8}");
+    }
+
+    #[test]
+    fn transfer_is_monotone() {
+        let cfg = PoolingConfig::default();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let v = 0.3 + 0.6 * i as f64 / 10.0;
+            let out = cfg.transfer(v, 0.3, 0.9);
+            assert!(out > last);
+            last = out;
+        }
+    }
+
+    #[test]
+    fn output_range_brackets_transfers() {
+        let cfg = PoolingConfig::default();
+        let (lo, hi) = cfg.output_range(0.3, 0.9);
+        assert!(lo < hi);
+        let mid = cfg.transfer(0.6, 0.3, 0.9);
+        assert!(mid > lo && mid < hi + cfg.nonlinearity);
+    }
+
+    #[test]
+    fn fit_from_analog_close_to_calibrated() {
+        let fitted = PoolingConfig::fit_from_analog(12, (0.3, 0.9)).unwrap();
+        let cal = PoolingConfig::default();
+        assert!((fitted.gain - cal.gain).abs() < 1e-3, "gain drifted: {}", fitted.gain);
+        assert!((fitted.offset - cal.offset).abs() < 1e-3, "offset drifted: {}", fitted.offset);
+    }
+}

@@ -1,0 +1,202 @@
+//! Selective ROI readout: the stage-2 path.
+//!
+//! After the stage-1 model has located objects on the pooled image, the
+//! processor sends box coordinates back to the sensor (`j · 4` words — a
+//! negligible transfer) and the sensor's address encoder converts *only*
+//! the pixels inside those boxes, at full resolution.
+//!
+//! Accounting subtlety reproduced from the paper: when boxes overlap, the
+//! encoder converts each physical pixel **once** (conversions follow the
+//! **union** of the boxes) but each box is shipped to the processor as its
+//! own packet (transfer follows the **sum** of box areas). This is what
+//! makes the paper's Fig. 7 transfer shares and Fig. 8 stage-2 energies
+//! consistent with each other.
+
+use hirise_imaging::rect::{sum_area, union_area};
+use hirise_imaging::{Plane, Rect, RgbImage};
+use rand::Rng;
+
+use crate::adc::Adc;
+use crate::array::PixelArray;
+use crate::pooling::gaussian;
+use crate::sensor::ReadoutStats;
+use crate::{Result, SensorError};
+
+/// Number of 16-bit words used to encode one bounding box (x, y, w, h) in
+/// the processor→sensor direction, per the paper's `j · (4 × Words)` term.
+pub const WORDS_PER_BOX: u64 = 4;
+
+/// Bits per coordinate word.
+pub const WORD_BITS: u64 = 16;
+
+fn check_roi(array: &PixelArray, rect: Rect) -> Result<()> {
+    if rect.is_degenerate() || !rect.fits_within(array.width(), array.height()) {
+        return Err(SensorError::RoiOutOfBounds {
+            rect: (rect.x, rect.y, rect.w, rect.h),
+            width: array.width(),
+            height: array.height(),
+        });
+    }
+    Ok(())
+}
+
+/// Converts the sub-pixels of one ROI through `adc`, returning the digital
+/// image (unit range) without accounting (see [`read_rois`] for stats).
+fn convert_roi<R: Rng + ?Sized>(
+    array: &PixelArray,
+    rect: Rect,
+    adc: &Adc,
+    rng: &mut R,
+) -> RgbImage {
+    let params = array.params();
+    let mut planes = [
+        Plane::new(rect.w, rect.h),
+        Plane::new(rect.w, rect.h),
+        Plane::new(rect.w, rect.h),
+    ];
+    for (ch, plane) in planes.iter_mut().enumerate() {
+        for dy in 0..rect.h {
+            for dx in 0..rect.w {
+                let mut v = array.voltage(ch, rect.x + dx, rect.y + dy);
+                if params.read_noise > 0.0 {
+                    v += params.read_noise * gaussian(rng);
+                }
+                let code = adc.convert(v, rng);
+                plane.set(dx, dy, adc.code_to_unit(code));
+            }
+        }
+    }
+    let [r, g, b] = planes;
+    RgbImage::from_planes(r, g, b).expect("planes share rect dimensions")
+}
+
+/// Reads a single full-resolution ROI.
+///
+/// # Errors
+///
+/// [`SensorError::RoiOutOfBounds`] when the rectangle leaves the array.
+pub fn read_roi<R: Rng + ?Sized>(
+    array: &PixelArray,
+    rect: Rect,
+    adc: &Adc,
+    rng: &mut R,
+) -> Result<(RgbImage, ReadoutStats)> {
+    check_roi(array, rect)?;
+    let img = convert_roi(array, rect, adc, rng);
+    let area = rect.area();
+    let stats = ReadoutStats {
+        conversions: 3 * area,
+        transferred_bits: 3 * area * adc.bits() as u64,
+        box_words_bits: WORDS_PER_BOX * WORD_BITS,
+    };
+    Ok((img, stats))
+}
+
+/// Reads a batch of ROIs.
+///
+/// Conversions are charged on the union of the boxes; transfer is charged
+/// per box. The boxes' coordinates themselves cost
+/// `j · 4 words` in the opposite direction ([`ReadoutStats::box_words_bits`]).
+///
+/// # Errors
+///
+/// [`SensorError::RoiOutOfBounds`] when any rectangle leaves the array.
+pub fn read_rois<R: Rng + ?Sized>(
+    array: &PixelArray,
+    rects: &[Rect],
+    adc: &Adc,
+    rng: &mut R,
+) -> Result<(Vec<RgbImage>, ReadoutStats)> {
+    for &r in rects {
+        check_roi(array, r)?;
+    }
+    let images: Vec<RgbImage> = rects.iter().map(|&r| convert_roi(array, r, adc, rng)).collect();
+    let stats = ReadoutStats {
+        conversions: 3 * union_area(rects),
+        transferred_bits: 3 * sum_area(rects) * adc.bits() as u64,
+        box_words_bits: rects.len() as u64 * WORDS_PER_BOX * WORD_BITS,
+    };
+    Ok((images, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::PixelParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gradient_array() -> PixelArray {
+        let scene = RgbImage::from_fn(16, 16, |x, y| {
+            (x as f32 / 15.0, y as f32 / 15.0, 0.5)
+        });
+        PixelArray::from_scene(&scene, PixelParams::noiseless(), 0)
+    }
+
+    #[test]
+    fn roi_content_matches_scene() {
+        let arr = gradient_array();
+        let adc = Adc::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (img, _) = read_roi(&arr, Rect::new(4, 8, 4, 4), &adc, &mut rng).unwrap();
+        assert_eq!(img.dimensions(), (4, 4));
+        // Red channel at (0,0) of the crop corresponds to scene x=4.
+        let expected = 4.0 / 15.0;
+        assert!((img.r().get(0, 0) - expected).abs() < 0.01);
+        let expected_g = 8.0 / 15.0;
+        assert!((img.g().get(0, 0) - expected_g).abs() < 0.01);
+    }
+
+    #[test]
+    fn roi_stats_single_box() {
+        let arr = gradient_array();
+        let adc = Adc::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, stats) = read_roi(&arr, Rect::new(0, 0, 4, 5), &adc, &mut rng).unwrap();
+        assert_eq!(stats.conversions, 3 * 20);
+        assert_eq!(stats.transferred_bits, 3 * 20 * 8);
+        assert_eq!(stats.box_words_bits, 64);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let arr = gradient_array();
+        let adc = Adc::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(read_roi(&arr, Rect::new(14, 0, 4, 4), &adc, &mut rng).is_err());
+        assert!(read_roi(&arr, Rect::new(0, 0, 0, 4), &adc, &mut rng).is_err());
+    }
+
+    #[test]
+    fn batch_conversions_use_union_transfer_uses_sum() {
+        let arr = gradient_array();
+        let adc = Adc::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Two overlapping 8x8 boxes offset by 4: union 96, sum 128.
+        let boxes = [Rect::new(0, 0, 8, 8), Rect::new(4, 0, 8, 8)];
+        let (imgs, stats) = read_rois(&arr, &boxes, &adc, &mut rng).unwrap();
+        assert_eq!(imgs.len(), 2);
+        assert_eq!(stats.conversions, 3 * 96);
+        assert_eq!(stats.transferred_bits, 3 * 128 * 8);
+        assert_eq!(stats.box_words_bits, 2 * 64);
+    }
+
+    #[test]
+    fn batch_rejects_any_bad_box() {
+        let arr = gradient_array();
+        let adc = Adc::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let boxes = [Rect::new(0, 0, 4, 4), Rect::new(15, 15, 4, 4)];
+        assert!(read_rois(&arr, &boxes, &adc, &mut rng).is_err());
+    }
+
+    #[test]
+    fn disjoint_boxes_union_equals_sum() {
+        let arr = gradient_array();
+        let adc = Adc::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let boxes = [Rect::new(0, 0, 4, 4), Rect::new(8, 8, 4, 4)];
+        let (_, stats) = read_rois(&arr, &boxes, &adc, &mut rng).unwrap();
+        assert_eq!(stats.conversions * 8, stats.transferred_bits);
+    }
+}

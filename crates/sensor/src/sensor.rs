@@ -1,0 +1,434 @@
+//! The top-level [`Sensor`] façade tying the pixel array, pooling circuit
+//! and ADC together, with full conversion/transfer accounting.
+
+use hirise_imaging::{GrayImage, Image, Plane, Rect, RgbImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adc::Adc;
+use crate::array::PixelArray;
+use crate::pixel::PixelParams;
+use crate::pooling::{self, PoolingConfig};
+use crate::roi;
+use crate::Result;
+
+/// Colour mode of the stage-1 compressed capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColorMode {
+    /// Three pooled channels (one averaging circuit per channel per site).
+    Rgb,
+    /// One pooled channel combining `k·k·3` sub-pixels — the additional
+    /// 3× compression of the paper's grayscale circuit.
+    Gray,
+}
+
+impl ColorMode {
+    /// Channels produced by this mode.
+    pub fn channels(&self) -> u32 {
+        match self {
+            ColorMode::Rgb => 3,
+            ColorMode::Gray => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for ColorMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColorMode::Rgb => write!(f, "RGB"),
+            ColorMode::Gray => write!(f, "Gray"),
+        }
+    }
+}
+
+/// Conversion/transfer counters produced by every readout operation.
+///
+/// These counters are the raw inputs of all paper metrics: `C` (ADC
+/// conversions), `D` (data transfer) and, via `hirise-energy`, the energy
+/// figures of Fig. 8 / Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadoutStats {
+    /// ADC conversions performed.
+    pub conversions: u64,
+    /// Bits shipped sensor → processor.
+    pub transferred_bits: u64,
+    /// Bits shipped processor → sensor for box coordinates (`D1_P→S`).
+    pub box_words_bits: u64,
+}
+
+impl ReadoutStats {
+    /// Element-wise sum of two stats.
+    pub fn merged(self, other: ReadoutStats) -> ReadoutStats {
+        ReadoutStats {
+            conversions: self.conversions + other.conversions,
+            transferred_bits: self.transferred_bits + other.transferred_bits,
+            box_words_bits: self.box_words_bits + other.box_words_bits,
+        }
+    }
+
+    /// Sensor→processor transfer in bytes (rounded up).
+    pub fn transferred_bytes(&self) -> u64 {
+        self.transferred_bits.div_ceil(8)
+    }
+
+    /// Total transfer in both directions, bits.
+    pub fn total_transfer_bits(&self) -> u64 {
+        self.transferred_bits + self.box_words_bits
+    }
+}
+
+/// Sensor configuration: pixel physics, pooling behaviour, ADC settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorConfig {
+    /// Pixel transfer and noise parameters.
+    pub pixel: PixelParams,
+    /// Behavioural pooling-circuit parameters.
+    pub pooling: PoolingConfig,
+    /// ADC resolution in bits (the paper's `P_ADC`, 8).
+    pub adc_bits: u32,
+    /// ADC bow nonlinearity in LSBs.
+    pub adc_inl_lsb: f64,
+    /// ADC input-referred noise, volts RMS.
+    pub adc_noise: f64,
+    /// Seed for fixed-pattern and temporal noise.
+    pub seed: u64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        Self {
+            pixel: PixelParams::default(),
+            pooling: PoolingConfig::default(),
+            adc_bits: 8,
+            adc_inl_lsb: 0.25,
+            adc_noise: 0.2e-3,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SensorConfig {
+    /// Fully deterministic, distortion-free configuration (exactness tests).
+    pub fn noiseless() -> Self {
+        Self {
+            pixel: PixelParams::noiseless(),
+            pooling: PoolingConfig::ideal(),
+            adc_inl_lsb: 0.0,
+            adc_noise: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// A high-resolution sensor holding one captured scene.
+///
+/// All readout methods take `&mut self` because temporal noise advances the
+/// internal RNG; captures of the same sensor are independent noise
+/// realisations over the same fixed pattern.
+#[derive(Debug, Clone)]
+pub struct Sensor {
+    array: PixelArray,
+    config: SensorConfig,
+    rng: StdRng,
+}
+
+impl Sensor {
+    /// Captures `scene` onto a new sensor.
+    pub fn new(scene: RgbImage, config: SensorConfig) -> Self {
+        let array = PixelArray::from_scene(&scene, config.pixel, config.seed);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x0123_4567_89AB_CDEF);
+        Self { array, config, rng }
+    }
+
+    /// Array width in pixel sites.
+    pub fn width(&self) -> u32 {
+        self.array.width()
+    }
+
+    /// Array height in pixel sites.
+    pub fn height(&self) -> u32 {
+        self.array.height()
+    }
+
+    /// The underlying analog array.
+    pub fn array(&self) -> &PixelArray {
+        &self.array
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    fn pixel_adc(&self) -> Adc {
+        Adc::new(self.config.adc_bits, self.config.pixel.v_dark, self.config.pixel.v_sat)
+            .expect("validated at construction")
+            .with_inl(self.config.adc_inl_lsb)
+            .with_noise(self.config.adc_noise)
+    }
+
+    fn pooled_adc(&self) -> Adc {
+        let (lo, hi) = self
+            .config
+            .pooling
+            .output_range(self.config.pixel.v_dark, self.config.pixel.v_sat);
+        Adc::new(self.config.adc_bits, lo, hi)
+            .expect("pooling output range is non-empty for positive gain")
+            .with_inl(self.config.adc_inl_lsb)
+            .with_noise(self.config.adc_noise)
+    }
+
+    fn digitise_plane(plane: &Plane, adc: &Adc, rng: &mut StdRng) -> Plane {
+        let mut out = Plane::new(plane.width(), plane.height());
+        for y in 0..plane.height() {
+            for x in 0..plane.width() {
+                let code = adc.convert(plane.get(x, y) as f64, rng);
+                out.set(x, y, adc.code_to_unit(code));
+            }
+        }
+        out
+    }
+
+    /// Stage-1 capture: in-sensor pooling (+ optional grayscale fold),
+    /// then conversion of only the pooled outputs.
+    ///
+    /// Spanning the pooled ADC over the pooling circuit's output range
+    /// performs the digital re-calibration: the returned image is in
+    /// normalised irradiance units, directly comparable to a digitally
+    /// pooled reference.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SensorError::InvalidPooling`] when `k` does not tile the
+    /// array.
+    pub fn capture_pooled(&mut self, k: u32, mode: ColorMode) -> Result<(Image, ReadoutStats)> {
+        let adc = self.pooled_adc();
+        let bits = adc.bits() as u64;
+        match mode {
+            ColorMode::Gray => {
+                let analog = pooling::pool_gray(&self.array, k, &self.config.pooling, &mut self.rng)?;
+                let digital = Self::digitise_plane(&analog, &adc, &mut self.rng);
+                let count = digital.len() as u64;
+                Ok((
+                    Image::Gray(GrayImage::from_plane(digital)),
+                    ReadoutStats {
+                        conversions: count,
+                        transferred_bits: count * bits,
+                        box_words_bits: 0,
+                    },
+                ))
+            }
+            ColorMode::Rgb => {
+                let mut planes = Vec::with_capacity(3);
+                for ch in 0..3 {
+                    let analog =
+                        pooling::pool_channel(&self.array, ch, k, &self.config.pooling, &mut self.rng)?;
+                    planes.push(Self::digitise_plane(&analog, &adc, &mut self.rng));
+                }
+                let b = planes.pop().expect("three planes");
+                let g = planes.pop().expect("three planes");
+                let r = planes.pop().expect("three planes");
+                let img = RgbImage::from_planes(r, g, b)?;
+                let count = img.width() as u64 * img.height() as u64 * 3;
+                Ok((
+                    Image::Rgb(img),
+                    ReadoutStats {
+                        conversions: count,
+                        transferred_bits: count * bits,
+                        box_words_bits: 0,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Conventional full-array readout: every sub-pixel converted and
+    /// transferred (the paper's baseline, `C_old = n·m·3`).
+    pub fn read_full(&mut self) -> (RgbImage, ReadoutStats) {
+        let adc = self.pixel_adc();
+        let (w, h) = (self.array.width(), self.array.height());
+        let mut planes = Vec::with_capacity(3);
+        for ch in 0..3 {
+            let mut out = Plane::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let mut v = self.array.voltage(ch, x, y);
+                    if self.config.pixel.read_noise > 0.0 {
+                        v += self.config.pixel.read_noise * pooling::gaussian(&mut self.rng);
+                    }
+                    let code = adc.convert(v, &mut self.rng);
+                    out.set(x, y, adc.code_to_unit(code));
+                }
+            }
+            planes.push(out);
+        }
+        let b = planes.pop().expect("three planes");
+        let g = planes.pop().expect("three planes");
+        let r = planes.pop().expect("three planes");
+        let img = RgbImage::from_planes(r, g, b).expect("planes share dimensions");
+        let count = w as u64 * h as u64 * 3;
+        let stats = ReadoutStats {
+            conversions: count,
+            transferred_bits: count * adc.bits() as u64,
+            box_words_bits: 0,
+        };
+        (img, stats)
+    }
+
+    /// Stage-2 readout of a single full-resolution ROI.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SensorError::RoiOutOfBounds`] when the box leaves the array.
+    pub fn read_roi(&mut self, rect: Rect) -> Result<(RgbImage, ReadoutStats)> {
+        let adc = self.pixel_adc();
+        roi::read_roi(&self.array, rect, &adc, &mut self.rng)
+    }
+
+    /// Stage-2 readout of a batch of ROIs (conversions on the union,
+    /// transfer per box; see [`crate::roi::read_rois`]).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SensorError::RoiOutOfBounds`] when any box leaves the array.
+    pub fn read_rois(&mut self, rects: &[Rect]) -> Result<(Vec<RgbImage>, ReadoutStats)> {
+        let adc = self.pixel_adc();
+        roi::read_rois(&self.array, rects, &adc, &mut self.rng)
+    }
+
+    /// Derives a fresh noise stream (e.g. to decorrelate captures) while
+    /// keeping the fixed pattern.
+    pub fn reseed_temporal_noise(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Draws from the sensor's internal RNG (exposed for co-simulation).
+    pub fn rng_mut(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_imaging::{color, metrics, ops};
+
+    fn test_scene(w: u32, h: u32) -> RgbImage {
+        RgbImage::from_fn(w, h, |x, y| {
+            (
+                0.2 + 0.6 * ((x * 13 + y * 7) % 32) as f32 / 32.0,
+                0.2 + 0.6 * ((x * 5 + y * 11) % 32) as f32 / 32.0,
+                0.2 + 0.6 * ((x * 3 + y * 17) % 32) as f32 / 32.0,
+            )
+        })
+    }
+
+    #[test]
+    fn pooled_capture_dimensions_and_counts() {
+        let mut s = Sensor::new(test_scene(32, 16), SensorConfig::noiseless());
+        let (img, stats) = s.capture_pooled(4, ColorMode::Rgb).unwrap();
+        assert_eq!((img.width(), img.height()), (8, 4));
+        assert_eq!(stats.conversions, 8 * 4 * 3);
+        assert_eq!(stats.transferred_bits, 8 * 4 * 3 * 8);
+        let (img_g, stats_g) = s.capture_pooled(4, ColorMode::Gray).unwrap();
+        assert_eq!(img_g.channels(), 1);
+        assert_eq!(stats_g.conversions, 8 * 4);
+    }
+
+    #[test]
+    fn in_sensor_matches_in_processor_scaling_noiselessly() {
+        // The core Table-2 premise: analog pooling + calibration produces
+        // (nearly) the same digital image as full readout + digital pooling.
+        let scene = test_scene(32, 32);
+        let cfg = SensorConfig::noiseless();
+        let mut s = Sensor::new(scene.clone(), cfg);
+
+        let (in_sensor, _) = s.capture_pooled(4, ColorMode::Rgb).unwrap();
+        let (full, _) = s.read_full();
+        let in_proc = ops::avg_pool_rgb(&full, 4).unwrap();
+
+        let in_sensor_rgb = in_sensor.as_rgb().unwrap();
+        for ch in 0..3 {
+            let err = metrics::max_abs_diff(in_sensor_rgb.planes()[ch], in_proc.planes()[ch]).unwrap();
+            // Both paths quantise at 8 bits; they may disagree by one code.
+            assert!(err <= 1.5 / 255.0, "channel {ch} differs by {err}");
+        }
+    }
+
+    #[test]
+    fn gray_capture_matches_digital_gray_pool() {
+        let scene = test_scene(16, 16);
+        let mut s = Sensor::new(scene.clone(), SensorConfig::noiseless());
+        let (in_sensor, _) = s.capture_pooled(2, ColorMode::Gray).unwrap();
+        let (full, _) = s.read_full();
+        let gray = color::rgb_to_gray_mean(&full);
+        let pooled = ops::avg_pool_gray(&gray, 2).unwrap();
+        let err = metrics::max_abs_diff(in_sensor.as_gray().unwrap().plane(), pooled.plane()).unwrap();
+        assert!(err <= 1.5 / 255.0, "gray paths differ by {err}");
+    }
+
+    #[test]
+    fn full_readout_counts_match_paper_formula() {
+        let mut s = Sensor::new(test_scene(32, 16), SensorConfig::noiseless());
+        let (img, stats) = s.read_full();
+        assert_eq!(img.dimensions(), (32, 16));
+        assert_eq!(stats.conversions, 32 * 16 * 3); // C_old = n*m*3
+        assert_eq!(stats.transferred_bits, 32 * 16 * 3 * 8); // D_old
+    }
+
+    #[test]
+    fn roi_readout_through_sensor() {
+        let mut s = Sensor::new(test_scene(32, 32), SensorConfig::noiseless());
+        let (img, stats) = s.read_roi(Rect::new(8, 8, 8, 8)).unwrap();
+        assert_eq!(img.dimensions(), (8, 8));
+        assert_eq!(stats.conversions, 3 * 64);
+        // Content check against the scene.
+        let scene = test_scene(32, 32);
+        let expected = scene.pixel(10, 12);
+        let got = img.pixel(2, 4);
+        assert!((got.0 - expected.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let a = ReadoutStats { conversions: 1, transferred_bits: 8, box_words_bits: 64 };
+        let b = ReadoutStats { conversions: 2, transferred_bits: 16, box_words_bits: 0 };
+        let m = a.merged(b);
+        assert_eq!(m.conversions, 3);
+        assert_eq!(m.transferred_bits, 24);
+        assert_eq!(m.box_words_bits, 64);
+        assert_eq!(m.transferred_bytes(), 3);
+        assert_eq!(m.total_transfer_bits(), 88);
+    }
+
+    #[test]
+    fn noisy_capture_stays_close_to_noiseless() {
+        let scene = test_scene(32, 32);
+        let mut noisy = Sensor::new(scene.clone(), SensorConfig::default());
+        let mut clean = Sensor::new(scene, SensorConfig::noiseless());
+        let (a, _) = noisy.capture_pooled(4, ColorMode::Gray).unwrap();
+        let (b, _) = clean.capture_pooled(4, ColorMode::Gray).unwrap();
+        let err = metrics::mae(a.as_gray().unwrap().plane(), b.as_gray().unwrap().plane()).unwrap();
+        // Noise contributions are millivolts on a 600 mV swing.
+        assert!(err < 0.01, "noisy capture deviates by {err}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let scene = test_scene(16, 16);
+        let cfg = SensorConfig::default();
+        let mut s1 = Sensor::new(scene.clone(), cfg);
+        let mut s2 = Sensor::new(scene, cfg);
+        let (a, _) = s1.capture_pooled(2, ColorMode::Rgb).unwrap();
+        let (b, _) = s2.capture_pooled(2, ColorMode::Rgb).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn color_mode_display() {
+        assert_eq!(ColorMode::Rgb.to_string(), "RGB");
+        assert_eq!(ColorMode::Gray.to_string(), "Gray");
+        assert_eq!(ColorMode::Rgb.channels(), 3);
+        assert_eq!(ColorMode::Gray.channels(), 1);
+    }
+}

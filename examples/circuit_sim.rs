@@ -1,0 +1,70 @@
+//! Transistor-level tour of the in-sensor averaging circuit: build the
+//! Fig.-4 netlist, solve DC operating points, run a transient, fit the
+//! behavioural model, and verify the behavioural sensor stays consistent
+//! with the transistor-level truth.
+//!
+//! Run: `cargo run --release --example circuit_sim`
+
+use hirise_analog::behavior::PoolingBehavior;
+use hirise_analog::device::Stimulus;
+use hirise_analog::pooling::PoolingCircuit;
+use hirise_sensor::PoolingConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 12 inputs = one 2x2 RGB pooling site (2*2*3 sub-pixels).
+    let circuit = PoolingCircuit::builder(12).build()?;
+    println!("Fig.-4 circuit with {} inputs ({} devices in the netlist)",
+        circuit.input_count(),
+        circuit.circuit().device_count());
+
+    // DC: the output follows the mean of the inputs through a linear map.
+    let uniform = circuit.dc_average(&[0.6; 12])?;
+    let mixed = circuit.dc_average(&[
+        0.3, 0.9, 0.5, 0.7, 0.45, 0.75, 0.6, 0.6, 0.35, 0.85, 0.55, 0.65,
+    ])?;
+    println!("dc: uniform-0.6V input -> {uniform:.4} V; mixed same-mean input -> {mixed:.4} V");
+
+    // Fit the behavioural line and report the systematic nonlinearity.
+    let fit = PoolingBehavior::fit(&circuit, (0.3, 0.9), 13)?;
+    println!(
+        "behavioural fit: gain {:.4}, offset {:.4} V, worst residual {:.2} mV",
+        fit.gain,
+        fit.offset,
+        fit.max_residual * 1e3
+    );
+
+    // The sensor crate's defaults must match this fit (they are the
+    // calibrated constants that keep system simulation traceable to the
+    // transistor level).
+    let sensor_cfg = PoolingConfig::default();
+    println!(
+        "sensor defaults: gain {:.4}, offset {:.4} (drift vs fresh fit: {:.2e}, {:.2e})",
+        sensor_cfg.gain,
+        sensor_cfg.offset,
+        (sensor_cfg.gain - fit.gain).abs(),
+        (sensor_cfg.offset - fit.offset).abs()
+    );
+
+    // Transient: one input steps while the others hold — the output moves
+    // by gain/12 of the step, after the RC settling.
+    let mut stimuli = vec![Stimulus::Dc(0.6); 12];
+    stimuli[0] = Stimulus::Pulse {
+        v1: 0.4,
+        v2: 0.8,
+        delay: 0.5e-6,
+        rise: 10e-9,
+        fall: 10e-9,
+        width: 1.0,
+        period: 0.0,
+    };
+    let tr = circuit.transient(&stimuli, 20e-9, 2e-6)?;
+    let wave = tr.waveform(circuit.avg_node());
+    let before = wave.sample_at(0.45e-6);
+    let after = wave.sample_at(1.9e-6);
+    println!(
+        "transient: avg moved {:.2} mV for a 400 mV single-input step (expected ≈ {:.2} mV)",
+        (after - before) * 1e3,
+        fit.gain * 0.4 / 12.0 * 1e3
+    );
+    Ok(())
+}

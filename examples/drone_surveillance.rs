@@ -1,0 +1,78 @@
+//! VisDrone-like scenario: many tiny objects seen from above — the
+//! configuration where resolution matters most (the paper's most
+//! resolution-sensitive dataset). Compares stage-1 detection recall at
+//! several pooling levels on the same scene.
+//!
+//! Run: `cargo run --release --example drone_surveillance`
+
+use hirise::{ColorMode, HiriseConfig, HirisePipeline};
+use hirise_detect::eval::{evaluate, GroundTruth};
+use hirise_scene::{DatasetSpec, ObjectClass, SceneGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = DatasetSpec::visdrone_like();
+    let generator = SceneGenerator::new(spec.clone());
+    let mut rng = StdRng::seed_from_u64(11);
+    let scene = generator.generate(1280, 960, &mut rng);
+    println!(
+        "aerial scene: 1280x960, {} objects across {} classes",
+        scene.objects.len(),
+        spec.classes.len()
+    );
+
+    for k in [8u32, 4, 2] {
+        // Dataset-tuned detector (anchor priors from the preset).
+        let mut det_cfg = hirise_bench_detector(&spec);
+        det_cfg.score_threshold = 0.05;
+        let config = HiriseConfig::builder(1280, 960)
+            .pooling(k)
+            .stage1_color(ColorMode::Rgb)
+            .detector(det_cfg)
+            .max_rois(64)
+            .build()?;
+        let pipeline = HirisePipeline::new(config);
+        let run = pipeline.run(&scene.image)?;
+
+        // Class-agnostic recall of stage 1 at IoU 0.3 (did we find the
+        // object at all, so stage 2 can read it out?).
+        let gts: Vec<GroundTruth> = scene
+            .objects
+            .iter()
+            .map(|o| GroundTruth { class: 0, bbox: o.bbox.scaled(1, k) })
+            .collect();
+        let dets: Vec<hirise::Detection> = run
+            .detections
+            .iter()
+            .map(|d| hirise::Detection { class: 0, ..*d })
+            .collect();
+        let result = evaluate(&[dets], &[gts], 0.3);
+        println!(
+            "k = {k} (stage-1 at {}x{}): {} detections, class-agnostic AP@0.3 = {:.1} %, transfer {:.0} kB, energy {:.3} mJ",
+            1280 / k,
+            960 / k,
+            run.detections.len(),
+            100.0 * result.map,
+            run.report.total_transfer_kb(),
+            run.report.sensor_energy_mj_default()
+        );
+    }
+    println!("expected: AP rises sharply as pooling shrinks — tiny objects vanish at 8x8, exactly the paper's VisDrone observation");
+    Ok(())
+}
+
+/// Local copy of the bench harness's dataset-tuned detector settings (the
+/// example avoids depending on the bench crate).
+fn hirise_bench_detector(spec: &DatasetSpec) -> hirise::DetectorConfig {
+    let mut cfg = hirise::DetectorConfig::default();
+    cfg.class_aspects = spec
+        .classes
+        .iter()
+        .filter(|c| **c != ObjectClass::Head)
+        .map(|c| (c.id(), c.aspect()))
+        .collect();
+    cfg.min_object_frac = spec.scale_range.0 * 0.7;
+    cfg.max_object_frac = (spec.scale_range.1 * 1.4).min(0.9);
+    cfg
+}

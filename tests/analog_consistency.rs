@@ -1,0 +1,77 @@
+//! Traceability tests: the behavioural sensor model must stay consistent
+//! with the transistor-level analog simulation it was extracted from.
+
+use hirise_analog::behavior::{calibrated, PoolingBehavior};
+use hirise_analog::pooling::PoolingCircuit;
+use hirise_sensor::PoolingConfig;
+
+#[test]
+fn sensor_defaults_match_fresh_transistor_fit() {
+    // The constants baked into hirise-sensor's default PoolingConfig are
+    // re-derived here from the 12-input circuit; drift in either crate
+    // fails this test.
+    let circuit = PoolingCircuit::builder(12).build().unwrap();
+    let fit = PoolingBehavior::fit(&circuit, (0.3, 0.9), 13).unwrap();
+    assert!((fit.gain - calibrated::GAIN_12).abs() < 5e-4, "gain drifted to {}", fit.gain);
+    assert!(
+        (fit.offset - calibrated::OFFSET_12).abs() < 5e-4,
+        "offset drifted to {}",
+        fit.offset
+    );
+    assert!(fit.max_residual <= calibrated::MAX_RESIDUAL_12 * 1.5);
+
+    let sensor_cfg = PoolingConfig::default();
+    assert_eq!(sensor_cfg.gain, calibrated::GAIN_12);
+    assert_eq!(sensor_cfg.offset, calibrated::OFFSET_12);
+}
+
+#[test]
+fn behavioural_transfer_matches_circuit_within_residual() {
+    // The sensor's deterministic transfer (line + bow) stays within the
+    // fitted residual envelope of the true circuit output.
+    let circuit = PoolingCircuit::builder(12).build().unwrap();
+    let cfg = PoolingConfig::default();
+    for i in 0..=12 {
+        let v = 0.3 + 0.6 * f64::from(i) / 12.0;
+        let truth = circuit.dc_average(&[v; 12]).unwrap();
+        let model = cfg.transfer(v, 0.3, 0.9);
+        assert!(
+            (truth - model).abs() < 4e-3,
+            "at {v} V: circuit {truth} vs behavioural {model}"
+        );
+    }
+}
+
+#[test]
+fn gain_varies_little_with_input_count() {
+    // The sensor uses the 12-input fit for every pooling size; verify the
+    // fitted gain moves by < 5 % between 4 and 48 inputs so that reuse is
+    // sound (the inverse calibration cancels the shared part anyway).
+    let fit4 = PoolingBehavior::fit(
+        &PoolingCircuit::builder(4).build().unwrap(),
+        (0.3, 0.9),
+        9,
+    )
+    .unwrap();
+    let fit48 = PoolingBehavior::fit(
+        &PoolingCircuit::builder(48).build().unwrap(),
+        (0.3, 0.9),
+        9,
+    )
+    .unwrap();
+    let rel = (fit4.gain - fit48.gain).abs() / fit48.gain;
+    assert!(rel < 0.05, "gain varies {rel} between 4 and 48 inputs");
+}
+
+#[test]
+fn recovered_mean_accuracy_scales_to_192_inputs() {
+    // The paper's "extended to 192 inputs ... flawless performance" claim,
+    // at a reduced input count to keep test time short (the fig5 binary
+    // runs the full 192).
+    let result = hirise_analog::testbench::extended_dc(48, 3).unwrap();
+    assert!(
+        result.max_error < 0.01,
+        "48-input recovered-mean error {} V",
+        result.max_error
+    );
+}

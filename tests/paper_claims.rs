@@ -1,0 +1,143 @@
+//! The paper's headline numbers, asserted end to end: every quantitative
+//! claim this reproduction reproduces is pinned down here so regressions
+//! in any substrate crate surface immediately.
+
+use hirise::analytical::AnalyticalModel;
+use hirise::{HiriseConfig, Rect};
+use hirise_energy::{AdcEnergy, ColorChannels, PoolingEnergy, SystemParams};
+use hirise_nn::zoo;
+
+/// Table-3-style head ROIs: 16 disjoint 112x112 boxes on a 2560x1920 frame.
+fn head_rois() -> Vec<Rect> {
+    (0..16)
+        .map(|i| Rect::new(150 * (i as u32 % 8) + 30, 200 + 500 * (i as u32 / 8), 112, 112))
+        .collect()
+}
+
+#[test]
+fn abstract_claim_17_7x_energy_and_transfer_reduction() {
+    // "achieves up to 17.7x reduction in data transfer and energy
+    // consumption" — the 2560x1920 / k=8 / 16-head-ROI configuration.
+    let config = HiriseConfig::paper_reference();
+    let model = AnalyticalModel::new(&config, &head_rois());
+    assert!((model.transfer_reduction() - 17.7).abs() < 0.3, "{}", model.transfer_reduction());
+    assert!((model.conversion_reduction() - 17.7).abs() < 0.3);
+}
+
+#[test]
+fn table3_last_row_transfer_833_kb() {
+    let config = HiriseConfig::paper_reference();
+    let model = AnalyticalModel::new(&config, &head_rois());
+    let kb = model.hirise().total_transfer_kb();
+    assert!((kb - 833.0).abs() < 5.0, "transfer {kb} kB");
+    let base_kb = model.conventional().total_transfer_kb();
+    assert!((base_kb - 14746.0).abs() < 10.0, "baseline {base_kb} kB");
+}
+
+#[test]
+fn table3_energy_column_reproduced() {
+    // Baseline 1.843 mJ; HiRISE 0.104 mJ at 2560x1920.
+    let adc = AdcEnergy::PAPER_45NM_8BIT;
+    let pool = PoolingEnergy::PAPER_45NM;
+    let params = SystemParams::paper_default(2560, 1920, 8).with_rois(
+        16,
+        16 * 112 * 112,
+        16 * 112 * 112,
+    );
+    let base = params.conventional().sensor_energy_mj(&adc, &pool);
+    let hirise = params.hirise_total().sensor_energy_mj(&adc, &pool);
+    assert!((base - 1.843).abs() < 0.01, "baseline {base} mJ");
+    assert!((hirise - 0.104).abs() < 0.01, "hirise {hirise} mJ");
+    // Smaller arrays from the same column.
+    let params_640 = SystemParams::paper_default(640, 480, 2).with_rois(
+        16,
+        16 * 28 * 28,
+        16 * 28 * 28,
+    );
+    let e640 = params_640.hirise_total().sensor_energy_mj(&adc, &pool);
+    assert!((e640 - 0.034).abs() < 0.003, "640x480 hirise {e640} mJ");
+}
+
+#[test]
+fn fig7_reductions_and_shares() {
+    // Crowdhuman calibration: sum ≈ 27 % of frame.
+    let frame = 2560u64 * 1920;
+    let with_stats = |k: u64| {
+        SystemParams::paper_default(2560, 1920, k).with_rois(
+            16,
+            (frame as f64 * 0.271) as u64,
+            (frame as f64 * 0.092) as u64,
+        )
+    };
+    for (k, reduction, share) in [(2u64, 1.9, 0.48), (4, 3.0, 0.19), (8, 3.5, 0.05)] {
+        let p = with_stats(k);
+        let base = p.conventional().total_transfer_bits() as f64;
+        let total = p.hirise_total().total_transfer_bits() as f64;
+        let d1 = p.hirise_stage1().transfer_bits_s2p as f64;
+        assert!((base / total - reduction).abs() < 0.25, "k={k} reduction {}", base / total);
+        assert!((d1 / total - share).abs() < 0.04, "k={k} share {}", d1 / total);
+    }
+}
+
+#[test]
+fn fig8_pooling_circuit_energy_negligible() {
+    // "between 1.71 nJ and 91.4 nJ ... several orders of magnitude smaller
+    // than ADC conversion".
+    let pool = PoolingEnergy::PAPER_45NM;
+    let adc = AdcEnergy::PAPER_45NM_8BIT;
+    let lo = SystemParams {
+        stage1_color: ColorChannels::Gray,
+        ..SystemParams::paper_default(2560, 1920, 8)
+    };
+    let hi = SystemParams::paper_default(2560, 1920, 2);
+    let e_lo = pool.energy_joules(lo.hirise_stage1().pooling_outputs) * 1e9;
+    let e_hi = pool.energy_joules(hi.hirise_stage1().pooling_outputs) * 1e9;
+    assert!((1.0..3.0).contains(&e_lo), "low end {e_lo} nJ");
+    assert!((80.0..100.0).contains(&e_hi), "high end {e_hi} nJ");
+    let adc_energy = adc.energy_joules(hi.hirise_stage1().conversions) * 1e9;
+    assert!(adc_energy / e_hi > 1_000.0);
+}
+
+#[test]
+fn section42_model_footprints() {
+    // "for the stage 1 model, we find 337kB/296kB peak SRAM/flash usage".
+    let det = zoo::mcunet_v2_detector(320, 240);
+    let peak_kb = det.peak_activation_bytes() as f64 / 1024.0;
+    let flash_kb = det.flash_bytes(1) as f64 / 1024.0;
+    assert!((peak_kb - 337.0).abs() < 15.0, "stage-1 peak {peak_kb}");
+    assert!((flash_kb - 296.0).abs() < 30.0, "stage-1 flash {flash_kb}");
+
+    // Both stage models fit the 512 kB STM32H743 SRAM budget; total flash
+    // fits 2 MB.
+    let cls = zoo::mcunet_v2_classifier(112);
+    assert!(det.peak_activation_bytes() < 512 * 1024);
+    assert!(cls.peak_activation_bytes() < 512 * 1024);
+    assert!(det.flash_bytes(1) + cls.flash_bytes(1) < 2 * 1024 * 1024);
+}
+
+#[test]
+fn table3_sram_column_reproduced() {
+    // HiRISE SRAM = 320x240 RGB stage-1 image + stage-2 peak act:
+    // 237 kB at 320x240 up to ~398 kB at 2560x1920 for MCUNetV2.
+    let stage1_img_kb = 320.0 * 240.0 * 3.0 / 1024.0;
+    let small = stage1_img_kb
+        + zoo::mcunet_v2_classifier(14).peak_activation_bytes() as f64 / 1024.0;
+    let large = stage1_img_kb
+        + zoo::mcunet_v2_classifier(112).peak_activation_bytes() as f64 / 1024.0;
+    assert!((small - 237.0).abs() < 15.0, "small-array SRAM {small} kB");
+    assert!((large - 398.0).abs() < 20.0, "large-array SRAM {large} kB");
+    // The paper's 37.5x SRAM reduction at the largest array.
+    let baseline = (2560.0 * 1920.0 * 3.0) / 1024.0
+        + zoo::mcunet_v2_classifier(112).peak_activation_bytes() as f64 / 1024.0;
+    let reduction = baseline / large;
+    assert!((reduction - 37.5).abs() < 2.0, "SRAM reduction {reduction}x");
+}
+
+#[test]
+fn analog_circuit_tracks_average_within_millivolts() {
+    // Fig. 5's "follows the average of the inputs precisely", quantified.
+    let a = hirise_analog::testbench::fig5a().unwrap();
+    assert!(a.max_tracking_error < 0.03, "fig5a error {}", a.max_tracking_error);
+    let b = hirise_analog::testbench::fig5b().unwrap();
+    assert!(b.settled_tracking_error < 0.02, "fig5b settled error {}", b.settled_tracking_error);
+}

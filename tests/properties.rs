@@ -1,0 +1,112 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants the system accounting relies on.
+
+use hirise_imaging::rect::{sum_area, union_area};
+use hirise_imaging::{ops, Plane, Rect};
+use hirise_nn::planner::{liveness_lower_bound, naive_peak, plan_greedy, plan_is_valid, TensorInfo};
+use hirise_sensor::Adc;
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0u32..200, 0u32..200, 1u32..100, 1u32..100).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_rect(), b in arb_rect()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn intersection_never_exceeds_either_area(a in arb_rect(), b in arb_rect()) {
+        let inter = a.intersection_area(&b);
+        prop_assert!(inter <= a.area());
+        prop_assert!(inter <= b.area());
+    }
+
+    #[test]
+    fn union_bounded_by_sum_and_max(rects in prop::collection::vec(arb_rect(), 0..8)) {
+        let u = union_area(&rects);
+        let s = sum_area(&rects);
+        prop_assert!(u <= s, "union {u} > sum {s}");
+        let max_single = rects.iter().map(Rect::area).max().unwrap_or(0);
+        prop_assert!(u >= max_single);
+    }
+
+    #[test]
+    fn rect_scaling_up_then_down_roundtrips(r in arb_rect(), k in 1u32..9) {
+        let back = r.scaled(k, 1).scaled(1, k);
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn clamped_rect_always_fits(r in arb_rect(), w in 1u32..300, h in 1u32..300) {
+        let c = r.clamped(w, h);
+        prop_assert!(c.fits_within(w, h));
+    }
+
+    #[test]
+    fn avg_pool_preserves_global_mean(
+        seed in 0u64..1000,
+        k in prop::sample::select(vec![1u32, 2, 4, 8]),
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state >> 40) as f32 / (1u64 << 24) as f32
+        };
+        let p = Plane::from_fn(16, 16, |_, _| next());
+        let pooled = ops::avg_pool(&p, k).unwrap();
+        prop_assert!((pooled.mean() - p.mean()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adc_is_monotone(bits in 4u32..12, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let adc = Adc::new(bits, 0.0, 1.0).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(adc.convert_ideal(lo) <= adc.convert_ideal(hi));
+    }
+
+    #[test]
+    fn adc_roundtrip_within_one_lsb(v in 0.0f64..1.0) {
+        let adc = Adc::new(8, 0.0, 1.0).unwrap();
+        let code = adc.convert_ideal(v);
+        prop_assert!((adc.code_to_volts(code) - v).abs() <= adc.lsb());
+    }
+
+    #[test]
+    fn planner_is_valid_and_bounded(
+        specs in prop::collection::vec((1u64..500, 0usize..6, 0usize..6), 1..12)
+    ) {
+        let tensors: Vec<TensorInfo> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, &(size, a, b))| TensorInfo {
+                id,
+                size_bytes: size,
+                first_use: a.min(b),
+                last_use: a.max(b),
+            })
+            .collect();
+        let plan = plan_greedy(&tensors);
+        prop_assert!(plan_is_valid(&tensors, &plan));
+        prop_assert!(plan.peak_bytes >= liveness_lower_bound(&tensors));
+        prop_assert!(plan.peak_bytes <= naive_peak(&tensors));
+    }
+
+    #[test]
+    fn crop_dimensions_match_rect(r in arb_rect()) {
+        let p = Plane::filled(400, 400, 0.5);
+        if r.fits_within(400, 400) {
+            let c = p.crop(r).unwrap();
+            prop_assert_eq!(c.dimensions(), (r.w, r.h));
+        }
+    }
+}
