@@ -1,0 +1,65 @@
+//! Criterion benchmark of the streaming executor: frames/sec scaling of
+//! the worker pool against the single-threaded fold, over generated
+//! surveillance frames at a mid-size array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirise::stream::{StreamConfig, StreamExecutor, StreamOrdering};
+use hirise::{HiriseConfig, HirisePipeline};
+use hirise_imaging::RgbImage;
+use hirise_scene::{DatasetSpec, SceneGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const W: u32 = 320;
+const H: u32 = 240;
+const FRAMES: usize = 24;
+
+fn frames() -> Vec<RgbImage> {
+    let generator = SceneGenerator::new(DatasetSpec::dhdcampus_like());
+    let mut rng = StdRng::seed_from_u64(2024);
+    (0..FRAMES).map(|_| generator.generate(W, H, &mut rng).image).collect()
+}
+
+fn executor(workers: usize, ordering: StreamOrdering) -> StreamExecutor {
+    let config = HiriseConfig::builder(W, H).pooling(4).max_rois(8).build().expect("valid config");
+    StreamExecutor::new(
+        HirisePipeline::new(config),
+        StreamConfig::default().workers(workers).batch_size(2).ordering(ordering),
+    )
+    .expect("valid stream config")
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let frames = frames();
+    let mut group = c.benchmark_group("stream_executor");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let executor = executor(workers, StreamOrdering::Deterministic);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &frames, |b, frames| {
+            b.iter(|| executor.run(frames).expect("stream succeeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    let frames = frames();
+    let mut group = c.benchmark_group("stream_ordering_4_workers");
+    group.sample_size(10);
+    for (name, ordering) in
+        [("deterministic", StreamOrdering::Deterministic), ("arrival", StreamOrdering::Arrival)]
+    {
+        let executor = executor(4, ordering);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &frames, |b, frames| {
+            b.iter(|| executor.run(frames).expect("stream succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_worker_scaling, bench_orderings
+}
+criterion_main!(benches);

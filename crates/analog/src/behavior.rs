@@ -59,11 +59,8 @@ impl PoolingBehavior {
         let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
         let gain = sxy / sxx;
         let offset = my - gain * mx;
-        let max_residual = xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, y)| (y - (gain * x + offset)).abs())
-            .fold(0.0, f64::max);
+        let max_residual =
+            xs.iter().zip(&ys).map(|(x, y)| (y - (gain * x + offset)).abs()).fold(0.0, f64::max);
         Ok(Self { gain, offset, max_residual, range, inputs: n })
     }
 
@@ -141,11 +138,7 @@ mod tests {
         let b = PoolingBehavior::fit(&pc, (0.3, 0.9), 13).unwrap();
         // Non-uniform inputs in the fitted range: the recovered mean must be
         // within a percent of the true mean.
-        for inputs in [
-            [0.4, 0.6, 0.5, 0.7],
-            [0.32, 0.88, 0.6, 0.6],
-            [0.9, 0.3, 0.9, 0.3],
-        ] {
+        for inputs in [[0.4, 0.6, 0.5, 0.7], [0.32, 0.88, 0.6, 0.6], [0.9, 0.3, 0.9, 0.3]] {
             let err = b.averaging_error(&pc, &inputs).unwrap();
             assert!(err < 0.015, "averaging error {err} for {inputs:?}");
         }

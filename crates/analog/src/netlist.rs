@@ -125,7 +125,10 @@ impl Circuit {
 
     fn check_node(&self, node: NodeId) -> Result<()> {
         if node.0 >= self.node_names.len() {
-            return Err(AnalogError::UnknownNode { node: node.0, node_count: self.node_names.len() });
+            return Err(AnalogError::UnknownNode {
+                node: node.0,
+                node_count: self.node_names.len(),
+            });
         }
         Ok(())
     }

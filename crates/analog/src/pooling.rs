@@ -206,12 +206,7 @@ impl PoolingCircuit {
     ///
     /// [`AnalogError::InputLengthMismatch`] if `stimuli.len() != N`, plus
     /// solver failures.
-    pub fn transient(
-        &self,
-        stimuli: &[Stimulus],
-        step: f64,
-        stop: f64,
-    ) -> Result<TransientResult> {
+    pub fn transient(&self, stimuli: &[Stimulus], step: f64, stop: f64) -> Result<TransientResult> {
         let c = self.with_stimuli(stimuli)?;
         Simulator::new(&c).transient(step, stop)
     }
@@ -301,9 +296,7 @@ mod tests {
             width: 1.0,
             period: 0.0,
         };
-        let tr = pc
-            .transient(&[step_in, Stimulus::Dc(0.6)], 20e-9, 3e-6)
-            .unwrap();
+        let tr = pc.transient(&[step_in, Stimulus::Dc(0.6)], 20e-9, 3e-6).unwrap();
         let w = tr.waveform(pc.avg_node());
         let before = w.sample_at(0.9e-6);
         let after = w.sample_at(2.9e-6);
@@ -323,9 +316,6 @@ mod tests {
         let v_mixed = pc.dc_average(&inputs).unwrap();
         let mean = inputs.iter().sum::<f64>() / n as f64;
         let v_eq = pc.dc_average(&vec![mean; n]).unwrap();
-        assert!(
-            (v_mixed - v_eq).abs() < 0.02,
-            "mixed {v_mixed} vs common-mode {v_eq}"
-        );
+        assert!((v_mixed - v_eq).abs() < 0.02, "mixed {v_mixed} vs common-mode {v_eq}");
     }
 }

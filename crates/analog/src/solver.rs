@@ -307,11 +307,8 @@ impl<'c> Simulator<'c> {
             for i in 0..nn {
                 max_dv = max_dv.max((z[i] - x[i]).abs());
             }
-            let alpha = if max_dv > self.options.max_step {
-                self.options.max_step / max_dv
-            } else {
-                1.0
-            };
+            let alpha =
+                if max_dv > self.options.max_step { self.options.max_step / max_dv } else { 1.0 };
             for i in 0..n {
                 x[i] += alpha * (z[i] - x[i]);
             }
@@ -350,11 +347,7 @@ impl<'c> Simulator<'c> {
         let n = self.unknown_count();
         let x = self.solve_point(t, None, &vec![0.0; n])?;
         let nn = self.circuit.node_count() - 1;
-        Ok(DcSolution {
-            voltages: x[..nn].to_vec(),
-            currents: x[nn..].to_vec(),
-            iterations: 0,
-        })
+        Ok(DcSolution { voltages: x[..nn].to_vec(), currents: x[nn..].to_vec(), iterations: 0 })
     }
 
     /// Backward-Euler transient from `0` to `stop` with fixed step `step`.
@@ -372,7 +365,8 @@ impl<'c> Simulator<'c> {
         let n = self.unknown_count();
 
         let dc = self.dc()?;
-        let mut x: Vec<f64> = dc.voltages.iter().copied().chain(dc.currents.iter().copied()).collect();
+        let mut x: Vec<f64> =
+            dc.voltages.iter().copied().chain(dc.currents.iter().copied()).collect();
         debug_assert_eq!(x.len(), n);
 
         let mut times = vec![0.0];
@@ -517,7 +511,15 @@ mod tests {
         c.add_voltage_source(
             vin,
             Circuit::gnd(),
-            Stimulus::Pulse { v1: 0.0, v2: 1.0, delay: 10e-6, rise: 0.0, fall: 0.0, width: 1.0, period: 0.0 },
+            Stimulus::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 10e-6,
+                rise: 0.0,
+                fall: 0.0,
+                width: 1.0,
+                period: 0.0,
+            },
         )
         .unwrap();
         c.add_resistor(vin, out, 1_000.0).unwrap();
@@ -554,11 +556,7 @@ mod tests {
     #[test]
     fn dense_solver_random_system() {
         // Verify LU against a hand-computed 3x3 system.
-        let mut a = vec![
-            vec![2.0, 1.0, -1.0],
-            vec![-3.0, -1.0, 2.0],
-            vec![-2.0, 1.0, 2.0],
-        ];
+        let mut a = vec![vec![2.0, 1.0, -1.0], vec![-3.0, -1.0, 2.0], vec![-2.0, 1.0, 2.0]];
         let mut b = vec![8.0, -11.0, -3.0];
         let x = solve_dense(&mut a, &mut b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-9);
@@ -577,12 +575,8 @@ mod tests {
     fn vsource_pwl_followed_in_transient() {
         let mut c = Circuit::new();
         let a = c.add_node("a");
-        c.add_voltage_source(
-            a,
-            Circuit::gnd(),
-            Stimulus::Pwl(vec![(0.0, 0.0), (1e-3, 1.0)]),
-        )
-        .unwrap();
+        c.add_voltage_source(a, Circuit::gnd(), Stimulus::Pwl(vec![(0.0, 0.0), (1e-3, 1.0)]))
+            .unwrap();
         c.add_resistor(a, Circuit::gnd(), 1_000.0).unwrap();
         let tr = Simulator::new(&c).transient(1e-4, 1e-3).unwrap();
         let w = tr.waveform(a);

@@ -99,18 +99,8 @@ fn run_bench(
 pub fn fig5a() -> Result<BenchResult> {
     let us = 1e-6;
     let circuit = PoolingCircuit::builder(2).build()?;
-    let inp1 = Stimulus::Pwl(vec![
-        (0.0, 0.5),
-        (2.0 * us, 0.5),
-        (4.0 * us, 0.9),
-        (6.0 * us, 0.3),
-    ]);
-    let inp2 = Stimulus::Pwl(vec![
-        (0.0, 0.3),
-        (2.0 * us, 0.9),
-        (4.0 * us, 0.5),
-        (6.0 * us, 0.5),
-    ]);
+    let inp1 = Stimulus::Pwl(vec![(0.0, 0.5), (2.0 * us, 0.5), (4.0 * us, 0.9), (6.0 * us, 0.3)]);
+    let inp2 = Stimulus::Pwl(vec![(0.0, 0.3), (2.0 * us, 0.9), (4.0 * us, 0.5), (6.0 * us, 0.5)]);
     run_bench(&circuit, &[inp1, inp2], 20e-9, 6.0 * us)
 }
 
@@ -187,11 +177,7 @@ mod tests {
         assert_eq!(r.inputs.len(), 2);
         // Dynamic tracking error stays small relative to the 0.6 V swing;
         // RC settling and follower nonlinearity set the bound.
-        assert!(
-            r.max_tracking_error < 0.03,
-            "tracking error {} too large",
-            r.max_tracking_error
-        );
+        assert!(r.max_tracking_error < 0.03, "tracking error {} too large", r.max_tracking_error);
         // Scenario 2 (opposing slopes): output is nearly flat between 2.5
         // and 3.5 µs.
         let flat_delta = (r.avg.sample_at(3.5e-6) - r.avg.sample_at(2.5e-6)).abs();

@@ -125,10 +125,7 @@ impl Waveform {
     /// Returns [`AnalogError::InputLengthMismatch`] when waveforms disagree
     /// in length; I/O errors are returned as `std::io::Error` converted to
     /// a mismatch-free panic-free result via the caller.
-    pub fn write_csv<W: Write>(
-        mut w: W,
-        columns: &[(&str, &Waveform)],
-    ) -> std::io::Result<()> {
+    pub fn write_csv<W: Write>(mut w: W, columns: &[(&str, &Waveform)]) -> std::io::Result<()> {
         if columns.is_empty() {
             return Ok(());
         }

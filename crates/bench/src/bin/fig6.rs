@@ -35,7 +35,14 @@ fn main() {
     println!();
     println!(
         "{:>12} {:>10} | {:>14} {:>14} {:>10} | {:>14} {:>14} {:>10}",
-        "array", "roi", "(a) image kB", "(a) total kB", "fits?", "(b) image kB", "(b) total kB", "fits?"
+        "array",
+        "roi",
+        "(a) image kB",
+        "(a) total kB",
+        "fits?",
+        "(b) image kB",
+        "(b) total kB",
+        "fits?"
     );
 
     for (n, m) in arrays {

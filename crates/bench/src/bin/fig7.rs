@@ -19,7 +19,7 @@ fn main() {
         &DatasetSpec::crowdhuman_like(),
         Some(ObjectClass::Person),
         images,
-        0xF16_7,
+        0xF167,
     );
     println!(
         "measured crowdhuman-like ROI stats over {images} scenes: j = {}, sum area = {:.1} % of frame, union = {:.1} %",
@@ -30,16 +30,15 @@ fn main() {
     println!("(paper back-solved: sum ≈ 27 %, union ≈ 9 %)");
     println!();
 
-    let arrays: [(u64, u64); 5] = [
-        (640, 480),
-        (1280, 960),
-        (1600, 1200),
-        (1920, 1440),
-        (2560, 1920),
-    ];
+    let arrays: [(u64, u64); 5] =
+        [(640, 480), (1280, 960), (1600, 1200), (1920, 1440), (2560, 1920)];
     println!(
         "{:>12} | {:>12} | {:>26} | {:>26} | {:>26}",
-        "array", "baseline kB", "k=2: D1+D2 kB (red., D1%)", "k=4: D1+D2 kB (red., D1%)", "k=8: D1+D2 kB (red., D1%)"
+        "array",
+        "baseline kB",
+        "k=2: D1+D2 kB (red., D1%)",
+        "k=4: D1+D2 kB (red., D1%)",
+        "k=8: D1+D2 kB (red., D1%)"
     );
     for (n, m) in arrays {
         let (j, sum, union) = stats.at_array(n, m);

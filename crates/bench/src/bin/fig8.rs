@@ -37,21 +37,16 @@ fn main() {
     let mut pool_energy_min = f64::INFINITY;
     let mut pool_energy_max = 0.0f64;
     for spec in DatasetSpec::paper_presets() {
-        let class = if spec.name.starts_with("crowdhuman") {
-            Some(ObjectClass::Person)
-        } else {
-            None
-        };
-        let stats = DatasetRoiStats::measure(&spec, class, images, 0xF18_8);
+        let class =
+            if spec.name.starts_with("crowdhuman") { Some(ObjectClass::Person) } else { None };
+        let stats = DatasetRoiStats::measure(&spec, class, images, 0xF188);
         let (j, sum, union) = stats.at_array(N, M);
         for k in [2u64, 4, 8] {
             let mut cells = Vec::new();
             for color in [ColorChannels::Rgb, ColorChannels::Gray] {
-                let params = SystemParams {
-                    stage1_color: color,
-                    ..SystemParams::paper_default(N, M, k)
-                }
-                .with_rois(j, sum, union);
+                let params =
+                    SystemParams { stage1_color: color, ..SystemParams::paper_default(N, M, k) }
+                        .with_rois(j, sum, union);
                 let s1 = params.hirise_stage1();
                 let s2 = params.hirise_stage2();
                 let total = params.hirise_total();
@@ -64,10 +59,7 @@ fn main() {
                 pool_energy_min = pool_energy_min.min(ep);
                 pool_energy_max = pool_energy_max.max(ep);
             }
-            println!(
-                "{:<18} {:>4}x{} | {:>22} | {:>22}",
-                spec.name, k, k, cells[0], cells[1]
-            );
+            println!("{:<18} {:>4}x{} | {:>22} | {:>22}", spec.name, k, k, cells[0], cells[1]);
         }
     }
     println!();

@@ -22,16 +22,18 @@ fn main() {
         "{:<22} {:<34} {:<24} {:<16}",
         "HiRISE stage-1", "D1_s->p = (n*m/k^2)*P  (x3 if RGB)", "M1 = (n*m/k^2)*P", "C1 = n*m/k^2"
     );
+    println!("{:<22} {:<34} {:<24} {:<16}", "", "D1_p->s = j*(4*Words)", "", "0");
     println!(
         "{:<22} {:<34} {:<24} {:<16}",
-        "", "D1_p->s = j*(4*Words)", "", "0"
-    );
-    println!(
-        "{:<22} {:<34} {:<24} {:<16}",
-        "HiRISE stage-2", "D2 = 3P * sum_i(W_i*H_i)", "M2 = 3P * sum(W_i*H_i)", "C2 = 3 * union_i(W_i*H_i)"
+        "HiRISE stage-2",
+        "D2 = 3P * sum_i(W_i*H_i)",
+        "M2 = 3P * sum(W_i*H_i)",
+        "C2 = 3 * union_i(W_i*H_i)"
     );
     println!();
-    println!("Conditions (Eqs. 1-3): D_new << D_old,  Mem_new = max(M1, M2) << Mem_old,  C_new << C_old");
+    println!(
+        "Conditions (Eqs. 1-3): D_new << D_old,  Mem_new = max(M1, M2) << Mem_old,  C_new << C_old"
+    );
     println!();
 
     // Numeric instantiation: the paper's reference configuration with 16

@@ -41,7 +41,7 @@ fn expression_dataset(roi: u32, per_class: usize, seed: u64) -> Vec<(Vec<f32>, u
     use rand::Rng;
     let generator = FacePatchGenerator::new(112);
     let mut rng = StdRng::seed_from_u64(seed);
-    let side = roi.min(INPUT_CAP).max(4);
+    let side = roi.clamp(4, INPUT_CAP);
     let mut out = Vec::with_capacity(per_class * Expression::ALL.len());
     for _ in 0..per_class {
         for expr in Expression::ALL {
@@ -50,7 +50,7 @@ fn expression_dataset(roi: u32, per_class: usize, seed: u64) -> Vec<(Vec<f32>, u
             // Detector misalignment: crop 88–100 % of the patch at a random
             // offset before the optical downscale.
             let frac: f32 = rng.gen_range(0.88..1.0);
-            let cw = ((112.0 * frac) as u32).max(8).min(112);
+            let cw = ((112.0 * frac) as u32).clamp(8, 112);
             let cx = rng.gen_range(0..=(112 - cw));
             let cy = rng.gen_range(0..=(112 - cw));
             let cropped = gray
@@ -130,7 +130,17 @@ fn main() {
     println!("Table 3 — end-to-end system, stage-1 pooled to 320x240 RGB, j = 16 head ROIs");
     println!(
         "{:<14} {:>11} {:>8} {:>6} | {:>9} {:>10} {:>10} | {:>9} {:>9} | {:>8} {:>8}",
-        "model", "array", "roi", "acc%", "peakAct", "SRAM base", "SRAM hirise", "DT base", "DT hirise", "E base", "E hirise"
+        "model",
+        "array",
+        "roi",
+        "acc%",
+        "peakAct",
+        "SRAM base",
+        "SRAM hirise",
+        "DT base",
+        "DT hirise",
+        "E base",
+        "E hirise"
     );
 
     for (model_name, hidden) in [("MCUNetV2", 32usize), ("MobileNetV2", 96)] {

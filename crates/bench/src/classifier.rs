@@ -34,7 +34,7 @@ fn crop_features(image: &Image, bbox: Rect) -> Vec<f32> {
             let sat = ops::resize_bilinear(&sat_crop, PATCH, PATCH).expect("nonzero patch size");
             features.extend_from_slice(sat.as_slice());
         }
-        None => features.extend(std::iter::repeat(0.0).take((PATCH * PATCH) as usize)),
+        None => features.extend(std::iter::repeat_n(0.0, (PATCH * PATCH) as usize)),
     }
     features
 }

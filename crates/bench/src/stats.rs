@@ -58,11 +58,7 @@ impl DatasetRoiStats {
     /// returning `(boxes, sum_area_px, union_area_px)`.
     pub fn at_array(&self, n: u64, m: u64) -> (u64, u64, u64) {
         let frame = (n * m) as f64;
-        (
-            self.boxes,
-            (self.sum_area_frac * frame) as u64,
-            (self.union_area_frac * frame) as u64,
-        )
+        (self.boxes, (self.sum_area_frac * frame) as u64, (self.union_area_frac * frame) as u64)
     }
 }
 
@@ -72,17 +68,27 @@ mod tests {
 
     #[test]
     fn crowdhuman_matches_paper_targets() {
-        let s = DatasetRoiStats::measure(&DatasetSpec::crowdhuman_like(), Some(ObjectClass::Person), 12, 7);
+        let s = DatasetRoiStats::measure(
+            &DatasetSpec::crowdhuman_like(),
+            Some(ObjectClass::Person),
+            12,
+            7,
+        );
         assert!((s.sum_area_frac - 0.27).abs() < 0.09, "sum {}", s.sum_area_frac);
         assert!(s.union_area_frac < s.sum_area_frac);
         let (j, sum, union) = s.at_array(2560, 1920);
-        assert!(j >= 10 && j <= 22);
+        assert!((10..=22).contains(&j));
         assert!(sum > union);
     }
 
     #[test]
     fn head_stats_give_table3_roi_scale() {
-        let s = DatasetRoiStats::measure(&DatasetSpec::crowdhuman_like(), Some(ObjectClass::Head), 12, 7);
+        let s = DatasetRoiStats::measure(
+            &DatasetSpec::crowdhuman_like(),
+            Some(ObjectClass::Head),
+            12,
+            7,
+        );
         // Table 3: head ROI side ≈ 4.4 % of the array width.
         assert!((s.box_w_frac - 0.044).abs() < 0.02, "w frac {}", s.box_w_frac);
     }

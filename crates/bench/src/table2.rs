@@ -78,17 +78,18 @@ pub struct Table2Row {
 /// Builds the dataset-calibrated detector configuration (anchor-style
 /// scale/aspect priors from the dataset spec).
 pub fn detector_for(spec: &DatasetSpec) -> DetectorConfig {
-    let mut cfg = DetectorConfig::default();
-    cfg.class_aspects = spec
-        .classes
-        .iter()
-        .filter(|c| **c != ObjectClass::Head)
-        .map(|c| (c.id(), c.aspect()))
-        .collect();
-    cfg.min_object_frac = spec.scale_range.0 * 0.7;
-    cfg.max_object_frac = (spec.scale_range.1 * 1.4).min(0.9);
-    cfg.score_threshold = 0.025;
-    cfg
+    DetectorConfig {
+        class_aspects: spec
+            .classes
+            .iter()
+            .filter(|c| **c != ObjectClass::Head)
+            .map(|c| (c.id(), c.aspect()))
+            .collect(),
+        min_object_frac: spec.scale_range.0 * 0.7,
+        max_object_frac: (spec.scale_range.1 * 1.4).min(0.9),
+        score_threshold: 0.025,
+        ..DetectorConfig::default()
+    }
 }
 
 /// Ground truth of one scene in detector-space coordinates (downscaled by
@@ -113,9 +114,7 @@ fn detect_and_classify(
 }
 
 fn filter_by_threshold(dets: &[Vec<Detection>], thr: f64) -> Vec<Vec<Detection>> {
-    dets.iter()
-        .map(|d| d.iter().filter(|x| x.score as f64 >= thr).copied().collect())
-        .collect()
+    dets.iter().map(|d| d.iter().filter(|x| x.score as f64 >= thr).copied().collect()).collect()
 }
 
 /// Runs the full experiment for one dataset, returning one row per
@@ -130,7 +129,10 @@ pub fn run_dataset(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let (aw, ah) = config.array;
 
-    progress(format!("[{}] generating {} cal + {} eval scenes", spec.name, config.cal_images, config.eval_images));
+    progress(format!(
+        "[{}] generating {} cal + {} eval scenes",
+        spec.name, config.cal_images, config.eval_images
+    ));
     let cal_scenes: Vec<Scene> =
         (0..config.cal_images).map(|_| generator.generate(aw, ah, &mut rng)).collect();
     let eval_scenes: Vec<Scene> =
@@ -185,7 +187,11 @@ pub fn run_dataset(
                 let (sensor_img, _, _) =
                     pipeline.run_stage1(&scene.image).expect("valid configuration");
                 proc_dets.push(detect_and_classify(in_proc.detector(), &classifier, &proc_img));
-                sensor_dets.push(detect_and_classify(pipeline.detector(), &classifier, &sensor_img));
+                sensor_dets.push(detect_and_classify(
+                    pipeline.detector(),
+                    &classifier,
+                    &sensor_img,
+                ));
                 gts.push(scene_ground_truth(scene, k));
             }
             let map_proc = evaluate(&filter_by_threshold(&proc_dets, threshold), &gts, 0.5).map;

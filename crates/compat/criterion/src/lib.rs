@@ -1,0 +1,324 @@
+//! Offline stand-in for the crates.io [`criterion`] benchmark harness.
+//!
+//! Implements the subset of the `criterion 0.5` API the workspace's
+//! `[[bench]]` targets use — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a plain
+//! wall-clock measurement loop:
+//!
+//! * each benchmark is warmed up for ~3 iterations / 100 ms,
+//! * then timed for up to `sample_size` samples within a ~2 s budget,
+//! * and min / mean / max per-iteration times are printed to stdout.
+//!
+//! `cargo bench -- <filter>` substring filtering and the `--test` flag
+//! (run every benchmark exactly once, used by `cargo test --benches`)
+//! are honoured. There are no HTML reports, baselines, or statistical
+//! significance tests; see `crates/compat/README.md`.
+//!
+//! [`criterion`]: https://docs.rs/criterion/0.5
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper wall-clock budget spent measuring one benchmark function.
+const MEASUREMENT_BUDGET: Duration = Duration::from_secs(2);
+/// Upper wall-clock budget spent warming one benchmark function up.
+const WARM_UP_BUDGET: Duration = Duration::from_millis(100);
+
+/// The benchmark driver: holds configuration and runs registered
+/// benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100, test_mode: false, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, substring filter);
+    /// called by the [`criterion_group!`] expansion.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "-t" => self.test_mode = true,
+                // Flags cargo/libtest pass through that take a value.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with('-') => {}
+                other => self.filter = Some(other.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Benchmarks one function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().full_label(None);
+        run_benchmark(&label, self.sample_size, self.test_mode, &self.filter, f);
+        self
+    }
+}
+
+/// A set of benchmarks reported under a common `group/` prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for every benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().full_label(Some(&self.name));
+        run_benchmark(
+            &label,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+            &self.criterion.filter,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks one function against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { function_name: Some(function_name.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id that is just a parameter value (the group name carries the
+    /// function identity).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { function_name: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn full_label(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if let Some(f) = self.function_name.as_deref() {
+            parts.push(f);
+        }
+        if let Some(p) = self.parameter.as_deref() {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { function_name: Some(name.to_string()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { function_name: Some(name), parameter: None }
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    sample_size: usize,
+    test_mode: bool,
+    filter: &Option<String>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(needle) = filter {
+        if !label.contains(needle.as_str()) {
+            return;
+        }
+    }
+
+    if test_mode {
+        let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{label}: ok (test mode)");
+        return;
+    }
+
+    // Warm-up: run single iterations until the budget is spent.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u32;
+    while warm_iters < 3 || (warm_start.elapsed() < WARM_UP_BUDGET && warm_iters < 1000) {
+        let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        warm_iters += 1;
+    }
+
+    // Measurement: `sample_size` samples, truncated to the time budget.
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    let run_start = Instant::now();
+    for _ in 0..sample_size {
+        let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed);
+        if run_start.elapsed() > MEASUREMENT_BUDGET {
+            break;
+        }
+    }
+
+    let n = samples.len() as u32;
+    let total: Duration = samples.iter().sum();
+    let mean = total / n.max(1);
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{label:<48} time: [{} {} {}]  ({n} samples)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!` (both the plain and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Expands to `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_labels_compose() {
+        assert_eq!(BenchmarkId::from_parameter(4).full_label(Some("pool")), "pool/4");
+        assert_eq!(BenchmarkId::new("f", 2).full_label(Some("g")), "g/f/2");
+        assert_eq!(BenchmarkId::from("solo").full_label(None), "solo");
+    }
+
+    #[test]
+    fn bencher_records_elapsed_time() {
+        let mut b = Bencher { iterations: 10, elapsed: Duration::ZERO };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

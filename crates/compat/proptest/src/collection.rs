@@ -1,0 +1,58 @@
+//! Collection strategies ([`vec()`](vec())).
+
+use core::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A strategy for `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec()`](vec()).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_elements_respect_ranges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = vec(0u32..7, 2..6);
+        let mut seen_lens = [false; 6];
+        for _ in 0..200 {
+            let v = s.sample_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            seen_lens[v.len()] = true;
+            assert!(v.iter().all(|&x| x < 7));
+        }
+        assert!(seen_lens[2] && seen_lens[5], "length range not covered");
+    }
+
+    #[test]
+    fn zero_length_vecs_are_possible() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = vec(0u32..7, 0..2);
+        assert!((0..100).any(|_| s.sample_value(&mut rng).is_empty()));
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for the crates.io [`proptest`] property-testing
+//! crate.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (including the `#![proptest_config(..)]`
+//! header), [`prop_assert!`]/[`prop_assert_eq!`], the [`Strategy`]
+//! trait with [`Strategy::prop_map`], numeric range strategies, tuple
+//! strategies, [`collection::vec`], [`sample::select`], and
+//! [`ProptestConfig`].
+//!
+//! Cases are drawn from a deterministic per-test RNG (seeded from the
+//! test's module path and name), so failures reproduce across runs.
+//! Unlike upstream there is **no shrinking**: a failing case panics
+//! with the sampled inputs rather than a minimised counterexample. See
+//! `crates/compat/README.md`.
+//!
+//! [`proptest`]: https://docs.rs/proptest/1
+//! [`Strategy`]: strategy::Strategy
+//! [`Strategy::prop_map`]: strategy::Strategy::prop_map
+//! [`ProptestConfig`]: test_runner::ProptestConfig
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body (panics on failure;
+/// upstream's early-`Err` return is replaced by a plain panic since
+/// this stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` that samples its arguments `cases` times and
+/// runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::rng_for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let mut guard = $crate::test_runner::CaseGuard::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                    config.cases,
+                );
+                $(
+                    let sampled =
+                        $crate::strategy::Strategy::sample_value(&($strategy), &mut rng);
+                    guard.record(stringify!($arg), &sampled);
+                    let $arg = sampled;
+                )*
+                $body
+                guard.disarm();
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..100, 1u32..50).prop_map(|(a, b)| (a, a + b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn mapped_pairs_are_ordered((lo, hi) in arb_pair()) {
+            prop_assert!(lo < hi);
+        }
+
+        #[test]
+        fn ranges_honour_bounds(x in 5u32..10, y in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vecs_honour_size_range(v in prop::collection::vec(0u32..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn select_only_picks_given_items(k in prop::sample::select(vec![1u32, 2, 4, 8])) {
+            prop_assert!([1, 2, 4, 8].contains(&k));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+}

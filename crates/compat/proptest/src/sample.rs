@@ -1,0 +1,46 @@
+//! Sampling strategies over explicit candidate sets
+//! (`prop::sample::select`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A strategy choosing uniformly among the given candidates.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "cannot select from an empty set");
+    Select { options }
+}
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_candidate_is_reachable_and_nothing_else() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = select(vec![1u32, 2, 4, 8]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = s.sample_value(&mut rng);
+            let idx = [1, 2, 4, 8].iter().position(|&x| x == v).expect("unexpected value");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

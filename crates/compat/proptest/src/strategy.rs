@@ -1,0 +1,145 @@
+//! The [`Strategy`] trait and the primitive strategies: numeric ranges,
+//! tuples, [`Just`], and [`Map`].
+
+use core::ops::{Range, RangeInclusive};
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value. (Named `sample_value` rather than upstream's
+    /// `new_tree` machinery: this stand-in generates flat values with no
+    /// shrink trees.)
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Derives a strategy producing `f(value)`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy producing a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let x = (3u32..9).sample_value(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (1usize..=4).sample_value(&mut rng);
+            assert!((1..=4).contains(&y));
+            let z = (0.0f64..2.0).sample_value(&mut rng);
+            assert!((0.0..2.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn tuples_sample_componentwise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, b, c, d) = (0u32..10, 10u32..20, 20u32..30, 30u32..40).sample_value(&mut rng);
+        assert!(a < 10 && (10..20).contains(&b) && (20..30).contains(&c) && (30..40).contains(&d));
+    }
+
+    #[test]
+    fn prop_map_applies_function() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = (0u32..5).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            let v = s.sample_value(&mut rng);
+            assert_eq!(v % 10, 0);
+            assert!(v < 50);
+        }
+    }
+
+    #[test]
+    fn just_returns_its_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(Just(7u8).sample_value(&mut rng), 7);
+    }
+}

@@ -1,0 +1,124 @@
+//! Test-execution support: configuration, the deterministic per-test
+//! RNG, and the failure-reporting guard used by the [`proptest!`]
+//! macro expansion.
+//!
+//! [`proptest!`]: crate::proptest!
+
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Derives the deterministic RNG for one property test from its fully
+/// qualified name, so every run samples the same cases. FNV-1a rather
+/// than std's `DefaultHasher`: the latter's algorithm is unstable
+/// across Rust releases, which would silently change every sampled
+/// case on a toolchain update.
+pub fn rng_for_test(qualified_name: &str) -> StdRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in qualified_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Prints the sampled inputs of the in-flight case if the property body
+/// panics (this stand-in's replacement for upstream's shrink-and-report
+/// machinery).
+pub struct CaseGuard {
+    header: String,
+    inputs: String,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Starts a guard for `case` (0-based) of `total` in the named test.
+    pub fn new(test_name: &'static str, case: u32, total: u32) -> Self {
+        Self {
+            header: format!("{test_name} (case {}/{total})", case + 1),
+            inputs: String::new(),
+            armed: true,
+        }
+    }
+
+    /// Records one sampled argument for the failure report.
+    pub fn record(&mut self, name: &'static str, value: &dyn Debug) {
+        if !self.inputs.is_empty() {
+            self.inputs.push_str(", ");
+        }
+        let _ = write!(self.inputs, "{name} = {value:?}");
+    }
+
+    /// Marks the case as passed; the guard stays quiet on drop.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!("proptest case failed: {} with inputs [{}]", self.header, self.inputs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn per_test_rng_is_stable_and_name_sensitive() {
+        let a: Vec<u64> = (0..4)
+            .map({
+                let mut r = rng_for_test("x::y");
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map({
+                let mut r = rng_for_test("x::y");
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..4)
+            .map({
+                let mut r = rng_for_test("x::z");
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn disarmed_guard_is_silent() {
+        let mut g = CaseGuard::new("t", 0, 1);
+        g.record("x", &42);
+        g.disarm();
+        drop(g);
+    }
+}

@@ -1,0 +1,141 @@
+//! The [`Standard`] distribution and uniform range sampling backing
+//! [`crate::Rng::gen`] and [`crate::Rng::gen_range`].
+
+use crate::Rng;
+
+/// A distribution over values of `T`, mirroring
+/// `rand::distributions::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: uniform `[0, 1)` for floats,
+/// uniform over the full domain for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits, as in upstream rand.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 uniform mantissa bits.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod uniform {
+    //! Range sampling: the [`SampleRange`] glue trait consumed by
+    //! [`crate::Rng::gen_range`] plus the [`SampleUniform`] per-type
+    //! implementations.
+
+    use core::ops::{Range, RangeInclusive};
+
+    use super::Distribution;
+    use crate::Rng;
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw from `[low, high)`; panics when `low >= high`.
+        fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+        /// Uniform draw from `[low, high]`; panics when `low > high`.
+        fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Range-shaped arguments accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_inclusive(rng, low, high)
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $unsigned:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as $unsigned).wrapping_sub(low as $unsigned);
+                    low.wrapping_add(bounded(rng, span as u64) as $t)
+                }
+
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as $unsigned).wrapping_sub(low as $unsigned);
+                    if span as u64 == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    low.wrapping_add(bounded(rng, span as u64 + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+    );
+
+    /// Uniform draw from `[0, bound)` via 128-bit widening multiply
+    /// (Lemire's method without the rejection step; the bias is
+    /// `O(bound / 2^64)` — immaterial for the small ranges used here).
+    fn bounded<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit: $t = crate::distributions::Standard.sample(rng);
+                    let v = low + unit * (high - low);
+                    // Guard against rounding up to the open bound.
+                    if v >= high { low } else { v }
+                }
+
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit: $t = crate::distributions::Standard.sample(rng);
+                    low + unit * (high - low)
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+}

@@ -3,7 +3,8 @@
 //! `hirise-energy` owns the closed-form arithmetic over scalar inputs;
 //! this module derives those inputs (`j`, `Σ W_i·H_i`, union area) from
 //! actual ROI rectangles and the system configuration, and can
-//! cross-check the closed forms against a measured [`RunReport`].
+//! cross-check the closed forms against a measured
+//! [`RunReport`](crate::report::RunReport).
 
 use hirise_energy::{ColorChannels, CostBreakdown, RoiConversionModel, SystemParams};
 use hirise_imaging::rect::{sum_area, union_area};

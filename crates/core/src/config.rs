@@ -60,8 +60,8 @@ impl HiriseConfig {
             return Err(HiriseError::InvalidConfig { reason: "zero array dimension".into() });
         }
         if self.pooling_k == 0
-            || self.array_width % self.pooling_k != 0
-            || self.array_height % self.pooling_k != 0
+            || !self.array_width.is_multiple_of(self.pooling_k)
+            || !self.array_height.is_multiple_of(self.pooling_k)
         {
             return Err(HiriseError::InvalidConfig {
                 reason: format!(

@@ -73,8 +73,7 @@ mod tests {
         let e = HiriseError::InvalidConfig { reason: "k does not tile".into() };
         assert!(e.to_string().contains("invalid configuration"));
         assert!(e.source().is_none());
-        let s: HiriseError =
-            SensorError::InvalidConfig { parameter: "bits", value: 0.0 }.into();
+        let s: HiriseError = SensorError::InvalidConfig { parameter: "bits", value: 0.0 }.into();
         assert!(s.source().is_some());
     }
 

@@ -54,6 +54,7 @@ pub mod config;
 pub mod pipeline;
 pub mod report;
 pub mod roi;
+pub mod stream;
 
 mod error;
 
@@ -61,6 +62,7 @@ pub use config::{HiriseConfig, HiriseConfigBuilder};
 pub use error::HiriseError;
 pub use pipeline::{HirisePipeline, PipelineRun};
 pub use report::RunReport;
+pub use stream::{StreamConfig, StreamExecutor, StreamOrdering, StreamSummary};
 
 // Re-export the substrate vocabulary users need at the top level.
 pub use hirise_detect::{Detection, Detector, DetectorConfig};

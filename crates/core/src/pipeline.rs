@@ -72,10 +72,7 @@ impl HirisePipeline {
     ///
     /// [`HiriseError::SceneMismatch`] for wrongly sized scenes, plus sensor
     /// failures.
-    pub fn run_stage1(
-        &self,
-        scene: &RgbImage,
-    ) -> Result<(Image, Vec<Detection>, ReadoutStats)> {
+    pub fn run_stage1(&self, scene: &RgbImage) -> Result<(Image, Vec<Detection>, ReadoutStats)> {
         self.check_scene(scene)?;
         let mut sensor = Sensor::new(scene.clone(), self.config.sensor);
         let (pooled, stats) =
@@ -141,8 +138,7 @@ mod tests {
     }
 
     fn small_config() -> HiriseConfig {
-        let mut detector = hirise_detect::DetectorConfig::default();
-        detector.score_threshold = 0.2;
+        let detector = hirise_detect::DetectorConfig { score_threshold: 0.2, ..Default::default() };
         HiriseConfig::builder(192, 144)
             .pooling(2)
             .sensor(SensorConfig::noiseless())
@@ -156,10 +152,7 @@ mod tests {
     fn rejects_mismatched_scene() {
         let pipeline = HirisePipeline::new(small_config());
         let wrong = RgbImage::new(64, 64);
-        assert!(matches!(
-            pipeline.run(&wrong),
-            Err(HiriseError::SceneMismatch { .. })
-        ));
+        assert!(matches!(pipeline.run(&wrong), Err(HiriseError::SceneMismatch { .. })));
     }
 
     #[test]

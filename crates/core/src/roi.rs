@@ -51,11 +51,7 @@ mod tests {
 
     #[test]
     fn sorts_by_score_and_truncates() {
-        let dets = [
-            det(0, 0, 4, 4, 0.2),
-            det(8, 0, 4, 4, 0.9),
-            det(16, 0, 4, 4, 0.5),
-        ];
+        let dets = [det(0, 0, 4, 4, 0.2), det(8, 0, 4, 4, 0.9), det(16, 0, 4, 4, 0.5)];
         let rois = detections_to_rois(&dets, 1, 0, 100, 100, 2);
         assert_eq!(rois.len(), 2);
         assert_eq!(rois[0].x, 8);

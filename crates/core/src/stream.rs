@@ -1,0 +1,643 @@
+//! Multi-threaded frame streaming on top of [`HirisePipeline`].
+//!
+//! One [`HirisePipeline::run`] call processes one frame. A deployed
+//! HiRISE camera, however, faces a *stream* of frames, and the stage-1
+//! compression work of different frames is embarrassingly parallel:
+//! every capture starts from a fresh [`hirise_sensor::Sensor`], so
+//! frames share no mutable state. [`StreamExecutor`] exploits that with
+//! a plain `std::thread` worker pool fed over channels — no additional
+//! dependencies — and folds the per-frame [`RunReport`]s into a
+//! [`StreamSummary`] of throughput, energy, and ROI statistics.
+//!
+//! Two orderings are offered ([`StreamOrdering`]):
+//!
+//! * [`Arrival`](StreamOrdering::Arrival) folds reports as workers
+//!   finish them: O(1) memory, the mode for long-running streams.
+//! * [`Deterministic`](StreamOrdering::Deterministic) buffers and sorts
+//!   reports by frame index before folding, so the summary — including
+//!   its floating-point energy totals — is bit-identical for any worker
+//!   count. Tests and cross-run comparisons use this mode, and it is
+//!   the only mode that retains the per-frame reports.
+//!
+//! Per-frame results are themselves deterministic in *both* modes
+//! (each frame's sensor is seeded from the configuration alone); the
+//! ordering only governs how the floating-point aggregation folds.
+//!
+//! # Example
+//!
+//! ```
+//! use hirise::stream::{StreamConfig, StreamExecutor, StreamOrdering};
+//! use hirise::{HiriseConfig, HirisePipeline};
+//! use hirise_imaging::RgbImage;
+//!
+//! # fn main() -> Result<(), hirise::HiriseError> {
+//! let config = HiriseConfig::builder(64, 64).pooling(4).build()?;
+//! let executor = StreamExecutor::new(
+//!     HirisePipeline::new(config),
+//!     StreamConfig::default().workers(2).ordering(StreamOrdering::Deterministic),
+//! )?;
+//! let frames: Vec<RgbImage> = (0..8)
+//!     .map(|i| RgbImage::from_fn(64, 64, |x, y| {
+//!         let v = ((x + y + i) % 16) as f32 / 16.0;
+//!         (v, v, 0.3)
+//!     }))
+//!     .collect();
+//! let summary = executor.run(&frames)?;
+//! assert_eq!(summary.frames, 8);
+//! assert_eq!(summary.reports.len(), 8);
+//! println!("{}", summary);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hirise_imaging::RgbImage;
+
+use crate::pipeline::HirisePipeline;
+use crate::report::RunReport;
+use crate::{HiriseError, Result};
+
+/// How the executor folds per-frame reports into the summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamOrdering {
+    /// Fold reports as they arrive from the workers. Constant memory,
+    /// but the floating-point totals depend on completion order.
+    #[default]
+    Arrival,
+    /// Buffer reports, sort by frame index, fold in frame order. The
+    /// summary is identical for every worker count, and
+    /// [`StreamSummary::reports`] is populated.
+    Deterministic,
+}
+
+/// Configuration of a [`StreamExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Number of worker threads (≥ 1).
+    pub workers: usize,
+    /// Frames dispatched to a worker per work unit (≥ 1). Larger
+    /// batches amortise channel traffic; smaller batches balance load.
+    pub batch_size: usize,
+    /// Report-folding mode.
+    pub ordering: StreamOrdering,
+}
+
+impl Default for StreamConfig {
+    /// One worker per available core, batches of 4, arrival ordering.
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            batch_size: 4,
+            ordering: StreamOrdering::Arrival,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Sets the worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the frames-per-dispatch batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the report-folding mode.
+    pub fn ordering(mut self, ordering: StreamOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(HiriseError::InvalidConfig {
+                reason: "stream workers must be ≥ 1".into()
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(HiriseError::InvalidConfig {
+                reason: "stream batch size must be ≥ 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Order-independent totals over a set of [`RunReport`]s.
+///
+/// Every field is an integer counter, so equal frame sets produce equal
+/// aggregates regardless of fold order; the floating-point energy
+/// figures live on [`StreamSummary`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamAggregate {
+    /// Total ADC conversions across both stages of every frame.
+    pub conversions: u64,
+    /// Total analog pooling outputs produced.
+    pub pooling_outputs: u64,
+    /// Total sensor→processor (and coordinate back-channel) traffic, bits.
+    pub transfer_bits: u64,
+    /// Total ROIs read out.
+    pub rois: u64,
+    /// Largest per-frame peak image memory observed, bytes.
+    pub peak_image_bytes: u64,
+}
+
+impl StreamAggregate {
+    fn fold(&mut self, report: &RunReport) {
+        self.conversions += report.conversions();
+        self.pooling_outputs += report.pooling_outputs;
+        self.transfer_bits += report.total_transfer_bits();
+        self.rois += report.roi_count as u64;
+        self.peak_image_bytes = self.peak_image_bytes.max(report.peak_image_bytes());
+    }
+}
+
+/// What a whole stream run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// Frames processed.
+    pub frames: u64,
+    /// Wall-clock time of the run (workers spawned → last report folded).
+    pub wall: Duration,
+    /// Order-independent counter totals.
+    pub aggregate: StreamAggregate,
+    /// Total sensor-side energy with the paper's calibrated models,
+    /// millijoules. Folded in frame order under
+    /// [`StreamOrdering::Deterministic`], in completion order otherwise.
+    pub energy_mj: f64,
+    /// Per-frame reports in frame order; populated only under
+    /// [`StreamOrdering::Deterministic`] (empty in arrival mode, which
+    /// runs in constant memory).
+    pub reports: Vec<RunReport>,
+}
+
+impl StreamSummary {
+    /// Frames per wall-clock second.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Mean sensor-side energy per frame, millijoules.
+    pub fn mean_energy_mj(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.energy_mj / self.frames as f64
+        }
+    }
+
+    /// Mean ROIs per frame.
+    pub fn mean_rois(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.aggregate.rois as f64 / self.frames as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StreamSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stream: {} frames in {:.3} s ({:.1} fps), {:.2} rois/frame, \
+             {:.3} mJ/frame, {:.1} kB moved",
+            self.frames,
+            self.wall.as_secs_f64(),
+            self.frames_per_sec(),
+            self.mean_rois(),
+            self.mean_energy_mj(),
+            self.aggregate.transfer_bits as f64 / 8000.0,
+        )
+    }
+}
+
+/// A work unit: the index of its first frame plus the frames themselves.
+struct Batch {
+    first_index: u64,
+    frames: Vec<RgbImage>,
+}
+
+/// One worker's output for a batch.
+struct BatchResult {
+    first_index: u64,
+    reports: Vec<Result<RunReport>>,
+}
+
+/// Runs a [`HirisePipeline`] over streams of frames on a worker pool.
+#[derive(Debug, Clone)]
+pub struct StreamExecutor {
+    pipeline: HirisePipeline,
+    config: StreamConfig,
+}
+
+impl StreamExecutor {
+    /// Creates an executor; fails on a zero worker count or batch size.
+    ///
+    /// # Errors
+    ///
+    /// [`HiriseError::InvalidConfig`] for degenerate stream settings.
+    pub fn new(pipeline: HirisePipeline, config: StreamConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { pipeline, config })
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The per-frame pipeline.
+    pub fn pipeline(&self) -> &HirisePipeline {
+        &self.pipeline
+    }
+
+    /// Processes one batch, stopping early once the run is cancelled;
+    /// sets the cancellation flag itself on the first failed frame so
+    /// in-flight work elsewhere winds down promptly.
+    fn process_batch<'a>(
+        &self,
+        frames: impl Iterator<Item = &'a RgbImage>,
+        cancelled: &AtomicBool,
+    ) -> Vec<Result<RunReport>> {
+        let mut reports = Vec::new();
+        for frame in frames {
+            if cancelled.load(Ordering::Relaxed) {
+                break;
+            }
+            let report = self.pipeline.run(frame).map(|run| run.report);
+            if report.is_err() {
+                cancelled.store(true, Ordering::Relaxed);
+            }
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// Runs the pipeline over a finite, already-materialised frame set.
+    ///
+    /// Frames are dispatched to the pool as index ranges, so nothing is
+    /// copied on the way in.
+    ///
+    /// # Errors
+    ///
+    /// A frame failure (e.g. [`HiriseError::SceneMismatch`]) cancels the
+    /// remaining work and the run returns the failure — the
+    /// earliest-indexed one observed in deterministic mode, the first
+    /// one completed otherwise.
+    pub fn run(&self, frames: &[RgbImage]) -> Result<StreamSummary> {
+        let start = Instant::now();
+        let (result_tx, result_rx) = mpsc::channel::<BatchResult>();
+        // Work stealing by atomic cursor: each worker claims the next
+        // `batch_size` frames lock-free.
+        let next_frame = AtomicU64::new(0);
+        let cancelled = AtomicBool::new(false);
+        let batch = self.config.batch_size as u64;
+        let total = frames.len() as u64;
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.min(frames.len().max(1)) {
+                let result_tx = result_tx.clone();
+                let next_frame = &next_frame;
+                let cancelled = &cancelled;
+                scope.spawn(move || loop {
+                    let first = next_frame.fetch_add(batch, Ordering::Relaxed);
+                    if first >= total || cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let end = (first + batch).min(total);
+                    let reports =
+                        self.process_batch(frames[first as usize..end as usize].iter(), cancelled);
+                    if result_tx.send(BatchResult { first_index: first, reports }).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(result_tx);
+            self.collect(result_rx, &cancelled, start)
+        })
+    }
+
+    /// Runs the pipeline over an arbitrary (possibly unbounded-length)
+    /// frame iterator.
+    ///
+    /// A producer thread drains the iterator into bounded batches, so
+    /// *frame* memory stays proportional to `workers × batch_size`
+    /// regardless of stream length. Note that
+    /// [`StreamOrdering::Deterministic`] still buffers one
+    /// [`RunReport`] per frame for the ordered fold — pair unbounded
+    /// streams with [`StreamOrdering::Arrival`], which folds in
+    /// constant memory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StreamExecutor::run`]; a failure also stops the
+    /// producer, so the iterator is not drained further.
+    pub fn run_stream<I>(&self, frames: I) -> Result<StreamSummary>
+    where
+        I: IntoIterator<Item = RgbImage>,
+        I::IntoIter: Send,
+    {
+        let start = Instant::now();
+        let mut iter = frames.into_iter();
+        // Bounded: keeps at most ~2 batches per worker in flight.
+        let (batch_tx, batch_rx) =
+            mpsc::sync_channel::<Batch>(self.config.workers.saturating_mul(2).max(1));
+        let batch_rx = Mutex::new(batch_rx);
+        let (result_tx, result_rx) = mpsc::channel::<BatchResult>();
+        let cancelled = AtomicBool::new(false);
+        let batch = self.config.batch_size;
+
+        std::thread::scope(|scope| {
+            {
+                let cancelled = &cancelled;
+                scope.spawn(move || {
+                    let mut first_index = 0u64;
+                    while !cancelled.load(Ordering::Relaxed) {
+                        let frames: Vec<RgbImage> = iter.by_ref().take(batch).collect();
+                        if frames.is_empty() {
+                            break;
+                        }
+                        let sent = frames.len() as u64;
+                        if batch_tx.send(Batch { first_index, frames }).is_err() {
+                            break;
+                        }
+                        first_index += sent;
+                    }
+                });
+            }
+            for _ in 0..self.config.workers {
+                let result_tx = result_tx.clone();
+                let batch_rx = &batch_rx;
+                let cancelled = &cancelled;
+                scope.spawn(move || loop {
+                    let Ok(batch) = batch_rx.lock().expect("batch queue poisoned").recv() else {
+                        break;
+                    };
+                    // After cancellation, keep draining the queue (so the
+                    // producer never blocks on a full channel) but skip
+                    // the per-frame work.
+                    if cancelled.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let reports = self.process_batch(batch.frames.iter(), cancelled);
+                    let result = BatchResult { first_index: batch.first_index, reports };
+                    if result_tx.send(result).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(result_tx);
+            self.collect(result_rx, &cancelled, start)
+        })
+    }
+
+    /// Folds worker output into the summary according to the ordering.
+    /// Always drains the channel to completion (the cancellation flag,
+    /// set on the first failure, makes the remaining work trivial), so
+    /// the scoped workers and producer are guaranteed to wind down.
+    fn collect(
+        &self,
+        result_rx: mpsc::Receiver<BatchResult>,
+        cancelled: &AtomicBool,
+        start: Instant,
+    ) -> Result<StreamSummary> {
+        let mut summary = StreamSummary {
+            frames: 0,
+            wall: Duration::ZERO,
+            aggregate: StreamAggregate::default(),
+            energy_mj: 0.0,
+            reports: Vec::new(),
+        };
+        match self.config.ordering {
+            StreamOrdering::Arrival => {
+                let mut first_error: Option<HiriseError> = None;
+                for result in result_rx {
+                    for report in result.reports {
+                        match report {
+                            Ok(report) if first_error.is_none() => {
+                                summary.frames += 1;
+                                summary.aggregate.fold(&report);
+                                summary.energy_mj += report.sensor_energy_mj_default();
+                            }
+                            Err(e) if first_error.is_none() => {
+                                cancelled.store(true, Ordering::Relaxed);
+                                first_error = Some(e);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if let Some(e) = first_error {
+                    return Err(e);
+                }
+            }
+            StreamOrdering::Deterministic => {
+                let mut indexed: Vec<(u64, RunReport)> = Vec::new();
+                let mut first_error: Option<(u64, HiriseError)> = None;
+                for result in result_rx {
+                    let first = result.first_index;
+                    for (i, report) in result.reports.into_iter().enumerate() {
+                        let index = first + i as u64;
+                        match report {
+                            Ok(report) => indexed.push((index, report)),
+                            Err(e) => {
+                                cancelled.store(true, Ordering::Relaxed);
+                                if first_error.as_ref().is_none_or(|(min, _)| index < *min) {
+                                    first_error = Some((index, e));
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some((_, e)) = first_error {
+                    return Err(e);
+                }
+                indexed.sort_by_key(|(index, _)| *index);
+                summary.reports.reserve(indexed.len());
+                for (_, report) in indexed {
+                    summary.frames += 1;
+                    summary.aggregate.fold(&report);
+                    summary.energy_mj += report.sensor_energy_mj_default();
+                    summary.reports.push(report);
+                }
+            }
+        }
+        summary.wall = start.elapsed();
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HiriseConfig;
+    use hirise_imaging::{draw, Rect};
+    use hirise_sensor::SensorConfig;
+
+    fn test_pipeline(w: u32, h: u32) -> HirisePipeline {
+        let detector = hirise_detect::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+        let config = HiriseConfig::builder(w, h)
+            .pooling(2)
+            .sensor(SensorConfig::noiseless())
+            .detector(detector)
+            .max_rois(4)
+            .build()
+            .unwrap();
+        HirisePipeline::new(config)
+    }
+
+    fn frames(n: usize, w: u32, h: u32) -> Vec<RgbImage> {
+        (0..n)
+            .map(|i| {
+                let mut img = RgbImage::from_fn(w, h, |_, _| (0.35, 0.35, 0.35));
+                let obj = Rect::new(
+                    w / 4 + (i as u32 * 5) % (w / 4),
+                    h / 4 + (i as u32 * 3) % (h / 4),
+                    w / 6,
+                    h / 3,
+                );
+                draw::fill_rect_rgb(&mut img, obj, (0.9, 0.4, 0.2));
+                img
+            })
+            .collect()
+    }
+
+    fn deterministic(workers: usize) -> StreamConfig {
+        StreamConfig::default()
+            .workers(workers)
+            .batch_size(2)
+            .ordering(StreamOrdering::Deterministic)
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let p = test_pipeline(64, 48);
+        assert!(StreamExecutor::new(p.clone(), StreamConfig::default().workers(0)).is_err());
+        assert!(StreamExecutor::new(p, StreamConfig::default().batch_size(0)).is_err());
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_summary() {
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(2)).unwrap();
+        let summary = executor.run(&[]).unwrap();
+        assert_eq!(summary.frames, 0);
+        assert_eq!(summary.aggregate, StreamAggregate::default());
+        assert_eq!(summary.mean_energy_mj(), 0.0);
+        assert_eq!(summary.mean_rois(), 0.0);
+    }
+
+    #[test]
+    fn matches_sequential_pipeline_runs() {
+        let pipeline = test_pipeline(64, 48);
+        let frames = frames(6, 64, 48);
+        let executor = StreamExecutor::new(pipeline.clone(), deterministic(3)).unwrap();
+        let summary = executor.run(&frames).unwrap();
+        assert_eq!(summary.frames, 6);
+        let sequential: Vec<RunReport> =
+            frames.iter().map(|f| pipeline.run(f).unwrap().report).collect();
+        assert_eq!(summary.reports, sequential);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_deterministic_summary() {
+        let frames = frames(9, 64, 48);
+        let base = StreamExecutor::new(test_pipeline(64, 48), deterministic(1))
+            .unwrap()
+            .run(&frames)
+            .unwrap();
+        for workers in [2, 4] {
+            let other = StreamExecutor::new(test_pipeline(64, 48), deterministic(workers))
+                .unwrap()
+                .run(&frames)
+                .unwrap();
+            assert_eq!(other.frames, base.frames);
+            assert_eq!(other.aggregate, base.aggregate);
+            assert_eq!(other.energy_mj, base.energy_mj);
+            assert_eq!(other.reports, base.reports);
+        }
+    }
+
+    #[test]
+    fn arrival_mode_matches_integer_aggregates() {
+        let frames = frames(8, 64, 48);
+        let det = StreamExecutor::new(test_pipeline(64, 48), deterministic(4))
+            .unwrap()
+            .run(&frames)
+            .unwrap();
+        let arr = StreamExecutor::new(
+            test_pipeline(64, 48),
+            StreamConfig::default().workers(4).batch_size(2),
+        )
+        .unwrap()
+        .run(&frames)
+        .unwrap();
+        assert_eq!(arr.frames, det.frames);
+        assert_eq!(arr.aggregate, det.aggregate);
+        assert!(arr.reports.is_empty(), "arrival mode must stay constant-memory");
+    }
+
+    #[test]
+    fn run_stream_matches_run() {
+        let frames = frames(7, 64, 48);
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(3)).unwrap();
+        let from_slice = executor.run(&frames).unwrap();
+        let from_iter = executor.run_stream(frames.clone()).unwrap();
+        assert_eq!(from_iter.frames, from_slice.frames);
+        assert_eq!(from_iter.aggregate, from_slice.aggregate);
+        assert_eq!(from_iter.energy_mj, from_slice.energy_mj);
+        assert_eq!(from_iter.reports, from_slice.reports);
+    }
+
+    #[test]
+    fn mismatched_frame_aborts_the_run() {
+        let mut bad = frames(5, 64, 48);
+        bad[3] = RgbImage::new(16, 16);
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(2)).unwrap();
+        assert!(matches!(executor.run(&bad), Err(HiriseError::SceneMismatch { .. })));
+    }
+
+    #[test]
+    fn failure_cancels_a_long_stream_early() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        const TOTAL: usize = 100_000;
+        let pulled = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&pulled);
+        // Every frame is mismatched, so the very first batch fails; a
+        // run without cancellation would still grind through all 100k.
+        let stream = (0..TOTAL).map(move |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            RgbImage::new(16, 16)
+        });
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(2)).unwrap();
+        assert!(matches!(executor.run_stream(stream), Err(HiriseError::SceneMismatch { .. })));
+        let consumed = pulled.load(Ordering::Relaxed);
+        assert!(consumed < TOTAL / 10, "producer was not cancelled: pulled {consumed} frames");
+    }
+
+    #[test]
+    fn summary_statistics_are_consistent() {
+        let frames = frames(6, 64, 48);
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(2)).unwrap();
+        let summary = executor.run(&frames).unwrap();
+        assert!(summary.frames_per_sec() > 0.0);
+        let roi_total: usize = summary.reports.iter().map(|r| r.roi_count).sum();
+        assert_eq!(summary.aggregate.rois, roi_total as u64);
+        let energy: f64 = summary.reports.iter().map(|r| r.sensor_energy_mj_default()).sum();
+        assert_eq!(summary.energy_mj, energy);
+        let text = summary.to_string();
+        assert!(text.contains("6 frames"));
+        assert!(text.contains("fps"));
+    }
+}

@@ -141,8 +141,8 @@ impl Detector {
         let sat = (f.saturation / n_sat).min(1.0);
         let ring = (f.ring_texture / n_tx).min(1.0);
         let fill = (f.fill / self.config.fill_norm).min(1.0);
-        let positive = (w_sd * sd + w_tx * tx + w_ct * ct + w_sat * sat)
-            / (w_sd + w_tx + w_ct + w_sat);
+        let positive =
+            (w_sd * sd + w_tx * tx + w_ct * ct + w_sat * sat) / (w_sd + w_tx + w_ct + w_sat);
         (positive * fill - w_ring * ring).max(0.0)
     }
 
@@ -187,9 +187,8 @@ impl Detector {
                 }
                 let inter = container.bbox.intersection_area(&part.bbox);
                 if inter as f64 >= self.config.part_containment * pa as f64 {
-                    boost += self.config.part_boost
-                        * part.score as f64
-                        * (pa as f64 / ca as f64).sqrt();
+                    boost +=
+                        self.config.part_boost * part.score as f64 * (pa as f64 / ca as f64).sqrt();
                 }
             }
             container.score *= 1.0 + boost.min(self.config.part_boost_cap) as f32;
@@ -203,8 +202,7 @@ impl Detector {
                 ca as f64 * self.config.part_area_ratio >= pa as f64
                     && container.bbox.intersection_area(&part.bbox) as f64
                         >= self.config.part_containment * pa as f64
-                    && container.score as f64
-                        >= self.config.part_suppress_ratio * part.score as f64
+                    && container.score as f64 >= self.config.part_suppress_ratio * part.score as f64
             })
         });
         dets
@@ -232,8 +230,7 @@ impl Detector {
         let aspects = self.scan_aspects();
         let sd_gate = self.config.stddev_gate * self.config.cue_scales[0];
         let mut candidates: Vec<Detection> = Vec::new();
-        let mut h = (self.config.min_object_h as f64)
-            .max(self.config.min_object_frac * ih as f64);
+        let mut h = (self.config.min_object_h as f64).max(self.config.min_object_frac * ih as f64);
         let max_h = self.config.max_object_frac * ih as f64;
         while h <= max_h {
             let wh = h as u32;
@@ -340,10 +337,7 @@ mod tests {
         let dets = detector.detect(&blob_image());
         assert!(!dets.is_empty(), "no detections");
         let target = Rect::new(32, 28, 20, 40);
-        let best = dets
-            .iter()
-            .map(|d| d.bbox.iou(&target))
-            .fold(0.0, f64::max);
+        let best = dets.iter().map(|d| d.bbox.iou(&target)).fold(0.0, f64::max);
         assert!(best > 0.4, "best IoU {best}");
     }
 
@@ -356,9 +350,11 @@ mod tests {
 
     #[test]
     fn detection_count_capped() {
-        let mut cfg = DetectorConfig::default();
-        cfg.max_detections = 3;
-        cfg.score_threshold = 0.0; // everything passes
+        let cfg = DetectorConfig {
+            max_detections: 3,
+            score_threshold: 0.0, // everything passes
+            ..Default::default()
+        };
         let detector = Detector::new(cfg);
         let dets = detector.detect(&blob_image());
         assert!(dets.len() <= 3);
@@ -374,23 +370,15 @@ mod tests {
             draw::fill_rect_rgb(&mut img, Rect::new(36, 30, 20, 36), color);
             img.into()
         };
-        let mut cfg = DetectorConfig::default();
-        cfg.score_threshold = 0.05;
+        let cfg = DetectorConfig { score_threshold: 0.05, ..Default::default() };
         let detector = Detector::new(cfg);
-        let top = |img: &Image| {
-            detector
-                .detect(img)
-                .iter()
-                .map(|d| d.score)
-                .fold(0.0f32, f32::max)
-        };
+        let top = |img: &Image| detector.detect(img).iter().map(|d| d.score).fold(0.0f32, f32::max);
         assert!(top(&mk(true)) > top(&mk(false)));
     }
 
     #[test]
     fn classification_by_aspect() {
-        let mut cfg = DetectorConfig::default();
-        cfg.class_aspects = vec![(0, 0.4), (3, 1.9)];
+        let cfg = DetectorConfig { class_aspects: vec![(0, 0.4), (3, 1.9)], ..Default::default() };
         let detector = Detector::new(cfg);
         assert_eq!(detector.classify(Rect::new(0, 0, 10, 25)), 0); // tall
         assert_eq!(detector.classify(Rect::new(0, 0, 40, 20)), 3); // wide
@@ -428,12 +416,14 @@ mod tests {
             Image::Gray(g) => ops::avg_pool_gray(g, 4).unwrap().into(),
             Image::Rgb(_) => unreachable!(),
         };
-        let mut cfg = DetectorConfig::default();
-        cfg.score_threshold = 0.05;
-        cfg.min_object_h = 4;
-        // Compare raw window scores: containment boosts would obscure the
+        // Zero part-boost: containment boosts would obscure the
         // texture-loss effect under comparison here.
-        cfg.part_boost = 0.0;
+        let cfg = DetectorConfig {
+            score_threshold: 0.05,
+            min_object_h: 4,
+            part_boost: 0.0,
+            ..Default::default()
+        };
         let detector = Detector::new(cfg);
         let score_at = |image: &Image, target: Rect| -> f32 {
             detector

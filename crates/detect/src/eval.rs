@@ -66,10 +66,8 @@ pub fn average_precision(
         ground_truths.len(),
         "detections and ground truths must cover the same images"
     );
-    let total_gt: usize = ground_truths
-        .iter()
-        .map(|g| g.iter().filter(|b| b.class == class).count())
-        .sum();
+    let total_gt: usize =
+        ground_truths.iter().map(|g| g.iter().filter(|b| b.class == class).count()).sum();
     if total_gt == 0 {
         return 0.0;
     }
@@ -94,7 +92,7 @@ pub fn average_precision(
                 continue;
             }
             let iou = det.bbox.iou(&gt.bbox);
-            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= iou_threshold && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((gi, iou));
             }
         }
@@ -130,10 +128,7 @@ pub fn average_precision(
     let mut ap = 0.0;
     for step in 0..=100 {
         let r = step as f64 / 100.0;
-        let p = recalls
-            .iter()
-            .position(|&rec| rec >= r)
-            .map_or(0.0, |idx| precisions[idx]);
+        let p = recalls.iter().position(|&rec| rec >= r).map_or(0.0, |idx| precisions[idx]);
         ap += p;
     }
     ap / 101.0
@@ -150,10 +145,8 @@ pub fn evaluate(
     ground_truths: &[Vec<GroundTruth>],
     iou_threshold: f64,
 ) -> EvalResult {
-    let mut classes: Vec<usize> = ground_truths
-        .iter()
-        .flat_map(|g| g.iter().map(|b| b.class))
-        .collect();
+    let mut classes: Vec<usize> =
+        ground_truths.iter().flat_map(|g| g.iter().map(|b| b.class)).collect();
     classes.sort_unstable();
     classes.dedup();
     let per_class: Vec<(usize, f64)> = classes
@@ -275,11 +268,8 @@ mod tests {
             vec![gt(0, 30, 30, 20, 20)],
             vec![gt(0, 50, 50, 20, 20)],
         ];
-        let dets = vec![
-            vec![det(0, 10, 10, 20, 20, 0.9)],
-            vec![],
-            vec![det(0, 50, 50, 20, 20, 0.7)],
-        ];
+        let dets =
+            vec![vec![det(0, 10, 10, 20, 20, 0.9)], vec![], vec![det(0, 50, 50, 20, 20, 0.7)]];
         let ap = average_precision(&dets, &gts, 0, 0.5);
         assert!((ap - 2.0 / 3.0).abs() < 0.02, "ap {ap}");
     }

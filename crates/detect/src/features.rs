@@ -78,9 +78,7 @@ impl FeatureMaps {
         let (w, h) = luma_plane.dimensions();
         let active = IntegralImage::from_fn(w, h, |x, y| {
             let textured = grad_plane.get(x, y) > ACTIVE_GRAD_THRESHOLD;
-            let colored = sat_plane
-                .as_ref()
-                .map_or(false, |s| s.get(x, y) > ACTIVE_SAT_THRESHOLD);
+            let colored = sat_plane.as_ref().is_some_and(|s| s.get(x, y) > ACTIVE_SAT_THRESHOLD);
             if textured || colored {
                 1.0
             } else {
@@ -164,7 +162,15 @@ impl FeatureMaps {
         }
         let saturation = self.saturation.as_ref().map_or(0.0, |s| s.mean(rect));
         let fill = self.active.mean(rect);
-        WindowFeatures { mean, stddev: var.sqrt(), texture, contrast, saturation, ring_texture, fill }
+        WindowFeatures {
+            mean,
+            stddev: var.sqrt(),
+            texture,
+            contrast,
+            saturation,
+            ring_texture,
+            fill,
+        }
     }
 }
 

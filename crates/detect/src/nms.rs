@@ -42,10 +42,8 @@ mod tests {
 
     #[test]
     fn keeps_disjoint_boxes() {
-        let kept = nms(
-            vec![det(0, 0, 5, 5, 0.5), det(20, 20, 5, 5, 0.9), det(40, 0, 5, 5, 0.7)],
-            0.4,
-        );
+        let kept =
+            nms(vec![det(0, 0, 5, 5, 0.5), det(20, 20, 5, 5, 0.9), det(40, 0, 5, 5, 0.7)], 0.4);
         assert_eq!(kept.len(), 3);
         // Sorted by descending score.
         assert!(kept[0].score >= kept[1].score && kept[1].score >= kept[2].score);
@@ -62,11 +60,7 @@ mod tests {
     #[test]
     fn chain_suppression_is_greedy() {
         // A-B overlap (IoU 1/3), B-C overlap, A-C do not: greedy keeps A and C.
-        let chain = vec![
-            det(0, 0, 10, 10, 0.9),
-            det(0, 5, 10, 10, 0.8),
-            det(0, 10, 10, 10, 0.7),
-        ];
+        let chain = vec![det(0, 0, 10, 10, 0.9), det(0, 5, 10, 10, 0.8), det(0, 10, 10, 10, 0.7)];
         let kept = nms(chain, 0.3);
         assert_eq!(kept.len(), 2);
         assert_eq!(kept[0].bbox.y, 0);

@@ -354,10 +354,7 @@ mod tests {
             let s1 = p.hirise_stage1().transfer_bits_s2p as f64;
             let total = p.hirise_total().total_transfer_bits() as f64;
             let share = s1 / total;
-            assert!(
-                (share - expected).abs() < 0.04,
-                "k={k}: share {share:.3} vs paper {expected}"
-            );
+            assert!((share - expected).abs() < 0.04, "k={k}: share {share:.3} vs paper {expected}");
         }
     }
 
@@ -397,10 +394,7 @@ mod tests {
         rgb.stage1_color = ColorChannels::Rgb;
         let mut gray = crowdhuman_like_params(4);
         gray.stage1_color = ColorChannels::Gray;
-        assert_eq!(
-            rgb.hirise_stage1().conversions,
-            3 * gray.hirise_stage1().conversions
-        );
+        assert_eq!(rgb.hirise_stage1().conversions, 3 * gray.hirise_stage1().conversions);
     }
 
     #[test]
@@ -417,9 +411,8 @@ mod tests {
         assert!((e_lo - 1.71).abs() < 0.3, "low end {e_lo} nJ");
         assert!((e_hi - 91.4).abs() < 8.0, "high end {e_hi} nJ");
         // Orders of magnitude below ADC energy, as the paper notes.
-        let adc_stage1 = AdcEnergy::PAPER_45NM_8BIT
-            .energy_joules(hi.hirise_stage1().conversions)
-            * 1e9;
+        let adc_stage1 =
+            AdcEnergy::PAPER_45NM_8BIT.energy_joules(hi.hirise_stage1().conversions) * 1e9;
         assert!(adc_stage1 / e_hi > 1000.0);
     }
 

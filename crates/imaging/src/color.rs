@@ -129,9 +129,8 @@ mod tests {
 
     #[test]
     fn saturation_zero_for_achromatic() {
-        let img = RgbImage::from_fn(2, 1, |x, _| {
-            if x == 0 { (0.5, 0.5, 0.5) } else { (0.9, 0.1, 0.5) }
-        });
+        let img =
+            RgbImage::from_fn(2, 1, |x, _| if x == 0 { (0.5, 0.5, 0.5) } else { (0.9, 0.1, 0.5) });
         let s = saturation(&img);
         assert!(s.get(0, 0).abs() < 1e-6);
         assert!((s.get(1, 0) - 0.8).abs() < 1e-6);

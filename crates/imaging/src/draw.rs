@@ -184,7 +184,7 @@ pub fn fill_stripes(plane: &mut Plane, rect: Rect, period: u32, a: f32, b: f32) 
     let c = rect.clamped(plane.width(), plane.height());
     for y in c.y..c.bottom() {
         for x in c.x..c.right() {
-            let v = if ((y - c.y) / period) % 2 == 0 { a } else { b };
+            let v = if ((y - c.y) / period).is_multiple_of(2) { a } else { b };
             plane.set(x, y, v);
         }
     }

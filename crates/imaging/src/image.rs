@@ -369,11 +369,19 @@ pub struct RgbImage {
 impl RgbImage {
     /// Creates a black RGB image.
     pub fn new(width: u32, height: u32) -> Self {
-        Self { r: Plane::new(width, height), g: Plane::new(width, height), b: Plane::new(width, height) }
+        Self {
+            r: Plane::new(width, height),
+            g: Plane::new(width, height),
+            b: Plane::new(width, height),
+        }
     }
 
     /// Creates an RGB image from a per-pixel function returning `(r, g, b)`.
-    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> (f32, f32, f32)) -> Self {
+    pub fn from_fn(
+        width: u32,
+        height: u32,
+        mut f: impl FnMut(u32, u32) -> (f32, f32, f32),
+    ) -> Self {
         let mut img = Self::new(width, height);
         for y in 0..height {
             for x in 0..width {
@@ -649,10 +657,7 @@ mod tests {
     fn enumerate_pixels_order() {
         let p = Plane::from_fn(2, 2, |x, y| (y * 2 + x) as f32);
         let coords: Vec<_> = p.enumerate_pixels().collect();
-        assert_eq!(
-            coords,
-            vec![(0, 0, 0.0), (1, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]
-        );
+        assert_eq!(coords, vec![(0, 0, 0.0), (1, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]);
     }
 
     #[test]

@@ -101,15 +101,12 @@ fn parse_header<R: BufRead>(r: &mut R, magic: &str) -> Result<(u32, u32)> {
     if m != magic {
         return Err(ImagingError::Decode(format!("expected magic {magic}, found {m}")));
     }
-    let w: u32 = read_token(r)?
-        .parse()
-        .map_err(|e| ImagingError::Decode(format!("bad width: {e}")))?;
-    let h: u32 = read_token(r)?
-        .parse()
-        .map_err(|e| ImagingError::Decode(format!("bad height: {e}")))?;
-    let maxval: u32 = read_token(r)?
-        .parse()
-        .map_err(|e| ImagingError::Decode(format!("bad maxval: {e}")))?;
+    let w: u32 =
+        read_token(r)?.parse().map_err(|e| ImagingError::Decode(format!("bad width: {e}")))?;
+    let h: u32 =
+        read_token(r)?.parse().map_err(|e| ImagingError::Decode(format!("bad height: {e}")))?;
+    let maxval: u32 =
+        read_token(r)?.parse().map_err(|e| ImagingError::Decode(format!("bad maxval: {e}")))?;
     if maxval != 255 {
         return Err(ImagingError::Decode(format!("unsupported maxval {maxval}, expected 255")));
     }
@@ -196,9 +193,8 @@ mod tests {
 
     #[test]
     fn ppm_roundtrip() {
-        let img = RgbImage::from_fn(4, 3, |x, y| {
-            (x as f32 / 3.0, y as f32 / 2.0, (x + y) as f32 / 5.0)
-        });
+        let img =
+            RgbImage::from_fn(4, 3, |x, y| (x as f32 / 3.0, y as f32 / 2.0, (x + y) as f32 / 5.0));
         let mut buf = Vec::new();
         write_ppm(&img, &mut buf).unwrap();
         let back = read_ppm(Cursor::new(buf)).unwrap();
@@ -245,9 +241,7 @@ mod tests {
         let dir = std::env::temp_dir().join("hirise_imaging_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("test.ppm");
-        let img = RgbImage::from_fn(8, 8, |x, y| {
-            ((x % 2) as f32, (y % 2) as f32, 0.5)
-        });
+        let img = RgbImage::from_fn(8, 8, |x, y| ((x % 2) as f32, (y % 2) as f32, 0.5));
         save_ppm(&img, &path).unwrap();
         let back = load_ppm(&path).unwrap();
         assert_eq!(back.dimensions(), (8, 8));

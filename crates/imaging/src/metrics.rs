@@ -22,12 +22,8 @@ fn check_dims(a: &Plane, b: &Plane) -> Result<()> {
 /// Returns [`ImagingError::InvalidDimensions`] if the planes differ in size.
 pub fn mae(a: &Plane, b: &Plane) -> Result<f64> {
     check_dims(a, b)?;
-    let sum: f64 = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| (x as f64 - y as f64).abs())
-        .sum();
+    let sum: f64 =
+        a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| (x as f64 - y as f64).abs()).sum();
     Ok(sum / a.len() as f64)
 }
 
@@ -71,11 +67,7 @@ pub fn psnr(a: &Plane, b: &Plane) -> Result<f64> {
 /// Returns [`ImagingError::InvalidDimensions`] if the planes differ in size.
 pub fn max_abs_diff(a: &Plane, b: &Plane) -> Result<f32> {
     check_dims(a, b)?;
-    Ok(a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| (x - y).abs())
-        .fold(0.0, f32::max))
+    Ok(a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| (x - y).abs()).fold(0.0, f32::max))
 }
 
 #[cfg(test)]

@@ -66,11 +66,7 @@ pub fn avg_pool_gray(img: &GrayImage, k: u32) -> Result<GrayImage> {
 ///
 /// See [`avg_pool`].
 pub fn avg_pool_rgb(img: &RgbImage, k: u32) -> Result<RgbImage> {
-    RgbImage::from_planes(
-        avg_pool(img.r(), k)?,
-        avg_pool(img.g(), k)?,
-        avg_pool(img.b(), k)?,
-    )
+    RgbImage::from_planes(avg_pool(img.r(), k)?, avg_pool(img.g(), k)?, avg_pool(img.b(), k)?)
 }
 
 /// `k×k` average pooling of either image kind.
@@ -237,10 +233,7 @@ mod tests {
         let p = Plane::from_fn(8, 8, |x, y| ((x * 31 + y * 17) % 11) as f32 / 11.0);
         for k in [1, 2, 4, 8] {
             let pooled = avg_pool(&p, k).unwrap();
-            assert!(
-                (pooled.mean() - p.mean()).abs() < 1e-5,
-                "mean not preserved for k={k}"
-            );
+            assert!((pooled.mean() - p.mean()).abs() < 1e-5, "mean not preserved for k={k}");
             assert_eq!(pooled.dimensions(), (8 / k, 8 / k));
         }
     }
@@ -270,9 +263,7 @@ mod tests {
 
     #[test]
     fn avg_pool_rgb_pools_channels_independently() {
-        let img = RgbImage::from_fn(4, 4, |x, y| {
-            ((x + y) as f32, x as f32, y as f32)
-        });
+        let img = RgbImage::from_fn(4, 4, |x, y| ((x + y) as f32, x as f32, y as f32));
         let pooled = avg_pool_rgb(&img, 2).unwrap();
         assert_eq!(pooled.pixel(0, 0), (1.0, 0.5, 0.5));
     }

@@ -212,9 +212,8 @@ pub fn union_area(rects: &[Rect]) -> u64 {
         let (x0, x1) = (xs[xi], xs[xi + 1]);
         for yi in 0..ys.len() - 1 {
             let (y0, y1) = (ys[yi], ys[yi + 1]);
-            let covered = rects
-                .iter()
-                .any(|r| r.x <= x0 && r.right() >= x1 && r.y <= y0 && r.bottom() >= y1);
+            let covered =
+                rects.iter().any(|r| r.x <= x0 && r.right() >= x1 && r.y <= y0 && r.bottom() >= y1);
             if covered {
                 total += (x1 - x0) as u64 * (y1 - y0) as u64;
             }

@@ -92,14 +92,9 @@ impl ModelGraph {
     pub fn tensor_lifetimes(&self) -> Vec<TensorInfo> {
         let n = self.ops.len();
         let mut tensors = Vec::with_capacity(n + 1);
-        let input_bytes = self.input_shape.iter().product::<usize>() as u64
-            * self.input_bytes_per_elem as u64;
-        tensors.push(TensorInfo {
-            id: 0,
-            size_bytes: input_bytes,
-            first_use: 0,
-            last_use: 0,
-        });
+        let input_bytes =
+            self.input_shape.iter().product::<usize>() as u64 * self.input_bytes_per_elem as u64;
+        tensors.push(TensorInfo { id: 0, size_bytes: input_bytes, first_use: 0, last_use: 0 });
         for (i, op) in self.ops.iter().enumerate() {
             tensors.push(TensorInfo {
                 id: i + 1,

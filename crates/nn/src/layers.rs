@@ -59,7 +59,13 @@ impl Conv2d {
     /// # Errors
     ///
     /// Returns [`NnError::InvalidLayer`] on zero kernel/stride/channels.
-    pub fn new(in_ch: usize, out_ch: usize, ksize: usize, stride: usize, pad: usize) -> Result<Self> {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        ksize: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self> {
         if in_ch == 0 || out_ch == 0 || ksize == 0 || stride == 0 {
             return Err(NnError::InvalidLayer {
                 layer: "conv2d",
@@ -515,7 +521,7 @@ mod tests {
         let input = Tensor::from_vec(&[1, 1, 2], vec![1.0, 1.0]).unwrap();
         let out = dw.forward(&input).unwrap();
         assert_eq!(out.as_slice(), &[2.0, 3.0]);
-        assert_eq!(dw.param_count(), 1 * 1 * 2 + 2);
+        assert_eq!(dw.param_count(), 2 + 2);
     }
 
     #[test]
@@ -529,8 +535,8 @@ mod tests {
 
     #[test]
     fn global_avg_pool_means_channels() {
-        let input = Tensor::from_vec(&[2, 2, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0])
-            .unwrap();
+        let input =
+            Tensor::from_vec(&[2, 2, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]).unwrap();
         let out = GlobalAvgPool.forward(&input).unwrap();
         assert_eq!(out.shape(), &[1, 1, 2]);
         assert!((out.as_slice()[0] - 2.5).abs() < 1e-6);

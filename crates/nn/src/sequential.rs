@@ -191,8 +191,8 @@ mod tests {
     fn deterministic_weights_per_seed() {
         let a = tiny_classifier(16, 3, &mut StdRng::seed_from_u64(1)).unwrap();
         let b = tiny_classifier(16, 3, &mut StdRng::seed_from_u64(1)).unwrap();
-        let x = Tensor::from_vec(&[16, 16, 3], (0..768).map(|i| i as f32 / 768.0).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec(&[16, 16, 3], (0..768).map(|i| i as f32 / 768.0).collect()).unwrap();
         assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
     }
 
@@ -201,9 +201,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let model = tiny_classifier(16, 5, &mut rng).unwrap();
         let zeros = model.forward(&Tensor::zeros(&[16, 16, 3])).unwrap();
-        let ones = model
-            .forward(&Tensor::from_vec(&[16, 16, 3], vec![1.0; 768]).unwrap())
-            .unwrap();
+        let ones = model.forward(&Tensor::from_vec(&[16, 16, 3], vec![1.0; 768]).unwrap()).unwrap();
         assert_ne!(zeros, ones);
     }
 }

@@ -194,9 +194,9 @@ impl Mlp {
                     .collect();
                 // Backprop into layer 2.
                 let mut dh = vec![0.0f32; self.hidden];
-                for j in 0..self.hidden {
-                    for k in 0..self.classes {
-                        dh[j] += dlogits[k] * self.w2[j * self.classes + k];
+                for (j, dhj) in dh.iter_mut().enumerate() {
+                    for (k, &dl) in dlogits.iter().enumerate() {
+                        *dhj += dl * self.w2[j * self.classes + k];
                     }
                 }
                 for (j, &hj) in h.iter().enumerate() {
@@ -341,12 +341,8 @@ mod tests {
         narrow.train(&train, &cfg, &mut StdRng::seed_from_u64(2)).unwrap();
         let mut wide = Mlp::new(2, 32, 2, &mut StdRng::seed_from_u64(1)).unwrap();
         wide.train(&train, &cfg, &mut StdRng::seed_from_u64(2)).unwrap();
-        let (a_narrow, a_wide) =
-            (narrow.accuracy(&test).unwrap(), wide.accuracy(&test).unwrap());
-        assert!(
-            a_wide >= a_narrow,
-            "wide {a_wide} should not lose to narrow {a_narrow}"
-        );
+        let (a_narrow, a_wide) = (narrow.accuracy(&test).unwrap(), wide.accuracy(&test).unwrap());
+        assert!(a_wide >= a_narrow, "wide {a_wide} should not lose to narrow {a_narrow}");
     }
 
     #[test]

@@ -106,15 +106,10 @@ pub fn mobilenet_v2_classifier(input: usize) -> ModelGraph {
     g.push_op("b1_dw_s2", &[h, w, 160], dw_params(3, 160));
     g.push_op("b1_project", &[h, w, 24], conv_params(1, 160, 24));
     // Standard MobileNetV2 width progression 24-32-64-96-160-320.
-    for (i, (ci, co, stride)) in [
-        (24usize, 32usize, 2usize),
-        (32, 64, 2),
-        (64, 96, 1),
-        (96, 160, 2),
-        (160, 320, 1),
-    ]
-    .into_iter()
-    .enumerate()
+    for (i, (ci, co, stride)) in
+        [(24usize, 32usize, 2usize), (32, 64, 2), (64, 96, 1), (96, 160, 2), (160, 320, 1)]
+            .into_iter()
+            .enumerate()
     {
         let t = 6;
         g.push_op(format!("b{}_expand", i + 2), &[h, w, ci * t], conv_params(1, ci, ci * t));
@@ -139,14 +134,26 @@ pub fn yolov8n_like(width: usize, height: usize) -> ModelGraph {
     for (stage, co) in [16usize, 32, 64, 128, 256].into_iter().enumerate() {
         (h, w) = ((h / 2).max(1), (w / 2).max(1));
         g.push_op(format!("stage{}_conv_s2", stage), &[h, w, co], conv_params(3, ci, co));
-        g.push_op(format!("stage{}_csp", stage), &[h, w, co], 2 * conv_params(3, co / 2, co / 2) + conv_params(1, co, co));
+        g.push_op(
+            format!("stage{}_csp", stage),
+            &[h, w, co],
+            2 * conv_params(3, co / 2, co / 2) + conv_params(1, co, co),
+        );
         ci = co;
     }
     // Neck + heads at three scales (approximate parameter budget).
     g.push_op("neck_p4", &[(h * 2).max(1), (w * 2).max(1), 128], conv_params(3, 256 + 128, 128));
     g.push_op("neck_p3", &[(h * 4).max(1), (w * 4).max(1), 64], conv_params(3, 128 + 64, 64));
-    g.push_op("head_p3", &[(h * 4).max(1), (w * 4).max(1), 64], conv_params(3, 64, 64) + conv_params(1, 64, 64));
-    g.push_op("head_p4", &[(h * 2).max(1), (w * 2).max(1), 128], conv_params(3, 128, 128) + conv_params(1, 128, 128));
+    g.push_op(
+        "head_p3",
+        &[(h * 4).max(1), (w * 4).max(1), 64],
+        conv_params(3, 64, 64) + conv_params(1, 64, 64),
+    );
+    g.push_op(
+        "head_p4",
+        &[(h * 2).max(1), (w * 2).max(1), 128],
+        conv_params(3, 128, 128) + conv_params(1, 128, 128),
+    );
     g.push_op("head_p5", &[h, w, 256], conv_params(3, 256, 256) + conv_params(1, 256, 256));
     g
 }

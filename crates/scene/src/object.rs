@@ -174,7 +174,13 @@ fn draw_person_like<R: Rng + ?Sized>(
     fill_rgb_ellipse(img, head, skin(rng));
     let hair = sub_rect(bbox, 0.28, 0.0, 0.44, 0.09);
     let hair_dark = rng.gen_range(0.03..0.12);
-    stripes_rgb(img, hair, 1, (hair_dark, hair_dark, hair_dark), (hair_dark * 3.0, hair_dark * 2.5, hair_dark * 2.0));
+    stripes_rgb(
+        img,
+        hair,
+        1,
+        (hair_dark, hair_dark, hair_dark),
+        (hair_dark * 3.0, hair_dark * 2.5, hair_dark * 2.0),
+    );
 
     // Torso: saturated clothing with fine weave texture (the colour cue
     // grayscale loses and the texture cue pooling loses).

@@ -122,7 +122,8 @@ impl FacePatchGenerator {
         let mut img = RgbImage::new(self.base, self.base);
 
         // Background (shoulders/backdrop).
-        let bg = hsv_to_rgb(rng.gen_range(0.0..1.0), rng.gen_range(0.05..0.3), rng.gen_range(0.25..0.5));
+        let bg =
+            hsv_to_rgb(rng.gen_range(0.0..1.0), rng.gen_range(0.05..0.3), rng.gen_range(0.25..0.5));
         draw::fill_rect_rgb(&mut img, Rect::new(0, 0, self.base, self.base), bg);
 
         // Face ellipse with slight tone variation.
@@ -167,7 +168,12 @@ impl FacePatchGenerator {
         for side in [-1.0f32, 1.0] {
             let ex = cx + side * eye_dx - eye_w / 2.0;
             let ey = eye_y - eye_h / 2.0;
-            let e = Rect::new(ex.max(0.0) as u32, ey.max(0.0) as u32, eye_w as u32, eye_h.ceil() as u32);
+            let e = Rect::new(
+                ex.max(0.0) as u32,
+                ey.max(0.0) as u32,
+                eye_w as u32,
+                eye_h.ceil() as u32,
+            );
             let [pr, pg, pb] = img.planes_mut();
             draw::fill_ellipse(pr, e, eye_color.0);
             draw::fill_ellipse(pg, e, eye_color.1);
@@ -188,19 +194,26 @@ impl FacePatchGenerator {
 
         // Brows: angle encodes anger/sadness/fear.
         let brow_angle = match expr {
-            Expression::Anger => -0.10,   // inner ends pulled down
-            Expression::Sad => 0.08,      // inner ends raised
+            Expression::Anger => -0.10, // inner ends pulled down
+            Expression::Sad => 0.08,    // inner ends raised
             Expression::Fear | Expression::Surprise => 0.05,
             _ => rng.gen_range(-0.01..0.01),
         };
         let brow_color = (hair_dark, hair_dark, hair_dark);
         for side in [-1.0f32, 1.0] {
             let n = 12;
-            let base_y = eye_y - s * (0.085 + if matches!(expr, Expression::Surprise | Expression::Fear) { 0.03 } else { 0.0 });
+            let base_y = eye_y
+                - s * (0.085
+                    + if matches!(expr, Expression::Surprise | Expression::Fear) {
+                        0.03
+                    } else {
+                        0.0
+                    });
             let pts = (0..=n).map(move |i| {
                 let t = i as f32 / n as f32; // 0 at inner end
                 let x = cx + side * (s * 0.06 + t * s * 0.16);
-                let y = base_y - side * 0.0 + (t - 0.5) * 0.0 - brow_angle * s * (1.0 - t) * side * side
+                let y = base_y - side * 0.0 + (t - 0.5) * 0.0
+                    - brow_angle * s * (1.0 - t) * side * side
                     + brow_angle * s * (t - 0.5);
                 (x, y)
             });
@@ -292,7 +305,11 @@ impl FacePatchGenerator {
             (s * 0.04).max(1.0) as u32,
             (s * 0.12) as u32,
         );
-        draw::fill_rect_rgb(&mut img, nose, (face_color.0 * 0.8, face_color.1 * 0.8, face_color.2 * 0.8));
+        draw::fill_rect_rgb(
+            &mut img,
+            nose,
+            (face_color.0 * 0.8, face_color.1 * 0.8, face_color.2 * 0.8),
+        );
 
         // Sensor-independent appearance noise.
         let seed: u64 = rng.gen();
@@ -381,10 +398,7 @@ mod tests {
         let a14 = ops::resize_gray(&ga, 14, 14).unwrap();
         let b14 = ops::resize_gray(&gb, 14, 14).unwrap();
         let d_lo = metrics::mae(a14.plane(), b14.plane()).unwrap();
-        assert!(
-            d_lo < d_hi,
-            "class separation did not shrink: hi={d_hi} lo={d_lo}"
-        );
+        assert!(d_lo < d_hi, "class separation did not shrink: hi={d_hi} lo={d_lo}");
     }
 
     #[test]

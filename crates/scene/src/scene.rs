@@ -88,11 +88,7 @@ impl SceneGenerator {
             let chh = rng.gen_range(h / 16..h / 4).max(2);
             let x = rng.gen_range(0..w.saturating_sub(cw).max(1));
             let y = rng.gen_range(0..h.saturating_sub(chh).max(1));
-            let sat = if i % 2 == 0 {
-                rng.gen_range(0.05..0.2)
-            } else {
-                rng.gen_range(0.3..0.6)
-            };
+            let sat = if i % 2 == 0 { rng.gen_range(0.05..0.2) } else { rng.gen_range(0.3..0.6) };
             let color = hsv_to_rgb(rng.gen_range(0.0..1.0), sat, rng.gen_range(0.3..0.7));
             draw::fill_rect_rgb(img, Rect::new(x, y, cw, chh), color);
         }
@@ -136,10 +132,10 @@ impl SceneGenerator {
                 let spread = self.spec.cluster_spread;
                 let jx = rng.gen_range(-spread..spread) * ow as f64;
                 let jy = rng.gen_range(-spread..spread) * oh as f64 * 0.4;
-                let x = (ccx + jx - ow as f64 / 2.0)
-                    .clamp(0.0, (width.saturating_sub(ow)) as f64) as u32;
-                let y = (ccy + jy - oh as f64 / 2.0)
-                    .clamp(0.0, (height.saturating_sub(oh)) as f64) as u32;
+                let x = (ccx + jx - ow as f64 / 2.0).clamp(0.0, (width.saturating_sub(ow)) as f64)
+                    as u32;
+                let y = (ccy + jy - oh as f64 / 2.0).clamp(0.0, (height.saturating_sub(oh)) as f64)
+                    as u32;
                 let bbox = Rect::new(x, y, ow.min(width), oh.min(height));
                 objects.push(SceneObject { class, bbox });
                 placed += 1;
@@ -159,7 +155,10 @@ impl SceneGenerator {
                 let hx = b.x + (b.w as f32 * 0.28) as u32;
                 let hw = ((b.w as f32 * 0.44) as u32).max(1);
                 let hh = ((b.h as f32 * 0.22) as u32).max(1);
-                all.push(SceneObject { class: ObjectClass::Head, bbox: Rect::new(hx, b.y, hw, hh) });
+                all.push(SceneObject {
+                    class: ObjectClass::Head,
+                    bbox: Rect::new(hx, b.y, hw, hh),
+                });
             }
         }
 
@@ -193,7 +192,7 @@ mod tests {
         let persons = scene.boxes_of(ObjectClass::Person).len();
         let heads = scene.boxes_of(ObjectClass::Head).len();
         assert_eq!(persons, heads);
-        assert!(persons >= 13 && persons <= 19);
+        assert!((13..=19).contains(&persons));
     }
 
     #[test]

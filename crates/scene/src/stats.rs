@@ -105,8 +105,7 @@ mod tests {
     fn crowdhuman_stats_match_paper_calibration() {
         let gen = SceneGenerator::new(DatasetSpec::crowdhuman_like());
         let mut rng = StdRng::seed_from_u64(1234);
-        let stats =
-            BoxStats::sample(&gen, 512, 384, 24, Some(ObjectClass::Person), &mut rng);
+        let stats = BoxStats::sample(&gen, 512, 384, 24, Some(ObjectClass::Person), &mut rng);
         // Paper back-solved targets: Σ≈27%, union≈9.2%, j≈16.
         assert!(
             (stats.median_count as i64 - 16).abs() <= 3,

@@ -37,6 +37,14 @@
 //! let (pooled, stats) = sensor.capture_pooled(4, ColorMode::Gray)?;
 //! assert_eq!((pooled.width(), pooled.height()), (16, 12));
 //! assert_eq!(stats.conversions, 16 * 12);
+//!
+//! // Selective readout: only the requested box is converted, at full
+//! // resolution (3 sub-pixels per site), plus the coordinate words sent
+//! // back to the sensor.
+//! let roi = hirise_imaging::Rect::new(8, 8, 16, 16);
+//! let (crops, roi_stats) = sensor.read_rois(&[roi])?;
+//! assert_eq!(crops[0].dimensions(), (16, 16));
+//! assert_eq!(roi_stats.conversions, 16 * 16 * 3);
 //! # Ok(())
 //! # }
 //! ```

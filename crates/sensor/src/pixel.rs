@@ -30,13 +30,7 @@ pub struct PixelParams {
 
 impl Default for PixelParams {
     fn default() -> Self {
-        Self {
-            v_dark: 0.3,
-            v_sat: 0.9,
-            read_noise: 0.5e-3,
-            prnu_sigma: 0.005,
-            dsnu_sigma: 0.5e-3,
-        }
+        Self { v_dark: 0.3, v_sat: 0.9, read_noise: 0.5e-3, prnu_sigma: 0.005, dsnu_sigma: 0.5e-3 }
     }
 }
 

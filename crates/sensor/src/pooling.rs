@@ -67,11 +67,13 @@ impl PoolingConfig {
     ///
     /// Propagates analog-solver failures as [`SensorError::InvalidConfig`].
     pub fn fit_from_analog(n: usize, range: (f64, f64)) -> Result<Self> {
-        let circuit = hirise_analog::pooling::PoolingCircuit::builder(n)
-            .build()
-            .map_err(|_| SensorError::InvalidConfig { parameter: "pooling inputs", value: n as f64 })?;
-        let fit = hirise_analog::behavior::PoolingBehavior::fit(&circuit, range, 9)
-            .map_err(|_| SensorError::InvalidConfig { parameter: "pooling fit", value: n as f64 })?;
+        let circuit = hirise_analog::pooling::PoolingCircuit::builder(n).build().map_err(|_| {
+            SensorError::InvalidConfig { parameter: "pooling inputs", value: n as f64 }
+        })?;
+        let fit =
+            hirise_analog::behavior::PoolingBehavior::fit(&circuit, range, 9).map_err(|_| {
+                SensorError::InvalidConfig { parameter: "pooling fit", value: n as f64 }
+            })?;
         Ok(Self {
             gain: fit.gain,
             offset: fit.offset,
@@ -96,7 +98,7 @@ impl PoolingConfig {
 
 /// Checks that `k` tiles the array.
 pub(crate) fn validate_pooling(array: &PixelArray, k: u32) -> Result<()> {
-    if k == 0 || array.width() % k != 0 || array.height() % k != 0 {
+    if k == 0 || !array.width().is_multiple_of(k) || !array.height().is_multiple_of(k) {
         return Err(SensorError::InvalidPooling {
             k,
             width: array.width(),
@@ -240,8 +242,7 @@ mod tests {
         let p8 = pool_channel(&arr, 0, 8, &cfg, &mut rng).unwrap();
         let sd = |p: &Plane| {
             let m = p.mean() as f64;
-            (p.as_slice().iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>()
-                / p.len() as f64)
+            (p.as_slice().iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / p.len() as f64)
                 .sqrt()
         };
         let (s2, s8) = (sd(&p2), sd(&p8));

@@ -49,11 +49,8 @@ fn convert_roi<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> RgbImage {
     let params = array.params();
-    let mut planes = [
-        Plane::new(rect.w, rect.h),
-        Plane::new(rect.w, rect.h),
-        Plane::new(rect.w, rect.h),
-    ];
+    let mut planes =
+        [Plane::new(rect.w, rect.h), Plane::new(rect.w, rect.h), Plane::new(rect.w, rect.h)];
     for (ch, plane) in planes.iter_mut().enumerate() {
         for dy in 0..rect.h {
             for dx in 0..rect.w {
@@ -127,9 +124,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn gradient_array() -> PixelArray {
-        let scene = RgbImage::from_fn(16, 16, |x, y| {
-            (x as f32 / 15.0, y as f32 / 15.0, 0.5)
-        });
+        let scene = RgbImage::from_fn(16, 16, |x, y| (x as f32 / 15.0, y as f32 / 15.0, 0.5));
         PixelArray::from_scene(&scene, PixelParams::noiseless(), 0)
     }
 

@@ -168,10 +168,8 @@ impl Sensor {
     }
 
     fn pooled_adc(&self) -> Adc {
-        let (lo, hi) = self
-            .config
-            .pooling
-            .output_range(self.config.pixel.v_dark, self.config.pixel.v_sat);
+        let (lo, hi) =
+            self.config.pooling.output_range(self.config.pixel.v_dark, self.config.pixel.v_sat);
         Adc::new(self.config.adc_bits, lo, hi)
             .expect("pooling output range is non-empty for positive gain")
             .with_inl(self.config.adc_inl_lsb)
@@ -206,7 +204,8 @@ impl Sensor {
         let bits = adc.bits() as u64;
         match mode {
             ColorMode::Gray => {
-                let analog = pooling::pool_gray(&self.array, k, &self.config.pooling, &mut self.rng)?;
+                let analog =
+                    pooling::pool_gray(&self.array, k, &self.config.pooling, &mut self.rng)?;
                 let digital = Self::digitise_plane(&analog, &adc, &mut self.rng);
                 let count = digital.len() as u64;
                 Ok((
@@ -221,8 +220,13 @@ impl Sensor {
             ColorMode::Rgb => {
                 let mut planes = Vec::with_capacity(3);
                 for ch in 0..3 {
-                    let analog =
-                        pooling::pool_channel(&self.array, ch, k, &self.config.pooling, &mut self.rng)?;
+                    let analog = pooling::pool_channel(
+                        &self.array,
+                        ch,
+                        k,
+                        &self.config.pooling,
+                        &mut self.rng,
+                    )?;
                     planes.push(Self::digitise_plane(&analog, &adc, &mut self.rng));
                 }
                 let b = planes.pop().expect("three planes");
@@ -349,7 +353,8 @@ mod tests {
 
         let in_sensor_rgb = in_sensor.as_rgb().unwrap();
         for ch in 0..3 {
-            let err = metrics::max_abs_diff(in_sensor_rgb.planes()[ch], in_proc.planes()[ch]).unwrap();
+            let err =
+                metrics::max_abs_diff(in_sensor_rgb.planes()[ch], in_proc.planes()[ch]).unwrap();
             // Both paths quantise at 8 bits; they may disagree by one code.
             assert!(err <= 1.5 / 255.0, "channel {ch} differs by {err}");
         }
@@ -363,7 +368,8 @@ mod tests {
         let (full, _) = s.read_full();
         let gray = color::rgb_to_gray_mean(&full);
         let pooled = ops::avg_pool_gray(&gray, 2).unwrap();
-        let err = metrics::max_abs_diff(in_sensor.as_gray().unwrap().plane(), pooled.plane()).unwrap();
+        let err =
+            metrics::max_abs_diff(in_sensor.as_gray().unwrap().plane(), pooled.plane()).unwrap();
         assert!(err <= 1.5 / 255.0, "gray paths differ by {err}");
     }
 

@@ -13,15 +13,16 @@ use hirise_sensor::PoolingConfig;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 12 inputs = one 2x2 RGB pooling site (2*2*3 sub-pixels).
     let circuit = PoolingCircuit::builder(12).build()?;
-    println!("Fig.-4 circuit with {} inputs ({} devices in the netlist)",
+    println!(
+        "Fig.-4 circuit with {} inputs ({} devices in the netlist)",
         circuit.input_count(),
-        circuit.circuit().device_count());
+        circuit.circuit().device_count()
+    );
 
     // DC: the output follows the mean of the inputs through a linear map.
     let uniform = circuit.dc_average(&[0.6; 12])?;
-    let mixed = circuit.dc_average(&[
-        0.3, 0.9, 0.5, 0.7, 0.45, 0.75, 0.6, 0.6, 0.35, 0.85, 0.55, 0.65,
-    ])?;
+    let mixed =
+        circuit.dc_average(&[0.3, 0.9, 0.5, 0.7, 0.45, 0.75, 0.6, 0.6, 0.35, 0.85, 0.55, 0.65])?;
     println!("dc: uniform-0.6V input -> {uniform:.4} V; mixed same-mean input -> {mixed:.4} V");
 
     // Fit the behavioural line and report the systematic nonlinearity.

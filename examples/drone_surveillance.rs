@@ -42,11 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|o| GroundTruth { class: 0, bbox: o.bbox.scaled(1, k) })
             .collect();
-        let dets: Vec<hirise::Detection> = run
-            .detections
-            .iter()
-            .map(|d| hirise::Detection { class: 0, ..*d })
-            .collect();
+        let dets: Vec<hirise::Detection> =
+            run.detections.iter().map(|d| hirise::Detection { class: 0, ..*d }).collect();
         let result = evaluate(&[dets], &[gts], 0.3);
         println!(
             "k = {k} (stage-1 at {}x{}): {} detections, class-agnostic AP@0.3 = {:.1} %, transfer {:.0} kB, energy {:.3} mJ",
@@ -65,14 +62,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// Local copy of the bench harness's dataset-tuned detector settings (the
 /// example avoids depending on the bench crate).
 fn hirise_bench_detector(spec: &DatasetSpec) -> hirise::DetectorConfig {
-    let mut cfg = hirise::DetectorConfig::default();
-    cfg.class_aspects = spec
-        .classes
-        .iter()
-        .filter(|c| **c != ObjectClass::Head)
-        .map(|c| (c.id(), c.aspect()))
-        .collect();
-    cfg.min_object_frac = spec.scale_range.0 * 0.7;
-    cfg.max_object_frac = (spec.scale_range.1 * 1.4).min(0.9);
-    cfg
+    hirise::DetectorConfig {
+        class_aspects: spec
+            .classes
+            .iter()
+            .filter(|c| **c != ObjectClass::Head)
+            .map(|c| (c.id(), c.aspect()))
+            .collect(),
+        min_object_frac: spec.scale_range.0 * 0.7,
+        max_object_frac: (spec.scale_range.1 * 1.4).min(0.9),
+        ..hirise::DetectorConfig::default()
+    }
 }

@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("non-empty classes");
         println!(
             "  roi {rect}: predicted {} (p = {:.2}) from a {}x{} crop",
-            best.0, best.1, roi.width(), roi.height()
+            best.0,
+            best.1,
+            roi.width(),
+            roi.height()
         );
     }
     println!("note: crops here are crowd persons, not rendered faces — predictions demonstrate the dataflow, the accuracy experiment lives in the table3 bench");

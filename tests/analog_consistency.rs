@@ -13,11 +13,7 @@ fn sensor_defaults_match_fresh_transistor_fit() {
     let circuit = PoolingCircuit::builder(12).build().unwrap();
     let fit = PoolingBehavior::fit(&circuit, (0.3, 0.9), 13).unwrap();
     assert!((fit.gain - calibrated::GAIN_12).abs() < 5e-4, "gain drifted to {}", fit.gain);
-    assert!(
-        (fit.offset - calibrated::OFFSET_12).abs() < 5e-4,
-        "offset drifted to {}",
-        fit.offset
-    );
+    assert!((fit.offset - calibrated::OFFSET_12).abs() < 5e-4, "offset drifted to {}", fit.offset);
     assert!(fit.max_residual <= calibrated::MAX_RESIDUAL_12 * 1.5);
 
     let sensor_cfg = PoolingConfig::default();
@@ -35,10 +31,7 @@ fn behavioural_transfer_matches_circuit_within_residual() {
         let v = 0.3 + 0.6 * f64::from(i) / 12.0;
         let truth = circuit.dc_average(&[v; 12]).unwrap();
         let model = cfg.transfer(v, 0.3, 0.9);
-        assert!(
-            (truth - model).abs() < 4e-3,
-            "at {v} V: circuit {truth} vs behavioural {model}"
-        );
+        assert!((truth - model).abs() < 4e-3, "at {v} V: circuit {truth} vs behavioural {model}");
     }
 }
 
@@ -47,18 +40,10 @@ fn gain_varies_little_with_input_count() {
     // The sensor uses the 12-input fit for every pooling size; verify the
     // fitted gain moves by < 5 % between 4 and 48 inputs so that reuse is
     // sound (the inverse calibration cancels the shared part anyway).
-    let fit4 = PoolingBehavior::fit(
-        &PoolingCircuit::builder(4).build().unwrap(),
-        (0.3, 0.9),
-        9,
-    )
-    .unwrap();
-    let fit48 = PoolingBehavior::fit(
-        &PoolingCircuit::builder(48).build().unwrap(),
-        (0.3, 0.9),
-        9,
-    )
-    .unwrap();
+    let fit4 =
+        PoolingBehavior::fit(&PoolingCircuit::builder(4).build().unwrap(), (0.3, 0.9), 9).unwrap();
+    let fit48 =
+        PoolingBehavior::fit(&PoolingCircuit::builder(48).build().unwrap(), (0.3, 0.9), 9).unwrap();
     let rel = (fit4.gain - fit48.gain).abs() / fit48.gain;
     assert!(rel < 0.05, "gain varies {rel} between 4 and 48 inputs");
 }
@@ -69,9 +54,5 @@ fn recovered_mean_accuracy_scales_to_192_inputs() {
     // at a reduced input count to keep test time short (the fig5 binary
     // runs the full 192).
     let result = hirise_analog::testbench::extended_dc(48, 3).unwrap();
-    assert!(
-        result.max_error < 0.01,
-        "48-input recovered-mean error {} V",
-        result.max_error
-    );
+    assert!(result.max_error < 0.01, "48-input recovered-mean error {} V", result.max_error);
 }

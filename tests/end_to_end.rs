@@ -63,12 +63,8 @@ fn in_sensor_and_in_processor_images_agree_with_real_noise() {
     let pipeline = HirisePipeline::new(config);
     let (in_sensor, _, _) = pipeline.run_stage1(&scene.image).unwrap();
 
-    let in_proc_pipeline = InProcessorPipeline::new(
-        SensorConfig::default(),
-        4,
-        ColorMode::Rgb,
-        Detector::default(),
-    );
+    let in_proc_pipeline =
+        InProcessorPipeline::new(SensorConfig::default(), 4, ColorMode::Rgb, Detector::default());
     let (in_proc, _) = in_proc_pipeline.scaled_capture(&scene.image).unwrap();
 
     let a = in_sensor.as_rgb().unwrap();
@@ -84,11 +80,7 @@ fn gray_mode_reduces_stage1_costs_threefold() {
     let scene = crowd_scene(256, 192, 6);
     let mut configs = Vec::new();
     for mode in [ColorMode::Rgb, ColorMode::Gray] {
-        let config = HiriseConfig::builder(256, 192)
-            .pooling(4)
-            .stage1_color(mode)
-            .build()
-            .unwrap();
+        let config = HiriseConfig::builder(256, 192).pooling(4).stage1_color(mode).build().unwrap();
         let pipeline = HirisePipeline::new(config);
         let (_, _, stats) = pipeline.run_stage1(&scene.image).unwrap();
         configs.push(stats);
@@ -109,9 +101,10 @@ fn rois_land_on_annotated_objects() {
         .rois
         .iter()
         .filter(|roi| {
-            scene.objects.iter().any(|o| {
-                roi.intersection_area(&o.bbox) as f64 >= 0.3 * o.bbox.area() as f64
-            })
+            scene
+                .objects
+                .iter()
+                .any(|o| roi.intersection_area(&o.bbox) as f64 >= 0.3 * o.bbox.area() as f64)
         })
         .count();
     assert!(

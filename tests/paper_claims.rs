@@ -39,21 +39,15 @@ fn table3_energy_column_reproduced() {
     // Baseline 1.843 mJ; HiRISE 0.104 mJ at 2560x1920.
     let adc = AdcEnergy::PAPER_45NM_8BIT;
     let pool = PoolingEnergy::PAPER_45NM;
-    let params = SystemParams::paper_default(2560, 1920, 8).with_rois(
-        16,
-        16 * 112 * 112,
-        16 * 112 * 112,
-    );
+    let params =
+        SystemParams::paper_default(2560, 1920, 8).with_rois(16, 16 * 112 * 112, 16 * 112 * 112);
     let base = params.conventional().sensor_energy_mj(&adc, &pool);
     let hirise = params.hirise_total().sensor_energy_mj(&adc, &pool);
     assert!((base - 1.843).abs() < 0.01, "baseline {base} mJ");
     assert!((hirise - 0.104).abs() < 0.01, "hirise {hirise} mJ");
     // Smaller arrays from the same column.
-    let params_640 = SystemParams::paper_default(640, 480, 2).with_rois(
-        16,
-        16 * 28 * 28,
-        16 * 28 * 28,
-    );
+    let params_640 =
+        SystemParams::paper_default(640, 480, 2).with_rois(16, 16 * 28 * 28, 16 * 28 * 28);
     let e640 = params_640.hirise_total().sensor_energy_mj(&adc, &pool);
     assert!((e640 - 0.034).abs() < 0.003, "640x480 hirise {e640} mJ");
 }
@@ -120,10 +114,10 @@ fn table3_sram_column_reproduced() {
     // HiRISE SRAM = 320x240 RGB stage-1 image + stage-2 peak act:
     // 237 kB at 320x240 up to ~398 kB at 2560x1920 for MCUNetV2.
     let stage1_img_kb = 320.0 * 240.0 * 3.0 / 1024.0;
-    let small = stage1_img_kb
-        + zoo::mcunet_v2_classifier(14).peak_activation_bytes() as f64 / 1024.0;
-    let large = stage1_img_kb
-        + zoo::mcunet_v2_classifier(112).peak_activation_bytes() as f64 / 1024.0;
+    let small =
+        stage1_img_kb + zoo::mcunet_v2_classifier(14).peak_activation_bytes() as f64 / 1024.0;
+    let large =
+        stage1_img_kb + zoo::mcunet_v2_classifier(112).peak_activation_bytes() as f64 / 1024.0;
     assert!((small - 237.0).abs() < 15.0, "small-array SRAM {small} kB");
     assert!((large - 398.0).abs() < 20.0, "large-array SRAM {large} kB");
     // The paper's 37.5x SRAM reduction at the largest array.

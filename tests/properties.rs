@@ -3,7 +3,9 @@
 
 use hirise_imaging::rect::{sum_area, union_area};
 use hirise_imaging::{ops, Plane, Rect};
-use hirise_nn::planner::{liveness_lower_bound, naive_peak, plan_greedy, plan_is_valid, TensorInfo};
+use hirise_nn::planner::{
+    liveness_lower_bound, naive_peak, plan_greedy, plan_is_valid, TensorInfo,
+};
 use hirise_sensor::Adc;
 use proptest::prelude::*;
 
