@@ -1,9 +1,10 @@
-//! Criterion benchmarks of the end-to-end pipelines: HiRISE two-stage vs
-//! conventional full readout, at a mid-size array.
+//! Criterion benchmarks of the end-to-end pipelines: HiRISE two-stage
+//! (allocating vs scratch-reusing steady state) vs conventional full
+//! readout, at a mid-size array.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hirise::baseline::ConventionalPipeline;
-use hirise::{HiriseConfig, HirisePipeline, SensorConfig};
+use hirise::{HiriseConfig, HirisePipeline, PipelineScratch, SensorConfig};
 use hirise_scene::{DatasetSpec, SceneGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +26,13 @@ fn bench_pipelines(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("hirise_two_stage", |b| {
         b.iter(|| pipeline.run(&scene).expect("pipeline succeeds"));
+    });
+    group.bench_function("hirise_two_stage_scratch", |b| {
+        // The steady-state frame path: one warmed scratch, zero
+        // per-frame heap allocations.
+        let mut scratch = PipelineScratch::new();
+        pipeline.run_with_scratch(&scene, &mut scratch).expect("warm-up succeeds");
+        b.iter(|| pipeline.run_with_scratch(&scene, &mut scratch).expect("pipeline succeeds"));
     });
     group.bench_function("conventional_full_readout", |b| {
         b.iter(|| conventional.run(&scene));

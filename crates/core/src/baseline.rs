@@ -29,7 +29,7 @@ impl ConventionalPipeline {
     /// Captures and ships the full frame; returns the digital image and a
     /// report (no stage 2, no pooling).
     pub fn run(&self, scene: &RgbImage) -> (RgbImage, RunReport) {
-        let mut sensor = Sensor::new(scene.clone(), self.sensor_config);
+        let mut sensor = Sensor::capture(scene, self.sensor_config);
         let (image, stats) = sensor.read_full();
         let bytes = Image::Rgb(image.clone()).storage_bytes(self.sensor_config.adc_bits);
         let report = RunReport {
@@ -81,7 +81,7 @@ impl InProcessorPipeline {
     ///
     /// Propagates imaging failures (non-tiling pooling factors).
     pub fn scaled_capture(&self, scene: &RgbImage) -> Result<(Image, ReadoutStats)> {
-        let mut sensor = Sensor::new(scene.clone(), self.sensor_config);
+        let mut sensor = Sensor::capture(scene, self.sensor_config);
         let (full, stats) = sensor.read_full();
         let scaled: Image = match self.color_mode {
             ColorMode::Rgb => Image::Rgb(ops::avg_pool_rgb(&full, self.pooling_k)?),

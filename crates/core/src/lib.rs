@@ -19,7 +19,9 @@
 //!
 //! * [`HiriseConfig`] — builder-style system configuration,
 //! * [`HirisePipeline`] — the two-stage pipeline over a
-//!   [`hirise_sensor::Sensor`],
+//!   [`hirise_sensor::Sensor`]; its
+//!   [`run_with_scratch`](HirisePipeline::run_with_scratch) entry point
+//!   reuses a [`PipelineScratch`] for a zero-allocation steady state,
 //! * [`baseline`] — the conventional full-frame system and the
 //!   in-processor-scaling variant the paper compares against,
 //! * [`analytical`] — the closed-form Table-1 model,
@@ -54,6 +56,7 @@ pub mod config;
 pub mod pipeline;
 pub mod report;
 pub mod roi;
+pub mod scratch;
 pub mod stream;
 
 mod error;
@@ -62,6 +65,7 @@ pub use config::{HiriseConfig, HiriseConfigBuilder};
 pub use error::HiriseError;
 pub use pipeline::{HirisePipeline, PipelineRun};
 pub use report::RunReport;
+pub use scratch::PipelineScratch;
 pub use stream::{StreamConfig, StreamExecutor, StreamOrdering, StreamSummary};
 
 // Re-export the substrate vocabulary users need at the top level.

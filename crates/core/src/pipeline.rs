@@ -6,7 +6,8 @@ use hirise_sensor::{ReadoutStats, Sensor};
 
 use crate::config::HiriseConfig;
 use crate::report::RunReport;
-use crate::roi::detections_to_rois;
+use crate::roi::detections_to_rois_into;
+use crate::scratch::PipelineScratch;
 use crate::{HiriseError, Result};
 
 /// Everything one frame produced.
@@ -74,7 +75,7 @@ impl HirisePipeline {
     /// failures.
     pub fn run_stage1(&self, scene: &RgbImage) -> Result<(Image, Vec<Detection>, ReadoutStats)> {
         self.check_scene(scene)?;
-        let mut sensor = Sensor::new(scene.clone(), self.config.sensor);
+        let mut sensor = Sensor::capture(scene, self.config.sensor);
         let (pooled, stats) =
             sensor.capture_pooled(self.config.pooling_k, self.config.stage1_color)?;
         let detections = self.detector.detect(&pooled);
@@ -83,40 +84,93 @@ impl HirisePipeline {
 
     /// Runs the full two-stage pipeline on one scene.
     ///
+    /// This is the allocating convenience wrapper: it builds a fresh
+    /// [`PipelineScratch`], delegates to
+    /// [`HirisePipeline::run_with_scratch`], and moves the frame results
+    /// out. Reports are bit-identical between the two entry points.
+    ///
     /// # Errors
     ///
     /// [`HiriseError::SceneMismatch`] for wrongly sized scenes, plus sensor
     /// failures.
     pub fn run(&self, scene: &RgbImage) -> Result<PipelineRun> {
+        let mut scratch = PipelineScratch::new();
+        let report = self.run_with_scratch(scene, &mut scratch)?;
+        Ok(scratch.into_pipeline_run(report))
+    }
+
+    /// Runs the full two-stage pipeline on one scene, reusing `scratch`
+    /// for every intermediate buffer — the steady-state frame path.
+    ///
+    /// After a warm-up frame (or two, while ROI crop buffers reach their
+    /// high-water sizes) this performs **zero heap allocations per frame**;
+    /// `tests/alloc.rs` enforces that with a counting allocator. The frame
+    /// results (pooled image, detections, ROIs, crops) stay readable on
+    /// the scratch until the next call; the returned [`RunReport`] is
+    /// bit-identical to what [`HirisePipeline::run`] produces for the same
+    /// `(config, scene)`.
+    ///
+    /// # Errors
+    ///
+    /// [`HiriseError::SceneMismatch`] for wrongly sized scenes, plus sensor
+    /// failures.
+    pub fn run_with_scratch(
+        &self,
+        scene: &RgbImage,
+        scratch: &mut PipelineScratch,
+    ) -> Result<RunReport> {
         self.check_scene(scene)?;
-        let mut sensor = Sensor::new(scene.clone(), self.config.sensor);
-        let (pooled, stage1_stats) =
-            sensor.capture_pooled(self.config.pooling_k, self.config.stage1_color)?;
-        let detections = self.detector.detect(&pooled);
-        let rois = detections_to_rois(
-            &detections,
+        let PipelineScratch {
+            sensor,
+            analog,
+            pooled,
+            detector,
+            rois,
+            roi_order,
+            roi_images,
+            pool,
+            union,
+        } = scratch;
+        // Recapture in place when the sensor configuration matches;
+        // otherwise (first frame, or a different pipeline borrowing the
+        // scratch) rebuild the sensor once.
+        if sensor.as_ref().is_some_and(|s| *s.config() == self.config.sensor) {
+            sensor.as_mut().expect("sensor presence just checked").recapture(scene);
+        } else {
+            *sensor = Some(Sensor::capture(scene, self.config.sensor));
+        }
+        let sensor = sensor.as_mut().expect("sensor just ensured");
+
+        let stage1_stats = sensor.capture_pooled_into(
+            self.config.pooling_k,
+            self.config.stage1_color,
+            analog,
+            pooled,
+        )?;
+        let detections = self.detector.detect_with_scratch(pooled, detector);
+        detections_to_rois_into(
+            detections,
             self.config.pooling_k,
             self.config.roi_margin,
             self.config.array_width,
             self.config.array_height,
             self.config.max_rois,
+            roi_order,
+            rois,
         );
-        let (roi_images, stage2_stats) = sensor.read_rois(&rois)?;
+        let stage2_stats = sensor.read_rois_into(rois, roi_images, pool, union)?;
 
         let stage1_image_bytes = pooled.storage_bytes(self.config.sensor.adc_bits);
-        let stage2_image_bytes: u64 = roi_images
-            .iter()
-            .map(|img| Image::Rgb(img.clone()).storage_bytes(self.config.sensor.adc_bits))
-            .sum();
-        let report = RunReport {
+        let stage2_image_bytes: u64 =
+            roi_images.iter().map(|img| img.storage_bytes(self.config.sensor.adc_bits)).sum();
+        Ok(RunReport {
             stage1: stage1_stats,
             stage2: stage2_stats,
             pooling_outputs: stage1_stats.conversions,
             stage1_image_bytes,
             stage2_image_bytes,
             roi_count: rois.len(),
-        };
-        Ok(PipelineRun { pooled_image: pooled, detections, rois, roi_images, report })
+        })
     }
 }
 
@@ -209,5 +263,61 @@ mod tests {
         let b = pipeline.run(&scene).unwrap();
         assert_eq!(a.rois, b.rois);
         assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_run() {
+        let pipeline = HirisePipeline::new(small_config());
+        let mut scratch = PipelineScratch::new();
+        // Several frames through one scratch, compared field by field
+        // against fresh allocating runs.
+        for i in 0..4u32 {
+            let mut scene = scene_with_object(192, 144);
+            let extra = Rect::new(10 + 20 * i, 100, 30, 30);
+            draw::fill_rect_rgb(&mut scene, extra, (0.2, 0.8, 0.6));
+            let report = pipeline.run_with_scratch(&scene, &mut scratch).unwrap();
+            let fresh = pipeline.run(&scene).unwrap();
+            assert_eq!(report, fresh.report, "frame {i}");
+            assert_eq!(*scratch.pooled_image(), fresh.pooled_image);
+            assert_eq!(scratch.detections(), fresh.detections.as_slice());
+            assert_eq!(scratch.rois(), fresh.rois.as_slice());
+            assert_eq!(scratch.roi_images(), fresh.roi_images.as_slice());
+        }
+    }
+
+    #[test]
+    fn one_scratch_serves_differently_configured_pipelines() {
+        let rgb = HirisePipeline::new(small_config());
+        let mut gray_cfg = HiriseConfig::builder(64, 64)
+            .pooling(4)
+            .sensor(SensorConfig::default())
+            .max_rois(2)
+            .build()
+            .unwrap();
+        gray_cfg.stage1_color = ColorMode::Gray;
+        gray_cfg.detector.score_threshold = 0.2;
+        let gray = HirisePipeline::new(gray_cfg);
+        let big = scene_with_object(192, 144);
+        let small = scene_with_object(64, 64);
+        let mut scratch = PipelineScratch::new();
+        // Alternating pipelines (different dims, colour mode, sensor
+        // config) through one scratch must still match fresh runs.
+        for _ in 0..2 {
+            let a = rgb.run_with_scratch(&big, &mut scratch).unwrap();
+            assert_eq!(a, rgb.run(&big).unwrap().report);
+            let b = gray.run_with_scratch(&small, &mut scratch).unwrap();
+            assert_eq!(b, gray.run(&small).unwrap().report);
+        }
+    }
+
+    #[test]
+    fn scratch_path_rejects_mismatched_scene() {
+        let pipeline = HirisePipeline::new(small_config());
+        let mut scratch = PipelineScratch::new();
+        let wrong = RgbImage::new(64, 64);
+        assert!(matches!(
+            pipeline.run_with_scratch(&wrong, &mut scratch),
+            Err(HiriseError::SceneMismatch { .. })
+        ));
     }
 }

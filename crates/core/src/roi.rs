@@ -19,14 +19,60 @@ pub fn detections_to_rois(
     array_height: u32,
     max_rois: usize,
 ) -> Vec<Rect> {
-    let mut ordered: Vec<&Detection> = detections.iter().collect();
-    ordered.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
-    ordered
-        .into_iter()
-        .map(|d| d.bbox.scaled(k, 1).inflated(margin).clamped(array_width, array_height))
-        .filter(|r| !r.is_degenerate())
-        .take(max_rois)
-        .collect()
+    let mut rois = Vec::new();
+    detections_to_rois_into(
+        detections,
+        k,
+        margin,
+        array_width,
+        array_height,
+        max_rois,
+        &mut Vec::new(),
+        &mut rois,
+    );
+    rois
+}
+
+/// In-place variant of [`detections_to_rois`] for the zero-allocation
+/// frame path: the ROI list replaces the contents of `out`, and `order`
+/// is a reusable index buffer for the stable score sort (ties keep the
+/// detector's output order, exactly like the allocating path).
+#[allow(clippy::too_many_arguments)]
+pub fn detections_to_rois_into(
+    detections: &[Detection],
+    k: u32,
+    margin: u32,
+    array_width: u32,
+    array_height: u32,
+    max_rois: usize,
+    order: &mut Vec<u32>,
+    out: &mut Vec<Rect>,
+) {
+    order.clear();
+    order.extend(0..detections.len() as u32);
+    // sort_unstable never allocates; the index tiebreak restores the
+    // stable-sort order.
+    order.sort_unstable_by(|&a, &b| {
+        detections[b as usize]
+            .score
+            .partial_cmp(&detections[a as usize].score)
+            .expect("finite scores")
+            .then(a.cmp(&b))
+    });
+    out.clear();
+    for &i in order.iter() {
+        if out.len() == max_rois {
+            break;
+        }
+        let rect = detections[i as usize]
+            .bbox
+            .scaled(k, 1)
+            .inflated(margin)
+            .clamped(array_width, array_height);
+        if !rect.is_degenerate() {
+            out.push(rect);
+        }
+    }
 }
 
 /// Bits needed to ship `j` box coordinates processor→sensor

@@ -60,6 +60,7 @@ use hirise_imaging::RgbImage;
 
 use crate::pipeline::HirisePipeline;
 use crate::report::RunReport;
+use crate::scratch::PipelineScratch;
 use crate::{HiriseError, Result};
 
 /// How the executor folds per-frame reports into the summary.
@@ -261,20 +262,22 @@ impl StreamExecutor {
         &self.pipeline
     }
 
-    /// Processes one batch, stopping early once the run is cancelled;
+    /// Processes one batch through the worker's reusable
+    /// [`PipelineScratch`], stopping early once the run is cancelled;
     /// sets the cancellation flag itself on the first failed frame so
     /// in-flight work elsewhere winds down promptly.
     fn process_batch<'a>(
         &self,
         frames: impl Iterator<Item = &'a RgbImage>,
         cancelled: &AtomicBool,
+        scratch: &mut PipelineScratch,
     ) -> Vec<Result<RunReport>> {
         let mut reports = Vec::new();
         for frame in frames {
             if cancelled.load(Ordering::Relaxed) {
                 break;
             }
-            let report = self.pipeline.run(frame).map(|run| run.report);
+            let report = self.pipeline.run_with_scratch(frame, scratch);
             if report.is_err() {
                 cancelled.store(true, Ordering::Relaxed);
             }
@@ -309,16 +312,24 @@ impl StreamExecutor {
                 let result_tx = result_tx.clone();
                 let next_frame = &next_frame;
                 let cancelled = &cancelled;
-                scope.spawn(move || loop {
-                    let first = next_frame.fetch_add(batch, Ordering::Relaxed);
-                    if first >= total || cancelled.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let end = (first + batch).min(total);
-                    let reports =
-                        self.process_batch(frames[first as usize..end as usize].iter(), cancelled);
-                    if result_tx.send(BatchResult { first_index: first, reports }).is_err() {
-                        break;
+                scope.spawn(move || {
+                    // One scratch per worker: the per-frame hot path
+                    // reuses its buffers for the worker's whole lifetime.
+                    let mut scratch = PipelineScratch::new();
+                    loop {
+                        let first = next_frame.fetch_add(batch, Ordering::Relaxed);
+                        if first >= total || cancelled.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let end = (first + batch).min(total);
+                        let reports = self.process_batch(
+                            frames[first as usize..end as usize].iter(),
+                            cancelled,
+                            &mut scratch,
+                        );
+                        if result_tx.send(BatchResult { first_index: first, reports }).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -379,20 +390,25 @@ impl StreamExecutor {
                 let result_tx = result_tx.clone();
                 let batch_rx = &batch_rx;
                 let cancelled = &cancelled;
-                scope.spawn(move || loop {
-                    let Ok(batch) = batch_rx.lock().expect("batch queue poisoned").recv() else {
-                        break;
-                    };
-                    // After cancellation, keep draining the queue (so the
-                    // producer never blocks on a full channel) but skip
-                    // the per-frame work.
-                    if cancelled.load(Ordering::Relaxed) {
-                        continue;
-                    }
-                    let reports = self.process_batch(batch.frames.iter(), cancelled);
-                    let result = BatchResult { first_index: batch.first_index, reports };
-                    if result_tx.send(result).is_err() {
-                        break;
+                scope.spawn(move || {
+                    let mut scratch = PipelineScratch::new();
+                    loop {
+                        let Ok(batch) = batch_rx.lock().expect("batch queue poisoned").recv()
+                        else {
+                            break;
+                        };
+                        // After cancellation, keep draining the queue (so
+                        // the producer never blocks on a full channel) but
+                        // skip the per-frame work.
+                        if cancelled.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let reports =
+                            self.process_batch(batch.frames.iter(), cancelled, &mut scratch);
+                        let result = BatchResult { first_index: batch.first_index, reports };
+                        if result_tx.send(result).is_err() {
+                            break;
+                        }
                     }
                 });
             }

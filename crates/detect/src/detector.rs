@@ -21,8 +21,8 @@
 use hirise_imaging::{Image, Rect};
 
 use crate::eval::{evaluate, Detection, GroundTruth};
-use crate::features::FeatureMaps;
-use crate::nms::nms;
+use crate::features::{FeatureMaps, FeatureScratch};
+use crate::nms::{nms_in_place, sort_by_score_desc};
 
 /// Detector hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +110,43 @@ impl Default for DetectorConfig {
     }
 }
 
+/// Reusable working memory for [`Detector::detect_with_scratch`].
+///
+/// Holds the feature-map stack, candidate buffers and sorting scratch so
+/// the steady-state detection path performs no heap allocation once the
+/// buffers have grown to their working size. One scratch serves any
+/// sequence of images (sizes and colour modes may vary between calls).
+#[derive(Debug, Clone, Default)]
+pub struct DetectorScratch {
+    maps: FeatureMaps,
+    features: FeatureScratch,
+    /// Candidate boxes of the current frame; holds the final detections
+    /// after a `detect_with_scratch` call returns.
+    detections: Vec<Detection>,
+    /// Spill buffer for sorting/NMS and the part-grouping originals.
+    aux: Vec<Detection>,
+    /// Boosted-score copy used by the part-suppression pass.
+    boosted: Vec<Detection>,
+    /// Index permutation for allocation-free stable sorting.
+    order: Vec<u32>,
+    /// Aspect ratios scanned this frame.
+    aspects: Vec<f32>,
+}
+
+impl DetectorScratch {
+    /// Creates an empty scratch; buffers grow to their steady-state size
+    /// during the first detection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The detections produced by the most recent
+    /// [`Detector::detect_with_scratch`] call.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+}
+
 /// The stage-1 detector.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Detector {
@@ -168,19 +205,24 @@ impl Detector {
     /// suppressed once a container explains them. Without this step the
     /// cleanest small blobs — object parts — outrank whole-object boxes,
     /// which is the classical failure mode of purely local window scoring.
-    fn group_parts(&self, mut dets: Vec<Detection>) -> Vec<Detection> {
-        let n = dets.len();
-        if n == 0 {
-            return dets;
+    fn group_parts_in_place(
+        &self,
+        dets: &mut Vec<Detection>,
+        originals: &mut Vec<Detection>,
+        boosted: &mut Vec<Detection>,
+    ) {
+        if dets.is_empty() {
+            return;
         }
-        let originals: Vec<Detection> = dets.clone();
+        originals.clear();
+        originals.extend_from_slice(dets);
         for container in dets.iter_mut() {
             let ca = container.bbox.area();
             if ca == 0 {
                 continue;
             }
             let mut boost = 0.0f64;
-            for part in &originals {
+            for part in originals.iter() {
                 let pa = part.bbox.area();
                 if pa == 0 || pa as f64 > self.config.part_area_ratio * ca as f64 {
                     continue;
@@ -194,7 +236,8 @@ impl Detector {
             container.score *= 1.0 + boost.min(self.config.part_boost_cap) as f32;
         }
         // Suppress parts explained by a (boosted) container.
-        let boosted = dets.clone();
+        boosted.clear();
+        boosted.extend_from_slice(dets);
         dets.retain(|part| {
             let pa = part.bbox.area();
             !boosted.iter().any(|container| {
@@ -205,36 +248,52 @@ impl Detector {
                     && container.score as f64 >= self.config.part_suppress_ratio * part.score as f64
             })
         });
-        dets
     }
 
     /// Aspect ratios to scan: the configured class aspects when available
     /// (deduplicated within 10 %), otherwise the generic list.
-    fn scan_aspects(&self) -> Vec<f32> {
+    fn scan_aspects_into(&self, out: &mut Vec<f32>) {
+        out.clear();
         if self.config.class_aspects.is_empty() {
-            return self.config.aspects.clone();
+            out.extend_from_slice(&self.config.aspects);
+            return;
         }
-        let mut aspects: Vec<f32> = Vec::new();
         for &(_, a) in &self.config.class_aspects {
-            if !aspects.iter().any(|&b| (a / b).ln().abs() < 0.1) {
-                aspects.push(a);
+            if !out.iter().any(|&b| (a / b).ln().abs() < 0.1) {
+                out.push(a);
             }
         }
-        aspects
     }
 
-    /// Runs detection on one image.
+    /// Runs detection on one image (allocating convenience wrapper over
+    /// [`Detector::detect_with_scratch`]).
     pub fn detect(&self, image: &Image) -> Vec<Detection> {
-        let maps = FeatureMaps::new(image);
+        let mut scratch = DetectorScratch::new();
+        self.detect_with_scratch(image, &mut scratch);
+        scratch.detections
+    }
+
+    /// Runs detection on one image, reusing `scratch` for every buffer.
+    /// After warm-up (buffers grown to their working size) this path
+    /// performs no heap allocation. Results are identical to
+    /// [`Detector::detect`].
+    pub fn detect_with_scratch<'s>(
+        &self,
+        image: &Image,
+        scratch: &'s mut DetectorScratch,
+    ) -> &'s [Detection] {
+        let DetectorScratch { maps, features, detections, aux, boosted, order, aspects } = scratch;
+        maps.recompute(image, features);
         let (iw, ih) = (maps.width(), maps.height());
-        let aspects = self.scan_aspects();
+        self.scan_aspects_into(aspects);
         let sd_gate = self.config.stddev_gate * self.config.cue_scales[0];
-        let mut candidates: Vec<Detection> = Vec::new();
+        let candidates = detections;
+        candidates.clear();
         let mut h = (self.config.min_object_h as f64).max(self.config.min_object_frac * ih as f64);
         let max_h = self.config.max_object_frac * ih as f64;
         while h <= max_h {
             let wh = h as u32;
-            for &aspect in &aspects {
+            for &aspect in aspects.iter() {
                 let ww = ((h * aspect as f64) as u32).max(2);
                 if ww >= iw || wh >= ih || wh < 2 {
                     continue;
@@ -268,17 +327,17 @@ impl Detector {
         // stay tractable on busy scenes, then dedup, group, suppress.
         const MAX_CANDIDATES: usize = 4000;
         if candidates.len() > MAX_CANDIDATES {
-            candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+            sort_by_score_desc(candidates, order, aux);
             candidates.truncate(MAX_CANDIDATES);
         }
-        let deduped = nms(candidates, 0.8);
-        let grouped = self.group_parts(deduped);
-        let mut kept = nms(grouped, self.config.nms_iou);
-        kept.truncate(self.config.max_detections);
-        for det in &mut kept {
+        nms_in_place(candidates, 0.8, order, aux);
+        self.group_parts_in_place(candidates, aux, boosted);
+        nms_in_place(candidates, self.config.nms_iou, order, aux);
+        candidates.truncate(self.config.max_detections);
+        for det in candidates.iter_mut() {
             det.class = self.classify(det.bbox);
         }
-        kept
+        candidates
     }
 
     /// Grid-searches `thresholds` for the best mAP on a calibration set and
@@ -300,7 +359,9 @@ impl Detector {
         let min_thr = thresholds.iter().cloned().fold(f64::INFINITY, f64::min);
         let saved = self.config.score_threshold;
         self.config.score_threshold = min_thr;
-        let raw: Vec<Vec<Detection>> = images.iter().map(|img| self.detect(img)).collect();
+        let mut scratch = DetectorScratch::new();
+        let raw: Vec<Vec<Detection>> =
+            images.iter().map(|img| self.detect_with_scratch(img, &mut scratch).to_vec()).collect();
         self.config.score_threshold = saved;
 
         let mut best = (thresholds[0], -1.0);
@@ -339,6 +400,30 @@ mod tests {
         let target = Rect::new(32, 28, 20, 40);
         let best = dets.iter().map(|d| d.bbox.iou(&target)).fold(0.0, f64::max);
         assert!(best > 0.4, "best IoU {best}");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_detection() {
+        let detector = Detector::default();
+        let blob = blob_image();
+        let rgb: Image = RgbImage::from_fn(64, 64, |x, y| {
+            let on = (24..40).contains(&x) && (20..44).contains(&y);
+            if on && (x + y) % 2 == 0 {
+                (0.9, 0.4, 0.2)
+            } else if on {
+                (0.2, 0.2, 0.2)
+            } else {
+                (0.4, 0.4, 0.4)
+            }
+        })
+        .into();
+        let mut scratch = DetectorScratch::new();
+        // Alternate image sizes and colour modes through one scratch.
+        for img in [&blob, &rgb, &blob, &rgb] {
+            let with_scratch = detector.detect_with_scratch(img, &mut scratch).to_vec();
+            assert_eq!(with_scratch, detector.detect(img));
+            assert_eq!(scratch.detections(), with_scratch.as_slice());
+        }
     }
 
     #[test]

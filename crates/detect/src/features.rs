@@ -9,14 +9,25 @@ use crate::integral::{window_variance, IntegralImage};
 /// map at high resolution and vanish under pooling — the mechanism behind
 /// the paper's accuracy-vs-resolution trend.
 pub fn gradient_magnitude(luma: &Plane) -> Plane {
+    let mut out = Plane::new(luma.width(), luma.height());
+    gradient_magnitude_into(luma, &mut out);
+    out
+}
+
+/// In-place variant of [`gradient_magnitude`]: writes the map into `out`
+/// (reshaped to the luma plane's dimensions).
+pub fn gradient_magnitude_into(luma: &Plane, out: &mut Plane) {
     let (w, h) = luma.dimensions();
-    Plane::from_fn(w, h, |x, y| {
-        let xm = luma.get(x.saturating_sub(1), y);
-        let xp = luma.get((x + 1).min(w - 1), y);
-        let ym = luma.get(x, y.saturating_sub(1));
-        let yp = luma.get(x, (y + 1).min(h - 1));
-        ((xp - xm).abs() + (yp - ym).abs()) * 0.5
-    })
+    out.reshape_for_overwrite(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let xm = luma.get(x.saturating_sub(1), y);
+            let xp = luma.get((x + 1).min(w - 1), y);
+            let ym = luma.get(x, y.saturating_sub(1));
+            let yp = luma.get(x, (y + 1).min(h - 1));
+            out.set(x, y, ((xp - xm).abs() + (yp - ym).abs()) * 0.5);
+        }
+    }
 }
 
 /// Gradient magnitude above which a pixel counts as "active" for the fill
@@ -27,14 +38,21 @@ const ACTIVE_GRAD_THRESHOLD: f32 = 0.02;
 const ACTIVE_SAT_THRESHOLD: f32 = 0.15;
 
 /// Precomputed integral-image stack for one input image.
-#[derive(Debug, Clone)]
+///
+/// The default is an empty (0×0) stack — a cheap placeholder that
+/// [`FeatureMaps::recompute`] fills before first use.
+#[derive(Debug, Clone, Default)]
 pub struct FeatureMaps {
     width: u32,
     height: u32,
     luma: IntegralImage,
     luma_sq: IntegralImage,
     grad: IntegralImage,
+    /// Saturation table, retained across recomputes even for gray inputs
+    /// (where it is stale and unused) so alternating colour modes stay
+    /// allocation-free; `has_color` gates every read.
     saturation: Option<IntegralImage>,
+    has_color: bool,
     /// Integral of the binary "active" mask (textured or colour-saturated
     /// pixels). `mean` over a window gives the *fill* — how much of the
     /// window is covered by object-like content. Loose boxes and boxes
@@ -67,32 +85,77 @@ pub struct WindowFeatures {
     pub fill: f64,
 }
 
+/// Reusable plane buffers consumed by [`FeatureMaps::recompute`].
+///
+/// Holds the intermediate luminance, gradient and saturation rasters so a
+/// steady-state detector rebuilds its feature stack without touching the
+/// heap.
+#[derive(Debug, Clone)]
+pub struct FeatureScratch {
+    luma: Plane,
+    grad: Plane,
+    sat: Plane,
+}
+
+impl Default for FeatureScratch {
+    fn default() -> Self {
+        Self { luma: Plane::new(1, 1), grad: Plane::new(1, 1), sat: Plane::new(1, 1) }
+    }
+}
+
+impl FeatureScratch {
+    /// Creates the scratch with minimal placeholder buffers; they grow to
+    /// their steady-state size on the first [`FeatureMaps::recompute`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl FeatureMaps {
     /// Builds the stack. RGB inputs also get a saturation map; gray inputs
     /// report zero saturation (which is exactly the cue the paper's
     /// grayscale mode loses).
     pub fn new(image: &Image) -> Self {
-        let luma_plane = color::to_gray(image).into_plane();
-        let grad_plane = gradient_magnitude(&luma_plane);
-        let sat_plane = image.as_rgb().map(color::saturation);
-        let (w, h) = luma_plane.dimensions();
-        let active = IntegralImage::from_fn(w, h, |x, y| {
+        let mut maps = Self::default();
+        maps.recompute(image, &mut FeatureScratch::default());
+        maps
+    }
+
+    /// Rebuilds the stack for a new image, reusing every integral table
+    /// plus the `scratch` rasters (allocation-free once the buffers have
+    /// reached their steady-state size). Behaviourally identical to
+    /// [`FeatureMaps::new`].
+    pub fn recompute(&mut self, image: &Image, scratch: &mut FeatureScratch) {
+        color::to_gray_into(image, &mut scratch.luma);
+        gradient_magnitude_into(&scratch.luma, &mut scratch.grad);
+        let has_color = match image.as_rgb() {
+            Some(rgb) => {
+                color::saturation_into(rgb, &mut scratch.sat);
+                true
+            }
+            None => false,
+        };
+        let (w, h) = scratch.luma.dimensions();
+        self.width = w;
+        self.height = h;
+        let (grad_plane, sat_plane) = (&scratch.grad, &scratch.sat);
+        self.active.recompute_from_fn(w, h, |x, y| {
             let textured = grad_plane.get(x, y) > ACTIVE_GRAD_THRESHOLD;
-            let colored = sat_plane.as_ref().is_some_and(|s| s.get(x, y) > ACTIVE_SAT_THRESHOLD);
+            let colored = has_color && sat_plane.get(x, y) > ACTIVE_SAT_THRESHOLD;
             if textured || colored {
                 1.0
             } else {
                 0.0
             }
         });
-        Self {
-            width: w,
-            height: h,
-            luma: IntegralImage::new(&luma_plane),
-            luma_sq: IntegralImage::squared(&luma_plane),
-            grad: IntegralImage::new(&grad_plane),
-            saturation: sat_plane.map(|s| IntegralImage::new(&s)),
-            active,
+        self.luma.recompute(&scratch.luma);
+        self.luma_sq.recompute_squared(&scratch.luma);
+        self.grad.recompute(&scratch.grad);
+        self.has_color = has_color;
+        if has_color {
+            // Gray frames leave the table in place (stale but unread), so
+            // alternating colour modes never reallocate it.
+            self.saturation.get_or_insert_with(IntegralImage::default).recompute(&scratch.sat);
         }
     }
 
@@ -108,7 +171,7 @@ impl FeatureMaps {
 
     /// Whether a colour-saturation cue is available.
     pub fn has_color(&self) -> bool {
-        self.saturation.is_some()
+        self.has_color
     }
 
     /// Luminance standard deviation of a window alone — a cheap (two
@@ -160,7 +223,11 @@ impl FeatureMaps {
         } else {
             ring_texture /= side_count as f64;
         }
-        let saturation = self.saturation.as_ref().map_or(0.0, |s| s.mean(rect));
+        let saturation = if self.has_color {
+            self.saturation.as_ref().expect("has_color implies a saturation table").mean(rect)
+        } else {
+            0.0
+        };
         let fill = self.active.mean(rect);
         WindowFeatures {
             mean,
@@ -229,6 +296,26 @@ mod tests {
         let off = maps.window(Rect::new(0, 0, 8, 8), 2);
         assert!(on.texture > 10.0 * (off.texture + 1e-9));
         assert!(on.stddev > 0.3);
+    }
+
+    #[test]
+    fn recompute_matches_fresh_maps_across_modes() {
+        let rgb: Image = RgbImage::from_fn(24, 20, |x, y| {
+            (x as f32 / 24.0, y as f32 / 20.0, ((x * y) % 5) as f32 / 5.0)
+        })
+        .into();
+        let gray: Image = GrayImage::from_fn(16, 16, |x, y| ((x + 2 * y) % 7) as f32 / 7.0).into();
+        let mut scratch = FeatureScratch::new();
+        let mut maps = FeatureMaps::new(&gray);
+        // Reuse the same maps across mode and size changes.
+        for img in [&rgb, &gray, &rgb] {
+            maps.recompute(img, &mut scratch);
+            let fresh = FeatureMaps::new(img);
+            assert_eq!(maps.has_color(), fresh.has_color());
+            let rect = Rect::new(2, 2, 8, 8);
+            assert_eq!(maps.window(rect, 3), fresh.window(rect, 3));
+            assert_eq!(maps.luma_stddev(rect), fresh.luma_stddev(rect));
+        }
     }
 
     #[test]

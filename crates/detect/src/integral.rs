@@ -15,7 +15,10 @@ use hirise_imaging::{Plane, Rect};
 /// assert!((ii.sum(Rect::new(2, 2, 4, 4)) - 8.0).abs() < 1e-9);
 /// assert!((ii.mean(Rect::new(0, 0, 8, 8)) - 0.5).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone)]
+/// The default is an empty 0×0 table (no allocation): a cheap placeholder
+/// for scratch structures that [`IntegralImage::recompute`] over it before
+/// first use. Every query on the default reports zero.
+#[derive(Debug, Clone, Default)]
 pub struct IntegralImage {
     width: u32,
     height: u32,
@@ -39,18 +42,48 @@ impl IntegralImage {
     }
 
     /// Builds a table from an arbitrary per-pixel function.
-    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> f64) -> Self {
+    pub fn from_fn(width: u32, height: u32, f: impl FnMut(u32, u32) -> f64) -> Self {
+        let mut ii = Self::default();
+        ii.recompute_from_fn(width, height, f);
+        ii
+    }
+
+    /// Rebuilds the table from a plane, reusing the existing buffer
+    /// (allocation-free once the table has reached its steady-state size).
+    pub fn recompute(&mut self, plane: &Plane) {
+        self.recompute_from_fn(plane.width(), plane.height(), |x, y| plane.get(x, y) as f64);
+    }
+
+    /// Rebuilds the table of squared values in place.
+    pub fn recompute_squared(&mut self, plane: &Plane) {
+        self.recompute_from_fn(plane.width(), plane.height(), |x, y| {
+            let v = plane.get(x, y) as f64;
+            v * v
+        });
+    }
+
+    /// Rebuilds the table from an arbitrary per-pixel function in place.
+    pub fn recompute_from_fn(
+        &mut self,
+        width: u32,
+        height: u32,
+        mut f: impl FnMut(u32, u32) -> f64,
+    ) {
         let w1 = width as usize + 1;
         let h1 = height as usize + 1;
-        let mut table = vec![0.0f64; w1 * h1];
+        self.width = width;
+        self.height = height;
+        // clear + resize re-zeroes the border row/column without
+        // shrinking capacity.
+        self.table.clear();
+        self.table.resize(w1 * h1, 0.0);
         for y in 0..height as usize {
             let mut row_sum = 0.0;
             for x in 0..width as usize {
                 row_sum += f(x as u32, y as u32);
-                table[(y + 1) * w1 + (x + 1)] = table[y * w1 + (x + 1)] + row_sum;
+                self.table[(y + 1) * w1 + (x + 1)] = self.table[y * w1 + (x + 1)] + row_sum;
             }
         }
-        Self { width, height, table }
     }
 
     /// Table width (source plane width).
@@ -160,6 +193,25 @@ mod tests {
             let v = window_variance(&ii, &sq, Rect::new(3, 3, w, w));
             assert!(v >= 0.0);
         }
+    }
+
+    #[test]
+    fn recompute_matches_fresh_construction() {
+        let a = Plane::from_fn(5, 4, |x, y| (x * 2 + y) as f32 / 7.0);
+        let b = Plane::from_fn(9, 6, |x, y| ((x + y) % 3) as f32);
+        // Reuse one table across differently-sized planes, both directions.
+        let mut ii = IntegralImage::new(&a);
+        ii.recompute(&b);
+        let fresh = IntegralImage::new(&b);
+        for rect in [Rect::new(0, 0, 9, 6), Rect::new(2, 1, 4, 3)] {
+            assert!((ii.sum(rect) - fresh.sum(rect)).abs() < 1e-12);
+        }
+        ii.recompute_squared(&a);
+        let fresh_sq = IntegralImage::squared(&a);
+        assert!(
+            (ii.sum(Rect::new(0, 0, 5, 4)) - fresh_sq.sum(Rect::new(0, 0, 5, 4))).abs() < 1e-12
+        );
+        assert_eq!((ii.width(), ii.height()), (5, 4));
     }
 
     #[test]

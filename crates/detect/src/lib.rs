@@ -38,7 +38,7 @@ pub mod features;
 pub mod integral;
 pub mod nms;
 
-pub use detector::{Detector, DetectorConfig};
+pub use detector::{Detector, DetectorConfig, DetectorScratch};
 pub use eval::{evaluate, Detection, EvalResult, GroundTruth};
-pub use features::FeatureMaps;
+pub use features::{FeatureMaps, FeatureScratch};
 pub use integral::IntegralImage;

@@ -6,17 +6,57 @@ use crate::eval::Detection;
 /// `iou_threshold`. Matching is class-agnostic (the detector classifies
 /// after suppression). Returns survivors sorted by descending score.
 pub fn nms(mut detections: Vec<Detection>, iou_threshold: f64) -> Vec<Detection> {
-    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
-    let mut keep: Vec<Detection> = Vec::with_capacity(detections.len());
-    'candidates: for det in detections {
-        for kept in &keep {
+    let (mut order, mut spill) = (Vec::new(), Vec::new());
+    nms_in_place(&mut detections, iou_threshold, &mut order, &mut spill);
+    detections
+}
+
+/// In-place variant of [`nms`], for the zero-allocation frame path:
+/// survivors replace the contents of `dets`, and the `order`/`spill`
+/// buffers are caller-owned so repeated calls reuse their capacity.
+/// Produces exactly the same survivors in the same order as [`nms`].
+pub fn nms_in_place(
+    dets: &mut Vec<Detection>,
+    iou_threshold: f64,
+    order: &mut Vec<u32>,
+    spill: &mut Vec<Detection>,
+) {
+    sort_by_score_desc(dets, order, spill);
+    spill.clear();
+    'candidates: for det in dets.iter() {
+        for kept in spill.iter() {
             if kept.bbox.iou(&det.bbox) > iou_threshold {
                 continue 'candidates;
             }
         }
-        keep.push(det);
+        spill.push(*det);
     }
-    keep
+    std::mem::swap(dets, spill);
+}
+
+/// Sorts detections by descending score without allocating: ties keep
+/// their input order (the result is identical to a *stable* sort), which
+/// matters because truncation after sorting must pick a deterministic
+/// subset. `order` and `spill` are reusable scratch buffers.
+pub fn sort_by_score_desc(
+    dets: &mut Vec<Detection>,
+    order: &mut Vec<u32>,
+    spill: &mut Vec<Detection>,
+) {
+    order.clear();
+    order.extend(0..dets.len() as u32);
+    // sort_unstable never allocates; the index tiebreak restores
+    // stability.
+    order.sort_unstable_by(|&a, &b| {
+        dets[b as usize]
+            .score
+            .partial_cmp(&dets[a as usize].score)
+            .expect("scores are finite")
+            .then(a.cmp(&b))
+    });
+    spill.clear();
+    spill.extend(order.iter().map(|&i| dets[i as usize]));
+    std::mem::swap(dets, spill);
 }
 
 #[cfg(test)]
@@ -55,6 +95,32 @@ mod tests {
         let pair = vec![det(0, 0, 10, 10, 0.9), det(0, 5, 10, 10, 0.8)];
         assert_eq!(nms(pair.clone(), 0.2).len(), 1);
         assert_eq!(nms(pair, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn in_place_variant_matches_allocating_nms() {
+        let dets = vec![
+            det(0, 0, 10, 10, 0.9),
+            det(0, 5, 10, 10, 0.8),
+            det(0, 10, 10, 10, 0.7),
+            det(30, 30, 5, 5, 0.8), // score tie with index 1
+        ];
+        let expected = nms(dets.clone(), 0.3);
+        let mut in_place = dets;
+        let (mut order, mut spill) = (Vec::new(), Vec::new());
+        nms_in_place(&mut in_place, 0.3, &mut order, &mut spill);
+        assert_eq!(in_place, expected);
+    }
+
+    #[test]
+    fn score_sort_is_stable_on_ties() {
+        let mut dets = vec![det(0, 0, 1, 1, 0.5), det(1, 0, 1, 1, 0.9), det(2, 0, 1, 1, 0.5)];
+        let (mut order, mut spill) = (Vec::new(), Vec::new());
+        sort_by_score_desc(&mut dets, &mut order, &mut spill);
+        assert_eq!(dets[0].bbox.x, 1);
+        // The two 0.5-scored boxes keep their input order.
+        assert_eq!(dets[1].bbox.x, 0);
+        assert_eq!(dets[2].bbox.x, 2);
     }
 
     #[test]

@@ -11,6 +11,10 @@ use crate::{GrayImage, Image, Plane, RgbImage};
 /// BT.601 luma weights `(r, g, b)`.
 pub const BT601_WEIGHTS: (f32, f32, f32) = (0.299, 0.587, 0.114);
 
+/// Analog-mean weights `(r, g, b)` — what the averaging circuit computes
+/// when the three sub-pixels of a site are tied together.
+pub const MEAN_WEIGHTS: (f32, f32, f32) = (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0);
+
 /// Converts RGB to gray by the arithmetic mean of the three channels —
 /// exactly what the analog averaging circuit computes when the 3 sub-pixels
 /// of a site are tied together.
@@ -25,7 +29,7 @@ pub const BT601_WEIGHTS: (f32, f32, f32) = (0.299, 0.587, 0.114);
 /// assert!((gray.plane().get(0, 0) - 0.6).abs() < 1e-6);
 /// ```
 pub fn rgb_to_gray_mean(img: &RgbImage) -> GrayImage {
-    weighted_gray(img, (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0))
+    weighted_gray(img, MEAN_WEIGHTS)
 }
 
 /// Converts RGB to gray with BT.601 luma weights (the common digital
@@ -35,16 +39,23 @@ pub fn rgb_to_gray_bt601(img: &RgbImage) -> GrayImage {
 }
 
 /// Converts RGB to gray with arbitrary channel weights.
-pub fn weighted_gray(img: &RgbImage, (wr, wg, wb): (f32, f32, f32)) -> GrayImage {
+pub fn weighted_gray(img: &RgbImage, weights: (f32, f32, f32)) -> GrayImage {
+    let mut out = Plane::new(img.width(), img.height());
+    weighted_gray_into(img, weights, &mut out);
+    GrayImage::from_plane(out)
+}
+
+/// In-place variant of [`weighted_gray`]: writes the weighted luminance
+/// into `out` (reshaped to the image's dimensions).
+pub fn weighted_gray_into(img: &RgbImage, (wr, wg, wb): (f32, f32, f32), out: &mut Plane) {
     let (w, h) = img.dimensions();
-    let mut out = Plane::new(w, h);
+    out.reshape_for_overwrite(w, h);
     for y in 0..h {
         for x in 0..w {
             let (r, g, b) = img.pixel(x, y);
             out.set(x, y, r * wr + g * wg + b * wb);
         }
     }
-    GrayImage::from_plane(out)
 }
 
 /// Replicates a gray image into three identical RGB channels.
@@ -62,21 +73,37 @@ pub fn to_gray(img: &Image) -> GrayImage {
     }
 }
 
+/// In-place variant of [`to_gray`]: writes the luminance plane into `out`
+/// (reshaped to the image's dimensions). Gray inputs are copied through.
+pub fn to_gray_into(img: &Image, out: &mut Plane) {
+    match img {
+        Image::Gray(g) => out.copy_from(g.plane()),
+        Image::Rgb(c) => weighted_gray_into(c, MEAN_WEIGHTS, out),
+    }
+}
+
 /// Per-pixel colour saturation: `max(r,g,b) - min(r,g,b)`.
 ///
 /// The stage-1 detector uses this as its colour cue; it is the feature that
 /// is *lost* when the sensor operates in grayscale mode, producing the small
 /// accuracy drop the paper reports for gray operation.
 pub fn saturation(img: &RgbImage) -> Plane {
+    let mut out = Plane::new(img.width(), img.height());
+    saturation_into(img, &mut out);
+    out
+}
+
+/// In-place variant of [`saturation`]: writes the saturation map into
+/// `out` (reshaped to the image's dimensions).
+pub fn saturation_into(img: &RgbImage, out: &mut Plane) {
     let (w, h) = img.dimensions();
-    let mut out = Plane::new(w, h);
+    out.reshape_for_overwrite(w, h);
     for y in 0..h {
         for x in 0..w {
             let (r, g, b) = img.pixel(x, y);
             out.set(x, y, r.max(g).max(b) - r.min(g).min(b));
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -125,6 +152,22 @@ mod tests {
         let g = GrayImage::from_fn(2, 2, |x, _| x as f32);
         let img: Image = g.clone().into();
         assert_eq!(to_gray(&img), g);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let rgb = RgbImage::from_fn(4, 3, |x, y| (x as f32 / 4.0, y as f32 / 3.0, 0.5));
+        let mut buf = Plane::new(1, 1);
+        saturation_into(&rgb, &mut buf);
+        assert_eq!(buf, saturation(&rgb));
+        weighted_gray_into(&rgb, BT601_WEIGHTS, &mut buf);
+        assert_eq!(buf, *rgb_to_gray_bt601(&rgb).plane());
+        let img: Image = rgb.clone().into();
+        to_gray_into(&img, &mut buf);
+        assert_eq!(buf, *to_gray(&img).plane());
+        let gray: Image = GrayImage::from_fn(2, 2, |x, _| x as f32).into();
+        to_gray_into(&gray, &mut buf);
+        assert_eq!(buf, *to_gray(&gray).plane());
     }
 
     #[test]

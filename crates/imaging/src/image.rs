@@ -231,6 +231,67 @@ impl Plane {
     ///
     /// Returns [`ImagingError::RectOutOfBounds`] if the rect exceeds the plane.
     pub fn crop(&self, rect: Rect) -> Result<Plane> {
+        let mut out = Plane::new(1, 1);
+        self.crop_into(rect, &mut out)?;
+        Ok(out)
+    }
+
+    /// Resizes the plane to `width × height` in place, reusing the
+    /// existing buffer capacity. All samples are reset to `0.0` (exactly
+    /// like [`Plane::new`]); previous contents are discarded.
+    ///
+    /// This is the foundation of the workspace's zero-allocation frame
+    /// path: once a scratch plane has grown to its steady-state size,
+    /// `reshape` never touches the heap again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0 || height == 0` (same invariant as
+    /// [`Plane::new`]).
+    pub fn reshape(&mut self, width: u32, height: u32) {
+        assert!(width != 0 && height != 0, "plane dimensions must be nonzero");
+        self.width = width;
+        self.height = height;
+        // clear + resize re-zeroes every sample without shrinking capacity.
+        self.data.clear();
+        self.data.resize(width as usize * height as usize, 0.0);
+    }
+
+    /// Like [`Plane::reshape`] but leaves the sample values **unspecified**
+    /// (a mix of old contents and zeros) instead of re-zeroing — for
+    /// producers that overwrite every sample anyway, this skips a
+    /// full-buffer memset per call on the per-frame hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn reshape_for_overwrite(&mut self, width: u32, height: u32) {
+        assert!(width != 0 && height != 0, "plane dimensions must be nonzero");
+        self.width = width;
+        self.height = height;
+        let len = width as usize * height as usize;
+        if self.data.len() > len {
+            self.data.truncate(len);
+        } else {
+            self.data.resize(len, 0.0);
+        }
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing the existing buffer.
+    pub fn copy_from(&mut self, src: &Plane) {
+        self.width = src.width;
+        self.height = src.height;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Extracts the sub-rectangle `rect` into `out` (reshaped to fit) —
+    /// the in-place counterpart of [`Plane::crop`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::RectOutOfBounds`] if the rect exceeds the plane.
+    pub fn crop_into(&self, rect: Rect, out: &mut Plane) -> Result<()> {
         if !rect.fits_within(self.width, self.height) || rect.w == 0 || rect.h == 0 {
             return Err(ImagingError::RectOutOfBounds {
                 rect: (rect.x, rect.y, rect.w, rect.h),
@@ -238,14 +299,14 @@ impl Plane {
                 height: self.height,
             });
         }
-        let mut out = Plane::new(rect.w, rect.h);
+        out.reshape_for_overwrite(rect.w, rect.h);
         for dy in 0..rect.h {
             for dx in 0..rect.w {
                 let v = self.get(rect.x + dx, rect.y + dy);
                 out.set(dx, dy, v);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Copies `src` into `self` with its top-left corner at `(x, y)`.
@@ -328,6 +389,16 @@ impl GrayImage {
         self.plane
     }
 
+    /// Resizes the image in place, reusing buffer capacity and resetting
+    /// samples to zero (see [`Plane::reshape`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn reshape(&mut self, width: u32, height: u32) {
+        self.plane.reshape(width, height);
+    }
+
     /// Crops the image.
     ///
     /// # Errors
@@ -335,6 +406,15 @@ impl GrayImage {
     /// See [`Plane::crop`].
     pub fn crop(&self, rect: Rect) -> Result<GrayImage> {
         Ok(GrayImage::from_plane(self.plane.crop(rect)?))
+    }
+
+    /// Crops the image into an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// See [`Plane::crop_into`].
+    pub fn crop_into(&self, rect: Rect, out: &mut GrayImage) -> Result<()> {
+        self.plane.crop_into(rect, &mut out.plane)
     }
 
     /// Bytes needed to store this image at `bits` bits per sample.
@@ -467,6 +547,30 @@ impl RgbImage {
         self.b.set(x, y, b);
     }
 
+    /// Resizes all three channels in place, reusing buffer capacity and
+    /// resetting samples to zero (see [`Plane::reshape`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn reshape(&mut self, width: u32, height: u32) {
+        self.r.reshape(width, height);
+        self.g.reshape(width, height);
+        self.b.reshape(width, height);
+    }
+
+    /// Like [`RgbImage::reshape`] but with unspecified sample values (see
+    /// [`Plane::reshape_for_overwrite`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn reshape_for_overwrite(&mut self, width: u32, height: u32) {
+        self.r.reshape_for_overwrite(width, height);
+        self.g.reshape_for_overwrite(width, height);
+        self.b.reshape_for_overwrite(width, height);
+    }
+
     /// Crops all three channels.
     ///
     /// # Errors
@@ -474,6 +578,17 @@ impl RgbImage {
     /// See [`Plane::crop`].
     pub fn crop(&self, rect: Rect) -> Result<RgbImage> {
         Ok(RgbImage { r: self.r.crop(rect)?, g: self.g.crop(rect)?, b: self.b.crop(rect)? })
+    }
+
+    /// Crops all three channels into an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// See [`Plane::crop_into`].
+    pub fn crop_into(&self, rect: Rect, out: &mut RgbImage) -> Result<()> {
+        self.r.crop_into(rect, &mut out.r)?;
+        self.g.crop_into(rect, &mut out.g)?;
+        self.b.crop_into(rect, &mut out.b)
     }
 
     /// Bytes needed to store this image at `bits` bits per sample.
@@ -547,6 +662,22 @@ impl Image {
 
     /// Borrows the RGB variant, if that is what this image holds.
     pub fn as_rgb(&self) -> Option<&RgbImage> {
+        match self {
+            Image::Rgb(c) => Some(c),
+            Image::Gray(_) => None,
+        }
+    }
+
+    /// Mutably borrows the gray variant, if that is what this image holds.
+    pub fn as_gray_mut(&mut self) -> Option<&mut GrayImage> {
+        match self {
+            Image::Gray(g) => Some(g),
+            Image::Rgb(_) => None,
+        }
+    }
+
+    /// Mutably borrows the RGB variant, if that is what this image holds.
+    pub fn as_rgb_mut(&mut self) -> Option<&mut RgbImage> {
         match self {
             Image::Rgb(c) => Some(c),
             Image::Gray(_) => None,
@@ -702,6 +833,96 @@ mod tests {
         let cc = c.crop(Rect::new(0, 0, 4, 4)).unwrap();
         assert_eq!(cc.channels(), 3);
         assert_eq!(cc.width(), 4);
+    }
+
+    #[test]
+    fn reshape_rezeroes_and_reuses_capacity() {
+        let mut p = Plane::filled(8, 8, 0.9);
+        let buf = p.as_slice().as_ptr();
+        p.reshape(4, 4);
+        assert_eq!(p.dimensions(), (4, 4));
+        assert_eq!(p.as_slice(), &[0.0; 16]);
+        // Shrinking reuses the same buffer.
+        assert_eq!(p.as_slice().as_ptr(), buf);
+        p.reshape(8, 8);
+        assert_eq!(p.as_slice(), &[0.0; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn reshape_rejects_zero_dims() {
+        Plane::new(2, 2).reshape(0, 4);
+    }
+
+    #[test]
+    fn reshape_for_overwrite_sets_dims_without_zeroing_requirement() {
+        let mut p = Plane::filled(4, 4, 0.9);
+        p.reshape_for_overwrite(2, 3);
+        assert_eq!(p.dimensions(), (2, 3));
+        assert_eq!(p.len(), 6);
+        // Contents are unspecified; only the shape contract matters.
+        p.reshape_for_overwrite(5, 5);
+        assert_eq!(p.len(), 25);
+        let mut rgb = RgbImage::new(2, 2);
+        rgb.reshape_for_overwrite(3, 1);
+        assert_eq!(rgb.dimensions(), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn reshape_for_overwrite_rejects_zero_dims() {
+        Plane::new(2, 2).reshape_for_overwrite(4, 0);
+    }
+
+    #[test]
+    fn copy_from_matches_source() {
+        let src = Plane::from_fn(3, 2, |x, y| (x + y) as f32);
+        let mut dst = Plane::new(9, 9);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn crop_into_matches_crop() {
+        let p = Plane::from_fn(6, 6, |x, y| (y * 6 + x) as f32);
+        let rect = Rect::new(1, 2, 3, 2);
+        let mut out = Plane::new(1, 1);
+        p.crop_into(rect, &mut out).unwrap();
+        assert_eq!(out, p.crop(rect).unwrap());
+        assert!(p.crop_into(Rect::new(5, 5, 3, 3), &mut out).is_err());
+    }
+
+    #[test]
+    fn image_reshape_variants() {
+        let mut g = GrayImage::from_fn(4, 4, |_, _| 1.0);
+        g.reshape(2, 2);
+        assert_eq!(g.dimensions(), (2, 2));
+        assert_eq!(g.plane().as_slice(), &[0.0; 4]);
+        let mut c = RgbImage::from_fn(4, 4, |_, _| (1.0, 1.0, 1.0));
+        c.reshape(3, 5);
+        assert_eq!(c.dimensions(), (3, 5));
+        assert_eq!(c.pixel(2, 4), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn rgb_crop_into_matches_crop() {
+        let img = RgbImage::from_fn(6, 6, |x, y| (x as f32, y as f32, (x * y) as f32));
+        let rect = Rect::new(2, 1, 3, 4);
+        let mut out = RgbImage::new(1, 1);
+        img.crop_into(rect, &mut out).unwrap();
+        assert_eq!(out, img.crop(rect).unwrap());
+    }
+
+    #[test]
+    fn image_mutable_accessors_dispatch() {
+        let mut g: Image = GrayImage::new(4, 4).into();
+        assert!(g.as_gray_mut().is_some());
+        assert!(g.as_rgb_mut().is_none());
+        g.as_gray_mut().unwrap().plane_mut().set(0, 0, 0.5);
+        assert_eq!(g.as_gray().unwrap().plane().get(0, 0), 0.5);
+        let mut c: Image = RgbImage::new(4, 4).into();
+        assert!(c.as_rgb_mut().is_some());
+        assert!(c.as_gray_mut().is_none());
     }
 
     #[test]

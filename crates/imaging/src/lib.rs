@@ -11,6 +11,8 @@
 //!   the detector, the scene generator and the core pipeline),
 //! * [`ops`] — average pooling ("in-processor scaling" in the paper),
 //!   bilinear resize, crop, padding,
+//! * [`pool`] — a [`FramePool`] free list recycling plane buffers across
+//!   frames (the zero-allocation steady-state substrate),
 //! * [`color`] — RGB→gray conversions (the analog circuit computes the
 //!   *mean* of R, G and B; BT.601 luma is provided for comparison),
 //! * [`draw`] — deterministic drawing primitives used by the synthetic
@@ -37,12 +39,14 @@ pub mod image;
 pub mod io;
 pub mod metrics;
 pub mod ops;
+pub mod pool;
 pub mod rect;
 
 mod error;
 
 pub use error::ImagingError;
 pub use image::{GrayImage, Image, Plane, RgbImage};
+pub use pool::FramePool;
 pub use rect::Rect;
 
 /// Crate-wide result alias.

@@ -27,16 +27,29 @@ use crate::{GrayImage, Image, ImagingError, Plane, Rect, Result, RgbImage};
 /// # Ok::<(), hirise_imaging::ImagingError>(())
 /// ```
 pub fn avg_pool(plane: &Plane, k: u32) -> Result<Plane> {
+    let mut out = Plane::new(1, 1);
+    avg_pool_into(plane, k, &mut out)?;
+    Ok(out)
+}
+
+/// In-place variant of [`avg_pool`]: pools into `out`, reshaped to
+/// `(w/k, h/k)` reusing its buffer capacity.
+///
+/// # Errors
+///
+/// See [`avg_pool`].
+pub fn avg_pool_into(plane: &Plane, k: u32, out: &mut Plane) -> Result<()> {
     let (w, h) = plane.dimensions();
     if k == 0 || w % k != 0 || h % k != 0 {
         return Err(ImagingError::InvalidFactor { factor: k, width: w, height: h });
     }
     if k == 1 {
-        return Ok(plane.clone());
+        out.copy_from(plane);
+        return Ok(());
     }
     let (ow, oh) = (w / k, h / k);
     let norm = 1.0 / (k as f32 * k as f32);
-    let mut out = Plane::new(ow, oh);
+    out.reshape_for_overwrite(ow, oh);
     for oy in 0..oh {
         for ox in 0..ow {
             let mut acc = 0.0f32;
@@ -48,7 +61,7 @@ pub fn avg_pool(plane: &Plane, k: u32) -> Result<Plane> {
             out.set(ox, oy, acc * norm);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// `k×k` average pooling of a gray image.
@@ -253,6 +266,17 @@ mod tests {
         assert!(avg_pool(&p, 0).is_err());
         assert!(avg_pool(&p, 4).is_err()); // 4 does not divide 6
         assert!(avg_pool(&p, 6).is_ok());
+    }
+
+    #[test]
+    fn avg_pool_into_matches_allocating_path() {
+        let p = Plane::from_fn(8, 8, |x, y| ((x * 7 + y * 3) % 5) as f32 / 5.0);
+        let mut out = Plane::new(1, 1);
+        for k in [1, 2, 4] {
+            avg_pool_into(&p, k, &mut out).unwrap();
+            assert_eq!(out, avg_pool(&p, k).unwrap(), "k={k}");
+        }
+        assert!(avg_pool_into(&p, 3, &mut out).is_err());
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! A small free-list pool for recycling [`Plane`] buffers across frames.
+//!
+//! The HiRISE steady state processes one frame after another with
+//! similarly-sized intermediates (pooled images, ROI crops). [`FramePool`]
+//! keeps retired planes and hands them back reshaped, so a hot loop pays
+//! for each buffer's allocation once and then reuses the capacity forever.
+//! Because [`Plane::reshape`] only grows a buffer when the new frame is
+//! strictly larger than anything the plane has held before, the pool
+//! converges to zero heap traffic after a warm-up frame or two.
+
+use crate::image::{Plane, RgbImage};
+
+/// A LIFO free list of [`Plane`]s (and, via the `_rgb` helpers, planar
+/// RGB images).
+///
+/// # Example
+///
+/// ```
+/// use hirise_imaging::FramePool;
+///
+/// let mut pool = FramePool::new();
+/// let plane = pool.acquire(64, 48);
+/// assert_eq!(plane.dimensions(), (64, 48));
+/// pool.release(plane);
+/// assert_eq!(pool.len(), 1);
+/// // The recycled plane comes back zeroed at the requested size.
+/// let again = pool.acquire(32, 32);
+/// assert_eq!(again.dimensions(), (32, 32));
+/// assert!(pool.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FramePool {
+    free: Vec<Plane>,
+}
+
+impl FramePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of planes currently parked in the pool.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `true` when no planes are parked.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Returns a zeroed `width × height` plane, recycling a parked one
+    /// when available (its capacity is reused; a fresh allocation happens
+    /// only when the pool is empty or the buffer must grow).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions (the [`Plane`] invariant).
+    pub fn acquire(&mut self, width: u32, height: u32) -> Plane {
+        match self.free.pop() {
+            Some(mut plane) => {
+                plane.reshape(width, height);
+                plane
+            }
+            None => Plane::new(width, height),
+        }
+    }
+
+    /// Parks a plane for later reuse.
+    pub fn release(&mut self, plane: Plane) {
+        self.free.push(plane);
+    }
+
+    /// Like [`FramePool::acquire`] but with **unspecified** sample values
+    /// (see [`Plane::reshape_for_overwrite`]) — for producers that
+    /// overwrite every sample, this skips the zeroing memset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn acquire_for_overwrite(&mut self, width: u32, height: u32) -> Plane {
+        match self.free.pop() {
+            Some(mut plane) => {
+                plane.reshape_for_overwrite(width, height);
+                plane
+            }
+            None => Plane::new(width, height),
+        }
+    }
+
+    /// Returns a zeroed RGB image assembled from three pooled planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn acquire_rgb(&mut self, width: u32, height: u32) -> RgbImage {
+        let r = self.acquire(width, height);
+        let g = self.acquire(width, height);
+        let b = self.acquire(width, height);
+        RgbImage::from_planes(r, g, b).expect("pooled planes share dimensions")
+    }
+
+    /// Like [`FramePool::acquire_rgb`] but with unspecified sample values
+    /// (see [`FramePool::acquire_for_overwrite`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn acquire_rgb_for_overwrite(&mut self, width: u32, height: u32) -> RgbImage {
+        let r = self.acquire_for_overwrite(width, height);
+        let g = self.acquire_for_overwrite(width, height);
+        let b = self.acquire_for_overwrite(width, height);
+        RgbImage::from_planes(r, g, b).expect("pooled planes share dimensions")
+    }
+
+    /// Parks all three planes of an RGB image.
+    pub fn release_rgb(&mut self, image: RgbImage) {
+        let (r, g, b) = image.into_planes();
+        self.free.push(r);
+        self.free.push(g);
+        self.free.push(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_from_empty_pool_allocates() {
+        let mut pool = FramePool::new();
+        assert!(pool.is_empty());
+        let p = pool.acquire(4, 3);
+        assert_eq!(p.dimensions(), (4, 3));
+        assert_eq!(p.as_slice(), &[0.0; 12]);
+    }
+
+    #[test]
+    fn recycled_planes_come_back_zeroed() {
+        let mut pool = FramePool::new();
+        let mut p = pool.acquire(4, 4);
+        p.set(2, 2, 0.7);
+        pool.release(p);
+        let q = pool.acquire(2, 8);
+        assert_eq!(q.dimensions(), (2, 8));
+        assert!(q.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn acquire_for_overwrite_sets_shape_without_zeroing_requirement() {
+        let mut pool = FramePool::new();
+        let mut p = pool.acquire(4, 4);
+        p.set(1, 1, 0.5);
+        pool.release(p);
+        let q = pool.acquire_for_overwrite(2, 2);
+        // Contents unspecified; only the shape contract matters.
+        assert_eq!(q.dimensions(), (2, 2));
+        let rgb = pool.acquire_rgb_for_overwrite(3, 3);
+        assert_eq!(rgb.dimensions(), (3, 3));
+    }
+
+    #[test]
+    fn rgb_roundtrip_parks_three_planes() {
+        let mut pool = FramePool::new();
+        let img = pool.acquire_rgb(8, 8);
+        assert_eq!(img.dimensions(), (8, 8));
+        pool.release_rgb(img);
+        assert_eq!(pool.len(), 3);
+        let again = pool.acquire_rgb(4, 4);
+        assert_eq!(again.dimensions(), (4, 4));
+        assert!(pool.is_empty());
+    }
+}

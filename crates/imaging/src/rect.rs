@@ -191,17 +191,40 @@ impl std::fmt::Display for Rect {
 /// assert_eq!(union_area(&boxes), 150);
 /// ```
 pub fn union_area(rects: &[Rect]) -> u64 {
-    let rects: Vec<&Rect> = rects.iter().filter(|r| !r.is_degenerate()).collect();
-    if rects.is_empty() {
-        return 0;
+    union_area_with_scratch(rects, &mut UnionScratch::default())
+}
+
+/// Reusable coordinate-compression buffers for
+/// [`union_area_with_scratch`], so the per-frame accounting path computes
+/// union areas without heap allocation once warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct UnionScratch {
+    xs: Vec<u32>,
+    ys: Vec<u32>,
+}
+
+impl UnionScratch {
+    /// Creates empty scratch buffers; they grow to their steady-state size
+    /// on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let mut xs: Vec<u32> = Vec::with_capacity(rects.len() * 2);
-    let mut ys: Vec<u32> = Vec::with_capacity(rects.len() * 2);
-    for r in &rects {
+}
+
+/// [`union_area`] with caller-owned scratch buffers (same result; no
+/// allocation once `scratch` has reached its working capacity).
+pub fn union_area_with_scratch(rects: &[Rect], scratch: &mut UnionScratch) -> u64 {
+    let UnionScratch { xs, ys } = scratch;
+    xs.clear();
+    ys.clear();
+    for r in rects.iter().filter(|r| !r.is_degenerate()) {
         xs.push(r.x);
         xs.push(r.right());
         ys.push(r.y);
         ys.push(r.bottom());
+    }
+    if xs.is_empty() {
+        return 0;
     }
     xs.sort_unstable();
     xs.dedup();
@@ -212,6 +235,8 @@ pub fn union_area(rects: &[Rect]) -> u64 {
         let (x0, x1) = (xs[xi], xs[xi + 1]);
         for yi in 0..ys.len() - 1 {
             let (y0, y1) = (ys[yi], ys[yi + 1]);
+            // A degenerate rect can never satisfy the cover test (its
+            // right edge equals its left), so no pre-filter is needed.
             let covered =
                 rects.iter().any(|r| r.x <= x0 && r.right() >= x1 && r.y <= y0 && r.bottom() >= y1);
             if covered {
@@ -341,6 +366,19 @@ mod tests {
         assert_eq!(union_area(&nested), 100);
         let same = [Rect::new(1, 1, 4, 4); 5];
         assert_eq!(union_area(&same), 16);
+    }
+
+    #[test]
+    fn union_area_scratch_reuse_matches() {
+        let mut scratch = UnionScratch::new();
+        let sets: [&[Rect]; 3] = [
+            &[Rect::new(0, 0, 10, 10), Rect::new(5, 0, 10, 10)],
+            &[],
+            &[Rect::new(2, 2, 3, 3), Rect::new(0, 0, 10, 10), Rect::default()],
+        ];
+        for rects in sets {
+            assert_eq!(union_area_with_scratch(rects, &mut scratch), union_area(rects));
+        }
     }
 
     #[test]

@@ -43,6 +43,27 @@ impl PixelArray {
     pub fn from_scene(scene: &RgbImage, params: PixelParams, seed: u64) -> Self {
         let (w, h) = scene.dimensions();
         let mut planes = [Plane::new(w, h), Plane::new(w, h), Plane::new(w, h)];
+        Self::fill(&mut planes, scene, &params, seed);
+        Self { planes, params }
+    }
+
+    /// Recaptures a (possibly differently-sized) scene onto this array in
+    /// place, reusing the voltage-plane buffers. The pixel parameters are
+    /// kept; `seed` selects the fixed-pattern realisation exactly as in
+    /// [`PixelArray::from_scene`] — refilling with the same scene and seed
+    /// reproduces the same voltages bit-for-bit.
+    pub fn refill_from_scene(&mut self, scene: &RgbImage, seed: u64) {
+        let (w, h) = scene.dimensions();
+        for plane in &mut self.planes {
+            // `fill` overwrites every sample, so skip the zeroing pass.
+            plane.reshape_for_overwrite(w, h);
+        }
+        let params = self.params;
+        Self::fill(&mut self.planes, scene, &params, seed);
+    }
+
+    fn fill(planes: &mut [Plane; 3], scene: &RgbImage, params: &PixelParams, seed: u64) {
+        let (w, h) = scene.dimensions();
         for (ch, src) in scene.planes().into_iter().enumerate() {
             let dst = &mut planes[ch];
             for y in 0..h {
@@ -60,7 +81,6 @@ impl PixelArray {
                 }
             }
         }
-        Self { planes, params }
     }
 
     /// Array width in pixel sites.
@@ -168,6 +188,26 @@ mod tests {
                     assert!(dv < 0.012, "fpn {dv} too large at ({x},{y})");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn refill_matches_fresh_capture() {
+        let p = PixelParams::default();
+        let small = flat_scene(0.3);
+        let big = RgbImage::from_fn(12, 10, |x, y| (x as f32 / 12.0, y as f32 / 10.0, 0.5));
+        let mut arr = PixelArray::from_scene(&small, p, 7);
+        // Grow, then shrink back, through the same array.
+        arr.refill_from_scene(&big, 9);
+        let fresh_big = PixelArray::from_scene(&big, p, 9);
+        assert_eq!((arr.width(), arr.height()), (12, 10));
+        for ch in 0..3 {
+            assert_eq!(arr.plane(ch), fresh_big.plane(ch), "channel {ch}");
+        }
+        arr.refill_from_scene(&small, 7);
+        let fresh_small = PixelArray::from_scene(&small, p, 7);
+        for ch in 0..3 {
+            assert_eq!(arr.plane(ch), fresh_small.plane(ch), "channel {ch}");
         }
     }
 

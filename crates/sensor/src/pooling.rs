@@ -121,12 +121,33 @@ pub fn pool_channel<R: Rng + ?Sized>(
     cfg: &PoolingConfig,
     rng: &mut R,
 ) -> Result<Plane> {
+    let mut out = Plane::new(1, 1);
+    pool_channel_into(array, channel, k, cfg, rng, &mut out)?;
+    Ok(out)
+}
+
+/// In-place variant of [`pool_channel`]: writes the analog voltages into
+/// `out` (reshaped to `(w/k, h/k)` reusing its buffer). Draws from `rng`
+/// in exactly the same order as the allocating path, so results are
+/// bit-identical.
+///
+/// # Errors
+///
+/// [`SensorError::InvalidPooling`] when `k` does not tile the array.
+pub fn pool_channel_into<R: Rng + ?Sized>(
+    array: &PixelArray,
+    channel: usize,
+    k: u32,
+    cfg: &PoolingConfig,
+    rng: &mut R,
+    out: &mut Plane,
+) -> Result<()> {
     validate_pooling(array, k)?;
     let params = array.params();
     let n_inputs = (k * k) as f64;
     let read_sigma = params.read_noise / n_inputs.sqrt();
     let (ow, oh) = (array.width() / k, array.height() / k);
-    let mut out = Plane::new(ow, oh);
+    out.reshape_for_overwrite(ow, oh);
     for oy in 0..oh {
         for ox in 0..ow {
             let mean = array.mean_window(channel, Rect::new(ox * k, oy * k, k, k));
@@ -138,7 +159,7 @@ pub fn pool_channel<R: Rng + ?Sized>(
             out.set(ox, oy, v as f32);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Pools all three channels together (`k·k·3` inputs per site) — the
@@ -153,12 +174,30 @@ pub fn pool_gray<R: Rng + ?Sized>(
     cfg: &PoolingConfig,
     rng: &mut R,
 ) -> Result<Plane> {
+    let mut out = Plane::new(1, 1);
+    pool_gray_into(array, k, cfg, rng, &mut out)?;
+    Ok(out)
+}
+
+/// In-place variant of [`pool_gray`]; see [`pool_channel_into`] for the
+/// reuse and determinism contract.
+///
+/// # Errors
+///
+/// [`SensorError::InvalidPooling`] when `k` does not tile the array.
+pub fn pool_gray_into<R: Rng + ?Sized>(
+    array: &PixelArray,
+    k: u32,
+    cfg: &PoolingConfig,
+    rng: &mut R,
+    out: &mut Plane,
+) -> Result<()> {
     validate_pooling(array, k)?;
     let params = array.params();
     let n_inputs = (k * k * 3) as f64;
     let read_sigma = params.read_noise / n_inputs.sqrt();
     let (ow, oh) = (array.width() / k, array.height() / k);
-    let mut out = Plane::new(ow, oh);
+    out.reshape_for_overwrite(ow, oh);
     for oy in 0..oh {
         for ox in 0..ow {
             let mean = array.mean_window_rgb(Rect::new(ox * k, oy * k, k, k));
@@ -170,7 +209,7 @@ pub fn pool_gray<R: Rng + ?Sized>(
             out.set(ox, oy, v as f32);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@
 //! makes the paper's Fig. 7 transfer shares and Fig. 8 stage-2 energies
 //! consistent with each other.
 
-use hirise_imaging::rect::{sum_area, union_area};
-use hirise_imaging::{Plane, Rect, RgbImage};
+use hirise_imaging::rect::{sum_area, union_area, union_area_with_scratch, UnionScratch};
+use hirise_imaging::{FramePool, Rect, RgbImage};
 use rand::Rng;
 
 use crate::adc::Adc;
@@ -48,10 +48,25 @@ fn convert_roi<R: Rng + ?Sized>(
     adc: &Adc,
     rng: &mut R,
 ) -> RgbImage {
+    let mut out = RgbImage::new(rect.w, rect.h);
+    convert_roi_into(array, rect, adc, rng, &mut out);
+    out
+}
+
+/// Digitises one ROI into `out` (reshaped to the rect, reusing its
+/// buffers) without accounting — the in-place workhorse behind
+/// [`read_roi`] and [`read_rois_into`]. Draws from `rng` in the same
+/// order as the allocating path, so pixel values are bit-identical.
+pub fn convert_roi_into<R: Rng + ?Sized>(
+    array: &PixelArray,
+    rect: Rect,
+    adc: &Adc,
+    rng: &mut R,
+    out: &mut RgbImage,
+) {
     let params = array.params();
-    let mut planes =
-        [Plane::new(rect.w, rect.h), Plane::new(rect.w, rect.h), Plane::new(rect.w, rect.h)];
-    for (ch, plane) in planes.iter_mut().enumerate() {
+    out.reshape_for_overwrite(rect.w, rect.h);
+    for (ch, plane) in out.planes_mut().into_iter().enumerate() {
         for dy in 0..rect.h {
             for dx in 0..rect.w {
                 let mut v = array.voltage(ch, rect.x + dx, rect.y + dy);
@@ -63,8 +78,6 @@ fn convert_roi<R: Rng + ?Sized>(
             }
         }
     }
-    let [r, g, b] = planes;
-    RgbImage::from_planes(r, g, b).expect("planes share rect dimensions")
 }
 
 /// Reads a single full-resolution ROI.
@@ -114,6 +127,47 @@ pub fn read_rois<R: Rng + ?Sized>(
         box_words_bits: rects.len() as u64 * WORDS_PER_BOX * WORD_BITS,
     };
     Ok((images, stats))
+}
+
+/// In-place counterpart of [`read_rois`]: the crops replace the contents
+/// of `images` (entries reused where possible; surplus entries retire to
+/// `pool`, shortfalls are drawn from it) and the union sweep runs on the
+/// caller's [`UnionScratch`]. After a warm-up frame or two the call
+/// performs no heap allocation. Accounting and pixel values are identical
+/// to [`read_rois`].
+///
+/// # Errors
+///
+/// [`SensorError::RoiOutOfBounds`] when any box leaves the array; `images`
+/// is left unchanged in that case.
+pub fn read_rois_into<R: Rng + ?Sized>(
+    array: &PixelArray,
+    rects: &[Rect],
+    adc: &Adc,
+    rng: &mut R,
+    images: &mut Vec<RgbImage>,
+    pool: &mut FramePool,
+    union: &mut UnionScratch,
+) -> Result<ReadoutStats> {
+    for &r in rects {
+        check_roi(array, r)?;
+    }
+    while images.len() > rects.len() {
+        let surplus = images.pop().expect("length checked");
+        pool.release_rgb(surplus);
+    }
+    for (i, &rect) in rects.iter().enumerate() {
+        if i == images.len() {
+            // convert_roi_into overwrites every sample, so skip zeroing.
+            images.push(pool.acquire_rgb_for_overwrite(rect.w, rect.h));
+        }
+        convert_roi_into(array, rect, adc, rng, &mut images[i]);
+    }
+    Ok(ReadoutStats {
+        conversions: 3 * union_area_with_scratch(rects, union),
+        transferred_bits: 3 * sum_area(rects) * adc.bits() as u64,
+        box_words_bits: rects.len() as u64 * WORDS_PER_BOX * WORD_BITS,
+    })
 }
 
 #[cfg(test)]
@@ -183,6 +237,39 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let boxes = [Rect::new(0, 0, 4, 4), Rect::new(15, 15, 4, 4)];
         assert!(read_rois(&arr, &boxes, &adc, &mut rng).is_err());
+    }
+
+    #[test]
+    fn read_rois_into_matches_allocating_path() {
+        let arr = gradient_array();
+        let adc = Adc::paper_default();
+        let frames: [&[Rect]; 3] = [
+            &[Rect::new(0, 0, 8, 8), Rect::new(4, 0, 8, 8), Rect::new(10, 10, 4, 4)],
+            &[Rect::new(2, 2, 6, 6)],
+            &[Rect::new(1, 1, 5, 9), Rect::new(8, 3, 7, 7)],
+        ];
+        let mut images = Vec::new();
+        let mut pool = FramePool::new();
+        let mut union = UnionScratch::new();
+        // Growing and shrinking ROI counts recycle through the pool.
+        for rects in frames {
+            let mut rng_a = StdRng::seed_from_u64(5);
+            let mut rng_b = StdRng::seed_from_u64(5);
+            let (expected, expected_stats) = read_rois(&arr, rects, &adc, &mut rng_a).unwrap();
+            let stats =
+                read_rois_into(&arr, rects, &adc, &mut rng_b, &mut images, &mut pool, &mut union)
+                    .unwrap();
+            assert_eq!(images, expected);
+            assert_eq!(stats, expected_stats);
+        }
+        // A failing batch must leave the previous images untouched.
+        let before = images.clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        let bad = [Rect::new(15, 15, 4, 4)];
+        assert!(
+            read_rois_into(&arr, &bad, &adc, &mut rng, &mut images, &mut pool, &mut union).is_err()
+        );
+        assert_eq!(images, before);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The top-level [`Sensor`] façade tying the pixel array, pooling circuit
 //! and ADC together, with full conversion/transfer accounting.
 
-use hirise_imaging::{GrayImage, Image, Plane, Rect, RgbImage};
+use hirise_imaging::rect::UnionScratch;
+use hirise_imaging::{FramePool, GrayImage, Image, Plane, Rect, RgbImage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -132,12 +133,33 @@ pub struct Sensor {
     rng: StdRng,
 }
 
+/// XOR mask decorrelating the temporal-noise stream from the
+/// fixed-pattern seed.
+const TEMPORAL_SEED_MASK: u64 = 0x0123_4567_89AB_CDEF;
+
 impl Sensor {
     /// Captures `scene` onto a new sensor.
     pub fn new(scene: RgbImage, config: SensorConfig) -> Self {
-        let array = PixelArray::from_scene(&scene, config.pixel, config.seed);
-        let rng = StdRng::seed_from_u64(config.seed ^ 0x0123_4567_89AB_CDEF);
+        Self::capture(&scene, config)
+    }
+
+    /// Captures `scene` onto a new sensor without taking ownership of it
+    /// (the array copies the pixel data anyway). Identical to
+    /// [`Sensor::new`] minus one full-frame clone.
+    pub fn capture(scene: &RgbImage, config: SensorConfig) -> Self {
+        let array = PixelArray::from_scene(scene, config.pixel, config.seed);
+        let rng = StdRng::seed_from_u64(config.seed ^ TEMPORAL_SEED_MASK);
         Self { array, config, rng }
+    }
+
+    /// Recaptures a (possibly differently-sized) scene onto this sensor in
+    /// place: the voltage planes are refilled reusing their buffers and the
+    /// temporal-noise stream is rewound, so the sensor is bit-identical to
+    /// a fresh [`Sensor::capture`] of the same scene and configuration —
+    /// without any steady-state heap allocation.
+    pub fn recapture(&mut self, scene: &RgbImage) {
+        self.array.refill_from_scene(scene, self.config.seed);
+        self.rng = StdRng::seed_from_u64(self.config.seed ^ TEMPORAL_SEED_MASK);
     }
 
     /// Array width in pixel sites.
@@ -176,15 +198,14 @@ impl Sensor {
             .with_noise(self.config.adc_noise)
     }
 
-    fn digitise_plane(plane: &Plane, adc: &Adc, rng: &mut StdRng) -> Plane {
-        let mut out = Plane::new(plane.width(), plane.height());
+    fn digitise_plane_into(plane: &Plane, adc: &Adc, rng: &mut StdRng, out: &mut Plane) {
+        out.reshape_for_overwrite(plane.width(), plane.height());
         for y in 0..plane.height() {
             for x in 0..plane.width() {
                 let code = adc.convert(plane.get(x, y) as f64, rng);
                 out.set(x, y, adc.code_to_unit(code));
             }
         }
-        out
     }
 
     /// Stage-1 capture: in-sensor pooling (+ optional grayscale fold),
@@ -200,50 +221,76 @@ impl Sensor {
     /// [`crate::SensorError::InvalidPooling`] when `k` does not tile the
     /// array.
     pub fn capture_pooled(&mut self, k: u32, mode: ColorMode) -> Result<(Image, ReadoutStats)> {
+        let mut analog = Plane::new(1, 1);
+        let mut out = Image::Gray(GrayImage::new(1, 1));
+        let stats = self.capture_pooled_into(k, mode, &mut analog, &mut out)?;
+        Ok((out, stats))
+    }
+
+    /// In-place variant of [`Sensor::capture_pooled`]: the analog pooling
+    /// result lands in `analog` and the digitised image in `out`, both
+    /// reshaped reusing their buffers. `out` is switched to the requested
+    /// colour mode if it holds the other variant (the only case that
+    /// allocates in steady state is that mode change). Draws from the
+    /// temporal-noise stream in exactly the same order as the allocating
+    /// path, so images and stats are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SensorError::InvalidPooling`] when `k` does not tile the
+    /// array (`analog` and `out` are left untouched).
+    pub fn capture_pooled_into(
+        &mut self,
+        k: u32,
+        mode: ColorMode,
+        analog: &mut Plane,
+        out: &mut Image,
+    ) -> Result<ReadoutStats> {
+        pooling::validate_pooling(&self.array, k)?;
         let adc = self.pooled_adc();
         let bits = adc.bits() as u64;
-        match mode {
+        let count = match mode {
             ColorMode::Gray => {
-                let analog =
-                    pooling::pool_gray(&self.array, k, &self.config.pooling, &mut self.rng)?;
-                let digital = Self::digitise_plane(&analog, &adc, &mut self.rng);
-                let count = digital.len() as u64;
-                Ok((
-                    Image::Gray(GrayImage::from_plane(digital)),
-                    ReadoutStats {
-                        conversions: count,
-                        transferred_bits: count * bits,
-                        box_words_bits: 0,
-                    },
-                ))
+                pooling::pool_gray_into(
+                    &self.array,
+                    k,
+                    &self.config.pooling,
+                    &mut self.rng,
+                    analog,
+                )?;
+                let target = match out {
+                    Image::Gray(g) => g,
+                    other => {
+                        *other = Image::Gray(GrayImage::new(1, 1));
+                        other.as_gray_mut().expect("just assigned the gray variant")
+                    }
+                };
+                Self::digitise_plane_into(analog, &adc, &mut self.rng, target.plane_mut());
+                target.plane().len() as u64
             }
             ColorMode::Rgb => {
-                let mut planes = Vec::with_capacity(3);
-                for ch in 0..3 {
-                    let analog = pooling::pool_channel(
+                let target = match out {
+                    Image::Rgb(c) => c,
+                    other => {
+                        *other = Image::Rgb(RgbImage::new(1, 1));
+                        other.as_rgb_mut().expect("just assigned the rgb variant")
+                    }
+                };
+                for (ch, plane) in target.planes_mut().into_iter().enumerate() {
+                    pooling::pool_channel_into(
                         &self.array,
                         ch,
                         k,
                         &self.config.pooling,
                         &mut self.rng,
+                        analog,
                     )?;
-                    planes.push(Self::digitise_plane(&analog, &adc, &mut self.rng));
+                    Self::digitise_plane_into(analog, &adc, &mut self.rng, plane);
                 }
-                let b = planes.pop().expect("three planes");
-                let g = planes.pop().expect("three planes");
-                let r = planes.pop().expect("three planes");
-                let img = RgbImage::from_planes(r, g, b)?;
-                let count = img.width() as u64 * img.height() as u64 * 3;
-                Ok((
-                    Image::Rgb(img),
-                    ReadoutStats {
-                        conversions: count,
-                        transferred_bits: count * bits,
-                        box_words_bits: 0,
-                    },
-                ))
+                target.width() as u64 * target.height() as u64 * 3
             }
-        }
+        };
+        Ok(ReadoutStats { conversions: count, transferred_bits: count * bits, box_words_bits: 0 })
     }
 
     /// Conventional full-array readout: every sub-pixel converted and
@@ -298,6 +345,25 @@ impl Sensor {
     pub fn read_rois(&mut self, rects: &[Rect]) -> Result<(Vec<RgbImage>, ReadoutStats)> {
         let adc = self.pixel_adc();
         roi::read_rois(&self.array, rects, &adc, &mut self.rng)
+    }
+
+    /// In-place variant of [`Sensor::read_rois`]: crops land in `images`
+    /// (recycled through `pool`) and the union sweep uses `union`; see
+    /// [`crate::roi::read_rois_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SensorError::RoiOutOfBounds`] when any box leaves the
+    /// array.
+    pub fn read_rois_into(
+        &mut self,
+        rects: &[Rect],
+        images: &mut Vec<RgbImage>,
+        pool: &mut FramePool,
+        union: &mut UnionScratch,
+    ) -> Result<ReadoutStats> {
+        let adc = self.pixel_adc();
+        roi::read_rois_into(&self.array, rects, &adc, &mut self.rng, images, pool, union)
     }
 
     /// Derives a fresh noise stream (e.g. to decorrelate captures) while
@@ -417,6 +483,45 @@ mod tests {
         let err = metrics::mae(a.as_gray().unwrap().plane(), b.as_gray().unwrap().plane()).unwrap();
         // Noise contributions are millivolts on a 600 mV swing.
         assert!(err < 0.01, "noisy capture deviates by {err}");
+    }
+
+    #[test]
+    fn recapture_is_bit_identical_to_fresh_sensor() {
+        let cfg = SensorConfig::default();
+        let a = test_scene(32, 16);
+        let b = test_scene(16, 24);
+        let mut reused = Sensor::capture(&a, cfg);
+        // Cycle through differently-sized scenes on one sensor.
+        for scene in [&b, &a, &b] {
+            reused.recapture(scene);
+            let mut fresh = Sensor::capture(scene, cfg);
+            let (img_r, stats_r) = reused.capture_pooled(4, ColorMode::Rgb).unwrap();
+            let (img_f, stats_f) = fresh.capture_pooled(4, ColorMode::Rgb).unwrap();
+            assert_eq!(img_r, img_f);
+            assert_eq!(stats_r, stats_f);
+        }
+    }
+
+    #[test]
+    fn capture_pooled_into_matches_allocating_capture() {
+        let cfg = SensorConfig::default();
+        let scene = test_scene(32, 32);
+        let mut analog = Plane::new(1, 1);
+        let mut out = Image::Rgb(RgbImage::new(1, 1)); // wrong variant on purpose
+        let mut reused = Sensor::capture(&scene, cfg);
+        // Alternate modes and pooling factors through the same buffers.
+        for (k, mode) in [(4, ColorMode::Gray), (2, ColorMode::Rgb), (8, ColorMode::Gray)] {
+            reused.recapture(&scene);
+            let stats = reused.capture_pooled_into(k, mode, &mut analog, &mut out).unwrap();
+            let mut fresh = Sensor::capture(&scene, cfg);
+            let (expected, expected_stats) = fresh.capture_pooled(k, mode).unwrap();
+            assert_eq!(out, expected, "k={k} mode={mode}");
+            assert_eq!(stats, expected_stats);
+        }
+        // Invalid pooling leaves the buffers untouched.
+        let before = out.clone();
+        assert!(reused.capture_pooled_into(5, ColorMode::Gray, &mut analog, &mut out).is_err());
+        assert_eq!(out, before);
     }
 
     #[test]

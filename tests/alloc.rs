@@ -1,0 +1,155 @@
+//! Allocation accounting for the frame path (verification layer 5).
+//!
+//! A counting `#[global_allocator]` wrapper proves the tentpole property
+//! of the scratch-buffer architecture: after warm-up,
+//! [`HirisePipeline::run_with_scratch`] performs **zero heap allocations
+//! per frame**, while the legacy allocating path (`run`) pays thousands.
+//!
+//! The counter is thread-local so the libtest harness (which runs each
+//! `#[test]` on its own thread, possibly several in parallel) cannot
+//! perturb a measurement from another thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use hirise::{HiriseConfig, HirisePipeline, PipelineScratch, SensorConfig};
+use hirise_imaging::{draw, Rect, RgbImage};
+
+/// Counts this thread's allocation events (`alloc`, `alloc_zeroed`, and
+/// every `realloc` — growing or shrinking — count; `dealloc` does not)
+/// and forwards to the system allocator.
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with` so allocations during thread teardown (after TLS
+    // destruction) never panic inside the allocator.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Allocation events on the current thread during `f`.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+/// A busy scene: several textured objects so the frame exercises the
+/// detector, part grouping, NMS, ROI mapping and multi-ROI readout.
+fn scene(w: u32, h: u32, shift: u32) -> RgbImage {
+    let mut img = RgbImage::from_fn(w, h, |_, _| (0.35, 0.35, 0.35));
+    for (i, (ox, oy)) in
+        [(w / 6, h / 5), (w / 2, h / 3), (2 * w / 3, 2 * h / 3)].into_iter().enumerate()
+    {
+        let obj = Rect::new(ox + shift, oy, w / 8 + 4 * i as u32, h / 4);
+        draw::fill_rect_rgb(&mut img, obj, (0.9, 0.4, 0.2));
+        let [pr, _, _] = img.planes_mut();
+        draw::fill_stripes(pr, obj, 2, 0.95, 0.55);
+    }
+    img
+}
+
+fn pipeline() -> HirisePipeline {
+    let detector = hirise::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+    let config = HiriseConfig::builder(192, 144)
+        .pooling(2)
+        .sensor(SensorConfig::default())
+        .detector(detector)
+        .max_rois(4)
+        .build()
+        .unwrap();
+    HirisePipeline::new(config)
+}
+
+#[test]
+fn scratch_path_is_allocation_free_after_warmup() {
+    let pipeline = pipeline();
+    let frames: Vec<RgbImage> = (0..8).map(|i| scene(192, 144, i)).collect();
+    let mut scratch = PipelineScratch::new();
+
+    // Warm-up: every buffer (and the ROI crop pool, whose plane↔size
+    // pairings shuffle while ROI counts vary) grows to its high-water
+    // capacity over the working set. Two passes bound the pool shuffling.
+    for _ in 0..2 {
+        for frame in &frames {
+            pipeline.run_with_scratch(frame, &mut scratch).unwrap();
+        }
+    }
+
+    for (i, frame) in frames.iter().enumerate() {
+        let count = allocations_during(|| {
+            pipeline.run_with_scratch(frame, &mut scratch).unwrap();
+        });
+        assert_eq!(count, 0, "frame {i}: scratch path allocated {count} times");
+    }
+}
+
+#[test]
+fn legacy_path_allocation_count_is_documented() {
+    let pipeline = pipeline();
+    let frame = scene(192, 144, 0);
+    // One throwaway run so lazy one-time setup doesn't skew the count.
+    pipeline.run(&frame).unwrap();
+    let count = allocations_during(|| {
+        pipeline.run(&frame).unwrap();
+    });
+    // The allocating wrapper rebuilds the sensor planes, pooled image,
+    // feature stack, candidate buffers, and ROI crops every frame. The
+    // exact figure varies with scene content; the point of record is the
+    // contrast with the scratch path's zero.
+    println!("legacy run(): {count} heap allocations for one 192x144 frame");
+    assert!(
+        count > 50,
+        "legacy path unexpectedly lean ({count} allocations) — \
+         update the scratch-vs-legacy documentation"
+    );
+}
+
+#[test]
+fn detector_scratch_alone_is_allocation_free() {
+    use hirise_detect::{Detector, DetectorScratch};
+    use hirise_imaging::{color, Image};
+
+    let detector = Detector::default();
+    let rgb: Image = scene(96, 96, 0).into();
+    let gray: Image = color::to_gray(&rgb).into();
+    let mut scratch = DetectorScratch::new();
+    // Warm up both colour modes, then alternating them must stay
+    // allocation-free (the saturation table is retained across gray
+    // frames rather than dropped).
+    detector.detect_with_scratch(&rgb, &mut scratch);
+    detector.detect_with_scratch(&gray, &mut scratch);
+    for image in [&rgb, &gray, &rgb, &gray] {
+        let count = allocations_during(|| {
+            detector.detect_with_scratch(image, &mut scratch);
+        });
+        assert_eq!(count, 0, "detector scratch path allocated {count} times");
+    }
+}

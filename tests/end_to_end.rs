@@ -115,6 +115,43 @@ fn rois_land_on_annotated_objects() {
 }
 
 #[test]
+fn scratch_reports_bit_identical_to_allocating_runs() {
+    // Acceptance criterion of the zero-allocation frame path: for the
+    // same (config, scene), `run_with_scratch` must produce a RunReport
+    // bit-identical to `run`, across colour modes, noise models and
+    // scenes — with one scratch reused for all of it.
+    use hirise::PipelineScratch;
+
+    let mut scratch = PipelineScratch::new();
+    for (mode, sensor_cfg) in [
+        (ColorMode::Rgb, SensorConfig::default()),
+        (ColorMode::Gray, SensorConfig::default()),
+        (ColorMode::Rgb, SensorConfig::noiseless()),
+    ] {
+        let config = HiriseConfig::builder(256, 192)
+            .pooling(4)
+            .stage1_color(mode)
+            .sensor(sensor_cfg)
+            .max_rois(6)
+            .build()
+            .unwrap();
+        let pipeline = HirisePipeline::new(config);
+        for seed in [21, 22, 23] {
+            let scene = crowd_scene(256, 192, seed);
+            let scratch_report = pipeline.run_with_scratch(&scene.image, &mut scratch).unwrap();
+            let run = pipeline.run(&scene.image).unwrap();
+            assert_eq!(scratch_report, run.report, "mode {mode} seed {seed}");
+            // The retained frame artefacts agree too (stronger than the
+            // report check: every pixel of every intermediate).
+            assert_eq!(*scratch.pooled_image(), run.pooled_image);
+            assert_eq!(scratch.detections(), run.detections.as_slice());
+            assert_eq!(scratch.rois(), run.rois.as_slice());
+            assert_eq!(scratch.roi_images(), run.roi_images.as_slice());
+        }
+    }
+}
+
+#[test]
 fn deeper_pooling_cuts_stage1_energy_quadratically() {
     let scene = crowd_scene(256, 192, 8);
     let mut last = u64::MAX;

@@ -40,6 +40,32 @@ proptest! {
         prop_assert!(u >= max_single);
     }
 
+    // NOTE: the compat `proptest` stand-in does not shrink — a failure
+    // here panics with the raw sampled rectangle set rather than a
+    // minimised counterexample (see crates/compat/README.md).
+    #[test]
+    fn union_area_matches_raster_fill(rects in prop::collection::vec(arb_rect(), 0..10)) {
+        // arb_rect() coordinates stay below 200 + 100, so a 300x300 grid
+        // covers every sampled rectangle.
+        const GRID: usize = 300;
+        let mut filled = vec![false; GRID * GRID];
+        for r in &rects {
+            for y in r.y..r.bottom() {
+                for x in r.x..r.right() {
+                    filled[y as usize * GRID + x as usize] = true;
+                }
+            }
+        }
+        let brute = filled.iter().filter(|&&covered| covered).count() as u64;
+        prop_assert_eq!(union_area(&rects), brute);
+        // The scratch-reusing sweep must agree with the allocating one.
+        let mut scratch = hirise_imaging::rect::UnionScratch::new();
+        prop_assert_eq!(
+            hirise_imaging::rect::union_area_with_scratch(&rects, &mut scratch),
+            brute
+        );
+    }
+
     #[test]
     fn rect_scaling_up_then_down_roundtrips(r in arb_rect(), k in 1u32..9) {
         let back = r.scaled(k, 1).scaled(1, k);

@@ -74,6 +74,30 @@ fn iterator_and_slice_entry_points_agree() {
 }
 
 #[test]
+fn orderings_agree_on_integer_counters_across_worker_counts() {
+    // Satellite acceptance check: Arrival and Deterministic fold the same
+    // per-frame reports, so every integer counter in the StreamAggregate
+    // must be identical for worker counts 1, 2, and 4 on one frame slice
+    // (only the float energy fold order may differ between modes).
+    let frames = campus_frames(14, 77);
+    let reference =
+        StreamExecutor::new(pipeline(), deterministic(1)).unwrap().run(&frames).unwrap();
+    for workers in [1usize, 2, 4] {
+        for ordering in [StreamOrdering::Arrival, StreamOrdering::Deterministic] {
+            let summary = StreamExecutor::new(
+                pipeline(),
+                StreamConfig::default().workers(workers).batch_size(2).ordering(ordering),
+            )
+            .unwrap()
+            .run(&frames)
+            .unwrap();
+            assert_eq!(summary.frames, reference.frames, "workers={workers} {ordering:?}");
+            assert_eq!(summary.aggregate, reference.aggregate, "workers={workers} {ordering:?}");
+        }
+    }
+}
+
+#[test]
 fn throughput_mode_keeps_integer_totals() {
     let frames = campus_frames(12, 51);
     let det = StreamExecutor::new(pipeline(), deterministic(4)).unwrap().run(&frames).unwrap();
