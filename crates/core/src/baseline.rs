@@ -29,9 +29,13 @@ impl ConventionalPipeline {
     /// Captures and ships the full frame; returns the digital image and a
     /// report (no stage 2, no pooling).
     pub fn run(&self, scene: &RgbImage) -> (RgbImage, RunReport) {
+        let mark = std::time::Instant::now();
         let mut sensor = Sensor::capture(scene, self.sensor_config);
+        let capture = mark.elapsed();
+        let mark = std::time::Instant::now();
         let (image, stats) = sensor.read_full();
-        let bytes = Image::Rgb(image.clone()).storage_bytes(self.sensor_config.adc_bits);
+        let pool = mark.elapsed();
+        let bytes = image.storage_bytes(self.sensor_config.adc_bits);
         let report = RunReport {
             stage1: stats,
             stage2: ReadoutStats::default(),
@@ -39,6 +43,10 @@ impl ConventionalPipeline {
             stage1_image_bytes: bytes,
             stage2_image_bytes: 0,
             roi_count: 0,
+            // The conventional path has no pooling or ROI stages; the
+            // full-frame readout is charged to `pool` (it is the
+            // conversion stage of this pipeline).
+            timings: crate::timing::StageTimings { capture, pool, ..Default::default() },
         };
         (image, report)
     }

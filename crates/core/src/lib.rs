@@ -58,6 +58,7 @@ pub mod report;
 pub mod roi;
 pub mod scratch;
 pub mod stream;
+pub mod timing;
 
 mod error;
 
@@ -67,6 +68,7 @@ pub use pipeline::{HirisePipeline, PipelineRun};
 pub use report::RunReport;
 pub use scratch::PipelineScratch;
 pub use stream::{StreamConfig, StreamExecutor, StreamOrdering, StreamSummary};
+pub use timing::StageTimings;
 
 // Re-export the substrate vocabulary users need at the top level.
 pub use hirise_detect::{Detection, Detector, DetectorConfig};

@@ -4,10 +4,13 @@ use hirise_detect::{Detection, Detector};
 use hirise_imaging::{Image, Rect, RgbImage};
 use hirise_sensor::{ReadoutStats, Sensor};
 
+use std::time::Instant;
+
 use crate::config::HiriseConfig;
 use crate::report::RunReport;
 use crate::roi::detections_to_rois_into;
 use crate::scratch::PipelineScratch;
+use crate::timing::StageTimings;
 use crate::{HiriseError, Result};
 
 /// Everything one frame produced.
@@ -134,19 +137,26 @@ impl HirisePipeline {
         // Recapture in place when the sensor configuration matches;
         // otherwise (first frame, or a different pipeline borrowing the
         // scratch) rebuild the sensor once.
+        let mut timings = StageTimings::default();
+        let mark = Instant::now();
         if sensor.as_ref().is_some_and(|s| *s.config() == self.config.sensor) {
             sensor.as_mut().expect("sensor presence just checked").recapture(scene);
         } else {
             *sensor = Some(Sensor::capture(scene, self.config.sensor));
         }
         let sensor = sensor.as_mut().expect("sensor just ensured");
+        timings.capture = mark.elapsed();
 
+        let mark = Instant::now();
         let stage1_stats = sensor.capture_pooled_into(
             self.config.pooling_k,
             self.config.stage1_color,
             analog,
             pooled,
         )?;
+        timings.pool = mark.elapsed();
+
+        let mark = Instant::now();
         let detections = self.detector.detect_with_scratch(pooled, detector);
         detections_to_rois_into(
             detections,
@@ -158,7 +168,11 @@ impl HirisePipeline {
             roi_order,
             rois,
         );
+        timings.detect = mark.elapsed();
+
+        let mark = Instant::now();
         let stage2_stats = sensor.read_rois_into(rois, roi_images, pool, union)?;
+        timings.roi_read = mark.elapsed();
 
         let stage1_image_bytes = pooled.storage_bytes(self.config.sensor.adc_bits);
         let stage2_image_bytes: u64 =
@@ -170,6 +184,7 @@ impl HirisePipeline {
             stage1_image_bytes,
             stage2_image_bytes,
             roi_count: rois.len(),
+            timings,
         })
     }
 }
@@ -283,6 +298,23 @@ mod tests {
             assert_eq!(scratch.rois(), fresh.rois.as_slice());
             assert_eq!(scratch.roi_images(), fresh.roi_images.as_slice());
         }
+    }
+
+    #[test]
+    fn scratch_path_records_stage_timings() {
+        let pipeline = HirisePipeline::new(small_config());
+        let mut scratch = PipelineScratch::new();
+        let scene = scene_with_object(192, 144);
+        let report = pipeline.run_with_scratch(&scene, &mut scratch).unwrap();
+        let t = report.timings;
+        // Capture and pooling walk the whole array; they always register
+        // on the monotonic clock. The total is consistent with the parts.
+        assert!(t.capture > std::time::Duration::ZERO, "capture stage not timed");
+        assert!(t.pool > std::time::Duration::ZERO, "pool stage not timed");
+        assert!(t.detect > std::time::Duration::ZERO, "detect stage not timed");
+        assert_eq!(t.total(), t.capture + t.pool + t.detect + t.roi_read);
+        // The allocating wrapper reports timings too.
+        assert!(pipeline.run(&scene).unwrap().report.timings.total() > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -5,8 +5,15 @@ use std::fmt;
 use hirise_energy::{AdcEnergy, PoolingEnergy};
 use hirise_sensor::ReadoutStats;
 
+use crate::timing::StageTimings;
+
 /// Aggregated costs of one pipeline run, in the units the paper reports.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Equality compares the *results* of the run (counters, sizes, ROI
+/// count) and deliberately ignores [`RunReport::timings`]: two runs of
+/// the same frame are bit-identical in every result field but never in
+/// wall-clock time.
+#[derive(Debug, Clone, Copy)]
 pub struct RunReport {
     /// Stage-1 readout counters (pooled capture).
     pub stage1: ReadoutStats,
@@ -20,6 +27,20 @@ pub struct RunReport {
     pub stage2_image_bytes: u64,
     /// Number of ROIs read.
     pub roi_count: usize,
+    /// Wall-clock per-stage breakdown of this run (zero for closed-form
+    /// reports that never executed, e.g. analytical-model outputs).
+    pub timings: StageTimings,
+}
+
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.stage1 == other.stage1
+            && self.stage2 == other.stage2
+            && self.pooling_outputs == other.pooling_outputs
+            && self.stage1_image_bytes == other.stage1_image_bytes
+            && self.stage2_image_bytes == other.stage2_image_bytes
+            && self.roi_count == other.roi_count
+    }
 }
 
 impl RunReport {
@@ -91,7 +112,19 @@ mod tests {
             stage1_image_bytes: 1000,
             stage2_image_bytes: 400,
             roi_count: 2,
+            timings: StageTimings::default(),
         }
+    }
+
+    #[test]
+    fn equality_ignores_timings() {
+        let a = report();
+        let mut b = report();
+        b.timings.detect = std::time::Duration::from_millis(7);
+        assert_eq!(a, b, "timings are measurement metadata, not results");
+        let mut c = report();
+        c.roi_count = 3;
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -61,6 +61,7 @@ use hirise_imaging::RgbImage;
 use crate::pipeline::HirisePipeline;
 use crate::report::RunReport;
 use crate::scratch::PipelineScratch;
+use crate::timing::StageTimings;
 use crate::{HiriseError, Result};
 
 /// How the executor folds per-frame reports into the summary.
@@ -175,6 +176,10 @@ pub struct StreamSummary {
     /// millijoules. Folded in frame order under
     /// [`StreamOrdering::Deterministic`], in completion order otherwise.
     pub energy_mj: f64,
+    /// Summed per-stage wall-clock time across all frames (CPU time of
+    /// the pipeline stages, not wall time of the run — with several
+    /// workers the stage total exceeds [`StreamSummary::wall`]).
+    pub stage_totals: StageTimings,
     /// Per-frame reports in frame order; populated only under
     /// [`StreamOrdering::Deterministic`] (empty in arrival mode, which
     /// runs in constant memory).
@@ -202,6 +207,21 @@ impl StreamSummary {
             0.0
         } else {
             self.aggregate.rois as f64 / self.frames as f64
+        }
+    }
+
+    /// Mean per-stage breakdown per frame (zero timings for an empty
+    /// stream).
+    pub fn mean_stage_timings(&self) -> StageTimings {
+        if self.frames == 0 {
+            return StageTimings::default();
+        }
+        let n = self.frames as u32;
+        StageTimings {
+            capture: self.stage_totals.capture / n,
+            pool: self.stage_totals.pool / n,
+            detect: self.stage_totals.detect / n,
+            roi_read: self.stage_totals.roi_read / n,
         }
     }
 }
@@ -432,6 +452,7 @@ impl StreamExecutor {
             wall: Duration::ZERO,
             aggregate: StreamAggregate::default(),
             energy_mj: 0.0,
+            stage_totals: StageTimings::default(),
             reports: Vec::new(),
         };
         match self.config.ordering {
@@ -444,6 +465,7 @@ impl StreamExecutor {
                                 summary.frames += 1;
                                 summary.aggregate.fold(&report);
                                 summary.energy_mj += report.sensor_energy_mj_default();
+                                summary.stage_totals += report.timings;
                             }
                             Err(e) if first_error.is_none() => {
                                 cancelled.store(true, Ordering::Relaxed);
@@ -484,6 +506,7 @@ impl StreamExecutor {
                     summary.frames += 1;
                     summary.aggregate.fold(&report);
                     summary.energy_mj += report.sensor_energy_mj_default();
+                    summary.stage_totals += report.timings;
                     summary.reports.push(report);
                 }
             }
@@ -640,6 +663,17 @@ mod tests {
         assert!(matches!(executor.run_stream(stream), Err(HiriseError::SceneMismatch { .. })));
         let consumed = pulled.load(Ordering::Relaxed);
         assert!(consumed < TOTAL / 10, "producer was not cancelled: pulled {consumed} frames");
+    }
+
+    #[test]
+    fn stage_totals_accumulate_across_frames() {
+        let frames = frames(5, 64, 48);
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(2)).unwrap();
+        let summary = executor.run(&frames).unwrap();
+        let folded = summary.reports.iter().fold(StageTimings::default(), |acc, r| acc + r.timings);
+        assert_eq!(summary.stage_totals, folded);
+        assert!(summary.stage_totals.total() > Duration::ZERO, "no stage time recorded");
+        assert!(summary.mean_stage_timings().total() <= summary.stage_totals.total());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use hirise_imaging::{Image, Rect};
 
 use crate::eval::{evaluate, Detection, GroundTruth};
 use crate::features::{FeatureMaps, FeatureScratch};
-use crate::nms::{nms_in_place, sort_by_score_desc};
+use crate::nms::{nms_in_place, sort_by_score_desc, NmsScratch};
 
 /// Detector hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,12 +123,11 @@ pub struct DetectorScratch {
     /// Candidate boxes of the current frame; holds the final detections
     /// after a `detect_with_scratch` call returns.
     detections: Vec<Detection>,
-    /// Spill buffer for sorting/NMS and the part-grouping originals.
-    aux: Vec<Detection>,
+    /// Sort/suppression buffers shared by the NMS sweeps; its `spill`
+    /// also serves as the part-grouping originals buffer.
+    nms: NmsScratch,
     /// Boosted-score copy used by the part-suppression pass.
     boosted: Vec<Detection>,
-    /// Index permutation for allocation-free stable sorting.
-    order: Vec<u32>,
     /// Aspect ratios scanned this frame.
     aspects: Vec<f32>,
 }
@@ -282,7 +281,7 @@ impl Detector {
         image: &Image,
         scratch: &'s mut DetectorScratch,
     ) -> &'s [Detection] {
-        let DetectorScratch { maps, features, detections, aux, boosted, order, aspects } = scratch;
+        let DetectorScratch { maps, features, detections, nms, boosted, aspects } = scratch;
         maps.recompute(image, features);
         let (iw, ih) = (maps.width(), maps.height());
         self.scan_aspects_into(aspects);
@@ -302,22 +301,20 @@ impl Detector {
                 let ring = ((h * self.config.ring_frac) as u32).max(1);
                 let mut y = 0;
                 while y + wh <= ih {
-                    let mut x = 0;
-                    while x + ww <= iw {
+                    // The stddev gate runs over hoisted table rows; only
+                    // passing windows pay full feature extraction.
+                    maps.scan_row_gated(y, ww, wh, stride, sd_gate, |x| {
                         let rect = Rect::new(x, y, ww, wh);
-                        if maps.luma_stddev(rect) >= sd_gate {
-                            let f = maps.window(rect, ring);
-                            let score = self.score(&f);
-                            if score > self.config.score_threshold {
-                                candidates.push(Detection {
-                                    class: 0,
-                                    bbox: rect,
-                                    score: score as f32,
-                                });
-                            }
+                        let f = maps.window(rect, ring);
+                        let score = self.score(&f);
+                        if score > self.config.score_threshold {
+                            candidates.push(Detection {
+                                class: 0,
+                                bbox: rect,
+                                score: score as f32,
+                            });
                         }
-                        x += stride;
-                    }
+                    });
                     y += stride;
                 }
             }
@@ -327,12 +324,12 @@ impl Detector {
         // stay tractable on busy scenes, then dedup, group, suppress.
         const MAX_CANDIDATES: usize = 4000;
         if candidates.len() > MAX_CANDIDATES {
-            sort_by_score_desc(candidates, order, aux);
+            sort_by_score_desc(candidates, &mut nms.order, &mut nms.spill);
             candidates.truncate(MAX_CANDIDATES);
         }
-        nms_in_place(candidates, 0.8, order, aux);
-        self.group_parts_in_place(candidates, aux, boosted);
-        nms_in_place(candidates, self.config.nms_iou, order, aux);
+        nms_in_place(candidates, 0.8, nms);
+        self.group_parts_in_place(candidates, &mut nms.spill, boosted);
+        nms_in_place(candidates, self.config.nms_iou, nms);
         candidates.truncate(self.config.max_detections);
         for det in candidates.iter_mut() {
             det.class = self.classify(det.bbox);

@@ -16,16 +16,29 @@ pub fn gradient_magnitude(luma: &Plane) -> Plane {
 
 /// In-place variant of [`gradient_magnitude`]: writes the map into `out`
 /// (reshaped to the luma plane's dimensions).
+///
+/// Runs a three-row sliding window (previous / current / next row slices,
+/// edge-clamped) so the interior loop is pure slice arithmetic that
+/// autovectorizes. Bit-identical to the per-pixel formulation.
 pub fn gradient_magnitude_into(luma: &Plane, out: &mut Plane) {
     let (w, h) = luma.dimensions();
     out.reshape_for_overwrite(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            let xm = luma.get(x.saturating_sub(1), y);
-            let xp = luma.get((x + 1).min(w - 1), y);
-            let ym = luma.get(x, y.saturating_sub(1));
-            let yp = luma.get(x, (y + 1).min(h - 1));
-            out.set(x, y, ((xp - xm).abs() + (yp - ym).abs()) * 0.5);
+    let wu = w as usize;
+    for (y, dst) in out.rows_mut().enumerate() {
+        let y = y as u32;
+        let row = luma.row(y);
+        let above = luma.row(y.saturating_sub(1));
+        let below = luma.row((y + 1).min(h - 1));
+        // Left/right edges clamp horizontally; handle them outside the
+        // interior loop so it carries no per-pixel index clamping.
+        dst[0] = ((row[1.min(wu - 1)] - row[0]).abs() + (below[0] - above[0]).abs()) * 0.5;
+        if wu == 1 {
+            continue;
+        }
+        let last = wu - 1;
+        dst[last] = ((row[last] - row[last - 1]).abs() + (below[last] - above[last]).abs()) * 0.5;
+        for x in 1..last {
+            dst[x] = ((row[x + 1] - row[x - 1]).abs() + (below[x] - above[x]).abs()) * 0.5;
         }
     }
 }
@@ -95,11 +108,19 @@ pub struct FeatureScratch {
     luma: Plane,
     grad: Plane,
     sat: Plane,
+    /// Binary "active" mask raster, thresholded from `grad`/`sat` as one
+    /// flat pass before integration.
+    active: Plane,
 }
 
 impl Default for FeatureScratch {
     fn default() -> Self {
-        Self { luma: Plane::new(1, 1), grad: Plane::new(1, 1), sat: Plane::new(1, 1) }
+        Self {
+            luma: Plane::new(1, 1),
+            grad: Plane::new(1, 1),
+            sat: Plane::new(1, 1),
+            active: Plane::new(1, 1),
+        }
     }
 }
 
@@ -138,16 +159,23 @@ impl FeatureMaps {
         let (w, h) = scratch.luma.dimensions();
         self.width = w;
         self.height = h;
-        let (grad_plane, sat_plane) = (&scratch.grad, &scratch.sat);
-        self.active.recompute_from_fn(w, h, |x, y| {
-            let textured = grad_plane.get(x, y) > ACTIVE_GRAD_THRESHOLD;
-            let colored = has_color && sat_plane.get(x, y) > ACTIVE_SAT_THRESHOLD;
-            if textured || colored {
-                1.0
-            } else {
-                0.0
+        // Threshold the activity mask as a flat slice pass, then integrate
+        // it like any other plane (values are exactly 0.0/1.0, so the
+        // table is bit-identical to the closure-driven formulation).
+        scratch.active.reshape_for_overwrite(w, h);
+        let active = scratch.active.as_mut_slice();
+        if has_color {
+            for ((a, &g), &s) in
+                active.iter_mut().zip(scratch.grad.as_slice()).zip(scratch.sat.as_slice())
+            {
+                *a = if g > ACTIVE_GRAD_THRESHOLD || s > ACTIVE_SAT_THRESHOLD { 1.0 } else { 0.0 };
             }
-        });
+        } else {
+            for (a, &g) in active.iter_mut().zip(scratch.grad.as_slice()) {
+                *a = if g > ACTIVE_GRAD_THRESHOLD { 1.0 } else { 0.0 };
+            }
+        }
+        self.active.recompute(&scratch.active);
         self.luma.recompute(&scratch.luma);
         self.luma_sq.recompute_squared(&scratch.luma);
         self.grad.recompute(&scratch.grad);
@@ -181,6 +209,50 @@ impl FeatureMaps {
         window_variance(&self.luma, &self.luma_sq, rect).sqrt()
     }
 
+    /// Slides a `ww × wh` window along row `y` in steps of `stride` and
+    /// calls `visit(x)` for every position whose luminance standard
+    /// deviation reaches `gate`.
+    ///
+    /// This is the detector's hot loop: the table row offsets are hoisted
+    /// out of the scan so each gate test is eight sequential `f64` loads
+    /// plus the variance arithmetic — no per-window `Rect` construction,
+    /// clamping, or 2-D index math. The accepted set is bit-identical to
+    /// filtering with `luma_stddev(rect) >= gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window row does not fit the image
+    /// (`ww > width || y + wh > height`) or `stride == 0`.
+    pub fn scan_row_gated(
+        &self,
+        y: u32,
+        ww: u32,
+        wh: u32,
+        stride: u32,
+        gate: f64,
+        mut visit: impl FnMut(u32),
+    ) {
+        assert!(ww <= self.width && y + wh <= self.height, "scan row out of bounds");
+        assert!(stride > 0, "stride must be nonzero");
+        let w1 = self.width as usize + 1;
+        let luma = self.luma.table();
+        let luma_sq = self.luma_sq.table();
+        let y0b = y as usize * w1;
+        let y1b = (y + wh) as usize * w1;
+        let area = (ww as u64 * wh as u64) as f64;
+        let mut x = 0u32;
+        while x + ww <= self.width {
+            let (x0, x1) = (x as usize, (x + ww) as usize);
+            let mean = IntegralImage::sum_raw(luma, y0b, y1b, x0, x1) / area;
+            let sq_mean = IntegralImage::sum_raw(luma_sq, y0b, y1b, x0, x1) / area;
+            let var = (sq_mean - mean * mean).max(0.0);
+            if var.sqrt() >= gate {
+                visit(x);
+            }
+            x += stride;
+        }
+    }
+
     /// Extracts window statistics for `rect`; the contrast rings extend
     /// `ring` pixels beyond the window on each side.
     ///
@@ -191,6 +263,87 @@ impl FeatureMaps {
     /// all sides. Side rings clipped away by the image border are skipped;
     /// a window with no surviving ring reports zero contrast.
     pub fn window(&self, rect: Rect, ring: u32) -> WindowFeatures {
+        if rect.fits_within(self.width, self.height) && !rect.is_degenerate() {
+            return self.window_in_bounds(rect, ring);
+        }
+        self.window_generic(rect, ring)
+    }
+
+    /// Hot-path window extraction for a fully in-bounds window: every
+    /// integral mean is computed exactly once from raw table offsets with
+    /// the `(width + 1)` stride hoisted, and the side rings are clipped
+    /// arithmetically instead of through per-side `Rect` clamping.
+    /// Bit-identical to [`FeatureMaps::window_generic`].
+    fn window_in_bounds(&self, rect: Rect, ring: u32) -> WindowFeatures {
+        let w1 = self.width as usize + 1;
+        let luma = self.luma.table();
+        let grad = self.grad.table();
+        let (x0, x1) = (rect.x as usize, rect.right() as usize);
+        let y0b = rect.y as usize * w1;
+        let y1b = rect.bottom() as usize * w1;
+        let area = rect.area() as f64;
+        let mean = IntegralImage::sum_raw(luma, y0b, y1b, x0, x1) / area;
+        let sq_mean = IntegralImage::sum_raw(self.luma_sq.table(), y0b, y1b, x0, x1) / area;
+        let var = (sq_mean - mean * mean).max(0.0);
+        let texture = IntegralImage::sum_raw(grad, y0b, y1b, x0, x1) / area;
+
+        let mut contrast = f64::INFINITY;
+        let mut ring_texture = 0.0;
+        let mut side_count = 0usize;
+        let mut side = |sx0: usize, sy0: usize, sx1: usize, sy1: usize| {
+            let b0 = sy0 * w1;
+            let b1 = sy1 * w1;
+            let side_area = ((sx1 - sx0) as u64 * (sy1 - sy0) as u64) as f64;
+            let side_mean = IntegralImage::sum_raw(luma, b0, b1, sx0, sx1) / side_area;
+            contrast = contrast.min((mean - side_mean).abs());
+            ring_texture += IntegralImage::sum_raw(grad, b0, b1, sx0, sx1) / side_area;
+            side_count += 1;
+        };
+        // Top / bottom / left / right rings, clipped at the image border
+        // (same clipping — and the same visit order for the floating-point
+        // ring-texture fold — as the generic path).
+        let top = ring.min(rect.y);
+        if top > 0 {
+            side(x0, (rect.y - top) as usize, x1, rect.y as usize);
+        }
+        let bottom = ring.min(self.height - rect.bottom());
+        if bottom > 0 {
+            side(x0, rect.bottom() as usize, x1, (rect.bottom() + bottom) as usize);
+        }
+        let left = ring.min(rect.x);
+        if left > 0 {
+            side((rect.x - left) as usize, rect.y as usize, x0, rect.bottom() as usize);
+        }
+        let right = ring.min(self.width - rect.right());
+        if right > 0 {
+            side(x1, rect.y as usize, (rect.right() + right) as usize, rect.bottom() as usize);
+        }
+        if side_count == 0 {
+            contrast = 0.0;
+        } else {
+            ring_texture /= side_count as f64;
+        }
+        let saturation = if self.has_color {
+            let table = self.saturation.as_ref().expect("has_color implies a saturation table");
+            IntegralImage::sum_raw(table.table(), y0b, y1b, x0, x1) / area
+        } else {
+            0.0
+        };
+        let fill = IntegralImage::sum_raw(self.active.table(), y0b, y1b, x0, x1) / area;
+        WindowFeatures {
+            mean,
+            stddev: var.sqrt(),
+            texture,
+            contrast,
+            saturation,
+            ring_texture,
+            fill,
+        }
+    }
+
+    /// Reference window extraction through the clamped [`IntegralImage`]
+    /// queries; handles windows that protrude past the image.
+    fn window_generic(&self, rect: Rect, ring: u32) -> WindowFeatures {
         let mean = self.luma.mean(rect);
         let var = window_variance(&self.luma, &self.luma_sq, rect);
         let texture = self.grad.mean(rect);

@@ -50,16 +50,48 @@ impl IntegralImage {
 
     /// Rebuilds the table from a plane, reusing the existing buffer
     /// (allocation-free once the table has reached its steady-state size).
+    ///
+    /// Runs over row slices: a running prefix sum along the source row
+    /// plus the previous table row, with no per-pixel 2-D index
+    /// arithmetic. Bit-identical to the per-pixel formulation.
     pub fn recompute(&mut self, plane: &Plane) {
-        self.recompute_from_fn(plane.width(), plane.height(), |x, y| plane.get(x, y) as f64);
+        self.resize_table(plane.width(), plane.height());
+        let w1 = plane.width() as usize + 1;
+        for (y, src) in plane.rows().enumerate() {
+            let (prev, cur) = self.table[y * w1..(y + 2) * w1].split_at_mut(w1);
+            let mut row_sum = 0.0f64;
+            for ((&v, c), &p) in src.iter().zip(&mut cur[1..]).zip(&prev[1..]) {
+                row_sum += v as f64;
+                *c = p + row_sum;
+            }
+        }
     }
 
-    /// Rebuilds the table of squared values in place.
+    /// Rebuilds the table of squared values in place (same row-slice
+    /// structure as [`IntegralImage::recompute`]).
     pub fn recompute_squared(&mut self, plane: &Plane) {
-        self.recompute_from_fn(plane.width(), plane.height(), |x, y| {
-            let v = plane.get(x, y) as f64;
-            v * v
-        });
+        self.resize_table(plane.width(), plane.height());
+        let w1 = plane.width() as usize + 1;
+        for (y, src) in plane.rows().enumerate() {
+            let (prev, cur) = self.table[y * w1..(y + 2) * w1].split_at_mut(w1);
+            let mut row_sum = 0.0f64;
+            for ((&v, c), &p) in src.iter().zip(&mut cur[1..]).zip(&prev[1..]) {
+                let v = v as f64;
+                row_sum += v * v;
+                *c = p + row_sum;
+            }
+        }
+    }
+
+    /// Sets dimensions and re-zeroes the `(w+1)·(h+1)` table without
+    /// shrinking capacity (the border row/column must read as zero).
+    fn resize_table(&mut self, width: u32, height: u32) {
+        let w1 = width as usize + 1;
+        let h1 = height as usize + 1;
+        self.width = width;
+        self.height = height;
+        self.table.clear();
+        self.table.resize(w1 * h1, 0.0);
     }
 
     /// Rebuilds the table from an arbitrary per-pixel function in place.
@@ -69,21 +101,31 @@ impl IntegralImage {
         height: u32,
         mut f: impl FnMut(u32, u32) -> f64,
     ) {
+        self.resize_table(width, height);
         let w1 = width as usize + 1;
-        let h1 = height as usize + 1;
-        self.width = width;
-        self.height = height;
-        // clear + resize re-zeroes the border row/column without
-        // shrinking capacity.
-        self.table.clear();
-        self.table.resize(w1 * h1, 0.0);
         for y in 0..height as usize {
+            let (prev, cur) = self.table[y * w1..(y + 2) * w1].split_at_mut(w1);
             let mut row_sum = 0.0;
             for x in 0..width as usize {
                 row_sum += f(x as u32, y as u32);
-                self.table[(y + 1) * w1 + (x + 1)] = self.table[y * w1 + (x + 1)] + row_sum;
+                cur[x + 1] = prev[x + 1] + row_sum;
             }
         }
+    }
+
+    /// The raw `(width + 1)`-stride summed-area table, for scan loops that
+    /// hoist row offsets (see `FeatureMaps::scan_row_gated`).
+    #[inline]
+    pub(crate) fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Corner combination of the raw table: sum over the window whose
+    /// top/bottom table rows start at `y0b`/`y1b` and whose column range
+    /// is `x0..x1`. Callers guarantee the window is in bounds.
+    #[inline]
+    pub(crate) fn sum_raw(table: &[f64], y0b: usize, y1b: usize, x0: usize, x1: usize) -> f64 {
+        table[y1b + x1] + table[y0b + x0] - table[y0b + x1] - table[y1b + x0]
     }
 
     /// Table width (source plane width).
@@ -97,26 +139,38 @@ impl IntegralImage {
     }
 
     /// Sum of pixel values in `rect` (clamped to the image).
+    #[inline]
     pub fn sum(&self, rect: Rect) -> f64 {
         let r = rect.clamped(self.width, self.height);
         if r.is_degenerate() {
             return 0.0;
         }
         let w1 = self.width as usize + 1;
-        let (x0, y0) = (r.x as usize, r.y as usize);
-        let (x1, y1) = (r.right() as usize, r.bottom() as usize);
-        self.table[y1 * w1 + x1] + self.table[y0 * w1 + x0]
-            - self.table[y0 * w1 + x1]
-            - self.table[y1 * w1 + x0]
+        Self::sum_raw(
+            &self.table,
+            r.y as usize * w1,
+            r.bottom() as usize * w1,
+            r.x as usize,
+            r.right() as usize,
+        )
     }
 
     /// Mean pixel value in `rect` (0 for empty windows).
+    #[inline]
     pub fn mean(&self, rect: Rect) -> f64 {
         let r = rect.clamped(self.width, self.height);
         if r.is_degenerate() {
             return 0.0;
         }
-        self.sum(r) / r.area() as f64
+        let w1 = self.width as usize + 1;
+        let s = Self::sum_raw(
+            &self.table,
+            r.y as usize * w1,
+            r.bottom() as usize * w1,
+            r.x as usize,
+            r.right() as usize,
+        );
+        s / r.area() as f64
     }
 }
 

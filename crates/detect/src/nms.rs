@@ -2,34 +2,81 @@
 
 use crate::eval::Detection;
 
+/// Reusable buffers for [`nms_in_place`], so repeated frames run the
+/// suppression sweep without heap allocation once warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct NmsScratch {
+    /// Index permutation for the allocation-free stable score sort.
+    pub order: Vec<u32>,
+    /// Spill buffer for sorting and for collecting survivors.
+    pub spill: Vec<Detection>,
+    /// Box areas, computed once per sweep instead of per IoU test.
+    areas: Vec<u64>,
+    /// Suppression bitmask, one bit per sorted detection.
+    suppressed: Vec<u64>,
+}
+
+impl NmsScratch {
+    /// Creates empty buffers; they grow to their steady-state size on
+    /// first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Suppresses detections overlapping a higher-scored one by more than
 /// `iou_threshold`. Matching is class-agnostic (the detector classifies
 /// after suppression). Returns survivors sorted by descending score.
 pub fn nms(mut detections: Vec<Detection>, iou_threshold: f64) -> Vec<Detection> {
-    let (mut order, mut spill) = (Vec::new(), Vec::new());
-    nms_in_place(&mut detections, iou_threshold, &mut order, &mut spill);
+    nms_in_place(&mut detections, iou_threshold, &mut NmsScratch::new());
     detections
 }
 
 /// In-place variant of [`nms`], for the zero-allocation frame path:
-/// survivors replace the contents of `dets`, and the `order`/`spill`
-/// buffers are caller-owned so repeated calls reuse their capacity.
-/// Produces exactly the same survivors in the same order as [`nms`].
-pub fn nms_in_place(
-    dets: &mut Vec<Detection>,
-    iou_threshold: f64,
-    order: &mut Vec<u32>,
-    spill: &mut Vec<Detection>,
-) {
+/// survivors replace the contents of `dets`, and the scratch buffers are
+/// caller-owned so repeated calls reuse their capacity. Produces exactly
+/// the same survivors in the same order as a candidate-vs-kept greedy
+/// sweep.
+///
+/// The sweep is forward-marking: every kept detection suppresses later
+/// overlapping ones via a bitmask, with box areas precomputed once and
+/// the kept box's edges hoisted out of the inner loop — no per-pair
+/// `Rect` recomputation.
+pub fn nms_in_place(dets: &mut Vec<Detection>, iou_threshold: f64, scratch: &mut NmsScratch) {
+    let NmsScratch { order, spill, areas, suppressed } = scratch;
     sort_by_score_desc(dets, order, spill);
+    let n = dets.len();
+    areas.clear();
+    areas.extend(dets.iter().map(|d| d.bbox.area()));
+    suppressed.clear();
+    suppressed.resize(n.div_ceil(64), 0);
     spill.clear();
-    'candidates: for det in dets.iter() {
-        for kept in spill.iter() {
-            if kept.bbox.iou(&det.bbox) > iou_threshold {
-                continue 'candidates;
+    for i in 0..n {
+        if suppressed[i / 64] >> (i % 64) & 1 == 1 {
+            continue;
+        }
+        let det = dets[i];
+        spill.push(det);
+        let (kx0, ky0) = (det.bbox.x, det.bbox.y);
+        let (kx1, ky1) = (det.bbox.right(), det.bbox.bottom());
+        let kept_area = areas[i];
+        for j in i + 1..n {
+            if suppressed[j / 64] >> (j % 64) & 1 == 1 {
+                continue;
+            }
+            let b = &dets[j].bbox;
+            let x0 = kx0.max(b.x);
+            let y0 = ky0.max(b.y);
+            let x1 = kx1.min(b.right());
+            let y1 = ky1.min(b.bottom());
+            if x0 < x1 && y0 < y1 {
+                let inter = (x1 - x0) as u64 * (y1 - y0) as u64;
+                let union = kept_area + areas[j] - inter;
+                if union > 0 && inter as f64 / union as f64 > iou_threshold {
+                    suppressed[j / 64] |= 1 << (j % 64);
+                }
             }
         }
-        spill.push(*det);
     }
     std::mem::swap(dets, spill);
 }
@@ -107,9 +154,43 @@ mod tests {
         ];
         let expected = nms(dets.clone(), 0.3);
         let mut in_place = dets;
-        let (mut order, mut spill) = (Vec::new(), Vec::new());
-        nms_in_place(&mut in_place, 0.3, &mut order, &mut spill);
+        let mut scratch = NmsScratch::new();
+        nms_in_place(&mut in_place, 0.3, &mut scratch);
         assert_eq!(in_place, expected);
+        // Scratch reuse across differently-sized inputs stays correct.
+        let mut second = vec![det(0, 0, 10, 10, 0.5), det(1, 1, 10, 10, 0.9)];
+        nms_in_place(&mut second, 0.4, &mut scratch);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].score, 0.9);
+    }
+
+    #[test]
+    fn forward_marking_matches_candidate_vs_kept_reference() {
+        // Dense overlapping grid: compare against the naive
+        // candidate-vs-kept greedy sweep the bitmask version replaced.
+        let mut dets = Vec::new();
+        for i in 0..12u32 {
+            for j in 0..6u32 {
+                dets.push(det(i * 3, j * 4, 10, 12, ((i * 7 + j * 13) % 29) as f32 / 29.0));
+            }
+        }
+        let naive = |mut input: Vec<Detection>, thr: f64| -> Vec<Detection> {
+            let mut scratch = NmsScratch::new();
+            sort_by_score_desc(&mut input, &mut scratch.order, &mut scratch.spill);
+            let mut kept: Vec<Detection> = Vec::new();
+            'candidates: for d in input {
+                for k in &kept {
+                    if k.bbox.iou(&d.bbox) > thr {
+                        continue 'candidates;
+                    }
+                }
+                kept.push(d);
+            }
+            kept
+        };
+        for thr in [0.0, 0.2, 0.5, 0.8] {
+            assert_eq!(nms(dets.clone(), thr), naive(dets.clone(), thr), "threshold {thr}");
+        }
     }
 
     #[test]

@@ -46,15 +46,14 @@ pub fn weighted_gray(img: &RgbImage, weights: (f32, f32, f32)) -> GrayImage {
 }
 
 /// In-place variant of [`weighted_gray`]: writes the weighted luminance
-/// into `out` (reshaped to the image's dimensions).
+/// into `out` (reshaped to the image's dimensions). Runs as one flat pass
+/// over the three channel slices, bit-identical to the per-pixel form.
 pub fn weighted_gray_into(img: &RgbImage, (wr, wg, wb): (f32, f32, f32), out: &mut Plane) {
     let (w, h) = img.dimensions();
     out.reshape_for_overwrite(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            let (r, g, b) = img.pixel(x, y);
-            out.set(x, y, r * wr + g * wg + b * wb);
-        }
+    let [r, g, b] = [img.r().as_slice(), img.g().as_slice(), img.b().as_slice()];
+    for (((o, &r), &g), &b) in out.as_mut_slice().iter_mut().zip(r).zip(g).zip(b) {
+        *o = r * wr + g * wg + b * wb;
     }
 }
 
@@ -94,15 +93,14 @@ pub fn saturation(img: &RgbImage) -> Plane {
 }
 
 /// In-place variant of [`saturation`]: writes the saturation map into
-/// `out` (reshaped to the image's dimensions).
+/// `out` (reshaped to the image's dimensions). Runs as one flat pass over
+/// the three channel slices, bit-identical to the per-pixel form.
 pub fn saturation_into(img: &RgbImage, out: &mut Plane) {
     let (w, h) = img.dimensions();
     out.reshape_for_overwrite(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            let (r, g, b) = img.pixel(x, y);
-            out.set(x, y, r.max(g).max(b) - r.min(g).min(b));
-        }
+    let [r, g, b] = [img.r().as_slice(), img.g().as_slice(), img.b().as_slice()];
+    for (((o, &r), &g), &b) in out.as_mut_slice().iter_mut().zip(r).zip(g).zip(b) {
+        *o = r.max(g).max(b) - r.min(g).min(b);
     }
 }
 

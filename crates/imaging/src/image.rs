@@ -182,10 +182,40 @@ impl Plane {
     /// # Panics
     ///
     /// Panics if `y >= height`.
+    #[inline]
     pub fn row(&self, y: u32) -> &[f32] {
         assert!(y < self.height, "row {y} out of bounds (height {})", self.height);
         let start = y as usize * self.width as usize;
         &self.data[start..start + self.width as usize]
+    }
+
+    /// One row of samples, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= height`.
+    #[inline]
+    pub fn row_mut(&mut self, y: u32) -> &mut [f32] {
+        assert!(y < self.height, "row {y} out of bounds (height {})", self.height);
+        let start = y as usize * self.width as usize;
+        &mut self.data[start..start + self.width as usize]
+    }
+
+    /// Iterator over the rows of the plane, top to bottom.
+    ///
+    /// This is the preferred way to walk every pixel on a hot path: each
+    /// item is a plain `&[f32]` of length `width`, so inner loops carry no
+    /// per-pixel 2-D index arithmetic and autovectorize.
+    #[inline]
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> {
+        self.data.chunks_exact(self.width as usize)
+    }
+
+    /// Iterator over the rows of the plane, mutably, top to bottom —
+    /// the paired writer for [`Plane::rows`].
+    #[inline]
+    pub fn rows_mut(&mut self) -> impl ExactSizeIterator<Item = &mut [f32]> {
+        self.data.chunks_exact_mut(self.width as usize)
     }
 
     /// Iterator over `(x, y, value)` triples in row-major order.
@@ -231,7 +261,16 @@ impl Plane {
     ///
     /// Returns [`ImagingError::RectOutOfBounds`] if the rect exceeds the plane.
     pub fn crop(&self, rect: Rect) -> Result<Plane> {
-        let mut out = Plane::new(1, 1);
+        if !rect.fits_within(self.width, self.height) || rect.w == 0 || rect.h == 0 {
+            return Err(ImagingError::RectOutOfBounds {
+                rect: (rect.x, rect.y, rect.w, rect.h),
+                width: self.width,
+                height: self.height,
+            });
+        }
+        // Construct at the final size (one exact allocation) instead of
+        // growing a 1×1 placeholder through `crop_into`.
+        let mut out = Plane::new(rect.w, rect.h);
         self.crop_into(rect, &mut out)?;
         Ok(out)
     }
@@ -300,11 +339,11 @@ impl Plane {
             });
         }
         out.reshape_for_overwrite(rect.w, rect.h);
-        for dy in 0..rect.h {
-            for dx in 0..rect.w {
-                let v = self.get(rect.x + dx, rect.y + dy);
-                out.set(dx, dy, v);
-            }
+        let x0 = rect.x as usize;
+        let w = rect.w as usize;
+        for (dy, dst) in out.rows_mut().enumerate() {
+            let src = &self.row(rect.y + dy as u32)[x0..x0 + w];
+            dst.copy_from_slice(src);
         }
         Ok(())
     }
@@ -763,6 +802,29 @@ mod tests {
         let p = Plane::from_fn(4, 4, |x, y| (y * 4 + x) as f32);
         let c = p.crop(Rect::new(1, 2, 2, 2)).unwrap();
         assert_eq!(c.as_slice(), &[9.0, 10.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn row_slice_accessors_agree_with_get_set() {
+        let mut p = Plane::from_fn(3, 2, |x, y| (y * 3 + x) as f32);
+        assert_eq!(p.row_mut(1), &mut [3.0, 4.0, 5.0]);
+        p.row_mut(0)[2] = 9.0;
+        assert_eq!(p.get(2, 0), 9.0);
+        let rows: Vec<&[f32]> = p.rows().collect();
+        assert_eq!(rows, vec![&[0.0, 1.0, 9.0][..], &[3.0, 4.0, 5.0][..]]);
+        for (y, row) in p.rows_mut().enumerate() {
+            for v in row.iter_mut() {
+                *v += y as f32 * 10.0;
+            }
+        }
+        assert_eq!(p.as_slice(), &[0.0, 1.0, 9.0, 13.0, 14.0, 15.0]);
+        assert_eq!(p.rows().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_mut_rejects_out_of_bounds() {
+        Plane::new(2, 2).row_mut(2);
     }
 
     #[test]

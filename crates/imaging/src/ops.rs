@@ -27,13 +27,27 @@ use crate::{GrayImage, Image, ImagingError, Plane, Rect, Result, RgbImage};
 /// # Ok::<(), hirise_imaging::ImagingError>(())
 /// ```
 pub fn avg_pool(plane: &Plane, k: u32) -> Result<Plane> {
-    let mut out = Plane::new(1, 1);
+    let (w, h) = plane.dimensions();
+    if k == 0 || w % k != 0 || h % k != 0 {
+        return Err(ImagingError::InvalidFactor { factor: k, width: w, height: h });
+    }
+    // Construct at the final size (one exact allocation) instead of
+    // growing a 1×1 placeholder through `avg_pool_into`.
+    let mut out = Plane::new(w / k, h / k);
     avg_pool_into(plane, k, &mut out)?;
     Ok(out)
 }
 
 /// In-place variant of [`avg_pool`]: pools into `out`, reshaped to
 /// `(w/k, h/k)` reusing its buffer capacity.
+///
+/// The accumulation is row-major over source row slices: each source row
+/// contributes its `k`-wide horizontal sums to the output row, and the
+/// `1/k²` normalisation is applied once at the end. Relative to a fully
+/// sequential per-window sum this reassociates the additions (partial sums
+/// per source row), which can shift results by ≤ 1 ULP per accumulated
+/// term; `tests/kernel_equiv.rs` pins the ≤ 1e-6 envelope against the
+/// naive reference.
 ///
 /// # Errors
 ///
@@ -49,16 +63,18 @@ pub fn avg_pool_into(plane: &Plane, k: u32, out: &mut Plane) -> Result<()> {
     }
     let (ow, oh) = (w / k, h / k);
     let norm = 1.0 / (k as f32 * k as f32);
-    out.reshape_for_overwrite(ow, oh);
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let mut acc = 0.0f32;
-            for dy in 0..k {
-                for dx in 0..k {
-                    acc += plane.get(ox * k + dx, oy * k + dy);
-                }
+    let ku = k as usize;
+    // Accumulate, so start from exact zeros rather than stale samples.
+    out.reshape(ow, oh);
+    for (oy, out_row) in out.rows_mut().enumerate() {
+        for dy in 0..k {
+            let src_row = plane.row(oy as u32 * k + dy);
+            for (acc, window) in out_row.iter_mut().zip(src_row.chunks_exact(ku)) {
+                *acc += window.iter().sum::<f32>();
             }
-            out.set(ox, oy, acc * norm);
+        }
+        for acc in out_row.iter_mut() {
+            *acc *= norm;
         }
     }
     Ok(())

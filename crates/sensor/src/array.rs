@@ -8,8 +8,12 @@ use crate::pixel::PixelParams;
 /// Deterministic per-position Gaussian-ish mismatch (sum of four uniforms,
 /// variance-corrected), so the fixed pattern is stable across captures of
 /// the same array.
-fn fpn(seed: u64, channel: u64, x: u64, y: u64) -> f64 {
-    let mut h = seed ^ (channel << 56) ^ (y << 28) ^ x;
+///
+/// Takes the already-combined position seed
+/// (`seed ^ (channel << 56) ^ (y << 28) ^ x`) so row loops hoist the
+/// `seed ^ channel ^ y` part and only XOR in `x` per pixel.
+#[inline]
+fn fpn_hash(mut h: u64) -> f64 {
     let mut acc = 0.0f64;
     for _ in 0..4 {
         // splitmix64 step
@@ -24,6 +28,71 @@ fn fpn(seed: u64, channel: u64, x: u64, y: u64) -> f64 {
     acc / (4.0f64 / 12.0).sqrt()
 }
 
+/// Cached raw fixed-pattern mismatch values (unscaled [`fpn_hash`]
+/// outputs) for one `(seed, width, height)` realisation.
+///
+/// The fixed pattern is a pure function of the seed and the pixel
+/// position, so recomputing it on every [`PixelArray::refill_from_scene`]
+/// repeats ~8 hash rounds per sub-pixel per frame for values that never
+/// change. The cache stores the already-scaled `σ · fpn_hash(…)` terms —
+/// 8 bytes per sub-pixel per *active* mismatch kind (a kind whose sigma
+/// is zero gets no table at all) — turning the steady-state refill into
+/// a pure multiply–add pass. It is bounded ([`FpnCache::MAX_SITES`]) so
+/// paper-scale arrays (2560×1920) do not pin hundreds of megabytes;
+/// above the bound the hashes are recomputed per refill exactly as
+/// before.
+#[derive(Debug, Clone, Default)]
+struct FpnCache {
+    key: Option<(u64, u32, u32)>,
+    /// Channel-major `3 · w · h` scaled PRNU terms (empty when
+    /// `prnu_sigma == 0`).
+    prnu: Vec<f64>,
+    /// Channel-major `3 · w · h` scaled DSNU terms (empty when
+    /// `dsnu_sigma == 0`).
+    dsnu: Vec<f64>,
+}
+
+impl FpnCache {
+    /// Largest `width · height` the cache covers (1 Mi sites ≈ 48 MB of
+    /// `f64` tables across both kinds and all three channels).
+    const MAX_SITES: usize = 1 << 20;
+
+    /// Makes the cache hold the realisation for `(seed, w, h)` under
+    /// `params` (fixed per array), reusing buffer capacity; no-op when
+    /// it already does.
+    fn ensure(&mut self, seed: u64, w: u32, h: u32, params: &PixelParams) {
+        if self.key == Some((seed, w, h)) {
+            return;
+        }
+        let sites = w as usize * h as usize;
+        let need_prnu = params.prnu_sigma != 0.0;
+        let need_dsnu = params.dsnu_sigma != 0.0;
+        self.prnu.clear();
+        self.dsnu.clear();
+        if need_prnu {
+            self.prnu.reserve(3 * sites);
+        }
+        if need_dsnu {
+            self.dsnu.reserve(3 * sites);
+        }
+        for ch in 0..3u64 {
+            for y in 0..h as u64 {
+                let row_seed = seed ^ (ch << 56) ^ (y << 28);
+                let row_seed_dsnu = (seed ^ 0xABCD) ^ (ch << 56) ^ (y << 28);
+                for x in 0..w as u64 {
+                    if need_prnu {
+                        self.prnu.push(params.prnu_sigma * fpn_hash(row_seed ^ x));
+                    }
+                    if need_dsnu {
+                        self.dsnu.push(params.dsnu_sigma * fpn_hash(row_seed_dsnu ^ x));
+                    }
+                }
+            }
+        }
+        self.key = Some((seed, w, h));
+    }
+}
+
 /// A captured analog pixel array: three voltage planes (R, G, B), one value
 /// per sub-pixel, with PRNU/DSNU fixed-pattern mismatch applied.
 ///
@@ -33,6 +102,7 @@ fn fpn(seed: u64, channel: u64, x: u64, y: u64) -> f64 {
 pub struct PixelArray {
     planes: [Plane; 3],
     params: PixelParams,
+    fpn: FpnCache,
 }
 
 impl PixelArray {
@@ -42,9 +112,10 @@ impl PixelArray {
     /// reproduces the same mismatch map.
     pub fn from_scene(scene: &RgbImage, params: PixelParams, seed: u64) -> Self {
         let (w, h) = scene.dimensions();
-        let mut planes = [Plane::new(w, h), Plane::new(w, h), Plane::new(w, h)];
-        Self::fill(&mut planes, scene, &params, seed);
-        Self { planes, params }
+        let planes = [Plane::new(w, h), Plane::new(w, h), Plane::new(w, h)];
+        let mut array = Self { planes, params, fpn: FpnCache::default() };
+        array.refill_from_scene(scene, seed);
+        array
     }
 
     /// Recaptures a (possibly differently-sized) scene onto this array in
@@ -59,25 +130,79 @@ impl PixelArray {
             plane.reshape_for_overwrite(w, h);
         }
         let params = self.params;
-        Self::fill(&mut self.planes, scene, &params, seed);
+        Self::fill(&mut self.planes, &mut self.fpn, scene, &params, seed);
     }
 
-    fn fill(planes: &mut [Plane; 3], scene: &RgbImage, params: &PixelParams, seed: u64) {
+    fn fill(
+        planes: &mut [Plane; 3],
+        fpn: &mut FpnCache,
+        scene: &RgbImage,
+        params: &PixelParams,
+        seed: u64,
+    ) {
+        // The noiseless/noisy split is hoisted out of the pixel loops, and
+        // every path runs over paired row slices: no per-pixel 2-D index
+        // arithmetic. Values are bit-identical to the per-pixel
+        // formulation in every path: the cache stores the exact
+        // `σ · fpn_hash(…)` products the hashing path would recompute,
+        // and a zero sigma contributes exactly zero either way (a `±0.0`
+        // mismatch term cannot change `voltage_with_mismatch`'s output,
+        // whose partial sums are non-negative).
         let (w, h) = scene.dimensions();
+        let sites = w as usize * h as usize;
+        let need_prnu = params.prnu_sigma != 0.0;
+        let need_dsnu = params.dsnu_sigma != 0.0;
+        let noiseless = !need_prnu && !need_dsnu;
+        let cached = !noiseless && sites <= FpnCache::MAX_SITES;
+        if cached {
+            fpn.ensure(seed, w, h, params);
+        }
         for (ch, src) in scene.planes().into_iter().enumerate() {
             let dst = &mut planes[ch];
-            for y in 0..h {
-                for x in 0..w {
-                    let irr = src.get(x, y);
-                    let v = if params.prnu_sigma == 0.0 && params.dsnu_sigma == 0.0 {
-                        params.voltage(irr)
-                    } else {
-                        let prnu = params.prnu_sigma * fpn(seed, ch as u64, x as u64, y as u64);
-                        let dsnu =
-                            params.dsnu_sigma * fpn(seed ^ 0xABCD, ch as u64, x as u64, y as u64);
-                        params.voltage_with_mismatch(irr, prnu, dsnu)
-                    };
-                    dst.set(x, y, v as f32);
+            if noiseless {
+                for (src_row, dst_row) in src.rows().zip(dst.rows_mut()) {
+                    for (&irr, out) in src_row.iter().zip(dst_row.iter_mut()) {
+                        *out = params.voltage(irr) as f32;
+                    }
+                }
+            } else if cached {
+                let span = ch * sites..(ch + 1) * sites;
+                let src = src.as_slice();
+                let dst = dst.as_mut_slice();
+                if need_prnu && need_dsnu {
+                    let prnu_ch = &fpn.prnu[span.clone()];
+                    let dsnu_ch = &fpn.dsnu[span];
+                    for ((&irr, out), (&p, &d)) in
+                        src.iter().zip(dst.iter_mut()).zip(prnu_ch.iter().zip(dsnu_ch))
+                    {
+                        *out = params.voltage_with_mismatch(irr, p, d) as f32;
+                    }
+                } else if need_prnu {
+                    for ((&irr, out), &p) in src.iter().zip(dst.iter_mut()).zip(&fpn.prnu[span]) {
+                        *out = params.voltage_with_mismatch(irr, p, 0.0) as f32;
+                    }
+                } else {
+                    for ((&irr, out), &d) in src.iter().zip(dst.iter_mut()).zip(&fpn.dsnu[span]) {
+                        *out = params.voltage_with_mismatch(irr, 0.0, d) as f32;
+                    }
+                }
+            } else {
+                for (y, (src_row, dst_row)) in src.rows().zip(dst.rows_mut()).enumerate() {
+                    let row_seed = seed ^ ((ch as u64) << 56) ^ ((y as u64) << 28);
+                    let row_seed_dsnu = (seed ^ 0xABCD) ^ ((ch as u64) << 56) ^ ((y as u64) << 28);
+                    for (x, (&irr, out)) in src_row.iter().zip(dst_row.iter_mut()).enumerate() {
+                        let prnu = if need_prnu {
+                            params.prnu_sigma * fpn_hash(row_seed ^ x as u64)
+                        } else {
+                            0.0
+                        };
+                        let dsnu = if need_dsnu {
+                            params.dsnu_sigma * fpn_hash(row_seed_dsnu ^ x as u64)
+                        } else {
+                            0.0
+                        };
+                        *out = params.voltage_with_mismatch(irr, prnu, dsnu) as f32;
+                    }
                 }
             }
         }
@@ -129,10 +254,11 @@ impl PixelArray {
     /// Panics on out-of-bounds windows (callers validate rectangles first).
     pub fn mean_window(&self, channel: usize, rect: Rect) -> f64 {
         let p = &self.planes[channel];
+        let (x0, w) = (rect.x as usize, rect.w as usize);
         let mut acc = 0.0f64;
         for y in rect.y..rect.bottom() {
-            for x in rect.x..rect.right() {
-                acc += p.get(x, y) as f64;
+            for &v in &p.row(y)[x0..x0 + w] {
+                acc += v as f64;
             }
         }
         acc / rect.area() as f64
@@ -208,6 +334,24 @@ mod tests {
         let fresh_small = PixelArray::from_scene(&small, p, 7);
         for ch in 0..3 {
             assert_eq!(arr.plane(ch), fresh_small.plane(ch), "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn single_sigma_configs_match_fresh_capture() {
+        // One mismatch kind disabled: the cache builds only the active
+        // table, and refill stays bit-identical to a fresh capture.
+        for params in [
+            PixelParams { dsnu_sigma: 0.0, ..PixelParams::default() },
+            PixelParams { prnu_sigma: 0.0, ..PixelParams::default() },
+        ] {
+            let scene = RgbImage::from_fn(9, 7, |x, y| (x as f32 / 9.0, y as f32 / 7.0, 0.4));
+            let mut arr = PixelArray::from_scene(&scene, params, 11);
+            arr.refill_from_scene(&scene, 11);
+            let fresh = PixelArray::from_scene(&scene, params, 11);
+            for ch in 0..3 {
+                assert_eq!(arr.plane(ch), fresh.plane(ch), "channel {ch}");
+            }
         }
     }
 

@@ -12,7 +12,7 @@
 //! * the source followers' read noise, attenuated by `1/√N` through the
 //!   averaging.
 
-use hirise_imaging::{Plane, Rect};
+use hirise_imaging::Plane;
 use rand::Rng;
 
 use crate::array::PixelArray;
@@ -121,7 +121,10 @@ pub fn pool_channel<R: Rng + ?Sized>(
     cfg: &PoolingConfig,
     rng: &mut R,
 ) -> Result<Plane> {
-    let mut out = Plane::new(1, 1);
+    validate_pooling(array, k)?;
+    // Construct at the final size (one exact allocation) instead of
+    // growing a 1×1 placeholder through the `_into` path.
+    let mut out = Plane::new(array.width() / k, array.height() / k);
     pool_channel_into(array, channel, k, cfg, rng, &mut out)?;
     Ok(out)
 }
@@ -143,20 +146,33 @@ pub fn pool_channel_into<R: Rng + ?Sized>(
     out: &mut Plane,
 ) -> Result<()> {
     validate_pooling(array, k)?;
-    let params = array.params();
+    let params = *array.params();
     let n_inputs = (k * k) as f64;
     let read_sigma = params.read_noise / n_inputs.sqrt();
+    let sigma = (cfg.noise_sigma * cfg.noise_sigma + read_sigma * read_sigma).sqrt();
     let (ow, oh) = (array.width() / k, array.height() / k);
+    // Each charge-sharing site sums its k×k sub-pixels over row slices
+    // (hoisted per output row) in the same sequential order as
+    // `PixelArray::mean_window`, so voltages are bit-identical.
+    let area = (k as u64 * k as u64) as f64;
+    let plane = array.plane(channel);
+    let ku = k as usize;
     out.reshape_for_overwrite(ow, oh);
     for oy in 0..oh {
-        for ox in 0..ow {
-            let mean = array.mean_window(channel, Rect::new(ox * k, oy * k, k, k));
-            let mut v = cfg.transfer(mean, params.v_dark, params.v_sat);
-            let sigma = (cfg.noise_sigma * cfg.noise_sigma + read_sigma * read_sigma).sqrt();
+        let y0 = oy * k;
+        for (ox, site) in out.row_mut(oy).iter_mut().enumerate() {
+            let x0 = ox * ku;
+            let mut acc = 0.0f64;
+            for dy in 0..k {
+                for &v in &plane.row(y0 + dy)[x0..x0 + ku] {
+                    acc += v as f64;
+                }
+            }
+            let mut v = cfg.transfer(acc / area, params.v_dark, params.v_sat);
             if sigma > 0.0 {
                 v += sigma * gaussian(rng);
             }
-            out.set(ox, oy, v as f32);
+            *site = v as f32;
         }
     }
     Ok(())
@@ -174,7 +190,8 @@ pub fn pool_gray<R: Rng + ?Sized>(
     cfg: &PoolingConfig,
     rng: &mut R,
 ) -> Result<Plane> {
-    let mut out = Plane::new(1, 1);
+    validate_pooling(array, k)?;
+    let mut out = Plane::new(array.width() / k, array.height() / k);
     pool_gray_into(array, k, cfg, rng, &mut out)?;
     Ok(out)
 }
@@ -193,20 +210,39 @@ pub fn pool_gray_into<R: Rng + ?Sized>(
     out: &mut Plane,
 ) -> Result<()> {
     validate_pooling(array, k)?;
-    let params = array.params();
+    let params = *array.params();
     let n_inputs = (k * k * 3) as f64;
     let read_sigma = params.read_noise / n_inputs.sqrt();
+    let sigma = (cfg.noise_sigma * cfg.noise_sigma + read_sigma * read_sigma).sqrt();
     let (ow, oh) = (array.width() / k, array.height() / k);
+    // Row-sliced per-channel sums in `PixelArray::mean_window`'s order,
+    // combined exactly like `PixelArray::mean_window_rgb` (per-channel
+    // mean first, then the three-way average), so voltages are
+    // bit-identical to the per-pixel formulation.
+    let area = (k as u64 * k as u64) as f64;
+    let planes = [array.plane(0), array.plane(1), array.plane(2)];
+    let ku = k as usize;
     out.reshape_for_overwrite(ow, oh);
     for oy in 0..oh {
-        for ox in 0..ow {
-            let mean = array.mean_window_rgb(Rect::new(ox * k, oy * k, k, k));
+        let y0 = oy * k;
+        for (ox, site) in out.row_mut(oy).iter_mut().enumerate() {
+            let x0 = ox * ku;
+            let mut channel_means = [0.0f64; 3];
+            for (plane, mean) in planes.iter().zip(channel_means.iter_mut()) {
+                let mut acc = 0.0f64;
+                for dy in 0..k {
+                    for &v in &plane.row(y0 + dy)[x0..x0 + ku] {
+                        acc += v as f64;
+                    }
+                }
+                *mean = acc / area;
+            }
+            let mean = (channel_means[0] + channel_means[1] + channel_means[2]) / 3.0;
             let mut v = cfg.transfer(mean, params.v_dark, params.v_sat);
-            let sigma = (cfg.noise_sigma * cfg.noise_sigma + read_sigma * read_sigma).sqrt();
             if sigma > 0.0 {
                 v += sigma * gaussian(rng);
             }
-            out.set(ox, oy, v as f32);
+            *site = v as f32;
         }
     }
     Ok(())

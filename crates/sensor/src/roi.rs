@@ -65,16 +65,22 @@ pub fn convert_roi_into<R: Rng + ?Sized>(
     out: &mut RgbImage,
 ) {
     let params = array.params();
+    let read_noise = params.read_noise;
+    let (x0, w) = (rect.x as usize, rect.w as usize);
     out.reshape_for_overwrite(rect.w, rect.h);
     for (ch, plane) in out.planes_mut().into_iter().enumerate() {
-        for dy in 0..rect.h {
-            for dx in 0..rect.w {
-                let mut v = array.voltage(ch, rect.x + dx, rect.y + dy);
-                if params.read_noise > 0.0 {
-                    v += params.read_noise * gaussian(rng);
+        let src = array.plane(ch);
+        // Paired row slices; conversion order (and the noise stream)
+        // matches the per-pixel loop exactly.
+        for (dy, dst_row) in plane.rows_mut().enumerate() {
+            let src_row = &src.row(rect.y + dy as u32)[x0..x0 + w];
+            for (&sv, o) in src_row.iter().zip(dst_row.iter_mut()) {
+                let mut v = sv as f64;
+                if read_noise > 0.0 {
+                    v += read_noise * gaussian(rng);
                 }
                 let code = adc.convert(v, rng);
-                plane.set(dx, dy, adc.code_to_unit(code));
+                *o = adc.code_to_unit(code);
             }
         }
     }

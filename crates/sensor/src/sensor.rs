@@ -199,12 +199,13 @@ impl Sensor {
     }
 
     fn digitise_plane_into(plane: &Plane, adc: &Adc, rng: &mut StdRng, out: &mut Plane) {
+        // One flat pass over paired sample slices; conversion order (and
+        // therefore the noise stream) matches the row-major per-pixel
+        // loop exactly.
         out.reshape_for_overwrite(plane.width(), plane.height());
-        for y in 0..plane.height() {
-            for x in 0..plane.width() {
-                let code = adc.convert(plane.get(x, y) as f64, rng);
-                out.set(x, y, adc.code_to_unit(code));
-            }
+        for (&v, o) in plane.as_slice().iter().zip(out.as_mut_slice()) {
+            let code = adc.convert(v as f64, rng);
+            *o = adc.code_to_unit(code);
         }
     }
 
@@ -298,18 +299,19 @@ impl Sensor {
     pub fn read_full(&mut self) -> (RgbImage, ReadoutStats) {
         let adc = self.pixel_adc();
         let (w, h) = (self.array.width(), self.array.height());
+        let read_noise = self.config.pixel.read_noise;
         let mut planes = Vec::with_capacity(3);
         for ch in 0..3 {
             let mut out = Plane::new(w, h);
-            for y in 0..h {
-                for x in 0..w {
-                    let mut v = self.array.voltage(ch, x, y);
-                    if self.config.pixel.read_noise > 0.0 {
-                        v += self.config.pixel.read_noise * pooling::gaussian(&mut self.rng);
-                    }
-                    let code = adc.convert(v, &mut self.rng);
-                    out.set(x, y, adc.code_to_unit(code));
+            // Flat pass over paired slices; conversion order matches the
+            // row-major per-pixel loop exactly.
+            for (&src, o) in self.array.plane(ch).as_slice().iter().zip(out.as_mut_slice()) {
+                let mut v = src as f64;
+                if read_noise > 0.0 {
+                    v += read_noise * pooling::gaussian(&mut self.rng);
                 }
+                let code = adc.convert(v, &mut self.rng);
+                *o = adc.code_to_unit(code);
             }
             planes.push(out);
         }

@@ -104,10 +104,18 @@ fn scratch_path_is_allocation_free_after_warmup() {
     }
 
     for (i, frame) in frames.iter().enumerate() {
+        let mut timed = hirise::StageTimings::default();
         let count = allocations_during(|| {
-            pipeline.run_with_scratch(frame, &mut scratch).unwrap();
+            let report = pipeline.run_with_scratch(frame, &mut scratch).unwrap();
+            // The per-stage profiler rides along on every frame; reading
+            // it back must not change the allocation count either.
+            timed = report.timings;
         });
         assert_eq!(count, 0, "frame {i}: scratch path allocated {count} times");
+        assert!(
+            timed.capture + timed.pool > std::time::Duration::ZERO,
+            "frame {i}: stage timings missing from the zero-allocation path"
+        );
     }
 }
 

@@ -1,0 +1,186 @@
+//! Equivalence of the vectorized (row-slice / flat-slice) kernels against
+//! retained naive per-pixel reference implementations.
+//!
+//! Most kernels are **bit-identical** to their references: the rewrite
+//! only removed 2-D index arithmetic without touching the order of the
+//! floating-point operations. The one documented exception is
+//! `ops::avg_pool_into`, whose row-accumulate structure reassociates the
+//! window sum (partial sums per source row); there the contract is a
+//! ≤ 1e-6 absolute envelope. Sizes deliberately include odd dimensions,
+//! `k ∈ {1, 2, 4, 8}`, and 1-pixel-tall/-wide planes.
+
+use hirise_detect::{features, IntegralImage};
+use hirise_imaging::{color, ops, Plane, Rect, RgbImage};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random plane with values spread across `0..1`.
+fn plane_from_seed(w: u32, h: u32, seed: u32) -> Plane {
+    Plane::from_fn(w, h, |x, y| {
+        let v = x.wrapping_mul(31).wrapping_add(y.wrapping_mul(17)).wrapping_add(seed * 101);
+        (v % 257) as f32 / 257.0
+    })
+}
+
+fn rgb_from_seed(w: u32, h: u32, seed: u32) -> RgbImage {
+    RgbImage::from_fn(w, h, |x, y| {
+        let v = |m: u32| ((x * m + y * (m + 2) + seed * 7) % 97) as f32 / 97.0;
+        (v(13), v(5), v(3))
+    })
+}
+
+// ---- retained naive reference implementations -------------------------
+
+/// Reference `k×k` average pool: fully sequential per-window sum.
+fn avg_pool_naive(plane: &Plane, k: u32) -> Plane {
+    let (w, h) = plane.dimensions();
+    let norm = 1.0 / (k as f32 * k as f32);
+    Plane::from_fn(w / k, h / k, |ox, oy| {
+        let mut acc = 0.0f32;
+        for dy in 0..k {
+            for dx in 0..k {
+                acc += plane.get(ox * k + dx, oy * k + dy);
+            }
+        }
+        acc * norm
+    })
+}
+
+/// Reference weighted luma: per-pixel triple product.
+fn weighted_gray_naive(img: &RgbImage, (wr, wg, wb): (f32, f32, f32)) -> Plane {
+    Plane::from_fn(img.width(), img.height(), |x, y| {
+        let (r, g, b) = img.pixel(x, y);
+        r * wr + g * wg + b * wb
+    })
+}
+
+/// Reference saturation: per-pixel max − min.
+fn saturation_naive(img: &RgbImage) -> Plane {
+    Plane::from_fn(img.width(), img.height(), |x, y| {
+        let (r, g, b) = img.pixel(x, y);
+        r.max(g).max(b) - r.min(g).min(b)
+    })
+}
+
+/// Reference gradient magnitude: per-pixel edge-clamped central
+/// differences.
+fn gradient_naive(luma: &Plane) -> Plane {
+    let (w, h) = luma.dimensions();
+    Plane::from_fn(w, h, |x, y| {
+        let xm = luma.get(x.saturating_sub(1), y);
+        let xp = luma.get((x + 1).min(w - 1), y);
+        let ym = luma.get(x, y.saturating_sub(1));
+        let yp = luma.get(x, (y + 1).min(h - 1));
+        ((xp - xm).abs() + (yp - ym).abs()) * 0.5
+    })
+}
+
+/// Reference integral table via the generic per-pixel closure path (the
+/// row-sliced `recompute` must match it bit for bit).
+fn integral_naive(plane: &Plane, squared: bool) -> IntegralImage {
+    IntegralImage::from_fn(plane.width(), plane.height(), |x, y| {
+        let v = plane.get(x, y) as f64;
+        if squared {
+            v * v
+        } else {
+            v
+        }
+    })
+}
+
+// ---- equivalence properties -------------------------------------------
+
+/// Dimension strategy covering odd sizes and 1-pixel-tall/-wide planes,
+/// while staying `k`-divisible where the kernel demands it.
+fn arb_dims() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..40, 1u32..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn avg_pool_within_reassociation_envelope(
+        (w, h) in arb_dims(),
+        k in prop::sample::select(vec![1u32, 2, 4, 8]),
+        seed in 0u32..1000,
+    ) {
+        // Make the dimensions divisible by k (the kernel's contract).
+        let (w, h) = (w * k, h * k);
+        let plane = plane_from_seed(w, h, seed);
+        let naive = avg_pool_naive(&plane, k);
+        let mut fast = Plane::new(1, 1);
+        ops::avg_pool_into(&plane, k, &mut fast).expect("k divides dims");
+        prop_assert_eq!(fast.dimensions(), naive.dimensions());
+        for (a, b) in fast.as_slice().iter().zip(naive.as_slice()) {
+            // Reassociated partial sums: ≤ 1e-6 absolute, not bit-equal.
+            prop_assert!((a - b).abs() <= 1e-6, "avg_pool diverged: {a} vs {b} (k={k})");
+        }
+    }
+
+    #[test]
+    fn luma_and_saturation_bit_identical((w, h) in arb_dims(), seed in 0u32..1000) {
+        let rgb = rgb_from_seed(w, h, seed);
+        let mut fast = Plane::new(1, 1);
+        for weights in [color::MEAN_WEIGHTS, color::BT601_WEIGHTS] {
+            color::weighted_gray_into(&rgb, weights, &mut fast);
+            prop_assert_eq!(fast.as_slice(), weighted_gray_naive(&rgb, weights).as_slice());
+        }
+        color::saturation_into(&rgb, &mut fast);
+        prop_assert_eq!(fast.as_slice(), saturation_naive(&rgb).as_slice());
+    }
+
+    #[test]
+    fn gradient_bit_identical((w, h) in arb_dims(), seed in 0u32..1000) {
+        let luma = plane_from_seed(w, h, seed);
+        let mut fast = Plane::new(1, 1);
+        features::gradient_magnitude_into(&luma, &mut fast);
+        prop_assert_eq!(fast.as_slice(), gradient_naive(&luma).as_slice());
+    }
+
+    #[test]
+    fn integral_recompute_bit_identical((w, h) in arb_dims(), seed in 0u32..1000) {
+        let plane = plane_from_seed(w, h, seed);
+        let mut fast = IntegralImage::default();
+        fast.recompute(&plane);
+        let naive = integral_naive(&plane, false);
+        let mut fast_sq = IntegralImage::default();
+        fast_sq.recompute_squared(&plane);
+        let naive_sq = integral_naive(&plane, true);
+        for rect in [
+            Rect::new(0, 0, w, h),
+            Rect::new(w / 2, h / 2, w.div_ceil(2), h.div_ceil(2)),
+            Rect::new(w.saturating_sub(1), h.saturating_sub(1), 1, 1),
+        ] {
+            // Identical summation order ⇒ identical table entries, so the
+            // query results must be bit-equal, not merely close.
+            prop_assert_eq!(fast.sum(rect), naive.sum(rect));
+            prop_assert_eq!(fast_sq.sum(rect), naive_sq.sum(rect));
+        }
+    }
+}
+
+/// The pooled sensor capture must stay bit-identical across the row-slice
+/// rewrite of the charge-sharing sums — this pins the whole stage-1 path
+/// (fixed-pattern fill, pooling, ADC) against the PR 2 behaviour captured
+/// by the goldens.
+#[test]
+fn one_pixel_tall_and_wide_planes_survive_every_kernel() {
+    for (w, h) in [(1u32, 1u32), (1, 17), (17, 1), (2, 1), (1, 2)] {
+        let plane = plane_from_seed(w, h, 3);
+        let mut out = Plane::new(1, 1);
+        features::gradient_magnitude_into(&plane, &mut out);
+        assert_eq!(out.as_slice(), gradient_naive(&plane).as_slice(), "{w}x{h}");
+        let mut ii = IntegralImage::default();
+        ii.recompute(&plane);
+        assert_eq!(
+            ii.sum(Rect::new(0, 0, w, h)),
+            integral_naive(&plane, false).sum(Rect::new(0, 0, w, h)),
+            "{w}x{h}"
+        );
+        let rgb = rgb_from_seed(w, h, 5);
+        color::saturation_into(&rgb, &mut out);
+        assert_eq!(out.as_slice(), saturation_naive(&rgb).as_slice(), "{w}x{h}");
+        ops::avg_pool_into(&plane, 1, &mut out).expect("k=1 always divides");
+        assert_eq!(out.as_slice(), plane.as_slice(), "{w}x{h} identity pool");
+    }
+}
