@@ -1,11 +1,17 @@
-//! Criterion micro-benchmarks of the five hottest frame-path kernels, so
+//! Criterion micro-benchmarks of the hottest frame-path kernels, so
 //! per-kernel regressions are visible independently of the end-to-end
 //! pipeline numbers: average pooling, luma conversion, gradient
-//! magnitude, integral-image recompute, and NMS.
+//! magnitude, integral-image recompute, NMS, and the two normal-noise
+//! samplers (sequential Box–Muller vs keyed Ziggurat — the PR 4 swap
+//! behind the pool-stage speedup).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hirise_detect::{features, nms, Detection, IntegralImage};
 use hirise_imaging::{color, ops, Plane, Rect, RgbImage};
+use hirise_sensor::pooling::gaussian;
+use rand::distributions::NormalSampler;
+use rand::rngs::{KeyedRng, StdRng};
+use rand::SeedableRng;
 
 const W: u32 = 640;
 const H: u32 = 480;
@@ -88,9 +94,41 @@ fn bench_nms(c: &mut Criterion) {
     });
 }
 
+fn bench_noise_samplers(c: &mut Criterion) {
+    // One frame's worth of pool-stage noise draws at 640×480 / k=2 RGB
+    // (one pooling + one ADC draw per pooled site per channel).
+    const DRAWS: usize = (W as usize / 2) * (H as usize / 2) * 3 * 2;
+    c.bench_function("noise_box_muller_sequential_frame", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..DRAWS {
+                acc += gaussian(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("noise_ziggurat_keyed_frame", |b| {
+        let sampler = NormalSampler::new();
+        let key = KeyedRng::derive_key(1, 0);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for site in 0..DRAWS as u64 / 2 {
+                // Per-site stream, two draws per site — the keyed pool
+                // stage's exact access pattern.
+                let mut rng = KeyedRng::for_stream(key, site);
+                acc += sampler.sample(&mut rng);
+                acc += sampler.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_avg_pool, bench_luma, bench_gradient, bench_integral, bench_nms
+    targets = bench_avg_pool, bench_luma, bench_gradient, bench_integral, bench_nms,
+        bench_noise_samplers
 }
 criterion_main!(benches);

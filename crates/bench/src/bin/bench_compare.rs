@@ -1,0 +1,126 @@
+//! Perf-trajectory gate: measures the frame path fresh and diffs it
+//! against the committed `results/BENCH_pipeline.json` baseline.
+//!
+//! The fresh run reuses the baseline's configuration (array size,
+//! pooling factor, noise mode) so the comparison is apples-to-apples,
+//! appends a dated entry to the `results/BENCH_history.json` trajectory,
+//! and **exits nonzero when the end-to-end mean regressed by more than
+//! the allowed percentage** (default 15 %) — the labelled CI gate.
+//!
+//! ```text
+//! cargo run --release -p hirise-bench --bin bench_compare -- \
+//!     [--baseline results/BENCH_pipeline.json] \
+//!     [--history results/BENCH_history.json] \
+//!     [--max-regress-pct 15] [--frames N] [--mode keyed|sequential] \
+//!     [--quick | --full]
+//! ```
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use hirise::NoiseRngMode;
+use hirise_bench::args::Flags;
+use hirise_bench::stages::{json_f64, json_str, measure, StageBenchConfig};
+
+/// Gregorian `(year, month, day)` for a Unix day number (days since
+/// 1970-01-01), via Howard Hinnant's civil-from-days algorithm.
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let year = yoe as i64 + era * 400 + i64::from(month <= 2);
+    (year, month, day)
+}
+
+/// Appends `entry` to the JSON array in `path`, creating the array when
+/// the file is missing or empty.
+fn append_history(path: &std::path::Path, entry: &str) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("history directory is writable");
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let updated = match text.rfind(']') {
+        Some(close) if text.contains('[') => {
+            let head = text[..close].trim_end();
+            let empty = head.trim_end().ends_with('[');
+            let sep = if empty { "\n" } else { ",\n" };
+            format!("{head}{sep}{entry}\n]\n")
+        }
+        _ => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, updated).expect("history file is writable");
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let baseline_path = flags.value_of("baseline").unwrap_or("results/BENCH_pipeline.json");
+    let history_path = flags.value_of("history").unwrap_or("results/BENCH_history.json");
+    let max_regress_pct: f64 = flags.parsed("max-regress-pct").unwrap_or(15.0);
+
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let base_mean = json_f64(&baseline, "end_to_end_ms_mean")
+        .unwrap_or_else(|| panic!("baseline {baseline_path} lacks end_to_end_ms_mean"));
+    let base_pool = json_f64(&baseline, "pool");
+    let array = json_str(&baseline, "array").unwrap_or_else(|| "640x480".into());
+    let (width, height) = array
+        .split_once('x')
+        .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+        .unwrap_or_else(|| panic!("baseline array {array:?} is not WxH"));
+    let defaults = StageBenchConfig::default();
+    let config = StageBenchConfig {
+        width,
+        height,
+        pooling_k: json_f64(&baseline, "pooling_k").map_or(defaults.pooling_k, |k| k as u32),
+        frames: flags.parsed("frames").unwrap_or_else(|| flags.run_size().pick(5, 30, 100)),
+        // `--mode` overrides the baseline's mode (to measure a mode
+        // switch against the previous trajectory point); baselines from
+        // before the mode field default to the legacy sequential stream.
+        mode: flags.parsed::<NoiseRngMode>("mode").unwrap_or_else(|| {
+            json_str(&baseline, "mode")
+                .and_then(|m| m.parse().ok())
+                .unwrap_or(NoiseRngMode::Sequential)
+        }),
+    };
+
+    println!(
+        "bench_compare: re-running {array} k={} mode={} over {} frames \
+         (baseline {base_mean:.2} ms/frame)",
+        config.pooling_k, config.mode, config.frames
+    );
+    let fresh = measure(&config);
+    let delta_pct = 100.0 * (fresh.end_to_end_ms_mean - base_mean) / base_mean;
+    println!(
+        "  end-to-end {:.2} ms/frame vs baseline {base_mean:.2} ms/frame ({delta_pct:+.1} %)",
+        fresh.end_to_end_ms_mean
+    );
+    if let Some(base_pool) = base_pool {
+        println!("  pool stage {:.2} ms vs baseline {base_pool:.2} ms", fresh.pool_ms);
+    }
+
+    let epoch_secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((epoch_secs / 86_400) as i64);
+    let entry = format!(
+        "  {{ \"date\": \"{y:04}-{m:02}-{d:02}\", \"epoch_secs\": {epoch_secs}, \
+         \"array\": \"{array}\", \"pooling_k\": {}, \"mode\": \"{}\", \"frames\": {}, \
+         \"end_to_end_ms_mean\": {:.3}, \"pool_ms_mean\": {:.3}, \
+         \"baseline_ms_mean\": {base_mean:.3}, \"delta_pct\": {delta_pct:.2} }}",
+        config.pooling_k, config.mode, config.frames, fresh.end_to_end_ms_mean, fresh.pool_ms,
+    );
+    let history = std::path::Path::new(history_path);
+    append_history(history, &entry);
+    println!("appended trajectory entry to {}", history.display());
+
+    if delta_pct > max_regress_pct {
+        eprintln!(
+            "REGRESSION: end-to-end mean {delta_pct:+.1} % exceeds the allowed \
+             +{max_regress_pct:.1} %"
+        );
+        std::process::exit(1);
+    }
+    println!("within the +{max_regress_pct:.1} % budget");
+}

@@ -1,91 +1,64 @@
 //! Stage-breakdown benchmark of the steady-state frame path.
 //!
-//! Runs the HiRISE two-stage pipeline at 640×480 (k = 2, RGB stage 1,
-//! default noisy sensor) through one warmed [`PipelineScratch`], collects
-//! the per-stage [`StageTimings`] the profiler threads through every
+//! Runs the HiRISE two-stage pipeline through one warmed
+//! [`hirise::PipelineScratch`], collects the per-stage
+//! [`hirise::StageTimings`] the profiler threads through every
 //! [`hirise::RunReport`], and emits `results/BENCH_pipeline.json` so the
-//! perf trajectory is tracked across PRs.
+//! perf trajectory is tracked across PRs (see the `bench_compare` binary
+//! for the trajectory gate).
 //!
-//! Run: `cargo run --release -p hirise-bench --bin pipeline_stages [--quick]`
+//! ```text
+//! cargo run --release -p hirise-bench --bin pipeline_stages -- \
+//!     [--width 640] [--height 480] [--k 2] [--frames 30] \
+//!     [--mode keyed|sequential] [--out results/BENCH_pipeline.json] \
+//!     [--quick | --full]
+//! ```
+//!
+//! `--frames` overrides the `--quick`/`--full` frame budget; `--mode`
+//! selects the sensor noise mode so Keyed and Sequential runs are
+//! distinguishable in the emitted JSON (and therefore in the committed
+//! trajectory).
 
-use std::time::{Duration, Instant};
-
-use hirise::{HiriseConfig, HirisePipeline, PipelineScratch, StageTimings};
-use hirise_bench::args::RunSize;
-use hirise_scene::{DatasetSpec, SceneGenerator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-const WIDTH: u32 = 640;
-const HEIGHT: u32 = 480;
-const POOLING_K: u32 = 2;
-
-struct Sample {
-    total: Duration,
-    stages: StageTimings,
-}
+use hirise::NoiseRngMode;
+use hirise_bench::args::Flags;
+use hirise_bench::stages::{measure, StageBenchConfig};
 
 fn main() {
-    let size = RunSize::from_env();
-    let frames = size.pick(5, 30, 100);
-    let generator = SceneGenerator::new(DatasetSpec::dhdcampus_like());
-    let mut rng = StdRng::seed_from_u64(77);
-    let scene = generator.generate(WIDTH, HEIGHT, &mut rng).image;
-
-    let config = HiriseConfig::builder(WIDTH, HEIGHT)
-        .pooling(POOLING_K)
-        .max_rois(8)
-        .build()
-        .expect("valid configuration");
-    let pipeline = HirisePipeline::new(config);
-    let mut scratch = PipelineScratch::new();
-
-    // Warm-up: buffers grow to their steady-state sizes.
-    for _ in 0..2 {
-        pipeline.run_with_scratch(&scene, &mut scratch).expect("warm-up succeeds");
-    }
-
-    let mut samples = Vec::with_capacity(frames);
-    for _ in 0..frames {
-        let start = Instant::now();
-        let report = pipeline.run_with_scratch(&scene, &mut scratch).expect("frame succeeds");
-        samples.push(Sample { total: start.elapsed(), stages: report.timings });
-    }
-
-    let n = samples.len() as f64;
-    let mean_ms = |f: &dyn Fn(&Sample) -> Duration| {
-        samples.iter().map(|s| f(s).as_secs_f64()).sum::<f64>() / n * 1e3
+    let flags = Flags::from_env();
+    let defaults = StageBenchConfig::default();
+    let config = StageBenchConfig {
+        width: flags.parsed("width").unwrap_or(defaults.width),
+        height: flags.parsed("height").unwrap_or(defaults.height),
+        pooling_k: flags.parsed("k").unwrap_or(defaults.pooling_k),
+        frames: flags.parsed("frames").unwrap_or_else(|| flags.run_size().pick(5, 30, 100)),
+        mode: flags.parsed::<NoiseRngMode>("mode").unwrap_or(defaults.mode),
     };
-    let min_total_ms =
-        samples.iter().map(|s| s.total.as_secs_f64()).fold(f64::INFINITY, f64::min) * 1e3;
-    let total = mean_ms(&|s: &Sample| s.total);
-    let capture = mean_ms(&|s: &Sample| s.stages.capture);
-    let pool = mean_ms(&|s: &Sample| s.stages.pool);
-    let detect = mean_ms(&|s: &Sample| s.stages.detect);
-    let roi_read = mean_ms(&|s: &Sample| s.stages.roi_read);
 
-    println!("stage breakdown over {frames} frames at {WIDTH}x{HEIGHT}, k={POOLING_K}:");
-    println!("  capture   {capture:8.2} ms  ({:5.1} %)", 100.0 * capture / total);
-    println!("  pool      {pool:8.2} ms  ({:5.1} %)", 100.0 * pool / total);
-    println!("  detect    {detect:8.2} ms  ({:5.1} %)", 100.0 * detect / total);
-    println!("  roi-read  {roi_read:8.2} ms  ({:5.1} %)", 100.0 * roi_read / total);
+    let result = measure(&config);
+    let total = result.end_to_end_ms_mean;
     println!(
-        "  end-to-end {total:7.2} ms/frame mean (min {min_total_ms:.2} ms, {:.1} fps)",
-        1e3 / total
+        "stage breakdown over {} frames at {}x{}, k={}, mode={}:",
+        config.frames, config.width, config.height, config.pooling_k, config.mode
+    );
+    for (label, ms) in [
+        ("capture ", result.capture_ms),
+        ("pool    ", result.pool_ms),
+        ("detect  ", result.detect_ms),
+        ("roi-read", result.roi_read_ms),
+    ] {
+        println!("  {label}  {ms:8.2} ms  ({:5.1} %)", 100.0 * ms / total);
+    }
+    println!(
+        "  end-to-end {total:7.2} ms/frame mean (min {:.2} ms, {:.1} fps)",
+        result.end_to_end_ms_min,
+        result.fps_mean()
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"pipeline_stages\",\n  \"array\": \"{WIDTH}x{HEIGHT}\",\n  \
-         \"pooling_k\": {POOLING_K},\n  \"frames\": {frames},\n  \
-         \"end_to_end_ms_mean\": {total:.3},\n  \"end_to_end_ms_min\": {min_total_ms:.3},\n  \
-         \"fps_mean\": {:.2},\n  \"stages_ms_mean\": {{\n    \"capture\": {capture:.3},\n    \
-         \"pool\": {pool:.3},\n    \"detect\": {detect:.3},\n    \"roi_read\": {roi_read:.3}\n  }}\n}}\n",
-        1e3 / total
-    );
-    let path = std::path::Path::new("results/BENCH_pipeline.json");
+    let path = flags.value_of("out").unwrap_or("results/BENCH_pipeline.json");
+    let path = std::path::Path::new(path);
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("results directory is writable");
     }
-    std::fs::write(path, json).expect("results/BENCH_pipeline.json is writable");
+    std::fs::write(path, result.to_json()).expect("bench JSON is writable");
     println!("wrote {}", path.display());
 }

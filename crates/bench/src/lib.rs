@@ -12,10 +12,13 @@
 //! * [`table2`] — the in-processor vs in-sensor mAP experiment,
 //! * [`stats`] — dataset ROI statistics used by the Fig. 7 / Fig. 8 /
 //!   Table 3 binaries,
+//! * [`stages`] — the stage-breakdown frame benchmark shared by the
+//!   `pipeline_stages` profiler and the `bench_compare` trajectory gate,
 //! * [`args`] — tiny CLI-flag helpers shared by the binaries.
 
 pub mod args;
 pub mod classifier;
+pub mod stages;
 pub mod stats;
 pub mod table2;
 

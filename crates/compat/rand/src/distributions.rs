@@ -1,7 +1,10 @@
-//! The [`Standard`] distribution and uniform range sampling backing
-//! [`crate::Rng::gen`] and [`crate::Rng::gen_range`].
+//! The [`Standard`] distribution, the Ziggurat [`StandardNormal`]
+//! sampler, and uniform range sampling backing [`crate::Rng::gen`] and
+//! [`crate::Rng::gen_range`].
 
 use crate::Rng;
+
+pub use normal::{fill_normals, NormalSampler, StandardNormal};
 
 /// A distribution over values of `T`, mirroring
 /// `rand::distributions::Distribution`.
@@ -46,6 +49,242 @@ macro_rules! standard_int {
 }
 
 standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod normal {
+    //! Ziggurat sampling of the standard normal distribution.
+    //!
+    //! The classic 256-layer Marsaglia–Tsang rejection scheme: the area
+    //! under the Gaussian density is covered by 255 stacked rectangles
+    //! plus a base strip that includes the tail. ~98.8 % of samples cost
+    //! one `u64` draw, one table compare and one multiply — no
+    //! transcendentals — which is what lets the sensor noise model
+    //! replace its per-draw Box–Muller `ln`/`sqrt`/`cos` chain.
+    //!
+    //! Tables are built once at first use (a [`OnceLock`]; no heap) from
+    //! the layer count and the tail cut `R`, with the per-layer area
+    //! integrated numerically so the construction is self-consistent to
+    //! double precision.
+
+    use std::sync::OnceLock;
+
+    use super::Distribution;
+    use crate::RngCore;
+
+    /// Number of ziggurat layers.
+    const LAYERS: usize = 256;
+
+    /// Tail cut for 256 layers (Marsaglia & Tsang).
+    const R: f64 = 3.654_152_885_361_009;
+
+    /// Unnormalised standard-normal density `exp(-x²/2)`.
+    #[inline]
+    fn pdf(x: f64) -> f64 {
+        (-0.5 * x * x).exp()
+    }
+
+    /// `∫_R^∞ exp(-x²/2) dx` by Simpson's rule; the integrand decays to
+    /// ~1e-40 within ten units, far below the truncation error.
+    fn tail_area() -> f64 {
+        let (a, b) = (R, R + 10.0);
+        let n = 20_000usize;
+        let h = (b - a) / n as f64;
+        let mut acc = pdf(a) + pdf(b);
+        for i in 1..n {
+            let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+            acc += w * pdf(a + i as f64 * h);
+        }
+        acc * h / 3.0
+    }
+
+    /// Layer edges `x[i]` (descending, `x[LAYERS] = 0`) and densities
+    /// `f[i] = pdf(x[i])`.
+    struct Tables {
+        x: [f64; LAYERS + 1],
+        f: [f64; LAYERS + 1],
+    }
+
+    fn tables() -> &'static Tables {
+        static TABLES: OnceLock<Tables> = OnceLock::new();
+        TABLES.get_or_init(|| {
+            // Common layer area: the base rectangle [0, R] × pdf(R) plus
+            // the tail mass beyond R.
+            let v = R * pdf(R) + tail_area();
+            let mut x = [0.0; LAYERS + 1];
+            x[0] = v / pdf(R); // virtual base edge, > R
+            x[1] = R;
+            for i in 2..LAYERS {
+                // Each layer has area v: x[i] solves
+                // pdf(x[i]) = v / x[i-1] + pdf(x[i-1]).
+                x[i] = (-2.0 * (v / x[i - 1] + pdf(x[i - 1])).ln()).sqrt();
+            }
+            x[LAYERS] = 0.0;
+            let mut f = [0.0; LAYERS + 1];
+            for (fi, xi) in f.iter_mut().zip(&x) {
+                *fi = pdf(*xi);
+            }
+            Tables { x, f }
+        })
+    }
+
+    /// 53-bit uniform in `[0, 1)` from one word.
+    #[inline]
+    fn unit(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// 53-bit uniform in `(0, 1]` from one word (safe for `ln`).
+    #[inline]
+    fn unit_open(bits: u64) -> f64 {
+        ((bits >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A standard-normal sampler holding the resolved table reference,
+    /// so hot loops pay the [`OnceLock`] lookup once instead of per
+    /// sample.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalSampler {
+        t: &'static Tables,
+    }
+
+    impl std::fmt::Debug for Tables {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Tables").finish_non_exhaustive()
+        }
+    }
+
+    impl Default for NormalSampler {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl NormalSampler {
+        /// Resolves (building on first use) the ziggurat tables.
+        pub fn new() -> Self {
+            Self { t: tables() }
+        }
+
+        /// Draws one standard-normal sample.
+        #[inline]
+        pub fn sample<G: RngCore + ?Sized>(&self, rng: &mut G) -> f64 {
+            let t = self.t;
+            loop {
+                let bits = rng.next_u64();
+                let i = (bits & 0xFF) as usize;
+                let neg = bits & 0x100 != 0;
+                let x = unit(bits) * t.x[i];
+                // Inside the strictly-interior part of the layer: accept.
+                if x < t.x[i + 1] {
+                    return if neg { -x } else { x };
+                }
+                if i == 0 {
+                    return Self::tail(rng, neg);
+                }
+                // Wedge: accept against the true density.
+                let y = unit(rng.next_u64());
+                if t.f[i + 1] + y * (t.f[i] - t.f[i + 1]) < pdf(x) {
+                    return if neg { -x } else { x };
+                }
+            }
+        }
+
+        /// Marsaglia's tail algorithm for `|x| > R`.
+        #[cold]
+        fn tail<G: RngCore + ?Sized>(rng: &mut G, neg: bool) -> f64 {
+            loop {
+                let x = -unit_open(rng.next_u64()).ln() / R;
+                let y = -unit_open(rng.next_u64()).ln();
+                if y + y >= x * x {
+                    let v = R + x;
+                    return if neg { -v } else { v };
+                }
+            }
+        }
+    }
+
+    /// The standard normal distribution `N(0, 1)`, mirroring
+    /// `rand_distr::StandardNormal`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct StandardNormal;
+
+    impl Distribution<f64> for StandardNormal {
+        fn sample<G: crate::Rng + ?Sized>(&self, rng: &mut G) -> f64 {
+            NormalSampler::new().sample(rng)
+        }
+    }
+
+    /// Fills `out` with independent standard-normal samples — the
+    /// batched entry point for noise synthesis (one table resolution for
+    /// the whole slice).
+    pub fn fill_normals<G: RngCore + ?Sized>(rng: &mut G, out: &mut [f64]) {
+        let sampler = NormalSampler::new();
+        for slot in out {
+            *slot = sampler.sample(rng);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn tables_are_consistent() {
+            let t = tables();
+            // Edges descend strictly from the virtual base to zero.
+            assert!(t.x[0] > t.x[1]);
+            assert_eq!(t.x[1], R);
+            for i in 1..LAYERS {
+                assert!(t.x[i] > t.x[i + 1], "edge {i} not descending");
+            }
+            assert_eq!(t.x[LAYERS], 0.0);
+            // The top layer closes: its area matches the common area.
+            let v = R * pdf(R) + tail_area();
+            let top = t.x[LAYERS - 1] * (1.0 - pdf(t.x[LAYERS - 1]));
+            assert!((top - v).abs() < 1e-6 * v, "top layer area {top} vs {v}");
+        }
+
+        #[test]
+        fn moments_match_standard_normal() {
+            use crate::rngs::KeyedRng;
+            let sampler = NormalSampler::new();
+            let key = KeyedRng::derive_key(0xDEAD, 0);
+            let n = 200_000usize;
+            let (mut sum, mut sum2, mut sum3, mut tail3) = (0.0f64, 0.0, 0.0, 0u32);
+            for site in 0..n {
+                let mut rng = KeyedRng::for_stream(key, site as u64);
+                let x = sampler.sample(&mut rng);
+                sum += x;
+                sum2 += x * x;
+                sum3 += x * x * x;
+                if x.abs() > 3.0 {
+                    tail3 += 1;
+                }
+            }
+            let mean = sum / n as f64;
+            let var = sum2 / n as f64 - mean * mean;
+            let skew = sum3 / n as f64;
+            let tail = tail3 as f64 / n as f64;
+            assert!(mean.abs() < 0.01, "mean {mean}");
+            assert!((var - 1.0).abs() < 0.02, "variance {var}");
+            assert!(skew.abs() < 0.03, "third moment {skew}");
+            // P(|X| > 3) = 0.002700 for a standard normal.
+            assert!((tail - 0.0027).abs() < 0.0012, "3-sigma tail {tail}");
+        }
+
+        #[test]
+        fn fill_normals_is_deterministic_per_seed() {
+            use crate::rngs::StdRng;
+            use crate::SeedableRng;
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            let (mut xs, mut ys) = ([0.0; 64], [0.0; 64]);
+            fill_normals(&mut a, &mut xs);
+            fill_normals(&mut b, &mut ys);
+            assert_eq!(xs, ys);
+            assert!(xs.iter().any(|&x| x < 0.0) && xs.iter().any(|&x| x > 0.0));
+        }
+    }
+}
 
 pub mod uniform {
     //! Range sampling: the [`SampleRange`] glue trait consumed by

@@ -9,8 +9,17 @@
 //! xoshiro256++, not ChaCha12, so seeded streams are deterministic but
 //! not bit-identical to crates.io builds).
 //!
+//! Beyond the `rand 0.8` surface, two pieces of the `rand` ecosystem
+//! this workspace needs are folded in rather than stubbed separately:
+//! the counter-based [`rngs::KeyedRng`] (order-independent,
+//! position-keyable draws — the engine behind the sensor's `Keyed`
+//! noise mode) and the Ziggurat [`StandardNormal`] sampler with the
+//! batched [`distributions::fill_normals`] entry point (the
+//! `rand_distr::StandardNormal` analogue).
+//!
 //! [`rand`]: https://docs.rs/rand/0.8
 //! [`Standard`]: distributions::Standard
+//! [`StandardNormal`]: distributions::StandardNormal
 
 pub mod distributions;
 pub mod rngs;

@@ -5,6 +5,8 @@ use hirise_sensor::{ColorMode, SensorConfig};
 
 use crate::{HiriseError, Result};
 
+pub use hirise_sensor::NoiseRngMode;
+
 /// Complete configuration of a HiRISE system instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HiriseConfig {
@@ -102,6 +104,23 @@ impl HiriseConfigBuilder {
         self
     }
 
+    /// Sets how the sensor realises its noise draws: position-keyed
+    /// ([`NoiseRngMode::Keyed`], the fast order-independent default) or
+    /// the legacy sequential stream ([`NoiseRngMode::Sequential`],
+    /// bit-identical to the historical implementation and its goldens).
+    pub fn noise_rng(mut self, mode: NoiseRngMode) -> Self {
+        self.config.sensor.noise_rng = mode;
+        self
+    }
+
+    /// Sets the row-shard count for the keyed capture/pool paths (`1` =
+    /// single threaded, `0` = one shard per core, `n` = exactly `n`).
+    /// Output is bit-identical at every setting.
+    pub fn sensor_shards(mut self, shards: u32) -> Self {
+        self.config.sensor.shards = shards;
+        self
+    }
+
     /// Replaces the detector configuration.
     pub fn detector(mut self, detector: DetectorConfig) -> Self {
         self.config.detector = detector;
@@ -171,6 +190,8 @@ mod tests {
             .stage1_color(ColorMode::Gray)
             .max_rois(5)
             .roi_margin(4)
+            .noise_rng(NoiseRngMode::Sequential)
+            .sensor_shards(4)
             .build()
             .unwrap();
         assert_eq!(c.pooling_k, 2);
@@ -178,5 +199,14 @@ mod tests {
         assert_eq!(c.max_rois, 5);
         assert_eq!(c.roi_margin, 4);
         assert_eq!(c.pooled_dimensions(), (320, 240));
+        assert_eq!(c.sensor.noise_rng, NoiseRngMode::Sequential);
+        assert_eq!(c.sensor.shards, 4);
+    }
+
+    #[test]
+    fn default_noise_mode_is_keyed() {
+        let c = HiriseConfig::builder(64, 64).build().unwrap();
+        assert_eq!(c.sensor.noise_rng, NoiseRngMode::Keyed);
+        assert_eq!(c.sensor.shards, 1);
     }
 }

@@ -23,6 +23,18 @@
 //! (each frame's sensor is seeded from the configuration alone); the
 //! ordering only governs how the floating-point aggregation folds.
 //!
+//! With the sensor's position-keyed noise mode
+//! ([`hirise_sensor::NoiseRngMode::Keyed`], the default) the guarantee
+//! is stronger still: per-frame noise is a pure function of the
+//! configuration and each draw's coordinates, so the summary is
+//! bit-identical not only across worker counts but also across the
+//! sensor's intra-frame row-shard counts (`SensorConfig::shards`). The
+//! two axes compose — frame-parallel workers for throughput, row shards
+//! for single-stream latency — but they share the machine: with `w`
+//! stream workers each sharding `s`-way, `w·s` threads compete for the
+//! cores, so prefer workers for saturated streams and shards for
+//! latency-bound single streams.
+//!
 //! # Example
 //!
 //! ```
@@ -187,8 +199,12 @@ pub struct StreamSummary {
 }
 
 impl StreamSummary {
-    /// Frames per wall-clock second.
+    /// Frames per wall-clock second (0 for an empty stream — no division
+    /// by the degenerate wall time of a run that processed nothing).
     pub fn frames_per_sec(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
         self.frames as f64 / self.wall.as_secs_f64().max(1e-12)
     }
 
@@ -573,6 +589,23 @@ mod tests {
         assert_eq!(summary.aggregate, StreamAggregate::default());
         assert_eq!(summary.mean_energy_mj(), 0.0);
         assert_eq!(summary.mean_rois(), 0.0);
+    }
+
+    #[test]
+    fn zero_frame_summary_guards_every_mean() {
+        // A stream that processed nothing must report zeros, not divide
+        // by its zero frame count (or by a degenerate wall time).
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(1)).unwrap();
+        let summary = executor.run(&[]).unwrap();
+        assert_eq!(summary.frames_per_sec(), 0.0);
+        assert_eq!(summary.mean_stage_timings(), StageTimings::default());
+        assert_eq!(summary.mean_stage_timings().total(), Duration::ZERO);
+        assert_eq!(summary.mean_energy_mj(), 0.0);
+        assert_eq!(summary.mean_rois(), 0.0);
+        assert!(summary.reports.is_empty());
+        assert!(summary.frames_per_sec().is_finite());
+        // The empty summary still formats cleanly.
+        assert!(summary.to_string().contains("0 frames"));
     }
 
     #[test]

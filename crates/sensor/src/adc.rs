@@ -75,6 +75,11 @@ impl Adc {
         (self.v_hi - self.v_lo) / (self.levels() - 1) as f64
     }
 
+    /// Input-referred noise standard deviation, volts.
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+
     /// Converts an analog voltage to a code, drawing conversion noise from
     /// `rng`. Inputs outside the range clip to the end codes.
     pub fn convert<R: Rng + ?Sized>(&self, v: f64, rng: &mut R) -> u16 {
@@ -86,6 +91,21 @@ impl Adc {
             let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             x += self.noise_sigma * g;
         }
+        self.quantise(x)
+    }
+
+    /// Converts with an externally supplied standard-normal noise sample
+    /// `g` (scaled by the configured sigma) — the position-keyed noise
+    /// path, where the caller owns the draw so conversion stays a pure
+    /// function of `(v, g)`.
+    #[inline]
+    pub fn convert_with_noise(&self, v: f64, g: f64) -> u16 {
+        self.quantise(v + self.noise_sigma * g)
+    }
+
+    /// The deterministic quantiser shared by every conversion path.
+    #[inline]
+    fn quantise(&self, x: f64) -> u16 {
         let t = ((x - self.v_lo) / (self.v_hi - self.v_lo)).clamp(0.0, 1.0);
         let mut code = t * (self.levels() - 1) as f64;
         if self.inl_lsb != 0.0 {
@@ -190,6 +210,19 @@ mod tests {
         let mid_ideal = ideal.convert_ideal(0.5) as i32;
         let mid_bowed = bowed.convert_ideal(0.5) as i32;
         assert_eq!(mid_bowed - mid_ideal, 2);
+    }
+
+    #[test]
+    fn convert_with_noise_matches_quantiser() {
+        let adc = Adc::new(8, 0.0, 1.0).unwrap().with_inl(0.5).with_noise(0.02);
+        // A zero sample reduces to the deterministic conversion.
+        for v in [0.0, 0.25, 0.5, 0.99] {
+            assert_eq!(adc.convert_with_noise(v, 0.0), adc.convert_ideal(v));
+        }
+        // A supplied sample is scaled by sigma exactly like internal noise.
+        assert_eq!(adc.convert_with_noise(0.5, 2.0), adc.convert_ideal(0.5 + 0.02 * 2.0));
+        assert_eq!(adc.convert_with_noise(0.5, -2.0), adc.convert_ideal(0.5 - 0.02 * 2.0));
+        assert_eq!(adc.noise_sigma(), 0.02);
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! voltages with fixed-pattern noise baked in.
 
 use hirise_imaging::{Plane, Rect, RgbImage};
+use rand::distributions::NormalSampler;
 
+use crate::noise::{self, domain, NoiseRngMode};
 use crate::pixel::PixelParams;
+use crate::shard::{shard_rows, ShardPool};
 
 /// Deterministic per-position Gaussian-ish mismatch (sum of four uniforms,
 /// variance-corrected), so the fixed pattern is stable across captures of
@@ -28,22 +31,23 @@ fn fpn_hash(mut h: u64) -> f64 {
     acc / (4.0f64 / 12.0).sqrt()
 }
 
-/// Cached raw fixed-pattern mismatch values (unscaled [`fpn_hash`]
-/// outputs) for one `(seed, width, height)` realisation.
+/// Cached scaled fixed-pattern mismatch values for one
+/// `(seed, width, height, noise mode)` realisation.
 ///
 /// The fixed pattern is a pure function of the seed and the pixel
-/// position, so recomputing it on every [`PixelArray::refill_from_scene`]
-/// repeats ~8 hash rounds per sub-pixel per frame for values that never
-/// change. The cache stores the already-scaled `σ · fpn_hash(…)` terms —
-/// 8 bytes per sub-pixel per *active* mismatch kind (a kind whose sigma
-/// is zero gets no table at all) — turning the steady-state refill into
-/// a pure multiply–add pass. It is bounded ([`FpnCache::MAX_SITES`]) so
+/// position (in **both** noise modes), so recomputing it on every
+/// [`PixelArray::refill_from_scene`] repeats the per-sub-pixel hash or
+/// Ziggurat work per frame for values that never change. The cache
+/// stores the already-scaled `σ · mismatch(…)` terms — 8 bytes per
+/// sub-pixel per *active* mismatch kind (a kind whose sigma is zero gets
+/// no table at all) — turning the steady-state refill into a pure
+/// multiply–add pass. It is bounded ([`FpnCache::MAX_SITES`]) so
 /// paper-scale arrays (2560×1920) do not pin hundreds of megabytes;
-/// above the bound the hashes are recomputed per refill exactly as
-/// before.
+/// above the bound the mismatch terms are recomputed per refill exactly
+/// as before.
 #[derive(Debug, Clone, Default)]
 struct FpnCache {
-    key: Option<(u64, u32, u32)>,
+    key: Option<(u64, u32, u32, NoiseRngMode)>,
     /// Channel-major `3 · w · h` scaled PRNU terms (empty when
     /// `prnu_sigma == 0`).
     prnu: Vec<f64>,
@@ -57,11 +61,11 @@ impl FpnCache {
     /// `f64` tables across both kinds and all three channels).
     const MAX_SITES: usize = 1 << 20;
 
-    /// Makes the cache hold the realisation for `(seed, w, h)` under
-    /// `params` (fixed per array), reusing buffer capacity; no-op when
-    /// it already does.
-    fn ensure(&mut self, seed: u64, w: u32, h: u32, params: &PixelParams) {
-        if self.key == Some((seed, w, h)) {
+    /// Makes the cache hold the realisation for `(seed, w, h, mode)`
+    /// under `params` (fixed per array), reusing buffer capacity; no-op
+    /// when it already does.
+    fn ensure(&mut self, seed: u64, w: u32, h: u32, params: &PixelParams, mode: NoiseRngMode) {
+        if self.key == Some((seed, w, h, mode)) {
             return;
         }
         let sites = w as usize * h as usize;
@@ -75,21 +79,47 @@ impl FpnCache {
         if need_dsnu {
             self.dsnu.reserve(3 * sites);
         }
-        for ch in 0..3u64 {
-            for y in 0..h as u64 {
-                let row_seed = seed ^ (ch << 56) ^ (y << 28);
-                let row_seed_dsnu = (seed ^ 0xABCD) ^ (ch << 56) ^ (y << 28);
-                for x in 0..w as u64 {
+        match mode {
+            NoiseRngMode::Sequential => {
+                for ch in 0..3u64 {
+                    for y in 0..h as u64 {
+                        let row_seed = seed ^ (ch << 56) ^ (y << 28);
+                        let row_seed_dsnu = (seed ^ 0xABCD) ^ (ch << 56) ^ (y << 28);
+                        for x in 0..w as u64 {
+                            if need_prnu {
+                                self.prnu.push(params.prnu_sigma * fpn_hash(row_seed ^ x));
+                            }
+                            if need_dsnu {
+                                self.dsnu.push(params.dsnu_sigma * fpn_hash(row_seed_dsnu ^ x));
+                            }
+                        }
+                    }
+                }
+            }
+            NoiseRngMode::Keyed => {
+                let sampler = NormalSampler::new();
+                let key = noise::fpn_key(seed);
+                for site in 0..3 * sites as u64 {
                     if need_prnu {
-                        self.prnu.push(params.prnu_sigma * fpn_hash(row_seed ^ x));
+                        let g = noise::site_normal(
+                            &sampler,
+                            key,
+                            noise::stream(domain::FPN_PRNU, site),
+                        );
+                        self.prnu.push(params.prnu_sigma * g);
                     }
                     if need_dsnu {
-                        self.dsnu.push(params.dsnu_sigma * fpn_hash(row_seed_dsnu ^ x));
+                        let g = noise::site_normal(
+                            &sampler,
+                            key,
+                            noise::stream(domain::FPN_DSNU, site),
+                        );
+                        self.dsnu.push(params.dsnu_sigma * g);
                     }
                 }
             }
         }
-        self.key = Some((seed, w, h));
+        self.key = Some((seed, w, h, mode));
     }
 }
 
@@ -106,15 +136,32 @@ pub struct PixelArray {
 }
 
 impl PixelArray {
-    /// Captures `scene` (normalised irradiance per channel) onto the array.
+    /// Captures `scene` (normalised irradiance per channel) onto the array
+    /// with the legacy [`NoiseRngMode::Sequential`] fixed pattern.
     ///
     /// `seed` selects the fixed-pattern noise realisation; the same seed
     /// reproduces the same mismatch map.
     pub fn from_scene(scene: &RgbImage, params: PixelParams, seed: u64) -> Self {
+        Self::from_scene_with(scene, params, seed, NoiseRngMode::Sequential, 1, None)
+    }
+
+    /// Captures `scene` under an explicit noise mode (the mode selects
+    /// the fixed-pattern generator: the legacy position hash for
+    /// `Sequential`, position-keyed Ziggurat Gaussians for `Keyed`),
+    /// optionally row-sharding the fill like
+    /// [`PixelArray::refill_from_scene_with`].
+    pub(crate) fn from_scene_with(
+        scene: &RgbImage,
+        params: PixelParams,
+        seed: u64,
+        mode: NoiseRngMode,
+        shards: usize,
+        pool: Option<&ShardPool>,
+    ) -> Self {
         let (w, h) = scene.dimensions();
         let planes = [Plane::new(w, h), Plane::new(w, h), Plane::new(w, h)];
         let mut array = Self { planes, params, fpn: FpnCache::default() };
-        array.refill_from_scene(scene, seed);
+        array.refill_from_scene_with(scene, seed, mode, shards, pool);
         array
     }
 
@@ -124,87 +171,176 @@ impl PixelArray {
     /// [`PixelArray::from_scene`] — refilling with the same scene and seed
     /// reproduces the same voltages bit-for-bit.
     pub fn refill_from_scene(&mut self, scene: &RgbImage, seed: u64) {
+        self.refill_from_scene_with(scene, seed, NoiseRngMode::Sequential, 1, None);
+    }
+
+    /// Mode- and shard-aware recapture. The fixed pattern is a pure
+    /// function of `(seed, mode, position)`, so the row-sharded fill is
+    /// bit-identical at every shard count in both modes; `shards`/`pool`
+    /// only govern how the work is spread.
+    pub(crate) fn refill_from_scene_with(
+        &mut self,
+        scene: &RgbImage,
+        seed: u64,
+        mode: NoiseRngMode,
+        shards: usize,
+        pool: Option<&ShardPool>,
+    ) {
         let (w, h) = scene.dimensions();
         for plane in &mut self.planes {
             // `fill` overwrites every sample, so skip the zeroing pass.
             plane.reshape_for_overwrite(w, h);
         }
         let params = self.params;
-        Self::fill(&mut self.planes, &mut self.fpn, scene, &params, seed);
+        Self::fill(&mut self.planes, &mut self.fpn, scene, &params, seed, mode, shards, pool);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fill(
         planes: &mut [Plane; 3],
         fpn: &mut FpnCache,
         scene: &RgbImage,
         params: &PixelParams,
         seed: u64,
+        mode: NoiseRngMode,
+        shards: usize,
+        pool: Option<&ShardPool>,
     ) {
         // The noiseless/noisy split is hoisted out of the pixel loops, and
-        // every path runs over paired row slices: no per-pixel 2-D index
-        // arithmetic. Values are bit-identical to the per-pixel
-        // formulation in every path: the cache stores the exact
-        // `σ · fpn_hash(…)` products the hashing path would recompute,
-        // and a zero sigma contributes exactly zero either way (a `±0.0`
-        // mismatch term cannot change `voltage_with_mismatch`'s output,
-        // whose partial sums are non-negative).
+        // every path runs over paired row slices — sharded into row bands
+        // when a pool is supplied. Values are bit-identical to the
+        // per-pixel formulation in every path and at every shard count:
+        // the cache stores the exact `σ · mismatch(…)` products the
+        // direct path would recompute, every mismatch term is a pure
+        // function of the absolute position, and a zero sigma contributes
+        // exactly zero either way (a `±0.0` mismatch term cannot change
+        // `voltage_with_mismatch`'s output, whose partial sums are
+        // non-negative).
         let (w, h) = scene.dimensions();
         let sites = w as usize * h as usize;
+        let wz = w as usize;
         let need_prnu = params.prnu_sigma != 0.0;
         let need_dsnu = params.dsnu_sigma != 0.0;
         let noiseless = !need_prnu && !need_dsnu;
         let cached = !noiseless && sites <= FpnCache::MAX_SITES;
         if cached {
-            fpn.ensure(seed, w, h, params);
+            fpn.ensure(seed, w, h, params, mode);
         }
         for (ch, src) in scene.planes().into_iter().enumerate() {
             let dst = &mut planes[ch];
-            if noiseless {
-                for (src_row, dst_row) in src.rows().zip(dst.rows_mut()) {
-                    for (&irr, out) in src_row.iter().zip(dst_row.iter_mut()) {
+            let src = src.as_slice();
+            shard_rows(pool, dst.as_mut_slice(), h as usize, wz, shards, |_, y0, dst_band| {
+                let src_band = &src[y0 * wz..y0 * wz + dst_band.len()];
+                if noiseless {
+                    for (&irr, out) in src_band.iter().zip(dst_band.iter_mut()) {
                         *out = params.voltage(irr) as f32;
                     }
-                }
-            } else if cached {
-                let span = ch * sites..(ch + 1) * sites;
-                let src = src.as_slice();
-                let dst = dst.as_mut_slice();
-                if need_prnu && need_dsnu {
-                    let prnu_ch = &fpn.prnu[span.clone()];
-                    let dsnu_ch = &fpn.dsnu[span];
-                    for ((&irr, out), (&p, &d)) in
-                        src.iter().zip(dst.iter_mut()).zip(prnu_ch.iter().zip(dsnu_ch))
-                    {
-                        *out = params.voltage_with_mismatch(irr, p, d) as f32;
-                    }
-                } else if need_prnu {
-                    for ((&irr, out), &p) in src.iter().zip(dst.iter_mut()).zip(&fpn.prnu[span]) {
-                        *out = params.voltage_with_mismatch(irr, p, 0.0) as f32;
+                } else if cached {
+                    let span = ch * sites + y0 * wz..ch * sites + y0 * wz + dst_band.len();
+                    if need_prnu && need_dsnu {
+                        let prnu_band = &fpn.prnu[span.clone()];
+                        let dsnu_band = &fpn.dsnu[span];
+                        for ((&irr, out), (&p, &d)) in src_band
+                            .iter()
+                            .zip(dst_band.iter_mut())
+                            .zip(prnu_band.iter().zip(dsnu_band))
+                        {
+                            *out = params.voltage_with_mismatch(irr, p, d) as f32;
+                        }
+                    } else if need_prnu {
+                        for ((&irr, out), &p) in
+                            src_band.iter().zip(dst_band.iter_mut()).zip(&fpn.prnu[span])
+                        {
+                            *out = params.voltage_with_mismatch(irr, p, 0.0) as f32;
+                        }
+                    } else {
+                        for ((&irr, out), &d) in
+                            src_band.iter().zip(dst_band.iter_mut()).zip(&fpn.dsnu[span])
+                        {
+                            *out = params.voltage_with_mismatch(irr, 0.0, d) as f32;
+                        }
                     }
                 } else {
-                    for ((&irr, out), &d) in src.iter().zip(dst.iter_mut()).zip(&fpn.dsnu[span]) {
-                        *out = params.voltage_with_mismatch(irr, 0.0, d) as f32;
+                    match mode {
+                        NoiseRngMode::Sequential => Self::fill_band_hashed(
+                            src_band, dst_band, params, seed, ch, y0, wz, need_prnu, need_dsnu,
+                        ),
+                        NoiseRngMode::Keyed => Self::fill_band_keyed(
+                            src_band,
+                            dst_band,
+                            params,
+                            seed,
+                            ch * sites + y0 * wz,
+                            need_prnu,
+                            need_dsnu,
+                        ),
                     }
                 }
-            } else {
-                for (y, (src_row, dst_row)) in src.rows().zip(dst.rows_mut()).enumerate() {
-                    let row_seed = seed ^ ((ch as u64) << 56) ^ ((y as u64) << 28);
-                    let row_seed_dsnu = (seed ^ 0xABCD) ^ ((ch as u64) << 56) ^ ((y as u64) << 28);
-                    for (x, (&irr, out)) in src_row.iter().zip(dst_row.iter_mut()).enumerate() {
-                        let prnu = if need_prnu {
-                            params.prnu_sigma * fpn_hash(row_seed ^ x as u64)
-                        } else {
-                            0.0
-                        };
-                        let dsnu = if need_dsnu {
-                            params.dsnu_sigma * fpn_hash(row_seed_dsnu ^ x as u64)
-                        } else {
-                            0.0
-                        };
-                        *out = params.voltage_with_mismatch(irr, prnu, dsnu) as f32;
-                    }
-                }
+            });
+        }
+    }
+
+    /// Uncached `Sequential` fixed pattern for the rows starting at `y0`:
+    /// the legacy per-position hash, unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_band_hashed(
+        src_band: &[f32],
+        dst_band: &mut [f32],
+        params: &PixelParams,
+        seed: u64,
+        ch: usize,
+        y0: usize,
+        wz: usize,
+        need_prnu: bool,
+        need_dsnu: bool,
+    ) {
+        for (dy, (src_row, dst_row)) in
+            src_band.chunks_exact(wz).zip(dst_band.chunks_exact_mut(wz)).enumerate()
+        {
+            let y = (y0 + dy) as u64;
+            let row_seed = seed ^ ((ch as u64) << 56) ^ (y << 28);
+            let row_seed_dsnu = (seed ^ 0xABCD) ^ ((ch as u64) << 56) ^ (y << 28);
+            for (x, (&irr, out)) in src_row.iter().zip(dst_row.iter_mut()).enumerate() {
+                let prnu =
+                    if need_prnu { params.prnu_sigma * fpn_hash(row_seed ^ x as u64) } else { 0.0 };
+                let dsnu = if need_dsnu {
+                    params.dsnu_sigma * fpn_hash(row_seed_dsnu ^ x as u64)
+                } else {
+                    0.0
+                };
+                *out = params.voltage_with_mismatch(irr, prnu, dsnu) as f32;
             }
+        }
+    }
+
+    /// Uncached `Keyed` fixed pattern: a position-keyed Ziggurat Gaussian
+    /// per sub-pixel, matching what [`FpnCache::ensure`] would tabulate.
+    fn fill_band_keyed(
+        src_band: &[f32],
+        dst_band: &mut [f32],
+        params: &PixelParams,
+        seed: u64,
+        first_site: usize,
+        need_prnu: bool,
+        need_dsnu: bool,
+    ) {
+        let sampler = NormalSampler::new();
+        let key = noise::fpn_key(seed);
+        for (i, (&irr, out)) in src_band.iter().zip(dst_band.iter_mut()).enumerate() {
+            let site = (first_site + i) as u64;
+            let prnu = if need_prnu {
+                params.prnu_sigma
+                    * noise::site_normal(&sampler, key, noise::stream(domain::FPN_PRNU, site))
+            } else {
+                0.0
+            };
+            let dsnu = if need_dsnu {
+                params.dsnu_sigma
+                    * noise::site_normal(&sampler, key, noise::stream(domain::FPN_DSNU, site))
+            } else {
+                0.0
+            };
+            *out = params.voltage_with_mismatch(irr, prnu, dsnu) as f32;
         }
     }
 
@@ -352,6 +488,73 @@ mod tests {
             for ch in 0..3 {
                 assert_eq!(arr.plane(ch), fresh.plane(ch), "channel {ch}");
             }
+        }
+    }
+
+    #[test]
+    fn keyed_fpn_is_deterministic_and_distinct_from_hash() {
+        let p = PixelParams::default();
+        let a = PixelArray::from_scene_with(&flat_scene(0.5), p, 7, NoiseRngMode::Keyed, 1, None);
+        let b = PixelArray::from_scene_with(&flat_scene(0.5), p, 7, NoiseRngMode::Keyed, 1, None);
+        let c = PixelArray::from_scene_with(&flat_scene(0.5), p, 8, NoiseRngMode::Keyed, 1, None);
+        let hash = PixelArray::from_scene(&flat_scene(0.5), p, 7);
+        for ch in 0..3 {
+            assert_eq!(a.plane(ch), b.plane(ch), "channel {ch} not reproducible");
+        }
+        assert_ne!(a.voltage(0, 2, 2), c.voltage(0, 2, 2), "seed ignored");
+        assert_ne!(a.voltage(0, 2, 2), hash.voltage(0, 2, 2), "modes share a pattern");
+    }
+
+    #[test]
+    fn keyed_refill_matches_fresh_capture() {
+        let p = PixelParams::default();
+        let small = flat_scene(0.3);
+        let big = RgbImage::from_fn(12, 10, |x, y| (x as f32 / 12.0, y as f32 / 10.0, 0.5));
+        let mut arr = PixelArray::from_scene_with(&small, p, 7, NoiseRngMode::Keyed, 1, None);
+        arr.refill_from_scene_with(&big, 9, NoiseRngMode::Keyed, 1, None);
+        let fresh = PixelArray::from_scene_with(&big, p, 9, NoiseRngMode::Keyed, 1, None);
+        for ch in 0..3 {
+            assert_eq!(arr.plane(ch), fresh.plane(ch), "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn sharded_refill_is_bit_identical_in_both_modes() {
+        let p = PixelParams::default();
+        let scene = RgbImage::from_fn(9, 13, |x, y| (x as f32 / 9.0, y as f32 / 13.0, 0.4));
+        let pool = crate::shard::ShardPool::new(3);
+        for mode in [NoiseRngMode::Sequential, NoiseRngMode::Keyed] {
+            let reference = PixelArray::from_scene_with(&scene, p, 11, mode, 1, None);
+            for shards in [2usize, 4, 13] {
+                let mut sharded = PixelArray::from_scene_with(&scene, p, 11, mode, 1, None);
+                sharded.refill_from_scene_with(&scene, 11, mode, shards, Some(&pool));
+                for ch in 0..3 {
+                    assert_eq!(
+                        sharded.plane(ch),
+                        reference.plane(ch),
+                        "{mode:?} shards={shards} channel {ch}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_direct_band_matches_cached_tables() {
+        // The uncached per-position path and the cache tables must agree:
+        // recompute two interior rows of channel 1 directly and compare
+        // against a cache-built capture.
+        let p = PixelParams::default();
+        let scene = RgbImage::from_fn(6, 4, |x, y| (x as f32 / 6.0, y as f32 / 4.0, 0.5));
+        let arr = PixelArray::from_scene_with(&scene, p, 21, NoiseRngMode::Keyed, 1, None);
+        let (wz, sites) = (6usize, 24usize);
+        let src = scene.planes()[1].as_slice();
+        let band = &src[wz..3 * wz];
+        let mut direct = vec![0.0f32; 2 * wz];
+        PixelArray::fill_band_keyed(band, &mut direct, &p, 21, sites + wz, true, true);
+        for (i, &v) in direct.iter().enumerate() {
+            let (x, y) = ((i % wz) as u32, (1 + i / wz) as u32);
+            assert_eq!(v as f64, arr.voltage(1, x, y), "({x},{y})");
         }
     }
 

@@ -51,19 +51,23 @@
 
 pub mod adc;
 pub mod array;
+pub mod noise;
 pub mod pixel;
 pub mod pooling;
 pub mod roi;
 pub mod sensor;
+pub mod shard;
 
 mod error;
 
 pub use adc::Adc;
 pub use array::PixelArray;
 pub use error::SensorError;
+pub use noise::NoiseRngMode;
 pub use pixel::PixelParams;
 pub use pooling::PoolingConfig;
 pub use sensor::{ColorMode, ReadoutStats, Sensor, SensorConfig};
+pub use shard::ShardPool;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SensorError>;

@@ -13,13 +13,21 @@
 //!   averaging.
 
 use hirise_imaging::Plane;
+use rand::distributions::NormalSampler;
+use rand::rngs::KeyedRng;
 use rand::Rng;
 
+use crate::adc::Adc;
 use crate::array::PixelArray;
+use crate::noise::{self, domain};
+use crate::shard::{shard_rows, SendPtr, ShardPool};
 use crate::{Result, SensorError};
 
-/// Standard Gaussian sample via Box–Muller.
-pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+/// Standard Gaussian sample via Box–Muller — the retained sequential
+/// reference (`NoiseRngMode::Sequential` draws exclusively through this,
+/// keeping legacy noise streams bit-identical; the keyed path uses the
+/// Ziggurat sampler instead).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(1e-12..1.0);
     let u2: f64 = rng.gen::<f64>();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -248,6 +256,169 @@ pub fn pool_gray_into<R: Rng + ?Sized>(
     Ok(())
 }
 
+/// Position-keyed, fused pool + stage-1 digitise of one channel: the
+/// `NoiseRngMode::Keyed` fast path. Writes the analog site voltages to
+/// `analog` and the converted unit-range image to `out` in one pass.
+///
+/// Every site's noise comes from its own counter-based stream
+/// (`(key, POOL-domain + channel, site index)`: one pooling draw, then
+/// one ADC draw), so the result is a pure function of position — the row
+/// bands can be computed on any shard layout with bit-identical output.
+/// The deterministic part (site sums, transfer, quantisation) replicates
+/// the sequential kernels' operation order exactly.
+///
+/// # Errors
+///
+/// [`SensorError::InvalidPooling`] when `k` does not tile the array.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pool_channel_keyed(
+    array: &PixelArray,
+    channel: usize,
+    k: u32,
+    cfg: &PoolingConfig,
+    adc: &Adc,
+    key: u64,
+    shards: usize,
+    pool: Option<&ShardPool>,
+    analog: &mut Plane,
+    out: &mut Plane,
+) -> Result<()> {
+    validate_pooling(array, k)?;
+    let sigma = combined_sigma(cfg, array.params().read_noise, (k * k) as f64);
+    let area = (k as u64 * k as u64) as f64;
+    let plane = array.plane(channel);
+    let ku = k as usize;
+    pool_keyed_fused(
+        array,
+        k,
+        sigma,
+        cfg,
+        adc,
+        key,
+        domain::POOL + channel as u64,
+        shards,
+        pool,
+        analog,
+        out,
+        |y0, x0| {
+            let mut acc = 0.0f64;
+            for dy in 0..ku {
+                for &v in &plane.row((y0 + dy) as u32)[x0..x0 + ku] {
+                    acc += v as f64;
+                }
+            }
+            acc / area
+        },
+    );
+    Ok(())
+}
+
+/// Position-keyed, fused gray pool + digitise (`k·k·3` inputs per site);
+/// the keyed counterpart of [`pool_gray_into`] plus conversion. See
+/// [`pool_channel_keyed`] for the determinism contract.
+///
+/// # Errors
+///
+/// [`SensorError::InvalidPooling`] when `k` does not tile the array.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pool_gray_keyed(
+    array: &PixelArray,
+    k: u32,
+    cfg: &PoolingConfig,
+    adc: &Adc,
+    key: u64,
+    shards: usize,
+    pool: Option<&ShardPool>,
+    analog: &mut Plane,
+    out: &mut Plane,
+) -> Result<()> {
+    validate_pooling(array, k)?;
+    let sigma = combined_sigma(cfg, array.params().read_noise, (k * k * 3) as f64);
+    let area = (k as u64 * k as u64) as f64;
+    let planes = [array.plane(0), array.plane(1), array.plane(2)];
+    let ku = k as usize;
+    // Per-channel means first, then the three-way average — exactly like
+    // `pool_gray_into` / `PixelArray::mean_window_rgb`.
+    pool_keyed_fused(array, k, sigma, cfg, adc, key, domain::POOL, shards, pool, analog, out, {
+        |y0, x0| {
+            let mut channel_means = [0.0f64; 3];
+            for (plane, mean) in planes.iter().zip(channel_means.iter_mut()) {
+                let mut acc = 0.0f64;
+                for dy in 0..ku {
+                    for &v in &plane.row((y0 + dy) as u32)[x0..x0 + ku] {
+                        acc += v as f64;
+                    }
+                }
+                *mean = acc / area;
+            }
+            (channel_means[0] + channel_means[1] + channel_means[2]) / 3.0
+        }
+    });
+    Ok(())
+}
+
+/// Total per-site noise sigma: circuit thermal noise plus the source
+/// followers' read noise attenuated by the `n`-input averaging.
+fn combined_sigma(cfg: &PoolingConfig, read_noise: f64, n_inputs: f64) -> f64 {
+    let read_sigma = read_noise / n_inputs.sqrt();
+    (cfg.noise_sigma * cfg.noise_sigma + read_sigma * read_sigma).sqrt()
+}
+
+/// The shared fused keyed kernel behind [`pool_channel_keyed`] and
+/// [`pool_gray_keyed`]: row-sharded sweep over the pooled grid, calling
+/// `site_mean(y0, x0)` for each site's mean input voltage (the only part
+/// that differs between the channel and gray configurations), then
+/// transfer + keyed noise + fused ADC conversion.
+#[allow(clippy::too_many_arguments)]
+fn pool_keyed_fused<M: Fn(usize, usize) -> f64 + Sync>(
+    array: &PixelArray,
+    k: u32,
+    sigma: f64,
+    cfg: &PoolingConfig,
+    adc: &Adc,
+    key: u64,
+    dom: u64,
+    shards: usize,
+    pool: Option<&ShardPool>,
+    analog: &mut Plane,
+    out: &mut Plane,
+    site_mean: M,
+) {
+    let params = *array.params();
+    let (ow, oh) = (array.width() / k, array.height() / k);
+    let ku = k as usize;
+    let oww = ow as usize;
+    analog.reshape_for_overwrite(ow, oh);
+    out.reshape_for_overwrite(ow, oh);
+    let sampler = NormalSampler::new();
+    let adc_sigma = adc.noise_sigma();
+    let out_base = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+    shard_rows(pool, analog.as_mut_slice(), oh as usize, oww, shards, |_, oy0, aband| {
+        // `out` bands mirror the `analog` bands exactly, so they are
+        // disjoint across shards too.
+        let oband =
+            unsafe { std::slice::from_raw_parts_mut(out_base.get().add(oy0 * oww), aband.len()) };
+        for (dy, (arow, orow)) in
+            aband.chunks_exact_mut(oww).zip(oband.chunks_exact_mut(oww)).enumerate()
+        {
+            let oy = oy0 + dy;
+            let y0 = oy * ku;
+            let row_site = (oy * oww) as u64;
+            for (ox, (site, o)) in arow.iter_mut().zip(orow.iter_mut()).enumerate() {
+                let mut v = cfg.transfer(site_mean(y0, ox * ku), params.v_dark, params.v_sat);
+                let mut rng = KeyedRng::for_stream(key, noise::stream(dom, row_site + ox as u64));
+                if sigma > 0.0 {
+                    v += sigma * sampler.sample(&mut rng);
+                }
+                let av = v as f32;
+                *site = av;
+                let g = if adc_sigma > 0.0 { sampler.sample(&mut rng) } else { 0.0 };
+                *o = adc.code_to_unit(adc.convert_with_noise(av as f64, g));
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +493,86 @@ mod tests {
         };
         let (s2, s8) = (sd(&p2), sd(&p8));
         assert!(s8 < s2, "noise did not shrink: sd2={s2} sd8={s8}");
+    }
+
+    #[test]
+    fn keyed_pool_is_shard_count_invariant() {
+        // The tentpole property: with position-keyed noise, the row-
+        // sharded pool is bit-identical to the single-threaded pool.
+        let params = PixelParams::default();
+        let scene = RgbImage::from_fn(24, 16, |x, y| (x as f32 / 24.0, y as f32 / 16.0, 0.5));
+        let arr = PixelArray::from_scene(&scene, params, 3);
+        let cfg = PoolingConfig::default();
+        let adc = Adc::paper_default().with_inl(0.25).with_noise(0.2e-3);
+        let key = crate::noise::frame_key(3, 0);
+        let pool = ShardPool::new(4);
+        let reference = {
+            let (mut analog, mut out) = (Plane::new(1, 1), Plane::new(1, 1));
+            pool_channel_keyed(&arr, 1, 2, &cfg, &adc, key, 1, None, &mut analog, &mut out)
+                .unwrap();
+            (analog, out)
+        };
+        for shards in [2usize, 4, 8] {
+            let (mut analog, mut out) = (Plane::new(1, 1), Plane::new(1, 1));
+            pool_channel_keyed(
+                &arr,
+                1,
+                2,
+                &cfg,
+                &adc,
+                key,
+                shards,
+                Some(&pool),
+                &mut analog,
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(analog, reference.0, "analog differs at {shards} shards");
+            assert_eq!(out, reference.1, "digital differs at {shards} shards");
+        }
+        // Gray path too.
+        let gray_ref = {
+            let (mut analog, mut out) = (Plane::new(1, 1), Plane::new(1, 1));
+            pool_gray_keyed(&arr, 4, &cfg, &adc, key, 1, None, &mut analog, &mut out).unwrap();
+            (analog, out)
+        };
+        let (mut analog, mut out) = (Plane::new(1, 1), Plane::new(1, 1));
+        pool_gray_keyed(&arr, 4, &cfg, &adc, key, 3, Some(&pool), &mut analog, &mut out).unwrap();
+        assert_eq!((analog, out), gray_ref);
+    }
+
+    #[test]
+    fn keyed_pool_noiseless_matches_sequential_kernel() {
+        // With every sigma at zero the keyed and sequential pools share
+        // the same deterministic arithmetic, bit for bit, and the fused
+        // conversion reduces to the ideal quantiser.
+        let scene = RgbImage::from_fn(12, 8, |x, y| (x as f32 / 12.0, y as f32 / 8.0, 0.3));
+        let arr = PixelArray::from_scene(&scene, PixelParams::noiseless(), 0);
+        let cfg = PoolingConfig::ideal();
+        let adc = Adc::paper_default();
+        let key = crate::noise::frame_key(0, 0);
+        let (mut analog_k, mut out_k) = (Plane::new(1, 1), Plane::new(1, 1));
+        pool_channel_keyed(&arr, 0, 2, &cfg, &adc, key, 1, None, &mut analog_k, &mut out_k)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut analog_s = Plane::new(1, 1);
+        pool_channel_into(&arr, 0, 2, &cfg, &mut rng, &mut analog_s).unwrap();
+        assert_eq!(analog_k, analog_s);
+        for (&a, &o) in analog_s.as_slice().iter().zip(out_k.as_slice()) {
+            assert_eq!(o, adc.code_to_unit(adc.convert_ideal(a as f64)));
+        }
+    }
+
+    #[test]
+    fn keyed_pool_rejects_bad_factor() {
+        let arr = array(0.5, 6, 6);
+        let cfg = PoolingConfig::ideal();
+        let adc = Adc::paper_default();
+        let (mut analog, mut out) = (Plane::new(1, 1), Plane::new(1, 1));
+        assert!(
+            pool_channel_keyed(&arr, 0, 4, &cfg, &adc, 1, 1, None, &mut analog, &mut out).is_err()
+        );
+        assert!(pool_gray_keyed(&arr, 0, &cfg, &adc, 1, 1, None, &mut analog, &mut out).is_err());
     }
 
     #[test]

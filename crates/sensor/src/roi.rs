@@ -14,10 +14,13 @@
 
 use hirise_imaging::rect::{sum_area, union_area, union_area_with_scratch, UnionScratch};
 use hirise_imaging::{FramePool, Rect, RgbImage};
+use rand::distributions::NormalSampler;
+use rand::rngs::KeyedRng;
 use rand::Rng;
 
 use crate::adc::Adc;
 use crate::array::PixelArray;
+use crate::noise::{self, domain};
 use crate::pooling::gaussian;
 use crate::sensor::ReadoutStats;
 use crate::{Result, SensorError};
@@ -84,6 +87,144 @@ pub fn convert_roi_into<R: Rng + ?Sized>(
             }
         }
     }
+}
+
+/// Position-keyed digitisation of one ROI: every sub-pixel's noise is a
+/// pure function of its **absolute** array coordinates (and the per-
+/// readout key), so the crop's values do not depend on which other boxes
+/// were requested, on readout order, or on the box offsets — overlapping
+/// boxes read in one operation see identical pixel values, mirroring the
+/// paper's convert-the-union-once address encoder.
+pub(crate) fn convert_roi_keyed_into(
+    array: &PixelArray,
+    rect: Rect,
+    adc: &Adc,
+    key: u64,
+    sampler: &NormalSampler,
+    out: &mut RgbImage,
+) {
+    let params = array.params();
+    let read_noise = params.read_noise;
+    let adc_sigma = adc.noise_sigma();
+    let sites = array.width() as u64 * array.height() as u64;
+    let aw = array.width() as u64;
+    let (x0, w) = (rect.x as usize, rect.w as usize);
+    out.reshape_for_overwrite(rect.w, rect.h);
+    for (ch, plane) in out.planes_mut().into_iter().enumerate() {
+        let src = array.plane(ch);
+        let ch_base = ch as u64 * sites;
+        for (dy, dst_row) in plane.rows_mut().enumerate() {
+            let y = rect.y + dy as u32;
+            let src_row = &src.row(y)[x0..x0 + w];
+            let row_base = ch_base + y as u64 * aw + rect.x as u64;
+            for (dx, (&sv, o)) in src_row.iter().zip(dst_row.iter_mut()).enumerate() {
+                let mut rng =
+                    KeyedRng::for_stream(key, noise::stream(domain::ROI, row_base + dx as u64));
+                let mut v = sv as f64;
+                if read_noise > 0.0 {
+                    v += read_noise * sampler.sample(&mut rng);
+                }
+                let g = if adc_sigma > 0.0 { sampler.sample(&mut rng) } else { 0.0 };
+                *o = adc.code_to_unit(adc.convert_with_noise(v, g));
+            }
+        }
+    }
+}
+
+/// Keyed counterpart of [`read_roi`]; accounting is identical.
+///
+/// # Errors
+///
+/// [`SensorError::RoiOutOfBounds`] when the rectangle leaves the array.
+pub(crate) fn read_roi_keyed(
+    array: &PixelArray,
+    rect: Rect,
+    adc: &Adc,
+    key: u64,
+) -> Result<(RgbImage, ReadoutStats)> {
+    check_roi(array, rect)?;
+    let sampler = NormalSampler::new();
+    let mut img = RgbImage::new(rect.w, rect.h);
+    convert_roi_keyed_into(array, rect, adc, key, &sampler, &mut img);
+    let area = rect.area();
+    let stats = ReadoutStats {
+        conversions: 3 * area,
+        transferred_bits: 3 * area * adc.bits() as u64,
+        box_words_bits: WORDS_PER_BOX * WORD_BITS,
+    };
+    Ok((img, stats))
+}
+
+/// Keyed counterpart of [`read_rois`]: one key covers the whole batch,
+/// so overlapping boxes agree bit-for-bit on their shared pixels.
+///
+/// # Errors
+///
+/// [`SensorError::RoiOutOfBounds`] when any rectangle leaves the array.
+pub(crate) fn read_rois_keyed(
+    array: &PixelArray,
+    rects: &[Rect],
+    adc: &Adc,
+    key: u64,
+) -> Result<(Vec<RgbImage>, ReadoutStats)> {
+    for &r in rects {
+        check_roi(array, r)?;
+    }
+    let sampler = NormalSampler::new();
+    let images: Vec<RgbImage> = rects
+        .iter()
+        .map(|&r| {
+            let mut img = RgbImage::new(r.w, r.h);
+            convert_roi_keyed_into(array, r, adc, key, &sampler, &mut img);
+            img
+        })
+        .collect();
+    let stats = ReadoutStats {
+        conversions: 3 * union_area(rects),
+        transferred_bits: 3 * sum_area(rects) * adc.bits() as u64,
+        box_words_bits: rects.len() as u64 * WORDS_PER_BOX * WORD_BITS,
+    };
+    Ok((images, stats))
+}
+
+/// Keyed counterpart of [`read_rois_into`]: same buffer-recycling
+/// contract, keyed noise. Bit-identical to [`read_rois_keyed`] for the
+/// same key.
+///
+/// # Errors
+///
+/// [`SensorError::RoiOutOfBounds`] when any box leaves the array;
+/// `images` is left unchanged in that case.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn read_rois_keyed_into(
+    array: &PixelArray,
+    rects: &[Rect],
+    adc: &Adc,
+    key: u64,
+    images: &mut Vec<RgbImage>,
+    pool: &mut FramePool,
+    union: &mut UnionScratch,
+) -> Result<ReadoutStats> {
+    for &r in rects {
+        check_roi(array, r)?;
+    }
+    let sampler = NormalSampler::new();
+    while images.len() > rects.len() {
+        let surplus = images.pop().expect("length checked");
+        pool.release_rgb(surplus);
+    }
+    for (i, &rect) in rects.iter().enumerate() {
+        if i == images.len() {
+            // convert_roi_keyed_into overwrites every sample.
+            images.push(pool.acquire_rgb_for_overwrite(rect.w, rect.h));
+        }
+        convert_roi_keyed_into(array, rect, adc, key, &sampler, &mut images[i]);
+    }
+    Ok(ReadoutStats {
+        conversions: 3 * union_area_with_scratch(rects, union),
+        transferred_bits: 3 * sum_area(rects) * adc.bits() as u64,
+        box_words_bits: rects.len() as u64 * WORDS_PER_BOX * WORD_BITS,
+    })
 }
 
 /// Reads a single full-resolution ROI.
@@ -274,6 +415,66 @@ mod tests {
         let bad = [Rect::new(15, 15, 4, 4)];
         assert!(
             read_rois_into(&arr, &bad, &adc, &mut rng, &mut images, &mut pool, &mut union).is_err()
+        );
+        assert_eq!(images, before);
+    }
+
+    #[test]
+    fn keyed_overlapping_rois_agree_on_shared_pixels() {
+        // Keyed noise is a pure function of absolute position, so the
+        // overlap of two boxes read in one operation carries identical
+        // values in both crops — the union really is converted once.
+        let scene = RgbImage::from_fn(16, 16, |x, y| (x as f32 / 15.0, y as f32 / 15.0, 0.5));
+        let arr = PixelArray::from_scene(&scene, PixelParams::default(), 4);
+        let adc = Adc::paper_default().with_noise(0.5e-3).with_inl(0.25);
+        let key = crate::noise::frame_key(4, 0);
+        let a = Rect::new(0, 0, 8, 8);
+        let b = Rect::new(4, 2, 8, 8);
+        let (imgs, _) = read_rois_keyed(&arr, &[a, b], &adc, key).unwrap();
+        let mut overlapping = 0;
+        for y in 2..8u32 {
+            for x in 4..8u32 {
+                for ch in 0..3 {
+                    let va = imgs[0].planes()[ch].get(x, y);
+                    let vb = imgs[1].planes()[ch].get(x - 4, y - 2);
+                    assert_eq!(va, vb, "overlap differs at ({x},{y}) ch {ch}");
+                }
+                overlapping += 1;
+            }
+        }
+        assert_eq!(overlapping, 24);
+        // A later readout op (fresh key) is an independent realisation.
+        let (again, _) = read_rois_keyed(&arr, &[a], &adc, crate::noise::frame_key(4, 1)).unwrap();
+        assert_ne!(again[0], imgs[0]);
+    }
+
+    #[test]
+    fn keyed_read_rois_into_matches_allocating_path() {
+        let scene = RgbImage::from_fn(16, 16, |x, y| (x as f32 / 15.0, y as f32 / 15.0, 0.5));
+        let arr = PixelArray::from_scene(&scene, PixelParams::default(), 4);
+        let adc = Adc::paper_default().with_noise(0.5e-3);
+        let frames: [&[Rect]; 3] = [
+            &[Rect::new(0, 0, 8, 8), Rect::new(4, 0, 8, 8), Rect::new(10, 10, 4, 4)],
+            &[Rect::new(2, 2, 6, 6)],
+            &[Rect::new(1, 1, 5, 9), Rect::new(8, 3, 7, 7)],
+        ];
+        let mut images = Vec::new();
+        let mut pool = FramePool::new();
+        let mut union = UnionScratch::new();
+        for (op, rects) in frames.into_iter().enumerate() {
+            let key = crate::noise::frame_key(4, op as u64);
+            let (expected, expected_stats) = read_rois_keyed(&arr, rects, &adc, key).unwrap();
+            let stats =
+                read_rois_keyed_into(&arr, rects, &adc, key, &mut images, &mut pool, &mut union)
+                    .unwrap();
+            assert_eq!(images, expected);
+            assert_eq!(stats, expected_stats);
+        }
+        // A failing batch must leave the previous images untouched.
+        let before = images.clone();
+        let bad = [Rect::new(15, 15, 4, 4)];
+        assert!(
+            read_rois_keyed_into(&arr, &bad, &adc, 1, &mut images, &mut pool, &mut union).is_err()
         );
         assert_eq!(images, before);
     }

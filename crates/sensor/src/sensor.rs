@@ -1,16 +1,21 @@
 //! The top-level [`Sensor`] façade tying the pixel array, pooling circuit
 //! and ADC together, with full conversion/transfer accounting.
 
+use std::sync::Arc;
+
 use hirise_imaging::rect::UnionScratch;
 use hirise_imaging::{FramePool, GrayImage, Image, Plane, Rect, RgbImage};
-use rand::rngs::StdRng;
+use rand::distributions::NormalSampler;
+use rand::rngs::{KeyedRng, StdRng};
 use rand::{Rng, SeedableRng};
 
 use crate::adc::Adc;
 use crate::array::PixelArray;
+use crate::noise::{self, domain, NoiseRngMode, TEMPORAL_SEED_MASK};
 use crate::pixel::PixelParams;
 use crate::pooling::{self, PoolingConfig};
 use crate::roi;
+use crate::shard::ShardPool;
 use crate::Result;
 
 /// Colour mode of the stage-1 compressed capture.
@@ -93,6 +98,15 @@ pub struct SensorConfig {
     pub adc_noise: f64,
     /// Seed for fixed-pattern and temporal noise.
     pub seed: u64,
+    /// How noise draws are realised: position-keyed (`Keyed`, the fast
+    /// order-independent default) or the legacy sequential stream
+    /// (`Sequential`, bit-identical to the historical implementation).
+    pub noise_rng: NoiseRngMode,
+    /// Row shards for the keyed capture/pool paths: `1` = single
+    /// threaded (default), `0` = one shard per available core, `n` =
+    /// exactly `n`. Results are bit-identical at every setting; only
+    /// `Keyed` mode uses the shards (sequential draws cannot be split).
+    pub shards: u32,
 }
 
 impl Default for SensorConfig {
@@ -104,6 +118,8 @@ impl Default for SensorConfig {
             adc_inl_lsb: 0.25,
             adc_noise: 0.2e-3,
             seed: 0x5EED,
+            noise_rng: NoiseRngMode::default(),
+            shards: 1,
         }
     }
 }
@@ -123,19 +139,38 @@ impl SensorConfig {
 
 /// A high-resolution sensor holding one captured scene.
 ///
-/// All readout methods take `&mut self` because temporal noise advances the
-/// internal RNG; captures of the same sensor are independent noise
-/// realisations over the same fixed pattern.
+/// All readout methods take `&mut self` because temporal noise advances
+/// per readout — the internal sequential RNG in
+/// [`NoiseRngMode::Sequential`], a readout-op counter in
+/// [`NoiseRngMode::Keyed`]; captures of the same sensor are independent
+/// noise realisations over the same fixed pattern in both modes.
 #[derive(Debug, Clone)]
 pub struct Sensor {
     array: PixelArray,
     config: SensorConfig,
     rng: StdRng,
+    /// Keyed mode: base seed of the temporal-noise keys (reset on
+    /// recapture, replaced by [`Sensor::reseed_temporal_noise`]).
+    noise_seed: u64,
+    /// Keyed mode: readout operations performed since (re)capture; each
+    /// top-level readout derives its key from `(noise_seed, ops)`.
+    ops: u64,
+    /// Lazily spawned row-shard workers (keyed mode with `shards > 1`);
+    /// shared across clones, dispatches without heap allocation.
+    shard_pool: Option<Arc<ShardPool>>,
 }
 
-/// XOR mask decorrelating the temporal-noise stream from the
-/// fixed-pattern seed.
-const TEMPORAL_SEED_MASK: u64 = 0x0123_4567_89AB_CDEF;
+/// Resolved shard count for a configuration (`1` in sequential mode: an
+/// ordered draw stream cannot be split).
+fn config_shards(config: &SensorConfig) -> usize {
+    match config.noise_rng {
+        NoiseRngMode::Sequential => 1,
+        NoiseRngMode::Keyed => match config.shards {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n as usize,
+        },
+    }
+}
 
 impl Sensor {
     /// Captures `scene` onto a new sensor.
@@ -147,19 +182,73 @@ impl Sensor {
     /// (the array copies the pixel data anyway). Identical to
     /// [`Sensor::new`] minus one full-frame clone.
     pub fn capture(scene: &RgbImage, config: SensorConfig) -> Self {
-        let array = PixelArray::from_scene(scene, config.pixel, config.seed);
+        // Build the shard workers before the first fill, so the initial
+        // capture row-shards exactly like every recapture.
+        let shards = config_shards(&config);
+        let shard_pool = (shards > 1).then(|| Arc::new(ShardPool::new(shards)));
+        let array = PixelArray::from_scene_with(
+            scene,
+            config.pixel,
+            config.seed,
+            config.noise_rng,
+            shards,
+            shard_pool.as_deref(),
+        );
         let rng = StdRng::seed_from_u64(config.seed ^ TEMPORAL_SEED_MASK);
-        Self { array, config, rng }
+        Self {
+            array,
+            config,
+            rng,
+            noise_seed: config.seed ^ TEMPORAL_SEED_MASK,
+            ops: 0,
+            shard_pool,
+        }
     }
 
     /// Recaptures a (possibly differently-sized) scene onto this sensor in
     /// place: the voltage planes are refilled reusing their buffers and the
-    /// temporal-noise stream is rewound, so the sensor is bit-identical to
+    /// temporal-noise state is rewound, so the sensor is bit-identical to
     /// a fresh [`Sensor::capture`] of the same scene and configuration —
     /// without any steady-state heap allocation.
     pub fn recapture(&mut self, scene: &RgbImage) {
-        self.array.refill_from_scene(scene, self.config.seed);
+        self.ensure_shard_pool();
+        let shards = self.capture_shards();
+        self.array.refill_from_scene_with(
+            scene,
+            self.config.seed,
+            self.config.noise_rng,
+            shards,
+            self.shard_pool.as_deref(),
+        );
         self.rng = StdRng::seed_from_u64(self.config.seed ^ TEMPORAL_SEED_MASK);
+        self.noise_seed = self.config.seed ^ TEMPORAL_SEED_MASK;
+        self.ops = 0;
+    }
+
+    /// Shard count for keyed row-parallel paths (`1` in sequential mode:
+    /// an ordered draw stream cannot be split).
+    fn capture_shards(&self) -> usize {
+        config_shards(&self.config)
+    }
+
+    /// Spawns the persistent shard workers on first need (keyed mode,
+    /// `shards > 1`); a no-op afterwards, so the steady state allocates
+    /// nothing.
+    fn ensure_shard_pool(&mut self) {
+        if self.shard_pool.is_none() {
+            let shards = self.capture_shards();
+            if shards > 1 {
+                self.shard_pool = Some(Arc::new(ShardPool::new(shards)));
+            }
+        }
+    }
+
+    /// The key of the next readout operation (keyed mode), advancing the
+    /// op counter.
+    fn next_op_key(&mut self) -> u64 {
+        let op = self.ops;
+        self.ops += 1;
+        noise::frame_key(self.noise_seed, op)
     }
 
     /// Array width in pixel sites.
@@ -250,15 +339,15 @@ impl Sensor {
         pooling::validate_pooling(&self.array, k)?;
         let adc = self.pooled_adc();
         let bits = adc.bits() as u64;
+        let keyed = match self.config.noise_rng {
+            NoiseRngMode::Sequential => None,
+            NoiseRngMode::Keyed => {
+                self.ensure_shard_pool();
+                Some((self.next_op_key(), self.capture_shards(), self.shard_pool.clone()))
+            }
+        };
         let count = match mode {
             ColorMode::Gray => {
-                pooling::pool_gray_into(
-                    &self.array,
-                    k,
-                    &self.config.pooling,
-                    &mut self.rng,
-                    analog,
-                )?;
                 let target = match out {
                     Image::Gray(g) => g,
                     other => {
@@ -266,7 +355,31 @@ impl Sensor {
                         other.as_gray_mut().expect("just assigned the gray variant")
                     }
                 };
-                Self::digitise_plane_into(analog, &adc, &mut self.rng, target.plane_mut());
+                match &keyed {
+                    None => {
+                        pooling::pool_gray_into(
+                            &self.array,
+                            k,
+                            &self.config.pooling,
+                            &mut self.rng,
+                            analog,
+                        )?;
+                        Self::digitise_plane_into(analog, &adc, &mut self.rng, target.plane_mut());
+                    }
+                    Some((key, shards, pool)) => {
+                        pooling::pool_gray_keyed(
+                            &self.array,
+                            k,
+                            &self.config.pooling,
+                            &adc,
+                            *key,
+                            *shards,
+                            pool.as_deref(),
+                            analog,
+                            target.plane_mut(),
+                        )?;
+                    }
+                }
                 target.plane().len() as u64
             }
             ColorMode::Rgb => {
@@ -278,15 +391,33 @@ impl Sensor {
                     }
                 };
                 for (ch, plane) in target.planes_mut().into_iter().enumerate() {
-                    pooling::pool_channel_into(
-                        &self.array,
-                        ch,
-                        k,
-                        &self.config.pooling,
-                        &mut self.rng,
-                        analog,
-                    )?;
-                    Self::digitise_plane_into(analog, &adc, &mut self.rng, plane);
+                    match &keyed {
+                        None => {
+                            pooling::pool_channel_into(
+                                &self.array,
+                                ch,
+                                k,
+                                &self.config.pooling,
+                                &mut self.rng,
+                                analog,
+                            )?;
+                            Self::digitise_plane_into(analog, &adc, &mut self.rng, plane);
+                        }
+                        Some((key, shards, pool)) => {
+                            pooling::pool_channel_keyed(
+                                &self.array,
+                                ch,
+                                k,
+                                &self.config.pooling,
+                                &adc,
+                                *key,
+                                *shards,
+                                pool.as_deref(),
+                                analog,
+                                plane,
+                            )?;
+                        }
+                    }
                 }
                 target.width() as u64 * target.height() as u64 * 3
             }
@@ -300,18 +431,48 @@ impl Sensor {
         let adc = self.pixel_adc();
         let (w, h) = (self.array.width(), self.array.height());
         let read_noise = self.config.pixel.read_noise;
+        let keyed = match self.config.noise_rng {
+            NoiseRngMode::Sequential => None,
+            NoiseRngMode::Keyed => Some(self.next_op_key()),
+        };
+        let sampler = NormalSampler::new();
+        let adc_sigma = adc.noise_sigma();
+        let sites = w as u64 * h as u64;
         let mut planes = Vec::with_capacity(3);
         for ch in 0..3 {
             let mut out = Plane::new(w, h);
             // Flat pass over paired slices; conversion order matches the
-            // row-major per-pixel loop exactly.
-            for (&src, o) in self.array.plane(ch).as_slice().iter().zip(out.as_mut_slice()) {
-                let mut v = src as f64;
-                if read_noise > 0.0 {
-                    v += read_noise * pooling::gaussian(&mut self.rng);
+            // row-major per-pixel loop exactly (and is irrelevant to the
+            // keyed path, whose draws are position-pure).
+            match keyed {
+                None => {
+                    for (&src, o) in self.array.plane(ch).as_slice().iter().zip(out.as_mut_slice())
+                    {
+                        let mut v = src as f64;
+                        if read_noise > 0.0 {
+                            v += read_noise * pooling::gaussian(&mut self.rng);
+                        }
+                        let code = adc.convert(v, &mut self.rng);
+                        *o = adc.code_to_unit(code);
+                    }
                 }
-                let code = adc.convert(v, &mut self.rng);
-                *o = adc.code_to_unit(code);
+                Some(key) => {
+                    let ch_base = ch as u64 * sites;
+                    for (i, (&src, o)) in
+                        self.array.plane(ch).as_slice().iter().zip(out.as_mut_slice()).enumerate()
+                    {
+                        let mut rng = KeyedRng::for_stream(
+                            key,
+                            noise::stream(domain::FULL, ch_base + i as u64),
+                        );
+                        let mut v = src as f64;
+                        if read_noise > 0.0 {
+                            v += read_noise * sampler.sample(&mut rng);
+                        }
+                        let g = if adc_sigma > 0.0 { sampler.sample(&mut rng) } else { 0.0 };
+                        *o = adc.code_to_unit(adc.convert_with_noise(v, g));
+                    }
+                }
             }
             planes.push(out);
         }
@@ -335,7 +496,13 @@ impl Sensor {
     /// [`crate::SensorError::RoiOutOfBounds`] when the box leaves the array.
     pub fn read_roi(&mut self, rect: Rect) -> Result<(RgbImage, ReadoutStats)> {
         let adc = self.pixel_adc();
-        roi::read_roi(&self.array, rect, &adc, &mut self.rng)
+        match self.config.noise_rng {
+            NoiseRngMode::Sequential => roi::read_roi(&self.array, rect, &adc, &mut self.rng),
+            NoiseRngMode::Keyed => {
+                let key = self.next_op_key();
+                roi::read_roi_keyed(&self.array, rect, &adc, key)
+            }
+        }
     }
 
     /// Stage-2 readout of a batch of ROIs (conversions on the union,
@@ -346,7 +513,13 @@ impl Sensor {
     /// [`crate::SensorError::RoiOutOfBounds`] when any box leaves the array.
     pub fn read_rois(&mut self, rects: &[Rect]) -> Result<(Vec<RgbImage>, ReadoutStats)> {
         let adc = self.pixel_adc();
-        roi::read_rois(&self.array, rects, &adc, &mut self.rng)
+        match self.config.noise_rng {
+            NoiseRngMode::Sequential => roi::read_rois(&self.array, rects, &adc, &mut self.rng),
+            NoiseRngMode::Keyed => {
+                let key = self.next_op_key();
+                roi::read_rois_keyed(&self.array, rects, &adc, key)
+            }
+        }
     }
 
     /// In-place variant of [`Sensor::read_rois`]: crops land in `images`
@@ -365,13 +538,25 @@ impl Sensor {
         union: &mut UnionScratch,
     ) -> Result<ReadoutStats> {
         let adc = self.pixel_adc();
-        roi::read_rois_into(&self.array, rects, &adc, &mut self.rng, images, pool, union)
+        match self.config.noise_rng {
+            NoiseRngMode::Sequential => {
+                roi::read_rois_into(&self.array, rects, &adc, &mut self.rng, images, pool, union)
+            }
+            NoiseRngMode::Keyed => {
+                let key = self.next_op_key();
+                roi::read_rois_keyed_into(&self.array, rects, &adc, key, images, pool, union)
+            }
+        }
     }
 
     /// Derives a fresh noise stream (e.g. to decorrelate captures) while
-    /// keeping the fixed pattern.
+    /// keeping the fixed pattern. Applies to both modes: the sequential
+    /// generator is reseeded and the keyed op keys restart from the new
+    /// seed.
     pub fn reseed_temporal_noise(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
+        self.noise_seed = seed;
+        self.ops = 0;
     }
 
     /// Draws from the sensor's internal RNG (exposed for co-simulation).
@@ -535,6 +720,64 @@ mod tests {
         let (a, _) = s1.capture_pooled(2, ColorMode::Rgb).unwrap();
         let (b, _) = s2.capture_pooled(2, ColorMode::Rgb).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_modes_are_distinct_but_noiselessly_identical() {
+        let scene = test_scene(16, 16);
+        let seq = SensorConfig { noise_rng: NoiseRngMode::Sequential, ..SensorConfig::default() };
+        let key = SensorConfig { noise_rng: NoiseRngMode::Keyed, ..SensorConfig::default() };
+        let (a, _) = Sensor::capture(&scene, seq).capture_pooled(2, ColorMode::Rgb).unwrap();
+        let (b, _) = Sensor::capture(&scene, key).capture_pooled(2, ColorMode::Rgb).unwrap();
+        assert_ne!(a, b, "modes share a noise stream");
+        // Without any noise the two modes run the same arithmetic.
+        let seq = SensorConfig { noise_rng: NoiseRngMode::Sequential, ..SensorConfig::noiseless() };
+        let key = SensorConfig { noise_rng: NoiseRngMode::Keyed, ..SensorConfig::noiseless() };
+        let (a, sa) = Sensor::capture(&scene, seq).capture_pooled(2, ColorMode::Rgb).unwrap();
+        let (b, sb) = Sensor::capture(&scene, key).capture_pooled(2, ColorMode::Rgb).unwrap();
+        assert_eq!(a, b, "noiseless modes diverged");
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn keyed_capture_is_shard_count_invariant() {
+        // The whole frame path — capture, pooled capture, ROI readout —
+        // is bit-identical at every shard count in keyed mode.
+        let scene = test_scene(32, 24);
+        let reference = {
+            let mut s =
+                Sensor::capture(&scene, SensorConfig { shards: 1, ..SensorConfig::default() });
+            s.recapture(&scene);
+            let pooled = s.capture_pooled(4, ColorMode::Rgb).unwrap();
+            let rois = s.read_rois(&[Rect::new(2, 2, 8, 8), Rect::new(6, 4, 8, 8)]).unwrap();
+            (pooled, rois)
+        };
+        for shards in [2u32, 4] {
+            let mut s = Sensor::capture(&scene, SensorConfig { shards, ..SensorConfig::default() });
+            s.recapture(&scene);
+            let pooled = s.capture_pooled(4, ColorMode::Rgb).unwrap();
+            let rois = s.read_rois(&[Rect::new(2, 2, 8, 8), Rect::new(6, 4, 8, 8)]).unwrap();
+            assert_eq!(pooled, reference.0, "pooled capture differs at {shards} shards");
+            assert_eq!(rois, reference.1, "roi readout differs at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn keyed_readouts_advance_with_the_op_counter() {
+        let scene = test_scene(16, 16);
+        let mut s = Sensor::capture(&scene, SensorConfig::default());
+        let (a, _) = s.capture_pooled(2, ColorMode::Gray).unwrap();
+        let (b, _) = s.capture_pooled(2, ColorMode::Gray).unwrap();
+        assert_ne!(a, b, "successive captures must be independent realisations");
+        // Recapture rewinds the op counter: the next readout reproduces
+        // the first.
+        s.recapture(&scene);
+        let (c, _) = s.capture_pooled(2, ColorMode::Gray).unwrap();
+        assert_eq!(a, c);
+        // Reseeding moves every subsequent readout.
+        s.reseed_temporal_noise(0xFEED);
+        let (d, _) = s.capture_pooled(2, ColorMode::Gray).unwrap();
+        assert_ne!(a, d);
     }
 
     #[test]

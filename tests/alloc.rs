@@ -12,7 +12,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use hirise::{HiriseConfig, HirisePipeline, PipelineScratch, SensorConfig};
+use hirise::{HiriseConfig, HirisePipeline, NoiseRngMode, PipelineScratch, SensorConfig};
 use hirise_imaging::{draw, Rect, RgbImage};
 
 /// Counts this thread's allocation events (`alloc`, `alloc_zeroed`, and
@@ -116,6 +116,36 @@ fn scratch_path_is_allocation_free_after_warmup() {
             timed.capture + timed.pool > std::time::Duration::ZERO,
             "frame {i}: stage timings missing from the zero-allocation path"
         );
+    }
+}
+
+#[test]
+fn keyed_row_sharded_path_is_allocation_free_after_warmup() {
+    // The row-sharded keyed frame path must preserve the zero-allocation
+    // contract: the shard workers are spawned once (during warm-up, when
+    // the scratch sensor is first built) and every later dispatch hands
+    // the stack-held job over without touching the heap on this thread.
+    let detector = hirise::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+    let config = HiriseConfig::builder(192, 144)
+        .pooling(2)
+        .sensor(SensorConfig { noise_rng: NoiseRngMode::Keyed, shards: 2, ..Default::default() })
+        .detector(detector)
+        .max_rois(4)
+        .build()
+        .unwrap();
+    let pipeline = HirisePipeline::new(config);
+    let frames: Vec<RgbImage> = (0..8).map(|i| scene(192, 144, i)).collect();
+    let mut scratch = PipelineScratch::new();
+    for _ in 0..2 {
+        for frame in &frames {
+            pipeline.run_with_scratch(frame, &mut scratch).unwrap();
+        }
+    }
+    for (i, frame) in frames.iter().enumerate() {
+        let count = allocations_during(|| {
+            pipeline.run_with_scratch(frame, &mut scratch).unwrap();
+        });
+        assert_eq!(count, 0, "frame {i}: sharded keyed path allocated {count} times");
     }
 }
 

@@ -18,9 +18,10 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use hirise::analytical::AnalyticalModel;
-use hirise::{HiriseConfig, Rect};
+use hirise::{HiriseConfig, HirisePipeline, NoiseRngMode, Rect};
 use hirise_bench::stats::DatasetRoiStats;
 use hirise_energy::{ColorChannels, SystemParams};
+use hirise_imaging::{draw, RgbImage};
 use hirise_scene::{DatasetSpec, ObjectClass};
 
 /// Relative tolerance for floating-point golden columns.
@@ -154,6 +155,53 @@ fn fig7_transfer_table_matches_golden() {
         }
     }
     check_golden("fig7.csv", &csv);
+}
+
+/// One image-sum checksum: a cheap, deterministic pin on the exact pixel
+/// stream (any single-code change moves it by ≥ 1/255, far above the
+/// 1e-9 relative golden tolerance).
+fn plane_checksum(planes: &[&hirise_imaging::Plane]) -> f64 {
+    planes.iter().flat_map(|p| p.as_slice()).map(|&v| v as f64).sum()
+}
+
+#[test]
+fn pipeline_noise_mode_outputs_match_goldens() {
+    // Pins the *noisy* frame path per noise mode: `sequential` guards
+    // the legacy bit stream (Box–Muller over the ordered generator),
+    // `keyed` guards the counter-based Ziggurat stream that is now the
+    // default. Counters compare exactly; checksums at 1e-9 relative.
+    let mut scene = RgbImage::from_fn(128, 96, |_, _| (0.35, 0.35, 0.35));
+    let obj = Rect::new(40, 24, 24, 48);
+    draw::fill_rect_rgb(&mut scene, obj, (0.9, 0.4, 0.2));
+    let [pr, _, _] = scene.planes_mut();
+    draw::fill_stripes(pr, obj, 2, 0.95, 0.55);
+
+    let mut csv = String::from(
+        "mode,s1_conversions,s2_conversions,transfer_bits,rois,pooled_checksum,roi_checksum\n",
+    );
+    for mode in [NoiseRngMode::Sequential, NoiseRngMode::Keyed] {
+        let detector = hirise::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+        let config = HiriseConfig::builder(128, 96)
+            .pooling(2)
+            .detector(detector)
+            .max_rois(4)
+            .noise_rng(mode)
+            .build()
+            .unwrap();
+        let run = HirisePipeline::new(config).run(&scene).unwrap();
+        let pooled = plane_checksum(&run.pooled_image.as_rgb().unwrap().planes());
+        let rois: f64 = run.roi_images.iter().map(|img| plane_checksum(&img.planes())).sum();
+        writeln!(
+            csv,
+            "{mode},{},{},{},{},{pooled:.9},{rois:.9}",
+            run.report.stage1.conversions,
+            run.report.stage2.conversions,
+            run.report.total_transfer_bits(),
+            run.rois.len(),
+        )
+        .unwrap();
+    }
+    check_golden("pipeline_modes.csv", &csv);
 }
 
 #[test]
