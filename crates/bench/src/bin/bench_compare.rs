@@ -7,9 +7,15 @@
 //! and **exits nonzero when the end-to-end mean regressed by more than
 //! the allowed percentage** (default 15 %) — the labelled CI gate.
 //!
+//! The gate also covers the **temporal** trajectory: when a committed
+//! `results/BENCH_temporal.json` exists (see the `video_stages` binary),
+//! tracked-mode video is re-measured against it with the same budget and
+//! folded into the history entry.
+//!
 //! ```text
 //! cargo run --release -p hirise-bench --bin bench_compare -- \
 //!     [--baseline results/BENCH_pipeline.json] \
+//!     [--temporal-baseline results/BENCH_temporal.json] \
 //!     [--history results/BENCH_history.json] \
 //!     [--max-regress-pct 15] [--frames N] [--mode keyed|sequential] \
 //!     [--quick | --full]
@@ -20,6 +26,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use hirise::NoiseRngMode;
 use hirise_bench::args::Flags;
 use hirise_bench::stages::{json_f64, json_str, measure, StageBenchConfig};
+use hirise_bench::video;
 
 /// Gregorian `(year, month, day)` for a Unix day number (days since
 /// 1970-01-01), via Howard Hinnant's civil-from-days algorithm.
@@ -102,24 +109,105 @@ fn main() {
         println!("  pool stage {:.2} ms vs baseline {base_pool:.2} ms", fresh.pool_ms);
     }
 
+    // Temporal (tracked-mode video) trajectory: measured against its own
+    // committed baseline when one exists; skipped otherwise so the gate
+    // still runs on checkouts from before the temporal pipeline.
+    let temporal_baseline_path =
+        flags.value_of("temporal-baseline").unwrap_or("results/BENCH_temporal.json");
+    let tracked = match std::fs::read_to_string(temporal_baseline_path) {
+        Err(e) => {
+            println!("no temporal baseline at {temporal_baseline_path} ({e}); skipping");
+            None
+        }
+        Ok(temporal_baseline) => {
+            let tracked_base =
+                json_f64(&temporal_baseline, "tracked_ms_mean").unwrap_or_else(|| {
+                    panic!("temporal baseline {temporal_baseline_path} lacks tracked_ms_mean")
+                });
+            let defaults = video::VideoBenchConfig::default();
+            // Reconstruct the measurement configuration from the
+            // temporal baseline itself (array, k, cadence, noise mode),
+            // exactly as the still gate does from its baseline, so the
+            // comparison stays apples-to-apples. The frame count also
+            // comes from the baseline: the keyframe fraction is part of
+            // the tracked mean, so a shorter fresh run (e.g. 2
+            // keyframes over 12 frames vs 6 over 48) would bias the
+            // delta with no real regression. `--mode`/`--frames`
+            // override deliberately.
+            let video_array =
+                json_str(&temporal_baseline, "array").unwrap_or_else(|| array.clone());
+            let (video_width, video_height) = video_array
+                .split_once('x')
+                .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                .unwrap_or_else(|| panic!("temporal baseline array {video_array:?} is not WxH"));
+            let video_config = video::VideoBenchConfig {
+                width: video_width,
+                height: video_height,
+                pooling_k: json_f64(&temporal_baseline, "pooling_k")
+                    .map_or(defaults.pooling_k, |k| k as u32),
+                frames: flags.parsed("frames").unwrap_or_else(|| {
+                    json_f64(&temporal_baseline, "frames").map_or(defaults.frames, |v| v as u32)
+                }),
+                keyframe_interval: json_f64(&temporal_baseline, "keyframe_interval")
+                    .map_or(defaults.keyframe_interval, |v| v as u32),
+                mode: flags.parsed::<NoiseRngMode>("mode").unwrap_or_else(|| {
+                    json_str(&temporal_baseline, "mode")
+                        .and_then(|m| m.parse().ok())
+                        .unwrap_or(defaults.mode)
+                }),
+            };
+            // Tracked-only measurement: the per-frame-mode half of the
+            // video bench is not gated here, so don't pay for it.
+            let fresh_video = video::measure_tracked(&video_config);
+            let tracked_delta_pct =
+                100.0 * (fresh_video.tracked_ms_mean - tracked_base) / tracked_base;
+            println!(
+                "  tracked video {:.2} ms/frame vs baseline {tracked_base:.2} ms/frame \
+                 ({tracked_delta_pct:+.1} %), mean ROI IoU {:.3}",
+                fresh_video.tracked_ms_mean, fresh_video.mean_roi_iou
+            );
+            Some((fresh_video, tracked_base, tracked_delta_pct))
+        }
+    };
+
     let epoch_secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
     let (y, m, d) = civil_from_days((epoch_secs / 86_400) as i64);
+    let tracked_fields = tracked.as_ref().map_or_else(String::new, |(v, base, delta)| {
+        format!(
+            ", \"tracked_ms_mean\": {:.3}, \"tracked_baseline_ms_mean\": {base:.3}, \
+             \"tracked_delta_pct\": {delta:.2}, \"mean_roi_iou\": {:.4}",
+            v.tracked_ms_mean, v.mean_roi_iou,
+        )
+    });
     let entry = format!(
         "  {{ \"date\": \"{y:04}-{m:02}-{d:02}\", \"epoch_secs\": {epoch_secs}, \
          \"array\": \"{array}\", \"pooling_k\": {}, \"mode\": \"{}\", \"frames\": {}, \
          \"end_to_end_ms_mean\": {:.3}, \"pool_ms_mean\": {:.3}, \
-         \"baseline_ms_mean\": {base_mean:.3}, \"delta_pct\": {delta_pct:.2} }}",
+         \"baseline_ms_mean\": {base_mean:.3}, \"delta_pct\": {delta_pct:.2}{tracked_fields} }}",
         config.pooling_k, config.mode, config.frames, fresh.end_to_end_ms_mean, fresh.pool_ms,
     );
     let history = std::path::Path::new(history_path);
     append_history(history, &entry);
     println!("appended trajectory entry to {}", history.display());
 
+    let mut failed = false;
     if delta_pct > max_regress_pct {
         eprintln!(
             "REGRESSION: end-to-end mean {delta_pct:+.1} % exceeds the allowed \
              +{max_regress_pct:.1} %"
         );
+        failed = true;
+    }
+    if let Some((_, _, tracked_delta_pct)) = tracked {
+        if tracked_delta_pct > max_regress_pct {
+            eprintln!(
+                "REGRESSION: tracked-video mean {tracked_delta_pct:+.1} % exceeds the \
+                 allowed +{max_regress_pct:.1} %"
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("within the +{max_regress_pct:.1} % budget");

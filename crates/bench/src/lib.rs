@@ -14,6 +14,8 @@
 //!   Table 3 binaries,
 //! * [`stages`] — the stage-breakdown frame benchmark shared by the
 //!   `pipeline_stages` profiler and the `bench_compare` trajectory gate,
+//! * [`video`] — the temporal (per-frame vs tracked) video benchmark
+//!   shared by `video_stages` and `bench_compare`,
 //! * [`args`] — tiny CLI-flag helpers shared by the binaries.
 
 pub mod args;
@@ -21,6 +23,7 @@ pub mod classifier;
 pub mod stages;
 pub mod stats;
 pub mod table2;
+pub mod video;
 
 /// Needed by `[[bench]]` targets; re-exported so binaries share versions.
 pub use hirise_nn::Mlp;

@@ -79,6 +79,80 @@ impl HiriseConfig {
     }
 }
 
+/// Policy of the temporal (video) pipeline: when to pay for a full
+/// stage-1 pooled capture + detection versus riding the ROI tracks.
+///
+/// Used by [`crate::temporal::TrackingPipeline`]; plain still-image runs
+/// ([`crate::HirisePipeline`]) ignore it. The defaults re-detect every
+/// 8th frame and whenever a tracked ROI's mean intensity moves by more
+/// than 6 % of full scale — a cheap proxy for "the prediction no longer
+/// covers the object".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalConfig {
+    /// Full stage-1 detection runs every `keyframe_interval`-th frame
+    /// (≥ 1; `1` degenerates to per-frame detection).
+    pub keyframe_interval: u32,
+    /// Mean-intensity shift (normalised units, full scale = 1.0) of any
+    /// tracked ROI that triggers an off-schedule re-detection. Non-finite
+    /// or huge values effectively disable the trigger.
+    pub drift_threshold: f32,
+    /// Minimum IoU for a fresh detection to be associated with an
+    /// existing track (below it, the detection spawns a new track).
+    pub min_track_iou: f64,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        Self { keyframe_interval: 8, drift_threshold: 0.06, min_track_iou: 0.25 }
+    }
+}
+
+impl TemporalConfig {
+    /// Sets the keyframe cadence.
+    pub fn keyframe_interval(mut self, interval: u32) -> Self {
+        self.keyframe_interval = interval;
+        self
+    }
+
+    /// Sets the mean-intensity drift trigger.
+    pub fn drift_threshold(mut self, threshold: f32) -> Self {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Sets the track-association IoU gate.
+    pub fn min_track_iou(mut self, iou: f64) -> Self {
+        self.min_track_iou = iou;
+        self
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`HiriseError::InvalidConfig`] for a zero keyframe interval, a NaN
+    /// or negative drift threshold, or an association gate outside
+    /// `0.0..=1.0`.
+    pub fn validate(&self) -> Result<()> {
+        if self.keyframe_interval == 0 {
+            return Err(HiriseError::InvalidConfig {
+                reason: "keyframe interval must be ≥ 1".into(),
+            });
+        }
+        if !(self.drift_threshold >= 0.0) {
+            return Err(HiriseError::InvalidConfig {
+                reason: format!("drift threshold {} must be ≥ 0", self.drift_threshold),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.min_track_iou) {
+            return Err(HiriseError::InvalidConfig {
+                reason: format!("association IoU gate {} outside 0..=1", self.min_track_iou),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Builder for [`HiriseConfig`] (non-consuming terminal `build`).
 #[derive(Debug, Clone)]
 pub struct HiriseConfigBuilder {
@@ -201,6 +275,22 @@ mod tests {
         assert_eq!(c.pooled_dimensions(), (320, 240));
         assert_eq!(c.sensor.noise_rng, NoiseRngMode::Sequential);
         assert_eq!(c.sensor.shards, 4);
+    }
+
+    #[test]
+    fn temporal_config_validates() {
+        let t = TemporalConfig::default();
+        assert!(t.validate().is_ok());
+        assert!(TemporalConfig::default().keyframe_interval(0).validate().is_err());
+        assert!(TemporalConfig::default().drift_threshold(-0.1).validate().is_err());
+        assert!(TemporalConfig::default().drift_threshold(f32::NAN).validate().is_err());
+        assert!(TemporalConfig::default().min_track_iou(1.5).validate().is_err());
+        let custom =
+            TemporalConfig::default().keyframe_interval(4).drift_threshold(0.1).min_track_iou(0.5);
+        assert_eq!(custom.keyframe_interval, 4);
+        assert_eq!(custom.drift_threshold, 0.1);
+        assert_eq!(custom.min_track_iou, 0.5);
+        assert!(custom.validate().is_ok());
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   [`hirise_sensor::Sensor`]; its
 //!   [`run_with_scratch`](HirisePipeline::run_with_scratch) entry point
 //!   reuses a [`PipelineScratch`] for a zero-allocation steady state,
+//! * [`temporal`] — the video extension: a [`TrackingPipeline`] that
+//!   persists ROIs across frames and re-runs the full stage-1 pool +
+//!   detect only on keyframes or drift, so steady-state video frames do
+//!   capture + selective ROI readout alone,
 //! * [`baseline`] — the conventional full-frame system and the
 //!   in-processor-scaling variant the paper compares against,
 //! * [`analytical`] — the closed-form Table-1 model,
@@ -58,16 +62,21 @@ pub mod report;
 pub mod roi;
 pub mod scratch;
 pub mod stream;
+pub mod temporal;
 pub mod timing;
 
 mod error;
 
-pub use config::{HiriseConfig, HiriseConfigBuilder};
+pub use config::{HiriseConfig, HiriseConfigBuilder, TemporalConfig};
 pub use error::HiriseError;
 pub use pipeline::{HirisePipeline, PipelineRun};
-pub use report::RunReport;
+pub use report::{FrameKind, RunReport, TemporalFrameReport};
 pub use scratch::PipelineScratch;
-pub use stream::{StreamConfig, StreamExecutor, StreamOrdering, StreamSummary};
+pub use stream::{
+    SequenceStreamSummary, SequenceSummary, StreamConfig, StreamExecutor, StreamOrdering,
+    StreamSummary,
+};
+pub use temporal::{TrackerState, TrackingPipeline};
 pub use timing::StageTimings;
 
 // Re-export the substrate vocabulary users need at the top level.

@@ -62,12 +62,29 @@ impl HirisePipeline {
         &self.detector
     }
 
-    fn check_scene(&self, scene: &RgbImage) -> Result<()> {
+    pub(crate) fn check_scene(&self, scene: &RgbImage) -> Result<()> {
         let expected = (self.config.array_width, self.config.array_height);
         if scene.dimensions() != expected {
             return Err(HiriseError::SceneMismatch { expected, actual: scene.dimensions() });
         }
         Ok(())
+    }
+
+    /// Captures `scene` into the scratch's sensor slot: recapture in
+    /// place when the sensor configuration matches; otherwise (first
+    /// frame, or a different pipeline borrowing the scratch) rebuild the
+    /// sensor once. Shared by the still-image and temporal frame paths.
+    pub(crate) fn capture_into<'a>(
+        &self,
+        scene: &RgbImage,
+        slot: &'a mut Option<Sensor>,
+    ) -> &'a mut Sensor {
+        if slot.as_ref().is_some_and(|s| *s.config() == self.config.sensor) {
+            slot.as_mut().expect("sensor presence just checked").recapture(scene);
+        } else {
+            *slot = Some(Sensor::capture(scene, self.config.sensor));
+        }
+        slot.as_mut().expect("sensor just ensured")
     }
 
     /// Runs stage 1 only: in-sensor compressed capture + detection.
@@ -134,17 +151,9 @@ impl HirisePipeline {
             pool,
             union,
         } = scratch;
-        // Recapture in place when the sensor configuration matches;
-        // otherwise (first frame, or a different pipeline borrowing the
-        // scratch) rebuild the sensor once.
         let mut timings = StageTimings::default();
         let mark = Instant::now();
-        if sensor.as_ref().is_some_and(|s| *s.config() == self.config.sensor) {
-            sensor.as_mut().expect("sensor presence just checked").recapture(scene);
-        } else {
-            *sensor = Some(Sensor::capture(scene, self.config.sensor));
-        }
-        let sensor = sensor.as_mut().expect("sensor just ensured");
+        let sensor = self.capture_into(scene, sensor);
         timings.capture = mark.elapsed();
 
         let mark = Instant::now();

@@ -77,6 +77,60 @@ impl RunReport {
     }
 }
 
+/// How the temporal pipeline produced one video frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Scheduled full stage-1 run (pool + detect + ROI readout), on the
+    /// keyframe cadence or because no live track remained.
+    Keyframe,
+    /// Off-schedule full stage-1 run forced by the drift trigger; the
+    /// sensor paid both the speculative tracked readout *and* the
+    /// refreshed one (both appear in the frame's stage-2 counters).
+    DriftRefresh,
+    /// Tracked frame: capture + predicted-ROI readout only — the pooled
+    /// capture and the detector never ran.
+    Tracked,
+}
+
+impl FrameKind {
+    /// Whether the full stage-1 pool + detect path executed.
+    pub fn ran_detection(&self) -> bool {
+        matches!(self, FrameKind::Keyframe | FrameKind::DriftRefresh)
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameKind::Keyframe => write!(f, "keyframe"),
+            FrameKind::DriftRefresh => write!(f, "drift-refresh"),
+            FrameKind::Tracked => write!(f, "tracked"),
+        }
+    }
+}
+
+/// One video frame's costs plus how the temporal policy handled it.
+///
+/// The embedded [`RunReport`] uses the same units as the still-image
+/// pipeline, so stream aggregation folds both kinds interchangeably; on
+/// a [`FrameKind::Tracked`] frame the stage-1 counters are zero (nothing
+/// was pooled, converted, or shipped for stage 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalFrameReport {
+    /// Cost accounting of the frame.
+    pub report: RunReport,
+    /// Which path produced it.
+    pub kind: FrameKind,
+    /// Live tracks after the frame.
+    pub active_tracks: u32,
+}
+
+impl fmt::Display for TemporalFrameReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} | {} tracks] {}", self.kind, self.active_tracks, self.report)
+    }
+}
+
 impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -149,5 +203,24 @@ mod tests {
         assert!(text.contains("2 rois"));
         assert!(text.contains("1300 conversions"));
         assert!(text.contains("stage-2"));
+    }
+
+    #[test]
+    fn frame_kinds_classify_detection_frames() {
+        assert!(FrameKind::Keyframe.ran_detection());
+        assert!(FrameKind::DriftRefresh.ran_detection());
+        assert!(!FrameKind::Tracked.ran_detection());
+        assert_eq!(FrameKind::Tracked.to_string(), "tracked");
+        assert_eq!(FrameKind::DriftRefresh.to_string(), "drift-refresh");
+    }
+
+    #[test]
+    fn temporal_report_displays_kind_and_tracks() {
+        let t =
+            TemporalFrameReport { report: report(), kind: FrameKind::Keyframe, active_tracks: 3 };
+        let text = t.to_string();
+        assert!(text.contains("keyframe"));
+        assert!(text.contains("3 tracks"));
+        assert!(text.contains("2 rois"));
     }
 }

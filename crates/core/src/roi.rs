@@ -51,12 +51,24 @@ pub fn detections_to_rois_into(
     order.clear();
     order.extend(0..detections.len() as u32);
     // sort_unstable never allocates; the index tiebreak restores the
-    // stable-sort order.
+    // stable-sort order. `total_cmp` keeps the sort total when a broken
+    // detector emits a NaN score (the old `partial_cmp().expect()`
+    // panicked, killing a whole stream worker for one bad window): NaN
+    // scores — of either sign — sort behind every real score in
+    // detector order, so they only ever fill leftover `max_rois` slots.
     order.sort_unstable_by(|&a, &b| {
-        detections[b as usize]
-            .score
-            .partial_cmp(&detections[a as usize].score)
-            .expect("finite scores")
+        let (sa, sb) = (detections[a as usize].score, detections[b as usize].score);
+        sa.is_nan()
+            .cmp(&sb.is_nan())
+            .then_with(|| {
+                // Both NaN: fall through to the index tiebreak rather
+                // than total_cmp's sign-of-NaN order.
+                if sa.is_nan() {
+                    std::cmp::Ordering::Equal
+                } else {
+                    sb.total_cmp(&sa)
+                }
+            })
             .then(a.cmp(&b))
     });
     out.clear();
@@ -122,6 +134,39 @@ mod tests {
     fn drops_fully_outside_boxes() {
         let rois = detections_to_rois(&[det(50, 50, 4, 4, 1.0)], 1, 0, 32, 32, 10);
         assert!(rois.is_empty());
+    }
+
+    #[test]
+    fn drops_zero_area_detections() {
+        // A degenerate detection must not resurface as a live ROI after
+        // scaling/inflation (Rect::scaled used to force sides to ≥ 1).
+        let dets = [det(10, 10, 0, 0, 0.9), det(4, 4, 0, 6, 0.8), det(2, 2, 3, 3, 0.5)];
+        let rois = detections_to_rois(&dets, 8, 3, 256, 256, 10);
+        assert_eq!(rois.len(), 1, "degenerate detections leaked: {rois:?}");
+        assert_eq!(rois[0], Rect::new(13, 13, 30, 30));
+    }
+
+    #[test]
+    fn nan_scores_sort_last_without_panicking() {
+        // One bad window must not kill the frame: NaN-scored detections
+        // sort behind every finite score (ties keep detector order) and
+        // only fill leftover slots.
+        // -NaN first: total_cmp alone would order +NaN ahead of it, so
+        // this pins the both-NaN → index-tiebreak path specifically.
+        let dets = [
+            det(0, 0, 4, 4, -f32::NAN),
+            det(8, 0, 4, 4, 0.1),
+            det(16, 0, 4, 4, f32::NAN),
+            det(24, 0, 4, 4, 0.7),
+        ];
+        let rois = detections_to_rois(&dets, 1, 0, 100, 100, 3);
+        assert_eq!(rois.len(), 3);
+        assert_eq!(rois[0].x, 24, "highest finite score first");
+        assert_eq!(rois[1].x, 8);
+        assert_eq!(rois[2].x, 0, "NaN entries keep detector order at the tail");
+        // With room for everything, both NaN boxes trail the finite ones.
+        let all = detections_to_rois(&dets, 1, 0, 100, 100, 10);
+        assert_eq!(all.iter().map(|r| r.x).collect::<Vec<_>>(), vec![24, 8, 0, 16]);
     }
 
     #[test]

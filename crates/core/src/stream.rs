@@ -23,6 +23,14 @@
 //! (each frame's sensor is seeded from the configuration alone); the
 //! ordering only governs how the floating-point aggregation folds.
 //!
+//! For **video**, frames are not independent — the temporal pipeline
+//! ([`crate::temporal`]) carries track state from frame to frame — so
+//! [`StreamExecutor::run_sequences`] dispatches whole ordered
+//! *sequences* instead of frame batches: each sequence runs start to
+//! finish on one worker (track state intact), many sequences run in
+//! parallel, and the per-sequence summaries come back in input order,
+//! bit-identical at any worker or shard count.
+//!
 //! With the sensor's position-keyed noise mode
 //! ([`hirise_sensor::NoiseRngMode::Keyed`], the default) the guarantee
 //! is stronger still: per-frame noise is a pure function of the
@@ -70,9 +78,11 @@ use std::time::{Duration, Instant};
 
 use hirise_imaging::RgbImage;
 
+use crate::config::TemporalConfig;
 use crate::pipeline::HirisePipeline;
-use crate::report::RunReport;
+use crate::report::{RunReport, TemporalFrameReport};
 use crate::scratch::PipelineScratch;
+use crate::temporal::{TrackerState, TrackingPipeline};
 use crate::timing::StageTimings;
 use crate::{HiriseError, Result};
 
@@ -173,6 +183,17 @@ impl StreamAggregate {
         self.rois += report.roi_count as u64;
         self.peak_image_bytes = self.peak_image_bytes.max(report.peak_image_bytes());
     }
+
+    /// Merges another aggregate into this one (counters add, peaks
+    /// max) — the one place that knows how every field combines, so
+    /// cross-sequence totals cannot silently drop a future field.
+    pub fn merge(&mut self, other: &StreamAggregate) {
+        self.conversions += other.conversions;
+        self.pooling_outputs += other.pooling_outputs;
+        self.transfer_bits += other.transfer_bits;
+        self.rois += other.rois;
+        self.peak_image_bytes = self.peak_image_bytes.max(other.peak_image_bytes);
+    }
 }
 
 /// What a whole stream run produced.
@@ -254,6 +275,153 @@ impl std::fmt::Display for StreamSummary {
             self.mean_rois(),
             self.mean_energy_mj(),
             self.aggregate.transfer_bits as f64 / 8000.0,
+        )
+    }
+}
+
+/// Totals over one ordered video sequence processed by the temporal
+/// pipeline in sequence mode ([`StreamExecutor::run_sequences`]).
+///
+/// Equality ignores [`SequenceSummary::stage_totals`] (wall-clock
+/// measurements are never bit-stable); everything else — counters,
+/// frame-ordered energy fold, per-frame reports — is a pure function of
+/// the configuration and the frames, so two equal runs compare equal at
+/// any worker or shard count.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceSummary {
+    /// Frames processed.
+    pub frames: u64,
+    /// Frames that ran the full stage-1 path on the keyframe cadence (or
+    /// because no track survived).
+    pub keyframes: u64,
+    /// Off-schedule re-detections forced by the drift trigger.
+    pub drift_refreshes: u64,
+    /// Frames served purely from track predictions (capture + ROI read).
+    pub tracked_frames: u64,
+    /// Order-independent counter totals.
+    pub aggregate: StreamAggregate,
+    /// Sensor-side energy folded in frame order, millijoules.
+    pub energy_mj: f64,
+    /// Summed per-stage wall-clock time across the sequence's frames.
+    pub stage_totals: StageTimings,
+    /// Per-frame reports in frame order; populated only under
+    /// [`StreamOrdering::Deterministic`].
+    pub reports: Vec<RunReport>,
+}
+
+impl PartialEq for SequenceSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.frames == other.frames
+            && self.keyframes == other.keyframes
+            && self.drift_refreshes == other.drift_refreshes
+            && self.tracked_frames == other.tracked_frames
+            && self.aggregate == other.aggregate
+            && self.energy_mj == other.energy_mj
+            && self.reports == other.reports
+    }
+}
+
+impl SequenceSummary {
+    /// Folds one frame of the sequence, in frame order.
+    fn fold(&mut self, frame: &TemporalFrameReport, keep_reports: bool) {
+        self.frames += 1;
+        match frame.kind {
+            crate::report::FrameKind::Keyframe => self.keyframes += 1,
+            crate::report::FrameKind::DriftRefresh => self.drift_refreshes += 1,
+            crate::report::FrameKind::Tracked => self.tracked_frames += 1,
+        }
+        self.aggregate.fold(&frame.report);
+        self.energy_mj += frame.report.sensor_energy_mj_default();
+        self.stage_totals += frame.report.timings;
+        if keep_reports {
+            self.reports.push(frame.report);
+        }
+    }
+
+    /// Fraction of frames that ran the full stage-1 detection path.
+    pub fn detection_fraction(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            (self.keyframes + self.drift_refreshes) as f64 / self.frames as f64
+        }
+    }
+}
+
+/// What a whole sequence-mode run produced: one [`SequenceSummary`] per
+/// input sequence, in input order, plus the run's wall-clock time.
+///
+/// Equality ignores [`SequenceStreamSummary::wall`]; comparing two runs
+/// therefore checks bit-identity of everything the workers computed —
+/// the form the worker-count/shard-count invariance tests use.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceStreamSummary {
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// Per-sequence totals, in input order.
+    pub sequences: Vec<SequenceSummary>,
+}
+
+impl PartialEq for SequenceStreamSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.sequences == other.sequences
+    }
+}
+
+impl SequenceStreamSummary {
+    /// Total frames across all sequences.
+    pub fn frames(&self) -> u64 {
+        self.sequences.iter().map(|s| s.frames).sum()
+    }
+
+    /// Frames per wall-clock second across the whole run (0 when
+    /// nothing was processed).
+    pub fn frames_per_sec(&self) -> f64 {
+        let frames = self.frames();
+        if frames == 0 {
+            return 0.0;
+        }
+        frames as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Counter totals folded over every sequence.
+    pub fn aggregate(&self) -> StreamAggregate {
+        let mut total = StreamAggregate::default();
+        for s in &self.sequences {
+            total.merge(&s.aggregate);
+        }
+        total
+    }
+
+    /// Total sensor-side energy, millijoules (sequence-ordered fold, so
+    /// bit-stable across worker counts).
+    pub fn energy_mj(&self) -> f64 {
+        self.sequences.iter().map(|s| s.energy_mj).sum()
+    }
+
+    /// Fraction of all frames that ran full stage-1 detection.
+    pub fn detection_fraction(&self) -> f64 {
+        let frames = self.frames();
+        if frames == 0 {
+            return 0.0;
+        }
+        let detections: u64 = self.sequences.iter().map(|s| s.keyframes + s.drift_refreshes).sum();
+        detections as f64 / frames as f64
+    }
+}
+
+impl std::fmt::Display for SequenceStreamSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sequences: {} ({} frames) in {:.3} s ({:.1} fps), {:.0} % detection frames, \
+             {:.3} mJ/frame",
+            self.sequences.len(),
+            self.frames(),
+            self.wall.as_secs_f64(),
+            self.frames_per_sec(),
+            100.0 * self.detection_fraction(),
+            if self.frames() == 0 { 0.0 } else { self.energy_mj() / self.frames() as f64 },
         )
     }
 }
@@ -450,6 +618,108 @@ impl StreamExecutor {
             }
             drop(result_tx);
             self.collect(result_rx, &cancelled, start)
+        })
+    }
+
+    /// Sequence mode: runs the **temporal** pipeline over many ordered
+    /// video sequences in parallel.
+    ///
+    /// Frame order matters on video — track state carries from frame to
+    /// frame — so the unit of dispatch here is a whole *sequence*, not a
+    /// frame batch: workers claim sequences off an atomic cursor and
+    /// each processes its sequence's frames strictly in order through a
+    /// per-worker [`TrackerState`] (reset between sequences) and
+    /// [`PipelineScratch`]. Sequences are independent, so many run in
+    /// parallel across the pool.
+    ///
+    /// The result is **bit-deterministic at any worker count**: each
+    /// [`SequenceSummary`] is a pure function of `(configuration,
+    /// temporal policy, frames)`, folded in frame order, and the
+    /// summaries are returned in input order. With the sensor's keyed
+    /// noise mode (the default), it is also invariant to the intra-frame
+    /// row-shard count (`SensorConfig::shards`). Per-frame reports are
+    /// retained only under [`StreamOrdering::Deterministic`].
+    ///
+    /// # Errors
+    ///
+    /// [`HiriseError::InvalidConfig`] for a degenerate temporal policy;
+    /// a frame failure cancels the run and returns the failure from the
+    /// lowest-indexed failing sequence.
+    pub fn run_sequences(
+        &self,
+        sequences: &[Vec<RgbImage>],
+        temporal: &TemporalConfig,
+    ) -> Result<SequenceStreamSummary> {
+        let tracker = TrackingPipeline::from_pipeline(self.pipeline.clone(), *temporal)?;
+        let keep_reports = self.config.ordering == StreamOrdering::Deterministic;
+        let start = Instant::now();
+        let next_sequence = AtomicU64::new(0);
+        let cancelled = AtomicBool::new(false);
+        let total = sequences.len() as u64;
+        let (result_tx, result_rx) = mpsc::channel::<(u64, Result<SequenceSummary>)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.min(sequences.len().max(1)) {
+                let result_tx = result_tx.clone();
+                let next_sequence = &next_sequence;
+                let cancelled = &cancelled;
+                let tracker = &tracker;
+                scope.spawn(move || {
+                    // One scratch and one tracker state per worker,
+                    // recycled across its sequences.
+                    let mut scratch = PipelineScratch::new();
+                    let mut state = TrackerState::new();
+                    loop {
+                        let index = next_sequence.fetch_add(1, Ordering::Relaxed);
+                        if index >= total || cancelled.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        state.reset();
+                        let mut summary = SequenceSummary::default();
+                        let mut failure: Option<HiriseError> = None;
+                        for frame in &sequences[index as usize] {
+                            if cancelled.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            match tracker.run_frame(frame, &mut state, &mut scratch) {
+                                Ok(report) => summary.fold(&report, keep_reports),
+                                Err(e) => {
+                                    cancelled.store(true, Ordering::Relaxed);
+                                    failure = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        let result = (index, failure.map_or(Ok(summary), Err));
+                        if result_tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+
+            let mut indexed: Vec<(u64, SequenceSummary)> = Vec::new();
+            let mut first_error: Option<(u64, HiriseError)> = None;
+            for (index, result) in result_rx {
+                match result {
+                    Ok(summary) => indexed.push((index, summary)),
+                    Err(e) => {
+                        cancelled.store(true, Ordering::Relaxed);
+                        if first_error.as_ref().is_none_or(|(min, _)| index < *min) {
+                            first_error = Some((index, e));
+                        }
+                    }
+                }
+            }
+            if let Some((_, e)) = first_error {
+                return Err(e);
+            }
+            indexed.sort_by_key(|(index, _)| *index);
+            Ok(SequenceStreamSummary {
+                wall: start.elapsed(),
+                sequences: indexed.into_iter().map(|(_, s)| s).collect(),
+            })
         })
     }
 
@@ -707,6 +977,153 @@ mod tests {
         assert_eq!(summary.stage_totals, folded);
         assert!(summary.stage_totals.total() > Duration::ZERO, "no stage time recorded");
         assert!(summary.mean_stage_timings().total() <= summary.stage_totals.total());
+    }
+
+    /// Short synthetic sequences: one object drifting rightward at a
+    /// sequence-specific speed.
+    fn sequences(count: usize, frames_each: usize) -> Vec<Vec<RgbImage>> {
+        (0..count)
+            .map(|s| {
+                (0..frames_each)
+                    .map(|i| {
+                        let mut img = RgbImage::from_fn(64, 48, |_, _| (0.35, 0.35, 0.35));
+                        let x = 8 + (s as u32 * 7 + i as u32 * (1 + s as u32 % 2)) % 32;
+                        let obj = Rect::new(x, 12, 12, 20);
+                        draw::fill_rect_rgb(&mut img, obj, (0.9, 0.4, 0.2));
+                        img
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequence_mode_matches_sequential_tracking_runs() {
+        use crate::temporal::{TrackerState, TrackingPipeline};
+        use crate::TemporalConfig;
+
+        let temporal = TemporalConfig::default().keyframe_interval(3);
+        let seqs = sequences(3, 7);
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(2)).unwrap();
+        let summary = executor.run_sequences(&seqs, &temporal).unwrap();
+        assert_eq!(summary.sequences.len(), 3);
+        assert_eq!(summary.frames(), 21);
+
+        // Reference: one tracker run per sequence on this thread.
+        let tracker = TrackingPipeline::from_pipeline(test_pipeline(64, 48), temporal).unwrap();
+        for (si, seq) in seqs.iter().enumerate() {
+            let mut state = TrackerState::new();
+            let mut scratch = crate::PipelineScratch::new();
+            let reports: Vec<RunReport> = seq
+                .iter()
+                .map(|f| tracker.run_frame(f, &mut state, &mut scratch).unwrap().report)
+                .collect();
+            assert_eq!(summary.sequences[si].reports, reports, "sequence {si}");
+            assert_eq!(summary.sequences[si].frames, seq.len() as u64);
+        }
+    }
+
+    #[test]
+    fn sequence_mode_is_worker_count_invariant() {
+        use crate::TemporalConfig;
+
+        let temporal = TemporalConfig::default().keyframe_interval(4);
+        let seqs = sequences(5, 6);
+        let base = StreamExecutor::new(test_pipeline(64, 48), deterministic(1))
+            .unwrap()
+            .run_sequences(&seqs, &temporal)
+            .unwrap();
+        assert!(base.frames_per_sec() > 0.0);
+        for workers in [2, 4] {
+            let other = StreamExecutor::new(test_pipeline(64, 48), deterministic(workers))
+                .unwrap()
+                .run_sequences(&seqs, &temporal)
+                .unwrap();
+            // SequenceStreamSummary equality ignores wall time only:
+            // counters, reports and energy folds must be bit-identical.
+            assert_eq!(other, base, "sequence mode diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn sequence_mode_arrival_ordering_drops_reports() {
+        use crate::TemporalConfig;
+
+        let temporal = TemporalConfig::default();
+        let seqs = sequences(2, 5);
+        let det = StreamExecutor::new(test_pipeline(64, 48), deterministic(2))
+            .unwrap()
+            .run_sequences(&seqs, &temporal)
+            .unwrap();
+        let arr = StreamExecutor::new(
+            test_pipeline(64, 48),
+            StreamConfig::default().workers(2).batch_size(2),
+        )
+        .unwrap()
+        .run_sequences(&seqs, &temporal)
+        .unwrap();
+        for (a, d) in arr.sequences.iter().zip(&det.sequences) {
+            assert!(a.reports.is_empty(), "arrival mode must stay constant-memory");
+            assert_eq!(a.aggregate, d.aggregate);
+            assert_eq!(a.energy_mj, d.energy_mj);
+            assert_eq!(a.keyframes, d.keyframes);
+            assert_eq!(a.tracked_frames, d.tracked_frames);
+        }
+        assert_eq!(arr.aggregate(), det.aggregate());
+        assert_eq!(arr.energy_mj(), det.energy_mj());
+    }
+
+    #[test]
+    fn sequence_mode_counts_frame_kinds() {
+        use crate::TemporalConfig;
+
+        let temporal = TemporalConfig::default().keyframe_interval(3);
+        let seqs = sequences(2, 7);
+        let summary = StreamExecutor::new(test_pipeline(64, 48), deterministic(2))
+            .unwrap()
+            .run_sequences(&seqs, &temporal)
+            .unwrap();
+        for s in &summary.sequences {
+            assert_eq!(s.frames, s.keyframes + s.drift_refreshes + s.tracked_frames);
+            assert!(s.keyframes >= 3, "7 frames at interval 3 schedule ≥ 3 keyframes");
+            assert!((0.0..=1.0).contains(&s.detection_fraction()));
+        }
+        let text = summary.to_string();
+        assert!(text.contains("sequences"));
+        assert!(text.contains("fps"));
+    }
+
+    #[test]
+    fn sequence_mode_empty_inputs() {
+        use crate::TemporalConfig;
+
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(2)).unwrap();
+        let empty = executor.run_sequences(&[], &TemporalConfig::default()).unwrap();
+        assert!(empty.sequences.is_empty());
+        assert_eq!(empty.frames(), 0);
+        assert_eq!(empty.frames_per_sec(), 0.0);
+        assert_eq!(empty.detection_fraction(), 0.0);
+        // A zero-frame sequence still yields its (empty) summary slot.
+        let one_empty = executor.run_sequences(&[Vec::new()], &TemporalConfig::default()).unwrap();
+        assert_eq!(one_empty.sequences.len(), 1);
+        assert_eq!(one_empty.sequences[0].frames, 0);
+    }
+
+    #[test]
+    fn sequence_mode_propagates_the_lowest_indexed_failure() {
+        use crate::TemporalConfig;
+
+        let mut seqs = sequences(4, 4);
+        seqs[1][2] = RgbImage::new(8, 8); // mismatched scene mid-sequence
+        let executor = StreamExecutor::new(test_pipeline(64, 48), deterministic(2)).unwrap();
+        let result = executor.run_sequences(&seqs, &TemporalConfig::default());
+        assert!(matches!(result, Err(HiriseError::SceneMismatch { .. })));
+        // A degenerate temporal policy is rejected up front.
+        let bad = TemporalConfig::default().keyframe_interval(0);
+        assert!(matches!(
+            executor.run_sequences(&seqs, &bad),
+            Err(HiriseError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

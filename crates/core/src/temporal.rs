@@ -1,0 +1,690 @@
+//! Temporal video pipeline: ROI tracking with selective re-detection.
+//!
+//! The still-image pipeline ([`crate::HirisePipeline`]) pays the full
+//! stage-1 cost on every frame: pooled capture (analog pooling + ADC of
+//! the whole array) and sliding-window detection. On video that is
+//! wasteful — objects move a few pixels per frame, so the ROI set of
+//! frame `t` is an excellent predictor of frame `t+1`'s. This module
+//! extends HiRISE's *selective ROI* idea along the time axis:
+//!
+//! * a [`TrackerState`] persists one [`Track`] per live ROI — position,
+//!   size, and a constant-velocity estimate fitted between detections;
+//! * full stage-1 (pool + detect) runs only on **keyframes** (a
+//!   configurable cadence, [`TemporalConfig::keyframe_interval`]), when
+//!   no track survived, or when the **drift trigger** fires;
+//! * every other frame does capture + *predicted*-ROI readout only: each
+//!   track's box is advanced by its velocity, re-inflated by the
+//!   configured margin, clamped to the array, and read straight through
+//!   [`hirise_sensor::Sensor::read_rois_into`] — the pool and detect
+//!   stages are skipped entirely, which on the reference 640×480 / k = 2
+//!   configuration removes the two dominant stage costs;
+//! * the drift trigger is deliberately cheap: the mean intensity of each
+//!   tracked crop (already read this frame — no extra sensor traffic) is
+//!   compared against the mean recorded at the track's last detection;
+//!   a shift beyond [`TemporalConfig::drift_threshold`] means the
+//!   prediction is probably reading background, so the frame is
+//!   re-detected on the spot ([`FrameKind::DriftRefresh`]).
+//!
+//! On keyframes, fresh detections are associated with predicted tracks
+//! by greedy IoU ([`hirise_detect::associate`]); matched tracks update
+//! their velocity from the displacement since their last detection,
+//! unmatched detections spawn new tracks, and unmatched tracks die.
+//!
+//! # Determinism
+//!
+//! A frame's output is a pure function of `(configuration, tracker
+//! state, scene)`, and the tracker state is itself a pure fold over the
+//! preceding frames of the sequence: association is deterministic
+//! greedy IoU, velocities are exact f64 arithmetic on box centres, and
+//! the policy decisions (cadence, drift) branch on deterministic
+//! quantities. With the sensor's keyed noise mode (the default) frame
+//! noise is position-pure as well, so an entire tracked *sequence* is
+//! bit-identical regardless of worker placement or intra-frame shard
+//! count — the property the sequence mode of
+//! [`crate::stream::StreamExecutor`] builds on.
+//!
+//! Like the still path, the steady state allocates nothing: tracks,
+//! candidate boxes, association tables and ROI buffers all live in
+//! [`TrackerState`] / [`PipelineScratch`] and are reused every frame
+//! (`tests/alloc.rs` pins tracked frames at 0 heap allocations).
+//!
+//! # Example
+//!
+//! ```
+//! use hirise::temporal::{TrackerState, TrackingPipeline};
+//! use hirise::{HiriseConfig, PipelineScratch, TemporalConfig};
+//! use hirise_imaging::RgbImage;
+//!
+//! # fn main() -> Result<(), hirise::HiriseError> {
+//! let config = HiriseConfig::builder(64, 64).pooling(4).build()?;
+//! let tracker = TrackingPipeline::new(config, TemporalConfig::default())?;
+//! let mut state = TrackerState::new();
+//! let mut scratch = PipelineScratch::new();
+//! let frame = RgbImage::from_fn(64, 64, |x, y| {
+//!     let v = ((x / 8 + y / 8) % 2) as f32 * 0.4 + 0.3;
+//!     (v, v, 0.5)
+//! });
+//! let report = tracker.run_frame(&frame, &mut state, &mut scratch)?;
+//! assert!(report.kind.ran_detection(), "frame 0 is always a keyframe");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::time::Instant;
+
+use hirise_detect::{greedy_iou_associate, AssociateScratch};
+use hirise_imaging::{Rect, RgbImage};
+use hirise_sensor::ReadoutStats;
+
+use crate::config::{HiriseConfig, TemporalConfig};
+use crate::pipeline::HirisePipeline;
+use crate::report::{FrameKind, RunReport, TemporalFrameReport};
+use crate::roi::detections_to_rois_into;
+use crate::scratch::PipelineScratch;
+use crate::timing::StageTimings;
+use crate::Result;
+
+/// One persisted ROI: where the object is believed to be and how it
+/// moves. Geometry is kept in f64 centre coordinates so sub-pixel
+/// velocities accumulate without quantisation drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Track {
+    id: u32,
+    /// Current (predicted or detected) box centre, full-resolution px.
+    cx: f64,
+    cy: f64,
+    /// Box size from the last detection, full-resolution px.
+    w: u32,
+    h: u32,
+    /// Velocity estimate, px/frame.
+    vx: f64,
+    vy: f64,
+    /// Box centre at the last detection — the velocity anchor.
+    det_cx: f64,
+    det_cy: f64,
+    /// Mean crop intensity recorded at the last detection readout — the
+    /// drift-trigger reference.
+    mean: f32,
+}
+
+impl Track {
+    /// Stable track id (unique within one [`TrackerState`] lifetime).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Current box centre, full-resolution pixels.
+    pub fn center(&self) -> (f64, f64) {
+        (self.cx, self.cy)
+    }
+
+    /// Box size from the last detection.
+    pub fn size(&self) -> (u32, u32) {
+        (self.w, self.h)
+    }
+
+    /// Velocity estimate, pixels per frame.
+    pub fn velocity(&self) -> (f64, f64) {
+        (self.vx, self.vy)
+    }
+
+    /// The track's current box clipped to a `width × height` array
+    /// (degenerate once the prediction has left the array entirely).
+    pub fn base_rect(&self, width: u32, height: u32) -> Rect {
+        let x0 = (self.cx - self.w as f64 / 2.0).round();
+        let y0 = (self.cy - self.h as f64 / 2.0).round();
+        let cx0 = x0.clamp(0.0, width as f64);
+        let cy0 = y0.clamp(0.0, height as f64);
+        let cx1 = (x0 + self.w as f64).clamp(0.0, width as f64);
+        let cy1 = (y0 + self.h as f64).clamp(0.0, height as f64);
+        Rect::from_corners(cx0 as u32, cy0 as u32, cx1 as u32, cy1 as u32)
+    }
+}
+
+/// Mean intensity of a crop across its three channels (the drift cue).
+fn crop_mean(img: &RgbImage) -> f32 {
+    let [r, g, b] = img.planes();
+    (r.mean() + g.mean() + b.mean()) / 3.0
+}
+
+/// Per-sequence tracker state: the live tracks plus every reusable
+/// buffer the temporal path needs, so steady-state frames allocate
+/// nothing. One `TrackerState` serves one ordered frame sequence;
+/// [`TrackerState::reset`] recycles it (buffers keep their capacity) for
+/// the next sequence.
+#[derive(Debug, Clone, Default)]
+pub struct TrackerState {
+    tracks: Vec<Track>,
+    /// Rebuild buffer for the keyframe track update (swapped with
+    /// `tracks`, never reallocated in steady state).
+    new_tracks: Vec<Track>,
+    next_id: u32,
+    frame_index: u64,
+    /// Frames since the last full detection (the velocity divisor).
+    frames_since_detect: u32,
+    /// Predicted track boxes, aligned with `tracks` (association refs).
+    track_rects: Vec<Rect>,
+    /// Candidate boxes from the current keyframe's detections.
+    candidates: Vec<Rect>,
+    /// Index buffer for the candidate score sort.
+    cand_order: Vec<u32>,
+    /// `assoc[i] = Some(j)`: candidate `i` continues track `j`.
+    assoc: Vec<Option<u32>>,
+    assoc_scratch: AssociateScratch,
+    keyframes: u64,
+    drift_refreshes: u64,
+    tracked_frames: u64,
+}
+
+impl TrackerState {
+    /// Creates an empty tracker; buffers grow to their steady-state
+    /// sizes during the first keyframe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all cross-frame state (tracks, ids, counters, frame index)
+    /// while keeping buffer capacity — the start of a new sequence.
+    pub fn reset(&mut self) {
+        self.tracks.clear();
+        self.new_tracks.clear();
+        self.next_id = 0;
+        self.frame_index = 0;
+        self.frames_since_detect = 0;
+        self.keyframes = 0;
+        self.drift_refreshes = 0;
+        self.tracked_frames = 0;
+    }
+
+    /// The live tracks after the most recent frame.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Frames processed since construction / [`TrackerState::reset`].
+    pub fn frame_index(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Frames that ran the full stage-1 path on schedule (or because no
+    /// track survived).
+    pub fn keyframes(&self) -> u64 {
+        self.keyframes
+    }
+
+    /// Off-schedule re-detections forced by the drift trigger.
+    pub fn drift_refreshes(&self) -> u64 {
+        self.drift_refreshes
+    }
+
+    /// Frames served purely from the track predictions.
+    pub fn tracked_frames(&self) -> u64 {
+        self.tracked_frames
+    }
+}
+
+/// The temporal HiRISE pipeline: a [`HirisePipeline`] plus the
+/// keyframe/drift policy of a [`TemporalConfig`]. See the module docs.
+#[derive(Debug, Clone)]
+pub struct TrackingPipeline {
+    pipeline: HirisePipeline,
+    temporal: TemporalConfig,
+}
+
+impl TrackingPipeline {
+    /// Creates a tracking pipeline from a system configuration and a
+    /// temporal policy.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HiriseError::InvalidConfig`] when the temporal policy is
+    /// degenerate (see [`TemporalConfig::validate`]).
+    pub fn new(config: HiriseConfig, temporal: TemporalConfig) -> Result<Self> {
+        Self::from_pipeline(HirisePipeline::new(config), temporal)
+    }
+
+    /// Wraps an existing still-image pipeline.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrackingPipeline::new`].
+    pub fn from_pipeline(pipeline: HirisePipeline, temporal: TemporalConfig) -> Result<Self> {
+        temporal.validate()?;
+        Ok(Self { pipeline, temporal })
+    }
+
+    /// The wrapped still-image pipeline.
+    pub fn pipeline(&self) -> &HirisePipeline {
+        &self.pipeline
+    }
+
+    /// The temporal policy.
+    pub fn temporal(&self) -> &TemporalConfig {
+        &self.temporal
+    }
+
+    /// Processes the next frame of the sequence `state` belongs to.
+    ///
+    /// The frame results stay readable on the scratch until the next
+    /// call ([`PipelineScratch::rois`] holds the frame's ROI set,
+    /// [`PipelineScratch::roi_images`] the crops); tracked frames leave
+    /// the scratch's pooled image untouched (it still holds the last
+    /// keyframe's).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HiriseError::SceneMismatch`] for wrongly sized scenes,
+    /// plus sensor failures.
+    pub fn run_frame(
+        &self,
+        scene: &RgbImage,
+        state: &mut TrackerState,
+        scratch: &mut PipelineScratch,
+    ) -> Result<TemporalFrameReport> {
+        self.pipeline.check_scene(scene)?;
+        let cfg = self.pipeline.config();
+        let (aw, ah) = (cfg.array_width, cfg.array_height);
+        let mut timings = StageTimings::default();
+
+        let mark = Instant::now();
+        self.pipeline.capture_into(scene, &mut scratch.sensor);
+        timings.capture = mark.elapsed();
+
+        // Predict: advance every track one frame along its velocity and
+        // drop those whose box has left the array entirely.
+        state.frames_since_detect = state.frames_since_detect.saturating_add(1);
+        for t in &mut state.tracks {
+            t.cx += t.vx;
+            t.cy += t.vy;
+        }
+        state.tracks.retain(|t| !t.base_rect(aw, ah).is_degenerate());
+        state.track_rects.clear();
+        state.track_rects.extend(state.tracks.iter().map(|t| t.base_rect(aw, ah)));
+
+        let scheduled = state.frame_index.is_multiple_of(self.temporal.keyframe_interval as u64)
+            || state.tracks.is_empty();
+        let (kind, stage1, stage2) = if scheduled {
+            state.keyframes += 1;
+            let (s1, s2) = self.refresh(state, scratch, &mut timings)?;
+            (FrameKind::Keyframe, s1, s2)
+        } else {
+            // Tracked attempt: read the predicted ROIs directly.
+            let PipelineScratch { sensor, rois, roi_images, pool, union, .. } = &mut *scratch;
+            let sensor = sensor.as_mut().expect("captured above");
+            rois.clear();
+            rois.extend(
+                state.track_rects.iter().map(|r| r.inflated(cfg.roi_margin).clamped(aw, ah)),
+            );
+            let mark = Instant::now();
+            let stage2 = sensor.read_rois_into(rois, roi_images, pool, union)?;
+            timings.roi_read += mark.elapsed();
+            let drifted =
+                state.tracks.iter().zip(roi_images.iter()).any(|(t, img)| {
+                    (crop_mean(img) - t.mean).abs() > self.temporal.drift_threshold
+                });
+            if drifted {
+                // The prediction is reading something else — re-detect
+                // now rather than serving a stale ROI. The speculative
+                // readout above already happened on the sensor, so its
+                // cost stays in the frame's accounting.
+                state.drift_refreshes += 1;
+                let (s1, s2) = self.refresh(state, scratch, &mut timings)?;
+                (FrameKind::DriftRefresh, s1, stage2.merged(s2))
+            } else {
+                state.tracked_frames += 1;
+                (FrameKind::Tracked, ReadoutStats::default(), stage2)
+            }
+        };
+        state.frame_index += 1;
+
+        let stage1_image_bytes = if kind.ran_detection() {
+            scratch.pooled.storage_bytes(cfg.sensor.adc_bits)
+        } else {
+            0
+        };
+        let stage2_image_bytes: u64 =
+            scratch.roi_images.iter().map(|img| img.storage_bytes(cfg.sensor.adc_bits)).sum();
+        Ok(TemporalFrameReport {
+            report: RunReport {
+                stage1,
+                stage2,
+                pooling_outputs: stage1.conversions,
+                stage1_image_bytes,
+                stage2_image_bytes,
+                roi_count: scratch.rois.len(),
+                timings,
+            },
+            kind,
+            active_tracks: state.tracks.len() as u32,
+        })
+    }
+
+    /// The full stage-1 path on the already-captured sensor: pooled
+    /// capture, detection, candidate→track association, track-set
+    /// rebuild, ROI readout, drift-reference refresh. Returns the
+    /// stage-1 and stage-2 readout stats of this refresh.
+    fn refresh(
+        &self,
+        state: &mut TrackerState,
+        scratch: &mut PipelineScratch,
+        timings: &mut StageTimings,
+    ) -> Result<(ReadoutStats, ReadoutStats)> {
+        let cfg = self.pipeline.config();
+        let (aw, ah) = (cfg.array_width, cfg.array_height);
+        let PipelineScratch {
+            sensor, analog, pooled, detector, rois, roi_images, pool, union, ..
+        } = &mut *scratch;
+        let sensor = sensor.as_mut().expect("captured earlier this frame");
+
+        let mark = Instant::now();
+        let stage1 = sensor.capture_pooled_into(cfg.pooling_k, cfg.stage1_color, analog, pooled)?;
+        timings.pool += mark.elapsed();
+
+        let mark = Instant::now();
+        let detections = self.pipeline.detector().detect_with_scratch(pooled, detector);
+        // Candidate boxes: top-scored detections mapped to full
+        // resolution *without* the margin — tracks carry the tight box;
+        // the margin is re-applied at every readout so repeated
+        // inflation cannot compound.
+        detections_to_rois_into(
+            detections,
+            cfg.pooling_k,
+            0,
+            aw,
+            ah,
+            cfg.max_rois,
+            &mut state.cand_order,
+            &mut state.candidates,
+        );
+        greedy_iou_associate(
+            &state.candidates,
+            &state.track_rects,
+            self.temporal.min_track_iou,
+            &mut state.assoc_scratch,
+            &mut state.assoc,
+        );
+        // Rebuild the track set in candidate (score) order: matched
+        // candidates continue their track with a refitted velocity,
+        // unmatched candidates spawn, unmatched tracks die.
+        state.new_tracks.clear();
+        let span = state.frames_since_detect.max(1) as f64;
+        for (i, &cand) in state.candidates.iter().enumerate() {
+            let cx = cand.x as f64 + cand.w as f64 / 2.0;
+            let cy = cand.y as f64 + cand.h as f64 / 2.0;
+            let track = match state.assoc[i] {
+                Some(j) => {
+                    let old = &state.tracks[j as usize];
+                    Track {
+                        id: old.id,
+                        cx,
+                        cy,
+                        w: cand.w,
+                        h: cand.h,
+                        vx: (cx - old.det_cx) / span,
+                        vy: (cy - old.det_cy) / span,
+                        det_cx: cx,
+                        det_cy: cy,
+                        mean: old.mean,
+                    }
+                }
+                None => {
+                    let id = state.next_id;
+                    state.next_id += 1;
+                    Track {
+                        id,
+                        cx,
+                        cy,
+                        w: cand.w,
+                        h: cand.h,
+                        vx: 0.0,
+                        vy: 0.0,
+                        det_cx: cx,
+                        det_cy: cy,
+                        mean: 0.0,
+                    }
+                }
+            };
+            state.new_tracks.push(track);
+        }
+        std::mem::swap(&mut state.tracks, &mut state.new_tracks);
+        state.frames_since_detect = 0;
+        rois.clear();
+        rois.extend(
+            state
+                .tracks
+                .iter()
+                .map(|t| t.base_rect(aw, ah).inflated(cfg.roi_margin).clamped(aw, ah)),
+        );
+        timings.detect += mark.elapsed();
+
+        let mark = Instant::now();
+        let stage2 = sensor.read_rois_into(rois, roi_images, pool, union)?;
+        // Refresh the drift references from the crops just read.
+        for (t, img) in state.tracks.iter_mut().zip(roi_images.iter()) {
+            t.mean = crop_mean(img);
+        }
+        timings.roi_read += mark.elapsed();
+        Ok((stage1, stage2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HiriseConfig;
+    use hirise_imaging::draw;
+    use hirise_sensor::SensorConfig;
+
+    const W: u32 = 192;
+    const H: u32 = 144;
+
+    /// A frame with one bright textured object at `(x, y)`.
+    fn frame_with_object(x: u32, y: u32) -> RgbImage {
+        let mut img = RgbImage::from_fn(W, H, |_, _| (0.35, 0.35, 0.35));
+        let obj = Rect::new(x, y, 32, 72);
+        draw::fill_rect_rgb(&mut img, obj, (0.9, 0.4, 0.2));
+        let [pr, _, _] = img.planes_mut();
+        draw::fill_stripes(pr, obj, 2, 0.95, 0.55);
+        img
+    }
+
+    fn config() -> HiriseConfig {
+        let detector = hirise_detect::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+        HiriseConfig::builder(W, H)
+            .pooling(2)
+            .sensor(SensorConfig::noiseless())
+            .detector(detector)
+            .max_rois(4)
+            .build()
+            .unwrap()
+    }
+
+    fn tracker(interval: u32) -> TrackingPipeline {
+        TrackingPipeline::new(config(), TemporalConfig::default().keyframe_interval(interval))
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_temporal_policy() {
+        let bad = TemporalConfig::default().keyframe_interval(0);
+        assert!(TrackingPipeline::new(config(), bad).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_scene() {
+        let t = tracker(4);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        let wrong = RgbImage::new(16, 16);
+        assert!(t.run_frame(&wrong, &mut state, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn keyframe_cadence_on_a_static_scene() {
+        let t = tracker(4);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        let frame = frame_with_object(60, 30);
+        let mut kinds = Vec::new();
+        for _ in 0..9 {
+            kinds.push(t.run_frame(&frame, &mut state, &mut scratch).unwrap().kind);
+        }
+        // Static scene, perfect prediction: keyframes exactly on the
+        // cadence, everything else tracked, no drift.
+        use FrameKind::*;
+        assert_eq!(
+            kinds,
+            vec![
+                Keyframe, Tracked, Tracked, Tracked, Keyframe, Tracked, Tracked, Tracked, Keyframe
+            ]
+        );
+        assert_eq!(state.keyframes(), 3);
+        assert_eq!(state.tracked_frames(), 6);
+        assert_eq!(state.drift_refreshes(), 0);
+    }
+
+    #[test]
+    fn tracked_frames_skip_pool_and_detect() {
+        let t = tracker(4);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        let frame = frame_with_object(60, 30);
+        let key = t.run_frame(&frame, &mut state, &mut scratch).unwrap();
+        let tracked = t.run_frame(&frame, &mut state, &mut scratch).unwrap();
+        assert_eq!(tracked.kind, FrameKind::Tracked);
+        // No stage-1 work at all on a tracked frame.
+        assert_eq!(tracked.report.stage1, ReadoutStats::default());
+        assert_eq!(tracked.report.pooling_outputs, 0);
+        assert_eq!(tracked.report.stage1_image_bytes, 0);
+        assert_eq!(tracked.report.timings.pool, std::time::Duration::ZERO);
+        assert_eq!(tracked.report.timings.detect, std::time::Duration::ZERO);
+        // But the same ROIs were read as the keyframe produced.
+        assert_eq!(tracked.report.roi_count, key.report.roi_count);
+        assert_eq!(tracked.report.stage2, key.report.stage2);
+        // A tracked frame saves exactly the stage-1 traffic of a keyframe.
+        assert_eq!(
+            tracked.report.total_transfer_bits(),
+            key.report.total_transfer_bits() - key.report.stage1.total_transfer_bits(),
+            "tracked frame should cost a keyframe minus its stage-1 transfer"
+        );
+    }
+
+    #[test]
+    fn prediction_follows_constant_velocity_motion() {
+        let t = tracker(4);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        // 3 px/frame rightward motion across two keyframe cycles.
+        let mut id_at_first_key = None;
+        for i in 0..9u32 {
+            let report =
+                t.run_frame(&frame_with_object(40 + 3 * i, 30), &mut state, &mut scratch).unwrap();
+            assert!(report.active_tracks >= 1, "frame {i}: track lost");
+            if i == 0 {
+                id_at_first_key = Some(state.tracks()[0].id());
+            }
+        }
+        // The association kept the identity across keyframes…
+        assert_eq!(state.tracks()[0].id(), id_at_first_key.unwrap());
+        // …the velocity estimate is sane (detector boxes snap to the
+        // scan stride, so only bound it rather than pin it)…
+        let (vx, vy) = state.tracks()[0].velocity();
+        assert!(vx.abs() < 7.0 && vy.abs() < 7.0, "wild velocity estimate ({vx}, {vy})");
+        // …the track still covers the object after 8 frames of motion…
+        let object = Rect::new(40 + 3 * 8, 30, 32, 72);
+        let iou = state.tracks()[0].base_rect(W, H).iou(&object);
+        assert!(iou > 0.3, "track drifted off the object (IoU {iou})");
+        // …and no drift refreshes were needed: prediction held.
+        assert_eq!(state.drift_refreshes(), 0);
+    }
+
+    #[test]
+    fn teleporting_object_fires_the_drift_trigger() {
+        let t = tracker(8);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        t.run_frame(&frame_with_object(30, 30), &mut state, &mut scratch).unwrap();
+        let r = t.run_frame(&frame_with_object(30, 30), &mut state, &mut scratch).unwrap();
+        assert_eq!(r.kind, FrameKind::Tracked);
+        // Mid-interval the object jumps far away: the predicted ROI now
+        // reads flat background, whose mean is far from the reference.
+        let r = t.run_frame(&frame_with_object(140, 40), &mut state, &mut scratch).unwrap();
+        assert_eq!(r.kind, FrameKind::DriftRefresh, "drift trigger did not fire");
+        assert_eq!(state.drift_refreshes(), 1);
+        // The refreshed track follows the object at its new position.
+        let (cx, _) = state.tracks()[0].center();
+        assert!((cx - 156.0).abs() < 12.0, "track centre {cx} not at the new position");
+        // A drift-refresh frame pays both readouts in its accounting.
+        assert!(r.report.stage2.box_words_bits >= 2 * 64);
+    }
+
+    #[test]
+    fn empty_scenes_re_detect_every_frame() {
+        let t = tracker(4);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        let flat = RgbImage::from_fn(W, H, |_, _| (0.35, 0.35, 0.35));
+        for _ in 0..3 {
+            let r = t.run_frame(&flat, &mut state, &mut scratch).unwrap();
+            // Nothing to track, so every frame falls back to detection.
+            assert_eq!(r.kind, FrameKind::Keyframe);
+            assert_eq!(r.active_tracks, 0);
+            assert_eq!(r.report.roi_count, 0);
+        }
+    }
+
+    #[test]
+    fn reset_state_reproduces_the_sequence_bit_identically() {
+        let t = tracker(3);
+        let frames: Vec<RgbImage> = (0..7).map(|i| frame_with_object(40 + 4 * i, 32)).collect();
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        let first: Vec<TemporalFrameReport> =
+            frames.iter().map(|f| t.run_frame(f, &mut state, &mut scratch).unwrap()).collect();
+        state.reset();
+        let second: Vec<TemporalFrameReport> =
+            frames.iter().map(|f| t.run_frame(f, &mut state, &mut scratch).unwrap()).collect();
+        assert_eq!(first, second);
+        // A completely fresh state/scratch pair agrees too.
+        let mut fresh_state = TrackerState::new();
+        let mut fresh_scratch = PipelineScratch::new();
+        let third: Vec<TemporalFrameReport> = frames
+            .iter()
+            .map(|f| t.run_frame(f, &mut fresh_state, &mut fresh_scratch).unwrap())
+            .collect();
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn interval_one_degenerates_to_per_frame_detection() {
+        let t = tracker(1);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        for i in 0..4u32 {
+            let r =
+                t.run_frame(&frame_with_object(40 + 2 * i, 30), &mut state, &mut scratch).unwrap();
+            assert_eq!(r.kind, FrameKind::Keyframe);
+        }
+        assert_eq!(state.tracked_frames(), 0);
+    }
+
+    #[test]
+    fn track_rect_clips_to_the_array() {
+        let track = Track {
+            id: 0,
+            cx: 5.0,
+            cy: 5.0,
+            w: 20,
+            h: 20,
+            vx: 0.0,
+            vy: 0.0,
+            det_cx: 5.0,
+            det_cy: 5.0,
+            mean: 0.0,
+        };
+        let r = track.base_rect(100, 100);
+        assert_eq!(r, Rect::new(0, 0, 15, 15));
+        let gone = Track { cx: -50.0, cy: -50.0, ..track };
+        assert!(gone.base_rect(100, 100).is_degenerate());
+    }
+}

@@ -1,0 +1,142 @@
+//! Box association for cross-frame tracking.
+//!
+//! The temporal pipeline (`hirise::temporal`) persists ROIs across video
+//! frames and must decide, on every re-detection, which fresh box is the
+//! same physical object as which existing track. That is a bipartite
+//! matching problem; this module implements the standard greedy IoU
+//! assignment used by classical trackers (SORT-style without the Kalman
+//! machinery): candidates are visited in order and each claims the
+//! highest-IoU unmatched reference at or above a gate.
+//!
+//! The greedy scan is O(candidates × references) with no heap allocation
+//! once the caller-owned scratch buffers have grown — both box sets are
+//! small (bounded by `max_rois`), so quadratic is the right trade against
+//! the allocation-free frame-path contract.
+
+use hirise_imaging::Rect;
+
+/// Reusable buffers for [`greedy_iou_associate`], so the per-frame
+/// tracking path associates without heap allocation once warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct AssociateScratch {
+    used: Vec<bool>,
+}
+
+impl AssociateScratch {
+    /// Creates empty scratch; buffers grow to their working size on
+    /// first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Greedily matches `candidates` against `references` by IoU.
+///
+/// `out` is resized to `candidates.len()`; `out[i] = Some(j)` means
+/// `candidates[i]` claimed `references[j]`. Candidates are visited in
+/// slice order (callers pass them sorted by detection score, so stronger
+/// detections pick first); each takes its highest-IoU unmatched
+/// reference with IoU ≥ `min_iou` (ties keep the lowest reference
+/// index). Every reference is claimed at most once. The result is a pure
+/// function of the inputs — no hashing or RNG — so cross-frame tracking
+/// built on it stays bit-deterministic.
+pub fn greedy_iou_associate(
+    candidates: &[Rect],
+    references: &[Rect],
+    min_iou: f64,
+    scratch: &mut AssociateScratch,
+    out: &mut Vec<Option<u32>>,
+) {
+    scratch.used.clear();
+    scratch.used.resize(references.len(), false);
+    out.clear();
+    for cand in candidates {
+        let mut best: Option<(u32, f64)> = None;
+        for (j, r) in references.iter().enumerate() {
+            if scratch.used[j] {
+                continue;
+            }
+            let iou = cand.iou(r);
+            if iou >= min_iou && best.is_none_or(|(_, b)| iou > b) {
+                best = Some((j as u32, iou));
+            }
+        }
+        if let Some((j, _)) = best {
+            scratch.used[j as usize] = true;
+        }
+        out.push(best.map(|(j, _)| j));
+    }
+}
+
+/// Allocating convenience wrapper around [`greedy_iou_associate`].
+pub fn associate(candidates: &[Rect], references: &[Rect], min_iou: f64) -> Vec<Option<u32>> {
+    let mut out = Vec::new();
+    greedy_iou_associate(candidates, references, min_iou, &mut AssociateScratch::new(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_identical_boxes() {
+        let boxes = [Rect::new(0, 0, 10, 10), Rect::new(40, 40, 8, 8)];
+        let assoc = associate(&boxes, &boxes, 0.5);
+        assert_eq!(assoc, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn gate_rejects_weak_overlap() {
+        let cands = [Rect::new(0, 0, 10, 10)];
+        let refs = [Rect::new(9, 9, 10, 10)]; // IoU = 1/199
+        assert_eq!(associate(&cands, &refs, 0.3), vec![None]);
+        assert_eq!(associate(&cands, &refs, 0.0), vec![Some(0)]);
+    }
+
+    #[test]
+    fn each_reference_claimed_once_in_candidate_order() {
+        // Both candidates overlap reference 0 best; the first (stronger)
+        // candidate takes it, the second falls through to reference 1.
+        let cands = [Rect::new(0, 0, 10, 10), Rect::new(2, 0, 10, 10)];
+        let refs = [Rect::new(1, 0, 10, 10), Rect::new(6, 0, 10, 10)];
+        let assoc = associate(&cands, &refs, 0.1);
+        assert_eq!(assoc, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn prefers_highest_iou_with_index_tiebreak() {
+        let cands = [Rect::new(10, 10, 10, 10)];
+        // Same IoU both sides: lowest index wins deterministically.
+        let refs = [Rect::new(5, 10, 10, 10), Rect::new(15, 10, 10, 10)];
+        assert_eq!(associate(&cands, &refs, 0.1), vec![Some(0)]);
+        // A strictly better third reference wins outright.
+        let refs = [Rect::new(5, 10, 10, 10), Rect::new(15, 10, 10, 10), Rect::new(11, 10, 10, 10)];
+        assert_eq!(associate(&cands, &refs, 0.1), vec![Some(2)]);
+    }
+
+    #[test]
+    fn empty_inputs_and_degenerate_boxes() {
+        assert!(associate(&[], &[Rect::new(0, 0, 4, 4)], 0.5).is_empty());
+        assert_eq!(associate(&[Rect::new(0, 0, 4, 4)], &[], 0.5), vec![None]);
+        // Degenerate boxes have zero IoU with everything.
+        let empty = Rect::new(2, 2, 0, 5);
+        assert_eq!(associate(&[empty], &[empty], 0.0), vec![Some(0)]);
+        assert_eq!(associate(&[empty], &[empty], 0.1), vec![None]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_allocating_path() {
+        let mut scratch = AssociateScratch::new();
+        let mut out = Vec::new();
+        let sets: [(&[Rect], &[Rect]); 3] = [
+            (&[Rect::new(0, 0, 8, 8)], &[Rect::new(1, 1, 8, 8), Rect::new(20, 20, 8, 8)]),
+            (&[], &[]),
+            (&[Rect::new(5, 5, 4, 4), Rect::new(6, 5, 4, 4)], &[Rect::new(5, 5, 4, 4)]),
+        ];
+        for (cands, refs) in sets {
+            greedy_iou_associate(cands, refs, 0.2, &mut scratch, &mut out);
+            assert_eq!(out, associate(cands, refs, 0.2));
+        }
+    }
+}

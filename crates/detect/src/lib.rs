@@ -18,7 +18,9 @@
 //!   [`nms::nms`], with a threshold-calibration routine standing in for the
 //!   paper's per-dataset training,
 //! * [`eval`] — greedy IoU matching, precision/recall, 101-point
-//!   interpolated average precision, per-class and mean AP.
+//!   interpolated average precision, per-class and mean AP,
+//! * [`associate`] — allocation-free greedy IoU box association for the
+//!   cross-frame ROI tracker in `hirise::temporal`.
 //!
 //! # Example
 //!
@@ -32,12 +34,14 @@
 //! assert!(ap > 0.99);
 //! ```
 
+pub mod associate;
 pub mod detector;
 pub mod eval;
 pub mod features;
 pub mod integral;
 pub mod nms;
 
+pub use associate::{greedy_iou_associate, AssociateScratch};
 pub use detector::{Detector, DetectorConfig, DetectorScratch};
 pub use eval::{evaluate, Detection, EvalResult, GroundTruth};
 pub use features::{FeatureMaps, FeatureScratch};

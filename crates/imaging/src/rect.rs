@@ -152,18 +152,34 @@ impl Rect {
     /// Scales the rectangle by a rational factor `num / den`, rounding
     /// half-up. Used to map boxes between resolutions (e.g. a 320×240
     /// detection back to a 2560×1920 array is `num = 8, den = 1`).
+    ///
+    /// A *non-degenerate* side that would round to zero is kept at one
+    /// pixel (a real box never vanishes under downscaling), but a
+    /// degenerate input stays degenerate: an empty box must not become a
+    /// live 1×1 ROI just because it passed through a resolution change.
     pub fn scaled(&self, num: u32, den: u32) -> Rect {
         assert!(den != 0, "scale denominator must be nonzero");
         let s = |v: u32| ((v as u64 * num as u64 + den as u64 / 2) / den as u64) as u32;
-        Rect { x: s(self.x), y: s(self.y), w: s(self.w).max(1), h: s(self.h).max(1) }
+        let side = |v: u32| if v == 0 { 0 } else { s(v).max(1) };
+        Rect { x: s(self.x), y: s(self.y), w: side(self.w), h: side(self.h) }
     }
 
     /// Grows the rectangle by `margin` pixels on every side, clamping the
-    /// top-left at zero.
+    /// top-left at zero. Saturates instead of wrapping for sizes near
+    /// `u32::MAX`, and leaves degenerate rectangles unchanged (dilating
+    /// the empty set yields the empty set).
     pub fn inflated(&self, margin: u32) -> Rect {
+        if self.is_degenerate() {
+            return *self;
+        }
         let x = self.x.saturating_sub(margin);
         let y = self.y.saturating_sub(margin);
-        Rect { x, y, w: self.w + (self.x - x) + margin, h: self.h + (self.y - y) + margin }
+        Rect {
+            x,
+            y,
+            w: self.w.saturating_add(self.x - x).saturating_add(margin),
+            h: self.h.saturating_add(self.y - y).saturating_add(margin),
+        }
     }
 }
 
@@ -346,9 +362,42 @@ mod tests {
     }
 
     #[test]
+    fn scaled_preserves_degeneracy() {
+        // An empty box stays empty through any resolution change; only
+        // non-degenerate sides are floored at one pixel.
+        for (w, h) in [(0, 0), (0, 5), (5, 0)] {
+            let r = Rect::new(10, 20, w, h);
+            for (num, den) in [(8, 1), (1, 8), (3, 7)] {
+                let s = r.scaled(num, den);
+                assert_eq!(s.w == 0, w == 0, "{r} scaled {num}/{den} -> {s}");
+                assert_eq!(s.h == 0, h == 0, "{r} scaled {num}/{den} -> {s}");
+            }
+        }
+    }
+
+    #[test]
     fn inflated_clamps_at_zero() {
         let r = Rect::new(1, 1, 2, 2).inflated(3);
         assert_eq!(r, Rect::new(0, 0, 6, 6));
+    }
+
+    #[test]
+    fn inflated_saturates_instead_of_wrapping() {
+        // Near-u32::MAX sizes and margins must saturate, not wrap (the
+        // old `w + (x - x0) + margin` overflowed in release builds).
+        let r = Rect::new(u32::MAX - 4, 2, u32::MAX - 8, 3).inflated(u32::MAX);
+        assert_eq!((r.x, r.y), (0, 0));
+        assert_eq!((r.w, r.h), (u32::MAX, u32::MAX));
+        let tight = Rect::new(5, 5, u32::MAX - 3, 10).inflated(4);
+        assert_eq!(tight.w, u32::MAX);
+        assert_eq!(tight.h, 10 + 4 + 4);
+    }
+
+    #[test]
+    fn inflated_leaves_degenerate_rects_empty() {
+        let empty = Rect::new(7, 9, 0, 4);
+        assert_eq!(empty.inflated(3), empty);
+        assert!(empty.inflated(100).is_degenerate());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * **Expression recognisability vs ROI size** — RAF-DB-like face patches
 //!   whose class evidence (mouth curvature, eye aperture, brow angle)
 //!   vanishes under downscaling, reproducing Table 3's accuracy column.
+//! * **Temporal coherence** — [`VideoGenerator`] extends the still scenes
+//!   with seeded constant-velocity ground-truth tracks (bounce or exit at
+//!   the frame edges), the workload the temporal ROI-tracking pipeline
+//!   (`hirise::temporal`) is evaluated on.
 //!
 //! # Example
 //!
@@ -37,9 +41,11 @@ pub mod object;
 pub mod rafdb;
 pub mod scene;
 pub mod stats;
+pub mod video;
 
 pub use dataset::DatasetSpec;
 pub use object::ObjectClass;
 pub use rafdb::{Expression, FacePatchGenerator};
 pub use scene::{Scene, SceneGenerator, SceneObject};
 pub use stats::BoxStats;
+pub use video::{VideoFrame, VideoGenerator, VideoObject, VideoSpec};

@@ -150,6 +150,59 @@ fn keyed_row_sharded_path_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn tracked_non_keyframes_are_allocation_free_after_warmup() {
+    // The temporal pipeline's whole point is that non-keyframes are
+    // cheap: capture + predicted-ROI readout only. That steady state
+    // must also uphold the zero-allocation contract — tracks, candidate
+    // boxes, association tables and ROI buffers all live in the reusable
+    // TrackerState/PipelineScratch pair.
+    use hirise::temporal::{TrackerState, TrackingPipeline};
+    use hirise::{FrameKind, TemporalConfig};
+
+    // Drift disabled (threshold 1.0 can never fire on unit-range data),
+    // so measured frames split cleanly into scheduled keyframes and
+    // pure tracked frames.
+    let temporal =
+        TemporalConfig::default().keyframe_interval(4).drift_threshold(1.0).min_track_iou(0.2);
+    let detector = hirise::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+    let config = HiriseConfig::builder(192, 144)
+        .pooling(2)
+        .sensor(SensorConfig::default())
+        .detector(detector)
+        .max_rois(4)
+        .roi_margin(2)
+        .build()
+        .unwrap();
+    let tracker = TrackingPipeline::new(config, temporal).unwrap();
+    let frames: Vec<RgbImage> = (0..8).map(|i| scene(192, 144, i)).collect();
+    let mut state = TrackerState::new();
+    let mut scratch = PipelineScratch::new();
+
+    // Warm-up: two passes grow every buffer (tracks, ROI crops, pool
+    // pairings) to its high-water size; the tracker state carries on —
+    // resetting it would also reset the keyframe schedule.
+    for _ in 0..2 {
+        for frame in &frames {
+            tracker.run_frame(frame, &mut state, &mut scratch).unwrap();
+        }
+    }
+
+    let mut tracked = 0u64;
+    for (i, frame) in frames.iter().enumerate() {
+        let mut kind = FrameKind::Keyframe;
+        let count = allocations_during(|| {
+            kind = tracker.run_frame(frame, &mut state, &mut scratch).unwrap().kind;
+        });
+        assert_ne!(kind, FrameKind::DriftRefresh, "frame {i}: drift fired with threshold 1.0");
+        if kind == FrameKind::Tracked {
+            tracked += 1;
+            assert_eq!(count, 0, "frame {i}: tracked frame allocated {count} times");
+        }
+    }
+    assert!(tracked >= 4, "too few tracked frames measured ({tracked})");
+}
+
+#[test]
 fn legacy_path_allocation_count_is_documented() {
     let pipeline = pipeline();
     let frame = scene(192, 144, 0);

@@ -205,6 +205,55 @@ fn pipeline_noise_mode_outputs_match_goldens() {
 }
 
 #[test]
+fn video_temporal_sequence_matches_golden() {
+    // Pins the whole temporal path on a seeded synthetic video: the
+    // keyframe/drift policy decisions, the track lifecycle (association,
+    // spawn, death), the exact per-frame ROI rectangles, and the readout
+    // counters — all integers, compared exactly. Runs under the default
+    // keyed noise mode, so the sensor noise stream is pinned too.
+    use hirise::temporal::{TrackerState, TrackingPipeline};
+    use hirise::{PipelineScratch, TemporalConfig};
+    use hirise_scene::{VideoGenerator, VideoSpec};
+
+    let detector = hirise::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+    let config = HiriseConfig::builder(160, 120)
+        .pooling(2)
+        .detector(detector)
+        .max_rois(4)
+        .roi_margin(2)
+        .build()
+        .unwrap();
+    let temporal =
+        TemporalConfig::default().keyframe_interval(3).drift_threshold(0.05).min_track_iou(0.2);
+    let tracker = TrackingPipeline::new(config, temporal).unwrap();
+    let video = VideoGenerator::new(VideoSpec::surveillance(), 160, 120, 0x90D);
+    let mut state = TrackerState::new();
+    let mut scratch = PipelineScratch::new();
+
+    let mut csv =
+        String::from("frame,kind,tracks,rois,s1_conversions,s2_conversions,transfer_bits,boxes\n");
+    for frame in video.frames(9) {
+        let r = tracker.run_frame(&frame.image, &mut state, &mut scratch).unwrap();
+        let boxes: Vec<String> =
+            scratch.rois().iter().map(|b| format!("{} {} {} {}", b.x, b.y, b.w, b.h)).collect();
+        writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{}",
+            frame.index,
+            r.kind,
+            r.active_tracks,
+            r.report.roi_count,
+            r.report.stage1.conversions,
+            r.report.stage2.conversions,
+            r.report.total_transfer_bits(),
+            boxes.join("|"),
+        )
+        .unwrap();
+    }
+    check_golden("video_temporal.csv", &csv);
+}
+
+#[test]
 fn goldens_sanity_paper_shape() {
     // Independent of the committed files: the golden computations must
     // keep the paper's qualitative shape, so a wrong regeneration cannot

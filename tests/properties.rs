@@ -73,6 +73,32 @@ proptest! {
     }
 
     #[test]
+    fn inflated_is_safe_and_monotone_for_extreme_rects(
+        x in prop::sample::select(vec![0u32, 1, 1000, u32::MAX / 2, u32::MAX - 1, u32::MAX]),
+        y in prop::sample::select(vec![0u32, 7, u32::MAX / 3, u32::MAX]),
+        w in prop::sample::select(vec![0u32, 1, 300, u32::MAX / 2, u32::MAX]),
+        h in prop::sample::select(vec![0u32, 2, u32::MAX - 5, u32::MAX]),
+        margin in prop::sample::select(vec![0u32, 1, 4, 1 << 20, u32::MAX / 2, u32::MAX]),
+        k in 1u32..9,
+    ) {
+        // Saturating inflation must never wrap (the old `w + (x - x0) +
+        // margin` overflowed in release for coordinates near u32::MAX):
+        // the result contains the original, degeneracy is preserved in
+        // both directions, and the scaled→inflated→clamped composition
+        // the ROI mapper runs stays inside the array.
+        let r = Rect::new(x, y, w, h);
+        let inflated = r.inflated(margin);
+        prop_assert_eq!(inflated.is_degenerate(), r.is_degenerate());
+        if !r.is_degenerate() {
+            prop_assert!(inflated.x <= r.x && inflated.y <= r.y);
+            prop_assert!(inflated.w >= r.w && inflated.h >= r.h);
+        }
+        let mapped = r.scaled(k, 1).inflated(margin).clamped(640, 480);
+        prop_assert!(mapped.fits_within(640, 480));
+        prop_assert_eq!(r.scaled(k, 1).is_degenerate(), r.is_degenerate());
+    }
+
+    #[test]
     fn clamped_rect_always_fits(r in arb_rect(), w in 1u32..300, h in 1u32..300) {
         let c = r.clamped(w, h);
         prop_assert!(c.fits_within(w, h));
