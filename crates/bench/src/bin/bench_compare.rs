@@ -12,12 +12,23 @@
 //! tracked-mode video is re-measured against it with the same budget and
 //! folded into the history entry.
 //!
+//! And the **scenario fleet**: every committed baseline under
+//! `results/scenarios/` (see the `scenario_stages` binary) is
+//! re-measured with its own configuration and gated on all three axes —
+//! tracked latency (the shared `--max-regress-pct` budget), accuracy
+//! (mean ROI IoU must not drop by more than `--max-iou-drop`), and
+//! sensor energy (total mJ must not grow by more than
+//! `--max-energy-regress-pct`).
+//!
 //! ```text
 //! cargo run --release -p hirise-bench --bin bench_compare -- \
 //!     [--baseline results/BENCH_pipeline.json] \
 //!     [--temporal-baseline results/BENCH_temporal.json] \
+//!     [--scenario-dir results/scenarios] \
 //!     [--history results/BENCH_history.json] \
-//!     [--max-regress-pct 15] [--frames N] [--mode keyed|sequential] \
+//!     [--max-regress-pct 15] [--max-iou-drop 0.05] \
+//!     [--max-energy-regress-pct 10] \
+//!     [--frames N] [--mode keyed|sequential] \
 //!     [--quick | --full]
 //! ```
 
@@ -26,7 +37,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use hirise::NoiseRngMode;
 use hirise_bench::args::Flags;
 use hirise_bench::stages::{json_f64, json_str, measure, StageBenchConfig};
-use hirise_bench::video;
+use hirise_bench::{scenario, video};
 
 /// Gregorian `(year, month, day)` for a Unix day number (days since
 /// 1970-01-01), via Howard Hinnant's civil-from-days algorithm.
@@ -170,6 +181,101 @@ fn main() {
         }
     };
 
+    // Scenario-fleet trajectory: one committed baseline per scenario,
+    // each re-measured with its own configuration and gated on latency,
+    // IoU, *and* energy. Missing directory => skipped (checkouts from
+    // before the fleet), like the temporal gate.
+    let scenario_dir =
+        std::path::Path::new(flags.value_of("scenario-dir").unwrap_or("results/scenarios"));
+    let max_iou_drop: f64 = flags.parsed("max-iou-drop").unwrap_or(0.05);
+    let max_energy_pct: f64 = flags.parsed("max-energy-regress-pct").unwrap_or(10.0);
+    let mut scenario_failures: Vec<String> = Vec::new();
+    let mut scenarios_checked = 0u32;
+    match std::fs::read_dir(scenario_dir) {
+        Err(e) => {
+            println!("no scenario baselines at {} ({e}); skipping", scenario_dir.display());
+        }
+        Ok(dir) => {
+            let mut paths: Vec<_> = dir
+                .filter_map(|entry| entry.ok().map(|entry| entry.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                .collect();
+            paths.sort();
+            for path in &paths {
+                let base = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    panic!("cannot read scenario baseline {}: {e}", path.display())
+                });
+                let miss = |field: &str| -> ! {
+                    panic!("scenario baseline {} lacks {field}", path.display())
+                };
+                let label = json_str(&base, "label").unwrap_or_else(|| miss("label"));
+                let scenario_array = json_str(&base, "array").unwrap_or_else(|| miss("array"));
+                let (scenario_w, scenario_h) = scenario_array
+                    .split_once('x')
+                    .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                    .unwrap_or_else(|| {
+                        panic!("scenario baseline array {scenario_array:?} is not WxH")
+                    });
+                // The whole configuration comes from the baseline itself —
+                // including the frame count, which `--frames` deliberately
+                // does NOT override here: a different clip length changes
+                // the keyframe fraction and with it all three gated
+                // numbers.
+                let config = scenario::ScenarioBenchConfig {
+                    scenario: json_str(&base, "scenario").unwrap_or_else(|| miss("scenario")),
+                    label: label.clone(),
+                    width: scenario_w,
+                    height: scenario_h,
+                    pooling_k: json_f64(&base, "pooling_k").map_or(2, |v| v as u32),
+                    frames: json_f64(&base, "frames").map_or(32, |v| v as u32),
+                    keyframe_interval: json_f64(&base, "keyframe_interval").map_or(8, |v| v as u32),
+                    max_rois: json_f64(&base, "max_rois").map_or(8, |v| v as usize),
+                    mode: json_str(&base, "mode").and_then(|m| m.parse().ok()).unwrap_or_default(),
+                    seed: json_f64(&base, "seed").map_or(scenario::SCENARIO_SEED, |v| v as u64),
+                };
+                let base_ms =
+                    json_f64(&base, "tracked_ms_mean").unwrap_or_else(|| miss("tracked_ms_mean"));
+                let base_iou =
+                    json_f64(&base, "mean_roi_iou").unwrap_or_else(|| miss("mean_roi_iou"));
+                let base_energy =
+                    json_f64(&base, "energy_mj_total").unwrap_or_else(|| miss("energy_mj_total"));
+                let fresh = scenario::measure_tracked(&config);
+                let ms_pct = 100.0 * (fresh.tracked_ms_mean - base_ms) / base_ms;
+                let iou_drop = base_iou - fresh.mean_roi_iou;
+                let energy_pct = if base_energy > 0.0 {
+                    100.0 * (fresh.energy_mj_total - base_energy) / base_energy
+                } else {
+                    0.0
+                };
+                println!(
+                    "  scenario {label:>13}: {:.2} ms/frame ({ms_pct:+.1} %), \
+                     IoU {:.3} ({:+.3} vs baseline), energy {:.3} mJ ({energy_pct:+.1} %)",
+                    fresh.tracked_ms_mean, fresh.mean_roi_iou, -iou_drop, fresh.energy_mj_total
+                );
+                if ms_pct > max_regress_pct {
+                    scenario_failures.push(format!(
+                        "scenario {label}: tracked mean {ms_pct:+.1} % exceeds the allowed \
+                         +{max_regress_pct:.1} %"
+                    ));
+                }
+                if iou_drop > max_iou_drop {
+                    scenario_failures.push(format!(
+                        "scenario {label}: mean ROI IoU dropped {iou_drop:.3} \
+                         (from {base_iou:.3} to {:.3}), more than the allowed {max_iou_drop:.3}",
+                        fresh.mean_roi_iou
+                    ));
+                }
+                if energy_pct > max_energy_pct {
+                    scenario_failures.push(format!(
+                        "scenario {label}: sensor energy {energy_pct:+.1} % exceeds the allowed \
+                         +{max_energy_pct:.1} %"
+                    ));
+                }
+                scenarios_checked += 1;
+            }
+        }
+    }
+
     let epoch_secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
     let (y, m, d) = civil_from_days((epoch_secs / 86_400) as i64);
     let tracked_fields = tracked.as_ref().map_or_else(String::new, |(v, base, delta)| {
@@ -179,11 +285,20 @@ fn main() {
             v.tracked_ms_mean, v.mean_roi_iou,
         )
     });
+    let scenario_fields = if scenarios_checked == 0 {
+        String::new()
+    } else {
+        format!(
+            ", \"scenarios_checked\": {scenarios_checked}, \"scenario_failures\": {}",
+            scenario_failures.len()
+        )
+    };
     let entry = format!(
         "  {{ \"date\": \"{y:04}-{m:02}-{d:02}\", \"epoch_secs\": {epoch_secs}, \
          \"array\": \"{array}\", \"pooling_k\": {}, \"mode\": \"{}\", \"frames\": {}, \
          \"end_to_end_ms_mean\": {:.3}, \"pool_ms_mean\": {:.3}, \
-         \"baseline_ms_mean\": {base_mean:.3}, \"delta_pct\": {delta_pct:.2}{tracked_fields} }}",
+         \"baseline_ms_mean\": {base_mean:.3}, \"delta_pct\": \
+         {delta_pct:.2}{tracked_fields}{scenario_fields} }}",
         config.pooling_k, config.mode, config.frames, fresh.end_to_end_ms_mean, fresh.pool_ms,
     );
     let history = std::path::Path::new(history_path);
@@ -207,8 +322,15 @@ fn main() {
             failed = true;
         }
     }
+    for failure in &scenario_failures {
+        eprintln!("REGRESSION: {failure}");
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
-    println!("within the +{max_regress_pct:.1} % budget");
+    println!(
+        "within budget (+{max_regress_pct:.1} % latency, -{max_iou_drop:.3} IoU, \
+         +{max_energy_pct:.1} % energy)"
+    );
 }

@@ -16,10 +16,14 @@
 //!   `pipeline_stages` profiler and the `bench_compare` trajectory gate,
 //! * [`video`] — the temporal (per-frame vs tracked) video benchmark
 //!   shared by `video_stages` and `bench_compare`,
+//! * [`scenario`] — the scenario-fleet stress benchmark (latency, IoU,
+//!   per-kind sensor energy) shared by `scenario_stages` and the
+//!   `bench_compare` scenario gate,
 //! * [`args`] — tiny CLI-flag helpers shared by the binaries.
 
 pub mod args;
 pub mod classifier;
+pub mod scenario;
 pub mod stages;
 pub mod stats;
 pub mod table2;

@@ -84,8 +84,13 @@ pub struct VideoBenchResult {
 }
 
 impl VideoBenchResult {
-    /// Per-frame-mode time over tracked-mode time.
+    /// Per-frame-mode time over tracked-mode time (0 for a degenerate
+    /// measurement over zero frames — a ratio of two zero means is
+    /// meaningless, not NaN).
     pub fn speedup(&self) -> f64 {
+        if !(self.tracked_ms_mean > 0.0) {
+            return 0.0;
+        }
         self.per_frame_ms_mean / self.tracked_ms_mean
     }
 
@@ -295,6 +300,32 @@ mod tests {
         assert_eq!(json_f64(&json, "keyframe_interval"), Some(6.0));
         assert_eq!(json_f64(&json, "mean_roi_iou"), Some(0.6125));
         assert!((json_f64(&json, "speedup").unwrap() - 20.5 / 8.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_clip_measurement_is_all_zeros_not_nan() {
+        // A zero-frame clip (or equivalently a clip whose objects have
+        // all exited and that yields no ROIs) must report clean zeros:
+        // every downstream consumer formats these into JSON, where NaN
+        // is not even representable.
+        let cfg = VideoBenchConfig {
+            width: 160,
+            height: 120,
+            pooling_k: 2,
+            frames: 0,
+            keyframe_interval: 4,
+            mode: NoiseRngMode::Keyed,
+        };
+        let r = measure(&cfg);
+        assert_eq!(r.per_frame_ms_mean, 0.0);
+        assert_eq!(r.tracked_ms_mean, 0.0);
+        assert_eq!(r.mean_roi_iou, 0.0, "zero-ROI IoU must be 0, not NaN");
+        assert_eq!(r.speedup(), 0.0, "0/0 speedup must be 0, not NaN");
+        assert!(r.speedup().is_finite() && r.mean_roi_iou.is_finite());
+        // And the emitted JSON stays parseable (no "NaN" literals).
+        let json = r.to_json();
+        assert!(!json.contains("NaN"), "NaN leaked into the JSON: {json}");
+        assert_eq!(json_f64(&json, "speedup"), Some(0.0));
     }
 
     #[test]

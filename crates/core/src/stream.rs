@@ -302,6 +302,14 @@ pub struct SequenceSummary {
     pub aggregate: StreamAggregate,
     /// Sensor-side energy folded in frame order, millijoules.
     pub energy_mj: f64,
+    /// The share of [`SequenceSummary::energy_mj`] spent on scheduled
+    /// keyframes (full stage-1 capture + pooled readout + detection).
+    pub energy_mj_keyframes: f64,
+    /// The share spent on drift-triggered re-detections.
+    pub energy_mj_drift: f64,
+    /// The share spent on pure tracked frames (capture + ROI read
+    /// only) — the per-kind split the scenario energy gate compares.
+    pub energy_mj_tracked: f64,
     /// Summed per-stage wall-clock time across the sequence's frames.
     pub stage_totals: StageTimings,
     /// Per-frame reports in frame order; populated only under
@@ -317,21 +325,36 @@ impl PartialEq for SequenceSummary {
             && self.tracked_frames == other.tracked_frames
             && self.aggregate == other.aggregate
             && self.energy_mj == other.energy_mj
+            && self.energy_mj_keyframes == other.energy_mj_keyframes
+            && self.energy_mj_drift == other.energy_mj_drift
+            && self.energy_mj_tracked == other.energy_mj_tracked
             && self.reports == other.reports
     }
 }
 
 impl SequenceSummary {
-    /// Folds one frame of the sequence, in frame order.
-    fn fold(&mut self, frame: &TemporalFrameReport, keep_reports: bool) {
+    /// Folds one frame of the sequence, in frame order. Public so
+    /// external measurement harnesses (the scenario benchmark) fold
+    /// their per-frame reports with exactly the executor's accounting.
+    pub fn fold(&mut self, frame: &TemporalFrameReport, keep_reports: bool) {
         self.frames += 1;
+        let energy = frame.report.sensor_energy_mj_default();
         match frame.kind {
-            crate::report::FrameKind::Keyframe => self.keyframes += 1,
-            crate::report::FrameKind::DriftRefresh => self.drift_refreshes += 1,
-            crate::report::FrameKind::Tracked => self.tracked_frames += 1,
+            crate::report::FrameKind::Keyframe => {
+                self.keyframes += 1;
+                self.energy_mj_keyframes += energy;
+            }
+            crate::report::FrameKind::DriftRefresh => {
+                self.drift_refreshes += 1;
+                self.energy_mj_drift += energy;
+            }
+            crate::report::FrameKind::Tracked => {
+                self.tracked_frames += 1;
+                self.energy_mj_tracked += energy;
+            }
         }
         self.aggregate.fold(&frame.report);
-        self.energy_mj += frame.report.sensor_energy_mj_default();
+        self.energy_mj += energy;
         self.stage_totals += frame.report.timings;
         if keep_reports {
             self.reports.push(frame.report);
@@ -1087,6 +1110,29 @@ mod tests {
             assert_eq!(s.frames, s.keyframes + s.drift_refreshes + s.tracked_frames);
             assert!(s.keyframes >= 3, "7 frames at interval 3 schedule ≥ 3 keyframes");
             assert!((0.0..=1.0).contains(&s.detection_fraction()));
+            // The per-kind split partitions the total: same addends, but
+            // grouped by kind rather than interleaved in frame order, so
+            // the comparison is up to float reassociation only.
+            let split = s.energy_mj_keyframes + s.energy_mj_drift + s.energy_mj_tracked;
+            assert!(
+                (split - s.energy_mj).abs() <= 1e-12 * s.energy_mj.abs(),
+                "per-kind energy split {split} diverged from total {}",
+                s.energy_mj
+            );
+            assert!(s.energy_mj_keyframes > 0.0, "keyframes spent no sensor energy");
+            if s.drift_refreshes == 0 {
+                assert_eq!(s.energy_mj_drift, 0.0);
+            }
+            if s.tracked_frames > 0 {
+                // A tracked frame skips the stage-1 pooled readout, so
+                // its mean energy must undercut the keyframe mean.
+                let tracked_mean = s.energy_mj_tracked / s.tracked_frames as f64;
+                let keyframe_mean = s.energy_mj_keyframes / s.keyframes as f64;
+                assert!(
+                    tracked_mean < keyframe_mean,
+                    "tracked frames are not cheaper than keyframes"
+                );
+            }
         }
         let text = summary.to_string();
         assert!(text.contains("sequences"));

@@ -23,6 +23,11 @@
 //!   with seeded constant-velocity ground-truth tracks (bounce or exit at
 //!   the frame edges), the workload the temporal ROI-tracking pipeline
 //!   (`hirise::temporal`) is evaluated on.
+//! * **Stress scenarios** — [`ScenarioGenerator`] renders the table-driven
+//!   scenario fleet ([`ScenarioSpec::fleet`]): occlusion/crossing,
+//!   approach/recede scale change, illumination drift + flicker, keyed
+//!   sensor defects, 20+-object crowds, and empty-scene departures — the
+//!   matrix every tracked-pipeline change is benchmarked and gated on.
 //!
 //! # Example
 //!
@@ -39,6 +44,7 @@
 pub mod dataset;
 pub mod object;
 pub mod rafdb;
+pub mod scenario;
 pub mod scene;
 pub mod stats;
 pub mod video;
@@ -46,6 +52,9 @@ pub mod video;
 pub use dataset::DatasetSpec;
 pub use object::ObjectClass;
 pub use rafdb::{Expression, FacePatchGenerator};
+pub use scenario::{
+    Illumination, ScenarioGenerator, ScenarioSpec, SensorDefects, TrackBlueprint, TrackPath,
+};
 pub use scene::{Scene, SceneGenerator, SceneObject};
 pub use stats::BoxStats;
 pub use video::{VideoFrame, VideoGenerator, VideoObject, VideoSpec};

@@ -1,0 +1,848 @@
+//! Scenario fleet: table-driven stress videos with ground truth.
+//!
+//! [`VideoGenerator`](crate::VideoGenerator) samples its tracks from a
+//! spec's distributions, which is the right shape for *statistical*
+//! workloads but cannot pose the situations a tracking policy actually
+//! fails on. The scenario fleet fills that gap: each [`ScenarioSpec`]
+//! preset lays out a hand-constructed situation —
+//!
+//! * **crossing** — tracks converging on the canvas centre, so their
+//!   boxes overlap (occlusion) mid-sequence and separate again;
+//! * **scale** — one approaching track that grows a few percent per
+//!   frame and one receding track that shrinks, defeating any tracker
+//!   that assumes constant object size;
+//! * **illumination** — a global brightness drift plus sinusoidal
+//!   flicker ([`Illumination`]), perturbing the mean-intensity drift
+//!   trigger without moving a single ground-truth box;
+//! * **defects** — fixed hot pixels and per-frame row noise
+//!   ([`SensorDefects`]) drawn from the keyed counter RNG with the same
+//!   domain-separation idiom as the sensor's noise streams, so the
+//!   defect pattern is a pure function of `(seed, site)`;
+//! * **crowded** — an exact 24-object crowd of small bouncing targets,
+//!   far beyond the ROI budget of the reference configuration;
+//! * **departure** — every track exits early, leaving a long empty
+//!   tail (the case that used to NaN empty-clip accuracy ratios);
+//! * **clean** — the unperturbed layout the VGA→4K resolution sweep
+//!   runs on.
+//!
+//! Every preset is resolution-independent (track blueprints live in
+//! canvas fractions) so the same scenario renders at 160×120 for golden
+//! tests and at 3840×2160 for the sweep, and every frame is — exactly
+//! as for `VideoGenerator` — a pure function of `(spec, seed, frame
+//! index)`: no accumulated state, bit-identical regeneration.
+//!
+//! # Example
+//!
+//! ```
+//! use hirise_scene::{ScenarioGenerator, ScenarioSpec};
+//!
+//! let scenario = ScenarioGenerator::new(ScenarioSpec::crossing(), 320, 240, 7);
+//! let frame = scenario.frame(5);
+//! assert_eq!(frame.image.dimensions(), (320, 240));
+//! // Pure function of the index: regeneration is bit-identical.
+//! assert_eq!(scenario.frame(5).image, frame.image);
+//! ```
+
+use hirise_imaging::{Rect, RgbImage};
+use rand::rngs::{KeyedRng, StdRng};
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::object::{self, ObjectClass};
+use crate::video::{paint_background, reflect, VideoFrame, VideoObject};
+
+/// Domain tags for the scenario defect streams, mirroring the sensor's
+/// `(domain << 56) | site` stream layout so hot-pixel sites and row
+/// offsets can never collide with each other (or with anything else
+/// derived from the same seed).
+mod domain {
+    /// Hot-pixel site stream (one sub-stream per defect index).
+    pub const HOT: u64 = 1;
+    /// Row-noise stream (one sub-stream per `(frame, row)` pair).
+    pub const ROW: u64 = 2;
+
+    /// The stream id of `site` within `domain`.
+    pub fn stream(domain: u64, site: u64) -> u64 {
+        (domain << 56) | site
+    }
+}
+
+/// Global per-frame brightness model: linear drift plus sinusoidal
+/// flicker, both multiplicative on the rendered irradiance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Illumination {
+    /// Linear brightness drift per frame (e.g. `-0.005` dims the scene
+    /// by 0.5 % of nominal per frame).
+    pub drift_per_frame: f64,
+    /// Sinusoidal flicker amplitude as a fraction of the drifted level.
+    pub flicker_amplitude: f64,
+    /// Flicker period in frames (> 0).
+    pub flicker_period: f64,
+}
+
+impl Illumination {
+    /// No drift, no flicker: `factor` is identically 1.
+    pub fn none() -> Self {
+        Self { drift_per_frame: 0.0, flicker_amplitude: 0.0, flicker_period: 1.0 }
+    }
+
+    /// The brightness factor applied to frame `frame`:
+    /// `(1 + drift·t) · (1 + amplitude·sin(2πt / period))`, floored at 0
+    /// (a long dimming drift saturates at black rather than inverting).
+    pub fn factor(&self, frame: u32) -> f64 {
+        let t = frame as f64;
+        let drift = (1.0 + self.drift_per_frame * t).max(0.0);
+        let flicker =
+            1.0 + self.flicker_amplitude * (std::f64::consts::TAU * t / self.flicker_period).sin();
+        (drift * flicker).max(0.0)
+    }
+
+    /// Inclusive bounds of [`Illumination::factor`] over frames
+    /// `0..=last`: the drift envelope times the flicker envelope. Every
+    /// per-frame factor is provably inside (the property suite holds
+    /// this over the fleet's presets).
+    pub fn factor_bounds(&self, last: u32) -> (f64, f64) {
+        let end = (1.0 + self.drift_per_frame * last as f64).max(0.0);
+        let (drift_lo, drift_hi) = (end.min(1.0), end.max(1.0));
+        let amp = self.flicker_amplitude.abs();
+        ((drift_lo * (1.0 - amp)).max(0.0), drift_hi * (1.0 + amp))
+    }
+}
+
+/// Static sensor-defect model injected into every rendered frame.
+///
+/// Both defect families draw from [`KeyedRng`] sub-streams of the
+/// scenario seed (see [`module docs`](self)): hot-pixel sites are fixed
+/// for the whole sequence (stuck-bright photosites), row offsets are a
+/// pure function of `(frame, row)` — so frames remain pure functions of
+/// their index even with defects on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorDefects {
+    /// Hot (stuck-bright) pixels per megapixel of canvas.
+    pub hot_pixels_per_mpx: f64,
+    /// The level a hot pixel is stuck at, all channels.
+    pub hot_level: f32,
+    /// Row-noise amplitude: each row of each frame gets one uniform
+    /// offset in `[-amplitude, amplitude]` added to all channels.
+    pub row_noise: f32,
+}
+
+impl SensorDefects {
+    /// A defect-free sensor.
+    pub fn none() -> Self {
+        Self { hot_pixels_per_mpx: 0.0, hot_level: 0.98, row_noise: 0.0 }
+    }
+}
+
+/// How one scenario track's position evolves over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackPath {
+    /// Specular reflection at the canvas edges; never leaves the frame.
+    Bounce,
+    /// Straight constant-velocity line; once fully outside, gone for
+    /// good.
+    Exit,
+    /// Straight line with the box *centre* clamped to the canvas — the
+    /// motion mode of growing/shrinking tracks, whose bounce bounds
+    /// would otherwise vary with the time-dependent size.
+    Hold,
+}
+
+/// One hand-laid-out track in resolution-independent units: positions
+/// and horizontal velocity are fractions of the canvas width, vertical
+/// ones of the height, per frame — so a preset crosses the canvas at
+/// the same *frame* regardless of the rendered resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackBlueprint {
+    /// Object class (fixes the box aspect ratio).
+    pub class: ObjectClass,
+    /// Box-centre position at frame 0, canvas fractions.
+    pub cx: f64,
+    /// See [`TrackBlueprint::cx`].
+    pub cy: f64,
+    /// Velocity, canvas fractions per frame.
+    pub vx: f64,
+    /// See [`TrackBlueprint::vx`].
+    pub vy: f64,
+    /// Box height at frame 0 as a fraction of the canvas height.
+    pub height: f64,
+    /// Multiplicative per-frame size change (1.0 = constant size;
+    /// growing/shrinking tracks must use [`TrackPath::Hold`]).
+    pub growth: f64,
+    /// Position evolution mode.
+    pub path: TrackPath,
+}
+
+impl TrackBlueprint {
+    /// A constant-size bouncing track — the common case.
+    fn bouncing(class: ObjectClass, cx: f64, cy: f64, vx: f64, vy: f64, height: f64) -> Self {
+        Self { class, cx, cy, vx, vy, height, growth: 1.0, path: TrackPath::Bounce }
+    }
+}
+
+/// One table entry of the scenario fleet: explicit track blueprints plus
+/// an optional sampled crowd, under a brightness and defect model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Stable scenario name (keys golden CSVs and committed bench JSON).
+    pub name: &'static str,
+    /// Hand-laid-out tracks.
+    pub tracks: Vec<TrackBlueprint>,
+    /// Additional seed-sampled bouncing tracks on top of
+    /// [`ScenarioSpec::tracks`] (the crowd preset); the total track
+    /// count is exactly `tracks.len() + crowd`.
+    pub crowd: usize,
+    /// Crowd box-height range, canvas-height fractions.
+    pub crowd_scale: (f64, f64),
+    /// Crowd speed-magnitude range, canvas fractions per frame.
+    pub crowd_speed: (f64, f64),
+    /// Global brightness model.
+    pub illumination: Illumination,
+    /// Injected sensor defects.
+    pub defects: SensorDefects,
+    /// Static low-saturation distractor rectangles in the background.
+    pub clutter_rects: usize,
+}
+
+impl ScenarioSpec {
+    /// Base spec shared by the presets: no crowd, no perturbations.
+    fn base(name: &'static str, tracks: Vec<TrackBlueprint>) -> Self {
+        Self {
+            name,
+            tracks,
+            crowd: 0,
+            crowd_scale: (0.08, 0.16),
+            crowd_speed: (0.004, 0.012),
+            illumination: Illumination::none(),
+            defects: SensorDefects::none(),
+            clutter_rects: 6,
+        }
+    }
+
+    /// Occlusion: two pedestrians converging horizontally (their boxes
+    /// overlap around frame 17 and separate again) plus a cyclist
+    /// crossing the same region vertically.
+    pub fn crossing() -> Self {
+        Self::base(
+            "crossing",
+            vec![
+                TrackBlueprint {
+                    class: ObjectClass::Person,
+                    cx: 0.15,
+                    cy: 0.48,
+                    vx: 0.02,
+                    vy: 0.0,
+                    height: 0.26,
+                    growth: 1.0,
+                    path: TrackPath::Exit,
+                },
+                TrackBlueprint {
+                    class: ObjectClass::Person,
+                    cx: 0.85,
+                    cy: 0.52,
+                    vx: -0.02,
+                    vy: 0.0,
+                    height: 0.28,
+                    growth: 1.0,
+                    path: TrackPath::Exit,
+                },
+                TrackBlueprint::bouncing(ObjectClass::Cyclist, 0.5, 0.15, 0.0, 0.015, 0.24),
+            ],
+        )
+    }
+
+    /// Scale change: an approaching pedestrian growing ~3.5 %/frame and
+    /// a receding cyclist shrinking ~3 %/frame, both centre-held.
+    pub fn scale() -> Self {
+        Self::base(
+            "scale",
+            vec![
+                TrackBlueprint {
+                    class: ObjectClass::Person,
+                    cx: 0.3,
+                    cy: 0.5,
+                    vx: 0.002,
+                    vy: 0.0,
+                    height: 0.16,
+                    growth: 1.035,
+                    path: TrackPath::Hold,
+                },
+                TrackBlueprint {
+                    class: ObjectClass::Cyclist,
+                    cx: 0.72,
+                    cy: 0.5,
+                    vx: -0.002,
+                    vy: 0.0,
+                    height: 0.34,
+                    growth: 0.97,
+                    path: TrackPath::Hold,
+                },
+            ],
+        )
+    }
+
+    /// Illumination stress: the clean layout under a −0.6 %/frame
+    /// brightness drift with ±8 % flicker every 6 frames. Ground truth
+    /// is identical to `clean` — only the pixels change.
+    pub fn illumination() -> Self {
+        Self {
+            name: "illumination",
+            illumination: Illumination {
+                drift_per_frame: -0.006,
+                flicker_amplitude: 0.08,
+                flicker_period: 6.0,
+            },
+            ..Self::clean()
+        }
+    }
+
+    /// Sensor defects: the clean layout plus 120 hot pixels per
+    /// megapixel and ±3 % row noise from the keyed defect streams.
+    pub fn defects() -> Self {
+        Self {
+            name: "defects",
+            defects: SensorDefects { hot_pixels_per_mpx: 120.0, hot_level: 0.98, row_noise: 0.03 },
+            ..Self::clean()
+        }
+    }
+
+    /// Crowding: exactly 24 small sampled targets bouncing through the
+    /// canvas — triple the reference configuration's ROI budget.
+    pub fn crowded() -> Self {
+        Self { name: "crowded", crowd: 24, ..Self::base("crowded", Vec::new()) }
+    }
+
+    /// Departure: every track exits within the first third of a
+    /// 32-frame clip, so most frames are object-free — the empty-clip
+    /// edge case the accuracy ratios must not NaN on.
+    pub fn departure() -> Self {
+        Self::base(
+            "departure",
+            vec![
+                TrackBlueprint {
+                    class: ObjectClass::Person,
+                    cx: 0.12,
+                    cy: 0.4,
+                    vx: -0.03,
+                    vy: 0.0,
+                    height: 0.26,
+                    growth: 1.0,
+                    path: TrackPath::Exit,
+                },
+                TrackBlueprint {
+                    class: ObjectClass::Cyclist,
+                    cx: 0.88,
+                    cy: 0.6,
+                    vx: 0.035,
+                    vy: 0.0,
+                    height: 0.28,
+                    growth: 1.0,
+                    path: TrackPath::Exit,
+                },
+                TrackBlueprint {
+                    class: ObjectClass::Person,
+                    cx: 0.5,
+                    cy: 0.12,
+                    vx: 0.0,
+                    vy: -0.03,
+                    height: 0.24,
+                    growth: 1.0,
+                    path: TrackPath::Exit,
+                },
+            ],
+        )
+    }
+
+    /// The unperturbed three-track layout: two bouncing pedestrians and
+    /// a bouncing cyclist. Payload of the VGA→4K resolution sweep and
+    /// base layout of the illumination/defect presets.
+    pub fn clean() -> Self {
+        Self::base(
+            "clean",
+            vec![
+                TrackBlueprint::bouncing(ObjectClass::Person, 0.2, 0.35, 0.008, 0.004, 0.27),
+                TrackBlueprint::bouncing(ObjectClass::Person, 0.6, 0.62, -0.006, 0.006, 0.24),
+                TrackBlueprint::bouncing(ObjectClass::Cyclist, 0.82, 0.3, -0.009, -0.003, 0.3),
+            ],
+        )
+    }
+
+    /// The whole fleet, in table order.
+    pub fn fleet() -> Vec<ScenarioSpec> {
+        vec![
+            Self::crossing(),
+            Self::scale(),
+            Self::illumination(),
+            Self::defects(),
+            Self::crowded(),
+            Self::departure(),
+            Self::clean(),
+        ]
+    }
+
+    /// Looks a preset up by its [`ScenarioSpec::name`].
+    pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+        Self::fleet().into_iter().find(|s| s.name == name)
+    }
+}
+
+/// One resolved track in pixel units (fixed for the sequence).
+#[derive(Debug, Clone, Copy)]
+struct ScenarioTrack {
+    class: ObjectClass,
+    /// Box centre at frame 0, pixels.
+    cx0: f64,
+    cy0: f64,
+    /// Velocity, pixels per frame.
+    vx: f64,
+    vy: f64,
+    /// Box height at frame 0, pixels.
+    h0: f64,
+    /// Width/height ratio (fixed per track).
+    aspect: f64,
+    /// Multiplicative per-frame size change.
+    growth: f64,
+    path: TrackPath,
+    /// Seed of the per-frame appearance RNG (stable across frames).
+    appearance: u64,
+}
+
+/// Deterministic scenario-sequence generator; see the module docs.
+#[derive(Debug, Clone)]
+pub struct ScenarioGenerator {
+    spec: ScenarioSpec,
+    width: u32,
+    height: u32,
+    background: RgbImage,
+    tracks: Vec<ScenarioTrack>,
+    /// Fixed hot-pixel sites (empty without defects).
+    hot_pixels: Vec<(u32, u32)>,
+    /// Key of the per-`(frame, row)` row-noise stream.
+    row_key: u64,
+}
+
+impl ScenarioGenerator {
+    /// Resolves `spec` onto a `width × height` canvas under `seed`: the
+    /// static background, the explicit blueprints scaled to pixels, the
+    /// sampled crowd, and the keyed defect sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the canvas is too small to hold the spec's smallest
+    /// object (< ~16 px for person-scale presets).
+    pub fn new(spec: ScenarioSpec, width: u32, height: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let background = paint_background(spec.clutter_rects, width, height, &mut rng);
+        let (w, h) = (width as f64, height as f64);
+        let mut tracks: Vec<ScenarioTrack> = Vec::with_capacity(spec.tracks.len() + spec.crowd);
+        for bp in &spec.tracks {
+            tracks.push(ScenarioTrack {
+                class: bp.class,
+                cx0: bp.cx * w,
+                cy0: bp.cy * h,
+                vx: bp.vx * w,
+                vy: bp.vy * h,
+                h0: bp.height * h,
+                aspect: bp.class.aspect() as f64,
+                growth: bp.growth,
+                path: bp.path,
+                appearance: 0, // filled below, by final track id
+            });
+        }
+        for _ in 0..spec.crowd {
+            let class = if rng.gen_range(0.0..1.0) < 0.7 {
+                ObjectClass::Person
+            } else {
+                ObjectClass::Cyclist
+            };
+            let scale = rng.gen_range(spec.crowd_scale.0..spec.crowd_scale.1);
+            let speed = rng.gen_range(spec.crowd_speed.0..spec.crowd_speed.1);
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            tracks.push(ScenarioTrack {
+                class,
+                cx0: rng.gen_range(0.0..1.0) * w,
+                cy0: rng.gen_range(0.0..1.0) * h,
+                vx: speed * angle.cos() * w,
+                vy: speed * angle.sin() * h,
+                h0: scale * h,
+                aspect: class.aspect() as f64,
+                growth: 1.0,
+                path: TrackPath::Bounce,
+                appearance: 0,
+            });
+        }
+        for (id, t) in tracks.iter_mut().enumerate() {
+            t.appearance = seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+
+        let hot_key = KeyedRng::derive_key(seed, domain::stream(domain::HOT, 0));
+        let hot_count = (spec.defects.hot_pixels_per_mpx * w * h / 1e6).round() as u64;
+        let hot_pixels = (0..hot_count)
+            .map(|i| {
+                let mut r = KeyedRng::for_stream(hot_key, i);
+                (r.gen_range(0..width), r.gen_range(0..height))
+            })
+            .collect();
+        let row_key = KeyedRng::derive_key(seed, domain::stream(domain::ROW, 0));
+        Self { spec, width, height, background, tracks, hot_pixels, row_key }
+    }
+
+    /// The wrapped spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The scenario's stable name.
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of ground-truth tracks (explicit + crowd; exited tracks
+    /// still count, they are simply absent from later frames).
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// The fixed hot-pixel sites (empty without defects).
+    pub fn hot_pixel_sites(&self) -> &[(u32, u32)] {
+        &self.hot_pixels
+    }
+
+    /// Box size of track `t` at `frame`, pixels (clamped to the canvas
+    /// and to the minimum renderable size).
+    fn size(&self, t: &ScenarioTrack, frame: u32) -> (f64, f64) {
+        let h = (t.h0 * t.growth.powi(frame as i32)).clamp(4.0, self.height as f64);
+        let w = (h * t.aspect).clamp(3.0, self.width as f64);
+        (w, h)
+    }
+
+    /// The analytic box centre of track `t` at `frame`, pixels.
+    fn center(&self, t: &ScenarioTrack, frame: u32) -> (f64, f64) {
+        let dt = frame as f64;
+        let (w, h) = self.size(t, frame);
+        let (cx, cy) = (t.cx0 + t.vx * dt, t.cy0 + t.vy * dt);
+        match t.path {
+            TrackPath::Bounce => (
+                reflect(cx - w / 2.0, (self.width as f64 - w).max(0.0)) + w / 2.0,
+                reflect(cy - h / 2.0, (self.height as f64 - h).max(0.0)) + h / 2.0,
+            ),
+            TrackPath::Exit => (cx, cy),
+            TrackPath::Hold => {
+                (cx.clamp(0.0, self.width as f64), cy.clamp(0.0, self.height as f64))
+            }
+        }
+    }
+
+    /// The visible (canvas-clipped) box of track `t` at `frame`, or
+    /// `None` once the object is fully outside.
+    fn visible_box(&self, t: &ScenarioTrack, frame: u32) -> Option<Rect> {
+        let (w, h) = self.size(t, frame);
+        let (cx, cy) = self.center(t, frame);
+        let (x0, y0) = ((cx - w / 2.0).round() as i64, (cy - h / 2.0).round() as i64);
+        let (x1, y1) = (x0 + w.round() as i64, y0 + h.round() as i64);
+        let cx0 = x0.max(0);
+        let cy0 = y0.max(0);
+        let cx1 = x1.min(self.width as i64);
+        let cy1 = y1.min(self.height as i64);
+        if cx0 < cx1 && cy0 < cy1 {
+            Some(Rect::new(cx0 as u32, cy0 as u32, (cx1 - cx0) as u32, (cy1 - cy0) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Ground-truth boxes of `frame`, in track-id order, without
+    /// rendering.
+    pub fn ground_truth(&self, frame: u32) -> Vec<VideoObject> {
+        self.tracks
+            .iter()
+            .enumerate()
+            .filter_map(|(id, t)| {
+                self.visible_box(t, frame).map(|bbox| VideoObject {
+                    track: id as u32,
+                    class: t.class,
+                    bbox,
+                })
+            })
+            .collect()
+    }
+
+    /// The row-noise offset of `(frame, row)` (0 without defects): one
+    /// keyed uniform draw in `[-amplitude, amplitude]`.
+    fn row_offset(&self, frame: u32, row: u32) -> f32 {
+        let amp = self.spec.defects.row_noise;
+        if amp == 0.0 {
+            return 0.0;
+        }
+        let site = (u64::from(frame) << 32) | u64::from(row);
+        let bits = KeyedRng::for_stream(self.row_key, site).next_u64() >> 40;
+        amp * (2.0 * (bits as f32 / (1u64 << 24) as f32) - 1.0)
+    }
+
+    /// Renders frame `frame`: the shared background, every visible
+    /// object at its analytic position and size, then — in sensor
+    /// order — the illumination factor, the row noise, and the
+    /// stuck-bright hot pixels. Pure function of the index.
+    pub fn frame(&self, frame: u32) -> VideoFrame {
+        let mut image = self.background.clone();
+        let objects = self.ground_truth(frame);
+        // Render back-to-front (top of frame first) so nearer objects
+        // overdraw farther ones; on crossing scenarios this is what
+        // produces the actual pixel-level occlusion.
+        let mut order: Vec<usize> = (0..objects.len()).collect();
+        order.sort_by_key(|&i| (objects[i].bbox.y, objects[i].track));
+        for &i in &order {
+            let obj = &objects[i];
+            // The appearance RNG restarts from the same seed every frame,
+            // so the object's colours and texture do not flicker.
+            let mut rng = StdRng::seed_from_u64(self.tracks[obj.track as usize].appearance);
+            object::render_object(&mut image, obj.class, obj.bbox, &mut rng);
+        }
+        let factor = self.spec.illumination.factor(frame) as f32;
+        if factor != 1.0 {
+            for plane in image.planes_mut() {
+                for v in plane.as_mut_slice() {
+                    *v = (*v * factor).clamp(0.0, 1.0);
+                }
+            }
+        }
+        if self.spec.defects.row_noise != 0.0 {
+            for y in 0..self.height {
+                let offset = self.row_offset(frame, y);
+                for plane in image.planes_mut() {
+                    let row = plane.row_mut(y);
+                    for v in row {
+                        *v = (*v + offset).clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        for &(x, y) in &self.hot_pixels {
+            for plane in image.planes_mut() {
+                plane.set(x, y, self.spec.defects.hot_level);
+            }
+        }
+        VideoFrame { index: frame, image, objects }
+    }
+
+    /// Renders frames `0..count`.
+    pub fn frames(&self, count: u32) -> Vec<VideoFrame> {
+        (0..count).map(|i| self.frame(i)).collect()
+    }
+
+    /// Renders frames `0..count`, keeping only the images.
+    pub fn images(&self, count: u32) -> Vec<RgbImage> {
+        (0..count).map(|i| self.frame(i).image).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(spec: ScenarioSpec, seed: u64) -> ScenarioGenerator {
+        ScenarioGenerator::new(spec, 160, 120, seed)
+    }
+
+    #[test]
+    fn fleet_names_are_unique_and_resolvable() {
+        let fleet = ScenarioSpec::fleet();
+        assert!(fleet.len() >= 6, "the fleet shrank to {}", fleet.len());
+        let mut names: Vec<&str> = fleet.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len, "duplicate scenario names");
+        for spec in &fleet {
+            assert_eq!(ScenarioSpec::by_name(spec.name).as_ref(), Some(spec));
+        }
+        assert!(ScenarioSpec::by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn frames_are_pure_functions_of_the_index() {
+        for spec in ScenarioSpec::fleet() {
+            let name = spec.name;
+            let a = generator(spec.clone(), 11);
+            let b = generator(spec, 11);
+            let (fa, fb) = (a.frame(7), b.frame(7));
+            assert_eq!(fa.image, fb.image, "{name}: frame 7 not reproducible");
+            assert_eq!(fa.objects, fb.objects, "{name}: ground truth not reproducible");
+            // Batch API agrees without generating 0..7 first.
+            assert_eq!(a.frames(8)[7].image, fa.image, "{name}");
+        }
+    }
+
+    #[test]
+    fn crossing_tracks_actually_occlude() {
+        let g = generator(ScenarioSpec::crossing(), 5);
+        let max_overlap = (0..32)
+            .map(|t| {
+                let gt = g.ground_truth(t);
+                let mut best = 0.0f64;
+                for i in 0..gt.len() {
+                    for j in i + 1..gt.len() {
+                        best = best.max(gt[i].bbox.iou(&gt[j].bbox));
+                    }
+                }
+                best
+            })
+            .fold(0.0, f64::max);
+        assert!(max_overlap > 0.3, "crossing tracks never occlude (max IoU {max_overlap:.3})");
+        // And they start separated.
+        let gt0 = g.ground_truth(0);
+        for i in 0..gt0.len() {
+            for j in i + 1..gt0.len() {
+                assert!(gt0[i].bbox.iou(&gt0[j].bbox) < 0.1, "tracks spawn overlapped");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_tracks_grow_and_shrink() {
+        let g = generator(ScenarioSpec::scale(), 5);
+        let at = |frame: u32, track: u32| {
+            g.ground_truth(frame)
+                .into_iter()
+                .find(|o| o.track == track)
+                .map(|o| o.bbox.h)
+                .expect("track visible")
+        };
+        assert!(at(24, 0) > at(0, 0) * 2, "approaching track did not grow");
+        assert!(at(24, 1) * 2 < at(0, 1), "receding track did not shrink");
+    }
+
+    #[test]
+    fn illumination_changes_pixels_but_not_ground_truth() {
+        let lit = generator(ScenarioSpec::illumination(), 9);
+        let clean = generator(ScenarioSpec::clean(), 9);
+        for t in [0u32, 5, 11] {
+            assert_eq!(lit.ground_truth(t), clean.ground_truth(t), "frame {t}");
+        }
+        // Frame 0 has factor 1 (no drift yet, sin(0)=0) — identical to
+        // clean; later frames must differ.
+        assert_eq!(lit.frame(0).image, clean.frame(0).image);
+        assert_ne!(lit.frame(5).image, clean.frame(5).image);
+        // Dimming drift: later frames are darker on average.
+        let mean = |img: &RgbImage| {
+            let planes = img.planes();
+            planes.iter().map(|p| p.mean() as f64).sum::<f64>() / 3.0
+        };
+        assert!(mean(&lit.frame(30).image) < mean(&lit.frame(0).image) * 0.95);
+    }
+
+    #[test]
+    fn defects_pin_hot_pixels_across_frames() {
+        let g = generator(ScenarioSpec::defects(), 13);
+        let sites = g.hot_pixel_sites().to_vec();
+        assert!(!sites.is_empty(), "120/Mpx on 160x120 should give ≥ 2 hot pixels");
+        let level = g.spec().defects.hot_level;
+        for t in [0u32, 3, 9] {
+            let frame = g.frame(t);
+            for &(x, y) in &sites {
+                for plane in frame.image.planes() {
+                    assert_eq!(
+                        plane.get(x, y),
+                        level,
+                        "hot pixel ({x},{y}) not stuck at frame {t}"
+                    );
+                }
+            }
+        }
+        // Row noise varies per frame: two frames differ even where no
+        // object moved through (compare full images; objects move too).
+        assert_ne!(g.frame(1).image, g.frame(2).image);
+    }
+
+    #[test]
+    fn crowded_spawns_exactly_the_requested_count() {
+        let spec = ScenarioSpec::crowded();
+        let expected = spec.tracks.len() + spec.crowd;
+        assert!(expected >= 20, "crowd preset must have 20+ objects");
+        let g = ScenarioGenerator::new(spec, 320, 240, 17);
+        assert_eq!(g.track_count(), expected);
+        // All bouncing: every track visible in every frame.
+        for t in [0u32, 9, 40] {
+            assert_eq!(g.ground_truth(t).len(), expected, "a crowd track vanished at frame {t}");
+        }
+    }
+
+    #[test]
+    fn departure_empties_the_scene_for_good() {
+        let g = generator(ScenarioSpec::departure(), 3);
+        assert!(!g.ground_truth(0).is_empty());
+        let gone_at = (0..64).find(|&t| g.ground_truth(t).is_empty());
+        let gone_at = gone_at.expect("departure tracks never left");
+        assert!(gone_at <= 16, "departure too slow (empty only at frame {gone_at})");
+        for t in [gone_at + 1, gone_at + 10, gone_at + 100] {
+            assert!(g.ground_truth(t).is_empty(), "an exited object returned at frame {t}");
+        }
+    }
+
+    #[test]
+    fn boxes_stay_inside_the_canvas_across_the_fleet() {
+        for spec in ScenarioSpec::fleet() {
+            let name = spec.name;
+            let g = generator(spec, 9);
+            for t in 0..40 {
+                for obj in g.ground_truth(t) {
+                    assert!(
+                        obj.bbox.fits_within(160, 120),
+                        "{name} frame {t}: {} escapes the canvas",
+                        obj.bbox
+                    );
+                    assert!(!obj.bbox.is_degenerate(), "{name} frame {t}: degenerate box");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn illumination_factor_stays_within_bounds() {
+        let ill =
+            Illumination { drift_per_frame: -0.006, flicker_amplitude: 0.08, flicker_period: 6.0 };
+        let (lo, hi) = ill.factor_bounds(48);
+        for t in 0..=48 {
+            let f = ill.factor(t);
+            assert!((lo..=hi).contains(&f), "factor({t}) = {f} outside [{lo}, {hi}]");
+        }
+        assert_eq!(Illumination::none().factor(123), 1.0);
+    }
+
+    #[test]
+    fn rendered_pixels_stay_normalised_under_perturbations() {
+        for spec in [ScenarioSpec::illumination(), ScenarioSpec::defects()] {
+            let name = spec.name;
+            let g = generator(spec, 7);
+            for t in [0u32, 4, 20] {
+                for plane in g.frame(t).image.planes() {
+                    for &v in plane.as_slice() {
+                        assert!(
+                            (0.0..=1.0).contains(&v),
+                            "{name} frame {t}: pixel {v} out of range"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_differ_defects_reproduce() {
+        let a = generator(ScenarioSpec::defects(), 3);
+        let b = generator(ScenarioSpec::defects(), 3);
+        let c = generator(ScenarioSpec::defects(), 4);
+        assert_eq!(a.frame(2).image, b.frame(2).image);
+        assert_eq!(a.hot_pixel_sites(), b.hot_pixel_sites());
+        assert_ne!(a.frame(2).image, c.frame(2).image);
+    }
+}

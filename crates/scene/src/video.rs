@@ -125,7 +125,8 @@ pub struct VideoFrame {
 
 /// Reflects `p` into `0.0..=max` (triangle wave), the closed form of
 /// constant-velocity motion with elastic bounces at 0 and `max`.
-fn reflect(p: f64, max: f64) -> f64 {
+/// Shared with the scenario generators (`crate::scenario`).
+pub(crate) fn reflect(p: f64, max: f64) -> f64 {
     if max <= 0.0 {
         return 0.0;
     }
@@ -136,6 +137,53 @@ fn reflect(p: f64, max: f64) -> f64 {
     } else {
         m
     }
+}
+
+/// Static background shared by every frame of a sequence: vertical
+/// sky-to-ground gradient, untextured clutter rectangles, road lines
+/// and low-amplitude texture noise (the same ingredients as the
+/// still-scene generator, so detector calibrations transfer). Shared by
+/// [`VideoGenerator`] and the scenario generators (`crate::scenario`).
+pub(crate) fn paint_background(clutter_rects: usize, w: u32, h: u32, rng: &mut StdRng) -> RgbImage {
+    let mut img = RgbImage::new(w, h);
+    let sky = rng.gen_range(0.55..0.7);
+    let ground = rng.gen_range(0.3..0.45);
+    for (ci, tint) in [(0usize, 0.98f32), (1, 1.0), (2, 1.04)] {
+        let plane = &mut *img.planes_mut()[ci];
+        for y in 0..h {
+            let t = y as f32 / (h - 1).max(1) as f32;
+            let v = (sky + (ground - sky) * t) * tint;
+            for x in 0..w {
+                plane.set(x, y, v);
+            }
+        }
+    }
+    let noise_seed: u64 = rng.gen();
+    for (i, plane) in img.planes_mut().into_iter().enumerate() {
+        let mut t = draw::TextureRng::new(noise_seed ^ ((i as u64) << 32));
+        for v in plane.as_mut_slice() {
+            *v += 0.02 * (t.next_f32() * 2.0 - 1.0);
+        }
+    }
+    for i in 0..clutter_rects {
+        let cw = rng.gen_range(w / 16..w / 4).max(2);
+        let ch = rng.gen_range(h / 16..h / 4).max(2);
+        let x = rng.gen_range(0..w.saturating_sub(cw).max(1));
+        let y = rng.gen_range(0..h.saturating_sub(ch).max(1));
+        let sat = if i % 2 == 0 { rng.gen_range(0.05..0.2) } else { rng.gen_range(0.3..0.6) };
+        let color = hsv_to_rgb(rng.gen_range(0.0..1.0), sat, rng.gen_range(0.3..0.7));
+        draw::fill_rect_rgb(&mut img, Rect::new(x, y, cw, ch), color);
+    }
+    for _ in 0..2 {
+        let y0 = rng.gen_range(0..h) as i64;
+        let y1 = rng.gen_range(0..h) as i64;
+        let shade = rng.gen_range(0.2..0.3);
+        let [pr, pg, pb] = img.planes_mut();
+        draw::draw_line(pr, 0, y0, w as i64 - 1, y1, shade);
+        draw::draw_line(pg, 0, y0, w as i64 - 1, y1, shade);
+        draw::draw_line(pb, 0, y0, w as i64 - 1, y1, shade);
+    }
+    img
 }
 
 /// Deterministic video-sequence generator; see the module docs.
@@ -159,7 +207,7 @@ impl VideoGenerator {
     /// object of the spec (< ~16 px for person-scale presets).
     pub fn new(spec: VideoSpec, width: u32, height: u32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let background = Self::paint_background(&spec, width, height, &mut rng);
+        let background = paint_background(spec.clutter_rects, width, height, &mut rng);
         let count = rng.gen_range(spec.objects.0..=spec.objects.1);
         let mut tracks = Vec::with_capacity(count);
         for id in 0..count {
@@ -219,52 +267,6 @@ impl VideoGenerator {
     /// exited still count; they are simply absent from later frames).
     pub fn track_count(&self) -> usize {
         self.tracks.len()
-    }
-
-    /// Static background shared by every frame of the sequence: vertical
-    /// sky-to-ground gradient, untextured clutter rectangles, road lines
-    /// and low-amplitude texture noise (the same ingredients as the
-    /// still-scene generator, so detector calibrations transfer).
-    fn paint_background(spec: &VideoSpec, w: u32, h: u32, rng: &mut StdRng) -> RgbImage {
-        let mut img = RgbImage::new(w, h);
-        let sky = rng.gen_range(0.55..0.7);
-        let ground = rng.gen_range(0.3..0.45);
-        for (ci, tint) in [(0usize, 0.98f32), (1, 1.0), (2, 1.04)] {
-            let plane = &mut *img.planes_mut()[ci];
-            for y in 0..h {
-                let t = y as f32 / (h - 1).max(1) as f32;
-                let v = (sky + (ground - sky) * t) * tint;
-                for x in 0..w {
-                    plane.set(x, y, v);
-                }
-            }
-        }
-        let noise_seed: u64 = rng.gen();
-        for (i, plane) in img.planes_mut().into_iter().enumerate() {
-            let mut t = draw::TextureRng::new(noise_seed ^ ((i as u64) << 32));
-            for v in plane.as_mut_slice() {
-                *v += 0.02 * (t.next_f32() * 2.0 - 1.0);
-            }
-        }
-        for i in 0..spec.clutter_rects {
-            let cw = rng.gen_range(w / 16..w / 4).max(2);
-            let ch = rng.gen_range(h / 16..h / 4).max(2);
-            let x = rng.gen_range(0..w.saturating_sub(cw).max(1));
-            let y = rng.gen_range(0..h.saturating_sub(ch).max(1));
-            let sat = if i % 2 == 0 { rng.gen_range(0.05..0.2) } else { rng.gen_range(0.3..0.6) };
-            let color = hsv_to_rgb(rng.gen_range(0.0..1.0), sat, rng.gen_range(0.3..0.7));
-            draw::fill_rect_rgb(&mut img, Rect::new(x, y, cw, ch), color);
-        }
-        for _ in 0..2 {
-            let y0 = rng.gen_range(0..h) as i64;
-            let y1 = rng.gen_range(0..h) as i64;
-            let shade = rng.gen_range(0.2..0.3);
-            let [pr, pg, pb] = img.planes_mut();
-            draw::draw_line(pr, 0, y0, w as i64 - 1, y1, shade);
-            draw::draw_line(pg, 0, y0, w as i64 - 1, y1, shade);
-            draw::draw_line(pb, 0, y0, w as i64 - 1, y1, shade);
-        }
-        img
     }
 
     /// The (unclipped) analytic top-left of track `t` at `frame`, in

@@ -203,6 +203,54 @@ fn tracked_non_keyframes_are_allocation_free_after_warmup() {
 }
 
 #[test]
+fn tracked_frames_stay_allocation_free_on_a_defect_heavy_scenario() {
+    // The defect-heavy fleet scenario (hot pixels stuck bright + per-row
+    // keyed noise) is the adversarial input for the tracked path: extra
+    // high-contrast features and row-correlated noise must not push any
+    // buffer past its warmed high-water mark mid-sequence. Frames come
+    // from the scenario generator itself, so this holds the contract on
+    // exactly what the scenario benchmark measures.
+    use hirise::temporal::{TrackerState, TrackingPipeline};
+    use hirise::{FrameKind, TemporalConfig};
+    use hirise_scene::{ScenarioGenerator, ScenarioSpec};
+
+    let temporal =
+        TemporalConfig::default().keyframe_interval(4).drift_threshold(1.0).min_track_iou(0.2);
+    let detector = hirise::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+    let config = HiriseConfig::builder(192, 144)
+        .pooling(2)
+        .sensor(SensorConfig { noise_rng: NoiseRngMode::Keyed, ..Default::default() })
+        .detector(detector)
+        .max_rois(4)
+        .roi_margin(2)
+        .build()
+        .unwrap();
+    let tracker = TrackingPipeline::new(config, temporal).unwrap();
+    let frames = ScenarioGenerator::new(ScenarioSpec::defects(), 192, 144, 0x5CE2).images(8);
+    let mut state = TrackerState::new();
+    let mut scratch = PipelineScratch::new();
+
+    for _ in 0..2 {
+        for frame in &frames {
+            tracker.run_frame(frame, &mut state, &mut scratch).unwrap();
+        }
+    }
+
+    let mut tracked = 0u64;
+    for (i, frame) in frames.iter().enumerate() {
+        let mut kind = FrameKind::Keyframe;
+        let count = allocations_during(|| {
+            kind = tracker.run_frame(frame, &mut state, &mut scratch).unwrap().kind;
+        });
+        if kind == FrameKind::Tracked {
+            tracked += 1;
+            assert_eq!(count, 0, "frame {i}: tracked defect frame allocated {count} times");
+        }
+    }
+    assert!(tracked >= 4, "too few tracked frames measured ({tracked})");
+}
+
+#[test]
 fn legacy_path_allocation_count_is_documented() {
     let pipeline = pipeline();
     let frame = scene(192, 144, 0);

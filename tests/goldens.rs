@@ -254,6 +254,61 @@ fn video_temporal_sequence_matches_golden() {
 }
 
 #[test]
+fn scenario_fleet_sequences_match_goldens() {
+    // One golden CSV per stress scenario, in the exact format of
+    // `video_temporal.csv`: each pins the policy decisions, track
+    // lifecycle, ROI rectangles, and readout counters of one fleet
+    // scenario at a small array under the default keyed noise — so a
+    // change to occlusion handling, scale adaptation, defect robustness,
+    // or crowd association shows up as a per-scenario diff, not just a
+    // shifted aggregate.
+    use hirise::temporal::{TrackerState, TrackingPipeline};
+    use hirise::{PipelineScratch, TemporalConfig};
+    use hirise_scene::{ScenarioGenerator, ScenarioSpec};
+
+    for spec in ScenarioSpec::fleet() {
+        let name = spec.name;
+        let detector = hirise::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+        let config = HiriseConfig::builder(160, 120)
+            .pooling(2)
+            .detector(detector)
+            .max_rois(4)
+            .roi_margin(2)
+            .build()
+            .unwrap();
+        let temporal =
+            TemporalConfig::default().keyframe_interval(3).drift_threshold(0.05).min_track_iou(0.2);
+        let tracker = TrackingPipeline::new(config, temporal).unwrap();
+        let scenario = ScenarioGenerator::new(spec, 160, 120, 0x5CE2);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+
+        let mut csv = String::from(
+            "frame,kind,tracks,rois,s1_conversions,s2_conversions,transfer_bits,boxes\n",
+        );
+        for frame in scenario.frames(8) {
+            let r = tracker.run_frame(&frame.image, &mut state, &mut scratch).unwrap();
+            let boxes: Vec<String> =
+                scratch.rois().iter().map(|b| format!("{} {} {} {}", b.x, b.y, b.w, b.h)).collect();
+            writeln!(
+                csv,
+                "{},{},{},{},{},{},{},{}",
+                frame.index,
+                r.kind,
+                r.active_tracks,
+                r.report.roi_count,
+                r.report.stage1.conversions,
+                r.report.stage2.conversions,
+                r.report.total_transfer_bits(),
+                boxes.join("|"),
+            )
+            .unwrap();
+        }
+        check_golden(&format!("scenario_{name}.csv"), &csv);
+    }
+}
+
+#[test]
 fn goldens_sanity_paper_shape() {
     // Independent of the committed files: the golden computations must
     // keep the paper's qualitative shape, so a wrong regeneration cannot

@@ -164,3 +164,100 @@ proptest! {
         }
     }
 }
+
+// ---- Scenario-fleet generator invariants ----------------------------
+//
+// The stress scenarios (hirise_scene::scenario) are benchmark *and*
+// golden inputs, so their generator contract is held property-style:
+// frames are pure functions of (spec, seed, index), ground truth never
+// leaves the canvas, perturbations stay within their declared envelopes,
+// and the crowd preset spawns exactly what it promises.
+
+use hirise_scene::{Illumination, ScenarioGenerator, ScenarioSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scenario_frames_are_pure_functions_of_their_index(
+        fleet_idx in 0usize..7,
+        seed in 0u64..1000,
+        frame in 0u32..24,
+    ) {
+        let fleet = ScenarioSpec::fleet();
+        let spec = &fleet[fleet_idx % fleet.len()];
+        let a = ScenarioGenerator::new(spec.clone(), 96, 72, seed).frame(frame);
+        let b = ScenarioGenerator::new(spec.clone(), 96, 72, seed).frame(frame);
+        for (pa, pb) in a.image.planes().iter().zip(b.image.planes().iter()) {
+            prop_assert_eq!(pa.as_slice(), pb.as_slice(), "{}: frame {frame} not pure", spec.name);
+        }
+        prop_assert_eq!(a.objects.len(), b.objects.len());
+        for (oa, ob) in a.objects.iter().zip(&b.objects) {
+            prop_assert_eq!(oa.bbox, ob.bbox);
+        }
+    }
+
+    #[test]
+    fn scenario_ground_truth_stays_in_canvas(
+        fleet_idx in 0usize..7,
+        seed in 0u64..1000,
+        frame in 0u32..48,
+    ) {
+        let fleet = ScenarioSpec::fleet();
+        let spec = &fleet[fleet_idx % fleet.len()];
+        let generator = ScenarioGenerator::new(spec.clone(), 160, 120, seed);
+        for object in generator.ground_truth(frame) {
+            prop_assert!(
+                object.bbox.fits_within(160, 120),
+                "{}: frame {frame} box {:?} leaves the 160x120 canvas",
+                spec.name,
+                object.bbox
+            );
+            prop_assert!(!object.bbox.is_degenerate());
+        }
+    }
+
+    #[test]
+    fn illumination_factor_stays_within_its_declared_bounds(
+        drift in -0.02f64..0.02,
+        amplitude in 0.0f64..0.3,
+        period in 2.0f64..16.0,
+        last in 1u32..64,
+    ) {
+        let illumination =
+            Illumination { drift_per_frame: drift, flicker_amplitude: amplitude, flicker_period: period };
+        let (lo, hi) = illumination.factor_bounds(last);
+        prop_assert!(lo >= 0.0 && lo <= hi);
+        for frame in 0..=last {
+            let f = illumination.factor(frame);
+            prop_assert!(
+                (lo..=hi).contains(&f),
+                "factor {f} at frame {frame} outside declared [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbed_scenario_pixels_stay_in_unit_interval(
+        scenario in prop::sample::select(vec!["illumination", "defects"]),
+        seed in 0u64..200,
+        frame in 0u32..24,
+    ) {
+        let spec = ScenarioSpec::by_name(scenario).expect("fleet preset exists");
+        let image = ScenarioGenerator::new(spec, 96, 72, seed).frame(frame).image;
+        for plane in image.planes() {
+            for &v in plane.as_slice() {
+                prop_assert!((0.0..=1.0).contains(&v), "{scenario}: pixel {v} escaped [0, 1]");
+            }
+        }
+    }
+
+    #[test]
+    fn crowded_scenario_spawns_exactly_its_promised_count(seed in 0u64..500) {
+        let spec = ScenarioSpec::crowded();
+        let promised = spec.tracks.len() + spec.crowd;
+        let generator = ScenarioGenerator::new(spec, 160, 120, seed);
+        prop_assert_eq!(generator.track_count(), promised);
+        prop_assert_eq!(generator.ground_truth(0).len(), promised);
+    }
+}
