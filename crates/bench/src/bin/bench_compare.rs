@@ -20,14 +20,24 @@
 //! sensor energy (total mJ must not grow by more than
 //! `--max-energy-regress-pct`).
 //!
+//! And the **serve layer**: when a committed `results/BENCH_serve.json`
+//! exists (see the `serve_stages` binary), the multi-tenant fleet is
+//! re-measured with the baseline's own configuration. Wall-clock axes
+//! (fleet p99, sessions/core at the SLO) get a deliberately loose
+//! budget (`--max-serve-regress-pct`, default 75 % — shared runners are
+//! noisy); the deterministic axes are hard gates: any `dropped > 0`
+//! or a served-frame count that differs from the baseline fails
+//! outright.
+//!
 //! ```text
 //! cargo run --release -p hirise-bench --bin bench_compare -- \
 //!     [--baseline results/BENCH_pipeline.json] \
 //!     [--temporal-baseline results/BENCH_temporal.json] \
 //!     [--scenario-dir results/scenarios] \
+//!     [--serve-baseline results/BENCH_serve.json] \
 //!     [--history results/BENCH_history.json] \
 //!     [--max-regress-pct 15] [--max-iou-drop 0.05] \
-//!     [--max-energy-regress-pct 10] \
+//!     [--max-energy-regress-pct 10] [--max-serve-regress-pct 75] \
 //!     [--frames N] [--mode keyed|sequential] \
 //!     [--quick | --full]
 //! ```
@@ -37,7 +47,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use hirise::NoiseRngMode;
 use hirise_bench::args::Flags;
 use hirise_bench::stages::{json_f64, json_str, measure, StageBenchConfig};
-use hirise_bench::{scenario, video};
+use hirise_bench::{scenario, serve, video};
 
 /// Gregorian `(year, month, day)` for a Unix day number (days since
 /// 1970-01-01), via Howard Hinnant's civil-from-days algorithm.
@@ -276,6 +286,106 @@ fn main() {
         }
     }
 
+    // Serve-layer trajectory: the multi-tenant fleet re-measured with
+    // the committed baseline's own configuration. Missing file =>
+    // skipped (checkouts from before the serve layer), like the
+    // temporal gate. Timing axes are gated loosely; the deterministic
+    // axes (no drops, exact served-frame count) are hard.
+    let serve_baseline_path =
+        flags.value_of("serve-baseline").unwrap_or("results/BENCH_serve.json");
+    let max_serve_pct: f64 = flags.parsed("max-serve-regress-pct").unwrap_or(75.0);
+    let mut serve_failures: Vec<String> = Vec::new();
+    let serve_fresh = match std::fs::read_to_string(serve_baseline_path) {
+        Err(e) => {
+            println!("no serve baseline at {serve_baseline_path} ({e}); skipping");
+            None
+        }
+        Ok(serve_baseline) => {
+            let miss =
+                |field: &str| -> ! { panic!("serve baseline {serve_baseline_path} lacks {field}") };
+            let serve_array = json_str(&serve_baseline, "array").unwrap_or_else(|| miss("array"));
+            let (serve_w, serve_h) = serve_array
+                .split_once('x')
+                .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                .unwrap_or_else(|| panic!("serve baseline array {serve_array:?} is not WxH"));
+            let defaults = serve::ServeBenchConfig::default();
+            // The whole configuration comes from the baseline itself —
+            // including the session mix and seed: the fresh run must
+            // replay the identical workload or the deterministic
+            // frame-count gate below would be meaningless.
+            let serve_config = serve::ServeBenchConfig {
+                sessions: json_f64(&serve_baseline, "sessions")
+                    .map_or(defaults.sessions, |v| v as usize),
+                frames_per_session: json_f64(&serve_baseline, "frames_per_session")
+                    .map_or(defaults.frames_per_session, |v| v as u32),
+                width: serve_w,
+                height: serve_h,
+                pooling_k: json_f64(&serve_baseline, "pooling_k")
+                    .map_or(defaults.pooling_k, |v| v as u32),
+                keyframe_interval: json_f64(&serve_baseline, "keyframe_interval")
+                    .map_or(defaults.keyframe_interval, |v| v as u32),
+                rated_sessions: json_f64(&serve_baseline, "rated_sessions")
+                    .map_or(defaults.rated_sessions, |v| v as usize),
+                session_fps: json_f64(&serve_baseline, "session_fps")
+                    .unwrap_or(defaults.session_fps),
+                slo_ms: json_f64(&serve_baseline, "slo_ms").unwrap_or(defaults.slo_ms),
+                seed: json_f64(&serve_baseline, "seed").map_or(defaults.seed, |v| v as u64),
+            };
+            let base_p99 = json_f64(&serve_baseline, "p99_ms").unwrap_or_else(|| miss("p99_ms"));
+            let base_capacity = json_f64(&serve_baseline, "sessions_per_core_at_slo")
+                .unwrap_or_else(|| miss("sessions_per_core_at_slo"));
+            let base_frames =
+                json_f64(&serve_baseline, "frames").unwrap_or_else(|| miss("frames")) as u64;
+            let fresh_serve = serve::measure(&serve_config);
+            let p99_pct = if base_p99 > 0.0 {
+                100.0 * (fresh_serve.p99_ms - base_p99) / base_p99
+            } else {
+                0.0
+            };
+            let capacity = fresh_serve.sessions_per_core_at_slo();
+            let capacity_drop_pct = if base_capacity > 0.0 {
+                100.0 * (base_capacity - capacity) / base_capacity
+            } else {
+                0.0
+            };
+            println!(
+                "  serve fleet: p99 {:.3} ms ({p99_pct:+.1} %), {capacity:.0} sessions/core \
+                 ({:.0} baseline), {} frames, {} dropped, shed max {}",
+                fresh_serve.p99_ms,
+                base_capacity,
+                fresh_serve.frames,
+                fresh_serve.dropped,
+                fresh_serve.max_shed_level
+            );
+            if fresh_serve.dropped > 0 {
+                serve_failures.push(format!(
+                    "serve: {} admitted sessions were dropped — the no-drop contract is broken",
+                    fresh_serve.dropped
+                ));
+            }
+            if fresh_serve.frames != base_frames {
+                serve_failures.push(format!(
+                    "serve: served {} frames but the baseline workload is {base_frames} — \
+                     the seeded mix is no longer deterministic",
+                    fresh_serve.frames
+                ));
+            }
+            if p99_pct > max_serve_pct {
+                serve_failures.push(format!(
+                    "serve: fleet p99 {p99_pct:+.1} % exceeds the allowed +{max_serve_pct:.1} %"
+                ));
+            }
+            if capacity_drop_pct > max_serve_pct {
+                serve_failures.push(format!(
+                    "serve: sessions/core at the SLO dropped {capacity_drop_pct:.1} % \
+                     (from {base_capacity:.0} to {capacity:.0}), more than the allowed \
+                     {max_serve_pct:.1} %"
+                ));
+            }
+            Some(fresh_serve)
+        }
+    };
+
     let epoch_secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
     let (y, m, d) = civil_from_days((epoch_secs / 86_400) as i64);
     let tracked_fields = tracked.as_ref().map_or_else(String::new, |(v, base, delta)| {
@@ -293,12 +403,21 @@ fn main() {
             scenario_failures.len()
         )
     };
+    let serve_fields = serve_fresh.as_ref().map_or_else(String::new, |s| {
+        format!(
+            ", \"serve_p99_ms\": {:.3}, \"serve_sessions_per_core\": {:.0}, \
+             \"serve_failures\": {}",
+            s.p99_ms,
+            s.sessions_per_core_at_slo(),
+            serve_failures.len()
+        )
+    });
     let entry = format!(
         "  {{ \"date\": \"{y:04}-{m:02}-{d:02}\", \"epoch_secs\": {epoch_secs}, \
          \"array\": \"{array}\", \"pooling_k\": {}, \"mode\": \"{}\", \"frames\": {}, \
          \"end_to_end_ms_mean\": {:.3}, \"pool_ms_mean\": {:.3}, \
          \"baseline_ms_mean\": {base_mean:.3}, \"delta_pct\": \
-         {delta_pct:.2}{tracked_fields}{scenario_fields} }}",
+         {delta_pct:.2}{tracked_fields}{scenario_fields}{serve_fields} }}",
         config.pooling_k, config.mode, config.frames, fresh.end_to_end_ms_mean, fresh.pool_ms,
     );
     let history = std::path::Path::new(history_path);
@@ -322,7 +441,7 @@ fn main() {
             failed = true;
         }
     }
-    for failure in &scenario_failures {
+    for failure in scenario_failures.iter().chain(&serve_failures) {
         eprintln!("REGRESSION: {failure}");
         failed = true;
     }
@@ -331,6 +450,6 @@ fn main() {
     }
     println!(
         "within budget (+{max_regress_pct:.1} % latency, -{max_iou_drop:.3} IoU, \
-         +{max_energy_pct:.1} % energy)"
+         +{max_energy_pct:.1} % energy, +{max_serve_pct:.1} % serve)"
     );
 }

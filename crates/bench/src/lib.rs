@@ -19,11 +19,15 @@
 //! * [`scenario`] — the scenario-fleet stress benchmark (latency, IoU,
 //!   per-kind sensor energy) shared by `scenario_stages` and the
 //!   `bench_compare` scenario gate,
+//! * [`serve`] — the multi-tenant serve-layer saturation benchmark
+//!   (sessions/core at a latency SLO) shared by `serve_stages` and the
+//!   `bench_compare` serve gate,
 //! * [`args`] — tiny CLI-flag helpers shared by the binaries.
 
 pub mod args;
 pub mod classifier;
 pub mod scenario;
+pub mod serve;
 pub mod stages;
 pub mod stats;
 pub mod table2;

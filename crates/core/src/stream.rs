@@ -99,6 +99,12 @@ pub enum StreamOrdering {
     Deterministic,
 }
 
+/// Default bound on retained per-frame reports in sequence mode — far
+/// above every batch workload (the longest committed clip is 48
+/// frames), so short sequences keep exact frame-by-frame retention,
+/// while a long-lived service cannot grow without bound.
+pub const DEFAULT_REPORT_CAPACITY: usize = 4096;
+
 /// Configuration of a [`StreamExecutor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamConfig {
@@ -109,6 +115,11 @@ pub struct StreamConfig {
     pub batch_size: usize,
     /// Report-folding mode.
     pub ordering: StreamOrdering,
+    /// Bound on per-frame reports retained by each [`SequenceSummary`]
+    /// under [`StreamOrdering::Deterministic`]: once a sequence exceeds
+    /// it, the oldest reports are overwritten ring-style ([`SequenceSummary::fold`]).
+    /// `0` retains nothing.
+    pub report_capacity: usize,
 }
 
 impl Default for StreamConfig {
@@ -118,6 +129,7 @@ impl Default for StreamConfig {
             workers: std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
             batch_size: 4,
             ordering: StreamOrdering::Arrival,
+            report_capacity: DEFAULT_REPORT_CAPACITY,
         }
     }
 }
@@ -138,6 +150,12 @@ impl StreamConfig {
     /// Sets the report-folding mode.
     pub fn ordering(mut self, ordering: StreamOrdering) -> Self {
         self.ordering = ordering;
+        self
+    }
+
+    /// Sets the per-sequence report retention bound.
+    pub fn report_capacity(mut self, capacity: usize) -> Self {
+        self.report_capacity = capacity;
         self
     }
 
@@ -253,12 +271,15 @@ impl StreamSummary {
         if self.frames == 0 {
             return StageTimings::default();
         }
-        let n = self.frames as u32;
+        // The divisor stays `f64`: a long-lived stream's frame count
+        // exceeds `u32`, which would silently truncate — and divide by
+        // zero at any nonzero multiple of 2^32.
+        let n = self.frames as f64;
         StageTimings {
-            capture: self.stage_totals.capture / n,
-            pool: self.stage_totals.pool / n,
-            detect: self.stage_totals.detect / n,
-            roi_read: self.stage_totals.roi_read / n,
+            capture: self.stage_totals.capture.div_f64(n),
+            pool: self.stage_totals.pool.div_f64(n),
+            detect: self.stage_totals.detect.div_f64(n),
+            roi_read: self.stage_totals.roi_read.div_f64(n),
         }
     }
 }
@@ -287,7 +308,7 @@ impl std::fmt::Display for StreamSummary {
 /// frame-ordered energy fold, per-frame reports — is a pure function of
 /// the configuration and the frames, so two equal runs compare equal at
 /// any worker or shard count.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SequenceSummary {
     /// Frames processed.
     pub frames: u64,
@@ -312,9 +333,20 @@ pub struct SequenceSummary {
     pub energy_mj_tracked: f64,
     /// Summed per-stage wall-clock time across the sequence's frames.
     pub stage_totals: StageTimings,
-    /// Per-frame reports in frame order; populated only under
-    /// [`StreamOrdering::Deterministic`].
+    /// The retained per-frame reports; populated only under
+    /// [`StreamOrdering::Deterministic`], and bounded: once the
+    /// sequence exceeds the report capacity (the
+    /// [`StreamConfig::report_capacity`] of the executor, or
+    /// [`DEFAULT_REPORT_CAPACITY`]), the oldest report is overwritten in
+    /// place, so this holds the most recent `capacity` reports in ring
+    /// order. Use [`SequenceSummary::reports_in_order`] for
+    /// oldest-to-newest iteration that is correct after wrap-around.
     pub reports: Vec<RunReport>,
+    /// Ring cursor: index of the oldest retained report once the ring
+    /// is full (always 0 before wrap-around).
+    report_head: usize,
+    /// Retention bound for `reports`.
+    report_capacity: usize,
 }
 
 impl PartialEq for SequenceSummary {
@@ -332,7 +364,49 @@ impl PartialEq for SequenceSummary {
     }
 }
 
+impl Default for SequenceSummary {
+    /// An empty summary with the [`DEFAULT_REPORT_CAPACITY`] retention
+    /// bound.
+    fn default() -> Self {
+        Self::with_report_capacity(DEFAULT_REPORT_CAPACITY)
+    }
+}
+
 impl SequenceSummary {
+    /// An empty summary retaining at most `capacity` per-frame reports
+    /// (`0` retains nothing). The counters and energy folds are
+    /// unaffected by the bound — only [`SequenceSummary::reports`]
+    /// is.
+    pub fn with_report_capacity(capacity: usize) -> Self {
+        Self {
+            frames: 0,
+            keyframes: 0,
+            drift_refreshes: 0,
+            tracked_frames: 0,
+            aggregate: StreamAggregate::default(),
+            energy_mj: 0.0,
+            energy_mj_keyframes: 0.0,
+            energy_mj_drift: 0.0,
+            energy_mj_tracked: 0.0,
+            stage_totals: StageTimings::default(),
+            reports: Vec::new(),
+            report_head: 0,
+            report_capacity: capacity,
+        }
+    }
+
+    /// The report retention bound.
+    pub fn report_capacity(&self) -> usize {
+        self.report_capacity
+    }
+
+    /// The retained reports, oldest first — frame order even after the
+    /// ring has wrapped (when [`SequenceSummary::reports`] is rotated).
+    pub fn reports_in_order(&self) -> impl Iterator<Item = &RunReport> {
+        let (tail, head) = self.reports.split_at(self.report_head.min(self.reports.len()));
+        head.iter().chain(tail.iter())
+    }
+
     /// Folds one frame of the sequence, in frame order. Public so
     /// external measurement harnesses (the scenario benchmark) fold
     /// their per-frame reports with exactly the executor's accounting.
@@ -356,8 +430,15 @@ impl SequenceSummary {
         self.aggregate.fold(&frame.report);
         self.energy_mj += energy;
         self.stage_totals += frame.report.timings;
-        if keep_reports {
-            self.reports.push(frame.report);
+        if keep_reports && self.report_capacity > 0 {
+            // Bounded ring: a long-lived session folds millions of
+            // frames, so retention must not grow with sequence length.
+            if self.reports.len() < self.report_capacity {
+                self.reports.push(frame.report);
+            } else {
+                self.reports[self.report_head] = frame.report;
+                self.report_head = (self.report_head + 1) % self.report_capacity;
+            }
         }
     }
 
@@ -675,6 +756,7 @@ impl StreamExecutor {
     ) -> Result<SequenceStreamSummary> {
         let tracker = TrackingPipeline::from_pipeline(self.pipeline.clone(), *temporal)?;
         let keep_reports = self.config.ordering == StreamOrdering::Deterministic;
+        let report_capacity = self.config.report_capacity;
         let start = Instant::now();
         let next_sequence = AtomicU64::new(0);
         let cancelled = AtomicBool::new(false);
@@ -698,7 +780,7 @@ impl StreamExecutor {
                             break;
                         }
                         state.reset();
-                        let mut summary = SequenceSummary::default();
+                        let mut summary = SequenceSummary::with_report_capacity(report_capacity);
                         let mut failure: Option<HiriseError> = None;
                         for frame in &sequences[index as usize] {
                             if cancelled.load(Ordering::Relaxed) {
@@ -1170,6 +1252,125 @@ mod tests {
             executor.run_sequences(&seqs, &bad),
             Err(HiriseError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn mean_stage_timings_survives_past_u32_frame_counts() {
+        // A long-lived stream: more frames than fit in u32. The old
+        // `self.frames as u32` divisor truncated to 4 here (and to 0 —
+        // a division panic — at an exact multiple of 2^32).
+        let frames = (1u64 << 32) + 4;
+        let per_frame_ms = [1u64, 2, 3, 4];
+        let summary = StreamSummary {
+            frames,
+            wall: Duration::from_secs(1),
+            aggregate: StreamAggregate::default(),
+            energy_mj: 0.0,
+            stage_totals: StageTimings {
+                capture: Duration::from_millis(per_frame_ms[0] * frames),
+                pool: Duration::from_millis(per_frame_ms[1] * frames),
+                detect: Duration::from_millis(per_frame_ms[2] * frames),
+                roi_read: Duration::from_millis(per_frame_ms[3] * frames),
+            },
+            reports: Vec::new(),
+        };
+        let mean = summary.mean_stage_timings();
+        let close =
+            |got: Duration, want_ms: u64| (got.as_secs_f64() - want_ms as f64 * 1e-3).abs() < 1e-9;
+        assert!(close(mean.capture, 1), "capture mean {:?}", mean.capture);
+        assert!(close(mean.pool, 2), "pool mean {:?}", mean.pool);
+        assert!(close(mean.detect, 3), "detect mean {:?}", mean.detect);
+        assert!(close(mean.roi_read, 4), "roi_read mean {:?}", mean.roi_read);
+
+        // The exact-multiple-of-2^32 count must not panic.
+        let frames = 1u64 << 32;
+        let summary = StreamSummary {
+            frames,
+            stage_totals: StageTimings {
+                capture: Duration::from_millis(frames),
+                ..StageTimings::default()
+            },
+            ..summary
+        };
+        assert!(close(summary.mean_stage_timings().capture, 1));
+    }
+
+    fn synthetic_frame(roi_count: usize) -> TemporalFrameReport {
+        use crate::report::FrameKind;
+        use hirise_sensor::ReadoutStats;
+        TemporalFrameReport {
+            report: RunReport {
+                stage1: ReadoutStats::default(),
+                stage2: ReadoutStats::default(),
+                pooling_outputs: 0,
+                stage1_image_bytes: 0,
+                stage2_image_bytes: 0,
+                roi_count,
+                timings: StageTimings::default(),
+            },
+            kind: FrameKind::Tracked,
+            active_tracks: 1,
+        }
+    }
+
+    #[test]
+    fn sequence_report_retention_is_a_bounded_ring() {
+        let mut summary = SequenceSummary::with_report_capacity(16);
+        assert_eq!(summary.report_capacity(), 16);
+        for i in 0..100 {
+            summary.fold(&synthetic_frame(i), true);
+            assert!(summary.reports.len() <= 16, "retention exceeded its bound");
+        }
+        // Counters are unaffected by the bound; retention holds exactly
+        // the most recent 16 frames, oldest first.
+        assert_eq!(summary.frames, 100);
+        assert_eq!(summary.reports.len(), 16);
+        let kept: Vec<usize> = summary.reports_in_order().map(|r| r.roi_count).collect();
+        assert_eq!(kept, (84..100).collect::<Vec<_>>());
+        // Zero capacity retains nothing even when retention is requested.
+        let mut none = SequenceSummary::with_report_capacity(0);
+        for i in 0..10 {
+            none.fold(&synthetic_frame(i), true);
+        }
+        assert_eq!(none.frames, 10);
+        assert!(none.reports.is_empty());
+        // Below the bound, retention stays exact frame order (the mode
+        // every pre-existing batch test relies on).
+        let mut small = SequenceSummary::default();
+        for i in 0..10 {
+            small.fold(&synthetic_frame(i), true);
+        }
+        let kept: Vec<usize> = small.reports_in_order().map(|r| r.roi_count).collect();
+        assert_eq!(kept, (0..10).collect::<Vec<_>>());
+        assert_eq!(small.reports.len(), 10);
+    }
+
+    #[test]
+    fn sequence_mode_honours_the_configured_report_bound() {
+        use crate::TemporalConfig;
+
+        let seqs = sequences(2, 9);
+        let bounded =
+            StreamExecutor::new(test_pipeline(64, 48), deterministic(2).report_capacity(4))
+                .unwrap()
+                .run_sequences(&seqs, &TemporalConfig::default())
+                .unwrap();
+        let full = StreamExecutor::new(test_pipeline(64, 48), deterministic(2))
+            .unwrap()
+            .run_sequences(&seqs, &TemporalConfig::default())
+            .unwrap();
+        for (b, f) in bounded.sequences.iter().zip(&full.sequences) {
+            assert_eq!(b.frames, 9);
+            assert_eq!(b.reports.len(), 4, "bound not applied");
+            assert_eq!(f.reports.len(), 9);
+            // The ring holds the newest four reports of the full run.
+            let kept: Vec<&RunReport> = b.reports_in_order().collect();
+            let want: Vec<&RunReport> = f.reports[5..].iter().collect();
+            assert_eq!(kept, want);
+            // Aggregates are identical: the bound only affects retention.
+            assert_eq!(b.aggregate, f.aggregate);
+            assert_eq!(b.energy_mj, f.energy_mj);
+        }
     }
 
     #[test]

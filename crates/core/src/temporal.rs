@@ -141,10 +141,30 @@ impl Track {
     }
 }
 
-/// Mean intensity of a crop across its three channels (the drift cue).
-fn crop_mean(img: &RgbImage) -> f32 {
+/// Mean intensity of a crop across its three channels (the drift cue);
+/// `None` for an empty crop, whose zero-sample mean would be `0/0 =
+/// NaN`.
+fn crop_mean(img: &RgbImage) -> Option<f32> {
+    if img.width() == 0 || img.height() == 0 {
+        return None;
+    }
     let [r, g, b] = img.planes();
-    (r.mean() + g.mean() + b.mean()) / 3.0
+    Some((r.mean() + g.mean() + b.mean()) / 3.0)
+}
+
+/// Whether a tracked crop's intensity has drifted from its reference.
+///
+/// A crop without a readable mean counts as drifted — in every form the
+/// hazard takes. An empty crop yields no mean at all; a NaN anywhere
+/// (a NaN sample in the crop, or a reference poisoned by one earlier)
+/// makes the shift NaN, and `NaN > threshold` is false, which the old
+/// `(mean - reference).abs() > threshold` turned into a drift trigger
+/// silently disabled for that track forever. The comparison is
+/// therefore written `!(shift <= threshold)`: identical for finite
+/// shifts, but NaN falls through to "drifted" and the track re-detects
+/// instead of going stale.
+fn crop_drifted(img: &RgbImage, reference: f32, threshold: f32) -> bool {
+    crop_mean(img).is_none_or(|mean| !((mean - reference).abs() <= threshold))
 }
 
 /// Per-sequence tracker state: the live tracks plus every reusable
@@ -263,6 +283,32 @@ impl TrackingPipeline {
         &self.temporal
     }
 
+    /// Replaces the temporal policy in place — the hook a service layer
+    /// uses to widen the keyframe cadence of a live session under
+    /// overload (graceful degradation) without rebuilding the pipeline
+    /// or touching the session's tracker state.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HiriseError::InvalidConfig`] as for
+    /// [`TrackingPipeline::new`]; the current policy is kept on error.
+    pub fn set_temporal(&mut self, temporal: TemporalConfig) -> Result<()> {
+        temporal.validate()?;
+        self.temporal = temporal;
+        Ok(())
+    }
+
+    /// Rebuilds the wrapped pipeline with a new ROI context margin —
+    /// the companion shed hook: a smaller margin shrinks every stage-2
+    /// readout. Track state is untouched (tracks carry the tight box;
+    /// the margin is applied at readout time only, so the change takes
+    /// effect on the very next frame and reverses just as cleanly).
+    pub fn set_roi_margin(&mut self, margin: u32) {
+        let mut config = self.pipeline.config().clone();
+        config.roi_margin = margin;
+        self.pipeline = HirisePipeline::new(config);
+    }
+
     /// Processes the next frame of the sequence `state` belongs to.
     ///
     /// The frame results stay readable on the scratch until the next
@@ -318,10 +364,11 @@ impl TrackingPipeline {
             let mark = Instant::now();
             let stage2 = sensor.read_rois_into(rois, roi_images, pool, union)?;
             timings.roi_read += mark.elapsed();
-            let drifted =
-                state.tracks.iter().zip(roi_images.iter()).any(|(t, img)| {
-                    (crop_mean(img) - t.mean).abs() > self.temporal.drift_threshold
-                });
+            let drifted = state
+                .tracks
+                .iter()
+                .zip(roi_images.iter())
+                .any(|(t, img)| crop_drifted(img, t.mean, self.temporal.drift_threshold));
             if drifted {
                 // The prediction is reading something else — re-detect
                 // now rather than serving a stale ROI. The speculative
@@ -459,9 +506,12 @@ impl TrackingPipeline {
 
         let mark = Instant::now();
         let stage2 = sensor.read_rois_into(rois, roi_images, pool, union)?;
-        // Refresh the drift references from the crops just read.
+        // Refresh the drift references from the crops just read. An
+        // empty crop gets an infinite reference, so any future readable
+        // crop compares as drifted and forces a re-detection — never a
+        // NaN, which would disable the trigger instead.
         for (t, img) in state.tracks.iter_mut().zip(roi_images.iter()) {
-            t.mean = crop_mean(img);
+            t.mean = crop_mean(img).unwrap_or(f32::INFINITY);
         }
         timings.roi_read += mark.elapsed();
         Ok((stage1, stage2))
@@ -666,6 +716,73 @@ mod tests {
             assert_eq!(r.kind, FrameKind::Keyframe);
         }
         assert_eq!(state.tracked_frames(), 0);
+    }
+
+    #[test]
+    fn unreadable_crops_count_as_drifted_not_nan() {
+        // Readable crops keep the original semantics.
+        let flat = RgbImage::from_fn(4, 4, |_, _| (0.5, 0.5, 0.5));
+        assert_eq!(crop_mean(&flat), Some(0.5));
+        assert!(!crop_drifted(&flat, 0.5, 0.06));
+        assert!(crop_drifted(&flat, 0.8, 0.06));
+        // A NaN sample poisons `Plane::mean` — the degenerate-crop
+        // hazard in its constructible form. The old comparison
+        // `(NaN - reference).abs() > threshold` is always false, which
+        // silently disabled the drift trigger for that track forever;
+        // the NaN-rejecting form fires instead, at any threshold —
+        // including the infinite one that legitimately disables the
+        // trigger for *finite* shifts.
+        let mut poisoned = flat.clone();
+        poisoned.set_pixel(1, 1, (f32::NAN, 0.5, 0.5));
+        assert!(crop_mean(&poisoned).unwrap().is_nan());
+        assert!(crop_drifted(&poisoned, 0.5, 0.06));
+        assert!(crop_drifted(&poisoned, 0.5, f32::INFINITY));
+        assert!(!crop_drifted(&flat, 0.5, f32::INFINITY));
+        // A poisoned *reference* (recorded at an earlier refresh) must
+        // not disable the trigger either.
+        assert!(crop_drifted(&flat, f32::NAN, 0.06));
+        assert!(crop_drifted(&flat, f32::INFINITY, 0.06));
+    }
+
+    #[test]
+    fn set_temporal_rewrites_the_cadence_of_a_live_pipeline() {
+        let mut t = tracker(8);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        let frame = frame_with_object(60, 30);
+        for _ in 0..3 {
+            t.run_frame(&frame, &mut state, &mut scratch).unwrap();
+        }
+        assert_eq!(state.keyframes(), 1, "interval 8 schedules one keyframe in 3 frames");
+        // Degenerate policies are rejected and leave the current one.
+        assert!(t.set_temporal(TemporalConfig::default().keyframe_interval(0)).is_err());
+        assert_eq!(t.temporal().keyframe_interval, 8);
+        // Tighten to per-frame detection mid-sequence: takes effect on
+        // the very next frame, tracker state intact.
+        t.set_temporal(TemporalConfig::default().keyframe_interval(1)).unwrap();
+        let r = t.run_frame(&frame, &mut state, &mut scratch).unwrap();
+        assert_eq!(r.kind, FrameKind::Keyframe);
+        assert_eq!(state.frame_index(), 4, "state survived the policy swap");
+    }
+
+    #[test]
+    fn set_roi_margin_changes_the_readout_footprint() {
+        let mut t = tracker(4);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        let frame = frame_with_object(60, 30);
+        t.run_frame(&frame, &mut state, &mut scratch).unwrap();
+        let tight = t.run_frame(&frame, &mut state, &mut scratch).unwrap();
+        assert_eq!(tight.kind, FrameKind::Tracked);
+        let tight_bits = tight.report.stage2.total_transfer_bits();
+        t.set_roi_margin(8);
+        assert_eq!(t.pipeline().config().roi_margin, 8);
+        let wide = t.run_frame(&frame, &mut state, &mut scratch).unwrap();
+        assert_eq!(wide.kind, FrameKind::Tracked);
+        assert!(
+            wide.report.stage2.total_transfer_bits() > tight_bits,
+            "a wider margin must read more ROI pixels"
+        );
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! The serve engine: session slab, admission control, tick-driven
+//! shedding, and deficit-round-robin frame scheduling.
+//!
+//! # Lifecycle
+//!
+//! Sessions are [`ServeEngine::admit`]ted into a fixed slab (refused —
+//! never silently queued or dropped — past `max_sessions`). Time
+//! advances in [`ServeEngine::tick`]s: each tick retires finished
+//! sessions, recomputes the fleet's shed level from the deterministic
+//! load ratio `active / rated_sessions`, and lets every session move
+//! this tick's frame arrivals into its bounded queue, stamping each
+//! queued frame with the session's current shed level. Between ticks,
+//! [`ServeEngine::serve`] (or [`ServeEngine::serve_parallel`]) drains
+//! the queues round-robin, `quantum` frames per session per round.
+//!
+//! # Determinism
+//!
+//! The shed level is computed only at tick time from admission/retire
+//! counts, and stamped per frame at enqueue time — never read during
+//! serving. A session's output is therefore a pure function of its
+//! `(spec, source, arrival schedule, stamped level trajectory)`: for a
+//! fixed tick/serve driver schedule, worker counts, slot placement, and
+//! round-robin order cannot change any session's frames, counters, or
+//! energy fold. The integration tests pin this bit-for-bit.
+//!
+//! # No drops, by construction
+//!
+//! There is no code path that discards an admitted session or a
+//! generated frame: overload widens keyframe intervals and shrinks ROI
+//! margins (the [`ShedPolicy`] ladder), and full queues defer arrivals
+//! to later ticks. [`ServeSummary::dropped`] exists to pin that
+//! contract at 0 in every report.
+
+use hirise::{HiriseConfig, PipelineScratch, Result, TemporalConfig};
+
+use crate::session::{FrameSource, Session, SessionReport, SessionSpec};
+use crate::shed::ShedPolicy;
+
+/// Engine-assigned session identity: the admission sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Why [`ServeEngine::admit`] refused a session. Refusal at the door is
+/// the only "no" the engine ever says — an admitted session is never
+/// dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The slab is at its hard cap.
+    Full {
+        /// Sessions currently live.
+        active: usize,
+        /// The configured cap.
+        max_sessions: usize,
+    },
+    /// The spec or source is degenerate (zero frames, empty clip, …).
+    Invalid {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Full { active, max_sessions } => {
+                write!(f, "admission refused: {active} active sessions at the cap {max_sessions}")
+            }
+            AdmitError::Invalid { reason } => write!(f, "admission refused: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// The per-session pipeline configuration (shared; sessions differ
+    /// only in their frame sources and specs).
+    pub pipeline: HiriseConfig,
+    /// The undegraded temporal policy — shed level 0.
+    pub temporal: TemporalConfig,
+    /// The load the fleet is provisioned for; the shed ladder engages on
+    /// `active / rated_sessions`.
+    pub rated_sessions: usize,
+    /// Hard admission cap (slab size, ≥ `rated_sessions`).
+    pub max_sessions: usize,
+    /// Bounded per-session frame queue length (≥ 1).
+    pub queue_capacity: usize,
+    /// Deficit-round-robin quantum: frames served per session per
+    /// scheduling round (≥ 1).
+    pub quantum: u32,
+    /// Latency reservoir window per session.
+    pub latency_window: usize,
+    /// The overload shed ladder.
+    pub shed: ShedPolicy,
+}
+
+impl ServeConfig {
+    /// A small default fleet: rated for 8 sessions, capped at 32.
+    pub fn new(pipeline: HiriseConfig) -> Self {
+        Self {
+            pipeline,
+            temporal: TemporalConfig::default(),
+            rated_sessions: 8,
+            max_sessions: 32,
+            queue_capacity: 8,
+            quantum: 2,
+            latency_window: 128,
+            shed: ShedPolicy::default(),
+        }
+    }
+
+    /// Sets the undegraded temporal policy.
+    pub fn temporal(mut self, temporal: TemporalConfig) -> Self {
+        self.temporal = temporal;
+        self
+    }
+
+    /// Sets the rated session count.
+    pub fn rated_sessions(mut self, rated: usize) -> Self {
+        self.rated_sessions = rated;
+        self
+    }
+
+    /// Sets the hard admission cap.
+    pub fn max_sessions(mut self, max: usize) -> Self {
+        self.max_sessions = max;
+        self
+    }
+
+    /// Sets the per-session queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the round-robin quantum.
+    pub fn quantum(mut self, quantum: u32) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Sets the latency reservoir window.
+    pub fn latency_window(mut self, window: usize) -> Self {
+        self.latency_window = window;
+        self
+    }
+
+    /// Sets the shed ladder.
+    pub fn shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Checks the fleet shape and both embedded policies.
+    ///
+    /// # Errors
+    ///
+    /// [`hirise::HiriseError::InvalidConfig`] for a degenerate fleet
+    /// (zero rated load, cap below rated, zero queue or quantum) or
+    /// embedded policy.
+    pub fn validate(&self) -> Result<()> {
+        self.temporal.validate()?;
+        self.shed.validate()?;
+        let invalid = |reason: String| hirise::HiriseError::InvalidConfig { reason };
+        if self.rated_sessions == 0 {
+            return Err(invalid("rated_sessions must be ≥ 1".into()));
+        }
+        if self.max_sessions < self.rated_sessions {
+            return Err(invalid(format!(
+                "max_sessions ({}) must be ≥ rated_sessions ({})",
+                self.max_sessions, self.rated_sessions
+            )));
+        }
+        if self.queue_capacity == 0 {
+            return Err(invalid("queue_capacity must be ≥ 1".into()));
+        }
+        if self.quantum == 0 {
+            return Err(invalid("quantum must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Fleet-wide observability: counters, shed gauges, and latency
+/// percentiles over the merged per-session windows.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Ticks elapsed.
+    pub ticks: u64,
+    /// Sessions admitted.
+    pub admitted: u64,
+    /// Sessions refused at the door (the cap).
+    pub rejected: u64,
+    /// Sessions dropped after admission — **structurally zero**: no
+    /// engine code path discards an admitted session. The field pins
+    /// the contract in every report and gate.
+    pub dropped: u64,
+    /// Sessions that served every requested frame.
+    pub completed: u64,
+    /// Sessions still live.
+    pub active: u64,
+    /// Frames served across all sessions.
+    pub frames: u64,
+    /// Scheduled full-detection frames across all sessions.
+    pub keyframes: u64,
+    /// Drift-triggered re-detections across all sessions.
+    pub drift_refreshes: u64,
+    /// Pure tracked frames across all sessions.
+    pub tracked_frames: u64,
+    /// Sensor-side energy across all sessions, millijoules.
+    pub energy_mj: f64,
+    /// Total (frame × tick) backpressure deferrals.
+    pub deferred: u64,
+    /// The fleet's shed base level at the last tick.
+    pub shed_level: u8,
+    /// The highest base level any tick reached.
+    pub max_shed_level: u8,
+    /// Median frame latency over the merged windows, ms.
+    pub p50_ms: f64,
+    /// Tail frame latency over the merged windows, ms.
+    pub p99_ms: f64,
+    /// Per-session reports (completed and live), in admission order.
+    pub sessions: Vec<SessionReport>,
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serve: {} sessions ({} done, {} live, {} refused, {} dropped), \
+             {} frames over {} ticks, shed {}/{} now/max, \
+             p50 {:.3} ms, p99 {:.3} ms, {} deferrals",
+            self.admitted,
+            self.completed,
+            self.active,
+            self.rejected,
+            self.dropped,
+            self.frames,
+            self.ticks,
+            self.shed_level,
+            self.max_shed_level,
+            self.p50_ms,
+            self.p99_ms,
+            self.deferred,
+        )
+    }
+}
+
+/// The multi-tenant engine. See the module docs for the lifecycle.
+#[derive(Debug)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    /// The session slab: `max_sessions` fixed slots.
+    slots: Vec<Option<Session>>,
+    /// Free slot indices (top of the stack is the next admission's
+    /// slot); seeded in reverse so slots fill in index order.
+    free: Vec<usize>,
+    /// The serial-path scratch, reused across every frame of every
+    /// session.
+    scratch: PipelineScratch,
+    ticks: u64,
+    admitted: u64,
+    rejected: u64,
+    active: usize,
+    base_level: u8,
+    max_base_level: u8,
+    completed: Vec<SessionReport>,
+}
+
+impl ServeEngine {
+    /// Creates an engine with an empty slab.
+    ///
+    /// # Errors
+    ///
+    /// [`hirise::HiriseError::InvalidConfig`] as for
+    /// [`ServeConfig::validate`].
+    pub fn new(config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let max = config.max_sessions;
+        Ok(Self {
+            config,
+            slots: (0..max).map(|_| None).collect(),
+            free: (0..max).rev().collect(),
+            scratch: PipelineScratch::new(),
+            ticks: 0,
+            admitted: 0,
+            rejected: 0,
+            active: 0,
+            base_level: 0,
+            max_base_level: 0,
+            completed: Vec::new(),
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Ticks elapsed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Sessions currently live in the slab.
+    pub fn active_sessions(&self) -> usize {
+        self.active
+    }
+
+    /// Sessions admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Sessions refused at the cap so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The fleet's shed base level as of the last tick.
+    pub fn shed_level(&self) -> u8 {
+        self.base_level
+    }
+
+    /// Admits a session into the slab.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Full`] at the hard cap (counted in
+    /// [`ServeEngine::rejected`]); [`AdmitError::Invalid`] for a
+    /// degenerate spec or source. Refusal is the engine's only "no" —
+    /// once admitted, a session is never dropped.
+    pub fn admit(
+        &mut self,
+        spec: SessionSpec,
+        source: FrameSource,
+    ) -> std::result::Result<SessionId, AdmitError> {
+        if let Err(reason) = spec.validate() {
+            return Err(AdmitError::Invalid { reason });
+        }
+        if source.is_empty() {
+            return Err(AdmitError::Invalid { reason: "frame source is empty".into() });
+        }
+        let Some(slot) = self.free.pop() else {
+            self.rejected += 1;
+            return Err(AdmitError::Full {
+                active: self.active,
+                max_sessions: self.config.max_sessions,
+            });
+        };
+        let id = SessionId(self.admitted);
+        match Session::new(id, spec, source, &self.config) {
+            Ok(session) => {
+                self.slots[slot] = Some(session);
+                self.admitted += 1;
+                self.active += 1;
+                Ok(id)
+            }
+            Err(e) => {
+                self.free.push(slot);
+                Err(AdmitError::Invalid { reason: e.to_string() })
+            }
+        }
+    }
+
+    /// Advances fleet time: retires finished sessions, recomputes the
+    /// shed base level from the load ratio, and generates every live
+    /// session's arrivals (stamped with its priority-biased level).
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+        self.retire();
+        let load = self.active as f64 / self.config.rated_sessions as f64;
+        self.base_level = self.config.shed.base_level(load);
+        self.max_base_level = self.max_base_level.max(self.base_level);
+        let Self { slots, config, base_level, .. } = self;
+        for session in slots.iter_mut().flatten() {
+            let level = config.shed.level_for(*base_level, session.priority());
+            session.arrive(level);
+        }
+    }
+
+    /// Moves finished sessions out of the slab into the completed list,
+    /// freeing their slots. Runs in slot order, so the completed list
+    /// ordering is a pure function of the tick/serve schedule.
+    fn retire(&mut self) {
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].as_ref().is_some_and(Session::is_done) {
+                let session = self.slots[slot].take().expect("checked above");
+                self.completed.push(session.report());
+                self.free.push(slot);
+                self.active -= 1;
+            }
+        }
+    }
+
+    /// Serves up to `budget` frames round-robin on the calling thread:
+    /// each round visits the slab in slot order giving every session up
+    /// to `quantum` frames, until the queues are dry or the budget is
+    /// spent. Returns the frames served.
+    ///
+    /// # Errors
+    ///
+    /// The first frame failure aborts the pass (the session's queue
+    /// state stays consistent — the failed frame is consumed).
+    pub fn serve(&mut self, budget: u64) -> Result<u64> {
+        let Self { slots, config, scratch, .. } = self;
+        let mut served = 0u64;
+        loop {
+            let mut progressed = false;
+            for session in slots.iter_mut().flatten() {
+                let mut quantum = config.quantum;
+                while quantum > 0 && served < budget && session.serve_one(config, scratch)? {
+                    served += 1;
+                    quantum -= 1;
+                    progressed = true;
+                }
+                if served >= budget {
+                    return Ok(served);
+                }
+            }
+            if !progressed {
+                return Ok(served);
+            }
+        }
+    }
+
+    /// Drains every queued frame across `workers` threads: the slab is
+    /// split into contiguous slot shards, each served round-robin by one
+    /// worker with its own [`PipelineScratch`] (scratch is frame-local,
+    /// so per-worker reuse is safe in a per-session world). Per-session
+    /// outputs are bit-identical to the serial path at any worker count
+    /// — sessions never share mutable state and levels were stamped at
+    /// enqueue. Returns the frames served.
+    ///
+    /// # Errors
+    ///
+    /// The first frame failure (by worker order) is returned; other
+    /// shards still wind down cleanly.
+    pub fn serve_parallel(&mut self, workers: usize) -> Result<u64> {
+        let Self { slots, config, .. } = self;
+        let config = &*config;
+        let shard = slots.len().div_ceil(workers.max(1));
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in slots.chunks_mut(shard) {
+                handles.push(scope.spawn(move || -> Result<u64> {
+                    let mut scratch = PipelineScratch::new();
+                    let mut served = 0u64;
+                    loop {
+                        let mut progressed = false;
+                        for session in chunk.iter_mut().flatten() {
+                            let mut quantum = config.quantum;
+                            while quantum > 0 && session.serve_one(config, &mut scratch)? {
+                                served += 1;
+                                quantum -= 1;
+                                progressed = true;
+                            }
+                        }
+                        if !progressed {
+                            return Ok(served);
+                        }
+                    }
+                }));
+            }
+            let mut total = 0u64;
+            let mut first_error = None;
+            for handle in handles {
+                match handle.join().expect("serve worker panicked") {
+                    Ok(n) => total += n,
+                    Err(e) if first_error.is_none() => first_error = Some(e),
+                    Err(_) => {}
+                }
+            }
+            first_error.map_or(Ok(total), Err)
+        })
+    }
+
+    /// Runs tick/serve cycles until every admitted session has completed
+    /// and been retired. Returns the frames served.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeEngine::serve`].
+    pub fn drain(&mut self) -> Result<u64> {
+        let mut served = 0u64;
+        loop {
+            self.tick();
+            if self.active == 0 {
+                return Ok(served);
+            }
+            served += self.serve(u64::MAX)?;
+        }
+    }
+
+    /// The fleet-wide summary over completed and live sessions.
+    pub fn summary(&self) -> ServeSummary {
+        let mut sessions = self.completed.clone();
+        for session in self.slots.iter().flatten() {
+            sessions.push(session.report());
+        }
+        sessions.sort_by_key(|r| r.id);
+        let mut frames = 0u64;
+        let mut keyframes = 0u64;
+        let mut drift_refreshes = 0u64;
+        let mut tracked_frames = 0u64;
+        let mut energy_mj = 0.0;
+        let mut deferred = 0u64;
+        let mut max_shed_level = self.max_base_level;
+        let mut merged: Vec<f64> = Vec::new();
+        for report in &sessions {
+            frames += report.summary.frames;
+            keyframes += report.summary.keyframes;
+            drift_refreshes += report.summary.drift_refreshes;
+            tracked_frames += report.summary.tracked_frames;
+            energy_mj += report.summary.energy_mj;
+            deferred += report.deferred;
+            max_shed_level = max_shed_level.max(report.max_shed_level);
+            merged.extend_from_slice(&report.latency_ms);
+        }
+        merged.sort_by(f64::total_cmp);
+        ServeSummary {
+            ticks: self.ticks,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            dropped: 0,
+            completed: self.completed.len() as u64,
+            active: self.active as u64,
+            frames,
+            keyframes,
+            drift_refreshes,
+            tracked_frames,
+            energy_mj,
+            deferred,
+            shed_level: self.base_level,
+            max_shed_level,
+            p50_ms: crate::metrics::nearest_rank(&merged, 50.0),
+            p99_ms: crate::metrics::nearest_rank(&merged, 99.0),
+            sessions,
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! One tenant of the serve engine: its frame source, tracker, bounded
+//! queue, and fixed-size observability.
+//!
+//! A session is the unit of multi-tenancy. Everything a session needs
+//! across frames lives here — [`hirise::temporal::TrackerState`], the
+//! running [`SequenceSummary`] (counters only, no per-frame retention),
+//! the [`LatencyReservoir`], and the bounded frame queue — so the
+//! engine's slab slot is self-contained and a slot can be served by any
+//! worker with any [`hirise::PipelineScratch`] (the scratch is
+//! frame-local on every path, which is what makes per-*worker* scratch
+//! safe in a per-*session* world).
+//!
+//! Determinism: each queued frame is stamped with its shed level at
+//! enqueue time, so the pipeline configuration a frame is processed
+//! under is fixed the moment it enters the system — scheduling order,
+//! serve budgets, and worker counts can no longer affect the output.
+
+use std::borrow::Cow;
+use std::time::Instant;
+
+use hirise::stream::SequenceSummary;
+use hirise::temporal::{TrackerState, TrackingPipeline};
+use hirise::{PipelineScratch, Result, RgbImage};
+use hirise_scene::ScenarioGenerator;
+
+use crate::engine::{ServeConfig, SessionId};
+use crate::metrics::LatencyReservoir;
+use crate::shed::Priority;
+
+/// What a session wants: how many frames, at what arrival shape, at
+/// which priority.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Display name (reports only).
+    pub name: String,
+    /// Scenario preset name for scenario-backed sources
+    /// ([`crate::traffic::source_for`]); ignored for pre-materialised
+    /// clips.
+    pub scenario: String,
+    /// Seed for the session's scenario generator.
+    pub seed: u64,
+    /// Total frames the session will submit (≥ 1).
+    pub frames: u32,
+    /// Where the session lands on the shed ladder under load.
+    pub priority: Priority,
+    /// Nominal frame arrivals per engine tick (≥ 1).
+    pub frames_per_tick: u32,
+    /// Every `burst_every`-th tick delivers `burst_extra` extra frames
+    /// (`0` disables bursts).
+    pub burst_every: u32,
+    /// Extra frames per burst tick.
+    pub burst_extra: u32,
+}
+
+impl Default for SessionSpec {
+    /// A short clean-scenario session: 16 frames, one per tick, normal
+    /// priority, no bursts.
+    fn default() -> Self {
+        Self {
+            name: "session".into(),
+            scenario: "clean".into(),
+            seed: 0,
+            frames: 16,
+            priority: Priority::Normal,
+            frames_per_tick: 1,
+            burst_every: 0,
+            burst_extra: 0,
+        }
+    }
+}
+
+impl SessionSpec {
+    /// Sets the display name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the scenario preset name.
+    pub fn scenario(mut self, scenario: impl Into<String>) -> Self {
+        self.scenario = scenario.into();
+        self
+    }
+
+    /// Sets the scenario seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the total frame count.
+    pub fn frames(mut self, frames: u32) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Sets the shed priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the nominal arrivals per tick.
+    pub fn frames_per_tick(mut self, frames_per_tick: u32) -> Self {
+        self.frames_per_tick = frames_per_tick;
+        self
+    }
+
+    /// Sets the burst shape: `extra` additional frames every `every`-th
+    /// tick.
+    pub fn burst(mut self, every: u32, extra: u32) -> Self {
+        self.burst_every = every;
+        self.burst_extra = extra;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> std::result::Result<(), String> {
+        if self.frames == 0 {
+            return Err("session must submit at least one frame".into());
+        }
+        if self.frames_per_tick == 0 {
+            return Err("session must arrive at least one frame per tick".into());
+        }
+        Ok(())
+    }
+}
+
+/// Where a session's frames come from.
+pub enum FrameSource {
+    /// A pre-materialised clip, cycled if the session outlives it.
+    /// Serving borrows frames in place — the choice for the
+    /// zero-allocation and determinism tests.
+    Frames(Vec<RgbImage>),
+    /// Frames rendered on demand by a scenario generator (pure in the
+    /// frame index, so just as deterministic — but each frame is an
+    /// allocation, so this is the capacity-realism choice, not the
+    /// zero-alloc one).
+    Scenario(Box<ScenarioGenerator>),
+}
+
+impl FrameSource {
+    /// The frame at `index` (pure: same index, same frame).
+    fn frame(&self, index: u32) -> Cow<'_, RgbImage> {
+        match self {
+            FrameSource::Frames(clip) => Cow::Borrowed(&clip[index as usize % clip.len()]),
+            FrameSource::Scenario(generator) => Cow::Owned(generator.frame(index).image),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        matches!(self, FrameSource::Frames(clip) if clip.is_empty())
+    }
+}
+
+impl std::fmt::Debug for FrameSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameSource::Frames(clip) => write!(f, "FrameSource::Frames({} frames)", clip.len()),
+            FrameSource::Scenario(g) => write!(f, "FrameSource::Scenario({})", g.name()),
+        }
+    }
+}
+
+/// Fixed-capacity ring of `(frame_index, shed_level)` entries — the
+/// bounded per-session queue. `push` refuses when full (backpressure),
+/// it never overwrites: a queued frame is a promise.
+#[derive(Debug)]
+struct FrameQueue {
+    entries: Vec<(u32, u8)>,
+    head: usize,
+    len: usize,
+}
+
+impl FrameQueue {
+    fn new(capacity: usize) -> Self {
+        Self { entries: vec![(0, 0); capacity], head: 0, len: 0 }
+    }
+
+    fn push(&mut self, entry: (u32, u8)) -> bool {
+        if self.len == self.entries.len() {
+            return false;
+        }
+        let tail = (self.head + self.len) % self.entries.len();
+        self.entries[tail] = entry;
+        self.len += 1;
+        true
+    }
+
+    fn pop(&mut self) -> Option<(u32, u8)> {
+        if self.len == 0 {
+            return None;
+        }
+        let entry = self.entries[self.head];
+        self.head = (self.head + 1) % self.entries.len();
+        self.len -= 1;
+        Some(entry)
+    }
+}
+
+/// A live slab entry: spec, source, tracker, queue, stats.
+#[derive(Debug)]
+pub(crate) struct Session {
+    id: SessionId,
+    spec: SessionSpec,
+    source: FrameSource,
+    tracker: TrackingPipeline,
+    state: TrackerState,
+    summary: SequenceSummary,
+    latency: LatencyReservoir,
+    queue: FrameQueue,
+    /// Next frame index to enqueue.
+    next_frame: u32,
+    /// Frames arrived but not yet queued (held back by backpressure).
+    pending: u32,
+    served: u32,
+    /// Total (frame × tick) deferrals: each pending frame counts once
+    /// per tick it spends waiting for queue space.
+    deferred: u64,
+    ticks: u64,
+    /// Shed level currently built into the tracker.
+    applied_level: u8,
+    max_shed_level: u8,
+}
+
+impl Session {
+    pub(crate) fn new(
+        id: SessionId,
+        spec: SessionSpec,
+        source: FrameSource,
+        config: &ServeConfig,
+    ) -> Result<Self> {
+        let tracker = TrackingPipeline::new(config.pipeline.clone(), config.temporal)?;
+        Ok(Self {
+            id,
+            spec,
+            source,
+            tracker,
+            state: TrackerState::new(),
+            // Counters and energy only — a service holding thousands of
+            // sessions cannot retain per-frame reports.
+            summary: SequenceSummary::with_report_capacity(0),
+            latency: LatencyReservoir::new(config.latency_window),
+            queue: FrameQueue::new(config.queue_capacity),
+            next_frame: 0,
+            pending: 0,
+            served: 0,
+            deferred: 0,
+            ticks: 0,
+            applied_level: 0,
+            max_shed_level: 0,
+        })
+    }
+
+    pub(crate) fn priority(&self) -> Priority {
+        self.spec.priority
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.served >= self.spec.frames
+    }
+
+    /// One engine tick: generate this tick's arrivals, then move as many
+    /// waiting frames into the bounded queue as fit, stamping each with
+    /// the session's current shed `level`. What does not fit stays
+    /// pending — deferred, never dropped.
+    pub(crate) fn arrive(&mut self, level: u8) {
+        self.ticks += 1;
+        let mut due = self.spec.frames_per_tick;
+        if self.spec.burst_every > 0 && self.ticks.is_multiple_of(u64::from(self.spec.burst_every))
+        {
+            due += self.spec.burst_extra;
+        }
+        let remaining = self.spec.frames - self.next_frame - self.pending;
+        self.pending += due.min(remaining);
+        let mut stamped = false;
+        while self.pending > 0 && self.queue.push((self.next_frame, level)) {
+            self.next_frame += 1;
+            self.pending -= 1;
+            stamped = true;
+        }
+        if stamped {
+            self.max_shed_level = self.max_shed_level.max(level);
+        }
+        self.deferred += u64::from(self.pending);
+    }
+
+    /// Serves the oldest queued frame through `scratch`, applying the
+    /// frame's stamped shed level first (a cheap policy swap on the rung
+    /// transitions, a no-op otherwise). Returns `false` when the queue
+    /// is empty.
+    pub(crate) fn serve_one(
+        &mut self,
+        config: &ServeConfig,
+        scratch: &mut PipelineScratch,
+    ) -> Result<bool> {
+        let Some((index, level)) = self.queue.pop() else {
+            return Ok(false);
+        };
+        if level != self.applied_level {
+            let (temporal, margin) =
+                config.shed.apply(level, config.temporal, config.pipeline.roi_margin);
+            self.tracker.set_temporal(temporal)?;
+            if self.tracker.pipeline().config().roi_margin != margin {
+                self.tracker.set_roi_margin(margin);
+            }
+            self.applied_level = level;
+        }
+        let frame = self.source.frame(index);
+        let start = Instant::now();
+        let report = self.tracker.run_frame(frame.as_ref(), &mut self.state, scratch)?;
+        self.latency.record(start.elapsed().as_secs_f64() * 1e3);
+        self.summary.fold(&report, false);
+        self.served += 1;
+        Ok(true)
+    }
+
+    /// Snapshot of the session's observable state.
+    pub(crate) fn report(&self) -> SessionReport {
+        SessionReport {
+            id: self.id,
+            name: self.spec.name.clone(),
+            priority: self.spec.priority,
+            completed: self.is_done(),
+            deferred: self.deferred,
+            max_shed_level: self.max_shed_level,
+            p50_ms: self.latency.p50(),
+            p99_ms: self.latency.p99(),
+            latency_ms: self.latency.samples().to_vec(),
+            summary: self.summary.clone(),
+        }
+    }
+}
+
+/// Per-session observability, as folded into
+/// [`crate::engine::ServeSummary`].
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The engine-assigned id (admission order).
+    pub id: SessionId,
+    /// The spec's display name.
+    pub name: String,
+    /// The spec's shed priority.
+    pub priority: Priority,
+    /// Whether every requested frame was served.
+    pub completed: bool,
+    /// Total (frame × tick) backpressure deferrals.
+    pub deferred: u64,
+    /// Highest shed level stamped on any of this session's frames.
+    pub max_shed_level: u8,
+    /// Median frame latency over the retained window, ms.
+    pub p50_ms: f64,
+    /// Tail frame latency over the retained window, ms.
+    pub p99_ms: f64,
+    /// The retained latency window (unordered) — merged by the engine
+    /// for fleet-wide percentiles.
+    pub latency_ms: Vec<f64>,
+    /// Frame-kind counters, aggregates, and the frame-ordered energy
+    /// fold. A pure function of `(spec, arrival schedule, shed level
+    /// trajectory)` — the determinism tests compare it bit-for-bit
+    /// across worker counts and serve interleavings.
+    pub summary: SequenceSummary,
+}

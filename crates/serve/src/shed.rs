@@ -1,0 +1,204 @@
+//! Graceful degradation: the overload shed ladder.
+//!
+//! HiRISE's premise is that sensing cost is a *budget* to be spent where
+//! it buys the most information. Under fleet overload the same idea
+//! applies across sessions: instead of dropping whole sessions, every
+//! session's sensing budget is degraded a notch — the keyframe cadence
+//! widens (fewer full pool + detect frames) and the ROI context margin
+//! shrinks (smaller stage-2 readouts) — using exactly the two knobs
+//! [`hirise::TemporalConfig`] and [`hirise::HiriseConfig::roi_margin`]
+//! already expose to a live [`hirise::TrackingPipeline`].
+//!
+//! The ladder has four rungs (level `0..=3`). The engine derives a
+//! fleet-wide **base level** from the deterministic load ratio
+//! `active_sessions / rated_sessions` at each tick; each session then
+//! lands one rung away from the base according to its [`Priority`]:
+//! low-priority sessions degrade first, high-priority sessions last.
+//! Level 0 is always exactly the configured policy — an unloaded fleet
+//! serves every session at full quality regardless of priority.
+
+use hirise::{HiriseError, Result, TemporalConfig};
+
+/// How a session ranks when the fleet sheds load. Priority never buys
+/// throughput on an unloaded fleet — it only orders who degrades first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Degrades one rung later than the base level.
+    High,
+    /// Follows the base level.
+    #[default]
+    Normal,
+    /// Degrades one rung earlier than the base level.
+    Low,
+}
+
+/// The shed ladder: when each level engages and what it costs a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedPolicy {
+    /// Load ratios (`active / rated`) strictly above which base levels
+    /// 1, 2, 3 engage. Must be positive and non-decreasing.
+    pub engage: [f64; 3],
+    /// Keyframe-interval multiplier per level (level 0 first; all ≥ 1,
+    /// level 0 must be 1 so an unloaded fleet is unmodified).
+    pub interval_mult: [u32; 4],
+    /// Amount subtracted from the configured `roi_margin` per level
+    /// (saturating at 0; level 0 must be 0).
+    pub margin_shrink: [u32; 4],
+}
+
+impl Default for ShedPolicy {
+    /// Level 1 engages just past rated load, level 2 at 1.5×, level 3 at
+    /// 2×; each rung widens the cadence by one interval and trims the
+    /// ROI margin harder.
+    fn default() -> Self {
+        Self { engage: [1.0, 1.5, 2.0], interval_mult: [1, 2, 3, 4], margin_shrink: [0, 1, 2, 4] }
+    }
+}
+
+impl ShedPolicy {
+    /// Checks the ladder is monotone and level 0 is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`HiriseError::InvalidConfig`] on NaN or non-positive engage
+    /// thresholds, a non-monotone ladder, a zero interval multiplier, or
+    /// a level 0 that modifies the session.
+    pub fn validate(&self) -> Result<()> {
+        for (i, &e) in self.engage.iter().enumerate() {
+            // `!(e > 0.0)` rather than `e <= 0.0`: rejects NaN too.
+            if !(e > 0.0) {
+                return Err(HiriseError::InvalidConfig {
+                    reason: format!("shed engage threshold {i} must be a positive number ({e})"),
+                });
+            }
+        }
+        if self.engage.windows(2).any(|w| w[1] < w[0]) {
+            return Err(HiriseError::InvalidConfig {
+                reason: format!(
+                    "shed engage thresholds must be non-decreasing ({:?})",
+                    self.engage
+                ),
+            });
+        }
+        if self.interval_mult.contains(&0) {
+            return Err(HiriseError::InvalidConfig {
+                reason: "shed interval multipliers must be ≥ 1".into(),
+            });
+        }
+        if self.interval_mult[0] != 1 || self.margin_shrink[0] != 0 {
+            return Err(HiriseError::InvalidConfig {
+                reason: "shed level 0 must leave the session unmodified".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The fleet-wide base level for a load ratio: the number of engage
+    /// thresholds strictly exceeded (a load *at* a threshold does not
+    /// engage the level — rated load itself is not overload).
+    pub fn base_level(&self, load: f64) -> u8 {
+        self.engage.iter().filter(|&&e| load > e).count() as u8
+    }
+
+    /// A session's level: the base biased one rung by priority, clamped
+    /// to the ladder. A base of 0 sheds nobody — priority only orders
+    /// degradation under load, it never degrades an unloaded fleet.
+    pub fn level_for(&self, base: u8, priority: Priority) -> u8 {
+        if base == 0 {
+            return 0;
+        }
+        let bias: i8 = match priority {
+            Priority::High => -1,
+            Priority::Normal => 0,
+            Priority::Low => 1,
+        };
+        (base as i8 + bias).clamp(0, 3) as u8
+    }
+
+    /// The degraded per-session knobs at `level`: the temporal policy
+    /// with a widened keyframe interval, and the shrunk ROI margin.
+    pub fn apply(
+        &self,
+        level: u8,
+        base: TemporalConfig,
+        base_margin: u32,
+    ) -> (TemporalConfig, u32) {
+        let level = (level as usize).min(3);
+        let mut temporal = base;
+        temporal.keyframe_interval =
+            base.keyframe_interval.saturating_mul(self.interval_mult[level]).max(1);
+        (temporal, base_margin.saturating_sub(self.margin_shrink[level]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_level_engages_strictly_past_each_threshold() {
+        let policy = ShedPolicy::default();
+        assert_eq!(policy.base_level(0.0), 0);
+        assert_eq!(policy.base_level(1.0), 0, "rated load itself is not overload");
+        assert_eq!(policy.base_level(1.01), 1);
+        assert_eq!(policy.base_level(1.5), 1);
+        assert_eq!(policy.base_level(1.51), 2);
+        assert_eq!(policy.base_level(2.0), 2, "2× load sits at level 2");
+        assert_eq!(policy.base_level(2.5), 3);
+        assert_eq!(policy.base_level(f64::INFINITY), 3);
+        // NaN load (impossible from integer counts, but cheap to pin)
+        // engages nothing rather than something arbitrary.
+        assert_eq!(policy.base_level(f64::NAN), 0);
+    }
+
+    #[test]
+    fn priority_orders_who_degrades_first() {
+        let policy = ShedPolicy::default();
+        // Unloaded: nobody sheds, whatever the priority.
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            assert_eq!(policy.level_for(0, p), 0);
+        }
+        // Base 1: low sessions are already two rungs in, high still clean.
+        assert_eq!(policy.level_for(1, Priority::Low), 2);
+        assert_eq!(policy.level_for(1, Priority::Normal), 1);
+        assert_eq!(policy.level_for(1, Priority::High), 0);
+        // The ladder clamps at both ends.
+        assert_eq!(policy.level_for(3, Priority::Low), 3);
+        assert_eq!(policy.level_for(3, Priority::High), 2);
+    }
+
+    #[test]
+    fn apply_widens_the_cadence_and_shrinks_the_margin() {
+        let policy = ShedPolicy::default();
+        let base = TemporalConfig::default().keyframe_interval(4);
+        let (t0, m0) = policy.apply(0, base, 4);
+        assert_eq!((t0.keyframe_interval, m0), (4, 4), "level 0 is the configured policy");
+        let (t2, m2) = policy.apply(2, base, 4);
+        assert_eq!((t2.keyframe_interval, m2), (12, 2));
+        let (t3, m3) = policy.apply(3, base, 4);
+        assert_eq!((t3.keyframe_interval, m3), (16, 0), "margin shrink saturates at zero");
+        // Every rung of the ladder yields a valid temporal policy.
+        for level in 0..=3 {
+            policy.apply(level, base, 4).0.validate().unwrap();
+        }
+        // Out-of-range levels clamp to the top rung.
+        assert_eq!(policy.apply(9, base, 4), policy.apply(3, base, 4));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_ladders() {
+        assert!(ShedPolicy::default().validate().is_ok());
+        let nan = ShedPolicy { engage: [1.0, f64::NAN, 2.0], ..Default::default() };
+        assert!(nan.validate().is_err());
+        let zero = ShedPolicy { engage: [0.0, 1.5, 2.0], ..Default::default() };
+        assert!(zero.validate().is_err());
+        let decreasing = ShedPolicy { engage: [2.0, 1.5, 1.0], ..Default::default() };
+        assert!(decreasing.validate().is_err());
+        let dead_interval = ShedPolicy { interval_mult: [1, 2, 0, 4], ..Default::default() };
+        assert!(dead_interval.validate().is_err());
+        let hot_level0 = ShedPolicy { interval_mult: [2, 2, 3, 4], ..Default::default() };
+        assert!(hot_level0.validate().is_err());
+        let shrunk_level0 = ShedPolicy { margin_shrink: [1, 1, 2, 4], ..Default::default() };
+        assert!(shrunk_level0.validate().is_err());
+    }
+}

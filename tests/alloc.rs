@@ -292,3 +292,65 @@ fn detector_scratch_alone_is_allocation_free() {
         assert_eq!(count, 0, "detector scratch path allocated {count} times");
     }
 }
+
+#[test]
+fn serve_engine_steady_state_is_allocation_free_per_tick() {
+    // The serve layer's tentpole memory claim: a warmed engine serving
+    // clip-backed sessions at constant shed level runs whole tick
+    // cycles — retire scan, load/shed computation, arrivals into the
+    // bounded queues, and round-robin frame serving — without touching
+    // the heap. Frames are borrowed from the clips (Cow::Borrowed), the
+    // queues and latency reservoirs are preallocated rings, and the
+    // engine reuses one PipelineScratch across all sessions.
+    use hirise::TemporalConfig;
+    use hirise_serve::{FrameSource, ServeConfig, ServeEngine, SessionSpec};
+
+    let detector = hirise::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+    let pipeline = HiriseConfig::builder(96, 72)
+        .pooling(2)
+        .sensor(SensorConfig::default())
+        .detector(detector)
+        .max_rois(4)
+        .roi_margin(2)
+        .build()
+        .unwrap();
+    // Drift disabled and the fleet far below rated load: every measured
+    // tick serves at shed level 0, so no mid-measurement policy swap
+    // rebuilds a pipeline.
+    let config = ServeConfig::new(pipeline)
+        .temporal(TemporalConfig::default().keyframe_interval(4).drift_threshold(1.0))
+        .rated_sessions(16)
+        .max_sessions(16);
+    let mut engine = ServeEngine::new(config).unwrap();
+    for s in 0..2u32 {
+        // Sessions far longer than the test: nothing retires (retiring
+        // legitimately allocates its report) and the clip cycles.
+        let spec = SessionSpec::default().name(format!("alloc{s}")).frames(10_000);
+        let frames: Vec<RgbImage> = (0..8).map(|i| scene(96, 72, 4 * s + i)).collect();
+        engine.admit(spec, FrameSource::Frames(frames)).unwrap();
+    }
+
+    // Warm-up: two full clip cycles per session grow every buffer (ROI
+    // crop pool pairings included) to its high-water capacity.
+    for _ in 0..16 {
+        engine.tick();
+        engine.serve(u64::MAX).unwrap();
+    }
+
+    // One frame per session per tick from tick 16 on: the served frame
+    // index equals the tick index, so ticks not on the keyframe cadence
+    // serve tracked frames only.
+    for tick in 16u64..28 {
+        let count = allocations_during(|| {
+            engine.tick();
+            engine.serve(u64::MAX).unwrap();
+        });
+        if tick % 4 != 0 {
+            assert_eq!(count, 0, "tick {tick}: tracked-frame serve cycle allocated {count} times");
+        }
+    }
+    let summary = engine.summary();
+    assert_eq!(summary.frames, 2 * 28, "both sessions should have served one frame per tick");
+    assert_eq!(summary.dropped, 0);
+    assert_eq!(summary.max_shed_level, 0, "an unloaded fleet must not shed");
+}
