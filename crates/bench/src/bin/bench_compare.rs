@@ -29,15 +29,27 @@
 //! or a served-frame count that differs from the baseline fails
 //! outright.
 //!
+//! And the **chaos layer**: when a committed `results/BENCH_chaos.json`
+//! exists (see the `chaos_stages` binary), the seeded fault plan is
+//! replayed with the baseline's own configuration. Every chaos axis is
+//! deterministic and gated hard — any fleet abort or drop, a blast
+//! radius that leaks past the faulted session, an unrecovered
+//! quarantine, or a fault schedule that no longer matches the baseline
+//! fails outright; only the recovery span gets a (loose) budget,
+//! `--max-recovery-frames`, defaulting to the baseline's keyframe
+//! interval (the checkpoint cadence).
+//!
 //! ```text
 //! cargo run --release -p hirise-bench --bin bench_compare -- \
 //!     [--baseline results/BENCH_pipeline.json] \
 //!     [--temporal-baseline results/BENCH_temporal.json] \
 //!     [--scenario-dir results/scenarios] \
 //!     [--serve-baseline results/BENCH_serve.json] \
+//!     [--chaos-baseline results/BENCH_chaos.json] \
 //!     [--history results/BENCH_history.json] \
 //!     [--max-regress-pct 15] [--max-iou-drop 0.05] \
 //!     [--max-energy-regress-pct 10] [--max-serve-regress-pct 75] \
+//!     [--max-recovery-frames N] \
 //!     [--frames N] [--mode keyed|sequential] \
 //!     [--quick | --full]
 //! ```
@@ -46,8 +58,8 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use hirise::NoiseRngMode;
 use hirise_bench::args::Flags;
-use hirise_bench::stages::{json_f64, json_str, measure, StageBenchConfig};
-use hirise_bench::{scenario, serve, video};
+use hirise_bench::stages::{json_bool, json_f64, json_str, measure, StageBenchConfig};
+use hirise_bench::{chaos, scenario, serve, video};
 
 /// Gregorian `(year, month, day)` for a Unix day number (days since
 /// 1970-01-01), via Howard Hinnant's civil-from-days algorithm.
@@ -386,6 +398,128 @@ fn main() {
         }
     };
 
+    // Chaos trajectory: the seeded fault plan replayed with the
+    // committed baseline's own configuration. Missing file => skipped
+    // (checkouts from before the chaos layer). Everything here is
+    // deterministic, so every axis except the recovery-span budget is a
+    // hard gate.
+    let chaos_baseline_path =
+        flags.value_of("chaos-baseline").unwrap_or("results/BENCH_chaos.json");
+    let mut chaos_failures: Vec<String> = Vec::new();
+    let chaos_fresh = match std::fs::read_to_string(chaos_baseline_path) {
+        Err(e) => {
+            println!("no chaos baseline at {chaos_baseline_path} ({e}); skipping");
+            None
+        }
+        Ok(chaos_baseline) => {
+            let miss =
+                |field: &str| -> ! { panic!("chaos baseline {chaos_baseline_path} lacks {field}") };
+            let chaos_array = json_str(&chaos_baseline, "array").unwrap_or_else(|| miss("array"));
+            let (chaos_w, chaos_h) = chaos_array
+                .split_once('x')
+                .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                .unwrap_or_else(|| panic!("chaos baseline array {chaos_array:?} is not WxH"));
+            let defaults = chaos::ChaosBenchConfig::default();
+            // The whole configuration — fleet shape, fault coordinates,
+            // seed — comes from the baseline itself: the gate replays
+            // the identical fault plan or the schedule comparison below
+            // would be meaningless.
+            let chaos_config = chaos::ChaosBenchConfig {
+                sessions: json_f64(&chaos_baseline, "sessions")
+                    .map_or(defaults.sessions, |v| v as usize),
+                frames_per_session: json_f64(&chaos_baseline, "frames_per_session")
+                    .map_or(defaults.frames_per_session, |v| v as u32),
+                width: chaos_w,
+                height: chaos_h,
+                pooling_k: json_f64(&chaos_baseline, "pooling_k")
+                    .map_or(defaults.pooling_k, |v| v as u32),
+                keyframe_interval: json_f64(&chaos_baseline, "keyframe_interval")
+                    .map_or(defaults.keyframe_interval, |v| v as u32),
+                panic_session: json_f64(&chaos_baseline, "panic_session")
+                    .map_or(defaults.panic_session, |v| v as u64),
+                panic_frame: json_f64(&chaos_baseline, "panic_frame")
+                    .map_or(defaults.panic_frame, |v| v as u32),
+                seed: json_f64(&chaos_baseline, "seed").map_or(defaults.seed, |v| v as u64),
+            };
+            // The recovery budget is loose by default: the baseline's
+            // checkpoint cadence, overridable for tighter policies.
+            let max_recovery_frames: u32 =
+                flags.parsed("max-recovery-frames").unwrap_or(chaos_config.keyframe_interval);
+            let base_frames =
+                json_f64(&chaos_baseline, "frames").unwrap_or_else(|| miss("frames")) as u64;
+            let base_quarantined = json_f64(&chaos_baseline, "quarantined")
+                .unwrap_or_else(|| miss("quarantined")) as u64;
+            let fresh_chaos = chaos::measure(&chaos_config);
+            println!(
+                "  chaos fleet: {} frames, {} dropped, {} quarantined, {} recovered, \
+                 worst recovery {} frames (budget {max_recovery_frames}), \
+                 availability {:.4}, blast radius contained: {}",
+                fresh_chaos.frames,
+                fresh_chaos.dropped,
+                fresh_chaos.quarantined,
+                fresh_chaos.recovered,
+                fresh_chaos.max_recovery_frames,
+                fresh_chaos.availability(),
+                fresh_chaos.others_bit_identical
+            );
+            if fresh_chaos.dropped > 0 {
+                chaos_failures.push(format!(
+                    "chaos: {} admitted sessions were dropped — a fault became fleet-fatal",
+                    fresh_chaos.dropped
+                ));
+            }
+            if fresh_chaos.completed != chaos_config.sessions as u64 {
+                chaos_failures.push(format!(
+                    "chaos: only {} of {} sessions completed under the fault plan",
+                    fresh_chaos.completed, chaos_config.sessions
+                ));
+            }
+            if !fresh_chaos.others_bit_identical {
+                chaos_failures.push(
+                    "chaos: a session fault perturbed other sessions — the isolation \
+                     boundary leaks"
+                        .into(),
+                );
+            }
+            if fresh_chaos.quarantined != base_quarantined {
+                chaos_failures.push(format!(
+                    "chaos: {} sessions quarantined but the baseline schedule says \
+                     {base_quarantined} — the fault plan is no longer deterministic",
+                    fresh_chaos.quarantined
+                ));
+            }
+            if fresh_chaos.recovered != fresh_chaos.quarantined {
+                chaos_failures.push(format!(
+                    "chaos: {} of {} quarantined sessions recovered — checkpoint \
+                     recovery is broken",
+                    fresh_chaos.recovered, fresh_chaos.quarantined
+                ));
+            }
+            if fresh_chaos.max_recovery_frames > max_recovery_frames {
+                chaos_failures.push(format!(
+                    "chaos: worst recovery took {} frames, over the allowed \
+                     {max_recovery_frames}",
+                    fresh_chaos.max_recovery_frames
+                ));
+            }
+            if fresh_chaos.frames != base_frames {
+                chaos_failures.push(format!(
+                    "chaos: served {} frames but the baseline is {base_frames} — \
+                     the faulted workload is no longer deterministic",
+                    fresh_chaos.frames
+                ));
+            }
+            if json_bool(&chaos_baseline, "others_bit_identical") == Some(false) {
+                chaos_failures.push(
+                    "chaos: the committed baseline itself records a leaking blast \
+                     radius — regenerate it from a healthy build"
+                        .into(),
+                );
+            }
+            Some(fresh_chaos)
+        }
+    };
+
     let epoch_secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
     let (y, m, d) = civil_from_days((epoch_secs / 86_400) as i64);
     let tracked_fields = tracked.as_ref().map_or_else(String::new, |(v, base, delta)| {
@@ -412,12 +546,21 @@ fn main() {
             serve_failures.len()
         )
     });
+    let chaos_fields = chaos_fresh.as_ref().map_or_else(String::new, |c| {
+        format!(
+            ", \"chaos_recovery_frames\": {}, \"chaos_availability\": {:.6}, \
+             \"chaos_failures\": {}",
+            c.max_recovery_frames,
+            c.availability(),
+            chaos_failures.len()
+        )
+    });
     let entry = format!(
         "  {{ \"date\": \"{y:04}-{m:02}-{d:02}\", \"epoch_secs\": {epoch_secs}, \
          \"array\": \"{array}\", \"pooling_k\": {}, \"mode\": \"{}\", \"frames\": {}, \
          \"end_to_end_ms_mean\": {:.3}, \"pool_ms_mean\": {:.3}, \
          \"baseline_ms_mean\": {base_mean:.3}, \"delta_pct\": \
-         {delta_pct:.2}{tracked_fields}{scenario_fields}{serve_fields} }}",
+         {delta_pct:.2}{tracked_fields}{scenario_fields}{serve_fields}{chaos_fields} }}",
         config.pooling_k, config.mode, config.frames, fresh.end_to_end_ms_mean, fresh.pool_ms,
     );
     let history = std::path::Path::new(history_path);
@@ -441,7 +584,7 @@ fn main() {
             failed = true;
         }
     }
-    for failure in scenario_failures.iter().chain(&serve_failures) {
+    for failure in scenario_failures.iter().chain(&serve_failures).chain(&chaos_failures) {
         eprintln!("REGRESSION: {failure}");
         failed = true;
     }
@@ -450,6 +593,6 @@ fn main() {
     }
     println!(
         "within budget (+{max_regress_pct:.1} % latency, -{max_iou_drop:.3} IoU, \
-         +{max_energy_pct:.1} % energy, +{max_serve_pct:.1} % serve)"
+         +{max_energy_pct:.1} % energy, +{max_serve_pct:.1} % serve, chaos clean)"
     );
 }

@@ -22,9 +22,13 @@
 //! * [`serve`] — the multi-tenant serve-layer saturation benchmark
 //!   (sessions/core at a latency SLO) shared by `serve_stages` and the
 //!   `bench_compare` serve gate,
+//! * [`chaos`] — the fault-injection recovery benchmark (quarantine,
+//!   checkpoint recovery, blast radius) shared by `chaos_stages` and
+//!   the `bench_compare` chaos gate,
 //! * [`args`] — tiny CLI-flag helpers shared by the binaries.
 
 pub mod args;
+pub mod chaos;
 pub mod classifier;
 pub mod scenario;
 pub mod serve;

@@ -156,6 +156,15 @@ pub fn json_str(json: &str, field: &str) -> Option<String> {
     Some(inner.to_string())
 }
 
+/// Extracts the value of a `"field": true|false` pair.
+pub fn json_bool(json: &str, field: &str) -> Option<bool> {
+    match json_raw(json, field)?.trim() {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
 /// The raw text between `"field":` and the next `,`, `}` or newline.
 fn json_raw<'a>(json: &'a str, field: &str) -> Option<&'a str> {
     let needle = format!("\"{field}\"");

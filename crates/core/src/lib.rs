@@ -76,7 +76,7 @@ pub use stream::{
     SequenceStreamSummary, SequenceSummary, StreamConfig, StreamExecutor, StreamOrdering,
     StreamSummary,
 };
-pub use temporal::{TrackerState, TrackingPipeline};
+pub use temporal::{TrackerCheckpoint, TrackerState, TrackingPipeline};
 pub use timing::StageTimings;
 
 // Re-export the substrate vocabulary users need at the top level.

@@ -243,6 +243,95 @@ impl TrackerState {
     }
 }
 
+/// A restartable snapshot of a [`TrackerState`]'s cross-frame fields —
+/// the recovery anchor a service layer captures at each detection frame
+/// so a session whose in-flight frame fails can resume from its last
+/// good keyframe instead of cold-starting.
+///
+/// Only the *persistent* tracker state is captured (tracks, ids, frame
+/// index, cadence phase, counters); the per-frame association buffers
+/// are rebuilt from scratch on the next frame anyway. [`Track`] is
+/// `Copy`, so a snapshot into a warm checkpoint is a `memcpy` — no heap
+/// allocation in the steady state, which keeps checkpointing compatible
+/// with the zero-allocation frame-path contract.
+#[derive(Debug, Clone, Default)]
+pub struct TrackerCheckpoint {
+    tracks: Vec<Track>,
+    next_id: u32,
+    frame_index: u64,
+    frames_since_detect: u32,
+    keyframes: u64,
+    drift_refreshes: u64,
+    tracked_frames: u64,
+    valid: bool,
+}
+
+impl TrackerCheckpoint {
+    /// An empty (invalid) checkpoint; restoring from it is refused until
+    /// a snapshot has been taken.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a snapshot has been captured since construction /
+    /// [`TrackerCheckpoint::clear`].
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The frame index the snapshot was taken at (`0` when invalid).
+    pub fn frame_index(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Invalidates the checkpoint (buffer capacity is kept).
+    pub fn clear(&mut self) {
+        self.tracks.clear();
+        self.valid = false;
+        self.next_id = 0;
+        self.frame_index = 0;
+        self.frames_since_detect = 0;
+        self.keyframes = 0;
+        self.drift_refreshes = 0;
+        self.tracked_frames = 0;
+    }
+}
+
+impl TrackerState {
+    /// Snapshots the persistent tracker state into `checkpoint`
+    /// (allocation-free once the checkpoint's track buffer is warm).
+    pub fn checkpoint_into(&self, checkpoint: &mut TrackerCheckpoint) {
+        checkpoint.tracks.clear();
+        checkpoint.tracks.extend_from_slice(&self.tracks);
+        checkpoint.next_id = self.next_id;
+        checkpoint.frame_index = self.frame_index;
+        checkpoint.frames_since_detect = self.frames_since_detect;
+        checkpoint.keyframes = self.keyframes;
+        checkpoint.drift_refreshes = self.drift_refreshes;
+        checkpoint.tracked_frames = self.tracked_frames;
+        checkpoint.valid = true;
+    }
+
+    /// Rewinds the tracker to `checkpoint`. Returns `false` (leaving the
+    /// state untouched) when the checkpoint has never been captured —
+    /// the caller should [`TrackerState::reset`] and cold-start instead.
+    pub fn restore_from(&mut self, checkpoint: &TrackerCheckpoint) -> bool {
+        if !checkpoint.valid {
+            return false;
+        }
+        self.tracks.clear();
+        self.tracks.extend_from_slice(&checkpoint.tracks);
+        self.new_tracks.clear();
+        self.next_id = checkpoint.next_id;
+        self.frame_index = checkpoint.frame_index;
+        self.frames_since_detect = checkpoint.frames_since_detect;
+        self.keyframes = checkpoint.keyframes;
+        self.drift_refreshes = checkpoint.drift_refreshes;
+        self.tracked_frames = checkpoint.tracked_frames;
+        true
+    }
+}
+
 /// The temporal HiRISE pipeline: a [`HirisePipeline`] plus the
 /// keyframe/drift policy of a [`TemporalConfig`]. See the module docs.
 #[derive(Debug, Clone)]
@@ -783,6 +872,79 @@ mod tests {
             wide.report.stage2.total_transfer_bits() > tight_bits,
             "a wider margin must read more ROI pixels"
         );
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_the_tail_bit_identically() {
+        let t = tracker(3);
+        let frames: Vec<RgbImage> = (0..8).map(|i| frame_with_object(40 + 4 * i, 32)).collect();
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        let mut checkpoint = TrackerCheckpoint::new();
+        // Restoring before any snapshot is refused and changes nothing.
+        assert!(!state.restore_from(&checkpoint));
+        assert!(!checkpoint.is_valid());
+        // Run 4 frames, snapshotting after the keyframe at index 3.
+        let mut reference = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            reference.push(t.run_frame(f, &mut state, &mut scratch).unwrap());
+            if i == 3 {
+                state.checkpoint_into(&mut checkpoint);
+            }
+        }
+        assert!(checkpoint.is_valid());
+        assert_eq!(checkpoint.frame_index(), 4);
+        // Rewind to the snapshot and replay frames 4..: every report and
+        // the final tracker state must be bit-identical to the first run.
+        assert!(state.restore_from(&checkpoint));
+        assert_eq!(state.frame_index(), 4);
+        for (i, f) in frames.iter().enumerate().skip(4) {
+            let replay = t.run_frame(f, &mut state, &mut scratch).unwrap();
+            assert_eq!(replay, reference[i], "frame {i} diverged after restore");
+        }
+        assert_eq!(
+            state.tracks(),
+            {
+                let mut fresh = TrackerState::new();
+                for f in &frames {
+                    t.run_frame(f, &mut fresh, &mut scratch).unwrap();
+                }
+                fresh
+            }
+            .tracks()
+        );
+    }
+
+    #[test]
+    fn cleared_checkpoint_refuses_to_restore() {
+        let t = tracker(4);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        t.run_frame(&frame_with_object(60, 30), &mut state, &mut scratch).unwrap();
+        let mut checkpoint = TrackerCheckpoint::new();
+        state.checkpoint_into(&mut checkpoint);
+        assert!(checkpoint.is_valid());
+        checkpoint.clear();
+        assert!(!checkpoint.is_valid());
+        let before = state.frame_index();
+        assert!(!state.restore_from(&checkpoint));
+        assert_eq!(state.frame_index(), before, "failed restore must not touch the state");
+    }
+
+    #[test]
+    fn checkpoint_into_a_warm_buffer_reuses_capacity() {
+        let t = tracker(4);
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        let mut checkpoint = TrackerCheckpoint::new();
+        t.run_frame(&frame_with_object(60, 30), &mut state, &mut scratch).unwrap();
+        state.checkpoint_into(&mut checkpoint);
+        let capacity = checkpoint.tracks.capacity();
+        assert!(capacity >= state.tracks().len());
+        // Re-snapshotting the same shape must not grow the buffer.
+        t.run_frame(&frame_with_object(62, 30), &mut state, &mut scratch).unwrap();
+        state.checkpoint_into(&mut checkpoint);
+        assert_eq!(checkpoint.tracks.capacity(), capacity);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! `hirise-fault`: deterministic, seeded fault injection for the
+//! HiRISE reproduction.
+//!
+//! The scenario fleet models *benign* stress (acquisition noise, hot
+//! pixels, flicker); this crate is the hostile half. Every injected
+//! fault is a pure function of `(seed, domain, site, frame)` through
+//! the same counter-based keyed-RNG sub-streams the sensor noise and
+//! scenario defects already use — so a chaos run is as reproducible and
+//! worker-count-invariant as a clean one (verification layer 10 in
+//! DESIGN.md).
+//!
+//! Three fault families, one [`FaultPlan`]:
+//!
+//! * **Sensor** ([`sensor`]): persistent dead/stuck rows, whole-frame
+//!   blanking, saturation bursts, NaN speckle — applied to frames by
+//!   [`apply_frame_faults`], wired into a fleet via
+//!   [`faulty_source_for`].
+//! * **Pipeline**: injected panics inside the serve engine's per-frame
+//!   critical section (the unwind path a pool/detect panic would take)
+//!   and NaN feature scores via the speckle above.
+//! * **Serve** ([`serve`]): simulated session stalls for the deadline
+//!   watchdog, plus the explicit panic schedule the acceptance tests
+//!   pin — both delivered through [`ChaosInjector`], an implementation
+//!   of [`hirise_serve::FaultInjector`].
+//!
+//! The recovery machinery these faults exercise lives where the state
+//! lives: `hirise-serve` quarantines a panicking session behind its
+//! isolation boundary and `hirise::temporal` rewinds the session's
+//! tracker to its last keyframe checkpoint
+//! ([`hirise::temporal::TrackerCheckpoint`]). This crate only decides
+//! *what goes wrong when* — deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hirise_fault::{ChaosInjector, FaultConfig, FaultPlan};
+//! use hirise_serve::{FaultAction, FaultInjector, SessionId};
+//!
+//! # fn main() -> Result<(), hirise::HiriseError> {
+//! // Panic session 3's frame 7, nothing else.
+//! let plan = Arc::new(FaultPlan::new(42, FaultConfig::default().panic_at(3, 7))?);
+//! let injector = ChaosInjector::new(plan);
+//! assert_eq!(injector.action(SessionId(3), 7), FaultAction::Panic);
+//! assert_eq!(injector.action(SessionId(3), 6), FaultAction::None);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod plan;
+pub mod sensor;
+pub mod serve;
+
+pub use plan::{domain, FaultConfig, FaultPlan, PipelineFaults, SensorFaults, ServeFaults};
+pub use sensor::{apply_frame_faults, pin_rows, FrameFaultLog};
+pub use serve::{faulty_source_for, ChaosInjector};

@@ -1,0 +1,281 @@
+//! The seeded fault plan: every fault a pure function of
+//! `(seed, domain, site, frame)`.
+//!
+//! A [`FaultPlan`] is the chaos suite's single source of truth. Like
+//! the sensor's keyed noise and the scenario generators, it is built on
+//! the counter-based [`KeyedRng`] block function, so a fault decision
+//! is randomly accessible — no draw depends on how many draws anyone
+//! else made. Two consequences the whole layer leans on:
+//!
+//! * **Reproducibility**: a seed is a complete description of the fault
+//!   schedule. A failing chaos run can be replayed exactly from its
+//!   seed, on any machine, at any worker count.
+//! * **Order-independence**: workers consult the plan concurrently in
+//!   arbitrary interleavings and still see identical schedules — the
+//!   determinism contract extends through the fault layer.
+//!
+//! Domains separate fault families (a dead-row decision never shares a
+//! stream with a panic decision); sites separate injection points (a
+//! sensor row, a serve session); the counter separates frames or rows
+//! within a site.
+
+use rand::rngs::KeyedRng;
+
+/// Sub-stream domain tags, mirroring the scenario generator's keyed
+/// defect streams (`hirise_scene`): one domain per fault family, so no
+/// two families ever correlate.
+pub mod domain {
+    /// Persistently dead (all-zero) sensor rows.
+    pub const DEAD_ROW: u64 = 0x11;
+    /// Persistently stuck (fixed-level) sensor rows.
+    pub const STUCK_ROW: u64 = 0x12;
+    /// Whole-frame blanking (a dropped exposure reads as black).
+    pub const BLANK: u64 = 0x13;
+    /// Saturation bursts: a band of rows pinned at full scale for a
+    /// contiguous window of frames.
+    pub const SATURATE: u64 = 0x14;
+    /// NaN speckle: isolated pixels whose value is NaN, which poisons
+    /// downstream feature scores.
+    pub const NAN: u64 = 0x15;
+    /// Injected panics inside the serve-side frame critical section.
+    pub const PANIC: u64 = 0x16;
+    /// Injected session stalls (simulated latency).
+    pub const STALL: u64 = 0x17;
+
+    /// Packs a `(domain, site)` pair into one sub-stream id, the same
+    /// `(domain << 56) | site` layout the scenario generator uses.
+    pub fn stream(domain: u64, site: u64) -> u64 {
+        (domain << 56) | (site & ((1 << 56) - 1))
+    }
+}
+
+/// Sensor-side fault rates. All rates are probabilities in `[0, 1]`;
+/// zero (the default) disables the family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorFaults {
+    /// Per-row probability of being dead (all zero) for the whole run.
+    pub dead_row_rate: f64,
+    /// Per-row probability of being stuck at [`SensorFaults::stuck_level`]
+    /// for the whole run.
+    pub stuck_row_rate: f64,
+    /// The level stuck rows read at (bright by default: stuck-bright
+    /// rows are the drift-cue hazard case).
+    pub stuck_level: f32,
+    /// Per-frame probability of whole-frame blanking.
+    pub blank_frame_rate: f64,
+    /// Per-window probability of a saturation burst.
+    pub saturate_rate: f64,
+    /// Rows in a saturation band.
+    pub saturate_rows: u32,
+    /// Frames per saturation window (a burst covers a whole window).
+    pub saturate_burst: u32,
+}
+
+impl Default for SensorFaults {
+    fn default() -> Self {
+        Self {
+            dead_row_rate: 0.0,
+            stuck_row_rate: 0.0,
+            stuck_level: 0.95,
+            blank_frame_rate: 0.0,
+            saturate_rate: 0.0,
+            saturate_rows: 8,
+            saturate_burst: 4,
+        }
+    }
+}
+
+/// Pipeline-side fault rates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineFaults {
+    /// Per-frame probability of a panic inside the frame critical
+    /// section.
+    pub panic_rate: f64,
+    /// Per-frame probability of NaN speckle.
+    pub nan_rate: f64,
+    /// Pixels poisoned per NaN-speckled frame.
+    pub nan_pixels: u32,
+}
+
+/// Serve-side fault rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeFaults {
+    /// Per-frame probability of a simulated stall.
+    pub stall_rate: f64,
+    /// Simulated stall magnitude, ms.
+    pub stall_ms: f64,
+}
+
+impl Default for ServeFaults {
+    fn default() -> Self {
+        Self { stall_rate: 0.0, stall_ms: 100.0 }
+    }
+}
+
+/// The complete fault model: per-family rates plus an explicit panic
+/// schedule for tests that need a fault at an exact `(site, frame)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultConfig {
+    /// Sensor fault family.
+    pub sensor: SensorFaults,
+    /// Pipeline fault family.
+    pub pipeline: PipelineFaults,
+    /// Serve fault family.
+    pub serve: ServeFaults,
+    /// Explicit `(site, frame)` panic injections, independent of
+    /// [`PipelineFaults::panic_rate`] — the acceptance scenario pins its
+    /// fault here rather than fishing for a rate draw.
+    pub panic_at: Vec<(u64, u32)>,
+}
+
+impl FaultConfig {
+    /// Adds an explicit panic at `(site, frame)`.
+    pub fn panic_at(mut self, site: u64, frame: u32) -> Self {
+        self.panic_at.push((site, frame));
+        self
+    }
+
+    /// Checks every rate is a probability and every magnitude finite.
+    ///
+    /// # Errors
+    ///
+    /// [`hirise::HiriseError::InvalidConfig`] naming the offending
+    /// field.
+    pub fn validate(&self) -> hirise::Result<()> {
+        let invalid = |reason: String| hirise::HiriseError::InvalidConfig { reason };
+        let rates = [
+            ("dead_row_rate", self.sensor.dead_row_rate),
+            ("stuck_row_rate", self.sensor.stuck_row_rate),
+            ("blank_frame_rate", self.sensor.blank_frame_rate),
+            ("saturate_rate", self.sensor.saturate_rate),
+            ("panic_rate", self.pipeline.panic_rate),
+            ("nan_rate", self.pipeline.nan_rate),
+            ("stall_rate", self.serve.stall_rate),
+        ];
+        for (name, rate) in rates {
+            // `!(…)` keeps NaN out as well as the out-of-range values.
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(invalid(format!("{name} must be a probability in [0, 1] ({rate})")));
+            }
+        }
+        if !self.sensor.stuck_level.is_finite() {
+            return Err(invalid(format!(
+                "stuck_level must be finite ({})",
+                self.sensor.stuck_level
+            )));
+        }
+        if self.sensor.saturate_burst == 0 {
+            return Err(invalid("saturate_burst must be ≥ 1".into()));
+        }
+        if !(self.serve.stall_ms >= 0.0) {
+            return Err(invalid(format!(
+                "stall_ms must be a non-negative number ({})",
+                self.serve.stall_ms
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A seeded, validated fault schedule. Every query is a pure function
+/// of `(seed, domain, site, counter)` — see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Creates a plan from a seed and a fault model.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FaultConfig::validate`].
+    pub fn new(seed: u64, config: FaultConfig) -> hirise::Result<Self> {
+        config.validate()?;
+        Ok(Self { seed, config })
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault model.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The raw 64-bit draw for `(domain, site, counter)` — the block
+    /// function every fault decision reduces to.
+    pub fn draw(&self, domain: u64, site: u64, counter: u64) -> u64 {
+        let key = KeyedRng::derive_key(self.seed, domain::stream(domain, site));
+        KeyedRng::block(key, counter)
+    }
+
+    /// A Bernoulli decision at `rate` over the draw's top 53 bits
+    /// (an exact dyadic uniform in `[0, 1)`).
+    pub fn chance(&self, domain: u64, site: u64, counter: u64, rate: f64) -> bool {
+        rate > 0.0 && (self.draw(domain, site, counter) >> 11) as f64 / ((1u64 << 53) as f64) < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_pure_and_domain_separated() {
+        let plan = FaultPlan::new(7, FaultConfig::default()).unwrap();
+        assert_eq!(plan.draw(domain::PANIC, 3, 9), plan.draw(domain::PANIC, 3, 9));
+        // Different domain, site, or counter each decorrelate.
+        assert_ne!(plan.draw(domain::PANIC, 3, 9), plan.draw(domain::STALL, 3, 9));
+        assert_ne!(plan.draw(domain::PANIC, 3, 9), plan.draw(domain::PANIC, 4, 9));
+        assert_ne!(plan.draw(domain::PANIC, 3, 9), plan.draw(domain::PANIC, 3, 10));
+        // And a different seed changes everything.
+        let other = FaultPlan::new(8, FaultConfig::default()).unwrap();
+        assert_ne!(plan.draw(domain::PANIC, 3, 9), other.draw(domain::PANIC, 3, 9));
+    }
+
+    #[test]
+    fn chance_tracks_its_rate() {
+        let plan = FaultPlan::new(0xC0FFEE, FaultConfig::default()).unwrap();
+        for rate in [0.0, 0.1, 0.5] {
+            let hits = (0..4000).filter(|&i| plan.chance(domain::BLANK, 0, i, rate)).count() as f64;
+            let observed = hits / 4000.0;
+            assert!((observed - rate).abs() < 0.03, "rate {rate}: observed {observed} too far off");
+        }
+        // Rate 1 always fires; rate 0 never does (even the >= 0 draw).
+        assert!(plan.chance(domain::BLANK, 0, 0, 1.0));
+        assert!(!plan.chance(domain::BLANK, 0, 0, 0.0));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_models() {
+        assert!(FaultConfig::default().validate().is_ok());
+        let mut bad = FaultConfig::default();
+        bad.pipeline.panic_rate = 1.5;
+        assert!(bad.validate().is_err());
+        let mut nan = FaultConfig::default();
+        nan.sensor.blank_frame_rate = f64::NAN;
+        assert!(nan.validate().is_err());
+        let mut stuck = FaultConfig::default();
+        stuck.sensor.stuck_level = f32::INFINITY;
+        assert!(stuck.validate().is_err());
+        let mut burst = FaultConfig::default();
+        burst.sensor.saturate_burst = 0;
+        assert!(burst.validate().is_err());
+        let mut stall = FaultConfig::default();
+        stall.serve.stall_ms = -1.0;
+        assert!(stall.validate().is_err());
+    }
+
+    #[test]
+    fn stream_packing_matches_the_scenario_layout() {
+        assert_eq!(domain::stream(domain::DEAD_ROW, 0), 0x11 << 56);
+        assert_eq!(domain::stream(domain::DEAD_ROW, 5), (0x11 << 56) | 5);
+        // Sites beyond 56 bits wrap into the site field, never the
+        // domain tag.
+        assert_eq!(domain::stream(domain::PANIC, u64::MAX) >> 56, 0x16);
+    }
+}

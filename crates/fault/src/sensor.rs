@@ -1,0 +1,237 @@
+//! Sensor-side fault application: turning a clean frame into what a
+//! defective array would have captured.
+//!
+//! [`apply_frame_faults`] mutates one frame in place according to a
+//! [`FaultPlan`]: persistent dead/stuck rows (pure in `(seed, site,
+//! row)` — the same rows every frame, like real silicon), whole-frame
+//! blanking, saturation bursts over contiguous frame windows, and NaN
+//! speckle. It is the function a fault-wrapping
+//! [`hirise_serve::FrameSource`] closes over, and stays pure in
+//! `(plan, site, frame)` so wrapped sources keep the determinism
+//! contract.
+
+use hirise_imaging::RgbImage;
+
+use crate::plan::{domain, FaultPlan};
+
+/// What [`apply_frame_faults`] did to one frame, for assertions and
+/// availability accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameFaultLog {
+    /// Rows zeroed by the persistent dead-row defect map.
+    pub dead_rows: u32,
+    /// Rows pinned at the stuck level by the persistent stuck-row map.
+    pub stuck_rows: u32,
+    /// Whether the whole frame was blanked.
+    pub blanked: bool,
+    /// Whether a saturation burst covered this frame.
+    pub saturated: bool,
+    /// Pixels poisoned with NaN.
+    pub nan_pixels: u32,
+}
+
+impl FrameFaultLog {
+    /// Whether the frame left this pass untouched.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Pins `count` rows starting at `y0` to `level` across all three
+/// channels — the stuck/saturated-row primitive, exposed so tests can
+/// force a defect at an exact position instead of fishing for a seed.
+pub fn pin_rows(img: &mut RgbImage, y0: u32, count: u32, level: f32) {
+    let height = img.height();
+    for plane in img.planes_mut() {
+        for y in y0..(y0 + count).min(height) {
+            plane.row_mut(y).fill(level);
+        }
+    }
+}
+
+/// Applies the plan's sensor faults to `site`'s frame `frame` in place.
+/// Pure in `(plan, site, frame, img)`: re-applying to an identical
+/// clean frame reproduces the identical faulty frame.
+pub fn apply_frame_faults(
+    plan: &FaultPlan,
+    site: u64,
+    frame: u32,
+    img: &mut RgbImage,
+) -> FrameFaultLog {
+    let faults = plan.config().sensor;
+    let nan = plan.config().pipeline;
+    let (width, height) = (img.width(), img.height());
+    let mut log = FrameFaultLog::default();
+
+    // Whole-frame blanking first: a dropped exposure reads as black and
+    // makes every other per-pixel fault moot this frame.
+    if plan.chance(domain::BLANK, site, u64::from(frame), faults.blank_frame_rate) {
+        for plane in img.planes_mut() {
+            for y in 0..height {
+                plane.row_mut(y).fill(0.0);
+            }
+        }
+        log.blanked = true;
+        return log;
+    }
+
+    // Persistent row defects: the counter is the *row*, not the frame,
+    // so the defect map is fixed for the whole run — like real silicon.
+    for y in 0..height {
+        if plan.chance(domain::DEAD_ROW, site, u64::from(y), faults.dead_row_rate) {
+            pin_rows(img, y, 1, 0.0);
+            log.dead_rows += 1;
+        } else if plan.chance(domain::STUCK_ROW, site, u64::from(y), faults.stuck_row_rate) {
+            pin_rows(img, y, 1, faults.stuck_level);
+            log.stuck_rows += 1;
+        }
+    }
+
+    // Saturation bursts: one decision per window of `saturate_burst`
+    // frames, so a burst covers a contiguous frame span (an overexposed
+    // pass, not per-frame glitter). Even/odd counters split the
+    // fire/position draws within the window's stream.
+    let window = u64::from(frame) / u64::from(faults.saturate_burst.max(1));
+    if plan.chance(domain::SATURATE, site, window << 1, faults.saturate_rate) {
+        let start = (plan.draw(domain::SATURATE, site, (window << 1) | 1)
+            % u64::from(height.max(1))) as u32;
+        pin_rows(img, start, faults.saturate_rows, 1.0);
+        log.saturated = true;
+    }
+
+    // NaN speckle: isolated poisoned pixels whose NaN propagates into
+    // pooled features and detector scores downstream.
+    if nan.nan_pixels > 0 && plan.chance(domain::NAN, site, u64::from(frame), nan.nan_rate) {
+        for i in 0..nan.nan_pixels {
+            let pos = plan.draw(domain::NAN, site, (u64::from(frame) << 16) | u64::from(i + 1));
+            let x = (pos % u64::from(width.max(1))) as u32;
+            let y = ((pos >> 32) % u64::from(height.max(1))) as u32;
+            img.set_pixel(x, y, (f32::NAN, f32::NAN, f32::NAN));
+            log.nan_pixels += 1;
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultConfig;
+
+    fn gray(w: u32, h: u32) -> RgbImage {
+        RgbImage::from_fn(w, h, |_, _| (0.4, 0.4, 0.4))
+    }
+
+    fn plan(config: FaultConfig) -> FaultPlan {
+        FaultPlan::new(0xFA017, config).unwrap()
+    }
+
+    #[test]
+    fn zero_rates_leave_the_frame_untouched() {
+        let plan = plan(FaultConfig::default());
+        let clean = gray(32, 24);
+        let mut img = clean.clone();
+        let log = apply_frame_faults(&plan, 0, 0, &mut img);
+        assert!(log.is_clean());
+        assert_eq!(img, clean);
+    }
+
+    #[test]
+    fn application_is_pure_in_site_and_frame() {
+        let mut config = FaultConfig::default();
+        config.sensor.stuck_row_rate = 0.2;
+        config.sensor.blank_frame_rate = 0.1;
+        config.sensor.saturate_rate = 0.3;
+        config.pipeline.nan_rate = 0.2;
+        config.pipeline.nan_pixels = 3;
+        let plan = plan(config);
+        for frame in 0..6 {
+            let mut a = gray(48, 32);
+            let mut b = gray(48, 32);
+            assert_eq!(
+                apply_frame_faults(&plan, 2, frame, &mut a),
+                apply_frame_faults(&plan, 2, frame, &mut b)
+            );
+            assert_eq!(a, b, "frame {frame} not reproducible");
+        }
+    }
+
+    #[test]
+    fn row_defects_persist_across_frames() {
+        let mut config = FaultConfig::default();
+        config.sensor.dead_row_rate = 0.15;
+        config.sensor.stuck_row_rate = 0.15;
+        let plan = plan(config);
+        let mut first = gray(16, 64);
+        let log0 = apply_frame_faults(&plan, 1, 0, &mut first);
+        assert!(log0.dead_rows > 0 && log0.stuck_rows > 0, "rates too low to exercise: {log0:?}");
+        let mut later = gray(16, 64);
+        let log9 = apply_frame_faults(&plan, 1, 9, &mut later);
+        // The defect *map* is frame-independent…
+        assert_eq!((log0.dead_rows, log0.stuck_rows), (log9.dead_rows, log9.stuck_rows));
+        assert_eq!(first, later);
+        // …but site-dependent: another sensor has other defects.
+        let mut other = gray(16, 64);
+        let other_log = apply_frame_faults(&plan, 7, 0, &mut other);
+        assert_ne!((log0.dead_rows, log0.stuck_rows), (other_log.dead_rows, other_log.stuck_rows));
+    }
+
+    #[test]
+    fn blanking_zeroes_every_channel() {
+        let mut config = FaultConfig::default();
+        config.sensor.blank_frame_rate = 1.0;
+        let plan = plan(config);
+        let mut img = gray(8, 8);
+        let log = apply_frame_faults(&plan, 0, 3, &mut img);
+        assert!(log.blanked);
+        for plane in img.planes() {
+            assert!(plane.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn saturation_bursts_cover_whole_windows() {
+        let mut config = FaultConfig::default();
+        config.sensor.saturate_rate = 0.5;
+        config.sensor.saturate_rows = 4;
+        config.sensor.saturate_burst = 4;
+        let plan = plan(config);
+        let saturated_at = |frame: u32| {
+            let mut img = gray(16, 32);
+            apply_frame_faults(&plan, 0, frame, &mut img).saturated
+        };
+        // Within one window every frame agrees; find both a hot and a
+        // cold window to prove the rate draw is per-window.
+        let windows: Vec<bool> = (0..16).map(|w| saturated_at(w * 4)).collect();
+        assert!(windows.iter().any(|&s| s) && windows.iter().any(|&s| !s), "{windows:?}");
+        for (w, &expected) in windows.iter().enumerate() {
+            for offset in 1..4 {
+                assert_eq!(saturated_at(w as u32 * 4 + offset), expected, "window {w} split");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_speckle_poisons_the_requested_pixel_count() {
+        let mut config = FaultConfig::default();
+        config.pipeline.nan_rate = 1.0;
+        config.pipeline.nan_pixels = 5;
+        let plan = plan(config);
+        let mut img = gray(32, 24);
+        let log = apply_frame_faults(&plan, 0, 0, &mut img);
+        assert_eq!(log.nan_pixels, 5);
+        let [r, _, _] = img.planes();
+        let poisoned = r.as_slice().iter().filter(|v| v.is_nan()).count();
+        assert!((1..=5).contains(&poisoned), "{poisoned} NaN pixels (draws may collide)");
+    }
+
+    #[test]
+    fn pin_rows_clamps_to_the_frame() {
+        let mut img = gray(8, 8);
+        pin_rows(&mut img, 6, 10, 1.0);
+        let [r, _, _] = img.planes();
+        assert!(r.row(5).iter().all(|&v| v == 0.4));
+        assert!(r.row(6).iter().all(|&v| v == 1.0));
+        assert!(r.row(7).iter().all(|&v| v == 1.0));
+    }
+}

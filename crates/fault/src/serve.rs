@@ -1,0 +1,165 @@
+//! Wiring the fault plan into the serve engine: the chaos injector and
+//! fault-wrapped frame sources.
+//!
+//! `hirise-serve` exposes two seams and stays ignorant of any fault
+//! model; this module fills both from one [`FaultPlan`]:
+//!
+//! * [`ChaosInjector`] implements [`hirise_serve::FaultInjector`] —
+//!   panics and stalls inside the engine's frame critical section,
+//!   keyed by `(session id, frame index)`.
+//! * [`faulty_source_for`] mirrors [`hirise_serve::source_for`] but
+//!   wraps the scenario generator in [`apply_frame_faults`], so the
+//!   frames themselves carry the plan's sensor defects. The wrapper is
+//!   pure in the frame index, preserving the determinism contract.
+//!
+//! The **site** of every serve-layer fault is the engine-assigned
+//! session id (admission order), which is itself deterministic for a
+//! fixed driver schedule — so one seed fixes the whole chaos run.
+
+use std::sync::Arc;
+
+use hirise_scene::{ScenarioGenerator, ScenarioSpec};
+use hirise_serve::{FaultAction, FaultInjector, FrameSource, SessionId, SessionSpec};
+
+use crate::plan::{domain, FaultPlan};
+use crate::sensor::apply_frame_faults;
+
+/// A [`FaultInjector`] driven by a [`FaultPlan`]: explicit
+/// [`crate::FaultConfig::panic_at`] entries first, then the seeded
+/// panic and stall rates.
+#[derive(Debug, Clone)]
+pub struct ChaosInjector {
+    plan: Arc<FaultPlan>,
+}
+
+impl ChaosInjector {
+    /// Creates an injector over a shared plan.
+    pub fn new(plan: Arc<FaultPlan>) -> Self {
+        Self { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl FaultInjector for ChaosInjector {
+    fn action(&self, session: SessionId, frame_index: u32) -> FaultAction {
+        let site = session.0;
+        let config = self.plan.config();
+        if config.panic_at.contains(&(site, frame_index))
+            || self.plan.chance(
+                domain::PANIC,
+                site,
+                u64::from(frame_index),
+                config.pipeline.panic_rate,
+            )
+        {
+            return FaultAction::Panic;
+        }
+        if self.plan.chance(domain::STALL, site, u64::from(frame_index), config.serve.stall_rate) {
+            return FaultAction::Stall { stall_ms: config.serve.stall_ms };
+        }
+        FaultAction::None
+    }
+}
+
+/// A scenario-backed frame source whose frames pass through the plan's
+/// sensor faults, keyed by `site` (`None` for an unknown scenario
+/// name). The fault-free counterpart of this source is exactly
+/// [`hirise_serve::source_for`] — a plan whose sensor rates are all
+/// zero produces bit-identical frames.
+pub fn faulty_source_for(
+    spec: &SessionSpec,
+    width: u32,
+    height: u32,
+    plan: &Arc<FaultPlan>,
+    site: u64,
+) -> Option<FrameSource> {
+    let scenario = ScenarioSpec::by_name(&spec.scenario)?;
+    let generator = ScenarioGenerator::new(scenario, width, height, spec.seed);
+    let plan = Arc::clone(plan);
+    Some(FrameSource::Generated(Box::new(move |index| {
+        let mut img = generator.frame(index).image;
+        apply_frame_faults(&plan, site, index, &mut img);
+        img
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultConfig;
+
+    fn arc_plan(config: FaultConfig) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::new(0xCA05, config).unwrap())
+    }
+
+    #[test]
+    fn explicit_panics_override_the_rates() {
+        let injector = ChaosInjector::new(arc_plan(FaultConfig::default().panic_at(2, 5)));
+        assert_eq!(injector.action(SessionId(2), 5), FaultAction::Panic);
+        assert_eq!(injector.action(SessionId(2), 4), FaultAction::None);
+        assert_eq!(injector.action(SessionId(3), 5), FaultAction::None);
+    }
+
+    #[test]
+    fn seeded_rates_fire_deterministically() {
+        let mut config = FaultConfig::default();
+        config.pipeline.panic_rate = 0.25;
+        config.serve.stall_rate = 0.25;
+        config.serve.stall_ms = 80.0;
+        let injector = ChaosInjector::new(arc_plan(config));
+        let schedule: Vec<FaultAction> =
+            (0..64).map(|f| injector.action(SessionId(1), f)).collect();
+        assert_eq!(
+            schedule,
+            (0..64).map(|f| injector.action(SessionId(1), f)).collect::<Vec<_>>(),
+            "schedule must be pure"
+        );
+        assert!(schedule.contains(&FaultAction::Panic));
+        assert!(schedule.contains(&FaultAction::Stall { stall_ms: 80.0 }));
+        assert!(schedule.contains(&FaultAction::None));
+    }
+
+    #[test]
+    fn zero_rate_sources_match_the_clean_ones() {
+        let spec = SessionSpec::default().scenario("clean").seed(11);
+        let clean = hirise_serve::source_for(&spec, 64, 48).unwrap();
+        let wrapped =
+            faulty_source_for(&spec, 64, 48, &arc_plan(FaultConfig::default()), 0).unwrap();
+        // Compare through a session-free render: both sources are pure
+        // in the index, so frame 3 is a complete probe.
+        let (FrameSource::Scenario(generator), FrameSource::Generated(render)) = (&clean, &wrapped)
+        else {
+            panic!("unexpected source shapes");
+        };
+        assert_eq!(generator.frame(3).image, render(3));
+    }
+
+    #[test]
+    fn faulty_sources_differ_and_reproduce() {
+        let spec = SessionSpec::default().scenario("clean").seed(11);
+        let mut config = FaultConfig::default();
+        config.sensor.stuck_row_rate = 0.25;
+        let plan = arc_plan(config);
+        let spec_clean = hirise_serve::source_for(&spec, 64, 48).unwrap();
+        let (FrameSource::Scenario(generator), FrameSource::Generated(a)) =
+            (&spec_clean, &faulty_source_for(&spec, 64, 48, &plan, 1).unwrap())
+        else {
+            panic!("unexpected source shapes");
+        };
+        assert_ne!(generator.frame(0).image, a(0), "defects did not land");
+        let FrameSource::Generated(b) = faulty_source_for(&spec, 64, 48, &plan, 1).unwrap() else {
+            panic!("unexpected source shape");
+        };
+        assert_eq!(a(0), b(0), "same plan and site must reproduce");
+    }
+
+    #[test]
+    fn unknown_scenarios_are_refused() {
+        let spec = SessionSpec::default().scenario("no-such-preset");
+        assert!(faulty_source_for(&spec, 64, 48, &arc_plan(FaultConfig::default()), 0).is_none());
+    }
+}

@@ -383,6 +383,53 @@ mod tests {
     }
 
     #[test]
+    fn panicking_capture_raises_once_and_the_next_capture_is_bit_identical() {
+        // Capture-shaped sharded job: row bands written through
+        // `shard_rows`, several bands poisoned at once. The panic must
+        // be caught on the worker side, flagged, and re-raised on the
+        // caller exactly once per run (never once per poisoned band,
+        // never a deadlock) — and the very next capture on the same
+        // pool must be bit-identical to an unfaulted one.
+        let rows = 16usize;
+        let row_len = 9usize;
+        let reference: Vec<u32> = (0..rows * row_len).map(|i| (i * 3 + 1) as u32).collect();
+        let fill = |first_row: usize, band: &mut [u32]| {
+            for (dy, row) in band.chunks_exact_mut(row_len).enumerate() {
+                let y = first_row + dy;
+                for (x, v) in row.iter_mut().enumerate() {
+                    *v = ((y * row_len + x) * 3 + 1) as u32;
+                }
+            }
+        };
+        let pool = ShardPool::new(4);
+        for round in 0..3 {
+            let mut data = vec![0u32; rows * row_len];
+            let escapes = AtomicUsize::new(0);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shard_rows(Some(&pool), &mut data, rows, row_len, 8, |s, first_row, band| {
+                    if s % 2 == 0 {
+                        escapes.fetch_add(1, Ordering::Relaxed);
+                        panic!("poisoned band {s} in round {round}");
+                    }
+                    fill(first_row, band);
+                });
+            }));
+            assert!(outcome.is_err(), "round {round}: the poisoned capture must panic");
+            assert!(
+                escapes.load(Ordering::Relaxed) >= 2,
+                "round {round}: several bands must actually poison for the test to bite"
+            );
+            // One faulted run, one escaped panic — the next capture sees
+            // a clean pool and reproduces the reference bit for bit.
+            let mut clean = vec![0u32; rows * row_len];
+            shard_rows(Some(&pool), &mut clean, rows, row_len, 8, |_, first_row, band| {
+                fill(first_row, band);
+            });
+            assert_eq!(clean, reference, "round {round}: capture after a fault diverged");
+        }
+    }
+
+    #[test]
     fn single_parallelism_pool_stays_inline() {
         let pool = ShardPool::new(1);
         assert_eq!(pool.workers.len(), 0);

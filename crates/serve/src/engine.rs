@@ -31,8 +31,11 @@
 //! to later ticks. [`ServeSummary::dropped`] exists to pin that
 //! contract at 0 in every report.
 
-use hirise::{HiriseConfig, PipelineScratch, Result, TemporalConfig};
+use std::sync::Arc;
 
+use hirise::{HiriseConfig, HiriseError, PipelineScratch, Result, TemporalConfig};
+
+use crate::fault::FaultInjector;
 use crate::session::{FrameSource, Session, SessionReport, SessionSpec};
 use crate::shed::ShedPolicy;
 
@@ -78,8 +81,67 @@ impl std::fmt::Display for AdmitError {
 
 impl std::error::Error for AdmitError {}
 
+/// Why a serve pass failed. With session isolation on (the default) a
+/// panicking session is quarantined rather than surfaced here, so
+/// [`ServeError::WorkerPanicked`] only appears when isolation is
+/// explicitly disabled or a worker fails outside any session's frame.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A serve worker thread panicked. Replaces the old fleet-fatal
+    /// `handle.join().expect(...)`: the caller gets a structured error
+    /// (and every other worker still wound down cleanly) instead of an
+    /// abort.
+    WorkerPanicked {
+        /// The slab shard index of the panicking worker (`0` for the
+        /// serial path).
+        worker: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A frame-level pipeline failure (the session's queue state stays
+    /// consistent — the failed frame is consumed).
+    Frame(HiriseError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::WorkerPanicked { worker, message } => {
+                write!(f, "serve worker {worker} panicked: {message}")
+            }
+            ServeError::Frame(e) => write!(f, "frame failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Frame(e) => Some(e),
+            ServeError::WorkerPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<HiriseError> for ServeError {
+    fn from(e: HiriseError) -> Self {
+        ServeError::Frame(e)
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Configuration of a [`ServeEngine`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// The per-session pipeline configuration (shared; sessions differ
     /// only in their frame sources and specs).
@@ -100,10 +162,24 @@ pub struct ServeConfig {
     pub latency_window: usize,
     /// The overload shed ladder.
     pub shed: ShedPolicy,
+    /// Optional per-frame fault oracle (chaos testing); `None` disables
+    /// injection entirely.
+    pub fault: Option<Arc<dyn FaultInjector>>,
+    /// Wrap each session's frame work in a panic boundary: a panicking
+    /// session is quarantined and restored from its keyframe checkpoint
+    /// while the fleet keeps serving. Off, a panic escapes to the serve
+    /// worker and surfaces as [`ServeError::WorkerPanicked`].
+    pub isolate_sessions: bool,
+    /// Per-frame latency deadline for the watchdog, ms (`0` disables
+    /// it). A frame over deadline escalates its session one shed rung on
+    /// the next tick's arrivals — the session gets cheaper before the
+    /// queue starts deferring.
+    pub deadline_ms: f64,
 }
 
 impl ServeConfig {
-    /// A small default fleet: rated for 8 sessions, capped at 32.
+    /// A small default fleet: rated for 8 sessions, capped at 32,
+    /// session isolation on, no fault injection, watchdog disabled.
     pub fn new(pipeline: HiriseConfig) -> Self {
         Self {
             pipeline,
@@ -114,6 +190,9 @@ impl ServeConfig {
             quantum: 2,
             latency_window: 128,
             shed: ShedPolicy::default(),
+            fault: None,
+            isolate_sessions: true,
+            deadline_ms: 0.0,
         }
     }
 
@@ -159,6 +238,24 @@ impl ServeConfig {
         self
     }
 
+    /// Installs a per-frame fault oracle.
+    pub fn fault(mut self, fault: Arc<dyn FaultInjector>) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Enables or disables the per-session panic boundary.
+    pub fn isolate_sessions(mut self, isolate: bool) -> Self {
+        self.isolate_sessions = isolate;
+        self
+    }
+
+    /// Sets the per-frame watchdog deadline, ms (`0` disables it).
+    pub fn deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
     /// Checks the fleet shape and both embedded policies.
     ///
     /// # Errors
@@ -184,6 +281,13 @@ impl ServeConfig {
         }
         if self.quantum == 0 {
             return Err(invalid("quantum must be ≥ 1".into()));
+        }
+        // `!(x >= 0.0)` rather than `x < 0.0`: rejects NaN too.
+        if !(self.deadline_ms >= 0.0) {
+            return Err(invalid(format!(
+                "deadline_ms must be a non-negative number ({})",
+                self.deadline_ms
+            )));
         }
         Ok(())
     }
@@ -219,6 +323,18 @@ pub struct ServeSummary {
     pub energy_mj: f64,
     /// Total (frame × tick) backpressure deferrals.
     pub deferred: u64,
+    /// Sessions that were ever quarantined (a frame of theirs panicked
+    /// inside the isolation boundary).
+    pub quarantined: u64,
+    /// Quarantined sessions whose every fault has recovered — the
+    /// tracker restored from its keyframe checkpoint and reached the
+    /// next detection frame.
+    pub recovered: u64,
+    /// The longest fault-to-recovery span any session paid, in served
+    /// frames.
+    pub max_recovery_frames: u32,
+    /// Frames that exceeded the watchdog deadline, across all sessions.
+    pub deadline_misses: u64,
     /// The fleet's shed base level at the last tick.
     pub shed_level: u8,
     /// The highest base level any tick reached.
@@ -237,7 +353,8 @@ impl std::fmt::Display for ServeSummary {
             f,
             "serve: {} sessions ({} done, {} live, {} refused, {} dropped), \
              {} frames over {} ticks, shed {}/{} now/max, \
-             p50 {:.3} ms, p99 {:.3} ms, {} deferrals",
+             p50 {:.3} ms, p99 {:.3} ms, {} deferrals, \
+             {} quarantined ({} recovered, worst {} frames)",
             self.admitted,
             self.completed,
             self.active,
@@ -250,6 +367,9 @@ impl std::fmt::Display for ServeSummary {
             self.p50_ms,
             self.p99_ms,
             self.deferred,
+            self.quarantined,
+            self.recovered,
+            self.max_recovery_frames,
         )
     }
 }
@@ -409,27 +529,59 @@ impl ServeEngine {
     /// # Errors
     ///
     /// The first frame failure aborts the pass (the session's queue
-    /// state stays consistent — the failed frame is consumed).
-    pub fn serve(&mut self, budget: u64) -> Result<u64> {
+    /// state stays consistent — the failed frame is consumed). With
+    /// [`ServeConfig::isolate_sessions`] off, a panicking frame
+    /// surfaces as [`ServeError::WorkerPanicked`] instead of unwinding
+    /// through the caller.
+    pub fn serve(&mut self, budget: u64) -> std::result::Result<u64, ServeError> {
         let Self { slots, config, scratch, .. } = self;
-        let mut served = 0u64;
-        loop {
-            let mut progressed = false;
-            for session in slots.iter_mut().flatten() {
-                let mut quantum = config.quantum;
-                while quantum > 0 && served < budget && session.serve_one(config, scratch)? {
-                    served += 1;
-                    quantum -= 1;
-                    progressed = true;
+        Self::serve_shard(slots, config, scratch, budget, 0)
+    }
+
+    /// The round-robin inner loop shared by the serial path and each
+    /// parallel worker: serves `chunk`'s sessions until dry or `budget`
+    /// is spent. A panic escaping a session (isolation off) is caught
+    /// *here*, once per pass, and surfaced as
+    /// [`ServeError::WorkerPanicked`] tagged with `worker`.
+    fn serve_shard(
+        chunk: &mut [Option<Session>],
+        config: &ServeConfig,
+        scratch: &mut PipelineScratch,
+        budget: u64,
+        worker: usize,
+    ) -> std::result::Result<u64, ServeError> {
+        let mut pass = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> std::result::Result<u64, ServeError> {
+                let mut served = 0u64;
+                loop {
+                    let mut progressed = false;
+                    for session in chunk.iter_mut().flatten() {
+                        let mut quantum = config.quantum;
+                        while quantum > 0
+                            && served < budget
+                            && session.serve_one(config, scratch)?
+                        {
+                            served += 1;
+                            quantum -= 1;
+                            progressed = true;
+                        }
+                        if served >= budget {
+                            return Ok(served);
+                        }
+                    }
+                    if !progressed {
+                        return Ok(served);
+                    }
                 }
-                if served >= budget {
-                    return Ok(served);
-                }
-            }
-            if !progressed {
-                return Ok(served);
-            }
+            },
+        ));
+        if let Err(payload) = &pass {
+            pass = Ok(Err(ServeError::WorkerPanicked {
+                worker,
+                message: panic_message(payload.as_ref()),
+            }));
         }
+        pass.expect("panic converted above")
     }
 
     /// Drains every queued frame across `workers` threads: the slab is
@@ -443,37 +595,37 @@ impl ServeEngine {
     /// # Errors
     ///
     /// The first frame failure (by worker order) is returned; other
-    /// shards still wind down cleanly.
-    pub fn serve_parallel(&mut self, workers: usize) -> Result<u64> {
+    /// shards still wind down cleanly. A worker that panics outright —
+    /// possible only with [`ServeConfig::isolate_sessions`] off, since
+    /// the per-session boundary otherwise quarantines the panic first —
+    /// surfaces as [`ServeError::WorkerPanicked`] rather than aborting
+    /// the caller: the join below never unwinds.
+    pub fn serve_parallel(&mut self, workers: usize) -> std::result::Result<u64, ServeError> {
         let Self { slots, config, .. } = self;
         let config = &*config;
         let shard = slots.len().div_ceil(workers.max(1));
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for chunk in slots.chunks_mut(shard) {
-                handles.push(scope.spawn(move || -> Result<u64> {
+            for (worker, chunk) in slots.chunks_mut(shard).enumerate() {
+                handles.push(scope.spawn(move || -> std::result::Result<u64, ServeError> {
                     let mut scratch = PipelineScratch::new();
-                    let mut served = 0u64;
-                    loop {
-                        let mut progressed = false;
-                        for session in chunk.iter_mut().flatten() {
-                            let mut quantum = config.quantum;
-                            while quantum > 0 && session.serve_one(config, &mut scratch)? {
-                                served += 1;
-                                quantum -= 1;
-                                progressed = true;
-                            }
-                        }
-                        if !progressed {
-                            return Ok(served);
-                        }
-                    }
+                    Self::serve_shard(chunk, config, &mut scratch, u64::MAX, worker)
                 }));
             }
             let mut total = 0u64;
             let mut first_error = None;
-            for handle in handles {
-                match handle.join().expect("serve worker panicked") {
+            for (worker, handle) in handles.into_iter().enumerate() {
+                // `serve_shard` converts panics into errors, so a join
+                // failure can only come from a panic outside the serve
+                // loop itself — still turned into a structured error
+                // rather than an abort.
+                let outcome = handle.join().unwrap_or_else(|payload| {
+                    Err(ServeError::WorkerPanicked {
+                        worker,
+                        message: panic_message(payload.as_ref()),
+                    })
+                });
+                match outcome {
                     Ok(n) => total += n,
                     Err(e) if first_error.is_none() => first_error = Some(e),
                     Err(_) => {}
@@ -489,7 +641,7 @@ impl ServeEngine {
     /// # Errors
     ///
     /// As for [`ServeEngine::serve`].
-    pub fn drain(&mut self) -> Result<u64> {
+    pub fn drain(&mut self) -> std::result::Result<u64, ServeError> {
         let mut served = 0u64;
         loop {
             self.tick();
@@ -513,6 +665,10 @@ impl ServeEngine {
         let mut tracked_frames = 0u64;
         let mut energy_mj = 0.0;
         let mut deferred = 0u64;
+        let mut quarantined = 0u64;
+        let mut recovered = 0u64;
+        let mut max_recovery_frames = 0u32;
+        let mut deadline_misses = 0u64;
         let mut max_shed_level = self.max_base_level;
         let mut merged: Vec<f64> = Vec::new();
         for report in &sessions {
@@ -522,6 +678,14 @@ impl ServeEngine {
             tracked_frames += report.summary.tracked_frames;
             energy_mj += report.summary.energy_mj;
             deferred += report.deferred;
+            if report.poisoned {
+                quarantined += 1;
+                if report.recoveries == report.quarantines {
+                    recovered += 1;
+                }
+            }
+            max_recovery_frames = max_recovery_frames.max(report.max_recovery_frames);
+            deadline_misses += report.deadline_misses;
             max_shed_level = max_shed_level.max(report.max_shed_level);
             merged.extend_from_slice(&report.latency_ms);
         }
@@ -539,6 +703,10 @@ impl ServeEngine {
             tracked_frames,
             energy_mj,
             deferred,
+            quarantined,
+            recovered,
+            max_recovery_frames,
+            deadline_misses,
             shed_level: self.base_level,
             max_shed_level,
             p50_ms: crate::metrics::nearest_rank(&merged, 50.0),

@@ -27,6 +27,15 @@
 //!   fixed nearest-rank reservoirs ([`LatencyReservoir`]), frame-kind
 //!   counters, shed gauges, and a `dropped` field that is structurally
 //!   zero.
+//! * **Failure isolation** ([`FaultInjector`], [`ServeError`]): each
+//!   session's frame work runs behind a panic boundary (on by default) —
+//!   a panicking session is quarantined and its tracker restored from
+//!   its last keyframe checkpoint
+//!   ([`hirise::temporal::TrackerCheckpoint`]) while the fleet keeps
+//!   serving; worker panics surface as structured
+//!   [`ServeError::WorkerPanicked`] instead of aborting the caller; a
+//!   per-frame deadline watchdog escalates a stalled session one shed
+//!   rung before its queue starts deferring.
 //! * **Traffic** ([`traffic`]): seeded synthetic session mixes over the
 //!   `hirise_scene` scenario presets — the stress suite and the
 //!   `serve_stages` saturation benchmark share one workload definition.
@@ -63,12 +72,14 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod session;
 pub mod shed;
 pub mod traffic;
 
-pub use engine::{AdmitError, ServeConfig, ServeEngine, ServeSummary, SessionId};
+pub use engine::{AdmitError, ServeConfig, ServeEngine, ServeError, ServeSummary, SessionId};
+pub use fault::{FaultAction, FaultInjector};
 pub use metrics::{nearest_rank, LatencyReservoir};
 pub use session::{FrameSource, SessionReport, SessionSpec};
 pub use shed::{Priority, ShedPolicy};

@@ -16,14 +16,16 @@
 //! serve budgets, and worker counts can no longer affect the output.
 
 use std::borrow::Cow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use hirise::stream::SequenceSummary;
-use hirise::temporal::{TrackerState, TrackingPipeline};
+use hirise::temporal::{TrackerCheckpoint, TrackerState, TrackingPipeline};
 use hirise::{PipelineScratch, Result, RgbImage};
 use hirise_scene::ScenarioGenerator;
 
-use crate::engine::{ServeConfig, SessionId};
+use crate::engine::{ServeConfig, ServeError, SessionId};
+use crate::fault::FaultAction;
 use crate::metrics::LatencyReservoir;
 use crate::shed::Priority;
 
@@ -136,6 +138,12 @@ pub enum FrameSource {
     /// allocation, so this is the capacity-realism choice, not the
     /// zero-alloc one).
     Scenario(Box<ScenarioGenerator>),
+    /// Frames produced by an arbitrary function of the index — the hook
+    /// a fault layer uses to wrap a generator in sensor-defect
+    /// injection without this crate depending on any fault model. The
+    /// function must be pure in the index for the determinism contract
+    /// to hold.
+    Generated(Box<dyn Fn(u32) -> RgbImage + Send + Sync>),
 }
 
 impl FrameSource {
@@ -144,6 +152,7 @@ impl FrameSource {
         match self {
             FrameSource::Frames(clip) => Cow::Borrowed(&clip[index as usize % clip.len()]),
             FrameSource::Scenario(generator) => Cow::Owned(generator.frame(index).image),
+            FrameSource::Generated(render) => Cow::Owned(render(index)),
         }
     }
 
@@ -157,6 +166,7 @@ impl std::fmt::Debug for FrameSource {
         match self {
             FrameSource::Frames(clip) => write!(f, "FrameSource::Frames({} frames)", clip.len()),
             FrameSource::Scenario(g) => write!(f, "FrameSource::Scenario({})", g.name()),
+            FrameSource::Generated(_) => write!(f, "FrameSource::Generated"),
         }
     }
 }
@@ -220,6 +230,29 @@ pub(crate) struct Session {
     /// Shed level currently built into the tracker.
     applied_level: u8,
     max_shed_level: u8,
+    /// The recovery anchor: snapshotted after every detection frame, so
+    /// a quarantined fault rewinds at most one keyframe interval.
+    checkpoint: TrackerCheckpoint,
+    /// Whether any frame of this session ever panicked in isolation.
+    poisoned: bool,
+    /// Frames whose processing panicked (each consumed, never retried —
+    /// a deterministic fault would re-fire forever).
+    poisoned_frames: u64,
+    /// Quarantine events (one per poisoned frame).
+    quarantines: u64,
+    /// Completed recoveries: the tracker restored from its checkpoint
+    /// and reached the next detection frame.
+    recoveries: u64,
+    /// `served` count at the most recent unrecovered fault.
+    recovering_since: Option<u32>,
+    /// The longest fault-to-recovery span paid so far, in served frames.
+    max_recovery_frames: u32,
+    /// Frames over the watchdog deadline.
+    deadline_misses: u64,
+    /// One extra shed rung stamped on the next arrivals after a
+    /// deadline miss (the watchdog escalation); cleared by an on-time
+    /// frame.
+    watchdog_boost: u8,
 }
 
 impl Session {
@@ -248,6 +281,15 @@ impl Session {
             ticks: 0,
             applied_level: 0,
             max_shed_level: 0,
+            checkpoint: TrackerCheckpoint::new(),
+            poisoned: false,
+            poisoned_frames: 0,
+            quarantines: 0,
+            recoveries: 0,
+            recovering_since: None,
+            max_recovery_frames: 0,
+            deadline_misses: 0,
+            watchdog_boost: 0,
         })
     }
 
@@ -263,7 +305,13 @@ impl Session {
     /// waiting frames into the bounded queue as fit, stamping each with
     /// the session's current shed `level`. What does not fit stays
     /// pending — deferred, never dropped.
+    ///
+    /// A session the watchdog caught over deadline is escalated one
+    /// extra rung before its frames can start deferring: getting
+    /// cheaper is the first response to a stall, falling behind the
+    /// second.
     pub(crate) fn arrive(&mut self, level: u8) {
+        let level = (level + self.watchdog_boost).min(3);
         self.ticks += 1;
         let mut due = self.spec.frames_per_tick;
         if self.spec.burst_every > 0 && self.ticks.is_multiple_of(u64::from(self.spec.burst_every))
@@ -288,30 +336,109 @@ impl Session {
     /// frame's stamped shed level first (a cheap policy swap on the rung
     /// transitions, a no-op otherwise). Returns `false` when the queue
     /// is empty.
+    ///
+    /// With [`ServeConfig::isolate_sessions`] on, the frame's critical
+    /// section (fault injection, frame render, tracker step) runs
+    /// behind a panic boundary: a panic quarantines *this session* —
+    /// the frame is counted consumed (a deterministic fault would
+    /// re-fire forever if retried), the tracker rewinds to its last
+    /// keyframe checkpoint, and the fleet keeps serving. With isolation
+    /// off the panic unwinds to the serve worker, where
+    /// [`crate::ServeEngine`] converts it to
+    /// [`ServeError::WorkerPanicked`].
     pub(crate) fn serve_one(
         &mut self,
         config: &ServeConfig,
         scratch: &mut PipelineScratch,
-    ) -> Result<bool> {
+    ) -> std::result::Result<bool, ServeError> {
         let Some((index, level)) = self.queue.pop() else {
             return Ok(false);
         };
         if level != self.applied_level {
             let (temporal, margin) =
                 config.shed.apply(level, config.temporal, config.pipeline.roi_margin);
-            self.tracker.set_temporal(temporal)?;
+            self.tracker.set_temporal(temporal).map_err(ServeError::Frame)?;
             if self.tracker.pipeline().config().roi_margin != margin {
                 self.tracker.set_roi_margin(margin);
             }
             self.applied_level = level;
         }
-        let frame = self.source.frame(index);
+        let action =
+            config.fault.as_deref().map_or(FaultAction::None, |f| f.action(self.id, index));
         let start = Instant::now();
-        let report = self.tracker.run_frame(frame.as_ref(), &mut self.state, scratch)?;
-        self.latency.record(start.elapsed().as_secs_f64() * 1e3);
+        let outcome = if config.isolate_sessions {
+            catch_unwind(AssertUnwindSafe(|| self.frame_step(action, index, scratch)))
+        } else {
+            Ok(self.frame_step(action, index, scratch))
+        };
+        let report = match outcome {
+            Err(_payload) => {
+                self.quarantine();
+                return Ok(true);
+            }
+            Ok(Err(e)) => return Err(ServeError::Frame(e)),
+            Ok(Ok(report)) => report,
+        };
+        let mut latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let FaultAction::Stall { stall_ms } = action {
+            latency_ms += stall_ms;
+        }
+        self.latency.record(latency_ms);
+        if config.deadline_ms > 0.0 {
+            if latency_ms > config.deadline_ms {
+                self.deadline_misses += 1;
+                self.watchdog_boost = 1;
+            } else {
+                self.watchdog_boost = 0;
+            }
+        }
         self.summary.fold(&report, false);
         self.served += 1;
+        if report.kind.ran_detection() {
+            // A detection frame both completes any in-flight recovery
+            // (the track set is fresh again) and becomes the next
+            // recovery anchor.
+            if let Some(since) = self.recovering_since.take() {
+                self.recoveries += 1;
+                self.max_recovery_frames = self.max_recovery_frames.max(self.served - since);
+            }
+            self.state.checkpoint_into(&mut self.checkpoint);
+        }
         Ok(true)
+    }
+
+    /// The per-frame critical section: everything that runs behind the
+    /// isolation boundary. An injected [`FaultAction::Panic`] fires
+    /// here, on the same unwind path a panic inside the pool/detect
+    /// stages would take.
+    fn frame_step(
+        &mut self,
+        action: FaultAction,
+        index: u32,
+        scratch: &mut PipelineScratch,
+    ) -> Result<hirise::TemporalFrameReport> {
+        if action == FaultAction::Panic {
+            panic!("injected fault: session {} frame {index}", self.id);
+        }
+        let frame = self.source.frame(index);
+        self.tracker.run_frame(frame.as_ref(), &mut self.state, scratch)
+    }
+
+    /// Quarantines a panicked frame: consume it, mark the session
+    /// poisoned, and rewind the tracker to its last keyframe checkpoint
+    /// (cold-start when no checkpoint exists yet). The session keeps
+    /// serving — recovery completes at the next detection frame.
+    fn quarantine(&mut self) {
+        self.served += 1;
+        self.poisoned = true;
+        self.poisoned_frames += 1;
+        self.quarantines += 1;
+        if self.recovering_since.is_none() {
+            self.recovering_since = Some(self.served);
+        }
+        if !self.state.restore_from(&self.checkpoint) {
+            self.state.reset();
+        }
     }
 
     /// Snapshot of the session's observable state.
@@ -323,6 +450,12 @@ impl Session {
             completed: self.is_done(),
             deferred: self.deferred,
             max_shed_level: self.max_shed_level,
+            poisoned: self.poisoned,
+            poisoned_frames: self.poisoned_frames,
+            quarantines: self.quarantines,
+            recoveries: self.recoveries,
+            max_recovery_frames: self.max_recovery_frames,
+            deadline_misses: self.deadline_misses,
             p50_ms: self.latency.p50(),
             p99_ms: self.latency.p99(),
             latency_ms: self.latency.samples().to_vec(),
@@ -347,6 +480,23 @@ pub struct SessionReport {
     pub deferred: u64,
     /// Highest shed level stamped on any of this session's frames.
     pub max_shed_level: u8,
+    /// Whether any frame of this session panicked inside the isolation
+    /// boundary. A poisoned session's summary is not comparable to a
+    /// fault-free run; an unpoisoned session's is, bit for bit.
+    pub poisoned: bool,
+    /// Frames whose processing panicked (consumed, never retried).
+    pub poisoned_frames: u64,
+    /// Quarantine events (one per poisoned frame).
+    pub quarantines: u64,
+    /// Completed checkpoint recoveries. A session with
+    /// `recoveries == quarantines` has fully recovered from every
+    /// fault.
+    pub recoveries: u64,
+    /// The longest fault-to-recovery span paid, in served frames
+    /// (`0` when never quarantined).
+    pub max_recovery_frames: u32,
+    /// Frames that exceeded the watchdog deadline.
+    pub deadline_misses: u64,
     /// Median frame latency over the retained window, ms.
     pub p50_ms: f64,
     /// Tail frame latency over the retained window, ms.

@@ -8,10 +8,10 @@
 //! from one `splitmix64` stream, so a seed is a complete description of
 //! the workload.
 
-use hirise::{HiriseError, Result};
+use hirise::HiriseError;
 use hirise_scene::{ScenarioGenerator, ScenarioSpec};
 
-use crate::engine::{AdmitError, ServeEngine};
+use crate::engine::{AdmitError, ServeEngine, ServeError};
 use crate::session::{FrameSource, SessionSpec};
 use crate::shed::Priority;
 
@@ -143,9 +143,13 @@ pub fn source_for(spec: &SessionSpec, width: u32, height: u32) -> Option<FrameSo
 ///
 /// # Errors
 ///
-/// [`HiriseError::InvalidConfig`] for an unknown scenario name or a
-/// degenerate spec; frame failures as for [`ServeEngine::serve`].
-pub fn run_plans(engine: &mut ServeEngine, plans: &[SessionPlan]) -> Result<u64> {
+/// [`HiriseError::InvalidConfig`] (as [`ServeError::Frame`]) for an
+/// unknown scenario name or a degenerate spec; frame failures as for
+/// [`ServeEngine::serve`].
+pub fn run_plans(
+    engine: &mut ServeEngine,
+    plans: &[SessionPlan],
+) -> std::result::Result<u64, ServeError> {
     let (width, height) =
         (engine.config().pipeline.array_width, engine.config().pipeline.array_height);
     let mut next = 0;
@@ -161,7 +165,7 @@ pub fn run_plans(engine: &mut ServeEngine, plans: &[SessionPlan]) -> Result<u64>
             match engine.admit(plan.spec.clone(), source) {
                 Ok(_) | Err(AdmitError::Full { .. }) => {}
                 Err(AdmitError::Invalid { reason }) => {
-                    return Err(HiriseError::InvalidConfig { reason });
+                    return Err(HiriseError::InvalidConfig { reason }.into());
                 }
             }
             next += 1;

@@ -181,7 +181,7 @@ fn admission_cap_refuses_at_the_door() {
 /// Runs the same overloaded fleet under a given serve driver and
 /// returns the per-session summaries in admission order.
 fn run_fleet_with(
-    drive: impl Fn(&mut ServeEngine) -> hirise::Result<u64>,
+    drive: impl Fn(&mut ServeEngine) -> Result<u64, hirise_serve::ServeError>,
 ) -> hirise_serve::ServeSummary {
     let mut engine = ServeEngine::new(serve_config(4)).unwrap();
     admit_fleet(&mut engine, 8, 10);

@@ -261,3 +261,88 @@ proptest! {
         prop_assert_eq!(generator.ground_truth(0).len(), promised);
     }
 }
+
+// ---- Fault-layer drift interaction ----------------------------------
+//
+// The chaos layer's sensor faults must stay *visible* to the temporal
+// policy: a stuck-bright row band (hirise_fault's persistent silicon
+// defect) that lands across a tracked ROI shifts the crop's mean away
+// from its drift reference, so the tracker must re-detect rather than
+// keep reporting a clean tracked frame over corrupted rows.
+
+use hirise::{
+    FrameKind, HiriseConfig, PipelineScratch, SensorConfig, TemporalConfig, TrackerState,
+    TrackingPipeline,
+};
+use hirise_fault::pin_rows;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stuck_bright_rows_over_a_tracked_roi_count_as_drifted(
+        seed in 0u64..400,
+        level in 0.85f32..1.0,
+    ) {
+        const SW: u32 = 96;
+        const SH: u32 = 72;
+        let threshold = 0.08f32;
+        let spec = ScenarioSpec::by_name("defects").expect("fleet preset exists");
+        let scene = ScenarioGenerator::new(spec, SW, SH, seed).frame(0).image;
+        let detector = hirise::DetectorConfig { score_threshold: 0.2, ..Default::default() };
+        let config = HiriseConfig::builder(SW, SH)
+            .pooling(2)
+            .sensor(SensorConfig::noiseless())
+            .detector(detector)
+            .max_rois(4)
+            .roi_margin(4)
+            .build()
+            .unwrap();
+        let tracker = TrackingPipeline::new(
+            config,
+            TemporalConfig::default().keyframe_interval(8).drift_threshold(threshold),
+        )
+        .unwrap();
+        let mut state = TrackerState::new();
+        let mut scratch = PipelineScratch::new();
+        // A keyframe establishes tracks; the static repeat must track
+        // clean before the fault can be blamed for the refresh.
+        tracker.run_frame(&scene, &mut state, &mut scratch).unwrap();
+        let clean = tracker.run_frame(&scene, &mut state, &mut scratch).unwrap();
+        if !state.tracks().is_empty() && clean.kind == FrameKind::Tracked {
+            // Pin a stuck-bright band across every tracked ROI, margin
+            // included, so each drift crop reads the stuck level — and
+            // skip the (rare) cases where a crop's clean mean already
+            // sits at the stuck level, where no cue could exist.
+            let mut faulty = scene.clone();
+            let mut any_gap = false;
+            for track in state.tracks() {
+                let rect = track.base_rect(SW, SH).inflated(8).clamped(SW, SH);
+                let mut sum = 0.0f64;
+                for plane in scene.planes() {
+                    for y in rect.y..rect.bottom() {
+                        let row = plane.row(y);
+                        for x in rect.x..rect.right() {
+                            sum += f64::from(row[x as usize]);
+                        }
+                    }
+                }
+                let mean = sum / (3.0 * rect.area() as f64);
+                if (mean - f64::from(level)).abs() > 2.0 * f64::from(threshold) {
+                    any_gap = true;
+                }
+                pin_rows(&mut faulty, rect.y, rect.h, level);
+            }
+            if any_gap {
+                let before = state.drift_refreshes();
+                let report = tracker.run_frame(&faulty, &mut state, &mut scratch).unwrap();
+                prop_assert!(
+                    report.kind == FrameKind::DriftRefresh,
+                    "stuck-bright rows over a tracked ROI must count as drifted, got {:?}",
+                    report.kind
+                );
+                prop_assert_eq!(state.drift_refreshes(), before + 1);
+            }
+        }
+    }
+}
