@@ -39,6 +39,22 @@
 //! `--max-recovery-frames`, defaulting to the baseline's keyframe
 //! interval (the checkpoint cadence).
 //!
+//! And the **recovery layer**: when a committed
+//! `results/BENCH_recover.json` exists (see the `recover_stages`
+//! binary), the crash-recovery protocol is replayed with the baseline's
+//! own configuration — kill, restore, replay, resume. The deterministic
+//! axes are hard gates: any drop, a kill tick that moved off the
+//! baseline's seeded schedule, a served-frame count that differs from
+//! the baseline, or **any post-restore divergence** (`identical:
+//! false`) fails outright; the replay MTTR is gated against
+//! `--max-replay-frames`, defaulting to the baseline's one-interval
+//! budget (`replay_budget_frames`).
+//!
+//! A baseline that exists but cannot be parsed (truncated, corrupt,
+//! missing fields) is a **configuration error, not a regression**: the
+//! gate prints one `bench_compare: error:` line and exits 2 without
+//! measuring anything.
+//!
 //! ```text
 //! cargo run --release -p hirise-bench --bin bench_compare -- \
 //!     [--baseline results/BENCH_pipeline.json] \
@@ -46,10 +62,11 @@
 //!     [--scenario-dir results/scenarios] \
 //!     [--serve-baseline results/BENCH_serve.json] \
 //!     [--chaos-baseline results/BENCH_chaos.json] \
+//!     [--recover-baseline results/BENCH_recover.json] \
 //!     [--history results/BENCH_history.json] \
 //!     [--max-regress-pct 15] [--max-iou-drop 0.05] \
 //!     [--max-energy-regress-pct 10] [--max-serve-regress-pct 75] \
-//!     [--max-recovery-frames N] \
+//!     [--max-recovery-frames N] [--max-replay-frames N] \
 //!     [--frames N] [--mode keyed|sequential] \
 //!     [--quick | --full]
 //! ```
@@ -59,7 +76,15 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use hirise::NoiseRngMode;
 use hirise_bench::args::Flags;
 use hirise_bench::stages::{json_bool, json_f64, json_str, measure, StageBenchConfig};
-use hirise_bench::{chaos, scenario, serve, video};
+use hirise_bench::{chaos, recover, scenario, serve, video};
+
+/// A malformed baseline or an unwritable history file is a
+/// configuration error, not a regression: print one diagnostic line and
+/// exit 2 (regressions exit 1), never a panic with a backtrace.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("bench_compare: error: {msg}");
+    std::process::exit(2)
+}
 
 /// Gregorian `(year, month, day)` for a Unix day number (days since
 /// 1970-01-01), via Howard Hinnant's civil-from-days algorithm.
@@ -80,7 +105,8 @@ fn civil_from_days(days: i64) -> (i64, u32, u32) {
 /// the file is missing or empty.
 fn append_history(path: &std::path::Path, entry: &str) {
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent).expect("history directory is writable");
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| fail(format!("history directory is not writable: {e}")));
     }
     let text = std::fs::read_to_string(path).unwrap_or_default();
     let updated = match text.rfind(']') {
@@ -92,7 +118,8 @@ fn append_history(path: &std::path::Path, entry: &str) {
         }
         _ => format!("[\n{entry}\n]\n"),
     };
-    std::fs::write(path, updated).expect("history file is writable");
+    std::fs::write(path, updated)
+        .unwrap_or_else(|e| fail(format!("history file {} is not writable: {e}", path.display())));
 }
 
 fn main() {
@@ -102,15 +129,16 @@ fn main() {
     let max_regress_pct: f64 = flags.parsed("max-regress-pct").unwrap_or(15.0);
 
     let baseline = std::fs::read_to_string(baseline_path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-    let base_mean = json_f64(&baseline, "end_to_end_ms_mean")
-        .unwrap_or_else(|| panic!("baseline {baseline_path} lacks end_to_end_ms_mean"));
+        .unwrap_or_else(|e| fail(format!("cannot read baseline {baseline_path}: {e}")));
+    let base_mean = json_f64(&baseline, "end_to_end_ms_mean").unwrap_or_else(|| {
+        fail(format!("baseline {baseline_path} lacks end_to_end_ms_mean (corrupt or truncated?)"))
+    });
     let base_pool = json_f64(&baseline, "pool");
     let array = json_str(&baseline, "array").unwrap_or_else(|| "640x480".into());
     let (width, height) = array
         .split_once('x')
         .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
-        .unwrap_or_else(|| panic!("baseline array {array:?} is not WxH"));
+        .unwrap_or_else(|| fail(format!("baseline {baseline_path} array {array:?} is not WxH")));
     let defaults = StageBenchConfig::default();
     let config = StageBenchConfig {
         width,
@@ -155,7 +183,10 @@ fn main() {
         Ok(temporal_baseline) => {
             let tracked_base =
                 json_f64(&temporal_baseline, "tracked_ms_mean").unwrap_or_else(|| {
-                    panic!("temporal baseline {temporal_baseline_path} lacks tracked_ms_mean")
+                    fail(format!(
+                        "temporal baseline {temporal_baseline_path} lacks tracked_ms_mean \
+                         (corrupt or truncated?)"
+                    ))
                 });
             let defaults = video::VideoBenchConfig::default();
             // Reconstruct the measurement configuration from the
@@ -172,7 +203,9 @@ fn main() {
             let (video_width, video_height) = video_array
                 .split_once('x')
                 .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
-                .unwrap_or_else(|| panic!("temporal baseline array {video_array:?} is not WxH"));
+                .unwrap_or_else(|| {
+                    fail(format!("temporal baseline array {video_array:?} is not WxH"))
+                });
             let video_config = video::VideoBenchConfig {
                 width: video_width,
                 height: video_height,
@@ -225,10 +258,13 @@ fn main() {
             paths.sort();
             for path in &paths {
                 let base = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    panic!("cannot read scenario baseline {}: {e}", path.display())
+                    fail(format!("cannot read scenario baseline {}: {e}", path.display()))
                 });
                 let miss = |field: &str| -> ! {
-                    panic!("scenario baseline {} lacks {field}", path.display())
+                    fail(format!(
+                        "scenario baseline {} lacks {field} (corrupt or truncated?)",
+                        path.display()
+                    ))
                 };
                 let label = json_str(&base, "label").unwrap_or_else(|| miss("label"));
                 let scenario_array = json_str(&base, "array").unwrap_or_else(|| miss("array"));
@@ -236,7 +272,7 @@ fn main() {
                     .split_once('x')
                     .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
                     .unwrap_or_else(|| {
-                        panic!("scenario baseline array {scenario_array:?} is not WxH")
+                        fail(format!("scenario baseline array {scenario_array:?} is not WxH"))
                     });
                 // The whole configuration comes from the baseline itself —
                 // including the frame count, which `--frames` deliberately
@@ -313,13 +349,18 @@ fn main() {
             None
         }
         Ok(serve_baseline) => {
-            let miss =
-                |field: &str| -> ! { panic!("serve baseline {serve_baseline_path} lacks {field}") };
+            let miss = |field: &str| -> ! {
+                fail(format!(
+                    "serve baseline {serve_baseline_path} lacks {field} (corrupt or truncated?)"
+                ))
+            };
             let serve_array = json_str(&serve_baseline, "array").unwrap_or_else(|| miss("array"));
             let (serve_w, serve_h) = serve_array
                 .split_once('x')
                 .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
-                .unwrap_or_else(|| panic!("serve baseline array {serve_array:?} is not WxH"));
+                .unwrap_or_else(|| {
+                    fail(format!("serve baseline array {serve_array:?} is not WxH"))
+                });
             let defaults = serve::ServeBenchConfig::default();
             // The whole configuration comes from the baseline itself —
             // including the session mix and seed: the fresh run must
@@ -412,13 +453,18 @@ fn main() {
             None
         }
         Ok(chaos_baseline) => {
-            let miss =
-                |field: &str| -> ! { panic!("chaos baseline {chaos_baseline_path} lacks {field}") };
+            let miss = |field: &str| -> ! {
+                fail(format!(
+                    "chaos baseline {chaos_baseline_path} lacks {field} (corrupt or truncated?)"
+                ))
+            };
             let chaos_array = json_str(&chaos_baseline, "array").unwrap_or_else(|| miss("array"));
             let (chaos_w, chaos_h) = chaos_array
                 .split_once('x')
                 .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
-                .unwrap_or_else(|| panic!("chaos baseline array {chaos_array:?} is not WxH"));
+                .unwrap_or_else(|| {
+                    fail(format!("chaos baseline array {chaos_array:?} is not WxH"))
+                });
             let defaults = chaos::ChaosBenchConfig::default();
             // The whole configuration — fleet shape, fault coordinates,
             // seed — comes from the baseline itself: the gate replays
@@ -520,6 +566,130 @@ fn main() {
         }
     };
 
+    // Recovery trajectory: the crash-recovery protocol replayed with
+    // the committed baseline's own configuration — kill, restore,
+    // replay, resume. Missing file => skipped (checkouts from before
+    // the recovery layer). Wall-clock costs (snapshot/restore/replay
+    // ms) are reported, not gated; the deterministic axes are hard, and
+    // the replay MTTR rides a one-snapshot-interval frame budget.
+    let recover_baseline_path =
+        flags.value_of("recover-baseline").unwrap_or("results/BENCH_recover.json");
+    let mut recover_failures: Vec<String> = Vec::new();
+    let recover_fresh = match std::fs::read_to_string(recover_baseline_path) {
+        Err(e) => {
+            println!("no recovery baseline at {recover_baseline_path} ({e}); skipping");
+            None
+        }
+        Ok(recover_baseline) => {
+            let miss = |field: &str| -> ! {
+                fail(format!(
+                    "recovery baseline {recover_baseline_path} lacks {field} \
+                     (corrupt or truncated?)"
+                ))
+            };
+            let recover_array =
+                json_str(&recover_baseline, "array").unwrap_or_else(|| miss("array"));
+            let (recover_w, recover_h) = recover_array
+                .split_once('x')
+                .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                .unwrap_or_else(|| {
+                    fail(format!("recovery baseline array {recover_array:?} is not WxH"))
+                });
+            let defaults = recover::RecoverBenchConfig::default();
+            // The whole configuration — fleet shape, snapshot cadence,
+            // crash seed — comes from the baseline itself: the gate
+            // replays the identical kill schedule or the crash-tick
+            // comparison below would be meaningless.
+            let recover_config = recover::RecoverBenchConfig {
+                sessions: json_f64(&recover_baseline, "sessions")
+                    .map_or(defaults.sessions, |v| v as usize),
+                frames_per_session: json_f64(&recover_baseline, "frames_per_session")
+                    .map_or(defaults.frames_per_session, |v| v as u32),
+                width: recover_w,
+                height: recover_h,
+                pooling_k: json_f64(&recover_baseline, "pooling_k")
+                    .map_or(defaults.pooling_k, |v| v as u32),
+                keyframe_interval: json_f64(&recover_baseline, "keyframe_interval")
+                    .map_or(defaults.keyframe_interval, |v| v as u32),
+                snapshot_every: json_f64(&recover_baseline, "snapshot_every")
+                    .map_or(defaults.snapshot_every, |v| v as u64),
+                crash_rate: json_f64(&recover_baseline, "crash_rate")
+                    .unwrap_or(defaults.crash_rate),
+                seed: json_f64(&recover_baseline, "seed").map_or(defaults.seed, |v| v as u64),
+            };
+            // The replay budget defaults to the baseline's own
+            // one-snapshot-interval bound, overridable for tighter
+            // policies.
+            let base_budget = json_f64(&recover_baseline, "replay_budget_frames")
+                .unwrap_or_else(|| miss("replay_budget_frames"))
+                as u64;
+            let max_replay_frames: u64 = flags.parsed("max-replay-frames").unwrap_or(base_budget);
+            let base_frames =
+                json_f64(&recover_baseline, "frames").unwrap_or_else(|| miss("frames")) as u64;
+            let base_crash_tick = json_f64(&recover_baseline, "crash_tick")
+                .unwrap_or_else(|| miss("crash_tick")) as u64;
+            let fresh_recover = recover::measure(&recover_config);
+            println!(
+                "  recovery: killed at tick {} of {}, snapshot {} B, restored in {:.3} ms, \
+                 replay MTTR {} frames (budget {max_replay_frames}) in {:.3} ms, \
+                 {} frames, {} dropped, bit-identical: {}",
+                fresh_recover.crash_tick,
+                fresh_recover.total_ticks,
+                fresh_recover.snapshot_bytes,
+                fresh_recover.restore_ms,
+                fresh_recover.replay_frames,
+                fresh_recover.replay_ms,
+                fresh_recover.frames,
+                fresh_recover.dropped,
+                fresh_recover.identical
+            );
+            if fresh_recover.dropped > 0 {
+                recover_failures.push(format!(
+                    "recovery: {} admitted sessions were dropped — a crash became \
+                     session-fatal",
+                    fresh_recover.dropped
+                ));
+            }
+            if !fresh_recover.identical {
+                recover_failures.push(
+                    "recovery: the restored run diverged from the uninterrupted twin — \
+                     the crash-consistency contract is broken"
+                        .into(),
+                );
+            }
+            if fresh_recover.crash_tick != base_crash_tick {
+                recover_failures.push(format!(
+                    "recovery: the seeded kill landed at tick {} but the baseline \
+                     schedule says {base_crash_tick} — the crash plan is no longer \
+                     deterministic",
+                    fresh_recover.crash_tick
+                ));
+            }
+            if fresh_recover.frames != base_frames {
+                recover_failures.push(format!(
+                    "recovery: served {} frames but the baseline is {base_frames} — \
+                     the recovered workload is no longer deterministic",
+                    fresh_recover.frames
+                ));
+            }
+            if fresh_recover.replay_frames > max_replay_frames {
+                recover_failures.push(format!(
+                    "recovery: replay MTTR {} frames exceeds the allowed \
+                     {max_replay_frames} (one snapshot interval)",
+                    fresh_recover.replay_frames
+                ));
+            }
+            if json_bool(&recover_baseline, "identical") == Some(false) {
+                recover_failures.push(
+                    "recovery: the committed baseline itself records a post-restore \
+                     divergence — regenerate it from a healthy build"
+                        .into(),
+                );
+            }
+            Some(fresh_recover)
+        }
+    };
+
     let epoch_secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
     let (y, m, d) = civil_from_days((epoch_secs / 86_400) as i64);
     let tracked_fields = tracked.as_ref().map_or_else(String::new, |(v, base, delta)| {
@@ -555,12 +725,23 @@ fn main() {
             chaos_failures.len()
         )
     });
+    let recover_fields = recover_fresh.as_ref().map_or_else(String::new, |r| {
+        format!(
+            ", \"recover_replay_frames\": {}, \"recover_snapshot_bytes\": {}, \
+             \"recover_restore_ms\": {:.3}, \"recover_failures\": {}",
+            r.replay_frames,
+            r.snapshot_bytes,
+            r.restore_ms,
+            recover_failures.len()
+        )
+    });
     let entry = format!(
         "  {{ \"date\": \"{y:04}-{m:02}-{d:02}\", \"epoch_secs\": {epoch_secs}, \
          \"array\": \"{array}\", \"pooling_k\": {}, \"mode\": \"{}\", \"frames\": {}, \
          \"end_to_end_ms_mean\": {:.3}, \"pool_ms_mean\": {:.3}, \
          \"baseline_ms_mean\": {base_mean:.3}, \"delta_pct\": \
-         {delta_pct:.2}{tracked_fields}{scenario_fields}{serve_fields}{chaos_fields} }}",
+         {delta_pct:.2}{tracked_fields}{scenario_fields}{serve_fields}{chaos_fields}\
+         {recover_fields} }}",
         config.pooling_k, config.mode, config.frames, fresh.end_to_end_ms_mean, fresh.pool_ms,
     );
     let history = std::path::Path::new(history_path);
@@ -584,7 +765,12 @@ fn main() {
             failed = true;
         }
     }
-    for failure in scenario_failures.iter().chain(&serve_failures).chain(&chaos_failures) {
+    for failure in scenario_failures
+        .iter()
+        .chain(&serve_failures)
+        .chain(&chaos_failures)
+        .chain(&recover_failures)
+    {
         eprintln!("REGRESSION: {failure}");
         failed = true;
     }
@@ -593,6 +779,7 @@ fn main() {
     }
     println!(
         "within budget (+{max_regress_pct:.1} % latency, -{max_iou_drop:.3} IoU, \
-         +{max_energy_pct:.1} % energy, +{max_serve_pct:.1} % serve, chaos clean)"
+         +{max_energy_pct:.1} % energy, +{max_serve_pct:.1} % serve, chaos clean, \
+         recovery bit-identical)"
     );
 }

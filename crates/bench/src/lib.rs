@@ -25,11 +25,15 @@
 //! * [`chaos`] — the fault-injection recovery benchmark (quarantine,
 //!   checkpoint recovery, blast radius) shared by `chaos_stages` and
 //!   the `bench_compare` chaos gate,
+//! * [`recover`] — the crash-recovery benchmark (snapshot cost, replay
+//!   MTTR, post-restore bit-identity) shared by `recover_stages` and
+//!   the `bench_compare` recovery gate,
 //! * [`args`] — tiny CLI-flag helpers shared by the binaries.
 
 pub mod args;
 pub mod chaos;
 pub mod classifier;
+pub mod recover;
 pub mod scenario;
 pub mod serve;
 pub mod stages;

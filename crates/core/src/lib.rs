@@ -58,6 +58,7 @@ pub mod analytical;
 pub mod baseline;
 pub mod config;
 pub mod pipeline;
+pub mod recover;
 pub mod report;
 pub mod roi;
 pub mod scratch;
@@ -70,6 +71,7 @@ mod error;
 pub use config::{HiriseConfig, HiriseConfigBuilder, TemporalConfig};
 pub use error::HiriseError;
 pub use pipeline::{HirisePipeline, PipelineRun};
+pub use recover::RecoverError;
 pub use report::{FrameKind, RunReport, TemporalFrameReport};
 pub use scratch::PipelineScratch;
 pub use stream::{

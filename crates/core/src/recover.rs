@@ -1,0 +1,510 @@
+//! Hand-rolled binary persistence primitives for crash recovery.
+//!
+//! Every durable artifact in the recovery path — the serve layer's
+//! engine snapshot and its arrival journal — shares one envelope
+//! produced by [`Encoder`] and consumed by [`Decoder`]:
+//!
+//! ```text
+//! [magic: 4 bytes][version: u16 LE][payload ...][fnv1a64 checksum: u64 LE]
+//! ```
+//!
+//! The checksum covers everything before it (magic and version
+//! included) and is verified **before** any payload field is read, so a
+//! torn or bit-flipped artifact is rejected whole — a decode can never
+//! observe, let alone restore, half of a corrupted state. All integers
+//! are little-endian; floats are their IEEE-754 bit patterns, so an
+//! encode→decode round trip is bit-exact (NaN payloads included).
+//! Variable-length fields (strings, sequences) carry a `u32` length
+//! prefix that the decoder bounds-checks against the bytes actually
+//! remaining, keeping a malformed length from turning into an
+//! allocation bomb even if it somehow survived the checksum.
+//!
+//! No general-purpose serialization framework is involved, by design:
+//! the repo's no-new-dependencies rule aside, the formats here are
+//! small, versioned, and audited field-by-field — the same posture as
+//! the hand-rolled flat JSON in `hirise-bench`.
+
+use std::fmt;
+
+/// FNV-1a 64-bit hash — the envelope checksum and the config
+/// fingerprint hash. Not cryptographic; it guards against torn writes
+/// and accidental corruption, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a decode was refused. Every variant leaves the caller's state
+/// untouched — the decoder validates the whole envelope up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The byte stream ended before a field (or the envelope itself)
+    /// was complete.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The leading magic did not match the expected artifact kind.
+    BadMagic {
+        /// The magic this decoder expects.
+        expected: [u8; 4],
+        /// The magic found in the stream.
+        found: [u8; 4],
+    },
+    /// The artifact was written by an incompatible format version.
+    UnsupportedVersion {
+        /// The version this decoder reads.
+        expected: u16,
+        /// The version found in the stream.
+        found: u16,
+    },
+    /// The trailing checksum did not match the stream contents.
+    ChecksumMismatch {
+        /// The checksum recomputed over the stream.
+        expected: u64,
+        /// The checksum stored in the trailer.
+        found: u64,
+    },
+    /// A field decoded to a structurally impossible value (an
+    /// out-of-range discriminant, an oversized length, leftover bytes).
+    Malformed {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, available } => {
+                write!(f, "truncated artifact: needed {needed} bytes, {available} available")
+            }
+            Self::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            Self::UnsupportedVersion { expected, found } => {
+                write!(f, "unsupported format version {found} (this build reads {expected})")
+            }
+            Self::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch: stream hashes to {expected:#018x}, trailer says {found:#018x}"
+            ),
+            Self::Malformed { reason } => write!(f, "malformed artifact: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl RecoverError {
+    /// Shorthand for a [`RecoverError::Malformed`] with a formatted
+    /// reason.
+    pub fn malformed(reason: impl Into<String>) -> Self {
+        Self::Malformed { reason: reason.into() }
+    }
+}
+
+/// Append-only writer for one checksummed envelope.
+#[derive(Debug)]
+pub struct Encoder {
+    bytes: Vec<u8>,
+}
+
+impl Encoder {
+    /// Starts an envelope with the given artifact magic and format
+    /// version.
+    pub fn new(magic: [u8; 4], version: u16) -> Self {
+        let mut bytes = Vec::with_capacity(64);
+        bytes.extend_from_slice(&magic);
+        bytes.extend_from_slice(&version.to_le_bytes());
+        Self { bytes }
+    }
+
+    /// Bytes written so far (header included, checksum not yet).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been written (never true: the header is
+    /// written at construction).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(&mut self, value: u8) {
+        self.bytes.push(value);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn u16(&mut self, value: u16) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, value: u32) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, value: u64) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes an `f32` as its IEEE-754 bit pattern (bit-exact round
+    /// trip, NaN included).
+    pub fn f32(&mut self, value: f32) {
+        self.u32(value.to_bits());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    /// Writes a `bool` as one byte (`0` / `1`).
+    pub fn bool(&mut self, value: bool) {
+        self.u8(u8::from(value));
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// If the string exceeds `u32::MAX` bytes — unreachable for the
+    /// session names and scenario tags this format carries.
+    pub fn str(&mut self, value: &str) {
+        self.u32(u32::try_from(value.len()).expect("string exceeds u32 length prefix"));
+        self.bytes.extend_from_slice(value.as_bytes());
+    }
+
+    /// Writes a sequence length prefix; the caller then writes that
+    /// many elements.
+    ///
+    /// # Panics
+    ///
+    /// If the length exceeds `u32::MAX` elements.
+    pub fn seq(&mut self, len: usize) {
+        self.u32(u32::try_from(len).expect("sequence exceeds u32 length prefix"));
+    }
+
+    /// Seals the envelope: appends the FNV-1a checksum of everything
+    /// written and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let checksum = fnv1a64(&self.bytes);
+        self.bytes.extend_from_slice(&checksum.to_le_bytes());
+        self.bytes
+    }
+}
+
+/// Checksum-verified reader for one envelope. Construction validates
+/// the magic, version, and trailing checksum before any field read.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    /// Payload bytes only (header and checksum trailer stripped).
+    payload: &'a [u8],
+    pos: usize,
+}
+
+/// Envelope overhead: magic + version up front, checksum behind.
+const HEADER_LEN: usize = 4 + 2;
+const TRAILER_LEN: usize = 8;
+
+impl<'a> Decoder<'a> {
+    /// Opens an envelope, verifying length, magic, version, and
+    /// checksum — in that order, before a single payload byte is
+    /// exposed.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Truncated`], [`RecoverError::BadMagic`],
+    /// [`RecoverError::UnsupportedVersion`], or
+    /// [`RecoverError::ChecksumMismatch`].
+    pub fn new(bytes: &'a [u8], magic: [u8; 4], version: u16) -> Result<Self, RecoverError> {
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(RecoverError::Truncated {
+                needed: HEADER_LEN + TRAILER_LEN,
+                available: bytes.len(),
+            });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - TRAILER_LEN);
+        let found_magic: [u8; 4] = body[..4].try_into().expect("split guarantees 4 bytes");
+        if found_magic != magic {
+            return Err(RecoverError::BadMagic { expected: magic, found: found_magic });
+        }
+        let found_version = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
+        if found_version != version {
+            return Err(RecoverError::UnsupportedVersion {
+                expected: version,
+                found: found_version,
+            });
+        }
+        let expected = fnv1a64(body);
+        let found = u64::from_le_bytes(trailer.try_into().expect("split guarantees 8 bytes"));
+        if expected != found {
+            return Err(RecoverError::ChecksumMismatch { expected, found });
+        }
+        Ok(Self { payload: &body[HEADER_LEN..], pos: 0 })
+    }
+
+    /// Payload bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.payload.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], RecoverError> {
+        if self.remaining() < len {
+            return Err(RecoverError::Truncated { needed: len, available: self.remaining() });
+        }
+        let slice = &self.payload[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Truncated`]. (All field reads share this
+    /// contract; the per-method docs below omit the repetition.)
+    pub fn u8(&mut self) -> Result<u8, RecoverError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Decoder::u8`].
+    pub fn u16(&mut self) -> Result<u16, RecoverError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a `u32`, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Decoder::u8`].
+    pub fn u32(&mut self) -> Result<u32, RecoverError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Decoder::u8`].
+    pub fn u64(&mut self) -> Result<u64, RecoverError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f32` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Decoder::u8`].
+    pub fn f32(&mut self) -> Result<f32, RecoverError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Decoder::u8`].
+    pub fn f64(&mut self) -> Result<f64, RecoverError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`, rejecting any byte other than `0` / `1`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Decoder::u8`], plus [`RecoverError::Malformed`] on a
+    /// non-boolean byte.
+    pub fn bool(&mut self) -> Result<bool, RecoverError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(RecoverError::malformed(format!("bool byte {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Decoder::u8`], plus [`RecoverError::Malformed`] on
+    /// invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, RecoverError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| RecoverError::malformed(format!("non-UTF-8 string: {e}")))
+    }
+
+    /// Reads a sequence length prefix, bounds-checked against the bytes
+    /// remaining (each element occupies at least `min_element_bytes`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Decoder::u8`], plus [`RecoverError::Malformed`] when
+    /// the prefix promises more elements than the payload could hold.
+    pub fn seq(&mut self, min_element_bytes: usize) -> Result<usize, RecoverError> {
+        let len = self.u32()? as usize;
+        let floor = len.saturating_mul(min_element_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(RecoverError::malformed(format!(
+                "sequence of {len} elements needs ≥ {floor} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Asserts the payload was consumed exactly — trailing garbage in
+    /// an otherwise well-formed envelope is still a malformed artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Malformed`] when bytes remain.
+    pub fn finish(self) -> Result<(), RecoverError> {
+        if self.remaining() != 0 {
+            return Err(RecoverError::malformed(format!(
+                "{} unread bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: [u8; 4] = *b"HRTS";
+
+    fn sample() -> Vec<u8> {
+        let mut enc = Encoder::new(MAGIC, 3);
+        enc.u8(7);
+        enc.u16(0xBEEF);
+        enc.u32(0xDEAD_BEEF);
+        enc.u64(u64::MAX - 1);
+        enc.f32(f32::NAN);
+        enc.f64(-0.0);
+        enc.bool(true);
+        enc.str("keyframe");
+        enc.seq(2);
+        enc.u8(1);
+        enc.u8(2);
+        enc.finish()
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let bytes = sample();
+        let mut dec = Decoder::new(&bytes, MAGIC, 3).unwrap();
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u16().unwrap(), 0xBEEF);
+        assert_eq!(dec.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.u64().unwrap(), u64::MAX - 1);
+        // NaN round-trips by bit pattern, not by (un)equality.
+        assert_eq!(dec.f32().unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(dec.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(dec.bool().unwrap());
+        assert_eq!(dec.str().unwrap(), "keyframe");
+        assert_eq!(dec.seq(1).unwrap(), 2);
+        assert_eq!(dec.u8().unwrap(), 1);
+        assert_eq!(dec.u8().unwrap(), 2);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let bytes = sample();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                let err = Decoder::new(&corrupt, MAGIC, 3)
+                    .err()
+                    .unwrap_or_else(|| panic!("flip at byte {byte} bit {bit} accepted"));
+                // Flips in the header surface as magic/version errors;
+                // everywhere else (payload or trailer) the checksum
+                // catches them.
+                match (byte, err) {
+                    (0..=3, RecoverError::BadMagic { .. }) => {}
+                    (4..=5, RecoverError::UnsupportedVersion { .. }) => {}
+                    (_, RecoverError::ChecksumMismatch { .. }) => {}
+                    (_, other) => panic!("flip at byte {byte} bit {bit}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_caught_at_every_length() {
+        let bytes = sample();
+        for len in 0..bytes.len() {
+            assert!(
+                Decoder::new(&bytes[..len], MAGIC, 3).is_err(),
+                "prefix of {len} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_refused() {
+        let bytes = sample();
+        assert!(matches!(Decoder::new(&bytes, *b"NOPE", 3), Err(RecoverError::BadMagic { .. })));
+        assert!(matches!(
+            Decoder::new(&bytes, MAGIC, 4),
+            Err(RecoverError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_sequence_prefixes_are_malformed_not_allocated() {
+        let mut enc = Encoder::new(MAGIC, 1);
+        enc.u32(u32::MAX); // promises 4 billion elements, delivers none
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes, MAGIC, 1).unwrap();
+        assert!(matches!(dec.seq(8), Err(RecoverError::Malformed { .. })));
+    }
+
+    #[test]
+    fn trailing_garbage_fails_finish() {
+        let mut enc = Encoder::new(MAGIC, 1);
+        enc.u32(5);
+        let bytes = enc.finish();
+        let dec = Decoder::new(&bytes, MAGIC, 1).unwrap();
+        assert!(matches!(dec.finish(), Err(RecoverError::Malformed { .. })));
+    }
+
+    #[test]
+    fn non_boolean_bytes_are_rejected() {
+        let mut enc = Encoder::new(MAGIC, 1);
+        enc.u8(2);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes, MAGIC, 1).unwrap();
+        assert!(matches!(dec.bool(), Err(RecoverError::Malformed { .. })));
+    }
+
+    #[test]
+    fn fnv_matches_the_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -21,7 +21,10 @@
 //! * **Serve** ([`serve`]): simulated session stalls for the deadline
 //!   watchdog, plus the explicit panic schedule the acceptance tests
 //!   pin — both delivered through [`ChaosInjector`], an implementation
-//!   of [`hirise_serve::FaultInjector`].
+//!   of [`hirise_serve::FaultInjector`] — and whole-process crashes at
+//!   tick boundaries ([`CrashPlan`]), the kill schedule behind the
+//!   serve layer's snapshot + journal warm-restart
+//!   (`hirise_serve::recover`).
 //!
 //! The recovery machinery these faults exercise lives where the state
 //! lives: `hirise-serve` quarantines a panicking session behind its
@@ -53,4 +56,4 @@ pub mod serve;
 
 pub use plan::{domain, FaultConfig, FaultPlan, PipelineFaults, SensorFaults, ServeFaults};
 pub use sensor::{apply_frame_faults, pin_rows, FrameFaultLog};
-pub use serve::{faulty_source_for, ChaosInjector};
+pub use serve::{faulty_source_for, ChaosInjector, CrashPlan};

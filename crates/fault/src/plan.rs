@@ -41,6 +41,9 @@ pub mod domain {
     pub const PANIC: u64 = 0x16;
     /// Injected session stalls (simulated latency).
     pub const STALL: u64 = 0x17;
+    /// Injected process crashes (the whole engine dies at a tick
+    /// boundary and must warm-restart from snapshot + journal).
+    pub const CRASH: u64 = 0x18;
 
     /// Packs a `(domain, site)` pair into one sub-stream id, the same
     /// `(domain << 56) | site` layout the scenario generator uses.
@@ -104,11 +107,14 @@ pub struct ServeFaults {
     pub stall_rate: f64,
     /// Simulated stall magnitude, ms.
     pub stall_ms: f64,
+    /// Per-tick probability of a whole-process crash (consulted at tick
+    /// boundaries by [`crate::CrashPlan`]).
+    pub crash_rate: f64,
 }
 
 impl Default for ServeFaults {
     fn default() -> Self {
-        Self { stall_rate: 0.0, stall_ms: 100.0 }
+        Self { stall_rate: 0.0, stall_ms: 100.0, crash_rate: 0.0 }
     }
 }
 
@@ -126,12 +132,22 @@ pub struct FaultConfig {
     /// [`PipelineFaults::panic_rate`] — the acceptance scenario pins its
     /// fault here rather than fishing for a rate draw.
     pub panic_at: Vec<(u64, u32)>,
+    /// Explicit `(site, tick)` process-crash injections, independent of
+    /// [`ServeFaults::crash_rate`] — the recovery acceptance pins its
+    /// crash tick here.
+    pub crash_at: Vec<(u64, u64)>,
 }
 
 impl FaultConfig {
     /// Adds an explicit panic at `(site, frame)`.
     pub fn panic_at(mut self, site: u64, frame: u32) -> Self {
         self.panic_at.push((site, frame));
+        self
+    }
+
+    /// Adds an explicit process crash at `(site, tick)`.
+    pub fn crash_at(mut self, site: u64, tick: u64) -> Self {
+        self.crash_at.push((site, tick));
         self
     }
 
@@ -151,6 +167,7 @@ impl FaultConfig {
             ("panic_rate", self.pipeline.panic_rate),
             ("nan_rate", self.pipeline.nan_rate),
             ("stall_rate", self.serve.stall_rate),
+            ("crash_rate", self.serve.crash_rate),
         ];
         for (name, rate) in rates {
             // `!(…)` keeps NaN out as well as the out-of-range values.

@@ -65,6 +65,47 @@ impl FaultInjector for ChaosInjector {
     }
 }
 
+/// The process-death half of the fault model: decides at which tick
+/// boundaries a whole engine dies, keyed by `site` (a fleet or replica
+/// id, so independent replicas draw independent crash schedules).
+///
+/// Explicit [`crate::FaultConfig::crash_at`] entries fire first, then
+/// the seeded [`crate::ServeFaults::crash_rate`] — the same
+/// explicit-then-rate layering as [`ChaosInjector`]. Pure in
+/// `(seed, site, tick)`, so a crash schedule reproduces exactly across
+/// reruns, which is what lets the recovery tests pin warm-restart
+/// outputs bit-identical to uninterrupted runs.
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    plan: Arc<FaultPlan>,
+}
+
+impl CrashPlan {
+    /// Creates a crash schedule over a shared plan.
+    pub fn new(plan: Arc<FaultPlan>) -> Self {
+        Self { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the process at `site` dies at the boundary of `tick` —
+    /// the oracle shape `hirise_serve::run_plans_journaled` consumes.
+    pub fn crashes_at(&self, site: u64, tick: u64) -> bool {
+        let config = self.plan.config();
+        config.crash_at.contains(&(site, tick))
+            || self.plan.chance(domain::CRASH, site, tick, config.serve.crash_rate)
+    }
+
+    /// The first crash tick for `site` in `ticks`, if any — how a bench
+    /// turns an open-ended schedule into one concrete kill point.
+    pub fn first_crash_in(&self, site: u64, ticks: std::ops::Range<u64>) -> Option<u64> {
+        ticks.into_iter().find(|&tick| self.crashes_at(site, tick))
+    }
+}
+
 /// A scenario-backed frame source whose frames pass through the plan's
 /// sensor faults, keyed by `site` (`None` for an unknown scenario
 /// name). The fault-free counterpart of this source is exactly
@@ -155,6 +196,44 @@ mod tests {
             panic!("unexpected source shape");
         };
         assert_eq!(a(0), b(0), "same plan and site must reproduce");
+    }
+
+    #[test]
+    fn explicit_crashes_override_the_rate() {
+        let crash = CrashPlan::new(arc_plan(FaultConfig::default().crash_at(0, 7)));
+        assert!(crash.crashes_at(0, 7));
+        assert!(!crash.crashes_at(0, 6));
+        assert!(!crash.crashes_at(1, 7), "the schedule is per-site");
+        assert_eq!(crash.first_crash_in(0, 0..32), Some(7));
+        assert_eq!(crash.first_crash_in(1, 0..32), None);
+    }
+
+    #[test]
+    fn seeded_crash_schedule_is_pure_and_site_separated() {
+        let mut config = FaultConfig::default();
+        config.serve.crash_rate = 0.2;
+        let crash = CrashPlan::new(arc_plan(config));
+        let schedule: Vec<bool> = (0..64).map(|t| crash.crashes_at(3, t)).collect();
+        assert_eq!(schedule, (0..64).map(|t| crash.crashes_at(3, t)).collect::<Vec<_>>());
+        assert!(schedule.contains(&true), "rate 0.2 over 64 ticks should fire");
+        assert!(schedule.contains(&false));
+        assert_ne!(
+            schedule,
+            (0..64).map(|t| crash.crashes_at(4, t)).collect::<Vec<_>>(),
+            "different sites must draw different schedules"
+        );
+        assert_eq!(
+            crash.first_crash_in(3, 0..64),
+            (0..64).find(|&t| schedule[t as usize]),
+            "first_crash_in must agree with the per-tick oracle"
+        );
+    }
+
+    #[test]
+    fn crash_rate_is_validated_as_a_probability() {
+        let mut bad = FaultConfig::default();
+        bad.serve.crash_rate = 2.0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

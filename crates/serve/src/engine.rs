@@ -377,22 +377,25 @@ impl std::fmt::Display for ServeSummary {
 /// The multi-tenant engine. See the module docs for the lifecycle.
 #[derive(Debug)]
 pub struct ServeEngine {
-    config: ServeConfig,
+    // Fields are `pub(crate)` (not private) solely for the snapshot /
+    // restore codec in [`crate::recover`], which must see the whole
+    // slab to persist it.
+    pub(crate) config: ServeConfig,
     /// The session slab: `max_sessions` fixed slots.
-    slots: Vec<Option<Session>>,
+    pub(crate) slots: Vec<Option<Session>>,
     /// Free slot indices (top of the stack is the next admission's
     /// slot); seeded in reverse so slots fill in index order.
-    free: Vec<usize>,
+    pub(crate) free: Vec<usize>,
     /// The serial-path scratch, reused across every frame of every
     /// session.
     scratch: PipelineScratch,
-    ticks: u64,
-    admitted: u64,
-    rejected: u64,
-    active: usize,
-    base_level: u8,
-    max_base_level: u8,
-    completed: Vec<SessionReport>,
+    pub(crate) ticks: u64,
+    pub(crate) admitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) active: usize,
+    pub(crate) base_level: u8,
+    pub(crate) max_base_level: u8,
+    pub(crate) completed: Vec<SessionReport>,
 }
 
 impl ServeEngine {

@@ -74,6 +74,7 @@
 pub mod engine;
 pub mod fault;
 pub mod metrics;
+pub mod recover;
 pub mod session;
 pub mod shed;
 pub mod traffic;
@@ -81,6 +82,10 @@ pub mod traffic;
 pub use engine::{AdmitError, ServeConfig, ServeEngine, ServeError, ServeSummary, SessionId};
 pub use fault::{FaultAction, FaultInjector};
 pub use metrics::{nearest_rank, LatencyReservoir};
+pub use recover::{
+    config_fingerprint, run_plans_journaled, ArrivalJournal, EngineSnapshot, JournalRecord,
+    JournaledOutcome, ReplayError, RestoreError, SourceFactory,
+};
 pub use session::{FrameSource, SessionReport, SessionSpec};
 pub use shed::{Priority, ShedPolicy};
 pub use traffic::{generate, run_plans, source_for, SessionPlan, TrafficConfig};

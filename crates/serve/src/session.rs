@@ -441,6 +441,127 @@ impl Session {
         }
     }
 
+    /// Serializes every persistent field of this slab entry into an
+    /// open snapshot envelope. The live tracker state is captured
+    /// through a fresh [`TrackerCheckpoint`] (the same persistent-field
+    /// projection quarantine recovery uses — per-frame association
+    /// buffers are rebuilt on the next frame anyway), alongside the
+    /// separate recovery-anchor checkpoint, which may lag it by up to
+    /// one keyframe interval.
+    pub(crate) fn encode_into(&self, enc: &mut hirise::recover::Encoder) {
+        crate::recover::encode_spec(&self.spec, enc);
+        enc.u64(self.id.0);
+        let mut live = TrackerCheckpoint::new();
+        self.state.checkpoint_into(&mut live);
+        live.encode_into(enc);
+        self.checkpoint.encode_into(enc);
+        crate::recover::encode_summary(&self.summary, enc);
+        self.latency.encode_into(enc);
+        enc.seq(self.queue.len);
+        for k in 0..self.queue.len {
+            let (frame, level) =
+                self.queue.entries[(self.queue.head + k) % self.queue.entries.len()];
+            enc.u32(frame);
+            enc.u8(level);
+        }
+        enc.u32(self.next_frame);
+        enc.u32(self.pending);
+        enc.u32(self.served);
+        enc.u64(self.deferred);
+        enc.u64(self.ticks);
+        enc.u8(self.applied_level);
+        enc.u8(self.max_shed_level);
+        enc.bool(self.poisoned);
+        enc.u64(self.poisoned_frames);
+        enc.u64(self.quarantines);
+        enc.u64(self.recoveries);
+        enc.bool(self.recovering_since.is_some());
+        enc.u32(self.recovering_since.unwrap_or(0));
+        enc.u32(self.max_recovery_frames);
+        enc.u64(self.deadline_misses);
+        enc.u8(self.watchdog_boost);
+    }
+
+    /// Rebuilds a slab entry written by [`Session::encode_into`]. The
+    /// frame source is not serializable (it may hold a closure), so
+    /// `source_for` regenerates it from the decoded spec — sources are
+    /// pure in `(spec, seed)`, which is what makes the rebuilt session
+    /// serve bit-identical frames.
+    pub(crate) fn decode_from(
+        dec: &mut hirise::recover::Decoder<'_>,
+        config: &ServeConfig,
+        source_for: &dyn Fn(&SessionSpec) -> Option<FrameSource>,
+    ) -> std::result::Result<Self, crate::recover::RestoreError> {
+        use crate::recover::RestoreError;
+        let spec = crate::recover::decode_spec(dec)?;
+        let id = SessionId(dec.u64()?);
+        let live = TrackerCheckpoint::decode_from(dec)?;
+        let anchor = TrackerCheckpoint::decode_from(dec)?;
+        let summary = crate::recover::decode_summary(dec)?;
+        let latency = LatencyReservoir::decode_from(dec)?;
+        let queued = dec.seq(5)?;
+        if queued > config.queue_capacity {
+            return Err(hirise::RecoverError::malformed(format!(
+                "session {id}: {queued} queued frames exceed the queue capacity {}",
+                config.queue_capacity
+            ))
+            .into());
+        }
+        let mut entries = Vec::with_capacity(queued);
+        for _ in 0..queued {
+            entries.push((dec.u32()?, dec.u8()?));
+        }
+        let source = source_for(&spec).ok_or_else(|| RestoreError::Source {
+            name: spec.name.clone(),
+            scenario: spec.scenario.clone(),
+        })?;
+        let mut session = Session::new(id, spec, source, config).map_err(RestoreError::Invalid)?;
+        for entry in entries {
+            let pushed = session.queue.push(entry);
+            debug_assert!(pushed, "capacity checked above");
+        }
+        session.next_frame = dec.u32()?;
+        session.pending = dec.u32()?;
+        session.served = dec.u32()?;
+        session.deferred = dec.u64()?;
+        session.ticks = dec.u64()?;
+        session.applied_level = dec.u8()?;
+        session.max_shed_level = dec.u8()?;
+        session.poisoned = dec.bool()?;
+        session.poisoned_frames = dec.u64()?;
+        session.quarantines = dec.u64()?;
+        session.recoveries = dec.u64()?;
+        let recovering = dec.bool()?;
+        let since = dec.u32()?;
+        session.recovering_since = recovering.then_some(since);
+        session.max_recovery_frames = dec.u32()?;
+        session.deadline_misses = dec.u64()?;
+        session.watchdog_boost = dec.u8()?;
+        // Re-apply the shed rung the tracker was configured at — the
+        // same lazy policy swap `serve_one` performs on a stamped-level
+        // transition.
+        if session.applied_level != 0 {
+            let (temporal, margin) = config.shed.apply(
+                session.applied_level,
+                config.temporal,
+                config.pipeline.roi_margin,
+            );
+            session.tracker.set_temporal(temporal).map_err(RestoreError::Invalid)?;
+            if session.tracker.pipeline().config().roi_margin != margin {
+                session.tracker.set_roi_margin(margin);
+            }
+        }
+        if !session.state.restore_from(&live) {
+            // A never-captured live checkpoint means the session had
+            // served nothing; the fresh state is already correct.
+            session.state.reset();
+        }
+        session.checkpoint = anchor;
+        session.summary = summary;
+        session.latency = latency;
+        Ok(session)
+    }
+
     /// Snapshot of the session's observable state.
     pub(crate) fn report(&self) -> SessionReport {
         SessionReport {
