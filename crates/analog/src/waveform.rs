@@ -74,13 +74,19 @@ impl Waveform {
     /// Panics on an empty waveform.
     pub fn sample_at(&self, t: f64) -> f64 {
         assert!(!self.is_empty(), "cannot sample an empty waveform");
+        // A NaN time samples to NaN; letting it reach the search would
+        // walk past the end (the old `partial_cmp().unwrap()` panicked
+        // mid-search instead).
+        if t.is_nan() {
+            return f64::NAN;
+        }
         if t <= self.times[0] {
             return self.values[0];
         }
         if t >= *self.times.last().unwrap() {
             return *self.values.last().unwrap();
         }
-        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).unwrap()) {
+        let idx = match self.times.binary_search_by(|probe| probe.total_cmp(&t)) {
             Ok(i) => return self.values[i],
             Err(i) => i,
         };
@@ -158,6 +164,18 @@ mod tests {
     #[test]
     fn from_samples_checks_length() {
         assert!(Waveform::from_samples(vec![0.0], vec![]).is_err());
+    }
+
+    #[test]
+    fn sample_at_nan_time_is_nan_not_a_panic() {
+        // The old `partial_cmp().unwrap()` panicked inside the binary
+        // search; a NaN sample time now propagates NaN, and ordinary
+        // interpolation is untouched.
+        let w = ramp();
+        assert!(w.sample_at(f64::NAN).is_nan());
+        assert_eq!(w.sample_at(0.5), 5.0);
+        assert_eq!(w.sample_at(-1.0), 0.0);
+        assert_eq!(w.sample_at(9.0), 20.0);
     }
 
     #[test]

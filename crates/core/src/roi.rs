@@ -37,6 +37,7 @@ pub fn detections_to_rois(
 /// frame path: the ROI list replaces the contents of `out`, and `order`
 /// is a reusable index buffer for the stable score sort (ties keep the
 /// detector's output order, exactly like the allocating path).
+// lint: zero-alloc
 #[allow(clippy::too_many_arguments)]
 pub fn detections_to_rois_into(
     detections: &[Detection],

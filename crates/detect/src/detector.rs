@@ -193,7 +193,11 @@ impl Detector {
             .min_by(|(_, a), (_, b)| {
                 let da = (aspect / a).ln().abs();
                 let db = (aspect / b).ln().abs();
-                da.partial_cmp(&db).expect("aspects are positive")
+                // `total_cmp` keeps the argmin total when a
+                // non-positive configured aspect makes `ln()` go NaN
+                // (the old `partial_cmp().expect()` panicked): NaN
+                // distances rank behind every real one.
+                da.total_cmp(&db)
             })
             .map(|(c, _)| *c)
             .expect("non-empty class list")
@@ -387,6 +391,17 @@ mod tests {
         let mut plane = Plane::filled(96, 96, 0.35);
         draw::fill_stripes(&mut plane, Rect::new(32, 28, 20, 40), 2, 0.85, 0.15);
         GrayImage::from_plane(plane).into()
+    }
+
+    #[test]
+    fn classify_survives_nan_aspect_distances() {
+        // A non-positive configured aspect makes the log-distance NaN;
+        // the argmin must pick the finite candidate instead of panicking
+        // (the old `partial_cmp().expect("aspects are positive")`).
+        let config =
+            DetectorConfig { class_aspects: vec![(7, -1.0), (3, 1.0)], ..Default::default() };
+        let detector = Detector::new(config);
+        assert_eq!(detector.classify(Rect::new(0, 0, 10, 10)), 3);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Detection evaluation: greedy IoU matching, precision/recall and
 //! COCO-style 101-point interpolated average precision.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: evaluation code shares the deterministic
+// crates' no-unordered-iteration lint contract, and the ordered map
+// costs nothing here.
+use std::collections::BTreeMap;
 
 use hirise_imaging::Rect;
 
@@ -79,9 +82,20 @@ pub fn average_precision(
             flat.push((img, *d));
         }
     }
-    flat.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).expect("finite scores"));
+    // NaN scores rank last (same policy as the NMS sort) instead of the
+    // old `partial_cmp().expect()` panic on one poisoned detection.
+    flat.sort_by(|a, b| {
+        let (sa, sb) = (a.1.score, b.1.score);
+        sa.is_nan().cmp(&sb.is_nan()).then_with(|| {
+            if sa.is_nan() {
+                std::cmp::Ordering::Equal
+            } else {
+                sb.total_cmp(&sa)
+            }
+        })
+    });
 
-    let mut matched: HashMap<(usize, usize), bool> = HashMap::new();
+    let mut matched: BTreeMap<(usize, usize), bool> = BTreeMap::new();
     let mut tp = vec![0u32; flat.len()];
     let mut fp = vec![0u32; flat.len()];
     for (rank, (img, det)) in flat.iter().enumerate() {
@@ -179,6 +193,18 @@ mod tests {
         let dets = vec![vec![det(0, 10, 10, 20, 20, 0.9), det(0, 50, 50, 10, 10, 0.8)]];
         let ap = average_precision(&dets, &gts, 0, 0.5);
         assert!(ap > 0.999, "ap {ap}");
+    }
+
+    #[test]
+    fn nan_scores_rank_last_without_panicking() {
+        // A poisoned detection ranks behind every real one (so it can
+        // only cost precision, never a panic — the old
+        // `partial_cmp().expect("finite scores")` died here).
+        let gts = vec![vec![gt(0, 10, 10, 20, 20)]];
+        let dets = vec![vec![det(0, 10, 10, 20, 20, f32::NAN), det(0, 10, 10, 20, 20, 0.9)]];
+        let ap = average_precision(&dets, &gts, 0, 0.5);
+        assert!(ap.is_finite() && (0.0..=1.0).contains(&ap), "ap {ap}");
+        assert!(ap > 0.999, "the finite-scored true positive ranks first: {ap}");
     }
 
     #[test]

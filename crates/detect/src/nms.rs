@@ -42,6 +42,7 @@ pub fn nms(mut detections: Vec<Detection>, iou_threshold: f64) -> Vec<Detection>
 /// overlapping ones via a bitmask, with box areas precomputed once and
 /// the kept box's edges hoisted out of the inner loop — no per-pair
 /// `Rect` recomputation.
+// lint: zero-alloc
 pub fn nms_in_place(dets: &mut Vec<Detection>, iou_threshold: f64, scratch: &mut NmsScratch) {
     let NmsScratch { order, spill, areas, suppressed } = scratch;
     sort_by_score_desc(dets, order, spill);
@@ -85,6 +86,7 @@ pub fn nms_in_place(dets: &mut Vec<Detection>, iou_threshold: f64, scratch: &mut
 /// their input order (the result is identical to a *stable* sort), which
 /// matters because truncation after sorting must pick a deterministic
 /// subset. `order` and `spill` are reusable scratch buffers.
+// lint: zero-alloc
 pub fn sort_by_score_desc(
     dets: &mut Vec<Detection>,
     order: &mut Vec<u32>,
@@ -93,12 +95,15 @@ pub fn sort_by_score_desc(
     order.clear();
     order.extend(0..dets.len() as u32);
     // sort_unstable never allocates; the index tiebreak restores
-    // stability.
+    // stability. NaN scores — of either sign — sort behind every real
+    // score in input order (same policy as `detections_to_rois_into`):
+    // the old `partial_cmp().expect()` panicked on one poisoned window,
+    // killing the whole frame.
     order.sort_unstable_by(|&a, &b| {
-        dets[b as usize]
-            .score
-            .partial_cmp(&dets[a as usize].score)
-            .expect("scores are finite")
+        let (sa, sb) = (dets[a as usize].score, dets[b as usize].score);
+        sa.is_nan()
+            .cmp(&sb.is_nan())
+            .then_with(|| if sa.is_nan() { std::cmp::Ordering::Equal } else { sb.total_cmp(&sa) })
             .then(a.cmp(&b))
     });
     spill.clear();
@@ -118,6 +123,30 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(nms(vec![], 0.5).is_empty());
+    }
+
+    #[test]
+    fn nan_scores_sort_last_without_panicking() {
+        // One poisoned window must not kill the frame: NaN scores — of
+        // either sign — rank behind every real score in input order,
+        // and the finite prefix keeps its descending order.
+        let mut dets = vec![
+            det(0, 0, 4, 4, 0.5),
+            det(20, 0, 4, 4, f32::NAN),
+            det(40, 0, 4, 4, 0.9),
+            det(60, 0, 4, 4, -f32::NAN),
+        ];
+        let mut order = Vec::new();
+        let mut spill = Vec::new();
+        sort_by_score_desc(&mut dets, &mut order, &mut spill);
+        assert_eq!(dets[0].score, 0.9);
+        assert_eq!(dets[1].score, 0.5);
+        assert!(dets[2].score.is_nan() && dets[2].bbox.x == 20, "NaNs keep input order");
+        assert!(dets[3].score.is_nan() && dets[3].bbox.x == 60);
+        // The full NMS pass over NaN-scored overlaps must not panic
+        // either.
+        let kept = nms(vec![det(0, 0, 10, 10, f32::NAN), det(1, 1, 10, 10, 0.9)], 0.4);
+        assert_eq!(kept[0].score, 0.9);
     }
 
     #[test]

@@ -21,35 +21,16 @@
 
 use rand::rngs::KeyedRng;
 
-/// Sub-stream domain tags, mirroring the scenario generator's keyed
-/// defect streams (`hirise_scene`): one domain per fault family, so no
-/// two families ever correlate.
+/// Sub-stream domain tags: one domain per fault family, so no two
+/// families ever correlate. The values live in the central seed-keyed
+/// registry ([`hirise_scene::domains`]) alongside the scenario
+/// generator's defect streams — one namespace, statically checked for
+/// collisions by `hirise-lint` — and are re-exported here so fault code
+/// keeps its `domain::*` spelling.
 pub mod domain {
-    /// Persistently dead (all-zero) sensor rows.
-    pub const DEAD_ROW: u64 = 0x11;
-    /// Persistently stuck (fixed-level) sensor rows.
-    pub const STUCK_ROW: u64 = 0x12;
-    /// Whole-frame blanking (a dropped exposure reads as black).
-    pub const BLANK: u64 = 0x13;
-    /// Saturation bursts: a band of rows pinned at full scale for a
-    /// contiguous window of frames.
-    pub const SATURATE: u64 = 0x14;
-    /// NaN speckle: isolated pixels whose value is NaN, which poisons
-    /// downstream feature scores.
-    pub const NAN: u64 = 0x15;
-    /// Injected panics inside the serve-side frame critical section.
-    pub const PANIC: u64 = 0x16;
-    /// Injected session stalls (simulated latency).
-    pub const STALL: u64 = 0x17;
-    /// Injected process crashes (the whole engine dies at a tick
-    /// boundary and must warm-restart from snapshot + journal).
-    pub const CRASH: u64 = 0x18;
-
-    /// Packs a `(domain, site)` pair into one sub-stream id, the same
-    /// `(domain << 56) | site` layout the scenario generator uses.
-    pub fn stream(domain: u64, site: u64) -> u64 {
-        (domain << 56) | (site & ((1 << 56) - 1))
-    }
+    pub use hirise_scene::domains::{
+        stream, BLANK, CRASH, DEAD_ROW, NAN, PANIC, SATURATE, STALL, STUCK_ROW,
+    };
 }
 
 /// Sensor-side fault rates. All rates are probabilities in `[0, 1]`;

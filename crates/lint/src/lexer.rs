@@ -1,0 +1,459 @@
+//! A small, self-contained Rust lexer — just enough syntax awareness
+//! for reliable token-level rules.
+//!
+//! The rules must never fire on the word `unsafe` inside a string, a
+//! doc example, or a comment, so the lexer handles every Rust construct
+//! that can *hide* text: line comments, nested block comments, plain
+//! and raw strings (any `#` depth), byte strings, char literals, and
+//! the `'a`-lifetime vs `'a'`-char-literal ambiguity. It does not
+//! parse; rules pattern-match over the token stream.
+//!
+//! Positions are 1-based `(line, col)` pairs, columns counted in
+//! characters.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `as`, `partial_cmp`, ...);
+    /// raw identifiers keep their `r#` prefix in the text, so
+    /// `r#unsafe` never matches the keyword `unsafe`.
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text includes the quote).
+    Lifetime,
+    /// A character or byte literal, quotes included.
+    Char,
+    /// A string literal of any flavour (plain, raw, byte), delimiters
+    /// included.
+    Str,
+    /// A numeric literal (integer of any base, or a float prefix).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// A line or block comment, markers included. Block comments may
+    /// span lines; [`Token::line`] is the starting line.
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based starting line.
+    pub line: u32,
+    /// 1-based starting column, in characters.
+    pub col: u32,
+}
+
+impl Token {
+    /// Lines this token spans (1 for everything but block comments and
+    /// multi-line strings).
+    pub fn line_span(&self) -> u32 {
+        let newlines = self.text.chars().filter(|&c| c == '\n').count();
+        // A token is bounded by the source size; u32 holds any
+        // realistic line count.
+        newlines as u32 + 1
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes while `pred` holds, appending to `out`.
+    fn take_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `source` into a token stream (comments included, whitespace
+/// dropped). Unterminated constructs consume to end of input instead of
+/// failing: a linter must keep going on imperfect files.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lx = Lexer { chars: source.chars().collect(), i: 0, line: 1, col: 1 };
+    let mut tokens = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let token = |kind: TokenKind, text: String| Token { kind, text, line, col };
+        match c {
+            '/' if lx.peek(1) == Some('/') => {
+                let mut text = String::new();
+                lx.take_while(&mut text, |c| c != '\n');
+                tokens.push(token(TokenKind::Comment, text));
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                tokens.push(token(TokenKind::Comment, lex_block_comment(&mut lx)));
+            }
+            '\'' => match classify_quote(&lx) {
+                QuoteKind::Lifetime => {
+                    let mut text = String::new();
+                    text.push(lx.bump().expect("peeked"));
+                    lx.take_while(&mut text, is_ident_continue);
+                    tokens.push(token(TokenKind::Lifetime, text));
+                }
+                QuoteKind::Char => {
+                    tokens.push(token(TokenKind::Char, lex_char(&mut lx)));
+                }
+            },
+            '"' => tokens.push(token(TokenKind::Str, lex_string(&mut lx))),
+            'r' | 'b' => {
+                if let Some(text) = try_lex_prefixed_literal(&mut lx) {
+                    let kind = if text.ends_with('\'') { TokenKind::Char } else { TokenKind::Str };
+                    tokens.push(token(kind, text));
+                } else if lx.peek(0) == Some('r') && lx.peek(1) == Some('#') {
+                    // Raw identifier: `r#unsafe` is *not* the keyword
+                    // `unsafe`, so the prefix stays in the token text
+                    // and keyword-matching rules never see it.
+                    let mut text = String::new();
+                    text.push(lx.bump().expect("peeked"));
+                    text.push(lx.bump().expect("peeked"));
+                    lx.take_while(&mut text, is_ident_continue);
+                    tokens.push(token(TokenKind::Ident, text));
+                } else {
+                    let mut text = String::new();
+                    lx.take_while(&mut text, is_ident_continue);
+                    tokens.push(token(TokenKind::Ident, text));
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                lx.take_while(&mut text, is_ident_continue);
+                tokens.push(token(TokenKind::Ident, text));
+            }
+            c if c.is_ascii_digit() => tokens.push(token(TokenKind::Num, lex_number(&mut lx))),
+            _ => {
+                let mut text = String::new();
+                text.push(lx.bump().expect("peeked"));
+                tokens.push(token(TokenKind::Punct, text));
+            }
+        }
+    }
+    tokens
+}
+
+/// `'` is either a lifetime (`'a`, `'static`, `'_`) or a char literal
+/// (`'a'`, `'\n'`, `'\u{1F600}'`): an ident run directly after the
+/// quote is a lifetime exactly when it is *not* followed by a closing
+/// quote.
+enum QuoteKind {
+    Lifetime,
+    Char,
+}
+
+fn classify_quote(lx: &Lexer) -> QuoteKind {
+    match lx.peek(1) {
+        Some('\\') => QuoteKind::Char,
+        Some(c) if is_ident_start(c) => {
+            let mut j = 2;
+            while let Some(c) = lx.peek(j) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                j += 1;
+            }
+            if lx.peek(j) == Some('\'') {
+                QuoteKind::Char
+            } else {
+                QuoteKind::Lifetime
+            }
+        }
+        _ => QuoteKind::Char,
+    }
+}
+
+fn lex_char(lx: &mut Lexer) -> String {
+    let mut text = String::new();
+    text.push(lx.bump().expect("opening quote")); // '
+    while let Some(c) = lx.peek(0) {
+        if c == '\n' {
+            break; // Unterminated; don't swallow the file.
+        }
+        text.push(lx.bump().expect("peeked"));
+        if c == '\\' {
+            // The escaped char (or the `u` of `\u{...}`) can never
+            // close the literal.
+            if let Some(e) = lx.peek(0) {
+                if e != '\n' {
+                    text.push(lx.bump().expect("peeked"));
+                }
+            }
+            continue;
+        }
+        if c == '\'' && text.len() > 1 {
+            break;
+        }
+    }
+    text
+}
+
+fn lex_string(lx: &mut Lexer) -> String {
+    let mut text = String::new();
+    text.push(lx.bump().expect("opening quote")); // "
+    while let Some(c) = lx.peek(0) {
+        text.push(lx.bump().expect("peeked"));
+        match c {
+            '\\' => {
+                if let Some(e) = lx.peek(0) {
+                    text.push(e);
+                    lx.bump();
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    text
+}
+
+/// Attempts `r"..."`, `r#"..."#` (any hash depth), `b"..."`, `b'x'`,
+/// `br#"..."#` from the current position; returns `None` (consuming
+/// nothing) if the prefix is an ordinary identifier instead.
+fn try_lex_prefixed_literal(lx: &mut Lexer) -> Option<String> {
+    let mut j = 0;
+    let mut byte = false;
+    let mut raw = false;
+    if lx.peek(j) == Some('b') {
+        byte = true;
+        j += 1;
+    }
+    if lx.peek(j) == Some('r') {
+        raw = true;
+        j += 1;
+    }
+    if !byte && !raw {
+        return None;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while lx.peek(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    match lx.peek(j) {
+        Some('"') => {}
+        Some('\'') if byte && !raw => {
+            // Byte char literal: `b'x'`.
+            let mut text = String::new();
+            text.push(lx.bump().expect("b"));
+            text.push_str(&lex_char(lx));
+            return Some(text);
+        }
+        _ => return None,
+    }
+    let mut text = String::new();
+    for _ in 0..=j {
+        text.push(lx.bump().expect("scanned prefix"));
+    }
+    if !raw {
+        // b"...": plain string escapes.
+        while let Some(c) = lx.peek(0) {
+            text.push(lx.bump().expect("peeked"));
+            match c {
+                '\\' => {
+                    if let Some(e) = lx.peek(0) {
+                        text.push(e);
+                        lx.bump();
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        return Some(text);
+    }
+    // Raw body: ends at `"` + `hashes` hash marks, no escapes.
+    while let Some(c) = lx.peek(0) {
+        text.push(lx.bump().expect("peeked"));
+        if c == '"' {
+            let mut k = 0;
+            while k < hashes && lx.peek(k) == Some('#') {
+                k += 1;
+            }
+            if k == hashes {
+                for _ in 0..hashes {
+                    text.push(lx.bump().expect("counted"));
+                }
+                break;
+            }
+        }
+    }
+    Some(text)
+}
+
+fn lex_block_comment(lx: &mut Lexer) -> String {
+    let mut text = String::new();
+    text.push(lx.bump().expect("slash"));
+    text.push(lx.bump().expect("star"));
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (lx.peek(0), lx.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                text.push(lx.bump().expect("peeked"));
+                text.push(lx.bump().expect("peeked"));
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                text.push(lx.bump().expect("peeked"));
+                text.push(lx.bump().expect("peeked"));
+            }
+            (Some(_), _) => {
+                text.push(lx.bump().expect("peeked"));
+            }
+            (None, _) => break, // Unterminated.
+        }
+    }
+    text
+}
+
+fn lex_number(lx: &mut Lexer) -> String {
+    let mut text = String::new();
+    let mut saw_dot = false;
+    while let Some(c) = lx.peek(0) {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            lx.bump();
+        } else if c == '.' && !saw_dot && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            saw_dot = true;
+            text.push(c);
+            lx.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+/// Parses an integer literal's value: decimal, `0x`/`0o`/`0b`, `_`
+/// separators, and an optional type suffix (`u64`, `u32`, ...).
+pub fn parse_int(text: &str) -> Option<u64> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let lower = cleaned.to_ascii_lowercase();
+    let (digits, radix) = if let Some(rest) = lower.strip_prefix("0x") {
+        (rest, 16)
+    } else if let Some(rest) = lower.strip_prefix("0o") {
+        (rest, 8)
+    } else if let Some(rest) = lower.strip_prefix("0b") {
+        (rest, 2)
+    } else {
+        (lower.as_str(), 10)
+    };
+    let digits = digits
+        .strip_suffix("u64")
+        .or_else(|| digits.strip_suffix("u32"))
+        .or_else(|| digits.strip_suffix("u16"))
+        .or_else(|| digits.strip_suffix("u8"))
+        .or_else(|| digits.strip_suffix("usize"))
+        .or_else(|| digits.strip_suffix("i64"))
+        .or_else(|| digits.strip_suffix("i32"))
+        .unwrap_or(digits);
+    u64::from_str_radix(digits, radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'a'".into())));
+        let toks = kinds("let c = '\\''; let l: &'static str = s;");
+        assert!(toks.contains(&(TokenKind::Char, "'\\''".into())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::Comment);
+        assert!(toks[1].1.contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r####"let s = r#"an "unsafe" string"#; x"####);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("unsafe"));
+        // The word inside the string is not an ident token.
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes_do_not_eat_identifiers() {
+        let toks = kinds("let bytes = b\"ab\"; let r = rows; let b = 1; br#\"x\"#;");
+        assert!(toks.contains(&(TokenKind::Str, "b\"ab\"".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "rows".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "b".into())));
+        assert!(toks.contains(&(TokenKind::Str, "br#\"x\"#".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix() {
+        let toks = kinds("let r#unsafe = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#unsafe".into())));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn int_literals_parse_in_every_base() {
+        assert_eq!(parse_int("0x11"), Some(0x11));
+        assert_eq!(parse_int("0b1010"), Some(10));
+        assert_eq!(parse_int("1_000u64"), Some(1000));
+        assert_eq!(parse_int("56"), Some(56));
+        assert_eq!(parse_int("3.5"), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! hirise-lint: workspace invariant checker.
+//!
+//! The workspace's correctness story rests on contracts the compiler
+//! cannot see: bit-identical outputs across worker counts (so no
+//! unordered-map iteration and no NaN-sensitive comparators in shipped
+//! code), zero allocations on marked hot paths, an auditable `SAFETY`
+//! story for every `unsafe`, and one central registry for keyed-RNG
+//! domain tags so streams can never collide silently. This crate
+//! enforces those contracts at the token level — its own lexer (the
+//! build environment is offline, so no syn), a rule engine, and a CLI
+//! run by CI as a hard gate.
+//!
+//! See [`rules::RULES`] for the rule set and `rules` module docs for
+//! the waiver syntax.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use report::{Finding, Report};
+pub use rules::{lint_file, Context};
+pub use walk::{classify, FileScope, Section};
+
+/// Lints every `.rs` file under `root` (a workspace checkout) and
+/// returns the aggregated, sorted report.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let registry_source = fs::read_to_string(root.join(rules::REGISTRY_REL_PATH)).ok();
+    let ctx = Context::new(registry_source.as_deref());
+    let mut report = Report::default();
+    for path in walk::workspace_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let scope = classify(&rel);
+        let source = fs::read_to_string(&path)?;
+        report.findings.extend(lint_file(&scope, &source, &ctx));
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

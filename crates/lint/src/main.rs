@@ -1,0 +1,110 @@
+//! CLI for the workspace invariant checker.
+//!
+//! Exit codes: `0` clean (or waived-only), `1` unwaived findings,
+//! `2` usage or I/O error — so CI can distinguish "contract violated"
+//! from "the linter itself failed to run".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hirise_lint::{find_workspace_root, lint_workspace, rules};
+
+const USAGE: &str = "\
+hirise-lint: workspace invariant checker
+
+USAGE:
+  hirise-lint [--root DIR] [--json FILE] [--quiet]
+  hirise-lint --list-rules
+
+OPTIONS:
+  --root DIR    Workspace root (default: ascend from cwd to the
+                directory whose Cargo.toml declares [workspace])
+  --json FILE   Also write the findings report as JSON
+  --quiet       Suppress per-finding lines; print only the summary
+  --list-rules  Print rule ids and one-line descriptions, then exit
+  -h, --help    Show this help
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage_error("--json needs a value"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--list-rules" => {
+                for (id, desc) in rules::RULES {
+                    println!("{id:24} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => return run_error(&format!("cannot read cwd: {e}")),
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => return run_error("no workspace root found; pass --root"),
+            }
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return run_error(&format!("lint walk failed: {e}")),
+    };
+
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            return run_error(&format!("cannot write {}: {e}", path.display()));
+        }
+    }
+
+    if !quiet {
+        for f in report.unwaived() {
+            println!("{f}");
+        }
+    }
+    let unwaived = report.unwaived_count();
+    println!(
+        "hirise-lint: {} unwaived finding(s), {} waived, {} files scanned",
+        unwaived,
+        report.waived_count(),
+        report.files_scanned
+    );
+    if unwaived > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("hirise-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn run_error(msg: &str) -> ExitCode {
+    eprintln!("hirise-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,141 @@
+//! Findings, the aggregated report, and its JSON serialization.
+//!
+//! The JSON writer is hand-rolled (the build environment is offline —
+//! no serde): a flat, stable schema so CI scripts can consume the
+//! report without a Rust toolchain.
+
+/// One rule violation at one source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `unsafe-needs-safety`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// True when an inline `// lint:allow(rule): reason` covers it.
+    pub waived: bool,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}: [{}] {}", self.path, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// The whole run's outcome.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    /// Every finding, waived ones included, ordered by
+    /// (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Files lexed and checked.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a waiver — the gate fails on any.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    pub fn unwaived_count(&self) -> usize {
+        self.unwaived().count()
+    }
+
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+
+    /// Canonical ordering: path, then position, then rule id.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+    }
+
+    /// The machine-readable report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"unwaived\": {},\n", self.unwaived_count()));
+        out.push_str(&format!("  \"waived\": {},\n", self.waived_count()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": \"{}\", ", escape(f.rule)));
+            out.push_str(&format!("\"path\": \"{}\", ", escape(&f.path)));
+            out.push_str(&format!("\"line\": {}, \"col\": {}, ", f.line, f.col));
+            out.push_str(&format!("\"waived\": {}, ", f.waived));
+            out.push_str(&format!("\"message\": \"{}\"", escape(&f.message)));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut report = Report {
+            findings: vec![
+                Finding {
+                    rule: "no-nan-unwrap",
+                    path: "b/quote\"d.rs".into(),
+                    line: 3,
+                    col: 7,
+                    message: "say \"hi\"\n".into(),
+                    waived: false,
+                },
+                Finding {
+                    rule: "unsafe-needs-safety",
+                    path: "a.rs".into(),
+                    line: 1,
+                    col: 1,
+                    message: "m".into(),
+                    waived: true,
+                },
+            ],
+            files_scanned: 2,
+        };
+        report.sort();
+        assert_eq!(report.findings[0].path, "a.rs");
+        assert_eq!(report.unwaived_count(), 1);
+        assert_eq!(report.waived_count(), 1);
+        let json = report.to_json();
+        assert!(json.contains("\"unwaived\": 1"));
+        assert!(json.contains("quote\\\"d.rs"));
+        assert!(json.contains("\\\"hi\\\"\\n"));
+    }
+}

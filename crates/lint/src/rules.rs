@@ -1,0 +1,876 @@
+//! The rule engine: six token-level rules plus the waiver validator.
+//!
+//! Rules operate on the [`crate::lexer`] token stream of one file at a
+//! time, with a per-line map (significant code / comment / `SAFETY` /
+//! continuation) layered on top so comment-placement conventions
+//! survive rustfmt's line breaking.
+//!
+//! Waiver syntax (the reason is mandatory):
+//! `lint:allow(rule-a, rule-b): reason` in a line comment, either
+//! trailing the offending line or on its own line directly above it.
+//! Zero-alloc regions open with a `lint: zero-alloc` line comment
+//! placed above the item; the region is the next brace-matched block.
+
+use crate::lexer::{lex, parse_int, Token, TokenKind};
+use crate::report::Finding;
+use crate::walk::{FileScope, Section};
+
+/// Rule ids and one-line summaries, in severity-neutral id order.
+pub const RULES: &[(&str, &str)] = &[
+    ("unsafe-needs-safety", "every `unsafe` must carry a `// SAFETY:` comment"),
+    ("rng-domain-registry", "keyed-RNG domain tags must come from the central registry"),
+    ("hot-path-no-alloc", "no allocating calls inside `zero-alloc` marked regions"),
+    ("no-unordered-iteration", "no HashMap/HashSet in deterministic non-test code"),
+    ("no-lossy-counter-cast", "no narrowing `as` casts on accumulator values"),
+    ("no-nan-unwrap", "no `partial_cmp(..).unwrap()`/`.expect()` on float orderings"),
+    ("invalid-waiver", "lint directives must name known rules and give a reason"),
+];
+
+/// Where the central domain-tag registry lives, workspace-relative.
+pub const REGISTRY_REL_PATH: &str = "crates/scene/src/domains.rs";
+
+/// One `const NAME: u64 = <literal>;` parsed from the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryTag {
+    pub name: String,
+    pub value: u64,
+    pub line: u32,
+}
+
+/// Workspace-level configuration shared across files.
+#[derive(Debug, Clone)]
+pub struct Context {
+    pub registry_rel_path: String,
+    pub registry: Vec<RegistryTag>,
+    /// Crate directory names bound by the bit-identical-output
+    /// contract; `bench` (timing harness) and the `compat-*` shims for
+    /// external crates are exempt.
+    pub deterministic_crates: Vec<String>,
+}
+
+impl Context {
+    /// Builds the standard workspace context; pass the registry file's
+    /// source when it exists so duplicate tags can be checked.
+    pub fn new(registry_source: Option<&str>) -> Self {
+        let deterministic = [
+            "analog",
+            "core",
+            "detect",
+            "energy",
+            "fault",
+            "hirise-repro",
+            "imaging",
+            "lint",
+            "nn",
+            "scene",
+            "sensor",
+            "serve",
+        ];
+        Self {
+            registry_rel_path: REGISTRY_REL_PATH.to_string(),
+            registry: registry_source.map(parse_registry).unwrap_or_default(),
+            deterministic_crates: deterministic.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Extracts `const NAME: u64 = <int literal>;` items — the registry's
+/// domain tags. Non-u64 consts (e.g. the `u32` shift width) are not
+/// tags and are skipped.
+pub fn parse_registry(source: &str) -> Vec<RegistryTag> {
+    let tokens = lex(source);
+    let scan = Scan::new(&tokens);
+    let mut tags = Vec::new();
+    for k in 0..scan.len() {
+        if scan.is_ident(k, "const")
+            && scan.kind(k + 1) == Some(TokenKind::Ident)
+            && scan.is_punct(k + 2, ":")
+            && scan.is_ident(k + 3, "u64")
+            && scan.is_punct(k + 4, "=")
+            && scan.kind(k + 5) == Some(TokenKind::Num)
+            && scan.is_punct(k + 6, ";")
+        {
+            let name_tok = scan.tok(k + 1).expect("checked");
+            let value = parse_int(&scan.tok(k + 5).expect("checked").text);
+            if let Some(value) = value {
+                tags.push(RegistryTag { name: name_tok.text.clone(), value, line: name_tok.line });
+            }
+        }
+    }
+    tags
+}
+
+/// Lints one file; returns findings with waivers already applied.
+pub fn lint_file(scope: &FileScope, source: &str, ctx: &Context) -> Vec<Finding> {
+    let tokens = lex(source);
+    let scan = Scan::new(&tokens);
+    let lines = LineInfo::build(source, &tokens, &scan);
+    let mut findings = Vec::new();
+    let directives = collect_directives(scope, &tokens, &scan, &lines, &mut findings);
+
+    rule_unsafe(scope, &scan, &lines, &mut findings);
+    rule_registry(scope, ctx, &scan, &mut findings);
+    rule_alloc(scope, &scan, &directives.regions, &mut findings);
+    rule_unordered(scope, ctx, &scan, &lines, &mut findings);
+    rule_cast(scope, &scan, &lines, &mut findings);
+    rule_nan(scope, &scan, &lines, &mut findings);
+
+    for f in &mut findings {
+        if f.rule != "invalid-waiver"
+            && directives
+                .waivers
+                .iter()
+                .any(|w| w.line == f.line && w.rules.iter().any(|r| r == f.rule))
+        {
+            f.waived = true;
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Token-stream scanning helpers
+// ---------------------------------------------------------------------
+
+/// Indexed view over the significant (non-comment) tokens.
+struct Scan<'a> {
+    tokens: &'a [Token],
+    sig: Vec<usize>,
+}
+
+impl<'a> Scan<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        let sig = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokenKind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        Self { tokens, sig }
+    }
+
+    fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// The `k`-th significant token.
+    fn tok(&self, k: usize) -> Option<&Token> {
+        self.sig.get(k).map(|&i| &self.tokens[i])
+    }
+
+    fn kind(&self, k: usize) -> Option<TokenKind> {
+        self.tok(k).map(|t| t.kind)
+    }
+
+    fn is_punct(&self, k: usize, p: &str) -> bool {
+        self.tok(k).is_some_and(|t| t.kind == TokenKind::Punct && t.text == p)
+    }
+
+    fn is_ident(&self, k: usize, name: &str) -> bool {
+        self.tok(k).is_some_and(|t| t.kind == TokenKind::Ident && t.text == name)
+    }
+
+    fn ident(&self, k: usize) -> Option<&str> {
+        self.tok(k).and_then(|t| (t.kind == TokenKind::Ident).then_some(t.text.as_str()))
+    }
+
+    /// First significant token at or after raw token index `raw`.
+    fn first_sig_after(&self, raw: usize) -> Option<usize> {
+        self.sig.iter().position(|&i| i > raw)
+    }
+
+    /// Index of the close delimiter matching the open one at `k`.
+    fn match_forward(&self, k: usize, open: &str, close: &str) -> Option<usize> {
+        let mut depth = 0usize;
+        for j in k..self.len() {
+            if self.is_punct(j, open) {
+                depth += 1;
+            } else if self.is_punct(j, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+        None
+    }
+
+    /// Index of the open delimiter matching the close one at `k`.
+    fn match_backward(&self, k: usize, open: &str, close: &str) -> Option<usize> {
+        let mut depth = 0usize;
+        for j in (0..=k).rev() {
+            if self.is_punct(j, close) {
+                depth += 1;
+            } else if self.is_punct(j, open) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn finding(rule: &'static str, scope: &FileScope, tok: &Token, message: String) -> Finding {
+    Finding {
+        rule,
+        path: scope.rel_path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        waived: false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-line map
+// ---------------------------------------------------------------------
+
+/// Per-line facts, 1-indexed (index 0 unused).
+struct LineInfo {
+    /// Line holds at least one significant token.
+    sig: Vec<bool>,
+    /// Line is touched by a comment token.
+    commented: Vec<bool>,
+    /// A comment on the line contains `SAFETY`.
+    safety: Vec<bool>,
+    /// First character of the line's first significant token.
+    first_char: Vec<char>,
+    /// Line's last significant token implies the statement continues on
+    /// the next line (rustfmt breaks after `=`, `(`, `.`, operators).
+    cont: Vec<bool>,
+    /// Line sits inside a `#[cfg(test)]` / `#[test]` region.
+    test: Vec<bool>,
+}
+
+impl LineInfo {
+    fn build(source: &str, tokens: &[Token], scan: &Scan) -> Self {
+        let n = source.lines().count() + 3;
+        let mut info = LineInfo {
+            sig: vec![false; n],
+            commented: vec![false; n],
+            safety: vec![false; n],
+            first_char: vec![' '; n],
+            cont: vec![false; n],
+            test: vec![false; n],
+        };
+        let mut last_sig: Vec<Option<(TokenKind, String)>> = vec![None; n];
+        for t in tokens {
+            let l = t.line as usize;
+            if l >= n {
+                continue;
+            }
+            if t.kind == TokenKind::Comment {
+                let end = (l + t.line_span() as usize - 1).min(n - 1);
+                for li in l..=end {
+                    info.commented[li] = true;
+                    if t.text.contains("SAFETY") {
+                        info.safety[li] = true;
+                    }
+                }
+            } else {
+                info.sig[l] = true;
+                if info.first_char[l] == ' ' {
+                    info.first_char[l] = t.text.chars().next().unwrap_or(' ');
+                }
+                last_sig[l] = Some((t.kind, t.text.clone()));
+            }
+        }
+        for (l, last) in last_sig.iter().enumerate() {
+            if let Some((kind, text)) = last {
+                info.cont[l] = continues_statement(*kind, text);
+            }
+        }
+        mark_test_regions(scan, &mut info);
+        info
+    }
+
+    fn get(v: &[bool], line: u32) -> bool {
+        v.get(line as usize).copied().unwrap_or(false)
+    }
+
+    fn is_test(&self, line: u32) -> bool {
+        Self::get(&self.test, line)
+    }
+}
+
+/// Does a line ending in this token leave its statement open?
+fn continues_statement(kind: TokenKind, text: &str) -> bool {
+    match kind {
+        TokenKind::Punct => {
+            matches!(
+                text,
+                "=" | "("
+                    | "["
+                    | "{"
+                    | ","
+                    | "."
+                    | "+"
+                    | "-"
+                    | "*"
+                    | "/"
+                    | "%"
+                    | "<"
+                    | ">"
+                    | "&"
+                    | "|"
+                    | "^"
+                    | "?"
+                    | ":"
+            )
+        }
+        TokenKind::Ident => matches!(text, "return" | "else" | "in" | "if" | "match" | "where"),
+        _ => false,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` (incl. `cfg(all(test, ...))`) and
+/// `#[test]` items by brace-matching the attached block.
+fn mark_test_regions(scan: &Scan, info: &mut LineInfo) {
+    let mut k = 0usize;
+    while k < scan.len() {
+        if !(scan.is_punct(k, "#") && scan.is_punct(k + 1, "[")) {
+            k += 1;
+            continue;
+        }
+        let Some(close) = scan.match_forward(k + 1, "[", "]") else {
+            break;
+        };
+        let mut has_cfg = false;
+        let mut has_test = false;
+        let mut idents = 0usize;
+        for j in k + 2..close {
+            if let Some(name) = scan.ident(j) {
+                idents += 1;
+                has_cfg |= name == "cfg";
+                has_test |= name == "test";
+            }
+        }
+        if has_test && (has_cfg || idents == 1) {
+            // Skip stacked attributes between the test attr and item.
+            let mut m = close + 1;
+            while scan.is_punct(m, "#") && scan.is_punct(m + 1, "[") {
+                match scan.match_forward(m + 1, "[", "]") {
+                    Some(c) => m = c + 1,
+                    None => break,
+                }
+            }
+            let mut j = m;
+            while j < scan.len() {
+                if scan.is_punct(j, ";") {
+                    break; // `#[cfg(test)] mod tests;` — body elsewhere.
+                }
+                if scan.is_punct(j, "{") {
+                    if let Some(end) = scan.match_forward(j, "{", "}") {
+                        let (a, b) = (
+                            scan.tok(j).expect("checked").line as usize,
+                            scan.tok(end).expect("checked").line as usize,
+                        );
+                        for li in a..=b.min(info.test.len() - 1) {
+                            info.test[li] = true;
+                        }
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+        k = close + 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directives: waivers and zero-alloc markers
+// ---------------------------------------------------------------------
+
+struct Waiver {
+    rules: Vec<String>,
+    /// The source line the waiver covers.
+    line: u32,
+}
+
+/// A zero-alloc region: the brace-matched block after the marker.
+struct Region {
+    start: u32,
+    end: u32,
+}
+
+struct Directives {
+    waivers: Vec<Waiver>,
+    regions: Vec<Region>,
+}
+
+/// A comment is a directive only when `lint:` starts it (after the
+/// comment markers) — prose *mentioning* the syntax mid-sentence is not
+/// parsed.
+fn directive_text(comment: &str) -> Option<&str> {
+    let body = comment.trim_start_matches(['/', '*', '!']).trim_start();
+    body.strip_prefix("lint:").map(str::trim_start)
+}
+
+fn collect_directives(
+    scope: &FileScope,
+    tokens: &[Token],
+    scan: &Scan,
+    lines: &LineInfo,
+    findings: &mut Vec<Finding>,
+) -> Directives {
+    let mut directives = Directives { waivers: Vec::new(), regions: Vec::new() };
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some(rest) = directive_text(&t.text) else {
+            continue;
+        };
+        if let Some(spec) = rest.strip_prefix("allow(") {
+            parse_waiver(scope, t, spec, lines, &mut directives.waivers, findings);
+        } else if rest.starts_with("zero-alloc") {
+            match region_after(scan, i) {
+                Some(region) => directives.regions.push(region),
+                None => findings.push(finding(
+                    "invalid-waiver",
+                    scope,
+                    t,
+                    "`lint: zero-alloc` marker is not followed by a braced block".to_string(),
+                )),
+            }
+        } else {
+            findings.push(finding(
+                "invalid-waiver",
+                scope,
+                t,
+                format!("unrecognized lint directive `lint: {}`", rest.trim_end()),
+            ));
+        }
+    }
+    directives
+}
+
+fn parse_waiver(
+    scope: &FileScope,
+    t: &Token,
+    spec: &str,
+    lines: &LineInfo,
+    waivers: &mut Vec<Waiver>,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(close) = spec.find(')') else {
+        findings.push(finding(
+            "invalid-waiver",
+            scope,
+            t,
+            "malformed waiver; expected `lint:allow(rule): reason`".to_string(),
+        ));
+        return;
+    };
+    let rules: Vec<String> =
+        spec[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    let after = spec[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(|r| r.trim_end_matches("*/").trim()).unwrap_or("");
+    if reason.is_empty() {
+        findings.push(finding(
+            "invalid-waiver",
+            scope,
+            t,
+            "waiver must give a reason: `lint:allow(rule): reason`".to_string(),
+        ));
+        return;
+    }
+    let mut ok = true;
+    for r in &rules {
+        if !RULES.iter().any(|(id, _)| id == r) {
+            findings.push(finding(
+                "invalid-waiver",
+                scope,
+                t,
+                format!("unknown rule `{r}` in waiver"),
+            ));
+            ok = false;
+        }
+    }
+    if rules.is_empty() {
+        findings.push(finding("invalid-waiver", scope, t, "waiver names no rules".to_string()));
+        ok = false;
+    }
+    if !ok {
+        return;
+    }
+    // Trailing waivers cover their own line; standalone waivers cover
+    // the next line holding code.
+    let covered = if LineInfo::get(&lines.sig, t.line) {
+        Some(t.line)
+    } else {
+        let end = t.line + t.line_span() - 1;
+        (end + 1..lines.sig.len() as u32).find(|&l| LineInfo::get(&lines.sig, l))
+    };
+    match covered {
+        Some(line) => waivers.push(Waiver { rules, line }),
+        None => {
+            findings.push(finding("invalid-waiver", scope, t, "waiver covers no code".to_string()))
+        }
+    }
+}
+
+/// The brace-matched block opened by the first `{` after raw token
+/// index `marker_raw`.
+fn region_after(scan: &Scan, marker_raw: usize) -> Option<Region> {
+    let mut k = scan.first_sig_after(marker_raw)?;
+    while k < scan.len() {
+        if scan.is_punct(k, "{") {
+            let end = scan.match_forward(k, "{", "}")?;
+            return Some(Region { start: scan.tok(k)?.line, end: scan.tok(end)?.line });
+        }
+        k += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Rule: unsafe-needs-safety
+// ---------------------------------------------------------------------
+
+fn rule_unsafe(scope: &FileScope, scan: &Scan, lines: &LineInfo, findings: &mut Vec<Finding>) {
+    for k in 0..scan.len() {
+        if !scan.is_ident(k, "unsafe") {
+            continue;
+        }
+        let t = scan.tok(k).expect("checked");
+        if !safety_covers(t.line, lines) {
+            findings.push(finding(
+                "unsafe-needs-safety",
+                scope,
+                t,
+                "`unsafe` without a `// SAFETY:` comment explaining why the contract holds"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Walks upward from the `unsafe` token's line looking for a `SAFETY`
+/// comment, crossing comment-only lines, attribute lines, and
+/// continuation lines (rustfmt may break `let x =` / `foo(` onto the
+/// line above the `unsafe` token).
+fn safety_covers(line: u32, lines: &LineInfo) -> bool {
+    if LineInfo::get(&lines.safety, line) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let (sig, commented) = (LineInfo::get(&lines.sig, l), LineInfo::get(&lines.commented, l));
+        if commented && !sig {
+            if LineInfo::get(&lines.safety, l) {
+                return true;
+            }
+        } else if sig && lines.first_char.get(l as usize) == Some(&'#') {
+            // Attribute line; keep walking.
+        } else if sig && LineInfo::get(&lines.cont, l) {
+            if LineInfo::get(&lines.safety, l) {
+                return true;
+            }
+        } else {
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Rule: rng-domain-registry
+// ---------------------------------------------------------------------
+
+fn rule_registry(scope: &FileScope, ctx: &Context, scan: &Scan, findings: &mut Vec<Finding>) {
+    if scope.rel_path == ctx.registry_rel_path {
+        registry_self_check(scope, ctx, findings);
+        return;
+    }
+    for k in 0..scan.len() {
+        // A crate-local `mod domain { const X: u64 = <literal>; ... }`
+        // re-creates the registry; re-export modules (no literals) are
+        // fine.
+        if scan.is_ident(k, "mod") {
+            if let Some(name) = scan.ident(k + 1) {
+                if (name == "domain" || name == "domains") && scan.is_punct(k + 2, "{") {
+                    if let Some(end) = scan.match_forward(k + 2, "{", "}") {
+                        if (k + 2..end).any(|j| is_u64_const_literal(scan, j)) {
+                            let t = scan.tok(k).expect("checked");
+                            findings.push(finding(
+                                "rng-domain-registry",
+                                scope,
+                                t,
+                                format!(
+                                    "module `{name}` defines literal RNG domain tags outside \
+                                     the central registry ({REGISTRY_REL_PATH}); add them \
+                                     there or re-export"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // A numeric literal as the domain argument of `stream(...)`
+        // bypasses the registry's collision checking.
+        if scan.is_ident(k, "stream")
+            && scan.is_punct(k + 1, "(")
+            && scan.kind(k + 2) == Some(TokenKind::Num)
+        {
+            let t = scan.tok(k + 2).expect("checked");
+            findings.push(finding(
+                "rng-domain-registry",
+                scope,
+                t,
+                format!(
+                    "literal domain tag `{}` passed to `stream()`; name it in the central \
+                     registry ({REGISTRY_REL_PATH})",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn is_u64_const_literal(scan: &Scan, k: usize) -> bool {
+    scan.is_ident(k, "const")
+        && scan.kind(k + 1) == Some(TokenKind::Ident)
+        && scan.is_punct(k + 2, ":")
+        && scan.is_ident(k + 3, "u64")
+        && scan.is_punct(k + 4, "=")
+        && scan.kind(k + 5) == Some(TokenKind::Num)
+}
+
+fn registry_self_check(scope: &FileScope, ctx: &Context, findings: &mut Vec<Finding>) {
+    let mut seen: Vec<(u64, &str)> = Vec::new();
+    for tag in &ctx.registry {
+        let at = Token { kind: TokenKind::Ident, text: tag.name.clone(), line: tag.line, col: 1 };
+        if let Some((_, first)) = seen.iter().find(|(v, _)| *v == tag.value) {
+            findings.push(finding(
+                "rng-domain-registry",
+                scope,
+                &at,
+                format!(
+                    "duplicate domain tag 0x{:02x}: `{}` collides with `{}`",
+                    tag.value, tag.name, first
+                ),
+            ));
+        } else {
+            seen.push((tag.value, &tag.name));
+        }
+        if tag.value == 0 || tag.value > 0xff {
+            findings.push(finding(
+                "rng-domain-registry",
+                scope,
+                &at,
+                format!(
+                    "domain tag `{}` = {:#x} must fit the non-zero top-byte layout (1..=0xff)",
+                    tag.name, tag.value
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: hot-path-no-alloc
+// ---------------------------------------------------------------------
+
+const ALLOC_METHODS: &[&str] = &["clone", "collect", "to_owned", "to_string", "to_vec"];
+const ALLOC_TYPES: &[&str] =
+    &["BTreeMap", "BTreeSet", "Box", "HashMap", "HashSet", "String", "Vec", "VecDeque"];
+const ALLOC_CTORS: &[&str] = &["from", "new", "with_capacity"];
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+fn rule_alloc(scope: &FileScope, scan: &Scan, regions: &[Region], findings: &mut Vec<Finding>) {
+    if regions.is_empty() {
+        return;
+    }
+    let in_region = |line: u32| regions.iter().any(|r| r.start <= line && line <= r.end);
+    for k in 0..scan.len() {
+        let Some(t) = scan.tok(k) else { break };
+        if !in_region(t.line) {
+            continue;
+        }
+        let hit = if scan.is_punct(k, ".")
+            && scan.ident(k + 1).is_some_and(|m| ALLOC_METHODS.contains(&m))
+        {
+            scan.tok(k + 1).map(|m| (m, format!(".{}()", m.text)))
+        } else if scan.ident(k).is_some_and(|i| ALLOC_TYPES.contains(&i))
+            && scan.is_punct(k + 1, ":")
+            && scan.is_punct(k + 2, ":")
+            && scan.ident(k + 3).is_some_and(|c| ALLOC_CTORS.contains(&c))
+        {
+            let ty = scan.tok(k).expect("checked");
+            let ctor = scan.tok(k + 3).expect("checked");
+            Some((ty, format!("{}::{}", ty.text, ctor.text)))
+        } else if scan.ident(k).is_some_and(|m| ALLOC_MACROS.contains(&m))
+            && scan.is_punct(k + 1, "!")
+        {
+            scan.tok(k).map(|m| (m, format!("{}!", m.text)))
+        } else {
+            None
+        };
+        if let Some((at, what)) = hit {
+            findings.push(finding(
+                "hot-path-no-alloc",
+                scope,
+                at,
+                format!("allocating call `{what}` inside a `zero-alloc` region"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: no-unordered-iteration
+// ---------------------------------------------------------------------
+
+fn rule_unordered(
+    scope: &FileScope,
+    ctx: &Context,
+    scan: &Scan,
+    lines: &LineInfo,
+    findings: &mut Vec<Finding>,
+) {
+    if scope.section != Section::Src
+        || !ctx.deterministic_crates.iter().any(|c| c == &scope.crate_name)
+    {
+        return;
+    }
+    for k in 0..scan.len() {
+        let Some(name) = scan.ident(k) else { continue };
+        if (name == "HashMap" || name == "HashSet")
+            && !lines.is_test(scan.tok(k).expect("checked").line)
+        {
+            let t = scan.tok(k).expect("checked");
+            findings.push(finding(
+                "no-unordered-iteration",
+                scope,
+                t,
+                format!(
+                    "`{name}` iteration order is unspecified; use BTreeMap/BTreeSet or an \
+                     indexed Vec in deterministic crates"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: no-lossy-counter-cast
+// ---------------------------------------------------------------------
+
+const NARROW_TYPES: &[&str] = &["i16", "i32", "i8", "u16", "u32", "u8"];
+/// Identifier segments that mark a value as an accumulator (`frame`
+/// singular is an index, `frames` is a running count).
+const ACC_SEGMENTS: &[&str] = &[
+    "accum", "count", "counts", "elapsed", "frames", "seq", "sum", "sums", "ticks", "total",
+    "totals",
+];
+/// Iterator reductions whose result is an unbounded accumulator.
+const ACC_METHODS: &[&str] = &["count", "sum"];
+
+fn rule_cast(scope: &FileScope, scan: &Scan, lines: &LineInfo, findings: &mut Vec<Finding>) {
+    if scope.section == Section::Tests {
+        return;
+    }
+    for k in 1..scan.len() {
+        if !scan.is_ident(k, "as") {
+            continue;
+        }
+        let Some(ty) = scan.ident(k + 1) else { continue };
+        if !NARROW_TYPES.contains(&ty) {
+            continue;
+        }
+        let t = scan.tok(k).expect("checked");
+        if lines.is_test(t.line) {
+            continue;
+        }
+        if let Some(head) = accumulator_head(scan, k - 1) {
+            findings.push(finding(
+                "no-lossy-counter-cast",
+                scope,
+                t,
+                format!(
+                    "narrowing cast `{head} as {ty}` can silently truncate an accumulator; \
+                     keep u64 or use try_from"
+                ),
+            ));
+        }
+    }
+}
+
+/// Inspects the expression just before an `as`: returns a display name
+/// when it is an accumulator (by method or identifier-segment match).
+fn accumulator_head(scan: &Scan, k: usize) -> Option<String> {
+    if scan.is_punct(k, ")") {
+        // `.count() as u8` / `.sum::<u64>() as u32`.
+        let open = scan.match_backward(k, "(", ")")?;
+        if open == 0 {
+            return None;
+        }
+        let mut m = open - 1;
+        if scan.is_punct(m, ">") {
+            // Walk back over the `::<T>` turbofish.
+            let lt = scan.match_backward(m, "<", ">")?;
+            if !(lt >= 2 && scan.is_punct(lt - 1, ":") && scan.is_punct(lt - 2, ":")) {
+                return None;
+            }
+            m = lt.checked_sub(3)?;
+        }
+        let name = scan.ident(m)?;
+        return ACC_METHODS.contains(&name).then(|| format!(".{name}()"));
+    }
+    if scan.is_punct(k, "]") {
+        // `counts[i] as u16` — judge the indexed identifier.
+        let open = scan.match_backward(k, "[", "]")?;
+        if open == 0 {
+            return None;
+        }
+        let name = scan.ident(open - 1)?;
+        return is_accumulator_ident(name).then(|| format!("{name}[..]"));
+    }
+    let name = scan.ident(k)?;
+    is_accumulator_ident(name).then(|| name.to_string())
+}
+
+fn is_accumulator_ident(name: &str) -> bool {
+    name.split('_').any(|seg| ACC_SEGMENTS.contains(&seg))
+}
+
+// ---------------------------------------------------------------------
+// Rule: no-nan-unwrap
+// ---------------------------------------------------------------------
+
+fn rule_nan(scope: &FileScope, scan: &Scan, lines: &LineInfo, findings: &mut Vec<Finding>) {
+    if scope.section == Section::Tests {
+        return;
+    }
+    for k in 0..scan.len() {
+        if !scan.is_ident(k, "partial_cmp") || !scan.is_punct(k + 1, "(") {
+            continue;
+        }
+        let t = scan.tok(k).expect("checked");
+        if lines.is_test(t.line) {
+            continue;
+        }
+        let Some(close) = scan.match_forward(k + 1, "(", ")") else { continue };
+        if scan.is_punct(close + 1, ".") {
+            if let Some(m) = scan.ident(close + 2) {
+                if m == "unwrap" || m == "expect" {
+                    findings.push(finding(
+                        "no-nan-unwrap",
+                        scope,
+                        t,
+                        format!(
+                            "`partial_cmp(..).{m}()` panics on NaN; use `total_cmp` or handle \
+                             the NaN ordering explicitly"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

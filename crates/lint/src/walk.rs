@@ -1,0 +1,118 @@
+//! Workspace file discovery and scope classification.
+//!
+//! The walk is deterministic (paths sorted at every level) so findings
+//! come out in a stable order regardless of filesystem enumeration.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which compilation context a file belongs to; several rules only
+/// apply to shipped (`Src`) code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// `src/` — shipped library/binary code.
+    Src,
+    /// `tests/` — integration tests.
+    Tests,
+    /// `benches/` — benchmark harnesses.
+    Benches,
+    /// `examples/` — runnable examples.
+    Examples,
+}
+
+/// A workspace source file plus where it sits.
+#[derive(Debug, Clone)]
+pub struct FileScope {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Crate directory name (`core`, `sensor`, ...); the umbrella crate
+    /// at the root is `hirise-repro`, compat shims are `compat-<name>`.
+    pub crate_name: String,
+    pub section: Section,
+}
+
+/// Directory names never descended into. `fixtures` holds the lint
+/// crate's own intentionally-violating test inputs.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results"];
+
+/// Collects every `.rs` file under the workspace root, sorted.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for dir in ["src", "tests", "benches", "examples", "crates"] {
+        let path = root.join(dir);
+        if path.is_dir() {
+            collect(&path, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                collect(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Classifies a workspace-relative path into crate + section.
+pub fn classify(rel_path: &str) -> FileScope {
+    let rel_path = rel_path.replace('\\', "/");
+    let comps: Vec<&str> = rel_path.split('/').collect();
+    let (crate_name, section_comp) = if comps.first() == Some(&"crates") {
+        if comps.get(1) == Some(&"compat") {
+            (format!("compat-{}", comps.get(2).unwrap_or(&"")), comps.get(3))
+        } else {
+            (comps.get(1).unwrap_or(&"").to_string(), comps.get(2))
+        }
+    } else {
+        ("hirise-repro".to_string(), comps.first())
+    };
+    let section = match section_comp.copied() {
+        Some("tests") => Section::Tests,
+        Some("benches") => Section::Benches,
+        Some("examples") => Section::Examples,
+        _ => Section::Src,
+    };
+    FileScope { rel_path, crate_name, section }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_every_layout() {
+        let s = classify("crates/sensor/src/shard.rs");
+        assert_eq!(s.crate_name, "sensor");
+        assert_eq!(s.section, Section::Src);
+
+        let s = classify("crates/detect/tests/golden.rs");
+        assert_eq!(s.section, Section::Tests);
+
+        let s = classify("crates/compat/rand/src/lib.rs");
+        assert_eq!(s.crate_name, "compat-rand");
+        assert_eq!(s.section, Section::Src);
+
+        let s = classify("examples/face_recognition.rs");
+        assert_eq!(s.crate_name, "hirise-repro");
+        assert_eq!(s.section, Section::Examples);
+
+        let s = classify("benches/stream.rs");
+        assert_eq!(s.section, Section::Benches);
+
+        let s = classify("src/lib.rs");
+        assert_eq!(s.section, Section::Src);
+    }
+}

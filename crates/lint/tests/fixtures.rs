@@ -1,0 +1,179 @@
+//! Fixture-based rule pinning (verification layer 12).
+//!
+//! Every rule is pinned by a *bad* fixture (must flag) and a *good*
+//! fixture (must stay silent), so a rule that stops firing — or starts
+//! over-firing — fails this suite rather than silently degrading the
+//! gate. The final test lints the real workspace: the gate must hold on
+//! the code that ships it.
+
+use std::path::{Path, PathBuf};
+
+use hirise_lint::rules::{parse_registry, REGISTRY_REL_PATH};
+use hirise_lint::{classify, lint_file, lint_workspace, Context, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// Lints a fixture as if it were shipped code of a deterministic crate.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let scope = classify(&format!("crates/core/src/{name}"));
+    lint_file(&scope, &fixture(name), &Context::new(None))
+}
+
+fn rules_hit(findings: &[Finding]) -> Vec<&str> {
+    let mut rules: Vec<&str> = findings.iter().filter(|f| !f.waived).map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn unsafe_fixture_pair() {
+    let bad = lint_fixture("unsafe_bad.rs");
+    assert_eq!(rules_hit(&bad), ["unsafe-needs-safety"]);
+    // unsafe fn + block, unsafe impl, and the continuation-line case.
+    assert_eq!(bad.len(), 4, "{bad:#?}");
+    assert!(bad.iter().any(|f| f.line == 14), "continuation-line unsafe missed: {bad:#?}");
+
+    let good = lint_fixture("unsafe_good.rs");
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn registry_fixture_pair() {
+    let bad = lint_fixture("registry_bad.rs");
+    assert_eq!(rules_hit(&bad), ["rng-domain-registry"]);
+    assert_eq!(bad.len(), 2, "{bad:#?}");
+    assert!(bad.iter().any(|f| f.message.contains("module `domain`")), "{bad:#?}");
+    assert!(bad.iter().any(|f| f.message.contains("literal domain tag `0x21`")), "{bad:#?}");
+
+    let good = lint_fixture("registry_good.rs");
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn registry_duplicate_tags_flag_in_the_registry_itself() {
+    let source = "pub const A: u64 = 0x07;\npub const B: u64 = 0x07;\npub const C: u64 = 0x100;\n";
+    let tags = parse_registry(source);
+    assert_eq!(tags.len(), 3);
+    let ctx = Context::new(Some(source));
+    let scope = classify(REGISTRY_REL_PATH);
+    let findings = lint_file(&scope, source, &ctx);
+    assert_eq!(rules_hit(&findings), ["rng-domain-registry"]);
+    assert!(findings.iter().any(|f| f.message.contains("duplicate domain tag 0x07")));
+    assert!(findings.iter().any(|f| f.message.contains("top-byte")));
+}
+
+#[test]
+fn registry_parser_skips_non_u64_consts() {
+    let source = "pub const SITE_BITS: u32 = 56;\npub const TAG: u64 = 0x11;\n";
+    let tags = parse_registry(source);
+    assert_eq!(tags.len(), 1);
+    assert_eq!(tags[0].name, "TAG");
+    assert_eq!(tags[0].value, 0x11);
+}
+
+#[test]
+fn alloc_fixture_pair() {
+    let bad = lint_fixture("alloc_bad.rs");
+    assert_eq!(rules_hit(&bad), ["hot-path-no-alloc"]);
+    // to_vec, Box::new, clone, collect, Vec::new, format!.
+    assert_eq!(bad.len(), 6, "{bad:#?}");
+    // The identical call *outside* the region stays silent — checked by
+    // the count above (cold's to_vec would be a 7th finding).
+
+    let good = lint_fixture("alloc_good.rs");
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn unordered_fixture_pair() {
+    let bad = lint_fixture("unordered_bad.rs");
+    assert_eq!(rules_hit(&bad), ["no-unordered-iteration"]);
+
+    let good = lint_fixture("unordered_good.rs");
+    assert!(good.is_empty(), "HashSet in #[cfg(test)] must not flag: {good:#?}");
+}
+
+#[test]
+fn unordered_rule_scopes_to_deterministic_crates() {
+    // The same HashMap source is fine in the bench harness crate and in
+    // integration tests of a deterministic crate.
+    let source = fixture("unordered_bad.rs");
+    let ctx = Context::new(None);
+    let bench = classify("crates/bench/src/tally.rs");
+    assert!(lint_file(&bench, &source, &ctx).is_empty());
+    let tests = classify("crates/core/tests/tally.rs");
+    assert!(lint_file(&tests, &source, &ctx).is_empty());
+}
+
+#[test]
+fn cast_fixture_pair() {
+    let bad = lint_fixture("cast_bad.rs");
+    assert_eq!(rules_hit(&bad), ["no-lossy-counter-cast"]);
+    // Plain ident, indexed ident, .count(), turbofish .sum::<u64>().
+    assert_eq!(bad.len(), 4, "{bad:#?}");
+
+    let good = lint_fixture("cast_good.rs");
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn nan_fixture_pair() {
+    let bad = lint_fixture("nan_bad.rs");
+    assert_eq!(rules_hit(&bad), ["no-nan-unwrap"]);
+    assert_eq!(bad.len(), 2, "{bad:#?}");
+
+    let good = lint_fixture("nan_good.rs");
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn waiver_fixtures_enforce_reasons_and_coverage() {
+    let bad = lint_fixture("waiver_bad.rs");
+    // Both malformed waivers flag, and both underlying violations
+    // remain unwaived.
+    let invalid = bad.iter().filter(|f| f.rule == "invalid-waiver").count();
+    let nan = bad.iter().filter(|f| f.rule == "no-nan-unwrap" && !f.waived).count();
+    assert_eq!((invalid, nan), (2, 2), "{bad:#?}");
+
+    let good = lint_fixture("waiver_good.rs");
+    let unwaived: Vec<&Finding> = good.iter().filter(|f| !f.waived).collect();
+    // Only `not_waived`'s violation survives; the two waived ones are
+    // recorded as waived, not dropped.
+    assert_eq!(unwaived.len(), 1, "{good:#?}");
+    assert_eq!(unwaived[0].rule, "no-nan-unwrap");
+    assert_eq!(good.iter().filter(|f| f.waived).count(), 2, "{good:#?}");
+}
+
+#[test]
+fn lexer_tricky_fixture_is_clean() {
+    let findings = lint_fixture("lexer_tricky.rs");
+    assert!(findings.is_empty(), "hidden-text constructs leaked into rules: {findings:#?}");
+}
+
+/// The gate holds on the workspace that ships it: zero unwaived
+/// findings, and the real registry parses with no duplicates.
+#[test]
+fn workspace_is_self_clean() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file(), "bad root {}", root.display());
+    let report = lint_workspace(&root).expect("workspace walk");
+    assert!(report.files_scanned > 100, "walk found only {} files", report.files_scanned);
+    let unwaived: Vec<&Finding> = report.unwaived().collect();
+    assert!(unwaived.is_empty(), "workspace must lint clean: {unwaived:#?}");
+
+    let registry = parse_registry(
+        &std::fs::read_to_string(root.join(REGISTRY_REL_PATH)).expect("registry file"),
+    );
+    assert!(registry.len() >= 10, "registry lost tags: {registry:#?}");
+
+    let json = report.to_json();
+    assert!(json.contains("\"unwaived\": 0"), "{json}");
+}

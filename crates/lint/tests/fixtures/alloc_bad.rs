@@ -1,0 +1,17 @@
+// Fixture: allocating calls inside a zero-alloc region must flag.
+
+// lint: zero-alloc
+pub fn hot(input: &[f32], out: &mut Vec<f32>) -> String {
+    let copy = input.to_vec();
+    let boxed = Box::new(copy.clone());
+    out.extend(boxed.iter().copied());
+    let all: Vec<f32> = input.iter().copied().collect();
+    let fresh = Vec::new();
+    let _: Vec<f32> = fresh;
+    format!("{} {}", all.len(), out.len())
+}
+
+// Outside the region the same calls are fine.
+pub fn cold(input: &[f32]) -> Vec<f32> {
+    input.to_vec()
+}

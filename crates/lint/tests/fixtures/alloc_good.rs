@@ -1,0 +1,19 @@
+// Fixture: a zero-alloc region that only reuses caller buffers; no
+// finding. The allocating helper below the region is out of scope.
+
+// lint: zero-alloc
+pub fn hot(input: &[f32], order: &mut Vec<u32>, out: &mut Vec<f32>) {
+    order.clear();
+    order.extend(0..input.len() as u32);
+    order.sort_unstable_by_key(|&i| i);
+    out.clear();
+    for &i in order.iter() {
+        out.push(input[i as usize] * 2.0);
+    }
+}
+
+pub fn cold(input: &[f32]) -> Vec<f32> {
+    let mut v = input.to_vec();
+    v.push(0.0);
+    v
+}

@@ -1,0 +1,17 @@
+// Fixture: narrowing casts on accumulators must flag.
+
+pub fn frame_total(frame_count: u64) -> u32 {
+    frame_count as u32
+}
+
+pub fn indexed(counts: &[u64], i: usize) -> u16 {
+    counts[i] as u16
+}
+
+pub fn reduction(xs: &[u64]) -> u8 {
+    xs.iter().filter(|&&x| x > 0).count() as u8
+}
+
+pub fn turbofish(xs: &[u32]) -> u32 {
+    xs.iter().map(|&x| u64::from(x)).sum::<u64>() as u32
+}

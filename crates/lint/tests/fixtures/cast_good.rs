@@ -1,0 +1,20 @@
+// Fixture: benign narrowing casts (bounded indices, widening, checked
+// conversion) — no finding.
+
+pub fn bounded_index(frame: usize) -> i32 {
+    // `frame` is a per-clip index, not a running total.
+    frame as i32
+}
+
+pub fn widening(frame_count: u32) -> u64 {
+    // Widening an accumulator is always safe.
+    frame_count as u64
+}
+
+pub fn checked(frame_count: u64) -> u32 {
+    u32::try_from(frame_count).unwrap_or(u32::MAX)
+}
+
+pub fn pixel(v: f32) -> u8 {
+    (v.clamp(0.0, 1.0) * 255.0).round() as u8
+}

@@ -1,0 +1,30 @@
+// Fixture: every construct that could *hide* rule-relevant text. A
+// correct lexer reports zero findings here.
+
+pub fn strings_hide_keywords() -> &'static str {
+    let _a = "unsafe { *core::ptr::null::<u8>() }";
+    let _b = r#"partial_cmp(x).unwrap() inside a raw string"#;
+    let _c = r##"HashMap::new() with "quotes # inside" too"##;
+    let _d = b"unsafe bytes";
+    let _e = br#"stream(0x99, site)"#;
+    "done"
+}
+
+/* Block comments nest in Rust: /* unsafe impl Send for T {} */ and the
+outer comment keeps going — partial_cmp(x).unwrap() here is prose. */
+pub fn comments_hide_keywords() -> u32 {
+    0
+}
+
+pub fn chars_vs_lifetimes<'a>(s: &'a str) -> (char, &'a str) {
+    let q = '\'';
+    let u = 'u';
+    let _lt: &'static str = "static is a lifetime here, not a char";
+    let _escaped = '\u{1F600}';
+    (if s.is_empty() { q } else { u }, s)
+}
+
+pub fn raw_identifiers() -> u32 {
+    let r#unsafe = 1u32; // a raw identifier, not the keyword
+    r#unsafe
+}

@@ -1,0 +1,10 @@
+// Fixture: `partial_cmp(..).unwrap()` / `.expect()` in shipped code
+// must flag — one NaN panics the comparator mid-sort.
+
+pub fn sort_scores(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn best(scores: &[f64]) -> Option<f64> {
+    scores.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("comparable")).map(|v| v)
+}

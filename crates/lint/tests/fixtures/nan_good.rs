@@ -1,0 +1,14 @@
+// Fixture: total orderings and explicit NaN policies — no finding.
+
+pub fn sort_scores(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn best(scores: &[f64]) -> Option<f64> {
+    scores.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+pub fn explicit_policy(a: f64, b: f64) -> std::cmp::Ordering {
+    // Inspecting the Option is fine; only unwrap/expect flag.
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Less)
+}

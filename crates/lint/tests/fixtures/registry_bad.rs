@@ -1,0 +1,15 @@
+// Fixture: a crate-local domain module with literal tags, plus a
+// literal tag passed straight to `stream()` — both must flag.
+
+pub mod domain {
+    pub const SHADOW: u64 = 0x21;
+    pub const OTHER: u64 = 0x22;
+
+    pub fn stream(domain: u64, site: u64) -> u64 {
+        (domain << 56) | site
+    }
+}
+
+pub fn draws(site: u64) -> u64 {
+    domain::stream(0x21, site)
+}

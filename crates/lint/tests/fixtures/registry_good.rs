@@ -1,0 +1,14 @@
+// Fixture: a re-export module (no literals) and named-constant stream
+// calls — the blessed pattern; nothing may flag.
+
+pub mod domain {
+    pub use hirise_scene::domains::{stream, DEAD_ROW, HOT};
+}
+
+pub fn draws(site: u64) -> u64 {
+    domain::stream(domain::HOT, site)
+}
+
+pub fn fault_draws(site: u64) -> u64 {
+    domain::stream(domain::DEAD_ROW, site)
+}

@@ -1,0 +1,12 @@
+// Fixture: HashMap/HashSet in shipped code of a deterministic crate
+// must flag (iteration order varies run to run).
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashMap<u32, u64> = HashMap::new();
+    for &k in keys {
+        *seen.entry(k).or_insert(0) += 1;
+    }
+    seen.len()
+}

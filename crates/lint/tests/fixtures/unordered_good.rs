@@ -1,0 +1,23 @@
+// Fixture: ordered containers in shipped code, unordered ones only in
+// tests — no finding.
+
+use std::collections::BTreeMap;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: BTreeMap<u32, u64> = BTreeMap::new();
+    for &k in keys {
+        *seen.entry(k).or_insert(0) += 1;
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_containers_are_fine_in_tests() {
+        let distinct: HashSet<u32> = [1, 2, 2].into_iter().collect();
+        assert_eq!(distinct.len(), 2);
+    }
+}

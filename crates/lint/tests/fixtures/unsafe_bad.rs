@@ -1,0 +1,16 @@
+// Fixture: every `unsafe` here lacks a SAFETY comment and must flag.
+
+pub unsafe fn raw_read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}
+
+pub fn continuation_case(p: *const u64) -> u64 {
+    // A comment that is not the magic word does not count.
+    let v =
+        unsafe { *p };
+    v
+}

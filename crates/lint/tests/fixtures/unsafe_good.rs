@@ -1,0 +1,41 @@
+// Fixture: every `unsafe` carries a SAFETY comment in one of the
+// accepted placements; none may flag.
+
+// SAFETY: caller guarantees `p` is valid for reads.
+pub unsafe fn raw_read(p: *const u32) -> u32 {
+    // SAFETY: the fn-level contract above makes the read valid.
+    unsafe { *p }
+}
+
+pub struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is only dereferenced on the owning thread.
+unsafe impl Send for Wrapper {}
+
+pub fn continuation_case(p: *const u64) -> u64 {
+    // SAFETY: `p` comes from a live Box; rustfmt broke the line after
+    // the `=`, so the comment sits above the binding.
+    let v =
+        unsafe { *p };
+    v
+}
+
+pub fn attribute_between(p: *const u64) -> u64 {
+    // SAFETY: the comment may sit above an attribute line too.
+    #[allow(clippy::let_and_return)]
+    let v = unsafe { *p }; // trailing code, comment walked up past `#[...]`
+    v
+}
+
+pub fn trailing_same_line(p: *const u64) -> u64 {
+    unsafe { *p } // SAFETY: trailing comments on the unsafe line count.
+}
+
+pub fn not_code() {
+    // The word unsafe inside strings or comments is not a token:
+    let _s = "unsafe { nothing }";
+    let _r = r#"unsafe fn f() {}"#;
+    /* block comment: unsafe impl Send for X {} */
+    let _c = 'u';
+    let _lt: &'static str = "lifetime, not a char literal";
+}

@@ -1,0 +1,13 @@
+// Fixture: malformed waivers — a missing reason and an unknown rule —
+// must each produce an invalid-waiver finding, and neither suppresses
+// the underlying violation.
+
+pub fn missing_reason(scores: &mut [f64]) {
+    // lint:allow(no-nan-unwrap)
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn unknown_rule(scores: &mut [f64]) {
+    // lint:allow(no-such-rule): reason text present but rule unknown
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

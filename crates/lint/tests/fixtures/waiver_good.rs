@@ -1,0 +1,16 @@
+// Fixture: well-formed waivers, standalone and trailing, suppress the
+// finding on exactly the covered line.
+
+pub fn waived_above(scores: &mut [f64]) {
+    // lint:allow(no-nan-unwrap): fixture exercises standalone waivers
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn waived_trailing(frame_count: u64) -> u32 {
+    frame_count as u32 // lint:allow(no-lossy-counter-cast): fixture exercises trailing waivers
+}
+
+pub fn not_waived(scores: &mut [f64]) {
+    // The waivers above must not leak onto this line.
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

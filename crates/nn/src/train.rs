@@ -129,9 +129,12 @@ impl Mlp {
     /// See [`Mlp::predict_proba`].
     pub fn predict(&self, x: &[f32]) -> Result<usize> {
         let p = self.predict_proba(x)?;
+        // `total_cmp` keeps the argmax total when a degenerate network
+        // emits NaN probabilities (the old `partial_cmp().expect()`
+        // panicked on the first NaN instead of returning *a* class).
         Ok(p.iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
             .unwrap_or(0))
     }
@@ -269,6 +272,17 @@ mod tests {
                 (vec![x, y], class)
             })
             .collect()
+    }
+
+    #[test]
+    fn predict_survives_nan_features() {
+        // A NaN feature propagates NaN through every logit; the argmax
+        // must still return *a* class instead of panicking (the old
+        // `partial_cmp().expect("finite")` killed the caller).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new(2, 4, 3, &mut rng).unwrap();
+        let class = mlp.predict(&[f32::NAN, 0.25]).unwrap();
+        assert!(class < 3, "predicted class {class} out of range");
     }
 
     #[test]

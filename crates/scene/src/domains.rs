@@ -1,0 +1,114 @@
+//! The central keyed-RNG domain-tag registry for the seed-keyed stream
+//! space.
+//!
+//! Every keyed sub-stream derived from a *scenario/fleet seed* — the
+//! scenario generator's defect streams and the whole `hirise-fault`
+//! schedule — packs its stream id as `(domain << 56) | site`. A domain
+//! collision silently correlates two supposedly independent stream
+//! families (the determinism contract still holds, but the *statistics*
+//! are broken and nothing panics), so the tags live here, in one
+//! module, and nowhere else:
+//!
+//! * `hirise-lint`'s `rng-domain-registry` rule statically rejects
+//!   literal domain tags defined outside this file and duplicate values
+//!   inside it.
+//! * [`ALL`] enumerates the registry so tests can assert pairwise
+//!   distinctness at runtime too.
+//!
+//! The sensor's *readout* noise domains (`hirise-sensor`'s private
+//! `noise::domain`) are deliberately **not** here: they live in a
+//! per-readout-op key space (`frame_key(noise_seed, op)`) that never
+//! shares a key with the scenario seed, so their small tag values can
+//! coexist with [`HOT`]/[`ROW`] without correlation. That module
+//! carries an explicit lint waiver saying so.
+//!
+//! Tag values are load-bearing: they are pinned by the scenario golden
+//! CSVs and the chaos/recovery baselines. Never renumber an existing
+//! tag; append new ones.
+
+/// Scenario defects: hot-pixel site stream (one sub-stream per defect
+/// index).
+pub const HOT: u64 = 0x01;
+/// Scenario defects: row-noise stream (one sub-stream per
+/// `(frame, row)` pair).
+pub const ROW: u64 = 0x02;
+
+/// Fault plan: persistently dead (all-zero) sensor rows.
+pub const DEAD_ROW: u64 = 0x11;
+/// Fault plan: persistently stuck (fixed-level) sensor rows.
+pub const STUCK_ROW: u64 = 0x12;
+/// Fault plan: whole-frame blanking (a dropped exposure reads as
+/// black).
+pub const BLANK: u64 = 0x13;
+/// Fault plan: saturation bursts — a band of rows pinned at full scale
+/// for a contiguous window of frames.
+pub const SATURATE: u64 = 0x14;
+/// Fault plan: NaN speckle — isolated pixels whose value is NaN, which
+/// poisons downstream feature scores.
+pub const NAN: u64 = 0x15;
+/// Fault plan: injected panics inside the serve-side frame critical
+/// section.
+pub const PANIC: u64 = 0x16;
+/// Fault plan: injected session stalls (simulated latency).
+pub const STALL: u64 = 0x17;
+/// Fault plan: injected process crashes (the whole engine dies at a
+/// tick boundary and must warm-restart from snapshot + journal).
+pub const CRASH: u64 = 0x18;
+
+/// Every registered tag, by name — the runtime complement of the static
+/// registry check (tests assert pairwise distinctness over this table).
+pub const ALL: &[(&str, u64)] = &[
+    ("HOT", HOT),
+    ("ROW", ROW),
+    ("DEAD_ROW", DEAD_ROW),
+    ("STUCK_ROW", STUCK_ROW),
+    ("BLANK", BLANK),
+    ("SATURATE", SATURATE),
+    ("NAN", NAN),
+    ("PANIC", PANIC),
+    ("STALL", STALL),
+    ("CRASH", CRASH),
+];
+
+/// Bits available for the site index within a stream id. Typed `u32`
+/// (a shift width), not `u64`: in this file, `const _: u64` literals
+/// are domain tags by definition — the lint registry parser collects
+/// exactly those.
+pub const SITE_BITS: u32 = 56;
+
+/// Packs a `(domain, site)` pair into one sub-stream id: the domain tag
+/// in the top byte, the site index in the low [`SITE_BITS`] bits.
+#[inline]
+pub fn stream(domain: u64, site: u64) -> u64 {
+    (domain << SITE_BITS) | (site & ((1u64 << SITE_BITS) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_tags_are_pairwise_distinct() {
+        for (i, (na, va)) in ALL.iter().enumerate() {
+            for (nb, vb) in &ALL[i + 1..] {
+                assert_ne!(va, vb, "domain tags {na} and {nb} collide on {va:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn tags_fit_in_the_top_byte() {
+        for (name, v) in ALL {
+            assert!(*v <= 0xFF, "domain tag {name} = {v:#x} does not fit in the top byte");
+        }
+    }
+
+    #[test]
+    fn stream_packs_domain_high_and_site_low() {
+        assert_eq!(stream(DEAD_ROW, 0), 0x11 << 56);
+        assert_eq!(stream(DEAD_ROW, 5), (0x11 << 56) | 5);
+        assert_eq!(stream(HOT, 7) >> SITE_BITS, HOT);
+        // Oversized sites mask instead of corrupting the domain byte.
+        assert_eq!(stream(PANIC, u64::MAX) >> SITE_BITS, PANIC);
+    }
+}

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod dataset;
+pub mod domains;
 pub mod object;
 pub mod rafdb;
 pub mod scenario;

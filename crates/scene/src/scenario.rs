@@ -50,21 +50,11 @@ use rand::{Rng, RngCore, SeedableRng};
 use crate::object::{self, ObjectClass};
 use crate::video::{paint_background, reflect, VideoFrame, VideoObject};
 
-/// Domain tags for the scenario defect streams, mirroring the sensor's
-/// `(domain << 56) | site` stream layout so hot-pixel sites and row
-/// offsets can never collide with each other (or with anything else
-/// derived from the same seed).
-mod domain {
-    /// Hot-pixel site stream (one sub-stream per defect index).
-    pub const HOT: u64 = 1;
-    /// Row-noise stream (one sub-stream per `(frame, row)` pair).
-    pub const ROW: u64 = 2;
-
-    /// The stream id of `site` within `domain`.
-    pub fn stream(domain: u64, site: u64) -> u64 {
-        (domain << 56) | site
-    }
-}
+// The defect-stream domain tags ([`crate::domains::HOT`] /
+// [`crate::domains::ROW`]) come from the central seed-keyed registry so
+// they can never collide with the fault plan's tags (or anything else
+// derived from the same seed); `hirise-lint` enforces that statically.
+use crate::domains as domain;
 
 /// Global per-frame brightness model: linear drift plus sinusoidal
 /// flicker, both multiplicative on the rendered irradiance.

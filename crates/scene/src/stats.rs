@@ -39,7 +39,9 @@ fn median_u64(values: &mut [u64]) -> u64 {
 }
 
 fn median_f64(values: &mut [f64]) -> f64 {
-    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stats"));
+    // `total_cmp` keeps the sort total if a measurement ever goes NaN
+    // (the old `partial_cmp().expect()` panicked mid-sort instead).
+    values.sort_by(|a, b| a.total_cmp(b));
     if values.is_empty() {
         0.0
     } else {
@@ -100,6 +102,17 @@ mod tests {
     use crate::dataset::DatasetSpec;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn median_survives_nan_measurements() {
+        // `total_cmp` sorts NaN (positive) past every real value, so a
+        // poisoned measurement shifts the median instead of panicking
+        // mid-sort (the old `partial_cmp().expect()` behaviour).
+        let mut values = [1.0, f64::NAN, 2.0];
+        assert_eq!(median_f64(&mut values), 2.0);
+        let mut clean = [3.0, 1.0, 2.0];
+        assert_eq!(median_f64(&mut clean), 2.0);
+    }
 
     #[test]
     fn crowdhuman_stats_match_paper_calibration() {

@@ -73,6 +73,10 @@ pub(crate) const TEMPORAL_SEED_MASK: u64 = 0x0123_4567_89AB_CDEF;
 /// Draw-stream domains: the top byte of a stream id. Keeps the noise of
 /// different readout paths (and the two fixed-pattern kinds) on disjoint
 /// streams even when their site indices coincide.
+// lint:allow(rng-domain-registry): readout noise lives in a per-op key
+// space (`frame_key(noise_seed, op)`) that never shares a key with the
+// scenario seed, so these tags cannot correlate with the central
+// registry's; their values are pinned by the sensor golden CSVs.
 pub(crate) mod domain {
     /// Fixed-pattern PRNU mismatch (keyed off the raw sensor seed).
     pub const FPN_PRNU: u64 = 1;

@@ -145,6 +145,7 @@ pub fn pool_channel<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// [`SensorError::InvalidPooling`] when `k` does not tile the array.
+// lint: zero-alloc
 pub fn pool_channel_into<R: Rng + ?Sized>(
     array: &PixelArray,
     channel: usize,
@@ -394,8 +395,10 @@ fn pool_keyed_fused<M: Fn(usize, usize) -> f64 + Sync>(
     let adc_sigma = adc.noise_sigma();
     let out_base = SendPtr::new(out.as_mut_slice().as_mut_ptr());
     shard_rows(pool, analog.as_mut_slice(), oh as usize, oww, shards, |_, oy0, aband| {
-        // `out` bands mirror the `analog` bands exactly, so they are
-        // disjoint across shards too.
+        // SAFETY: `out` bands mirror the `analog` bands exactly — same
+        // row range, same length, reshaped to identical dimensions
+        // above — so they are disjoint across shards too, and `out`
+        // outlives the sharded run.
         let oband =
             unsafe { std::slice::from_raw_parts_mut(out_base.get().add(oy0 * oww), aband.len()) };
         for (dy, (arow, orow)) in

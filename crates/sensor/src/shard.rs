@@ -42,6 +42,8 @@ use std::time::{Duration, Instant};
 /// that must outlive a caller who timed out and walked away.
 #[derive(Clone, Copy)]
 struct Job {
+    // SAFETY: callable only while the publishing call keeps `ctx` alive
+    // — i.e. between the job's publication and its final check-in.
     run: unsafe fn(*const (), usize),
     ctx: *const (),
     cursor: *const AtomicUsize,
@@ -49,12 +51,17 @@ struct Job {
     poisoned: *const AtomicBool,
     shards: usize,
     seq: u64,
+    // SAFETY: callable only under the slot lock at pickup, with `ctx`
+    // pointing to the job's live `BoundedCtx`.
     enter: Option<unsafe fn(*const ())>,
+    // SAFETY: callable exactly once per acquired reference (enter or
+    // publication), after this participant's last access to `ctx`.
     release: Option<unsafe fn(*const ())>,
 }
 
-// The pointers target the stack frame of the `run` call that published
-// the job, which outlives every access (see the module docs).
+// SAFETY: the pointers target the stack frame (or refcounted heap
+// context) of the `run`/`run_bounded` call that published the job,
+// which outlives every access (see the module docs).
 unsafe impl Send for Job {}
 
 struct Shared {
@@ -132,9 +139,12 @@ impl ShardPool {
                     }
                     match slot.job {
                         Some(job) if job.seq != last_seq => {
-                            // Entry is recorded under the lock, so a
-                            // bounded caller that retracts the job under
-                            // the same lock sees a final entrant count.
+                            // SAFETY: the job is still published (we
+                            // hold the slot lock and just read it from
+                            // the slot), so `ctx` is alive; entry is
+                            // recorded under the lock, so a bounded
+                            // caller that retracts the job under the
+                            // same lock sees a final entrant count.
                             if let Some(enter) = job.enter {
                                 unsafe { enter(job.ctx) }
                             }
@@ -151,6 +161,11 @@ impl ShardPool {
             // would spin forever on a check-in that never comes) nor
             // unwind past the check-in: catch it, flag the job as
             // poisoned, and check in regardless.
+            //
+            // SAFETY: this worker has not checked in yet, so the
+            // publisher is still blocked in its check-in wait (or, for
+            // bounded jobs, the entry above holds a context reference)
+            // and every job pointer is alive.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
                 loop {
                     let i = (*job.cursor).fetch_add(1, Ordering::Relaxed);
@@ -160,6 +175,12 @@ impl ShardPool {
                     (job.run)(job.ctx, i);
                 }
             }));
+            // SAFETY: still pre-check-in for `poisoned`; `done` itself
+            // is kept alive by the publisher's check-in wait spinning on
+            // it (stack jobs) or by this worker's context reference
+            // (bounded jobs), and `release` is this participant's last
+            // touch of `ctx`, called exactly once after its final
+            // access.
             unsafe {
                 if outcome.is_err() {
                     (*job.poisoned).store(true, Ordering::Release);
@@ -190,7 +211,12 @@ impl ShardPool {
             }
             return;
         }
+        // SAFETY(contract): `ctx` must point to a live `F` — upheld
+        // because the only caller is the job published below, whose
+        // `ctx` is `f` on this stack frame, kept alive by the check-in
+        // wait.
         unsafe fn call<F: Fn(usize)>(ctx: *const (), i: usize) {
+            // SAFETY: `ctx` points to a live `F` per this fn's contract.
             unsafe { (*(ctx as *const F))(i) }
         }
         let _gate = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
@@ -284,12 +310,17 @@ impl ShardPool {
             refs: AtomicUsize::new(1),
         }));
         let seq = self.seq.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        // SAFETY: `ctx` came from `Box::into_raw` above and is freed
+        // only by the last `bounded_release` (the caller holds the
+        // initial reference until its own release at the end of this
+        // call), so the shared borrow is valid for this whole scope.
+        let ctx_ref = unsafe { &*ctx };
         let job = Job {
             run: bounded_call::<F>,
             ctx: ctx as *const (),
-            cursor: unsafe { &(*ctx).cursor },
-            done: unsafe { &(*ctx).done },
-            poisoned: unsafe { &(*ctx).poisoned },
+            cursor: &ctx_ref.cursor,
+            done: &ctx_ref.done,
+            poisoned: &ctx_ref.poisoned,
             shards,
             seq,
             enter: Some(bounded_enter::<F>),
@@ -300,7 +331,6 @@ impl ShardPool {
             slot.job = Some(job);
             self.shared.work_cv.notify_all();
         }
-        let ctx_ref = unsafe { &*ctx };
         // The caller claims shards like any worker; a panicking shard on
         // this thread must still run the retract-and-wait epilogue.
         let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
@@ -339,6 +369,10 @@ impl ShardPool {
         let poisoned = outcome.is_ok() && ctx_ref.poisoned.load(Ordering::Acquire);
         // Drop the caller's reference; on a timeout the straggler now
         // owns the context and frees it at its eventual check-in.
+        //
+        // SAFETY: this is the caller's one release of the reference it
+        // has held since `Box::into_raw`, and `ctx_ref` is not touched
+        // again below it.
         unsafe { bounded_release::<F>(ctx as *const ()) };
         if let Err(payload) = caller {
             std::panic::resume_unwind(payload);
@@ -363,21 +397,38 @@ struct BoundedCtx<F> {
     refs: AtomicUsize,
 }
 
+// SAFETY(contract): `ctx` must point to a live `BoundedCtx<F>` —
+// upheld because every worker calling this entered the job first, and
+// entry takes a context reference that `bounded_release` only drops
+// after the worker's last shard.
 unsafe fn bounded_call<F: Fn(usize)>(ctx: *const (), i: usize) {
+    // SAFETY: `ctx` is a live `BoundedCtx<F>` per this fn's contract.
     let ctx = unsafe { &*(ctx as *const BoundedCtx<F>) };
     (ctx.f)(i);
     ctx.shards_done.fetch_add(1, Ordering::Release);
 }
 
+// SAFETY(contract): called under the slot lock while the job is still
+// published, so the caller's initial reference keeps `ctx` alive.
 unsafe fn bounded_enter<F>(ctx: *const ()) {
+    // SAFETY: `ctx` is a live `BoundedCtx<F>` per this fn's contract.
     let ctx = unsafe { &*(ctx as *const BoundedCtx<F>) };
     ctx.refs.fetch_add(1, Ordering::Relaxed);
     ctx.entered.fetch_add(1, Ordering::Release);
 }
 
+// SAFETY(contract): called exactly once per held reference, after the
+// holder's final access; the AcqRel decrement makes the last holder's
+// free happen-after every other participant's accesses.
 unsafe fn bounded_release<F>(ctx: *const ()) {
     let ptr = ctx as *mut BoundedCtx<F>;
+    // SAFETY: our reference is still held, so `ptr` is alive for the
+    // decrement.
     if unsafe { &*ptr }.refs.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // SAFETY: the count hit zero, so we are the last holder: nobody
+        // else can touch `ptr` again, and it was created by
+        // `Box::into_raw`, so reconstituting the box frees it exactly
+        // once.
         drop(unsafe { Box::from_raw(ptr) });
     }
 }
@@ -447,7 +498,12 @@ pub(crate) fn band(rows: usize, shards: usize, index: usize) -> (usize, usize) {
 #[derive(Clone, Copy)]
 pub(crate) struct SendPtr<T>(*mut T);
 
+// SAFETY: the wrapper only moves the pointer value across threads; all
+// access goes through `get`, and every user derives disjoint per-shard
+// slices from it (band disjointness, checked where the slices are made).
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above — shared access hands out the raw pointer only, and
+// shards never alias each other's bands.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -480,8 +536,11 @@ pub(crate) fn shard_rows<T: Send, F: Fn(usize, usize, &mut [T]) + Sync>(
             let base = SendPtr::new(data.as_mut_ptr());
             pool.run(shards, &|i| {
                 let (r0, r1) = band(rows, shards, i);
-                // Bands are disjoint, so handing each shard its own
-                // mutable sub-slice is sound.
+                // SAFETY: `band` partitions `0..rows` into disjoint,
+                // in-bounds row ranges (one per shard index), so each
+                // shard's mutable sub-slice aliases nothing — and `data`
+                // outlives `pool.run`, which does not return until every
+                // shard has checked in.
                 let band_slice = unsafe {
                     std::slice::from_raw_parts_mut(
                         base.get().add(r0 * row_len),

@@ -97,6 +97,8 @@ impl ShedPolicy {
     /// thresholds strictly exceeded (a load *at* a threshold does not
     /// engage the level — rated load itself is not overload).
     pub fn base_level(&self, load: f64) -> u8 {
+        // lint:allow(no-lossy-counter-cast): `engage` is `[f64; 3]`, so
+        // the count is at most 3 and always fits u8.
         self.engage.iter().filter(|&&e| load > e).count() as u8
     }
 

@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let best = probs
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, p)| (Expression::from_id(i).expect("valid id"), *p))
             .expect("non-empty classes");
         println!(

@@ -30,22 +30,32 @@ fn bump() {
     let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
 }
 
+// SAFETY: a pure pass-through to `System`, which upholds the
+// `GlobalAlloc` contract; the only addition is a thread-local counter
+// bump, and `bump()` itself never allocates (Cell arithmetic only), so
+// there is no reentrancy into the allocator.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded
+    // verbatim to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
         System.alloc(layout)
     }
 
+    // SAFETY: caller upholds the contract; forwarded verbatim.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump();
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: caller upholds the contract (`ptr` from this allocator
+    // with this `layout`); forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: caller upholds the contract; forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
